@@ -1,0 +1,60 @@
+// Reproduces paper Fig. 10: speedup over the sequential baseline from
+// auto-tuning the Nash application, against the speedup of the exhaustive
+// search, per system.
+//
+// Expected shape (paper §4.2): the auto-tuner reaches ~98% of the
+// exhaustive speed-up; on the i3-540 it can even be super-optimal, because
+// the regression models may pick parameter values outside the finite
+// search grid.
+#include <cmath>
+#include <iostream>
+
+#include "apps/nash.hpp"
+#include "common.hpp"
+
+using namespace wavetune;
+
+int main(int argc, char** argv) {
+  const bench::BenchContext ctx = bench::make_context(argc, argv);
+
+  util::Table table({"System", "exhaustive speedup", "autotuned speedup", "tuned/exhaustive"});
+  for (const auto& sys : ctx.systems) {
+    const auto& tuner = bench::tuner_for(ctx, sys);
+    autotune::ExhaustiveSearch search(sys, ctx.space);
+    core::HybridExecutor ex(sys, 1);
+
+    double log_best = 0.0;
+    double log_tuned = 0.0;
+    std::size_t n = 0;
+    for (std::size_t dim : ctx.space.dims) {
+      for (std::size_t iters : {1u, 2u, 4u, 8u, 16u}) {
+        apps::NashParams np;
+        np.dim = dim;
+        np.fp_iterations = iters;  // tsize = 750 * iters (paper's mapping)
+        const core::InputParams in = apps::nash_model_inputs(np);
+
+        const auto res = search.search_instance(in);
+        const auto best = res.best();
+        if (!best) continue;
+        const autotune::Prediction pred = tuner.predict(in);
+        const double tuned_ns = ex.estimate(in, pred.params).rtime_ns;
+        log_best += std::log(res.serial_ns / best->rtime_ns);
+        log_tuned += std::log(res.serial_ns / tuned_ns);
+        ++n;
+      }
+    }
+    const double k = n ? static_cast<double>(n) : 1.0;
+    const double sp_best = std::exp(log_best / k);
+    const double sp_tuned = std::exp(log_tuned / k);
+    table.row()
+        .add(sys.name)
+        .add(sp_best, 2)
+        .add(sp_tuned, 2)
+        .add(sp_tuned / sp_best, 3)
+        .done();
+  }
+  bench::emit(ctx, table,
+              "Fig. 10: Nash application — autotuned vs exhaustive speedup over the "
+              "sequential baseline (geometric means)");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Reproduces paper Fig. 11: per dim-tsize group, the runtime of the
+// optimal point found by exhaustive search (the bars) against the runtime
+// obtained from auto-tuning (the line), for the Nash application.
+//
+// Expected shape (paper §4.2): the autotuned runtime tracks the
+// exhaustive-best closely; it may dip below it on the i3-540
+// (super-optimal extrapolation) and sit slightly above on the i7 systems.
+#include <iostream>
+
+#include "apps/nash.hpp"
+#include "common.hpp"
+
+using namespace wavetune;
+
+int main(int argc, char** argv) {
+  const bench::BenchContext ctx = bench::make_context(argc, argv);
+
+  for (const auto& sys : ctx.systems) {
+    const auto& tuner = bench::tuner_for(ctx, sys);
+    autotune::ExhaustiveSearch search(sys, ctx.space);
+    core::HybridExecutor ex(sys, 1);
+
+    util::Table table({"dim", "tsize", "ber (s)", "tuned (s)", "tuned/ber",
+                       "tuned params"});
+    std::size_t super_optimal = 0;
+    std::size_t total = 0;
+    for (std::size_t dim : ctx.space.dims) {
+      for (std::size_t iters : {1u, 2u, 4u, 8u, 16u}) {
+        apps::NashParams np;
+        np.dim = dim;
+        np.fp_iterations = iters;
+        const core::InputParams in = apps::nash_model_inputs(np);
+
+        const auto res = search.search_instance(in);
+        const auto best = res.best();
+        if (!best) continue;
+        const autotune::Prediction pred = tuner.predict(in);
+        const double tuned_ns = ex.estimate(in, pred.params).rtime_ns;
+        if (tuned_ns < best->rtime_ns) ++super_optimal;
+        ++total;
+        table.row()
+            .add(static_cast<long long>(dim))
+            .add(in.tsize, 0)
+            .add(bench::secs(best->rtime_ns))
+            .add(bench::secs(tuned_ns))
+            .add(tuned_ns / best->rtime_ns, 3)
+            .add(pred.params.describe())
+            .done();
+      }
+    }
+    bench::emit(ctx, table, "Fig. 11 [" + sys.name + "]: exhaustive-best vs autotuned (Nash)");
+    std::cout << sys.name << ": " << super_optimal << "/" << total
+              << " points super-optimal (tuned beats the finite search grid)\n\n";
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Reproduces paper Fig. 5: heatmaps of the best-performing band and halo
+// values over (tsize, dim), for dsize = 1 and dsize = 5, on each system.
+//
+// Expected shape (paper §4.1.1):
+//  * band > 0 (GPU use) appears beyond a tsize/dim threshold;
+//  * the i3-540 threshold sits below the i7 thresholds (slower CPU cores);
+//  * dsize = 5 pushes every threshold up (heavier transfers);
+//  * halo values are larger at low tsize (communication-bound regime);
+//  * gpu-tile > 1 never appears at a best point.
+#include <iostream>
+
+#include "common.hpp"
+#include "util/heatmap.hpp"
+
+using namespace wavetune;
+
+int main(int argc, char** argv) {
+  const bench::BenchContext ctx = bench::make_context(argc, argv);
+
+  std::size_t tiled_best_points = 0;
+  for (const auto& sys : ctx.systems) {
+    const auto& results = bench::sweep_for(ctx, sys);
+    for (const int dsize : {ctx.space.dsizes.front(), ctx.space.dsizes.back()}) {
+      std::vector<double> xs(ctx.space.tsizes.begin(), ctx.space.tsizes.end());
+      std::vector<double> ys;
+      for (auto d : ctx.space.dims) ys.push_back(static_cast<double>(d));
+      util::Heatmap band_map(xs, ys);
+      util::Heatmap halo_map(xs, ys);
+
+      for (const auto& res : results) {
+        if (res.instance.dsize != dsize) continue;
+        const auto best = res.best();
+        if (!best) continue;
+        std::size_t xi = 0;
+        std::size_t yi = 0;
+        for (std::size_t i = 0; i < xs.size(); ++i) {
+          if (xs[i] == res.instance.tsize) xi = i;
+        }
+        for (std::size_t i = 0; i < ys.size(); ++i) {
+          if (ys[i] == static_cast<double>(res.instance.dim)) yi = i;
+        }
+        band_map.set(xi, yi, static_cast<double>(best->params.band));
+        halo_map.set(xi, yi, static_cast<double>(best->params.halo));
+        if (best->params.gpu_tile > 1) ++tiled_best_points;
+      }
+
+      std::cout << "== Fig. 5 [" << sys.name << ", dsize=" << dsize << " ("
+                << core::InputParams{1, 0, dsize}.elem_bytes()
+                << " B/elem)]: best band over (tsize, dim) ==\n"
+                << band_map.render_numeric("tsize", "dim") << '\n';
+      if (sys.gpu_count() >= 2) {
+        std::cout << "-- best halo (-1 = single GPU) --\n"
+                  << halo_map.render_numeric("tsize", "dim") << '\n';
+      } else {
+        std::cout << "(single-GPU system: no halo heat map, as in the paper)\n\n";
+      }
+    }
+  }
+  std::cout << "best points using gpu-tile > 1: " << tiled_best_points
+            << " (paper: GPU tiling was not beneficial in the search space)\n";
+  return tiled_best_points == 0 ? 0 : 1;
+}

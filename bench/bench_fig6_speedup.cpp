@@ -1,0 +1,57 @@
+// Reproduces paper Fig. 6: speedup of the heat-map (exhaustive-best)
+// points over the three simple schemes — serial CPU, parallel CPU (no GPU
+// phase), and entirely-GPU.
+//
+// Expected shape (paper §4.1.2): on the i7 systems, doing everything on
+// the GPU is on average worse than doing everything on the CPU, because
+// the fast CPU wins by a wide margin at low task granularity.
+#include <cmath>
+#include <iostream>
+
+#include "common.hpp"
+
+using namespace wavetune;
+
+int main(int argc, char** argv) {
+  const bench::BenchContext ctx = bench::make_context(argc, argv);
+
+  util::Table table({"System", "best/serial", "best/cpu-parallel", "best/gpu-only",
+                     "max best/serial"});
+  bool i7_gpu_only_worse = true;
+  for (const auto& sys : ctx.systems) {
+    const auto& results = bench::sweep_for(ctx, sys);
+    core::HybridExecutor ex(sys, 1);
+
+    double log_serial = 0.0;
+    double log_cpu = 0.0;
+    double log_gpu = 0.0;
+    double max_serial = 0.0;
+    std::size_t n = 0;
+    for (const auto& res : results) {
+      const auto best = res.best();
+      if (!best) continue;
+      const auto bl = autotune::compute_baselines(ex, res.instance, ctx.space.cpu_tiles,
+                                                  ctx.space.gpu_tiles, ctx.space.halo_fractions);
+      log_serial += std::log(bl.serial_ns / best->rtime_ns);
+      log_cpu += std::log(bl.cpu_parallel_ns / best->rtime_ns);
+      log_gpu += std::log(bl.gpu_only_ns / best->rtime_ns);
+      max_serial = std::max(max_serial, bl.serial_ns / best->rtime_ns);
+      ++n;
+    }
+    const double k = n ? static_cast<double>(n) : 1.0;
+    const double sp_serial = std::exp(log_serial / k);
+    const double sp_cpu = std::exp(log_cpu / k);
+    const double sp_gpu = std::exp(log_gpu / k);
+    table.row().add(sys.name).add(sp_serial, 2).add(sp_cpu, 2).add(sp_gpu, 2).add(max_serial, 1)
+        .done();
+    // Fig. 6 claim: on i7 systems gpu-only is further from the best than
+    // cpu-only, i.e. best/gpu-only > best/cpu-parallel.
+    if (sys.name.rfind("i7", 0) == 0 && sp_gpu <= sp_cpu) i7_gpu_only_worse = false;
+  }
+  bench::emit(ctx, table,
+              "Fig. 6: geometric-mean speedup of exhaustive-best points over the three "
+              "simple schemes");
+  std::cout << "i7 systems: GPU-only worse than CPU-only on average: "
+            << (i7_gpu_only_worse ? "yes (matches paper)" : "NO (differs from paper)") << '\n';
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Reproduces paper Fig. 7: the average-case comparison for the synthetic
+// application. For each dim-tsize group (and dsize in {1, 5}, per system)
+// it reports the best exhaustive runtime ("ber"), the average runtime over
+// all uncensored configurations ("AVG") and the standard deviation
+// ("S.D."), in seconds.
+//
+// Expected shape (paper §4.1.3): ber is 1.5-2x faster than the average at
+// dsize=1; points beyond the 90 s threshold are excluded from the average
+// (visible in the censored-count column at the largest dims).
+#include <iostream>
+
+#include "common.hpp"
+
+using namespace wavetune;
+
+int main(int argc, char** argv) {
+  const bench::BenchContext ctx = bench::make_context(argc, argv);
+
+  for (const auto& sys : ctx.systems) {
+    util::Table table({"dsize", "dim", "tsize", "ber (s)", "AVG (s)", "S.D. (s)", "AVG/ber",
+                       "censored"});
+    const auto& results = bench::sweep_for(ctx, sys);
+    for (const int dsize : {ctx.space.dsizes.front(), ctx.space.dsizes.back()}) {
+      for (const auto& res : results) {
+        if (res.instance.dsize != dsize) continue;
+        const auto best = res.best();
+        const double ber = best ? best->rtime_ns : 0.0;
+        const double avg = res.mean_rtime_ns();
+        table.row()
+            .add(dsize)
+            .add(static_cast<long long>(res.instance.dim))
+            .add(res.instance.tsize, 0)
+            .add(bench::secs(ber))
+            .add(bench::secs(avg))
+            .add(bench::secs(res.stddev_rtime_ns()))
+            .add(ber > 0 ? avg / ber : 0.0, 2)
+            .add(res.censored_count)
+            .done();
+      }
+    }
+    bench::emit(ctx, table, "Fig. 7 [" + sys.name + "]: best exhaustive rtime vs average");
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Reproduces paper Fig. 8: violin plots of the dispersion of all
+// configurations for dim in {700, 2700} and dsize in {1, 5} on the
+// i7-2600K system (rendered as ASCII density profiles plus the summary
+// statistics a violin encodes).
+//
+// Expected shape (paper §4.1.4): for dim=700 at low tsize most points
+// cluster around the median (the best config is all-CPU, so few
+// configurations matter); for dim=2700 the violins have "flat bases" —
+// many configurations sit near the best point.
+#include <iostream>
+
+#include "common.hpp"
+#include "util/stats.hpp"
+
+using namespace wavetune;
+
+int main(int argc, char** argv) {
+  bench::BenchContext ctx = bench::make_context(argc, argv);
+  // Fig. 8 is specific to the i7-2600K.
+  ctx.systems = {sim::profile_by_name("i7-2600K")};
+  const auto& sys = ctx.systems.front();
+  const auto& results = bench::sweep_for(ctx, sys);
+
+  // The paper's two sample dims; in --fast mode fall back to the space's
+  // smallest/largest dims.
+  std::vector<std::size_t> dims{700, 2700};
+  if (ctx.fast) dims = {ctx.space.dims.front(), ctx.space.dims.back()};
+
+  util::Table table({"dim", "dsize", "tsize", "min (s)", "q1", "median", "q3", "max",
+                     "near-best <=5% (frac)"});
+  for (std::size_t dim : dims) {
+    for (const int dsize : {ctx.space.dsizes.front(), ctx.space.dsizes.back()}) {
+      for (const auto& res : results) {
+        if (res.instance.dim != dim || res.instance.dsize != dsize) continue;
+        std::vector<double> rtimes;
+        for (const auto& r : res.records) {
+          if (!r.censored) rtimes.push_back(r.rtime_ns / 1e9);
+        }
+        if (rtimes.empty()) continue;
+        const util::Summary s = util::summarize(rtimes);
+        // "Flat base" measure: fraction of configs within 5% of the best.
+        std::size_t near = 0;
+        for (double t : rtimes) {
+          if (t <= s.min * 1.05) ++near;
+        }
+        table.row()
+            .add(static_cast<long long>(dim))
+            .add(dsize)
+            .add(res.instance.tsize, 0)
+            .add(s.min, 3)
+            .add(s.q1, 3)
+            .add(s.median, 3)
+            .add(s.q3, 3)
+            .add(s.max, 3)
+            .add(static_cast<double>(near) / static_cast<double>(rtimes.size()), 3)
+            .done();
+
+        // Render one full violin per (dim, dsize) at a mid tsize.
+        const double mid_tsize = ctx.space.tsizes[ctx.space.tsizes.size() / 2];
+        if (res.instance.tsize == mid_tsize) {
+          const auto v = util::violin(rtimes, 16);
+          std::cout << "violin dim=" << dim << " dsize=" << dsize << " tsize=" << mid_tsize
+                    << " (rtime seconds; o marks the median):\n"
+                    << util::render_violin(v, 40) << '\n';
+        }
+      }
+    }
+  }
+  bench::emit(ctx, table, "Fig. 8 [i7-2600K]: dispersion of all configurations");
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Reproduces paper Fig. 9: the pruned M5 model tree that predicts halo
+// values for the i7-2600K system, with its leaf linear models. The paper's
+// observation to verify: halo depends on band and cpu-tile (they appear in
+// the linear models), while cpu-tile itself is predicted from the input
+// parameters only.
+#include <iostream>
+
+#include "autotune/cv_report.hpp"
+#include "common.hpp"
+
+using namespace wavetune;
+
+int main(int argc, char** argv) {
+  bench::BenchContext ctx = bench::make_context(argc, argv);
+  ctx.systems = {sim::profile_by_name("i7-2600K")};
+  const auto& tuner = bench::tuner_for(ctx, ctx.systems.front());
+
+  // The paper's §3.1.2 acceptance criterion on this training set.
+  const autotune::TrainingTables tables =
+      autotune::build_training(bench::sweep_for(ctx, ctx.systems.front()));
+  std::cout << "== cross-validation (paper criterion: >= 90% accurate) ==\n"
+            << autotune::cross_validate(tables).describe() << '\n';
+
+  std::cout << "== Fig. 9 [i7-2600K]: M5 pruned model tree predicting halo ==\n";
+  const std::vector<std::string> names{"dim", "tsize", "dsize", "cpu-tile", "band"};
+  std::cout << tuner.halo_model().describe(names);
+  std::cout << "\n(" << tuner.halo_model().linear_model_count()
+            << " linear model(s) at the leaves; the paper's tree had 22)\n\n";
+
+  std::cout << "== cpu-tile model (inputs only, per paper Sec. 4.1.5) ==\n"
+            << tuner.cpu_tile_model().describe({"dim", "tsize", "dsize"}) << '\n';
+  std::cout << "== band model (inputs + gpu-use) ==\n"
+            << tuner.band_model().describe({"dim", "tsize", "dsize", "gpu-use"}) << '\n';
+  std::cout << "== gpu-use REP tree ==\n"
+            << tuner.gpu_use_model().describe({"dim", "tsize", "dsize"}) << '\n';
+  return 0;
+}

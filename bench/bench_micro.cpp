@@ -1,0 +1,139 @@
+// Google-benchmark microbenchmarks for the substrate hot paths: cost-model
+// estimation throughput (the inner loop of the exhaustive search), the
+// functional executors, the thread pool, and model inference.
+#include <benchmark/benchmark.h>
+
+#include "apps/synthetic.hpp"
+#include "autotune/search.hpp"
+#include "core/executor.hpp"
+#include "cpu/thread_pool.hpp"
+#include "cpu/tiled_wavefront.hpp"
+#include "ml/m5_tree.hpp"
+#include "sim/system_profile.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace wavetune;
+
+void BM_EstimateCpuOnly(benchmark::State& state) {
+  core::HybridExecutor ex(sim::make_i7_2600k(), 1);
+  const core::InputParams in{static_cast<std::size_t>(state.range(0)), 500.0, 1};
+  const core::TunableParams p{8, -1, -1, 1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ex.estimate(in, p).rtime_ns);
+  }
+}
+BENCHMARK(BM_EstimateCpuOnly)->Arg(500)->Arg(1900)->Arg(3100);
+
+void BM_EstimateSingleGpu(benchmark::State& state) {
+  core::HybridExecutor ex(sim::make_i7_2600k(), 1);
+  const core::InputParams in{static_cast<std::size_t>(state.range(0)), 500.0, 1};
+  const core::TunableParams p{8, state.range(0) / 2, -1, 1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ex.estimate(in, p).rtime_ns);
+  }
+}
+BENCHMARK(BM_EstimateSingleGpu)->Arg(500)->Arg(1900)->Arg(3100);
+
+void BM_EstimateDualGpuHalo(benchmark::State& state) {
+  core::HybridExecutor ex(sim::make_i7_2600k(), 1);
+  const core::InputParams in{static_cast<std::size_t>(state.range(0)), 500.0, 1};
+  const core::TunableParams p{8, state.range(0) / 2, 8, 1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ex.estimate(in, p).rtime_ns);
+  }
+}
+BENCHMARK(BM_EstimateDualGpuHalo)->Arg(500)->Arg(1900)->Arg(3100);
+
+void BM_SearchInstance(benchmark::State& state) {
+  autotune::ExhaustiveSearch search(sim::make_i7_2600k(), autotune::ParamSpace::reduced());
+  const core::InputParams in{480, 1000.0, 1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(search.search_instance(in).records.size());
+  }
+}
+BENCHMARK(BM_SearchInstance);
+
+void BM_FunctionalHybridRun(benchmark::State& state) {
+  apps::SyntheticParams sp;
+  sp.dim = static_cast<std::size_t>(state.range(0));
+  sp.tsize = 50;
+  sp.dsize = 1;
+  sp.functional_iters = 4;
+  const auto spec = apps::make_synthetic_spec(sp);
+  core::HybridExecutor ex(sim::make_i7_2600k(), 0);
+  core::Grid grid(spec.dim, spec.elem_bytes);
+  const core::TunableParams p{8, static_cast<long long>(sp.dim) / 2, 2, 1};
+  for (auto _ : state) {
+    ex.run(spec, p, grid);
+    benchmark::DoNotOptimize(grid.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sp.dim * sp.dim));
+}
+BENCHMARK(BM_FunctionalHybridRun)->Arg(64)->Arg(128);
+
+void BM_ThreadPoolParallelFor(benchmark::State& state) {
+  cpu::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  std::vector<double> out(4096, 0.0);
+  for (auto _ : state) {
+    pool.parallel_for(0, out.size(), [&](std::size_t i) { out[i] += 1.0; });
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_ThreadPoolParallelFor)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_TiledWavefrontFunctional(benchmark::State& state) {
+  const std::size_t dim = 128;
+  std::vector<std::uint32_t> v(dim * dim, 0);
+  cpu::ThreadPool pool(2);
+  const cpu::TiledRegion region{dim, 0, 2 * dim - 1, static_cast<std::size_t>(state.range(0))};
+  for (auto _ : state) {
+    cpu::run_tiled_wavefront(region, pool, [&](std::size_t i, std::size_t j) {
+      const std::uint32_t w = j > 0 ? v[i * dim + j - 1] : 0;
+      const std::uint32_t n = i > 0 ? v[(i - 1) * dim + j] : 0;
+      v[i * dim + j] = (i == 0 && j == 0) ? 1 : w + n;
+    });
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(dim * dim));
+}
+BENCHMARK(BM_TiledWavefrontFunctional)->Arg(1)->Arg(8)->Arg(32);
+
+void BM_M5Predict(benchmark::State& state) {
+  ml::Dataset d({"a", "b", "c"});
+  util::Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    const double a = rng.uniform_real(0, 10);
+    const double b = rng.uniform_real(0, 10);
+    const double c = rng.uniform_real(0, 10);
+    d.add({a, b, c}, a <= 5 ? 2 * a + b : 40 - 3 * a + c);
+  }
+  const ml::M5Tree tree = ml::M5Tree::fit(d);
+  const std::vector<double> x{3.5, 2.0, 7.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.predict(x));
+  }
+}
+BENCHMARK(BM_M5Predict);
+
+void BM_JsonRoundtrip(benchmark::State& state) {
+  util::Json j = util::Json::object();
+  for (int i = 0; i < 50; ++i) {
+    util::Json row = util::Json::array();
+    for (int k = 0; k < 10; ++k) row.push_back(util::Json(i * 0.5 + k));
+    j["row" + std::to_string(i)] = std::move(row);
+  }
+  const std::string text = j.dump();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::Json::parse(text).size());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_JsonRoundtrip);
+
+}  // namespace

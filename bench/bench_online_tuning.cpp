@@ -1,0 +1,57 @@
+// Ablation: offline model vs offline + online refinement (the paper's §6
+// future work "upgrade our offline auto-tuner to tune at runtime",
+// implemented as budgeted hill-climbing from the model's prediction).
+// Reported per system over off-grid instances: how much of the gap to the
+// exhaustive best the online refinement closes, and at what probe cost.
+#include <cmath>
+#include <iostream>
+
+#include "autotune/online.hpp"
+#include "common.hpp"
+
+using namespace wavetune;
+
+int main(int argc, char** argv) {
+  const bench::BenchContext ctx = bench::make_context(argc, argv);
+
+  // Instances chosen off the training grid (between its dim/tsize knots).
+  const core::InputParams unseen[] = {
+      {620, 260.0, 2},  {620, 2600.0, 2},  {1450, 260.0, 4},
+      {1450, 2600.0, 4}, {2300, 5200.0, 1}, {860, 9800.0, 3},
+  };
+
+  util::Table table({"System", "instance", "offline (s)", "online (s)", "best (s)",
+                     "gap closed", "probes"});
+  for (const auto& sys : ctx.systems) {
+    const auto& tuner = bench::tuner_for(ctx, sys);
+    core::HybridExecutor ex(sys, 1);
+    autotune::ExhaustiveSearch search(sys, ctx.space);
+
+    for (const auto& in : unseen) {
+      const core::TunableParams seed = tuner.predict(in).params;
+      const autotune::OnlineTuneResult refined = autotune::refine_online(ex, in, seed);
+      const auto res = search.search_instance(in);
+      const auto best = res.best();
+      if (!best) continue;
+
+      const double offline = refined.seed_rtime_ns;
+      const double online = refined.rtime_ns;
+      const double gap = offline - best->rtime_ns;
+      const double closed = gap > 1e-6 ? (offline - online) / gap : 1.0;
+      table.row()
+          .add(sys.name)
+          .add("dim=" + std::to_string(in.dim) + " tsize=" + util::format_double(in.tsize, 0) +
+               " dsize=" + std::to_string(in.dsize))
+          .add(bench::secs(offline))
+          .add(bench::secs(online))
+          .add(bench::secs(best->rtime_ns))
+          .add(closed, 2)
+          .add(refined.evaluations)
+          .done();
+    }
+  }
+  bench::emit(ctx, table,
+              "Online refinement: fraction of the offline-vs-exhaustive gap closed by "
+              "budgeted runtime probing");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Reproduces paper §4.2 (Smith-Waterman): "For the fine grained
+// Smith-Waterman string compare application autotuning was trivial as the
+// band prediction were 100% accurate, i.e. do everything on the CPU. Our
+// learning model had predicted band=-1 for all tsize<100, across our
+// search space of dim<=3100."
+#include <iostream>
+
+#include "apps/seqcmp.hpp"
+#include "common.hpp"
+
+using namespace wavetune;
+
+int main(int argc, char** argv) {
+  const bench::BenchContext ctx = bench::make_context(argc, argv);
+
+  bool all_cpu = true;
+  for (const auto& sys : ctx.systems) {
+    const auto& tuner = bench::tuner_for(ctx, sys);
+    core::HybridExecutor ex(sys, 1);
+    util::Table table({"dim", "predicted band", "predicted cpu-tile", "tuned (s)",
+                       "serial (s)", "speedup"});
+    for (std::size_t dim : ctx.space.dims) {
+      const core::InputParams in = apps::seqcmp_model_inputs(dim);  // tsize=0.5, dsize=0
+      const autotune::Prediction pred = tuner.predict(in);
+      const double tuned = ex.estimate(in, pred.params).rtime_ns;
+      const double serial = ex.estimate_serial(in);
+      if (pred.params.band != -1) all_cpu = false;
+      table.row()
+          .add(static_cast<long long>(dim))
+          .add(pred.params.band)
+          .add(pred.params.cpu_tile)
+          .add(bench::secs(tuned))
+          .add(bench::secs(serial))
+          .add(serial / tuned, 2)
+          .done();
+    }
+    bench::emit(ctx, table, "Sec. 4.2 [" + sys.name + "]: Smith-Waterman autotuning");
+  }
+  std::cout << "band = -1 predicted everywhere: "
+            << (all_cpu ? "yes (matches paper)" : "NO (differs from paper)") << '\n';
+  return 0;
+}

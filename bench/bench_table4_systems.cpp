@@ -1,0 +1,30 @@
+// Reproduces paper Table 4: the three experimental systems.
+#include <iostream>
+
+#include "common.hpp"
+
+using namespace wavetune;
+
+int main(int argc, char** argv) {
+  const bench::BenchContext ctx = bench::make_context(argc, argv);
+
+  util::Table table({"System", "CPU MHz", "Cores (HT)", "Physical", "GPU", "GPU MHz", "CU",
+                     "GPUs", "PCIe GB/s"});
+  for (const auto& sys : ctx.systems) {
+    table.row()
+        .add(sys.name)
+        .add(sys.cpu.clock_mhz, 0)
+        .add(sys.cpu.hw_threads)
+        .add(sys.cpu.physical_cores)
+        .add(sys.gpus.empty() ? "-" : sys.gpu().name)
+        .add(sys.gpus.empty() ? 0.0 : sys.gpu().clock_mhz, 0)
+        .add(sys.gpus.empty() ? 0 : sys.gpu().compute_units)
+        .add(sys.gpu_count())
+        .add(sys.pcie.bandwidth_gb_s, 2)
+        .done();
+  }
+  bench::emit(ctx, table, "Table 4: experimental systems (simulated profiles)");
+
+  for (const auto& sys : ctx.systems) std::cout << sys.describe() << '\n';
+  return 0;
+}

@@ -1,0 +1,64 @@
+#include "common.hpp"
+
+#include <iostream>
+#include <map>
+
+#include "util/logging.hpp"
+
+namespace wavetune::bench {
+
+BenchContext make_context(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  BenchContext ctx;
+  ctx.fast = cli.get_bool_or("fast", false);
+  ctx.space = ctx.fast ? autotune::ParamSpace::reduced() : autotune::ParamSpace::paper_default();
+  if (const auto name = cli.get("system")) {
+    ctx.systems = {sim::profile_by_name(*name)};
+  } else {
+    ctx.systems = sim::paper_systems();
+  }
+  if (const auto csv = cli.get("csv")) ctx.csv_path = *csv;
+  if (cli.get_bool_or("verbose", false)) util::set_log_level(util::LogLevel::Info);
+  return ctx;
+}
+
+namespace {
+std::map<std::string, std::vector<autotune::InstanceResult>> g_sweeps;
+std::map<std::string, autotune::Autotuner> g_tuners;
+
+std::string cache_key(const BenchContext& ctx, const sim::SystemProfile& system) {
+  return system.name + (ctx.fast ? "#fast" : "#full");
+}
+}  // namespace
+
+const std::vector<autotune::InstanceResult>& sweep_for(const BenchContext& ctx,
+                                                       const sim::SystemProfile& system) {
+  const std::string key = cache_key(ctx, system);
+  auto it = g_sweeps.find(key);
+  if (it == g_sweeps.end()) {
+    autotune::ExhaustiveSearch search(system, ctx.space);
+    it = g_sweeps.emplace(key, search.sweep()).first;
+  }
+  return it->second;
+}
+
+const autotune::Autotuner& tuner_for(const BenchContext& ctx,
+                                     const sim::SystemProfile& system) {
+  const std::string key = cache_key(ctx, system);
+  auto it = g_tuners.find(key);
+  if (it == g_tuners.end()) {
+    autotune::TunerConfig config;  // paper defaults: stride 2, best-5
+    it = g_tuners.emplace(key, autotune::Autotuner::train(sweep_for(ctx, system), system, config))
+             .first;
+  }
+  return it->second;
+}
+
+void emit(const BenchContext& ctx, const util::Table& table, const std::string& title) {
+  std::cout << "== " << title << " ==\n" << table.to_aligned() << '\n';
+  if (ctx.csv_path) table.save_csv(*ctx.csv_path);
+}
+
+std::string secs(double ns) { return util::format_double(ns / 1e9, 3); }
+
+}  // namespace wavetune::bench

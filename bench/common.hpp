@@ -1,0 +1,48 @@
+// Shared plumbing for the figure-reproduction harnesses: the experimental
+// parameter space, per-system sweeps, tuner training, and output helpers.
+//
+// Every harness accepts:
+//   --fast            use the reduced space (quick smoke run)
+//   --system=NAME     restrict to one of i3-540 / i7-2600K / i7-3820
+//   --csv=PATH        additionally dump the printed table as CSV
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "autotune/baselines.hpp"
+#include "autotune/search.hpp"
+#include "autotune/tuner.hpp"
+#include "sim/system_profile.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace wavetune::bench {
+
+struct BenchContext {
+  autotune::ParamSpace space;
+  std::vector<sim::SystemProfile> systems;
+  bool fast = false;
+  std::optional<std::string> csv_path;
+};
+
+/// Parses the common flags and resolves the space/system selection.
+BenchContext make_context(int argc, char** argv);
+
+/// Runs (or returns the memoised) exhaustive sweep for one system.
+const std::vector<autotune::InstanceResult>& sweep_for(const BenchContext& ctx,
+                                                       const sim::SystemProfile& system);
+
+/// Trains (or returns the memoised) autotuner for one system, using the
+/// paper's regular-sampling training options.
+const autotune::Autotuner& tuner_for(const BenchContext& ctx,
+                                     const sim::SystemProfile& system);
+
+/// Prints the table (aligned) and honours --csv.
+void emit(const BenchContext& ctx, const util::Table& table, const std::string& title);
+
+/// Formats simulated nanoseconds as seconds with 3 decimals.
+std::string secs(double ns);
+
+}  // namespace wavetune::bench

@@ -1,0 +1,100 @@
+#include "apps/editdist.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+namespace wavetune::apps {
+
+namespace {
+
+EditCell read_cell(const std::byte* p) {
+  EditCell c;
+  std::memcpy(&c, p, sizeof(c));
+  return c;
+}
+
+}  // namespace
+
+core::InputParams editdist_model_inputs(std::size_t dim) {
+  // Same regime as the paper's sequence-comparison app: very fine-grained
+  // kernel, two-int payload.
+  return core::InputParams{dim, 0.5, 0};
+}
+
+core::WavefrontSpec make_editdist_spec(const EditDistParams& params) {
+  if (params.str_a.empty() || params.str_a.size() != params.str_b.size()) {
+    throw std::invalid_argument("make_editdist_spec: strings must be equal nonzero length");
+  }
+  const std::size_t dim = params.str_a.size();
+  const std::string a = params.str_a;
+  const std::string b = params.str_b;
+  const std::int32_t sub = params.substitution;
+  const std::int32_t ins = params.insertion;
+  const std::int32_t del = params.deletion;
+
+  core::WavefrontSpec spec;
+  spec.dim = dim;
+  spec.elem_bytes = sizeof(EditCell);
+  const core::InputParams model = editdist_model_inputs(dim);
+  spec.tsize = model.tsize;
+  spec.dsize = model.dsize;
+  // Grid cell (i, j) holds D(i+1, j+1); the DP's border row/column are
+  // implicit: a null neighbour on the border stands for D(i+1, 0) =
+  // (i+1)*del, D(0, j+1) = (j+1)*ins, D(0, 0) = 0.
+  spec.kernel = [a, b, sub, ins, del, dim](std::size_t i, std::size_t j, const std::byte* w,
+                                           const std::byte* n, const std::byte* nw,
+                                           std::byte* out) {
+    (void)dim;
+    const std::int32_t ii = static_cast<std::int32_t>(i);
+    const std::int32_t jj = static_cast<std::int32_t>(j);
+    const std::int32_t west = w ? read_cell(w).dist : (ii + 1) * del;
+    const std::int32_t north = n ? read_cell(n).dist : (jj + 1) * ins;
+    std::int32_t diag = 0;
+    if (nw) diag = read_cell(nw).dist;
+    else if (i == 0 && j == 0) diag = 0;
+    else if (i == 0) diag = jj * ins;
+    else diag = ii * del;
+
+    const bool match = a[i] == b[j];
+    EditCell c;
+    c.dist = std::min({diag + (match ? 0 : sub), north + del, west + ins});
+    c.match_run = match ? ((nw ? read_cell(nw).match_run : 0) + 1) : 0;
+    std::memcpy(out, &c, sizeof(c));
+  };
+  return spec;
+}
+
+EditCell editdist_cell(const core::Grid& grid, std::size_t i, std::size_t j) {
+  return read_cell(grid.cell(i, j));
+}
+
+std::int32_t editdist_result(const core::Grid& grid) {
+  const std::size_t last = grid.dim() - 1;
+  return read_cell(grid.cell(last, last)).dist;
+}
+
+std::int32_t edit_distance_reference(const EditDistParams& params) {
+  const std::size_t n = params.str_a.size();
+  if (n == 0 || params.str_b.size() != n) {
+    throw std::invalid_argument("edit_distance_reference: bad strings");
+  }
+  std::vector<std::int32_t> prev(n + 1);
+  std::vector<std::int32_t> cur(n + 1);
+  for (std::size_t j = 0; j <= n; ++j) {
+    prev[j] = static_cast<std::int32_t>(j) * params.insertion;
+  }
+  for (std::size_t i = 1; i <= n; ++i) {
+    cur[0] = static_cast<std::int32_t>(i) * params.deletion;
+    for (std::size_t j = 1; j <= n; ++j) {
+      const bool match = params.str_a[i - 1] == params.str_b[j - 1];
+      cur[j] = std::min({prev[j - 1] + (match ? 0 : params.substitution),
+                         prev[j] + params.deletion, cur[j - 1] + params.insertion});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[n];
+}
+
+}  // namespace wavetune::apps

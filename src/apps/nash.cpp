@@ -1,0 +1,134 @@
+#include "apps/nash.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace wavetune::apps {
+
+namespace {
+
+NashCell read_cell(const std::byte* p) {
+  NashCell c;
+  std::memcpy(&c, p, sizeof(c));
+  return c;
+}
+
+/// Deterministic payoff entry for strategies (a, b) at cell (i, j).
+double payoff_entry(std::uint64_t seed, std::size_t i, std::size_t j, std::size_t a,
+                    std::size_t b, bool row_player) {
+  std::uint64_t sm = seed ^ (static_cast<std::uint64_t>(i) * 0x9e3779b97f4a7c15ULL) ^
+                     (static_cast<std::uint64_t>(j) << 21) ^ (static_cast<std::uint64_t>(a) << 9) ^
+                     (static_cast<std::uint64_t>(b) << 3) ^ (row_player ? 0xabcdULL : 0x1234ULL);
+  return static_cast<double>(util::splitmix64(sm) >> 11) * 0x1.0p-53;  // [0, 1)
+}
+
+}  // namespace
+
+core::InputParams nash_model_inputs(const NashParams& params) {
+  // Paper §3.2.1: "one iteration of Nash corresponds to a tsize=750 with
+  // data granularity of dsize=4".
+  core::InputParams in;
+  in.dim = params.dim;
+  in.tsize = 750.0 * static_cast<double>(params.fp_iterations);
+  in.dsize = 4;
+  return in;
+}
+
+core::WavefrontSpec make_nash_spec(const NashParams& params) {
+  if (params.dim == 0) throw std::invalid_argument("make_nash_spec: dim == 0");
+  if (params.strategies < 2) throw std::invalid_argument("make_nash_spec: need >= 2 strategies");
+  if (params.fp_iterations == 0) {
+    throw std::invalid_argument("make_nash_spec: zero fictitious-play iterations");
+  }
+
+  const std::size_t k = params.strategies;
+  const std::size_t rounds = params.fp_iterations;
+  const std::uint64_t seed = params.seed;
+  const core::InputParams model = nash_model_inputs(params);
+
+  core::WavefrontSpec spec;
+  spec.dim = params.dim;
+  spec.elem_bytes = sizeof(NashCell);
+  spec.tsize = model.tsize;
+  spec.dsize = model.dsize;
+  spec.kernel = [k, rounds, seed](std::size_t i, std::size_t j, const std::byte* w,
+                                  const std::byte* n, const std::byte* nw, std::byte* out) {
+    // Neighbour subgame values perturb this cell's payoff matrices: the
+    // game at (i, j) is worth playing only relative to the continuation
+    // values of the already-solved subgames.
+    const NashCell cw = w ? read_cell(w) : NashCell{0, 0, 0, 0};
+    const NashCell cn = n ? read_cell(n) : NashCell{0, 0, 0, 0};
+    const NashCell cnw = nw ? read_cell(nw) : NashCell{0, 0, 0, 0};
+    const double shift_row = 0.35 * cw.value_row + 0.35 * cn.value_row + 0.3 * cnw.value_row;
+    const double shift_col = 0.35 * cw.value_col + 0.35 * cn.value_col + 0.3 * cnw.value_col;
+
+    // Build the k x k bimatrix game.
+    std::vector<double> pay_row(k * k);
+    std::vector<double> pay_col(k * k);
+    for (std::size_t a = 0; a < k; ++a) {
+      for (std::size_t b = 0; b < k; ++b) {
+        pay_row[a * k + b] = payoff_entry(seed, i, j, a, b, true) + 0.1 * shift_row;
+        pay_col[a * k + b] = payoff_entry(seed, i, j, a, b, false) + 0.1 * shift_col;
+      }
+    }
+
+    // Fictitious play: each round both players best-respond to the
+    // opponent's empirical strategy — the computationally demanding
+    // nested loop the paper's granularity parameter counts.
+    std::vector<double> count_row(k, 1.0 / static_cast<double>(k));
+    std::vector<double> count_col(k, 1.0 / static_cast<double>(k));
+    double total = 1.0;
+    for (std::size_t round = 0; round < rounds; ++round) {
+      std::size_t best_a = 0;
+      std::size_t best_b = 0;
+      double best_a_val = -1e300;
+      double best_b_val = -1e300;
+      for (std::size_t a = 0; a < k; ++a) {
+        double va = 0.0;
+        for (std::size_t b = 0; b < k; ++b) va += pay_row[a * k + b] * count_col[b];
+        if (va > best_a_val) {
+          best_a_val = va;
+          best_a = a;
+        }
+      }
+      for (std::size_t b = 0; b < k; ++b) {
+        double vb = 0.0;
+        for (std::size_t a = 0; a < k; ++a) vb += pay_col[a * k + b] * count_row[a];
+        if (vb > best_b_val) {
+          best_b_val = vb;
+          best_b = b;
+        }
+      }
+      count_row[best_a] += 1.0;
+      count_col[best_b] += 1.0;
+      total += 1.0;
+    }
+
+    // Normalise the empirical strategies and evaluate the cell.
+    NashCell result{0, 0, 0, 0};
+    for (std::size_t a = 0; a < k; ++a) count_row[a] /= total;
+    for (std::size_t b = 0; b < k; ++b) count_col[b] /= total;
+    for (std::size_t a = 0; a < k; ++a) {
+      for (std::size_t b = 0; b < k; ++b) {
+        result.value_row += count_row[a] * count_col[b] * pay_row[a * k + b];
+        result.value_col += count_row[a] * count_col[b] * pay_col[a * k + b];
+      }
+    }
+    for (std::size_t a = 0; a < k; ++a) {
+      if (count_row[a] > 0.0) result.entropy_row -= count_row[a] * std::log(count_row[a]);
+      if (count_col[a] > 0.0) result.entropy_col -= count_col[a] * std::log(count_col[a]);
+    }
+    std::memcpy(out, &result, sizeof(result));
+  };
+  return spec;
+}
+
+NashCell nash_cell(const core::Grid& grid, std::size_t i, std::size_t j) {
+  return read_cell(grid.cell(i, j));
+}
+
+}  // namespace wavetune::apps

@@ -1,0 +1,102 @@
+#include "apps/seqcmp.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace wavetune::apps {
+
+namespace {
+
+SeqCell read_cell(const std::byte* p) {
+  SeqCell c;
+  std::memcpy(&c, p, sizeof(c));
+  return c;
+}
+
+}  // namespace
+
+std::string random_dna(std::size_t n, std::uint64_t seed) {
+  static const char alphabet[] = {'A', 'C', 'G', 'T'};
+  util::Rng rng(seed);
+  std::string s(n, 'A');
+  for (std::size_t i = 0; i < n; ++i) {
+    s[i] = alphabet[rng.uniform_int(0, 3)];
+  }
+  return s;
+}
+
+core::InputParams seqcmp_model_inputs(std::size_t dim) {
+  // Paper §3.2.1: "the Biological Sequence Comparison application has
+  // tsize=0.5 and dsize=0".
+  return core::InputParams{dim, 0.5, 0};
+}
+
+core::WavefrontSpec make_seqcmp_spec(const SeqCmpParams& params) {
+  if (params.seq_a.empty() || params.seq_a.size() != params.seq_b.size()) {
+    throw std::invalid_argument("make_seqcmp_spec: sequences must be equal nonzero length");
+  }
+  const std::size_t dim = params.seq_a.size();
+  const std::string a = params.seq_a;
+  const std::string b = params.seq_b;
+  const std::int32_t match = params.match;
+  const std::int32_t mismatch = params.mismatch;
+  const std::int32_t gap = params.gap;
+
+  core::WavefrontSpec spec;
+  spec.dim = dim;
+  spec.elem_bytes = sizeof(SeqCell);
+  const core::InputParams model = seqcmp_model_inputs(dim);
+  spec.tsize = model.tsize;
+  spec.dsize = model.dsize;
+  spec.kernel = [a, b, match, mismatch, gap](std::size_t i, std::size_t j, const std::byte* w,
+                                             const std::byte* n, const std::byte* nw,
+                                             std::byte* out) {
+    const SeqCell cw = w ? read_cell(w) : SeqCell{0, 0};
+    const SeqCell cn = n ? read_cell(n) : SeqCell{0, 0};
+    const SeqCell cnw = nw ? read_cell(nw) : SeqCell{0, 0};
+    const std::int32_t sub = a[i] == b[j] ? match : mismatch;
+    SeqCell c;
+    c.score = std::max({0, cnw.score + sub, cn.score - gap, cw.score - gap});
+    c.best_seen = std::max({c.score, cw.best_seen, cn.best_seen, cnw.best_seen});
+    std::memcpy(out, &c, sizeof(c));
+  };
+  return spec;
+}
+
+SeqCell seqcmp_cell(const core::Grid& grid, std::size_t i, std::size_t j) {
+  return read_cell(grid.cell(i, j));
+}
+
+std::int32_t seqcmp_best_score(const core::Grid& grid) {
+  const std::size_t last = grid.dim() - 1;
+  return read_cell(grid.cell(last, last)).best_seen;
+}
+
+std::int32_t smith_waterman_reference(const SeqCmpParams& params) {
+  const std::size_t n = params.seq_a.size();
+  if (n == 0 || params.seq_b.size() != n) {
+    throw std::invalid_argument("smith_waterman_reference: bad sequences");
+  }
+  // H has an implicit zero row/column 0; our wavefront grid stores
+  // H(i+1, j+1) at (i, j). This reference keeps the explicit border.
+  std::vector<std::int32_t> prev(n + 1, 0);
+  std::vector<std::int32_t> cur(n + 1, 0);
+  std::int32_t best = 0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    cur[0] = 0;
+    for (std::size_t j = 1; j <= n; ++j) {
+      const std::int32_t sub =
+          params.seq_a[i - 1] == params.seq_b[j - 1] ? params.match : params.mismatch;
+      cur[j] = std::max({0, prev[j - 1] + sub, prev[j] - params.gap, cur[j - 1] - params.gap});
+      best = std::max(best, cur[j]);
+    }
+    std::swap(prev, cur);
+  }
+  return best;
+}
+
+}  // namespace wavetune::apps

@@ -1,0 +1,111 @@
+#include "apps/synthetic.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace wavetune::apps {
+
+namespace {
+
+struct View {
+  SyntheticHeader header;
+  // dsize doubles follow
+};
+
+SyntheticHeader read_header(const std::byte* p) {
+  SyntheticHeader h;
+  std::memcpy(&h, p, sizeof(h));
+  return h;
+}
+
+double read_float(const std::byte* p, int k) {
+  double v = 0.0;
+  std::memcpy(&v, p + sizeof(SyntheticHeader) + static_cast<std::size_t>(k) * sizeof(double),
+              sizeof(v));
+  return v;
+}
+
+void write_cell(std::byte* out, const SyntheticHeader& h, const std::vector<double>& floats) {
+  std::memcpy(out, &h, sizeof(h));
+  std::memcpy(out + sizeof(h), floats.data(), floats.size() * sizeof(double));
+}
+
+}  // namespace
+
+core::WavefrontSpec make_synthetic_spec(const SyntheticParams& params) {
+  if (params.dim == 0) throw std::invalid_argument("make_synthetic_spec: dim == 0");
+  if (params.dsize < 0) throw std::invalid_argument("make_synthetic_spec: negative dsize");
+
+  std::size_t iters = params.functional_iters;
+  if (iters == 0) {
+    // Keep functional runs fast: the simulated cost tracks tsize exactly,
+    // the functional work only needs to be non-trivial and deterministic.
+    iters = std::clamp<std::size_t>(static_cast<std::size_t>(params.tsize), 1, 64);
+  }
+  const int dsize = params.dsize;
+  const std::uint64_t seed = params.seed;
+
+  core::WavefrontSpec spec;
+  spec.dim = params.dim;
+  spec.elem_bytes = sizeof(SyntheticHeader) + static_cast<std::size_t>(dsize) * sizeof(double);
+  spec.tsize = params.tsize;
+  spec.dsize = dsize;
+  spec.kernel = [iters, dsize, seed](std::size_t i, std::size_t j, const std::byte* w,
+                                     const std::byte* n, const std::byte* nw, std::byte* out) {
+    SyntheticHeader h;
+    // Lattice-path recurrence: paths(i,j) = paths(i-1,j) + paths(i,j-1),
+    // borders have exactly one path. Unsigned wraparound is well defined
+    // and exactly reproducible — the test suite checks it cell-for-cell.
+    const std::uint32_t from_w = w ? read_header(w).paths : 0;
+    const std::uint32_t from_n = n ? read_header(n).paths : 0;
+    h.paths = (w || n) ? from_w + from_n : 1u;
+    h.steps = static_cast<std::uint32_t>(i + j + 1);
+
+    std::vector<double> floats(static_cast<std::size_t>(dsize));
+    for (int k = 0; k < dsize; ++k) {
+      // Deterministic per-cell source term.
+      std::uint64_t sm = seed ^ (static_cast<std::uint64_t>(i) << 32) ^
+                         static_cast<std::uint64_t>(j) ^
+                         (static_cast<std::uint64_t>(k) << 17);
+      const double source =
+          static_cast<double>(util::splitmix64(sm) >> 11) * 0x1.0p-53;  // [0,1)
+      double x = source;
+      const double wf = w ? read_float(w, k) : 0.0;
+      const double nf = n ? read_float(n, k) : 0.0;
+      const double nwf = nw ? read_float(nw, k) : 0.0;
+      // The nested mixing loop stands in for the synthetic kernel's
+      // tsize-controlled inner iteration.
+      for (std::size_t it = 0; it < iters; ++it) {
+        x = 0.4987 * x + 0.25 * wf + 0.1875 * nf + 0.0625 * nwf + 1e-6 * source;
+      }
+      floats[static_cast<std::size_t>(k)] = x;
+    }
+    write_cell(out, h, floats);
+  };
+  return spec;
+}
+
+SyntheticHeader synthetic_header(const core::Grid& grid, std::size_t i, std::size_t j) {
+  return read_header(grid.cell(i, j));
+}
+
+double synthetic_float(const core::Grid& grid, std::size_t i, std::size_t j, int k) {
+  if (k < 0) throw std::invalid_argument("synthetic_float: negative k");
+  return read_float(grid.cell(i, j), k);
+}
+
+std::uint32_t synthetic_expected_paths(std::size_t i, std::size_t j) {
+  // Independent rolling-array evaluation of C(i+j, i) mod 2^32 via the
+  // Pascal recurrence (row-by-row, no diagonal sweep).
+  std::vector<std::uint32_t> row(j + 1, 1u);
+  for (std::size_t r = 1; r <= i; ++r) {
+    for (std::size_t c = 1; c <= j; ++c) row[c] += row[c - 1];
+  }
+  return row[j];
+}
+
+}  // namespace wavetune::apps

@@ -1,0 +1,51 @@
+// The synthetic wavefront application used for training (paper §3.1).
+//
+// "The data structure for each element ... consists of two int variables
+// and a varying number of floats, controlled by dsize." The kernel does a
+// configurable number of mixing iterations over the neighbour values, so
+// instances are parameterisable across the whole (dim, tsize, dsize)
+// space — the property that lets a pattern library train its autotuner
+// without real applications.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+#include "core/grid.hpp"
+#include "core/spec.hpp"
+
+namespace wavetune::apps {
+
+struct SyntheticParams {
+  std::size_t dim = 64;
+  double tsize = 10.0;  ///< cost-model granularity (reference-core units)
+  int dsize = 1;        ///< floats per element (payload size knob)
+
+  /// Functional mixing iterations actually executed per cell. 0 derives a
+  /// small value from tsize (capped so tests stay fast); the *simulated*
+  /// cost always follows tsize regardless.
+  std::size_t functional_iters = 0;
+
+  std::uint64_t seed = 42;  ///< perturbs the per-cell source term
+};
+
+/// Element header: the two ints. dsize doubles follow in memory.
+struct SyntheticHeader {
+  std::uint32_t paths;  ///< lattice-path count (exactly checkable invariant)
+  std::uint32_t steps;  ///< diagonal index i+j+1 (exactly checkable)
+};
+
+/// Builds the type-erased spec for an instance. Element size is
+/// 8 + 8*dsize bytes, matching the paper's accounting.
+core::WavefrontSpec make_synthetic_spec(const SyntheticParams& params);
+
+/// Accessors for verification.
+SyntheticHeader synthetic_header(const core::Grid& grid, std::size_t i, std::size_t j);
+double synthetic_float(const core::Grid& grid, std::size_t i, std::size_t j, int k);
+
+/// Reference value of the `paths` field: the number of monotone lattice
+/// paths from (0,0) to (i,j), i.e. C(i+j, i) mod 2^32. Exact closed form
+/// used by correctness tests.
+std::uint32_t synthetic_expected_paths(std::size_t i, std::size_t j);
+
+}  // namespace wavetune::apps

@@ -1,0 +1,28 @@
+// The three simple execution schemes the paper compares against
+// (Fig. 6): serial CPU, all-cores CPU with no GPU phase, and entirely-GPU.
+#pragma once
+
+#include "core/executor.hpp"
+#include "core/params.hpp"
+#include "sim/system_profile.hpp"
+
+namespace wavetune::autotune {
+
+struct BaselineTimes {
+  double serial_ns = 0.0;
+  double cpu_parallel_ns = 0.0;  ///< best cpu-tile, band = -1
+  double gpu_only_ns = 0.0;      ///< band = dim-1 (whole grid), best gpu config
+  core::TunableParams cpu_parallel_params;
+  core::TunableParams gpu_only_params;
+};
+
+/// Evaluates the three simple schemes for one instance via the cost model,
+/// choosing each scheme's own best secondary knobs (cpu-tile for the CPU
+/// scheme; halo/gpu-tile for the GPU scheme).
+BaselineTimes compute_baselines(const core::HybridExecutor& executor,
+                                const core::InputParams& instance,
+                                const std::vector<int>& cpu_tiles,
+                                const std::vector<int>& gpu_tiles,
+                                const std::vector<double>& halo_fractions);
+
+}  // namespace wavetune::autotune

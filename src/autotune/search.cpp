@@ -1,0 +1,101 @@
+#include "autotune/search.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+#include "util/stats.hpp"
+
+namespace wavetune::autotune {
+
+namespace {
+
+std::optional<SearchRecord> best_of(const std::vector<SearchRecord>& records,
+                                    bool (*filter)(const SearchRecord&)) {
+  std::optional<SearchRecord> best;
+  for (const auto& r : records) {
+    if (r.censored || !filter(r)) continue;
+    if (!best || r.rtime_ns < best->rtime_ns) best = r;
+  }
+  return best;
+}
+
+}  // namespace
+
+std::optional<SearchRecord> InstanceResult::best() const {
+  return best_of(records, [](const SearchRecord&) { return true; });
+}
+
+std::optional<SearchRecord> InstanceResult::best_cpu_only() const {
+  return best_of(records, [](const SearchRecord& r) { return !r.params.uses_gpu(); });
+}
+
+std::optional<SearchRecord> InstanceResult::best_gpu() const {
+  return best_of(records, [](const SearchRecord& r) { return r.params.uses_gpu(); });
+}
+
+std::vector<SearchRecord> InstanceResult::top_k(std::size_t k) const {
+  std::vector<SearchRecord> eligible;
+  for (const auto& r : records) {
+    if (!r.censored) eligible.push_back(r);
+  }
+  std::sort(eligible.begin(), eligible.end(),
+            [](const SearchRecord& a, const SearchRecord& b) { return a.rtime_ns < b.rtime_ns; });
+  if (eligible.size() > k) eligible.resize(k);
+  return eligible;
+}
+
+double InstanceResult::mean_rtime_ns() const {
+  std::vector<double> xs;
+  for (const auto& r : records) {
+    if (!r.censored) xs.push_back(r.rtime_ns);
+  }
+  return util::mean(xs);
+}
+
+double InstanceResult::stddev_rtime_ns() const {
+  std::vector<double> xs;
+  for (const auto& r : records) {
+    if (!r.censored) xs.push_back(r.rtime_ns);
+  }
+  return util::stddev(xs);
+}
+
+ExhaustiveSearch::ExhaustiveSearch(sim::SystemProfile profile, ParamSpace space,
+                                   double threshold_seconds)
+    : profile_(std::move(profile)), space_(std::move(space)), threshold_s_(threshold_seconds),
+      executor_(profile_, /*pool_workers=*/1) {}
+
+InstanceResult ExhaustiveSearch::search_instance(const core::InputParams& instance) const {
+  InstanceResult result;
+  result.instance = instance;
+  result.serial_ns = executor_.estimate_serial(instance);
+
+  const double threshold_ns = threshold_s_ * 1e9;
+  const auto configs = space_.configs_for(instance.dim, profile_.gpu_count());
+  result.records.reserve(configs.size());
+  for (const auto& params : configs) {
+    SearchRecord rec;
+    rec.params = params;
+    rec.rtime_ns = executor_.estimate(instance, params).rtime_ns;
+    rec.censored = rec.rtime_ns > threshold_ns;
+    if (rec.censored) ++result.censored_count;
+    result.records.push_back(rec);
+  }
+  return result;
+}
+
+std::vector<InstanceResult> ExhaustiveSearch::sweep() const {
+  std::vector<InstanceResult> out;
+  const auto instances = space_.instances();
+  out.reserve(instances.size());
+  for (const auto& inst : instances) {
+    out.push_back(search_instance(inst));
+    util::log_debug("search: ", profile_.name, " ", inst.describe(), " done (",
+                    out.back().records.size(), " configs, ", out.back().censored_count,
+                    " censored)");
+  }
+  return out;
+}
+
+}  // namespace wavetune::autotune

@@ -1,0 +1,68 @@
+// Exhaustive search-space exploration (paper §3.1.1 / §4.1).
+//
+// Every configuration of the ParamSpace is evaluated through the cost
+// model (HybridExecutor::estimate); configurations whose simulated runtime
+// exceeds the 90-second threshold are recorded as censored — "any point
+// that exceeds this threshold limit is already a very bad configuration" —
+// and excluded from averages but kept for the record counts. The serial
+// baseline ignores the threshold, exactly as the paper does.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/executor.hpp"
+#include "core/params.hpp"
+#include "autotune/param_space.hpp"
+#include "sim/system_profile.hpp"
+
+namespace wavetune::autotune {
+
+struct SearchRecord {
+  core::TunableParams params;  ///< normalized configuration
+  double rtime_ns = 0.0;       ///< simulated runtime
+  bool censored = false;       ///< exceeded the runtime threshold
+};
+
+struct InstanceResult {
+  core::InputParams instance;
+  double serial_ns = 0.0;                ///< sequential baseline (never censored)
+  std::vector<SearchRecord> records;     ///< every evaluated configuration
+  std::size_t censored_count = 0;
+
+  /// Best (fastest uncensored) record; empty when all are censored.
+  std::optional<SearchRecord> best() const;
+  /// Fastest uncensored record restricted to CPU-only configurations.
+  std::optional<SearchRecord> best_cpu_only() const;
+  /// Fastest uncensored record among GPU-using configurations.
+  std::optional<SearchRecord> best_gpu() const;
+  /// The k fastest uncensored records, ascending by runtime.
+  std::vector<SearchRecord> top_k(std::size_t k) const;
+  /// Mean/SD of uncensored runtimes (the Fig. 7 "AVG"/"S.D." series).
+  double mean_rtime_ns() const;
+  double stddev_rtime_ns() const;
+};
+
+class ExhaustiveSearch {
+public:
+  ExhaustiveSearch(sim::SystemProfile profile, ParamSpace space,
+                   double threshold_seconds = 90.0);
+
+  const sim::SystemProfile& profile() const { return profile_; }
+  const ParamSpace& space() const { return space_; }
+  double threshold_seconds() const { return threshold_s_; }
+
+  /// Evaluates all configurations of one instance.
+  InstanceResult search_instance(const core::InputParams& instance) const;
+
+  /// Full sweep over the space's instances.
+  std::vector<InstanceResult> sweep() const;
+
+private:
+  sim::SystemProfile profile_;
+  ParamSpace space_;
+  double threshold_s_;
+  core::HybridExecutor executor_;
+};
+
+}  // namespace wavetune::autotune

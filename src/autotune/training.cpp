@@ -1,0 +1,57 @@
+#include "autotune/training.hpp"
+
+#include <stdexcept>
+
+namespace wavetune::autotune {
+
+TrainingTables build_training(const std::vector<InstanceResult>& results,
+                              const TrainingOptions& options) {
+  if (options.instance_stride == 0) {
+    throw std::invalid_argument("build_training: zero instance stride");
+  }
+  if (options.instance_offset >= options.instance_stride) {
+    throw std::invalid_argument("build_training: offset >= stride");
+  }
+  if (options.best_k == 0) throw std::invalid_argument("build_training: best_k == 0");
+
+  TrainingTables tables;
+  for (std::size_t idx = 0; idx < results.size(); ++idx) {
+    const InstanceResult& res = results[idx];
+    if (idx % options.instance_stride != options.instance_offset) {
+      tables.holdout.push_back(res);
+      continue;
+    }
+
+    const std::vector<double> base{static_cast<double>(res.instance.dim), res.instance.tsize,
+                                   static_cast<double>(res.instance.dsize)};
+
+    // Parallel gate: does the best tuned configuration beat sequential?
+    // gpu-use: was a GPU employed at the best point? Both are genuine
+    // binary decisions of the instance, so they are labelled once from the
+    // optimum rather than replicated across the top-k (whose tail mixes
+    // classes near the offload boundary and caps the achievable accuracy).
+    const auto best = res.best();
+    if (best) {
+      tables.parallel_gate.add(base, best->rtime_ns < res.serial_ns ? 1.0 : -1.0);
+      tables.gpu_use.add(base, best->params.uses_gpu() ? 1.0 : 0.0);
+    }
+
+    // Best-k performance points carry the per-parameter targets.
+    for (const SearchRecord& rec : res.top_k(options.best_k)) {
+      const double gpu_use = rec.params.uses_gpu() ? 1.0 : 0.0;
+      tables.cpu_tile.add(base, static_cast<double>(rec.params.cpu_tile));
+
+      std::vector<double> band_x = base;
+      band_x.push_back(gpu_use);
+      tables.band.add(band_x, static_cast<double>(rec.params.band));
+
+      std::vector<double> halo_x = base;
+      halo_x.push_back(static_cast<double>(rec.params.cpu_tile));
+      halo_x.push_back(static_cast<double>(rec.params.band));
+      tables.halo.add(halo_x, static_cast<double>(rec.params.halo));
+    }
+  }
+  return tables;
+}
+
+}  // namespace wavetune::autotune

@@ -1,0 +1,46 @@
+// Training-set generation (paper §3.1.2):
+// "firstly a subset of the problem instances (i.e., by dim, tsize and
+// dsize) are selected by regular sampling; then the best five performance
+// points for these instances (by tunable parameter values) are added to
+// the training set."
+//
+// One table per predicted target, with the dependent-feature chaining the
+// paper's learned model exhibits (§4.1.5):
+//   parallel gate : (dim, tsize, dsize)              -> +-1
+//   gpu-use       : (dim, tsize, dsize)              -> 0/1 (REP tree target)
+//   cpu-tile      : (dim, tsize, dsize)              -> cpu-tile
+//   band          : (dim, tsize, dsize, gpu-use)     -> band
+//   halo          : (dim, tsize, dsize, cpu-tile, band) -> halo
+#pragma once
+
+#include <vector>
+
+#include "autotune/search.hpp"
+#include "ml/dataset.hpp"
+
+namespace wavetune::autotune {
+
+struct TrainingOptions {
+  std::size_t instance_stride = 2;  ///< regular sampling: keep every n-th instance
+  std::size_t instance_offset = 0;  ///< sampling phase (offset < stride)
+  std::size_t best_k = 5;           ///< best performance points per instance
+};
+
+struct TrainingTables {
+  ml::Dataset parallel_gate{std::vector<std::string>{"dim", "tsize", "dsize"}};
+  ml::Dataset gpu_use{std::vector<std::string>{"dim", "tsize", "dsize"}};
+  ml::Dataset cpu_tile{std::vector<std::string>{"dim", "tsize", "dsize"}};
+  ml::Dataset band{std::vector<std::string>{"dim", "tsize", "dsize", "gpu_tile"}};
+  ml::Dataset halo{std::vector<std::string>{"dim", "tsize", "dsize", "cpu_tile", "band"}};
+
+  /// Instances *not* selected for training (the cross-validation holdout
+  /// of paper §3.1.2 — "instances of synthetic application which were
+  /// omitted from the training set").
+  std::vector<InstanceResult> holdout;
+};
+
+/// Builds the per-target training tables from exhaustive-search results.
+TrainingTables build_training(const std::vector<InstanceResult>& results,
+                              const TrainingOptions& options = {});
+
+}  // namespace wavetune::autotune

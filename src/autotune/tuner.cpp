@@ -1,0 +1,139 @@
+#include "autotune/tuner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace wavetune::autotune {
+
+Autotuner Autotuner::train(const std::vector<InstanceResult>& search_results,
+                           const sim::SystemProfile& profile, const TunerConfig& config) {
+  if (search_results.empty()) throw std::invalid_argument("Autotuner::train: no search data");
+  const TrainingTables tables = build_training(search_results, config.training);
+  if (tables.cpu_tile.empty()) {
+    throw std::invalid_argument("Autotuner::train: training tables are empty");
+  }
+
+  Autotuner tuner;
+  tuner.system_name_ = profile.name;
+  tuner.system_gpus_ = profile.gpu_count();
+  if (!tables.parallel_gate.empty()) {
+    tuner.gate_ = ml::LinearSvm::fit(tables.parallel_gate, config.svm);
+    tuner.gate_trained_ = true;
+  }
+  tuner.gpu_use_ = ml::RepTree::fit(tables.gpu_use, config.rep);
+  tuner.cpu_tile_ = ml::M5Tree::fit(tables.cpu_tile, config.m5);
+  tuner.band_ = ml::M5Tree::fit(tables.band, config.m5);
+  tuner.halo_ = ml::M5Tree::fit(tables.halo, config.m5);
+  return tuner;
+}
+
+Prediction Autotuner::predict(const core::InputParams& in) const {
+  in.validate();
+  const std::vector<double> base{static_cast<double>(in.dim), in.tsize,
+                                 static_cast<double>(in.dsize)};
+
+  Prediction pred;
+  pred.parallel = !gate_trained_ || gate_.predict(base) > 0;
+
+  // gpu-use: the binary REP-tree decision (>= 0.5 means use a GPU).
+  const double gpu_use_raw = gpu_use_.predict(base);
+  const bool use_gpu = gpu_use_raw >= 0.5 && system_gpus_ >= 1;
+
+  // cpu-tile from the inputs only (paper §4.1.5: removing the other
+  // tunables from its regression improved accuracy).
+  const double ct_raw = cpu_tile_.predict(base);
+  pred.params.cpu_tile = static_cast<int>(std::llround(std::clamp(ct_raw, 1.0, 64.0)));
+
+  if (!use_gpu) {
+    pred.params.band = -1;
+    pred.params.halo = -1;
+    pred.params.gpu_tile = 1;
+    pred.params = pred.params.normalized(in.dim);
+    return pred;
+  }
+
+  // band from the inputs plus the gpu-use decision.
+  std::vector<double> band_x = base;
+  band_x.push_back(1.0);
+  const double band_raw = band_.predict(band_x);
+  pred.params.band =
+      std::clamp<long long>(static_cast<long long>(std::llround(band_raw)), 0,
+                            static_cast<long long>(in.dim) - 1);
+
+  // halo from the inputs plus the predicted cpu-tile and band.
+  std::vector<double> halo_x = base;
+  halo_x.push_back(static_cast<double>(pred.params.cpu_tile));
+  halo_x.push_back(static_cast<double>(pred.params.band));
+  const double halo_raw = halo_.predict(halo_x);
+  if (system_gpus_ >= 2 && halo_raw >= -0.5) {
+    pred.params.halo = std::clamp<long long>(
+        static_cast<long long>(std::llround(std::max(0.0, halo_raw))), 0,
+        core::TunableParams::max_halo(in.dim, pred.params.band));
+  } else {
+    pred.params.halo = -1;  // single GPU
+  }
+  pred.params.gpu_tile = 1;  // the learned gpu-tile decision is binary
+  pred.params = pred.params.normalized(in.dim);
+  return pred;
+}
+
+std::string Autotuner::describe() const {
+  std::ostringstream out;
+  out << "Autotuner for system '" << system_name_ << "' (" << system_gpus_ << " GPU(s))\n\n";
+  out << "== parallel gate (linear SVM over dim, tsize, dsize) ==\n";
+  if (gate_trained_) {
+    out << "  margin = " << gate_.bias();
+    const std::vector<std::string> names{"dim", "tsize", "dsize"};
+    for (std::size_t c = 0; c < gate_.weights().size(); ++c) {
+      out << " + " << gate_.weights()[c] << "*" << names[c];
+    }
+    out << "\n\n";
+  } else {
+    out << "  (not trained; parallel assumed)\n\n";
+  }
+  out << "== gpu-use (REP tree) ==\n"
+      << gpu_use_.describe({"dim", "tsize", "dsize"}) << '\n';
+  out << "== cpu-tile (M5 pruned model tree) ==\n"
+      << cpu_tile_.describe({"dim", "tsize", "dsize"}) << '\n';
+  out << "== band (M5 pruned model tree) ==\n"
+      << band_.describe({"dim", "tsize", "dsize", "gpu_tile"}) << '\n';
+  out << "== halo (M5 pruned model tree) ==\n"
+      << halo_.describe({"dim", "tsize", "dsize", "cpu_tile", "band"}) << '\n';
+  return out.str();
+}
+
+util::Json Autotuner::to_json() const {
+  util::Json j = util::Json::object();
+  j["system"] = util::Json(system_name_);
+  j["system_gpus"] = util::Json(system_gpus_);
+  j["gate_trained"] = util::Json(gate_trained_);
+  if (gate_trained_) j["gate"] = gate_.to_json();
+  j["gpu_use"] = gpu_use_.to_json();
+  j["cpu_tile"] = cpu_tile_.to_json();
+  j["band"] = band_.to_json();
+  j["halo"] = halo_.to_json();
+  return j;
+}
+
+Autotuner Autotuner::from_json(const util::Json& j) {
+  Autotuner t;
+  t.system_name_ = j.at("system").as_string();
+  t.system_gpus_ = static_cast<int>(j.at("system_gpus").as_int());
+  t.gate_trained_ = j.at("gate_trained").as_bool();
+  if (t.gate_trained_) t.gate_ = ml::LinearSvm::from_json(j.at("gate"));
+  t.gpu_use_ = ml::RepTree::from_json(j.at("gpu_use"));
+  t.cpu_tile_ = ml::M5Tree::from_json(j.at("cpu_tile"));
+  t.band_ = ml::M5Tree::from_json(j.at("band"));
+  t.halo_ = ml::M5Tree::from_json(j.at("halo"));
+  return t;
+}
+
+void Autotuner::save(const std::string& path) const { to_json().save_file(path); }
+
+Autotuner Autotuner::load(const std::string& path) {
+  return from_json(util::Json::load_file(path));
+}
+
+}  // namespace wavetune::autotune

@@ -1,0 +1,99 @@
+// The machine-learned autotuner (paper §3.1.2 / §4.1.5 / §4.2).
+//
+// Prediction pipeline, mirroring the paper's learned-model structure:
+//   1. a binary linear SVM decides whether to exploit parallelism at all;
+//   2. a REP tree predicts the (binary) gpu-use decision — the paper's
+//      observation that "gpu-tile values corresponded to either 1 or 0";
+//   3. an M5 model tree predicts cpu-tile from the input parameters only;
+//   4. an M5 model tree predicts band from the inputs plus gpu-use;
+//   5. an M5 model tree predicts halo from the inputs plus the predicted
+//      cpu-tile and band (Fig. 9: "halo depends on band and cpu-tile").
+//
+// Trained "in the factory", once per system profile.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "autotune/search.hpp"
+#include "autotune/training.hpp"
+#include "ml/m5_tree.hpp"
+#include "ml/rep_tree.hpp"
+#include "ml/svm.hpp"
+#include "sim/system_profile.hpp"
+
+namespace wavetune::autotune {
+
+struct TunerConfig {
+  TrainingOptions training;
+  ml::M5Config m5;
+  ml::RepTreeConfig rep;
+  ml::SvmConfig svm;
+
+  /// Defaults reproduce the paper's model-selection outcome ("we explored
+  /// different configurations of the learning model to obtain test
+  /// results that were at least 90% accurate"): small leaves and no M5
+  /// smoothing score best under cross-validation on this space.
+  TunerConfig() {
+    m5.min_leaf = 2;
+    m5.smooth = false;
+    // The binary gpu-use labels are one noise-free point per instance
+    // (deterministic cost model), so the REP tree grows fully: fitting
+    // them exactly is fitting the true offload boundary at grid
+    // resolution.
+    rep.min_leaf = 1;
+    rep.prune = false;
+  }
+};
+
+/// One prediction: whether to parallelise, and with what tuning.
+struct Prediction {
+  bool parallel = true;
+  core::TunableParams params;
+};
+
+class Autotuner {
+public:
+  Autotuner() = default;
+
+  /// Trains all five models from exhaustive-search results of the
+  /// synthetic application on `profile`.
+  static Autotuner train(const std::vector<InstanceResult>& search_results,
+                         const sim::SystemProfile& profile, const TunerConfig& config = {});
+
+  /// Predicts tuned parameters for an unseen instance. Predictions are
+  /// normalized for the instance's dim and clamped to the system's GPU
+  /// count.
+  Prediction predict(const core::InputParams& in) const;
+
+  /// System this tuner was trained for.
+  const std::string& system_name() const { return system_name_; }
+  int system_gpus() const { return system_gpus_; }
+
+  /// The Fig. 9 artefact: the pruned M5 model tree predicting halo.
+  const ml::M5Tree& halo_model() const { return halo_; }
+  const ml::M5Tree& band_model() const { return band_; }
+  const ml::M5Tree& cpu_tile_model() const { return cpu_tile_; }
+  const ml::RepTree& gpu_use_model() const { return gpu_use_; }
+  const ml::LinearSvm& gate_model() const { return gate_; }
+
+  /// Human-readable dump of all models.
+  std::string describe() const;
+
+  util::Json to_json() const;
+  static Autotuner from_json(const util::Json& j);
+  void save(const std::string& path) const;
+  static Autotuner load(const std::string& path);
+
+private:
+  std::string system_name_;
+  int system_gpus_ = 0;
+  bool gate_trained_ = false;
+  ml::LinearSvm gate_;
+  ml::RepTree gpu_use_;
+  ml::M5Tree cpu_tile_;
+  ml::M5Tree band_;
+  ml::M5Tree halo_;
+};
+
+}  // namespace wavetune::autotune

@@ -1,0 +1,53 @@
+// Diagonal geometry of a dim x dim wavefront grid.
+//
+// Diagonal d (0-based) contains the cells (i, j) with i + j == d.
+// There are 2*dim - 1 diagonals; the main (longest) diagonal is d = dim-1.
+// These helpers are the single source of truth for index arithmetic across
+// the CPU executor, the GPU partitioner and the cost model.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+namespace wavetune::core {
+
+/// Total number of diagonals of a dim x dim grid.
+constexpr std::size_t num_diagonals(std::size_t dim) { return dim == 0 ? 0 : 2 * dim - 1; }
+
+/// Index of the main (longest) diagonal.
+constexpr std::size_t main_diagonal(std::size_t dim) { return dim == 0 ? 0 : dim - 1; }
+
+/// Number of cells on diagonal d (0 if d is out of range).
+constexpr std::size_t diag_len(std::size_t dim, std::size_t d) {
+  if (dim == 0 || d >= num_diagonals(dim)) return 0;
+  return std::min({d + 1, dim, 2 * dim - 1 - d});
+}
+
+/// Smallest row index i on diagonal d.
+constexpr std::size_t diag_row_lo(std::size_t dim, std::size_t d) {
+  return d >= dim ? d - dim + 1 : 0;
+}
+
+/// Largest row index i on diagonal d (inclusive). Requires d in range.
+constexpr std::size_t diag_row_hi(std::size_t dim, std::size_t d) {
+  return std::min(d, dim - 1);
+}
+
+/// Number of cells on diagonal d with row index in [row_begin, row_end).
+constexpr std::size_t diag_rows_in(std::size_t dim, std::size_t d, std::size_t row_begin,
+                                   std::size_t row_end) {
+  if (diag_len(dim, d) == 0 || row_begin >= row_end) return 0;
+  const std::size_t lo = std::max(diag_row_lo(dim, d), row_begin);
+  const std::size_t hi_excl = std::min(diag_row_hi(dim, d) + 1, row_end);
+  return hi_excl > lo ? hi_excl - lo : 0;
+}
+
+/// Total cells over diagonals [d_begin, d_end).
+constexpr std::size_t cells_in_diag_range(std::size_t dim, std::size_t d_begin,
+                                          std::size_t d_end) {
+  std::size_t n = 0;
+  for (std::size_t d = d_begin; d < d_end; ++d) n += diag_len(dim, d);
+  return n;
+}
+
+}  // namespace wavetune::core

@@ -1,0 +1,423 @@
+#include "core/executor.hpp"
+
+#include <algorithm>
+#include <climits>
+#include <cstring>
+#include <stdexcept>
+
+#include "cpu/tiled_wavefront.hpp"
+#include "ocl/context.hpp"
+
+namespace wavetune::core {
+
+namespace {
+
+/// Sentinels for the dual-GPU validity frontier (see gpu_phase_dual).
+constexpr long long kValidAll = LLONG_MIN / 4;   ///< every existing row valid
+constexpr long long kValidNone = LLONG_MAX / 4;  ///< no row valid
+
+long long ll(std::size_t v) { return static_cast<long long>(v); }
+
+}  // namespace
+
+/// Run-mode state: the spec and host grid, plus one full-grid-shaped
+/// device buffer per GPU. Device buffers are poison-filled so that any
+/// read of a cell the schedule never transferred or computed produces
+/// loudly-wrong values instead of accidentally-correct zeros.
+struct HybridExecutor::FunctionalCtx {
+  const WavefrontSpec* spec = nullptr;
+  Grid* host = nullptr;
+  std::vector<ocl::Buffer> dev;
+  cpu::ThreadPool* pool = nullptr;
+
+  std::size_t real_elem() const { return spec->elem_bytes; }
+  std::size_t real_offset(std::size_t i, std::size_t j) const {
+    return (i * spec->dim + j) * spec->elem_bytes;
+  }
+
+  /// Computes cell (i, j) into `storage` (a full-grid-shaped byte array),
+  /// reading neighbours from the same storage.
+  void compute_cell(std::byte* storage, std::size_t i, std::size_t j) const {
+    const std::byte* w = j > 0 ? storage + real_offset(i, j - 1) : nullptr;
+    const std::byte* n = i > 0 ? storage + real_offset(i - 1, j) : nullptr;
+    const std::byte* nw = (i > 0 && j > 0) ? storage + real_offset(i - 1, j - 1) : nullptr;
+    spec->kernel(i, j, w, n, nw, storage + real_offset(i, j));
+  }
+
+  /// Copies the cells of diagonals [d_begin, d_end) with rows in
+  /// [row_begin, row_end) from `src` to `dst` (both full-grid-shaped).
+  void copy_diag_rows(const std::byte* src, std::byte* dst, std::size_t d_begin,
+                      std::size_t d_end, std::size_t row_begin, std::size_t row_end) const {
+    const std::size_t dim = spec->dim;
+    for (std::size_t d = d_begin; d < d_end; ++d) {
+      if (diag_len(dim, d) == 0) continue;
+      const std::size_t lo = std::max(diag_row_lo(dim, d), row_begin);
+      const std::size_t hi = std::min(diag_row_hi(dim, d) + 1, row_end);
+      for (std::size_t i = lo; i < hi; ++i) {
+        const std::size_t j = d - i;
+        std::memcpy(dst + real_offset(i, j), src + real_offset(i, j), real_elem());
+      }
+    }
+  }
+};
+
+HybridExecutor::HybridExecutor(sim::SystemProfile profile, std::size_t pool_workers)
+    : profile_(std::move(profile)), pool_(pool_workers) {}
+
+RunResult HybridExecutor::run(const WavefrontSpec& spec, const TunableParams& params,
+                              Grid& grid, ocl::Trace* trace) {
+  spec.validate();
+  if (grid.dim() != spec.dim || grid.elem_bytes() != spec.elem_bytes) {
+    throw std::invalid_argument("HybridExecutor::run: grid does not match spec");
+  }
+  FunctionalCtx fctx;
+  fctx.spec = &spec;
+  fctx.host = &grid;
+  fctx.pool = &pool_;
+  return execute(spec.inputs(), params, &fctx, trace);
+}
+
+RunResult HybridExecutor::estimate(const InputParams& in, const TunableParams& params,
+                                   ocl::Trace* trace) const {
+  in.validate();
+  return execute(in, params, nullptr, trace);
+}
+
+RunResult HybridExecutor::run_serial(const WavefrontSpec& spec, Grid& grid) const {
+  spec.validate();
+  if (grid.dim() != spec.dim || grid.elem_bytes() != spec.elem_bytes) {
+    throw std::invalid_argument("HybridExecutor::run_serial: grid does not match spec");
+  }
+  cpu::TiledRegion region{spec.dim, 0, num_diagonals(spec.dim), 1};
+  cpu::run_serial_wavefront(region, [&](std::size_t i, std::size_t j) {
+    const std::byte* w = j > 0 ? grid.cell(i, j - 1) : nullptr;
+    const std::byte* n = i > 0 ? grid.cell(i - 1, j) : nullptr;
+    const std::byte* nw = (i > 0 && j > 0) ? grid.cell(i - 1, j - 1) : nullptr;
+    spec.kernel(i, j, w, n, nw, grid.cell(i, j));
+  });
+  RunResult r;
+  r.params = TunableParams{1, -1, -1, 1};
+  const InputParams in = spec.inputs();
+  r.breakdown.phase1_ns = estimate_serial(in);
+  r.rtime_ns = r.breakdown.total_ns();
+  return r;
+}
+
+double HybridExecutor::estimate_serial(const InputParams& in) const {
+  in.validate();
+  cpu::TiledRegion region{in.dim, 0, num_diagonals(in.dim), 1};
+  return cpu::serial_wavefront_cost_ns(region, profile_.cpu, in.tsize, in.elem_bytes());
+}
+
+RunResult HybridExecutor::execute(const InputParams& in, const TunableParams& raw,
+                                  FunctionalCtx* fctx, ocl::Trace* trace) const {
+  const TunableParams p = raw.normalized(in.dim);
+  if (p.gpu_count() > profile_.gpu_count()) {
+    throw std::invalid_argument("HybridExecutor: tuning requests " +
+                                std::to_string(p.gpu_count()) + " GPU(s) but system '" +
+                                profile_.name + "' has " +
+                                std::to_string(profile_.gpu_count()));
+  }
+
+  const std::size_t dim = in.dim;
+  const std::size_t d_total = num_diagonals(dim);
+  const std::size_t d0 = p.uses_gpu() ? p.gpu_d_begin(dim) : d_total;
+  const std::size_t d1 = p.uses_gpu() ? p.gpu_d_end(dim) : d_total;
+  const auto tile = static_cast<std::size_t>(p.cpu_tile);
+
+  RunResult result;
+  result.params = p;
+
+  auto host_cell = [&](std::size_t i, std::size_t j) {
+    Grid& g = *fctx->host;
+    const std::byte* w = j > 0 ? g.cell(i, j - 1) : nullptr;
+    const std::byte* n = i > 0 ? g.cell(i - 1, j) : nullptr;
+    const std::byte* nw = (i > 0 && j > 0) ? g.cell(i - 1, j - 1) : nullptr;
+    fctx->spec->kernel(i, j, w, n, nw, g.cell(i, j));
+  };
+
+  // Phase 1: CPU before the band (the whole grid when band == -1).
+  {
+    cpu::TiledRegion region{dim, 0, d0, tile};
+    result.breakdown.phase1_ns =
+        cpu::tiled_wavefront_cost_ns(region, profile_.cpu, in.tsize, in.elem_bytes());
+    if (fctx) cpu::run_tiled_wavefront(region, *fctx->pool, host_cell);
+  }
+
+  // Phase 2: GPU band.
+  if (p.uses_gpu() && d0 < d1) {
+    gpu_phase(in, p, fctx, trace, result.breakdown);
+  }
+
+  // Phase 3: CPU after the band.
+  if (d1 < d_total) {
+    cpu::TiledRegion region{dim, d1, d_total, tile};
+    result.breakdown.phase3_ns =
+        cpu::tiled_wavefront_cost_ns(region, profile_.cpu, in.tsize, in.elem_bytes());
+    if (fctx) cpu::run_tiled_wavefront(region, *fctx->pool, host_cell);
+  }
+
+  result.rtime_ns = result.breakdown.total_ns();
+  return result;
+}
+
+void HybridExecutor::gpu_phase(const InputParams& in, const TunableParams& p,
+                               FunctionalCtx* fctx, ocl::Trace* trace,
+                               PhaseBreakdown& out) const {
+  if (fctx) {
+    // One full-grid-shaped, poison-filled buffer per device in use.
+    fctx->dev.clear();
+    const std::size_t bytes = in.dim * in.dim * fctx->spec->elem_bytes;
+    for (int g = 0; g < p.gpu_count(); ++g) {
+      fctx->dev.emplace_back(bytes);
+      fctx->dev.back().fill(Grid::kPoison);
+    }
+  }
+  if (p.gpu_count() >= 2) {
+    gpu_phase_multi(in, p, p.gpu_count(), fctx, trace, out);
+  } else {
+    gpu_phase_single(in, p, fctx, trace, out);
+  }
+}
+
+void HybridExecutor::gpu_phase_single(const InputParams& in, const TunableParams& p,
+                                      FunctionalCtx* fctx, ocl::Trace* trace,
+                                      PhaseBreakdown& out) const {
+  const std::size_t dim = in.dim;
+  const std::size_t esize = in.elem_bytes();
+  const std::size_t d0 = p.gpu_d_begin(dim);
+  const std::size_t d1 = p.gpu_d_end(dim);
+  const std::size_t frontier_lo = d0 >= 2 ? d0 - 2 : 0;
+
+  ocl::Context ctx(profile_);
+  if (trace) ctx.attach_trace(trace);
+  ocl::Device& dev = ctx.device(0);
+
+  // Bulk transfer in: band-region input data plus the two frontier
+  // diagonals the first band diagonals depend on ("data is transferred
+  // from/to CPU only twice" — paper §2.1).
+  const std::size_t cells_region = cells_in_diag_range(dim, d0, d1);
+  const std::size_t cells_front = cells_in_diag_range(dim, frontier_lo, d0);
+  const std::size_t bytes_in = (cells_region + cells_front) * esize;
+  dev.charge_write(bytes_in);
+  out.transfer_in_ns = ctx.pcie_model().transfer_ns(bytes_in);
+  if (fctx) {
+    fctx->copy_diag_rows(fctx->host->data(), fctx->dev[0].data(), frontier_lo, d1, 0, dim);
+  }
+
+  if (!p.gpu_tiled()) {
+    // Untiled: one kernel per diagonal (paper Fig. 2).
+    for (std::size_t d = d0; d < d1; ++d) {
+      const std::size_t len = diag_len(dim, d);
+      if (len == 0) continue;
+      ocl::LaunchShape shape;
+      shape.items = len;
+      shape.tsize_units = in.tsize;
+      shape.bytes_per_item = esize;
+      dev.charge_kernel(shape);
+      ++out.kernel_launches;
+      if (fctx) {
+        std::byte* storage = fctx->dev[0].data();
+        const std::size_t lo = diag_row_lo(dim, d);
+        const std::size_t hi = diag_row_hi(dim, d);
+        for (std::size_t i = lo; i <= hi; ++i) fctx->compute_cell(storage, i, d - i);
+      }
+    }
+  } else {
+    // Tiled: one kernel per tile-diagonal; work-groups are g x g tiles
+    // whose work-items run an intra-tile wavefront with barriers.
+    const auto g = static_cast<std::size_t>(p.gpu_tile);
+    const std::size_t Mg = (dim + g - 1) / g;
+    for (std::size_t k = 0; k < 2 * Mg - 1; ++k) {
+      const std::size_t span_lo = k * g;
+      const std::size_t span_hi = (k + 2) * g - 2;  // inclusive
+      if (span_lo >= d1 || span_hi < d0) continue;
+      ocl::LaunchShape shape;
+      shape.groups = std::min({k + 1, Mg, 2 * Mg - 1 - k});
+      shape.serial_steps = 2 * g - 1;
+      shape.syncs = 2 * g - 1;
+      shape.tsize_units = in.tsize;
+      shape.bytes_per_item = esize;
+      shape.items = shape.groups * g * g;
+      dev.charge_kernel(shape);
+      ++out.kernel_launches;
+      if (fctx) {
+        std::byte* storage = fctx->dev[0].data();
+        const std::size_t i_tile_lo = k >= Mg ? k - Mg + 1 : 0;
+        const std::size_t i_tile_hi = std::min(k, Mg - 1);
+        for (std::size_t I = i_tile_lo; I <= i_tile_hi; ++I) {
+          const std::size_t J = k - I;
+          const std::size_t row_hi = std::min((I + 1) * g, dim);
+          const std::size_t col_hi = std::min((J + 1) * g, dim);
+          for (std::size_t i = I * g; i < row_hi; ++i) {
+            for (std::size_t j = J * g; j < col_hi; ++j) {
+              const std::size_t d = i + j;
+              if (d >= d0 && d < d1) fctx->compute_cell(storage, i, j);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Bulk transfer out: the computed band region back to the host.
+  const std::size_t bytes_out = cells_region * esize;
+  dev.charge_read(bytes_out);
+  out.transfer_out_ns = ctx.pcie_model().transfer_ns(bytes_out);
+  if (fctx) {
+    fctx->copy_diag_rows(fctx->dev[0].data(), fctx->host->data(), d0, d1, 0, dim);
+  }
+
+  out.gpu_ns = ctx.finish_time();
+}
+
+void HybridExecutor::gpu_phase_multi(const InputParams& in, const TunableParams& p,
+                                     int n_gpus, FunctionalCtx* fctx, ocl::Trace* trace,
+                                     PhaseBreakdown& out) const {
+  const std::size_t dim = in.dim;
+  const std::size_t esize = in.elem_bytes();
+  const std::size_t d0 = p.gpu_d_begin(dim);
+  const std::size_t d1 = p.gpu_d_end(dim);
+  const std::size_t frontier_lo = d0 >= 2 ? d0 - 2 : 0;
+  const auto n = static_cast<std::size_t>(n_gpus);
+  const long long h = p.halo;  // redundancy depth (>= 0)
+
+  // Fixed row split: device g owns rows [split[g], split[g+1]).
+  std::vector<long long> split(n + 1);
+  for (std::size_t g = 0; g <= n; ++g) {
+    split[g] = static_cast<long long>(dim * g / n);
+  }
+  // Per-device wedge floor: the initial transfer / every swap across
+  // boundary split[g] delivers rows >= wedge_lo[g].
+  std::vector<long long> wedge_lo(n, 0);
+  for (std::size_t g = 1; g < n; ++g) wedge_lo[g] = std::max(0LL, split[g] - h - 1);
+
+  ocl::Context ctx(profile_);
+  if (trace) ctx.attach_trace(trace);
+
+  // Initial transfers: device g gets rows [wedge_lo[g], split[g+1]) of the
+  // frontier + region (its own band plus the initial halo wedge).
+  for (std::size_t g = 0; g < n; ++g) {
+    std::size_t cells_in = 0;
+    for (std::size_t d = frontier_lo; d < d1; ++d) {
+      cells_in += diag_rows_in(dim, d, static_cast<std::size_t>(wedge_lo[g]),
+                               static_cast<std::size_t>(split[g + 1]));
+    }
+    ctx.device(g).charge_write(cells_in * esize);
+    out.transfer_in_ns += ctx.pcie_model().transfer_ns(cells_in * esize);
+    if (fctx) {
+      fctx->copy_diag_rows(fctx->host->data(), fctx->dev[g].data(), frontier_lo, d1,
+                           static_cast<std::size_t>(wedge_lo[g]),
+                           static_cast<std::size_t>(split[g + 1]));
+    }
+  }
+
+  // Validity frontier of each device's copy on the previous two
+  // diagonals: the lowest row whose value is current.
+  auto frontier_v = [&](std::size_t g, long long d) -> long long {
+    if (g == 0) return kValidAll;  // device 0 needs nothing from upstream
+    if (d < ll(frontier_lo) || d < 0) return kValidAll;
+    return wedge_lo[g] <= ll(diag_row_lo(dim, static_cast<std::size_t>(d))) ? kValidAll
+                                                                            : wedge_lo[g];
+  };
+  std::vector<long long> v_dm1(n);
+  std::vector<long long> v_dm2(n);
+  for (std::size_t g = 0; g < n; ++g) {
+    v_dm1[g] = frontier_v(g, ll(d0) - 1);
+    v_dm2[g] = frontier_v(g, ll(d0) - 2);
+  }
+
+  for (std::size_t d = d0; d < d1; ++d) {
+    const long long i_lo = ll(diag_row_lo(dim, d));
+    const long long i_hi = ll(diag_row_hi(dim, d));
+
+    // Plan each device's row range; fire the chained halo swaps first so
+    // their transfers precede this diagonal's kernels on the timelines.
+    std::vector<bool> active(n, false);
+    std::vector<long long> compute_lo(n, 0);
+    std::vector<long long> compute_hi(n, -1);
+    for (std::size_t g = 0; g < n; ++g) {
+      const long long own_lo = std::max(split[g], i_lo);
+      const long long own_hi = std::min(split[g + 1] - 1, i_hi);
+      compute_hi[g] = own_hi;
+      if (own_lo > own_hi) continue;  // no owned cells on this diagonal
+      active[g] = true;
+      long long can_lo = std::max({std::max(v_dm1[g], v_dm2[g]) + 1, i_lo});
+      if (can_lo > own_lo) {
+        // Halo swap: device g-1 -> host -> device g, strips
+        // [wedge_lo[g], split[g]) of the two previous diagonals
+        // (paper Fig. 3, chained across every internal boundary).
+        std::size_t strip_cells = 0;
+        for (long long pd = ll(d) - 2; pd <= ll(d) - 1; ++pd) {
+          if (pd < 0) continue;
+          strip_cells += diag_rows_in(dim, static_cast<std::size_t>(pd),
+                                      static_cast<std::size_t>(wedge_lo[g]),
+                                      static_cast<std::size_t>(split[g]));
+        }
+        const std::size_t bytes = strip_cells * esize;
+        ctx.device(g - 1).charge_copy_to(ctx.device(g), bytes);
+        out.swap_ns += 2.0 * ctx.pcie_model().transfer_ns(bytes);
+        ++out.swap_count;
+        if (fctx) {
+          for (long long pd = ll(d) - 2; pd <= ll(d) - 1; ++pd) {
+            if (pd < 0) continue;
+            fctx->copy_diag_rows(fctx->dev[g - 1].data(), fctx->dev[g].data(),
+                                 static_cast<std::size_t>(pd),
+                                 static_cast<std::size_t>(pd) + 1,
+                                 static_cast<std::size_t>(wedge_lo[g]),
+                                 static_cast<std::size_t>(split[g]));
+          }
+        }
+        v_dm1[g] = std::min(v_dm1[g], wedge_lo[g]);
+        v_dm2[g] = std::min(v_dm2[g], wedge_lo[g]);
+        can_lo = std::max({std::max(v_dm1[g], v_dm2[g]) + 1, i_lo});
+      }
+      compute_lo[g] = can_lo;
+      out.redundant_cells += static_cast<std::size_t>(std::max(0LL, own_lo - can_lo));
+    }
+
+    // Launch this diagonal's kernels (devices run concurrently).
+    for (std::size_t g = 0; g < n; ++g) {
+      if (!active[g]) {
+        v_dm2[g] = v_dm1[g];
+        v_dm1[g] = kValidNone;  // computed nothing: its copy of d is stale
+        continue;
+      }
+      ocl::LaunchShape shape;
+      shape.items = static_cast<std::size_t>(compute_hi[g] - compute_lo[g] + 1);
+      shape.tsize_units = in.tsize;
+      shape.bytes_per_item = esize;
+      ctx.device(g).charge_kernel(shape);
+      ++out.kernel_launches;
+      if (fctx) {
+        std::byte* storage = fctx->dev[g].data();
+        for (long long i = compute_lo[g]; i <= compute_hi[g]; ++i) {
+          fctx->compute_cell(storage, static_cast<std::size_t>(i),
+                             d - static_cast<std::size_t>(i));
+        }
+      }
+      v_dm2[g] = v_dm1[g];
+      v_dm1[g] = compute_lo[g] <= i_lo ? kValidAll : compute_lo[g];
+    }
+  }
+
+  // Bulk transfers out: each device returns its owned region cells.
+  for (std::size_t g = 0; g < n; ++g) {
+    std::size_t cells_out = 0;
+    for (std::size_t d = d0; d < d1; ++d) {
+      cells_out += diag_rows_in(dim, d, static_cast<std::size_t>(split[g]),
+                                static_cast<std::size_t>(split[g + 1]));
+    }
+    ctx.device(g).charge_read(cells_out * esize);
+    out.transfer_out_ns += ctx.pcie_model().transfer_ns(cells_out * esize);
+    if (fctx) {
+      fctx->copy_diag_rows(fctx->dev[g].data(), fctx->host->data(), d0, d1,
+                           static_cast<std::size_t>(split[g]),
+                           static_cast<std::size_t>(split[g + 1]));
+    }
+  }
+
+  out.gpu_ns = ctx.finish_time();
+}
+
+}  // namespace wavetune::core

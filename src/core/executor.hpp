@@ -1,0 +1,101 @@
+// The hybrid three-phase wavefront executor — the paper's §2 strategy.
+//
+//   Phase 1 (CPU): diagonals [0, d0) tiled-parallel across the cores.
+//   Phase 2 (GPU): diagonals [d0, d1) — the band of 2*band+1 diagonals
+//                  centred on the main diagonal — on 1 or 2 simulated GPUs,
+//                  untiled (one kernel per diagonal) or tiled (work-groups
+//                  of gpu_tile x gpu_tile cells, one kernel per
+//                  tile-diagonal). Dual-GPU schedules split each diagonal
+//                  at the fixed row s = dim/2 and exchange halo strips
+//                  through host memory every halo+1 diagonals.
+//   Phase 3 (CPU): diagonals [d1, 2*dim-1) tiled-parallel.
+//
+// run() executes the computation functionally (real values, real threads
+// for the CPU phases) while charging simulated time; estimate() walks the
+// identical schedule charging time only. Both produce the same simulated
+// rtime by construction — a property the test suite checks.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "core/grid.hpp"
+#include "core/params.hpp"
+#include "core/spec.hpp"
+#include "cpu/thread_pool.hpp"
+#include "sim/system_profile.hpp"
+
+namespace wavetune::ocl {
+class Trace;
+}
+
+namespace wavetune::core {
+
+/// Simulated-time accounting of one execution.
+struct PhaseBreakdown {
+  double phase1_ns = 0.0;  ///< CPU tiled phase before the band
+  double gpu_ns = 0.0;     ///< whole GPU phase (transfers + kernels + swaps)
+  double phase3_ns = 0.0;  ///< CPU tiled phase after the band
+
+  // Informational detail of the GPU phase (already included in gpu_ns):
+  double transfer_in_ns = 0.0;
+  double transfer_out_ns = 0.0;
+  double swap_ns = 0.0;
+  std::size_t kernel_launches = 0;
+  std::size_t swap_count = 0;
+  std::size_t redundant_cells = 0;  ///< halo cells computed twice
+
+  double total_ns() const { return phase1_ns + gpu_ns + phase3_ns; }
+};
+
+struct RunResult {
+  PhaseBreakdown breakdown;
+  double rtime_ns = 0.0;        ///< == breakdown.total_ns()
+  TunableParams params;         ///< normalized parameters actually executed
+};
+
+class HybridExecutor {
+public:
+  /// `pool_workers == 0` sizes the pool from hardware_concurrency.
+  explicit HybridExecutor(sim::SystemProfile profile, std::size_t pool_workers = 0);
+
+  const sim::SystemProfile& profile() const { return profile_; }
+
+  /// Functionally computes every cell of `grid` (whose dimensions must
+  /// match the spec) under the given tuning, and returns the simulated
+  /// timing. Throws std::invalid_argument on spec/grid mismatch or if the
+  /// tuning requests more GPUs than the profile has. A non-null `trace`
+  /// receives every GPU-phase command (see ocl/trace.hpp).
+  RunResult run(const WavefrontSpec& spec, const TunableParams& params, Grid& grid,
+                ocl::Trace* trace = nullptr);
+
+  /// Simulated timing of the same schedule, without functional execution.
+  RunResult estimate(const InputParams& in, const TunableParams& params,
+                     ocl::Trace* trace = nullptr) const;
+
+  /// Optimized sequential baseline: functional + simulated timing.
+  RunResult run_serial(const WavefrontSpec& spec, Grid& grid) const;
+
+  /// Simulated time of the sequential baseline.
+  double estimate_serial(const InputParams& in) const;
+
+private:
+  sim::SystemProfile profile_;
+  mutable cpu::ThreadPool pool_;
+
+  struct FunctionalCtx;  // run-mode state (spec, host grid, device buffers)
+
+  RunResult execute(const InputParams& in, const TunableParams& params, FunctionalCtx* fctx,
+                    ocl::Trace* trace) const;
+
+  void gpu_phase(const InputParams& in, const TunableParams& p, FunctionalCtx* fctx,
+                 ocl::Trace* trace, PhaseBreakdown& out) const;
+  void gpu_phase_single(const InputParams& in, const TunableParams& p, FunctionalCtx* fctx,
+                        ocl::Trace* trace, PhaseBreakdown& out) const;
+  /// N-way row split (N >= 2) with chained halo exchanges; N == 2 is the
+  /// paper's dual-GPU schedule, N >= 3 the §6 future-work extension.
+  void gpu_phase_multi(const InputParams& in, const TunableParams& p, int n_gpus,
+                       FunctionalCtx* fctx, ocl::Trace* trace, PhaseBreakdown& out) const;
+};
+
+}  // namespace wavetune::core

@@ -1,0 +1,59 @@
+// Row-major byte grid holding the wavefront state.
+//
+// Elements are opaque fixed-size byte records (the typed facade in
+// problem.hpp builds a safe view on top). The grid is the host-side truth;
+// the simulated devices keep their own Buffer copies, and all movement
+// between them is explicit — exactly like a discrete-memory machine.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/diag.hpp"
+
+namespace wavetune::core {
+
+class Grid {
+public:
+  /// Poison byte used by fill_poison(); reads of never-written cells show
+  /// up as 0xCD patterns instead of silently-correct zeros.
+  static constexpr std::byte kPoison = std::byte{0xCD};
+
+  Grid(std::size_t dim, std::size_t elem_bytes);
+
+  std::size_t dim() const { return dim_; }
+  std::size_t elem_bytes() const { return elem_bytes_; }
+  std::size_t size_bytes() const { return storage_.size(); }
+
+  std::byte* cell(std::size_t i, std::size_t j);
+  const std::byte* cell(std::size_t i, std::size_t j) const;
+
+  /// Byte offset of cell (i, j) within the storage (shared with device
+  /// buffers, which mirror the same layout).
+  std::size_t offset(std::size_t i, std::size_t j) const;
+
+  std::byte* data() { return storage_.data(); }
+  const std::byte* data() const { return storage_.data(); }
+
+  /// Typed access; the caller asserts that T matches the element layout.
+  template <typename T>
+  T& as(std::size_t i, std::size_t j) {
+    return *reinterpret_cast<T*>(cell(i, j));
+  }
+  template <typename T>
+  const T& as(std::size_t i, std::size_t j) const {
+    return *reinterpret_cast<const T*>(cell(i, j));
+  }
+
+  void fill_zero();
+  void fill_poison();
+
+private:
+  std::size_t dim_;
+  std::size_t elem_bytes_;
+  std::vector<std::byte> storage_;
+
+  void check(std::size_t i, std::size_t j) const;
+};
+
+}  // namespace wavetune::core

@@ -1,0 +1,98 @@
+// Input and tunable parameters of a wavefront instance — paper Tables 1 & 2.
+//
+// Input parameters (Table 1): dim, tsize, dsize.
+// Tunable parameters (Table 2): cpu-tile, band, gpu-count, gpu-tile, halo.
+//
+// Following the paper (§3.1.1), gpu-count is *encoded* in band and halo
+// rather than stored separately: band == -1 means no GPU at all; band >= 0
+// with halo == -1 means one GPU; band >= 0 with halo >= 0 means two GPUs.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "util/json.hpp"
+
+namespace wavetune::core {
+
+/// Paper Table 1: characteristics of a wavefront instance.
+struct InputParams {
+  std::size_t dim = 0;  ///< width of the (square) array
+  double tsize = 0.0;   ///< per-element granularity, in reference-core units
+  int dsize = 0;        ///< number of 8-byte floats in the element payload
+
+  /// Element size in bytes: two 4-byte ints plus dsize 8-byte floats,
+  /// matching the paper's "dsize=5 means 8 + 5*8 = 48 bytes".
+  std::size_t elem_bytes() const { return 8 + static_cast<std::size_t>(dsize) * 8; }
+
+  void validate() const;
+  std::string describe() const;
+
+  util::Json to_json() const;
+  static InputParams from_json(const util::Json& j);
+
+  bool operator==(const InputParams&) const = default;
+};
+
+/// Paper Table 2: the autotuner's outputs.
+struct TunableParams {
+  int cpu_tile = 8;     ///< side length of the square CPU tiles (>= 1)
+  long long band = -1;  ///< diagonals on each side of the main diagonal on GPU; -1 = no GPU
+  long long halo = -1;  ///< dual-GPU halo size; -1 = single GPU (when band >= 0)
+  int gpu_tile = 1;     ///< GPU work-group tile side; 1 = untiled
+
+  /// Extension beyond the paper (its §6 future work: "incorporating more
+  /// than two GPUs"): explicit device count. 0 keeps the paper's band/halo
+  /// encoding; >= 3 requests an N-way row split with chained halo
+  /// exchanges (band must be >= 0 and halo >= 0).
+  int gpus = 0;
+
+  /// Derived gpu-count: the paper's encoding, unless `gpus` overrides it.
+  int gpu_count() const {
+    if (band < 0) return 0;
+    if (gpus >= 2) return gpus;
+    if (gpus == 1) return 1;
+    return halo < 0 ? 1 : 2;
+  }
+
+  bool uses_gpu() const { return band >= 0; }
+  bool dual_gpu() const { return gpu_count() == 2; }
+  bool gpu_tiled() const { return uses_gpu() && gpu_tile > 1; }
+
+  /// First (inclusive) and one-past-last GPU diagonals for a given dim;
+  /// both zero-width when band == -1. Requires a normalized value.
+  std::size_t gpu_d_begin(std::size_t dim) const;
+  std::size_t gpu_d_end(std::size_t dim) const;
+
+  /// Maximum meaningful halo for a given dim/band: half the length of the
+  /// first offloaded diagonal (paper Table 3), also bounded by the fixed
+  /// row split at dim/2.
+  static long long max_halo(std::size_t dim, long long band);
+
+  /// Maximum halo for an N-way split: one less than the narrowest row
+  /// band, so every exchanged strip is owned by a single upstream device.
+  static long long max_halo_multi(std::size_t dim, long long band, int gpus);
+
+  /// Canonicalises the parameters for a dim x dim instance:
+  ///  * cpu_tile clamped to [1, dim];
+  ///  * band  < 0 collapses to the pure-CPU config (halo = -1, gpu_tile = 1);
+  ///  * band clamped to [0, dim-1] (values beyond cover the whole grid);
+  ///  * halo clamped to [-1, max_halo(dim, band)];
+  ///  * gpu_tile clamped to [1, dim]; dual-GPU configs force gpu_tile = 1
+  ///    (see DESIGN.md: intra-GPU tiling is explored on single-GPU
+  ///    schedules; the paper's own search found gpu-tile effectively
+  ///    binary).
+  TunableParams normalized(std::size_t dim) const;
+
+  /// True if normalized(dim) would return *this unchanged.
+  bool is_normalized(std::size_t dim) const;
+
+  std::string describe() const;
+
+  util::Json to_json() const;
+  static TunableParams from_json(const util::Json& j);
+
+  bool operator==(const TunableParams&) const = default;
+};
+
+}  // namespace wavetune::core

@@ -1,0 +1,93 @@
+// Application-facing description of a wavefront computation.
+//
+// WavefrontSpec is the type-erased ABI the executor consumes: a cell
+// kernel over opaque byte records plus the paper's input parameters
+// (dim, tsize, dsize). Problem<T> below is the typed facade most users
+// (and all examples) should prefer.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <stdexcept>
+
+#include "core/params.hpp"
+
+namespace wavetune::core {
+
+/// Type-erased cell kernel.
+/// Computes cell (i, j) into `out`. Neighbour pointers are null on the
+/// grid borders (i == 0 and/or j == 0). The kernel must be pure in the
+/// neighbours (no hidden dependence on other cells) and thread-safe for
+/// concurrent cells of one diagonal.
+using ByteKernel =
+    std::function<void(std::size_t i, std::size_t j, const std::byte* west,
+                       const std::byte* north, const std::byte* northwest, std::byte* out)>;
+
+struct WavefrontSpec {
+  std::size_t dim = 0;
+  std::size_t elem_bytes = 0;
+  double tsize = 0.0;  ///< cost-model granularity, reference-core units
+  int dsize = 0;       ///< cost-model data granularity (floats per element)
+  ByteKernel kernel;
+
+  InputParams inputs() const { return InputParams{dim, tsize, dsize}; }
+
+  void validate() const {
+    if (dim == 0) throw std::invalid_argument("WavefrontSpec: dim == 0");
+    if (elem_bytes == 0) throw std::invalid_argument("WavefrontSpec: elem_bytes == 0");
+    if (!kernel) throw std::invalid_argument("WavefrontSpec: null kernel");
+    if (tsize < 0.0) throw std::invalid_argument("WavefrontSpec: negative tsize");
+  }
+};
+
+/// Typed wavefront problem over cell type T (trivially copyable).
+///
+///   struct Score { float v; };
+///   Problem<Score> p(n, /*tsize=*/0.5, /*dsize=*/0,
+///     [](std::size_t i, std::size_t j, const Score* w, const Score* n_,
+///        const Score* nw) -> Score { ... });
+///   WavefrontSpec spec = p.spec();
+template <typename T>
+class Problem {
+public:
+  /// Typed kernel: returns the new cell value; neighbour pointers are null
+  /// at the borders.
+  using Kernel = std::function<T(std::size_t i, std::size_t j, const T* west, const T* north,
+                                 const T* northwest)>;
+
+  Problem(std::size_t dim, double tsize, int dsize, Kernel kernel)
+      : dim_(dim), tsize_(tsize), dsize_(dsize), kernel_(std::move(kernel)) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "Problem<T>: cell type must be trivially copyable");
+    if (!kernel_) throw std::invalid_argument("Problem: null kernel");
+  }
+
+  std::size_t dim() const { return dim_; }
+
+  WavefrontSpec spec() const {
+    WavefrontSpec s;
+    s.dim = dim_;
+    s.elem_bytes = sizeof(T);
+    s.tsize = tsize_;
+    s.dsize = dsize_;
+    Kernel k = kernel_;
+    s.kernel = [k](std::size_t i, std::size_t j, const std::byte* w, const std::byte* n,
+                   const std::byte* nw, std::byte* out) {
+      const T* tw = reinterpret_cast<const T*>(w);
+      const T* tn = reinterpret_cast<const T*>(n);
+      const T* tnw = reinterpret_cast<const T*>(nw);
+      const T value = k(i, j, tw, tn, tnw);
+      *reinterpret_cast<T*>(out) = value;
+    };
+    s.validate();
+    return s;
+  }
+
+private:
+  std::size_t dim_;
+  double tsize_;
+  int dsize_;
+  Kernel kernel_;
+};
+
+}  // namespace wavetune::core

@@ -1,0 +1,112 @@
+#include "cpu/rect_wavefront.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wavetune::cpu {
+
+std::size_t rect_num_diagonals(std::size_t rows, std::size_t cols) {
+  return (rows == 0 || cols == 0) ? 0 : rows + cols - 1;
+}
+
+std::size_t rect_diag_len(std::size_t rows, std::size_t cols, std::size_t d) {
+  if (d >= rect_num_diagonals(rows, cols)) return 0;
+  return std::min({d + 1, rows, cols, rows + cols - 1 - d});
+}
+
+std::size_t rect_diag_row_lo(std::size_t rows, std::size_t cols, std::size_t d) {
+  (void)rows;
+  return d >= cols ? d - cols + 1 : 0;
+}
+
+std::size_t rect_diag_row_hi(std::size_t rows, std::size_t cols, std::size_t d) {
+  (void)cols;
+  return std::min(d, rows - 1);
+}
+
+std::size_t RectRegion::cell_count() const {
+  std::size_t n = 0;
+  for (std::size_t d = d_begin; d < d_end; ++d) n += rect_diag_len(rows, cols, d);
+  return n;
+}
+
+void RectRegion::validate() const {
+  if (rows == 0 || cols == 0) throw std::invalid_argument("RectRegion: empty grid");
+  if (tile == 0) throw std::invalid_argument("RectRegion: tile == 0");
+  if (d_begin > d_end) throw std::invalid_argument("RectRegion: d_begin > d_end");
+  if (d_end > rect_num_diagonals(rows, cols)) {
+    throw std::invalid_argument("RectRegion: d_end beyond last diagonal");
+  }
+}
+
+void run_serial_wavefront(const RectRegion& region, const CellFn& cell) {
+  region.validate();
+  for (std::size_t i = 0; i < region.rows; ++i) {
+    if (region.d_end <= i) break;
+    const std::size_t j_lo = region.d_begin > i ? region.d_begin - i : 0;
+    const std::size_t j_hi = std::min(region.cols, region.d_end - i);
+    for (std::size_t j = j_lo; j < j_hi; ++j) cell(i, j);
+  }
+}
+
+void run_tiled_wavefront(const RectRegion& region, ThreadPool& pool, const CellFn& cell) {
+  region.validate();
+  if (region.d_begin == region.d_end) return;
+  const std::size_t T = region.tile;
+  const std::size_t MR = (region.rows + T - 1) / T;  // tile rows
+  const std::size_t MC = (region.cols + T - 1) / T;  // tile cols
+
+  for (std::size_t k = 0; k < MR + MC - 1; ++k) {
+    const std::size_t span_lo = k * T;
+    const std::size_t span_hi = (k + 2) * T - 2;  // inclusive
+    if (span_lo >= region.d_end || span_hi < region.d_begin) continue;
+
+    // Tiles on tile-diagonal k: I in [max(0, k-MC+1), min(k, MR-1)].
+    const std::size_t i_lo = k >= MC ? k - MC + 1 : 0;
+    const std::size_t i_hi = std::min(k, MR - 1);
+    if (i_lo > i_hi) continue;
+    pool.parallel_for(i_lo, i_hi + 1, [&](std::size_t I) {
+      const std::size_t J = k - I;
+      const std::size_t row_hi = std::min((I + 1) * T, region.rows);
+      const std::size_t col_hi = std::min((J + 1) * T, region.cols);
+      for (std::size_t i = I * T; i < row_hi; ++i) {
+        for (std::size_t j = J * T; j < col_hi; ++j) {
+          const std::size_t d = i + j;
+          if (d >= region.d_begin && d < region.d_end) cell(i, j);
+        }
+      }
+    });
+  }
+}
+
+double tiled_wavefront_cost_ns(const RectRegion& region, const sim::CpuModel& cpu,
+                               double tsize_units, std::size_t elem_bytes) {
+  region.validate();
+  if (region.d_begin == region.d_end) return 0.0;
+  const std::size_t T = region.tile;
+  const std::size_t MR = (region.rows + T - 1) / T;
+  const std::size_t MC = (region.cols + T - 1) / T;
+  const double P = cpu.effective_parallelism();
+  const double tile_cost = static_cast<double>(T) * static_cast<double>(T) *
+                               cpu.tiled_element_ns(tsize_units, elem_bytes, T) +
+                           cpu.tile_sched_ns;
+
+  double total = 0.0;
+  for (std::size_t k = 0; k < MR + MC - 1; ++k) {
+    const std::size_t span_lo = k * T;
+    const std::size_t span_hi = (k + 2) * T - 2;
+    if (span_lo >= region.d_end || span_hi < region.d_begin) continue;
+    const std::size_t n_k = std::min({k + 1, MR, MC, MR + MC - 1 - k});
+    const double slots = std::max(1.0, static_cast<double>(n_k) / P);
+    total += slots * tile_cost + cpu.barrier_ns;
+  }
+  return total;
+}
+
+double serial_wavefront_cost_ns(const RectRegion& region, const sim::CpuModel& cpu,
+                                double tsize_units, std::size_t elem_bytes) {
+  region.validate();
+  return static_cast<double>(region.cell_count()) * cpu.element_ns(tsize_units, elem_bytes);
+}
+
+}  // namespace wavetune::cpu

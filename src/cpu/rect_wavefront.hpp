@@ -1,0 +1,56 @@
+// Rectangular (rows x cols) wavefront execution — lifting the paper's
+// simplifying restriction: "For simplicity we assume square arrays, but
+// this restriction could be lifted straightforwardly" (§1). This module
+// lifts it at the pattern level: serial and tiled-parallel execution plus
+// the CPU cost model for arbitrary rectangles. (The hybrid GPU scheduler
+// keeps the paper's square instances; see DESIGN.md.)
+#pragma once
+
+#include <cstddef>
+
+#include "cpu/thread_pool.hpp"
+#include "cpu/tiled_wavefront.hpp"  // CellFn
+#include "sim/hardware.hpp"
+
+namespace wavetune::cpu {
+
+/// Diagonal geometry of a rows x cols grid: diagonal d holds the cells
+/// (i, j) with i + j == d; there are rows + cols - 1 diagonals and the
+/// maximal parallelism min(rows, cols) is sustained on the plateau
+/// between diagonals min-1 and max-1.
+std::size_t rect_num_diagonals(std::size_t rows, std::size_t cols);
+std::size_t rect_diag_len(std::size_t rows, std::size_t cols, std::size_t d);
+std::size_t rect_diag_row_lo(std::size_t rows, std::size_t cols, std::size_t d);
+std::size_t rect_diag_row_hi(std::size_t rows, std::size_t cols, std::size_t d);
+
+/// A band of diagonals [d_begin, d_end) of a rows x cols grid, executed
+/// with square tiles of side `tile`.
+struct RectRegion {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::size_t d_begin = 0;
+  std::size_t d_end = 0;
+  std::size_t tile = 1;
+
+  std::size_t cell_count() const;
+  void validate() const;
+};
+
+/// Sequential reference (row-major order respects the dependencies).
+void run_serial_wavefront(const RectRegion& region, const CellFn& cell);
+
+/// Tiled parallel execution: tiles of one tile-diagonal run concurrently,
+/// with a barrier between tile-diagonals — the square algorithm
+/// generalised to a rectangular tile grid.
+void run_tiled_wavefront(const RectRegion& region, ThreadPool& pool, const CellFn& cell);
+
+/// CPU cost model for the tiled rectangular execution (same structure as
+/// the square tiled_wavefront_cost_ns).
+double tiled_wavefront_cost_ns(const RectRegion& region, const sim::CpuModel& cpu,
+                               double tsize_units, std::size_t elem_bytes);
+
+/// Sequential baseline cost over the region.
+double serial_wavefront_cost_ns(const RectRegion& region, const sim::CpuModel& cpu,
+                                double tsize_units, std::size_t elem_bytes);
+
+}  // namespace wavetune::cpu

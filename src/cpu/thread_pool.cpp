@@ -1,0 +1,119 @@
+#include "cpu/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+#include <stdexcept>
+
+namespace wavetune::cpu {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  std::size_t n = workers;
+  if (n == 0) {
+    n = std::thread::hardware_concurrency();
+    if (n == 0) n = 1;
+  }
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop();
+      ++active_;
+    }
+    task.fn();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --active_;
+      if (queue_.empty() && active_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_) throw std::runtime_error("ThreadPool::submit: pool is stopping");
+    queue_.push(Task{std::move(task)});
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& fn) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t workers = worker_count();
+  if (workers <= 1 || n == 1) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  // Dynamic chunking via a shared cursor: balances uneven per-iteration
+  // cost (border tiles are smaller than interior tiles) without a
+  // per-iteration mutex.
+  struct Shared {
+    std::atomic<std::size_t> next;
+    std::atomic<std::size_t> remaining;
+    std::exception_ptr error;
+    std::mutex error_mutex;
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+  };
+  auto shared = std::make_shared<Shared>();
+  shared->next.store(begin);
+  const std::size_t tasks = std::min(workers, n);
+  shared->remaining.store(tasks);
+
+  auto body = [shared, end, &fn] {
+    for (;;) {
+      const std::size_t i = shared->next.fetch_add(1);
+      if (i >= end) break;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(shared->error_mutex);
+        if (!shared->error) shared->error = std::current_exception();
+      }
+    }
+    if (shared->remaining.fetch_sub(1) == 1) {
+      std::lock_guard<std::mutex> lock(shared->done_mutex);
+      shared->done_cv.notify_all();
+    }
+  };
+
+  // The caller participates as one of the workers so a single-threaded
+  // environment still makes progress while tasks sit in the queue.
+  for (std::size_t t = 1; t < tasks; ++t) submit(body);
+  body();
+
+  std::unique_lock<std::mutex> lock(shared->done_mutex);
+  shared->done_cv.wait(lock, [&] { return shared->remaining.load() == 0; });
+  if (shared->error) std::rethrow_exception(shared->error);
+}
+
+}  // namespace wavetune::cpu

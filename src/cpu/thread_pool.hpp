@@ -1,0 +1,61 @@
+// Fixed-size thread pool with a blocking parallel_for.
+//
+// The CPU phases of the hybrid executor are data-parallel within one tile
+// diagonal (all tiles of a tile-diagonal are independent) with a barrier
+// between diagonals; parallel_for expresses exactly that. The pool is
+// created once per executor and reused across phases, mirroring the
+// paper's "threads to control CPU phases".
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace wavetune::cpu {
+
+class ThreadPool {
+public:
+  /// Spawns `workers` threads; 0 picks std::thread::hardware_concurrency()
+  /// (at least 1).
+  explicit ThreadPool(std::size_t workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const { return workers_.size(); }
+
+  /// Runs fn(i) for i in [begin, end) across the pool and blocks until all
+  /// iterations finish. Exceptions from fn propagate to the caller (first
+  /// one wins). Executes inline when the range is tiny or the pool has a
+  /// single worker.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Fire-and-forget task submission (used by tests to exercise the queue).
+  void submit(std::function<void()> task);
+
+  /// Blocks until the task queue is empty and all workers are idle.
+  void drain();
+
+private:
+  struct Task {
+    std::function<void()> fn;
+  };
+
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<Task> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace wavetune::cpu

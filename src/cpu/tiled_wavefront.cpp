@@ -1,0 +1,106 @@
+#include "cpu/tiled_wavefront.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wavetune::cpu {
+
+namespace {
+
+/// Number of cells of a dim x dim grid on diagonal d (i+j == d).
+std::size_t diag_len(std::size_t dim, std::size_t d) {
+  if (d >= 2 * dim - 1) return 0;
+  return std::min({d + 1, dim, 2 * dim - 1 - d});
+}
+
+}  // namespace
+
+std::size_t TiledRegion::cell_count() const {
+  std::size_t n = 0;
+  for (std::size_t d = d_begin; d < d_end; ++d) n += diag_len(dim, d);
+  return n;
+}
+
+void TiledRegion::validate() const {
+  if (dim == 0) throw std::invalid_argument("TiledRegion: dim == 0");
+  if (tile == 0) throw std::invalid_argument("TiledRegion: tile == 0");
+  if (d_begin > d_end) throw std::invalid_argument("TiledRegion: d_begin > d_end");
+  if (d_end > 2 * dim - 1) throw std::invalid_argument("TiledRegion: d_end beyond last diagonal");
+}
+
+void run_tiled_wavefront(const TiledRegion& region, ThreadPool& pool, const CellFn& cell) {
+  region.validate();
+  if (region.d_begin == region.d_end) return;
+  const std::size_t dim = region.dim;
+  const std::size_t T = region.tile;
+  const std::size_t M = (dim + T - 1) / T;  // tiles per side
+
+  // Tile-diagonal k covers global diagonals [k*T, (k+2)*T - 2]; include k
+  // when that span intersects [d_begin, d_end).
+  for (std::size_t k = 0; k < 2 * M - 1; ++k) {
+    const std::size_t span_lo = k * T;
+    const std::size_t span_hi = (k + 2) * T - 2;  // inclusive
+    if (span_lo >= region.d_end || span_hi < region.d_begin) continue;
+
+    // Tiles on tile-diagonal k: I in [max(0, k-M+1), min(k, M-1)].
+    const std::size_t i_lo = k >= M ? k - M + 1 : 0;
+    const std::size_t i_hi = std::min(k, M - 1);
+    pool.parallel_for(i_lo, i_hi + 1, [&](std::size_t I) {
+      const std::size_t J = k - I;
+      const std::size_t row_lo = I * T;
+      const std::size_t row_hi = std::min(row_lo + T, dim);  // exclusive
+      const std::size_t col_lo = J * T;
+      const std::size_t col_hi = std::min(col_lo + T, dim);
+      for (std::size_t i = row_lo; i < row_hi; ++i) {
+        for (std::size_t j = col_lo; j < col_hi; ++j) {
+          const std::size_t d = i + j;
+          if (d >= region.d_begin && d < region.d_end) cell(i, j);
+        }
+      }
+    });
+    // parallel_for blocks: that is the inter-tile-diagonal barrier.
+  }
+}
+
+void run_serial_wavefront(const TiledRegion& region, const CellFn& cell) {
+  region.validate();
+  for (std::size_t i = 0; i < region.dim; ++i) {
+    // Clamp the column range to the diagonal band to avoid a full scan.
+    const std::size_t j_lo = region.d_begin > i ? region.d_begin - i : 0;
+    if (region.d_end <= i) break;
+    const std::size_t j_hi = std::min(region.dim, region.d_end - i);
+    for (std::size_t j = j_lo; j < j_hi; ++j) cell(i, j);
+  }
+}
+
+double tiled_wavefront_cost_ns(const TiledRegion& region, const sim::CpuModel& cpu,
+                               double tsize_units, std::size_t elem_bytes) {
+  region.validate();
+  if (region.d_begin == region.d_end) return 0.0;
+  const std::size_t dim = region.dim;
+  const std::size_t T = region.tile;
+  const std::size_t M = (dim + T - 1) / T;
+  const double P = cpu.effective_parallelism();
+  const double tile_cost = static_cast<double>(T) * static_cast<double>(T) *
+                               cpu.tiled_element_ns(tsize_units, elem_bytes, T) +
+                           cpu.tile_sched_ns;
+
+  double total = 0.0;
+  for (std::size_t k = 0; k < 2 * M - 1; ++k) {
+    const std::size_t span_lo = k * T;
+    const std::size_t span_hi = (k + 2) * T - 2;
+    if (span_lo >= region.d_end || span_hi < region.d_begin) continue;
+    const std::size_t n_k = std::min({k + 1, M, 2 * M - 1 - k});
+    const double slots = std::max(1.0, static_cast<double>(n_k) / P);
+    total += slots * tile_cost + cpu.barrier_ns;
+  }
+  return total;
+}
+
+double serial_wavefront_cost_ns(const TiledRegion& region, const sim::CpuModel& cpu,
+                                double tsize_units, std::size_t elem_bytes) {
+  region.validate();
+  return static_cast<double>(region.cell_count()) * cpu.element_ns(tsize_units, elem_bytes);
+}
+
+}  // namespace wavetune::cpu

@@ -1,0 +1,67 @@
+// Tiled parallel wavefront execution on the multicore CPU.
+//
+// The grid is partitioned into TxT tiles; tile (I,J) depends on its west,
+// north and north-west neighbour tiles, so tiles on the same tile-diagonal
+// (I+J = k) are independent and run in parallel, with a barrier between
+// successive tile-diagonals. Within a tile, cells are computed row-major,
+// which respects the cell-level dependencies and maximises cache reuse —
+// the optimization the paper's cpu-tile parameter controls.
+//
+// The module is deliberately independent of core/: it operates on an
+// abstract "compute cell (i,j)" callback plus a diagonal range, so the
+// hybrid executor can use it for phases 1 and 3 and tests can drive it
+// with any recurrence.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "cpu/thread_pool.hpp"
+#include "sim/hardware.hpp"
+
+namespace wavetune::cpu {
+
+/// Computes the value of cell (i, j); the callee reads whatever neighbour
+/// state it needs. Must be safe to call concurrently for cells on the same
+/// diagonal.
+using CellFn = std::function<void(std::size_t i, std::size_t j)>;
+
+/// A contiguous band of diagonals [d_begin, d_end) of a dim x dim grid,
+/// executed with square tiles of side `tile`.
+struct TiledRegion {
+  std::size_t dim = 0;
+  std::size_t d_begin = 0;  ///< first diagonal (i+j) included
+  std::size_t d_end = 0;    ///< one past the last diagonal included
+  std::size_t tile = 1;     ///< cpu-tile: side length of the square tiles
+
+  /// Number of cells with d_begin <= i+j < d_end (exact).
+  std::size_t cell_count() const;
+
+  /// Throws std::invalid_argument if the region is malformed.
+  void validate() const;
+};
+
+/// Functionally executes the region: every cell with i+j in
+/// [d_begin, d_end) is visited exactly once, in an order that respects the
+/// wavefront dependencies. Tiles of one tile-diagonal run concurrently on
+/// `pool`.
+void run_tiled_wavefront(const TiledRegion& region, ThreadPool& pool, const CellFn& cell);
+
+/// Sequential reference: visits the same cells in row-major order (which
+/// also respects dependencies). Used as the correctness oracle in tests
+/// and as the functional part of the sequential baseline.
+void run_serial_wavefront(const TiledRegion& region, const CellFn& cell);
+
+/// Simulated time of run_tiled_wavefront on `cpu`: per tile-diagonal,
+/// max(1, tiles/P) tile slots of (T^2 elements + scheduling) plus a
+/// barrier. Deterministic in the parameters only — the hybrid executor's
+/// run() and estimate() both charge exactly this.
+double tiled_wavefront_cost_ns(const TiledRegion& region, const sim::CpuModel& cpu,
+                               double tsize_units, std::size_t elem_bytes);
+
+/// Simulated time of the optimized sequential baseline over the region
+/// (no tiling, no scheduling overhead, cache-friendly row-major sweep).
+double serial_wavefront_cost_ns(const TiledRegion& region, const sim::CpuModel& cpu,
+                                double tsize_units, std::size_t elem_bytes);
+
+}  // namespace wavetune::cpu

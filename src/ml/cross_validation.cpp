@@ -1,0 +1,57 @@
+#include "ml/cross_validation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "ml/metrics.hpp"
+#include "util/stats.hpp"
+
+namespace wavetune::ml {
+
+CvResult k_fold_cv(const Dataset& data, std::size_t k, const TrainFn& train,
+                   const ScoreFn& score, util::Rng& rng) {
+  if (k < 2) throw std::invalid_argument("k_fold_cv: k < 2");
+  if (data.size() < k) throw std::invalid_argument("k_fold_cv: fewer rows than folds");
+
+  std::vector<std::size_t> order(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) order[i] = i;
+  rng.shuffle(order);
+
+  CvResult result;
+  for (std::size_t fold = 0; fold < k; ++fold) {
+    std::vector<std::size_t> train_idx;
+    std::vector<std::size_t> test_idx;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      if (i % k == fold) test_idx.push_back(order[i]);
+      else train_idx.push_back(order[i]);
+    }
+    const Dataset train_set = data.subset(train_idx);
+    const Dataset test_set = data.subset(test_idx);
+    const auto predictor = train(train_set);
+
+    std::vector<double> truth(test_set.size());
+    std::vector<double> pred(test_set.size());
+    for (std::size_t i = 0; i < test_set.size(); ++i) {
+      truth[i] = test_set.target(i);
+      pred[i] = predictor(test_set.row(i));
+    }
+    result.fold_scores.push_back(score(truth, pred));
+  }
+  result.mean_score = util::mean(result.fold_scores);
+  result.stddev = util::stddev(result.fold_scores);
+  return result;
+}
+
+double score_r2(std::span<const double> truth, std::span<const double> pred) {
+  return r_squared(truth, pred);
+}
+
+double score_one_minus_rae(std::span<const double> truth, std::span<const double> pred) {
+  return 1.0 - relative_absolute_error(truth, pred);
+}
+
+double score_accuracy(std::span<const double> truth, std::span<const double> pred) {
+  return classification_accuracy(truth, pred);
+}
+
+}  // namespace wavetune::ml

@@ -1,0 +1,37 @@
+// k-fold cross-validation over any model family, used to reproduce the
+// paper's "initial evaluation is done through cross-validation ... at
+// least 90% accurate" criterion.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace wavetune::ml {
+
+struct CvResult {
+  std::vector<double> fold_scores;
+  double mean_score = 0.0;
+  double stddev = 0.0;
+};
+
+/// Trainer: builds a model from a training fold and returns a predictor.
+using TrainFn = std::function<std::function<double(std::span<const double>)>(const Dataset&)>;
+/// Scorer: evaluates predictions against a held-out fold (higher = better).
+using ScoreFn = std::function<double(std::span<const double> truth,
+                                     std::span<const double> predictions)>;
+
+/// Runs k-fold CV; folds are a random partition. Throws when k < 2 or the
+/// dataset has fewer than k rows.
+CvResult k_fold_cv(const Dataset& data, std::size_t k, const TrainFn& train,
+                   const ScoreFn& score, util::Rng& rng);
+
+/// Convenience scorers for k_fold_cv.
+double score_r2(std::span<const double> truth, std::span<const double> pred);
+/// 1 - RAE, i.e. the paper's "accuracy" reading for regression targets.
+double score_one_minus_rae(std::span<const double> truth, std::span<const double> pred);
+double score_accuracy(std::span<const double> truth, std::span<const double> pred);
+
+}  // namespace wavetune::ml

@@ -1,0 +1,161 @@
+#include "ml/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace wavetune::ml {
+
+Dataset::Dataset(std::vector<std::string> feature_names) : names_(std::move(feature_names)) {
+  if (names_.empty()) throw std::invalid_argument("Dataset: no features");
+}
+
+void Dataset::add(std::vector<double> features, double target) {
+  if (features.size() != names_.size()) {
+    throw std::invalid_argument("Dataset::add: feature arity mismatch");
+  }
+  features_.insert(features_.end(), features.begin(), features.end());
+  targets_.push_back(target);
+}
+
+std::span<const double> Dataset::row(std::size_t i) const {
+  if (i >= size()) throw std::out_of_range("Dataset::row");
+  return {features_.data() + i * num_features(), num_features()};
+}
+
+double Dataset::target(std::size_t i) const {
+  if (i >= size()) throw std::out_of_range("Dataset::target");
+  return targets_[i];
+}
+
+double& Dataset::target(std::size_t i) {
+  if (i >= size()) throw std::out_of_range("Dataset::target");
+  return targets_[i];
+}
+
+std::vector<double> Dataset::column(std::size_t feature) const {
+  if (feature >= num_features()) throw std::out_of_range("Dataset::column");
+  std::vector<double> out(size());
+  for (std::size_t i = 0; i < size(); ++i) out[i] = features_[i * num_features() + feature];
+  return out;
+}
+
+std::size_t Dataset::feature_index(const std::string& name) const {
+  const auto it = std::find(names_.begin(), names_.end(), name);
+  if (it == names_.end()) throw std::invalid_argument("Dataset: unknown feature '" + name + "'");
+  return static_cast<std::size_t>(it - names_.begin());
+}
+
+Dataset Dataset::subset(std::span<const std::size_t> indices) const {
+  Dataset out(names_);
+  for (std::size_t idx : indices) {
+    const auto r = row(idx);
+    out.add(std::vector<double>(r.begin(), r.end()), target(idx));
+  }
+  return out;
+}
+
+std::pair<Dataset, Dataset> Dataset::split(double first_fraction, util::Rng& rng) const {
+  if (first_fraction < 0.0 || first_fraction > 1.0) {
+    throw std::invalid_argument("Dataset::split: fraction out of [0,1]");
+  }
+  std::vector<std::size_t> order(size());
+  for (std::size_t i = 0; i < size(); ++i) order[i] = i;
+  rng.shuffle(order);
+  const auto cut = static_cast<std::size_t>(first_fraction * static_cast<double>(size()));
+  const std::span<const std::size_t> first{order.data(), cut};
+  const std::span<const std::size_t> second{order.data() + cut, size() - cut};
+  return {subset(first), subset(second)};
+}
+
+util::Json Dataset::to_json() const {
+  util::Json j = util::Json::object();
+  util::Json names = util::Json::array();
+  for (const auto& n : names_) names.push_back(util::Json(n));
+  j["features"] = std::move(names);
+  util::Json rows = util::Json::array();
+  for (std::size_t i = 0; i < size(); ++i) {
+    util::Json r = util::Json::array();
+    for (double v : row(i)) r.push_back(util::Json(v));
+    r.push_back(util::Json(target(i)));
+    rows.push_back(std::move(r));
+  }
+  j["rows"] = std::move(rows);
+  return j;
+}
+
+Dataset Dataset::from_json(const util::Json& j) {
+  std::vector<std::string> names;
+  for (const auto& n : j.at("features").as_array()) names.push_back(n.as_string());
+  Dataset d(std::move(names));
+  for (const auto& r : j.at("rows").as_array()) {
+    const auto& arr = r.as_array();
+    if (arr.size() != d.num_features() + 1) throw util::JsonError("Dataset: bad row arity");
+    std::vector<double> x;
+    for (std::size_t c = 0; c + 1 < arr.size(); ++c) x.push_back(arr[c].as_number());
+    d.add(std::move(x), arr.back().as_number());
+  }
+  return d;
+}
+
+Scaler Scaler::fit(const Dataset& data) {
+  if (data.empty()) throw std::invalid_argument("Scaler::fit: empty dataset");
+  Scaler s;
+  const std::size_t k = data.num_features();
+  s.mean_.assign(k, 0.0);
+  s.scale_.assign(k, 1.0);
+  const double n = static_cast<double>(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto r = data.row(i);
+    for (std::size_t c = 0; c < k; ++c) s.mean_[c] += r[c];
+  }
+  for (std::size_t c = 0; c < k; ++c) s.mean_[c] /= n;
+  std::vector<double> var(k, 0.0);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto r = data.row(i);
+    for (std::size_t c = 0; c < k; ++c) {
+      var[c] += (r[c] - s.mean_[c]) * (r[c] - s.mean_[c]);
+    }
+  }
+  for (std::size_t c = 0; c < k; ++c) {
+    const double sd = std::sqrt(var[c] / n);
+    s.scale_[c] = sd > 1e-12 ? sd : 1.0;
+  }
+  return s;
+}
+
+std::vector<double> Scaler::transform(std::span<const double> x) const {
+  if (x.size() != mean_.size()) throw std::invalid_argument("Scaler::transform: arity mismatch");
+  std::vector<double> out(x.size());
+  for (std::size_t c = 0; c < x.size(); ++c) out[c] = (x[c] - mean_[c]) / scale_[c];
+  return out;
+}
+
+Dataset Scaler::transform(const Dataset& data) const {
+  Dataset out(data.feature_names());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    out.add(transform(data.row(i)), data.target(i));
+  }
+  return out;
+}
+
+util::Json Scaler::to_json() const {
+  util::Json j = util::Json::object();
+  util::Json m = util::Json::array();
+  util::Json s = util::Json::array();
+  for (double v : mean_) m.push_back(util::Json(v));
+  for (double v : scale_) s.push_back(util::Json(v));
+  j["mean"] = std::move(m);
+  j["scale"] = std::move(s);
+  return j;
+}
+
+Scaler Scaler::from_json(const util::Json& j) {
+  Scaler s;
+  for (const auto& v : j.at("mean").as_array()) s.mean_.push_back(v.as_number());
+  for (const auto& v : j.at("scale").as_array()) s.scale_.push_back(v.as_number());
+  if (s.mean_.size() != s.scale_.size()) throw util::JsonError("Scaler: size mismatch");
+  return s;
+}
+
+}  // namespace wavetune::ml

@@ -1,0 +1,78 @@
+// Feature-matrix dataset plus standardisation, the common currency of the
+// ML module. Kept deliberately simple: dense doubles, named columns.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace wavetune::ml {
+
+class Dataset {
+public:
+  Dataset() = default;
+  explicit Dataset(std::vector<std::string> feature_names);
+
+  const std::vector<std::string>& feature_names() const { return names_; }
+  std::size_t num_features() const { return names_.size(); }
+  std::size_t size() const { return targets_.size(); }
+  bool empty() const { return targets_.empty(); }
+
+  /// Appends one example; throws std::invalid_argument on arity mismatch.
+  void add(std::vector<double> features, double target);
+
+  std::span<const double> row(std::size_t i) const;
+  double target(std::size_t i) const;
+  double& target(std::size_t i);
+
+  /// Column i of the feature matrix, materialised.
+  std::vector<double> column(std::size_t feature) const;
+  const std::vector<double>& targets() const { return targets_; }
+
+  /// Index of a named feature; throws if absent.
+  std::size_t feature_index(const std::string& name) const;
+
+  /// New dataset containing the given rows (for CV folds / train-prune
+  /// splits).
+  Dataset subset(std::span<const std::size_t> indices) const;
+
+  /// Random split into (first, second) with `first_fraction` of rows in the
+  /// first part.
+  std::pair<Dataset, Dataset> split(double first_fraction, util::Rng& rng) const;
+
+  util::Json to_json() const;
+  static Dataset from_json(const util::Json& j);
+
+private:
+  std::vector<std::string> names_;
+  std::vector<double> features_;  ///< row-major, size() * num_features()
+  std::vector<double> targets_;
+};
+
+/// Per-feature standardisation (zero mean, unit variance). Constant
+/// features keep scale 1 so transform is the identity shift.
+class Scaler {
+public:
+  Scaler() = default;
+
+  static Scaler fit(const Dataset& data);
+
+  std::vector<double> transform(std::span<const double> x) const;
+  Dataset transform(const Dataset& data) const;
+
+  std::size_t dims() const { return mean_.size(); }
+  const std::vector<double>& mean() const { return mean_; }
+  const std::vector<double>& scale() const { return scale_; }
+
+  util::Json to_json() const;
+  static Scaler from_json(const util::Json& j);
+
+private:
+  std::vector<double> mean_;
+  std::vector<double> scale_;
+};
+
+}  // namespace wavetune::ml

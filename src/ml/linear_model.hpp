@@ -1,0 +1,44 @@
+// Ridge-regularised linear regression, fitted by the normal equations.
+// Doubles as the leaf model of the M5 model tree (paper Fig. 9: "LM1:
+// halo = 0*tsize - 0.1598*dsize + 0.0546*cpu-tile + 0.003*band - 0.381").
+#pragma once
+
+#include <vector>
+
+#include "ml/regressor.hpp"
+
+namespace wavetune::ml {
+
+class LinearModel final : public Regressor {
+public:
+  LinearModel() = default;
+  LinearModel(std::vector<double> weights, double intercept);
+
+  /// Fits w, b minimising ||Xw + b - y||^2 + lambda ||w||^2.
+  /// `feature_mask` (optional) restricts the model to a feature subset —
+  /// masked-out features get weight exactly 0 (M5 fits leaf models on the
+  /// features referenced in the subtree).
+  static LinearModel fit(const Dataset& data, double lambda = 1e-6,
+                         const std::vector<bool>* feature_mask = nullptr);
+
+  double predict(std::span<const double> x) const override;
+  std::string kind() const override { return "linear"; }
+  std::string describe(const std::vector<std::string>& feature_names) const override;
+  util::Json to_json() const override;
+  static LinearModel from_json(const util::Json& j);
+
+  const std::vector<double>& weights() const { return weights_; }
+  double intercept() const { return intercept_; }
+
+private:
+  std::vector<double> weights_;
+  double intercept_ = 0.0;
+};
+
+/// Solves the symmetric positive-definite system A x = b in place via
+/// Cholesky decomposition; falls back to Gaussian elimination with partial
+/// pivoting when A is not SPD. Exposed for tests.
+std::vector<double> solve_linear_system(std::vector<std::vector<double>> a,
+                                        std::vector<double> b);
+
+}  // namespace wavetune::ml

@@ -1,0 +1,69 @@
+// M5 pruned model tree (Quinlan 1992 / Wang & Witten 1997) — the paper's
+// primary predictor for the continuous tunables (cpu-tile, band, halo;
+// see its Fig. 9 "M5 pruned model tree ... with one linear model shown").
+//
+// Growth splits on standard-deviation reduction (SDR); each interior node
+// then receives a linear model restricted to the features tested in its
+// subtree; pruning replaces a subtree by its node model when the
+// complexity-corrected training error does not favour the subtree; and
+// prediction is smoothed along the leaf-to-root path, as in Weka's M5P.
+#pragma once
+
+#include <vector>
+
+#include "ml/linear_model.hpp"
+#include "ml/regressor.hpp"
+
+namespace wavetune::ml {
+
+struct M5Config {
+  std::size_t min_leaf = 4;          ///< minimum examples per leaf
+  std::size_t max_depth = 24;
+  double sd_stop_fraction = 0.05;    ///< stop when node SD < 5% of root SD
+  bool prune = true;
+  bool smooth = true;
+  double smoothing_k = 15.0;         ///< Weka's smoothing constant
+  double ridge_lambda = 1e-6;
+};
+
+class M5Tree final : public Regressor {
+public:
+  M5Tree() = default;
+
+  static M5Tree fit(const Dataset& data, const M5Config& config = {});
+
+  double predict(std::span<const double> x) const override;
+  std::string kind() const override { return "m5_tree"; }
+  /// Renders the pruned model tree with its leaf linear models — the
+  /// exact artefact the paper's Fig. 9 shows.
+  std::string describe(const std::vector<std::string>& feature_names) const override;
+  util::Json to_json() const override;
+  static M5Tree from_json(const util::Json& j);
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t leaf_count() const;
+  /// Number of distinct linear models at the leaves (Fig. 9 caption:
+  /// "one linear model (out of 22) shown").
+  std::size_t linear_model_count() const { return leaf_count(); }
+
+private:
+  struct Node {
+    int feature = -1;        ///< -1 for leaves
+    double threshold = 0.0;
+    int left = -1;
+    int right = -1;
+    LinearModel model;       ///< node model (leaf prediction / smoothing)
+    double n = 0.0;          ///< training examples that reached the node
+  };
+  std::vector<Node> nodes_;
+  bool smooth_ = true;
+  double smoothing_k_ = 15.0;
+
+  int build(const Dataset& data, std::vector<std::size_t> idx, std::size_t depth,
+            double root_sd, const M5Config& config,
+            std::vector<std::vector<std::size_t>>& node_rows);
+  void collect_split_features(int node, std::vector<bool>& mask) const;
+  void compact();  ///< drops nodes orphaned by pruning, remapping indices
+};
+
+}  // namespace wavetune::ml

@@ -1,0 +1,68 @@
+#include "ml/metrics.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace wavetune::ml {
+
+namespace {
+void check(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) throw std::invalid_argument("metrics: size mismatch");
+  if (a.empty()) throw std::invalid_argument("metrics: empty input");
+}
+}  // namespace
+
+double mean_absolute_error(std::span<const double> truth, std::span<const double> pred) {
+  check(truth, pred);
+  double s = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) s += std::abs(truth[i] - pred[i]);
+  return s / static_cast<double>(truth.size());
+}
+
+double root_mean_squared_error(std::span<const double> truth, std::span<const double> pred) {
+  check(truth, pred);
+  double s = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    s += (truth[i] - pred[i]) * (truth[i] - pred[i]);
+  }
+  return std::sqrt(s / static_cast<double>(truth.size()));
+}
+
+double r_squared(std::span<const double> truth, std::span<const double> pred) {
+  check(truth, pred);
+  const double m = util::mean(truth);
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    ss_res += (truth[i] - pred[i]) * (truth[i] - pred[i]);
+    ss_tot += (truth[i] - m) * (truth[i] - m);
+  }
+  if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+double classification_accuracy(std::span<const double> truth, std::span<const double> pred) {
+  check(truth, pred);
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if ((truth[i] >= 0.0) == (pred[i] >= 0.0)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(truth.size());
+}
+
+double relative_absolute_error(std::span<const double> truth, std::span<const double> pred) {
+  check(truth, pred);
+  const double m = util::mean(truth);
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    num += std::abs(truth[i] - pred[i]);
+    den += std::abs(truth[i] - m);
+  }
+  if (den == 0.0) return num == 0.0 ? 0.0 : 1.0;
+  return num / den;
+}
+
+}  // namespace wavetune::ml

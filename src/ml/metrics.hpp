@@ -1,0 +1,20 @@
+// Evaluation metrics for regression and classification models.
+#pragma once
+
+#include <span>
+
+namespace wavetune::ml {
+
+double mean_absolute_error(std::span<const double> truth, std::span<const double> pred);
+double root_mean_squared_error(std::span<const double> truth, std::span<const double> pred);
+/// Coefficient of determination; 1 is perfect, 0 matches the mean
+/// predictor, negative is worse than the mean predictor.
+double r_squared(std::span<const double> truth, std::span<const double> pred);
+/// Fraction of sign agreements for +-1 labels.
+double classification_accuracy(std::span<const double> truth, std::span<const double> pred);
+/// Relative absolute error: MAE normalized by the MAE of the mean
+/// predictor (Weka's RAE, used by the paper's >=90% accuracy criterion
+/// read as RAE <= 10%).
+double relative_absolute_error(std::span<const double> truth, std::span<const double> pred);
+
+}  // namespace wavetune::ml

@@ -1,0 +1,19 @@
+// Deserialisation dispatch for the Regressor interface.
+#include <memory>
+
+#include "ml/linear_model.hpp"
+#include "ml/m5_tree.hpp"
+#include "ml/regressor.hpp"
+#include "ml/rep_tree.hpp"
+
+namespace wavetune::ml {
+
+std::unique_ptr<Regressor> regressor_from_json(const util::Json& j) {
+  const std::string kind = j.at("kind").as_string();
+  if (kind == "linear") return std::make_unique<LinearModel>(LinearModel::from_json(j));
+  if (kind == "rep_tree") return std::make_unique<RepTree>(RepTree::from_json(j));
+  if (kind == "m5_tree") return std::make_unique<M5Tree>(M5Tree::from_json(j));
+  throw util::JsonError("regressor_from_json: unknown kind '" + kind + "'");
+}
+
+}  // namespace wavetune::ml

@@ -1,0 +1,68 @@
+// Regression tree with Reduced-Error Pruning — our stand-in for Weka's
+// REPTree, which the paper uses for the (effectively binary) gpu-tile
+// decision. Splits maximise variance reduction; pruning holds out a
+// fraction of the training data and collapses any subtree whose held-out
+// error does not beat the corresponding leaf.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "ml/regressor.hpp"
+#include "util/rng.hpp"
+
+namespace wavetune::ml {
+
+struct RepTreeConfig {
+  std::size_t min_leaf = 4;       ///< minimum examples per leaf
+  std::size_t max_depth = 20;
+  double prune_fraction = 0.25;   ///< held-out share for reduced-error pruning
+  bool prune = true;
+  std::uint64_t seed = 17;        ///< grow/prune split seed
+};
+
+class RepTree final : public Regressor {
+public:
+  RepTree() = default;
+
+  static RepTree fit(const Dataset& data, const RepTreeConfig& config = {});
+
+  double predict(std::span<const double> x) const override;
+  std::string kind() const override { return "rep_tree"; }
+  std::string describe(const std::vector<std::string>& feature_names) const override;
+  util::Json to_json() const override;
+  static RepTree from_json(const util::Json& j);
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t leaf_count() const;
+  std::size_t depth() const;
+
+private:
+  struct Node {
+    int feature = -1;        ///< -1 for leaves
+    double threshold = 0.0;  ///< go left when x[feature] <= threshold
+    int left = -1;
+    int right = -1;
+    double value = 0.0;      ///< leaf prediction (mean of training targets)
+  };
+  std::vector<Node> nodes_;  ///< nodes_[0] is the root (empty => predict 0)
+
+  int build(const Dataset& grow, std::vector<std::size_t> idx, std::size_t depth,
+            const RepTreeConfig& config);
+  void prune_with(const Dataset& prune_set);
+  void compact();  ///< drops nodes orphaned by pruning, remapping indices
+  std::size_t depth_of(int node) const;
+};
+
+/// Finds the best (feature, threshold) split of `idx` by variance
+/// reduction. Returns nullopt when no split improves. Shared with M5Tree.
+struct SplitChoice {
+  std::size_t feature = 0;
+  double threshold = 0.0;
+  double score = 0.0;  ///< variance (or SD) reduction achieved
+};
+std::optional<SplitChoice> best_variance_split(const Dataset& data,
+                                               const std::vector<std::size_t>& idx,
+                                               std::size_t min_leaf, bool use_sd);
+
+}  // namespace wavetune::ml

@@ -1,0 +1,87 @@
+#include "ml/svm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace wavetune::ml {
+
+LinearSvm::LinearSvm(std::vector<double> weights, double bias)
+    : weights_(std::move(weights)), bias_(bias) {}
+
+LinearSvm LinearSvm::fit(const Dataset& data, const SvmConfig& config) {
+  if (data.empty()) throw std::invalid_argument("LinearSvm::fit: empty dataset");
+  const std::size_t k = data.num_features();
+  const std::size_t n = data.size();
+
+  LinearSvm svm;
+  svm.weights_.assign(k, 0.0);
+  svm.bias_ = 0.0;
+
+  util::Rng rng(config.seed);
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+
+  // Learning-rate offset: plain Pegasos uses eta = 1/(lambda*t), whose
+  // first steps are enormous (1/lambda) and permanently scar the
+  // unregularised bias. Shifting t by 2/lambda caps eta at ~0.5 while
+  // preserving the 1/t decay.
+  const double t_offset = 2.0 / config.lambda;
+  std::size_t t = 0;
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.shuffle(order);
+    for (std::size_t i : order) {
+      ++t;
+      const double eta = 1.0 / (config.lambda * (static_cast<double>(t) + t_offset));
+      const auto x = data.row(i);
+      const double y = data.target(i) >= 0.0 ? 1.0 : -1.0;
+      double margin = svm.bias_;
+      for (std::size_t c = 0; c < k; ++c) margin += svm.weights_[c] * x[c];
+      // w <- (1 - eta*lambda) w  [+ eta*y*x when the margin is violated]
+      const double shrink = 1.0 - eta * config.lambda;
+      for (std::size_t c = 0; c < k; ++c) svm.weights_[c] *= shrink;
+      if (y * margin < 1.0) {
+        for (std::size_t c = 0; c < k; ++c) svm.weights_[c] += eta * y * x[c];
+        svm.bias_ += eta * y;  // unregularised bias
+      }
+    }
+  }
+  return svm;
+}
+
+double LinearSvm::decision(std::span<const double> x) const {
+  if (x.size() != weights_.size()) {
+    throw std::invalid_argument("LinearSvm::decision: arity mismatch");
+  }
+  double m = bias_;
+  for (std::size_t c = 0; c < x.size(); ++c) m += weights_[c] * x[c];
+  return m;
+}
+
+double LinearSvm::accuracy(const Dataset& data) const {
+  if (data.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const int truth = data.target(i) >= 0.0 ? 1 : -1;
+    if (predict(data.row(i)) == truth) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(data.size());
+}
+
+util::Json LinearSvm::to_json() const {
+  util::Json j = util::Json::object();
+  j["kind"] = util::Json("linear_svm");
+  util::Json w = util::Json::array();
+  for (double v : weights_) w.push_back(util::Json(v));
+  j["weights"] = std::move(w);
+  j["bias"] = util::Json(bias_);
+  return j;
+}
+
+LinearSvm LinearSvm::from_json(const util::Json& j) {
+  LinearSvm s;
+  for (const auto& v : j.at("weights").as_array()) s.weights_.push_back(v.as_number());
+  s.bias_ = j.at("bias").as_number();
+  return s;
+}
+
+}  // namespace wavetune::ml

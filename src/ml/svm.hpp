@@ -1,0 +1,48 @@
+// Linear soft-margin SVM trained with Pegasos (primal stochastic
+// sub-gradient descent, Shalev-Shwartz et al. 2011). The paper uses "a
+// binary SVM based predictor to decide whether or not to exploit
+// parallelism" before the per-parameter regressors run.
+#pragma once
+
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace wavetune::ml {
+
+struct SvmConfig {
+  double lambda = 1e-3;     ///< L2 regularisation strength
+  std::size_t epochs = 60;  ///< passes over the data
+  std::uint64_t seed = 23;
+};
+
+/// Binary classifier over labels +-1. Targets of the training set must be
+/// +1 or -1 (values >= 0 are treated as +1).
+class LinearSvm {
+public:
+  LinearSvm() = default;
+  LinearSvm(std::vector<double> weights, double bias);
+
+  static LinearSvm fit(const Dataset& data, const SvmConfig& config = {});
+
+  /// Signed margin w.x + b.
+  double decision(std::span<const double> x) const;
+  /// Class label: +1 or -1.
+  int predict(std::span<const double> x) const { return decision(x) >= 0.0 ? 1 : -1; }
+
+  double accuracy(const Dataset& data) const;
+
+  const std::vector<double>& weights() const { return weights_; }
+  double bias() const { return bias_; }
+
+  util::Json to_json() const;
+  static LinearSvm from_json(const util::Json& j);
+
+private:
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+};
+
+}  // namespace wavetune::ml

@@ -1,0 +1,43 @@
+// Simulated device buffer.
+//
+// A Buffer owns host-side backing storage standing in for device global
+// memory. Functional kernel payloads read and write this storage directly,
+// so data placement mistakes (missing transfer, stale halo) show up as
+// wrong values, not just wrong timings.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <span>
+#include <vector>
+
+namespace wavetune::ocl {
+
+class Buffer {
+public:
+  Buffer() = default;
+  explicit Buffer(std::size_t bytes);
+
+  std::size_t size() const { return storage_.size(); }
+  bool empty() const { return storage_.empty(); }
+
+  std::byte* data() { return storage_.data(); }
+  const std::byte* data() const { return storage_.data(); }
+
+  std::span<std::byte> bytes() { return storage_; }
+  std::span<const std::byte> bytes() const { return storage_; }
+
+  /// Host-side memcpy helpers with bounds checking (throw std::out_of_range).
+  void write(std::size_t offset, const void* src, std::size_t n);
+  void read(std::size_t offset, void* dst, std::size_t n) const;
+
+  /// Fills the buffer with a byte value (debugging aid; devices in the real
+  /// world do not zero memory for you, and neither does this one by default
+  /// beyond vector initialisation).
+  void fill(std::byte value);
+
+private:
+  std::vector<std::byte> storage_;
+};
+
+}  // namespace wavetune::ocl

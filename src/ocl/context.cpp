@@ -1,0 +1,37 @@
+#include "ocl/context.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wavetune::ocl {
+
+Context::Context(const sim::SystemProfile& profile)
+    : pcie_model_(profile.pcie), pcie_("pcie") {
+  devices_.reserve(profile.gpus.size());
+  for (std::size_t i = 0; i < profile.gpus.size(); ++i) {
+    devices_.push_back(std::make_unique<Device>(profile.gpus[i], pcie_, pcie_model_,
+                                                "gpu" + std::to_string(i) + "-queue"));
+  }
+}
+
+Device& Context::device(std::size_t i) {
+  if (i >= devices_.size()) throw std::out_of_range("Context::device: index out of range");
+  return *devices_[i];
+}
+
+const Device& Context::device(std::size_t i) const {
+  if (i >= devices_.size()) throw std::out_of_range("Context::device: index out of range");
+  return *devices_[i];
+}
+
+void Context::attach_trace(Trace* trace) {
+  for (std::size_t i = 0; i < devices_.size(); ++i) devices_[i]->set_trace(trace, i);
+}
+
+sim::SimTime Context::finish_time() const {
+  sim::SimTime t = pcie_.available_at();
+  for (const auto& d : devices_) t = std::max(t, d->queue_time());
+  return t;
+}
+
+}  // namespace wavetune::ocl

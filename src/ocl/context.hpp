@@ -1,0 +1,37 @@
+// Simulated OpenCL context: the set of devices of one system profile plus
+// the PCIe link they share. Owns the timelines so a fresh Context is a
+// fresh simulated clock.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ocl/device.hpp"
+#include "sim/system_profile.hpp"
+
+namespace wavetune::ocl {
+
+class Context {
+public:
+  explicit Context(const sim::SystemProfile& profile);
+
+  std::size_t device_count() const { return devices_.size(); }
+  Device& device(std::size_t i);
+  const Device& device(std::size_t i) const;
+
+  const sim::PcieModel& pcie_model() const { return pcie_model_; }
+  const sim::Timeline& pcie() const { return pcie_; }
+
+  /// Simulated instant at which every queue and the link are drained.
+  sim::SimTime finish_time() const;
+
+  /// Attaches `trace` to every device (nullptr detaches).
+  void attach_trace(Trace* trace);
+
+private:
+  sim::PcieModel pcie_model_;
+  sim::Timeline pcie_;
+  std::vector<std::unique_ptr<Device>> devices_;
+};
+
+}  // namespace wavetune::ocl

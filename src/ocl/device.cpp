@@ -1,0 +1,100 @@
+#include "ocl/device.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wavetune::ocl {
+
+Device::Device(sim::GpuModel model, sim::Timeline& pcie, const sim::PcieModel& pcie_model,
+               std::string queue_name)
+    : model_(std::move(model)), pcie_(pcie), pcie_model_(pcie_model),
+      queue_(std::move(queue_name)) {}
+
+sim::SimTime Device::deps_ready(std::span<const Event> deps) const {
+  sim::SimTime t = 0.0;
+  for (const Event& e : deps) t = std::max(t, e.done_ns);
+  return t;
+}
+
+void Device::record(CommandKind kind, sim::SimTime start, sim::SimTime end, std::size_t bytes,
+                    std::size_t items) const {
+  if (!trace_) return;
+  TraceRecord r;
+  r.device = trace_index_;
+  r.kind = kind;
+  r.start_ns = start;
+  r.end_ns = end;
+  r.bytes = bytes;
+  r.items = items;
+  trace_->add(r);
+}
+
+Event Device::charge_write(std::size_t bytes, std::span<const Event> deps) {
+  // A transfer holds both the shared PCIe link and this device's queue slot
+  // (in-order semantics: later commands on this device cannot overtake it).
+  const sim::SimTime earliest = std::max(deps_ready(deps), queue_.available_at());
+  const auto slot = pcie_.acquire(earliest, pcie_model_.transfer_ns(bytes));
+  queue_.acquire(slot.start, slot.end - slot.start);
+  record(CommandKind::HostToDevice, slot.start, slot.end, bytes, 0);
+  return Event{slot.end};
+}
+
+Event Device::charge_read(std::size_t bytes, std::span<const Event> deps) {
+  const sim::SimTime earliest = std::max(deps_ready(deps), queue_.available_at());
+  const auto slot = pcie_.acquire(earliest, pcie_model_.transfer_ns(bytes));
+  queue_.acquire(slot.start, slot.end - slot.start);
+  record(CommandKind::DeviceToHost, slot.start, slot.end, bytes, 0);
+  return Event{slot.end};
+}
+
+Event Device::charge_kernel(const LaunchShape& shape, std::span<const Event> deps) {
+  double duration = 0.0;
+  if (shape.groups == 0) {
+    duration = model_.kernel_ns(shape.items, shape.tsize_units, shape.bytes_per_item);
+  } else {
+    duration = model_.tiled_kernel_ns(shape.groups, shape.serial_steps, shape.syncs,
+                                      shape.tsize_units, shape.bytes_per_item);
+  }
+  const sim::SimTime earliest = std::max(deps_ready(deps), queue_.available_at());
+  const auto slot = queue_.acquire(earliest, duration);
+  record(CommandKind::Kernel, slot.start, slot.end, 0,
+         shape.items ? shape.items : shape.groups);
+  return Event{slot.end};
+}
+
+Event Device::charge_copy_to(Device& dst_device, std::size_t bytes,
+                             std::span<const Event> deps) {
+  const Event d2h = charge_read(bytes, deps);
+  const Event deps2[] = {d2h};
+  return dst_device.charge_write(bytes, deps2);
+}
+
+Event Device::enqueue_write(Buffer& dst, std::size_t offset, const void* src, std::size_t n,
+                            std::span<const Event> deps) {
+  dst.write(offset, src, n);  // functional effect
+  return charge_write(n, deps);
+}
+
+Event Device::enqueue_read(const Buffer& src, std::size_t offset, void* dst, std::size_t n,
+                           std::span<const Event> deps) {
+  src.read(offset, dst, n);  // functional effect
+  return charge_read(n, deps);
+}
+
+Event Device::enqueue_kernel(const LaunchShape& shape, const KernelFn& fn,
+                             std::span<const Event> deps) {
+  if (fn) fn();  // functional effect
+  return charge_kernel(shape, deps);
+}
+
+Event Device::enqueue_copy_to(Device& dst_device, const Buffer& src, std::size_t src_offset,
+                              Buffer& dst, std::size_t dst_offset, std::size_t n,
+                              std::span<const Event> deps) {
+  // Stage through host memory: D2H on this device, then H2D on the target.
+  std::vector<std::byte> staging(n);
+  const Event d2h = enqueue_read(src, src_offset, staging.data(), n, deps);
+  const Event deps2[] = {d2h};
+  return dst_device.enqueue_write(dst, dst_offset, staging.data(), n, deps2);
+}
+
+}  // namespace wavetune::ocl

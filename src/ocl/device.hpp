@@ -1,0 +1,116 @@
+// Simulated OpenCL-style device with an in-order command queue.
+//
+// Commands (writes, reads, kernel launches, device-to-device copies) are
+// executed functionally at enqueue time — valid because the queue is
+// in-order and the host drives it single-threaded — while their simulated
+// timestamps are scheduled on discrete-event timelines: one per device
+// execution engine, plus the system-shared PCIe link for transfers.
+// The returned Event carries the command's simulated completion time;
+// dependencies across devices are expressed by passing Events in.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ocl/buffer.hpp"
+#include "ocl/trace.hpp"
+#include "sim/hardware.hpp"
+#include "sim/timeline.hpp"
+
+namespace wavetune::ocl {
+
+/// Completion marker of an enqueued command.
+struct Event {
+  sim::SimTime done_ns = 0.0;
+};
+
+/// Geometry and cost descriptor of one kernel launch.
+/// `groups == 0` requests the untiled path: `items` independent work-items
+/// scheduled in occupancy waves. `groups > 0` requests the tiled path:
+/// that many work-groups, each serialising `serial_steps` intra-group
+/// wavefront steps separated by `syncs` work-group barriers.
+struct LaunchShape {
+  std::size_t items = 0;
+  std::size_t groups = 0;
+  std::size_t serial_steps = 1;
+  std::size_t syncs = 0;
+  double tsize_units = 0.0;       ///< per-item computational granularity
+  std::size_t bytes_per_item = 0; ///< per-item global-memory traffic
+};
+
+/// Functional payload of a kernel: performs the actual cell computations.
+using KernelFn = std::function<void()>;
+
+class Device {
+public:
+  /// `pcie`/`pcie_model` describe the system-shared transfer link; both
+  /// must outlive the device.
+  Device(sim::GpuModel model, sim::Timeline& pcie, const sim::PcieModel& pcie_model,
+         std::string queue_name = "gpu-queue");
+
+  const sim::GpuModel& model() const { return model_; }
+
+  Buffer create_buffer(std::size_t bytes) const { return Buffer(bytes); }
+
+  /// Host -> device transfer of `n` bytes into `dst` at `offset`.
+  Event enqueue_write(Buffer& dst, std::size_t offset, const void* src, std::size_t n,
+                      std::span<const Event> deps = {});
+
+  /// Device -> host transfer.
+  Event enqueue_read(const Buffer& src, std::size_t offset, void* dst, std::size_t n,
+                     std::span<const Event> deps = {});
+
+  /// Kernel launch; `fn` is executed immediately (functional semantics),
+  /// the Event carries the simulated completion time.
+  Event enqueue_kernel(const LaunchShape& shape, const KernelFn& fn,
+                       std::span<const Event> deps = {});
+
+  /// Device -> device copy, staged through host memory (two PCIe legs),
+  /// exactly as the paper describes for halo swaps: "data elements have to
+  /// be first transferred to the host (CPU) memory and then transferred to
+  /// respective destination GPUs".
+  Event enqueue_copy_to(Device& dst_device, const Buffer& src, std::size_t src_offset,
+                        Buffer& dst, std::size_t dst_offset, std::size_t n,
+                        std::span<const Event> deps = {});
+
+  // Timing-only variants. The hybrid executor moves strided cell data
+  // (diagonal strips) whose functional copies it performs itself; these
+  // methods account the simulated cost of the equivalent bulk transfer /
+  // launch without touching memory. estimate() uses them exclusively,
+  // which is what guarantees run() and estimate() report identical
+  // simulated times: both walk the same schedule through the same
+  // timelines.
+  Event charge_write(std::size_t bytes, std::span<const Event> deps = {});
+  Event charge_read(std::size_t bytes, std::span<const Event> deps = {});
+  Event charge_kernel(const LaunchShape& shape, std::span<const Event> deps = {});
+  Event charge_copy_to(Device& dst_device, std::size_t bytes, std::span<const Event> deps = {});
+
+  /// Simulated instant at which this device's queue drains.
+  sim::SimTime queue_time() const { return queue_.available_at(); }
+
+  /// Execution-engine utilisation accounting.
+  const sim::Timeline& queue() const { return queue_; }
+
+  /// Attaches an execution trace (nullptr detaches). The trace must
+  /// outlive the device's subsequent commands.
+  void set_trace(Trace* trace, std::size_t device_index) {
+    trace_ = trace;
+    trace_index_ = device_index;
+  }
+
+private:
+  sim::GpuModel model_;
+  sim::Timeline& pcie_;
+  const sim::PcieModel& pcie_model_;
+  sim::Timeline queue_;
+  Trace* trace_ = nullptr;
+  std::size_t trace_index_ = 0;
+
+  sim::SimTime deps_ready(std::span<const Event> deps) const;
+  void record(CommandKind kind, sim::SimTime start, sim::SimTime end, std::size_t bytes,
+              std::size_t items) const;
+};
+
+}  // namespace wavetune::ocl

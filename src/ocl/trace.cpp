@@ -1,0 +1,92 @@
+#include "ocl/trace.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace wavetune::ocl {
+
+const char* to_string(CommandKind kind) {
+  switch (kind) {
+    case CommandKind::HostToDevice: return "h2d";
+    case CommandKind::DeviceToHost: return "d2h";
+    case CommandKind::Kernel: return "kernel";
+  }
+  return "?";
+}
+
+std::size_t Trace::count(CommandKind kind) const {
+  std::size_t n = 0;
+  for (const auto& r : records_) {
+    if (r.kind == kind) ++n;
+  }
+  return n;
+}
+
+std::size_t Trace::count(CommandKind kind, std::size_t device) const {
+  std::size_t n = 0;
+  for (const auto& r : records_) {
+    if (r.kind == kind && r.device == device) ++n;
+  }
+  return n;
+}
+
+double Trace::total_ns(CommandKind kind) const {
+  double t = 0.0;
+  for (const auto& r : records_) {
+    if (r.kind == kind) t += r.duration_ns();
+  }
+  return t;
+}
+
+sim::SimTime Trace::span_ns() const {
+  sim::SimTime t = 0.0;
+  for (const auto& r : records_) t = std::max(t, r.end_ns);
+  return t;
+}
+
+std::string Trace::render_gantt(std::size_t width) const {
+  if (records_.empty()) return "(empty trace)\n";
+  if (width < 10) width = 10;
+  const double span = span_ns();
+  if (span <= 0.0) return "(zero-span trace)\n";
+
+  // Lanes: one per device for kernels, one shared transfer lane.
+  std::map<std::size_t, std::string> device_lane;
+  std::string transfer_lane(width, '.');
+  for (const auto& r : records_) {
+    auto lo = static_cast<std::size_t>(r.start_ns / span * static_cast<double>(width));
+    auto hi = static_cast<std::size_t>(r.end_ns / span * static_cast<double>(width));
+    lo = std::min(lo, width - 1);
+    hi = std::min(std::max(hi, lo + 1), width);
+    if (r.kind == CommandKind::Kernel) {
+      auto [it, inserted] = device_lane.try_emplace(r.device, std::string(width, '.'));
+      for (std::size_t c = lo; c < hi; ++c) it->second[c] = '#';
+    } else {
+      const char mark = r.kind == CommandKind::HostToDevice ? 'v' : '^';
+      for (std::size_t c = lo; c < hi; ++c) transfer_lane[c] = mark;
+    }
+  }
+
+  std::ostringstream out;
+  out << "simulated span: " << sim::format_time(span) << "  (# kernel, v h2d, ^ d2h)\n";
+  for (const auto& [dev, lane] : device_lane) {
+    out << "gpu" << dev << "  |" << lane << "|\n";
+  }
+  out << "pcie  |" << transfer_lane << "|\n";
+  return out.str();
+}
+
+std::string Trace::render_log() const {
+  std::ostringstream out;
+  for (const auto& r : records_) {
+    out << "gpu" << r.device << ' ' << to_string(r.kind) << " [" << sim::format_time(r.start_ns)
+        << ", " << sim::format_time(r.end_ns) << "]";
+    if (r.bytes) out << ' ' << r.bytes << " B";
+    if (r.items) out << ' ' << r.items << " items";
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace wavetune::ocl

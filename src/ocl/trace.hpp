@@ -1,0 +1,65 @@
+// Execution tracing for the simulated platform.
+//
+// When a Trace is attached to a Context, every command (transfer, kernel,
+// swap leg) records its device, simulated [start, end] interval and
+// payload size. The trace can be rendered as an ASCII Gantt chart — the
+// schedule visualisation used by bench_trace_timeline — and summarised
+// per command kind, which the tests cross-check against the executor's
+// PhaseBreakdown accounting.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/timeline.hpp"
+
+namespace wavetune::ocl {
+
+enum class CommandKind { HostToDevice, DeviceToHost, Kernel };
+
+const char* to_string(CommandKind kind);
+
+struct TraceRecord {
+  std::size_t device = 0;
+  CommandKind kind = CommandKind::Kernel;
+  sim::SimTime start_ns = 0.0;
+  sim::SimTime end_ns = 0.0;
+  std::size_t bytes = 0;  ///< transfers
+  std::size_t items = 0;  ///< kernels
+
+  double duration_ns() const { return end_ns - start_ns; }
+};
+
+class Trace {
+public:
+  void add(TraceRecord record) { records_.push_back(record); }
+  void clear() { records_.clear(); }
+
+  const std::vector<TraceRecord>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+
+  /// Number of records of one kind (optionally restricted to a device).
+  std::size_t count(CommandKind kind) const;
+  std::size_t count(CommandKind kind, std::size_t device) const;
+
+  /// Total busy time of one kind across all devices.
+  double total_ns(CommandKind kind) const;
+
+  /// Latest completion time across all records (0 when empty).
+  sim::SimTime span_ns() const;
+
+  /// ASCII Gantt chart: one lane per device plus a transfer lane, `width`
+  /// characters across the full simulated span. Kernels print '#',
+  /// host->device transfers 'v', device->host '^'.
+  std::string render_gantt(std::size_t width = 100) const;
+
+  /// One line per record (device, kind, interval, payload).
+  std::string render_log() const;
+
+private:
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace wavetune::ocl

@@ -1,0 +1,72 @@
+#include "sim/hardware.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace wavetune::sim {
+
+double CpuModel::effective_parallelism() const {
+  const double smt_extra = (hw_threads > physical_cores) ? ht_yield : 0.0;
+  return static_cast<double>(physical_cores) * (1.0 + smt_extra);
+}
+
+double CpuModel::element_ns(double tsize_units, std::size_t elem_bytes) const {
+  if (tsize_units < 0.0) throw std::invalid_argument("CpuModel::element_ns: negative tsize");
+  return tsize_units * ns_per_unit + static_cast<double>(elem_bytes) * mem_ns_per_byte;
+}
+
+double CpuModel::tiled_element_ns(double tsize_units, std::size_t elem_bytes,
+                                  std::size_t tile) const {
+  if (tile == 0) throw std::invalid_argument("CpuModel::tiled_element_ns: zero tile");
+  double mem = static_cast<double>(elem_bytes) * mem_ns_per_byte;
+  // A tile touches its own cells plus a one-cell halo of neighbours. If that
+  // working set spills the per-core L2 budget, the memory term inflates.
+  const double working_set = static_cast<double>((tile + 2) * (tile + 2)) *
+                             static_cast<double>(elem_bytes);
+  if (working_set > l2_bytes_per_core) mem *= mem_spill_factor;
+  return tsize_units * ns_per_unit + mem;
+}
+
+std::size_t GpuModel::lanes() const {
+  return static_cast<std::size_t>(compute_units) * static_cast<std::size_t>(simd_width);
+}
+
+double GpuModel::item_ns(double tsize_units, std::size_t elem_bytes) const {
+  if (tsize_units < 0.0) throw std::invalid_argument("GpuModel::item_ns: negative tsize");
+  return tsize_units * thread_ns_per_unit + static_cast<double>(elem_bytes) * mem_ns_per_byte;
+}
+
+double GpuModel::kernel_ns(std::size_t items, double tsize_units,
+                           std::size_t elem_bytes) const {
+  if (items == 0) return launch_ns;
+  // Continuous occupancy model: a kernel of N independent work-items takes
+  // max(1, N/lanes) "waves". The continuous form (rather than ceil) keeps
+  // the cost surface smooth, which both matches throughput-oriented real
+  // hardware (partial waves overlap) and keeps the tuning space free of
+  // artificial staircase minima.
+  const double waves = std::max(1.0, static_cast<double>(items) / static_cast<double>(lanes()));
+  return launch_ns + waves * item_ns(tsize_units, elem_bytes);
+}
+
+double GpuModel::tiled_kernel_ns(std::size_t groups, std::size_t serial_steps,
+                                 std::size_t syncs, double tsize_units,
+                                 std::size_t elem_bytes) const {
+  if (groups == 0) return launch_ns;
+  // One work-group resident per compute unit; groups beyond that run in
+  // successive waves. Within a group the intra-tile wavefront serialises
+  // `serial_steps` steps, each bounded by one item plus a barrier.
+  const double group_waves =
+      std::max(1.0, static_cast<double>(groups) / static_cast<double>(compute_units));
+  const double group_ns = static_cast<double>(serial_steps) * item_ns(tsize_units, elem_bytes) +
+                          static_cast<double>(syncs) * wg_sync_ns;
+  return launch_ns + group_waves * group_ns;
+}
+
+double PcieModel::transfer_ns(std::size_t bytes) const {
+  if (bandwidth_gb_s <= 0.0) throw std::invalid_argument("PcieModel: non-positive bandwidth");
+  const double bw_bytes_per_ns = bandwidth_gb_s;  // 1 GB/s == 1 byte/ns
+  return latency_ns + static_cast<double>(bytes) / bw_bytes_per_ns;
+}
+
+}  // namespace wavetune::sim

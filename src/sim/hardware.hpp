@@ -1,0 +1,85 @@
+// Hardware cost models for the simulated heterogeneous platform.
+//
+// The paper's testbed (its Table 4) is three 2010-2012 machines with real
+// NVIDIA GPUs. This environment has neither the machines nor any GPU, so
+// per the reproduction's substitution rule we model each component with a
+// small set of calibrated cost parameters. Every constant that shapes the
+// tuning space lives here (and in system_profile.cpp), in one place, so the
+// calibration targets listed in DESIGN.md §7 can be audited and adjusted.
+//
+// Units: all times in simulated nanoseconds; `units` refers to the paper's
+// tsize unit — the execution time of one iteration of the synthetic kernel
+// on a single reference CPU core (we define the reference as 1 ns/unit).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace wavetune::sim {
+
+/// Multicore CPU model.
+struct CpuModel {
+  std::string name;
+  int physical_cores = 1;
+  int hw_threads = 1;       ///< incl. hyperthreads (paper Table 4 "Cores (HT)")
+  double clock_mhz = 1000;  ///< as reported in paper Table 4
+
+  double ns_per_unit = 1.0;      ///< single-thread time per tsize unit
+  double mem_ns_per_byte = 0.05; ///< per-element per-byte cost, cache-resident tiles
+  double mem_spill_factor = 3.0; ///< multiplier when the tile working set spills L2
+  double l2_bytes_per_core = 256 * 1024;
+  double tile_sched_ns = 150.0;  ///< per-tile enqueue/dispatch overhead
+  double barrier_ns = 2500.0;    ///< per tile-diagonal barrier across the pool
+  double ht_yield = 0.3;         ///< extra throughput from SMT beyond physical cores
+
+  /// Usable parallel throughput, in "core equivalents".
+  double effective_parallelism() const;
+
+  /// Time to compute one element serially (cache-friendly layout).
+  double element_ns(double tsize_units, std::size_t elem_bytes) const;
+
+  /// Per-element time inside a TxT tile (adds spill penalty if the tile
+  /// working set exceeds the per-core L2 budget).
+  double tiled_element_ns(double tsize_units, std::size_t elem_bytes, std::size_t tile) const;
+};
+
+/// GPU accelerator model (OpenCL view: compute units x SIMD lanes).
+struct GpuModel {
+  std::string name;
+  int compute_units = 14;
+  int simd_width = 32;      ///< concurrent work-items per compute unit
+  double clock_mhz = 1200;
+  double mem_gb = 1.5;
+
+  double thread_ns_per_unit = 40.0;  ///< per work-item time per tsize unit
+  double mem_ns_per_byte = 0.6;      ///< per work-item global-memory cost
+  double launch_ns = 20000.0;        ///< kernel launch latency
+  double wg_sync_ns = 180.0;         ///< work-group barrier cost
+
+  /// Total concurrent work-items the device can hold in flight.
+  std::size_t lanes() const;
+
+  /// Time for one work-item to process one element.
+  double item_ns(double tsize_units, std::size_t elem_bytes) const;
+
+  /// Duration of an *untiled* 1-D kernel over `items` independent
+  /// work-items (one diagonal): launch + occupancy-limited waves.
+  double kernel_ns(std::size_t items, double tsize_units, std::size_t elem_bytes) const;
+
+  /// Duration of a *tiled* kernel: `groups` work-groups, each running
+  /// `serial_steps` intra-group wavefront steps separated by `syncs`
+  /// work-group barriers. Groups are scheduled one per compute unit.
+  double tiled_kernel_ns(std::size_t groups, std::size_t serial_steps, std::size_t syncs,
+                         double tsize_units, std::size_t elem_bytes) const;
+};
+
+/// Host <-> device interconnect model (shared across all GPUs of a system,
+/// matching the single PCIe root of the paper's machines).
+struct PcieModel {
+  double bandwidth_gb_s = 1.5;  ///< effective (pageable-memory) bandwidth
+  double latency_ns = 12000.0;  ///< per-transfer fixed cost
+
+  double transfer_ns(std::size_t bytes) const;
+};
+
+}  // namespace wavetune::sim

@@ -1,0 +1,50 @@
+// The three experimental systems of the paper's Table 4, plus a registry
+// for user-defined profiles. All calibration constants are centralised in
+// system_profile.cpp; DESIGN.md §7 lists the qualitative targets they were
+// tuned against.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/hardware.hpp"
+
+namespace wavetune::sim {
+
+/// A complete machine: one multicore CPU, zero or more GPUs, and the
+/// host<->device interconnect they share.
+struct SystemProfile {
+  std::string name;
+  CpuModel cpu;
+  std::vector<GpuModel> gpus;
+  PcieModel pcie;
+
+  int gpu_count() const { return static_cast<int>(gpus.size()); }
+
+  /// The device used for single-GPU offload (first GPU). Throws if none.
+  const GpuModel& gpu(std::size_t index = 0) const;
+
+  /// One-line human description, mirroring the paper's Table 4 row.
+  std::string describe() const;
+};
+
+/// Paper Table 4, row 1: Intel i3-540 + GeForce GTX 480 (single GPU,
+/// slow CPU cores — the system where offload pays off earliest).
+SystemProfile make_i3_540();
+
+/// Paper Table 4, row 2: Intel i7-2600K + 4x GeForce GTX 590 dies
+/// (fast CPU, several consumer GPUs).
+SystemProfile make_i7_2600k();
+
+/// Paper Table 4, row 3: Intel i7-3820 + Tesla C2070/C2075 (fastest CPU,
+/// two compute GPUs).
+SystemProfile make_i7_3820();
+
+/// All three paper systems, in Table 4 order.
+std::vector<SystemProfile> paper_systems();
+
+/// Looks a profile up by name ("i3-540", "i7-2600K", "i7-3820",
+/// case-insensitive). Throws std::invalid_argument on unknown names.
+SystemProfile profile_by_name(const std::string& name);
+
+}  // namespace wavetune::sim

@@ -1,0 +1,49 @@
+#include "sim/timeline.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace wavetune::sim {
+
+Timeline::Timeline(std::string name) : name_(std::move(name)) {}
+
+Timeline::Slot Timeline::acquire(SimTime earliest, SimTime duration) {
+  if (duration < 0.0) throw std::invalid_argument("Timeline::acquire: negative duration");
+  if (earliest < 0.0) throw std::invalid_argument("Timeline::acquire: negative earliest");
+  Slot slot;
+  slot.start = std::max(earliest, available_at_);
+  slot.end = slot.start + duration;
+  available_at_ = slot.end;
+  busy_total_ += duration;
+  ++acquisitions_;
+  return slot;
+}
+
+double Timeline::utilization() const {
+  if (available_at_ <= 0.0) return 0.0;
+  return busy_total_ / available_at_;
+}
+
+void Timeline::reset() {
+  available_at_ = 0.0;
+  busy_total_ = 0.0;
+  acquisitions_ = 0;
+}
+
+std::string format_time(SimTime ns) {
+  std::ostringstream ss;
+  ss.precision(4);
+  if (ns < 1e3) {
+    ss << ns << " ns";
+  } else if (ns < 1e6) {
+    ss << ns / 1e3 << " us";
+  } else if (ns < 1e9) {
+    ss << ns / 1e6 << " ms";
+  } else {
+    ss << ns / 1e9 << " s";
+  }
+  return ss.str();
+}
+
+}  // namespace wavetune::sim

@@ -1,0 +1,63 @@
+// Discrete-event resource timelines.
+//
+// The simulated platform is modelled as a set of exclusive FIFO resources
+// (each GPU's execution engine, the shared PCIe link, ...). An operation
+// acquires a resource no earlier than its dependencies are ready and holds
+// it for a model-computed duration. Elapsed simulated time is the max of
+// all completion timestamps. This is a classic list-scheduling /
+// discrete-event formulation: deterministic, exact, and independent of
+// host wall-clock speed.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace wavetune::sim {
+
+/// Simulated nanoseconds since the start of the run.
+using SimTime = double;
+
+/// An exclusive, in-order resource. Acquisitions are FIFO: each new
+/// acquisition starts at max(earliest, previous completion).
+class Timeline {
+public:
+  explicit Timeline(std::string name = "resource");
+
+  struct Slot {
+    SimTime start = 0.0;
+    SimTime end = 0.0;
+  };
+
+  /// Reserves the resource for `duration` ns, starting no earlier than
+  /// `earliest`. Returns the scheduled [start, end] slot.
+  /// Throws std::invalid_argument on negative duration.
+  Slot acquire(SimTime earliest, SimTime duration);
+
+  /// Next instant at which the resource is free.
+  SimTime available_at() const { return available_at_; }
+
+  /// Total time the resource has been held (for utilisation reports).
+  SimTime busy_total() const { return busy_total_; }
+
+  /// Number of acquisitions so far.
+  std::size_t acquisitions() const { return acquisitions_; }
+
+  /// Fraction of [0, available_at()] the resource was busy (0 if unused).
+  double utilization() const;
+
+  const std::string& name() const { return name_; }
+
+  /// Resets to the initial idle state at t=0.
+  void reset();
+
+private:
+  std::string name_;
+  SimTime available_at_ = 0.0;
+  SimTime busy_total_ = 0.0;
+  std::size_t acquisitions_ = 0;
+};
+
+/// Formats nanoseconds with an adaptive unit (ns/us/ms/s).
+std::string format_time(SimTime ns);
+
+}  // namespace wavetune::sim

@@ -1,0 +1,60 @@
+#include "util/cli.hpp"
+
+#include <stdexcept>
+
+namespace wavetune::util {
+
+Cli::Cli(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[body] = argv[++i];
+    } else {
+      flags_[body] = "";
+    }
+  }
+}
+
+bool Cli::has(const std::string& name) const { return flags_.count(name) > 0; }
+
+std::optional<std::string> Cli::get(const std::string& name) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Cli::get_or(const std::string& name, const std::string& def) const {
+  const auto v = get(name);
+  return v ? *v : def;
+}
+
+long long Cli::get_int_or(const std::string& name, long long def) const {
+  const auto v = get(name);
+  if (!v || v->empty()) return def;
+  return std::stoll(*v);
+}
+
+double Cli::get_double_or(const std::string& name, double def) const {
+  const auto v = get(name);
+  if (!v || v->empty()) return def;
+  return std::stod(*v);
+}
+
+bool Cli::get_bool_or(const std::string& name, bool def) const {
+  const auto v = get(name);
+  if (!v) return def;
+  if (v->empty() || *v == "1" || *v == "true" || *v == "yes" || *v == "on") return true;
+  if (*v == "0" || *v == "false" || *v == "no" || *v == "off") return false;
+  throw std::invalid_argument("Cli: bad boolean for --" + name + ": " + *v);
+}
+
+}  // namespace wavetune::util

@@ -1,0 +1,35 @@
+// Minimal command-line flag parsing for the bench/example binaries.
+// Supports --key=value, --key value, and bare --flag forms.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace wavetune::util {
+
+class Cli {
+public:
+  Cli(int argc, const char* const* argv);
+
+  /// True if --name appeared (with or without a value).
+  bool has(const std::string& name) const;
+
+  std::optional<std::string> get(const std::string& name) const;
+  std::string get_or(const std::string& name, const std::string& def) const;
+  long long get_int_or(const std::string& name, long long def) const;
+  double get_double_or(const std::string& name, double def) const;
+  bool get_bool_or(const std::string& name, bool def) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& program() const { return program_; }
+
+private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace wavetune::util

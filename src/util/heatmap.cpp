@@ -1,0 +1,114 @@
+#include "util/heatmap.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace wavetune::util {
+
+Heatmap::Heatmap(std::vector<double> x_labels, std::vector<double> y_labels)
+    : x_labels_(std::move(x_labels)), y_labels_(std::move(y_labels)) {
+  if (x_labels_.empty() || y_labels_.empty()) {
+    throw std::invalid_argument("Heatmap: empty axis");
+  }
+  cells_.assign(x_labels_.size() * y_labels_.size(), std::nullopt);
+}
+
+std::size_t Heatmap::idx(std::size_t xi, std::size_t yi) const {
+  if (xi >= width() || yi >= height()) throw std::out_of_range("Heatmap: index");
+  return yi * width() + xi;
+}
+
+void Heatmap::set(std::size_t xi, std::size_t yi, double value) { cells_[idx(xi, yi)] = value; }
+
+std::optional<double> Heatmap::at(std::size_t xi, std::size_t yi) const {
+  return cells_[idx(xi, yi)];
+}
+
+namespace {
+std::string label_str(double v) {
+  std::ostringstream ss;
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    ss << static_cast<long long>(v);
+  } else {
+    ss << v;
+  }
+  return ss.str();
+}
+}  // namespace
+
+std::string Heatmap::render_numeric(const std::string& x_name, const std::string& y_name,
+                                    int cell_width) const {
+  std::ostringstream out;
+  out << y_name << " \\ " << x_name << '\n';
+  // Rows printed top-down from the largest y label, matching the paper's axes.
+  for (std::size_t r = 0; r < height(); ++r) {
+    const std::size_t yi = height() - 1 - r;
+    out << std::right << std::setw(8) << label_str(y_labels_[yi]) << " |";
+    for (std::size_t xi = 0; xi < width(); ++xi) {
+      const auto v = at(xi, yi);
+      out << std::right << std::setw(cell_width) << (v ? label_str(*v) : ".");
+    }
+    out << '\n';
+  }
+  out << std::string(8, ' ') << " +" << std::string(width() * static_cast<std::size_t>(cell_width), '-')
+      << '\n';
+  out << std::string(9, ' ');
+  for (std::size_t xi = 0; xi < width(); ++xi) {
+    out << std::right << std::setw(cell_width) << label_str(x_labels_[xi]);
+  }
+  out << '\n';
+  return out.str();
+}
+
+std::string Heatmap::render_ramp(const std::string& x_name, const std::string& y_name,
+                                 std::function<char(double)> classify) const {
+  static const std::string ramp = " .:-=+*#%@";
+  double lo = 0.0;
+  double hi = 0.0;
+  bool any = false;
+  for (const auto& c : cells_) {
+    if (!c) continue;
+    if (!any) {
+      lo = hi = *c;
+      any = true;
+    } else {
+      lo = std::min(lo, *c);
+      hi = std::max(hi, *c);
+    }
+  }
+  std::ostringstream out;
+  out << y_name << " \\ " << x_name << '\n';
+  for (std::size_t r = 0; r < height(); ++r) {
+    const std::size_t yi = height() - 1 - r;
+    out << std::right << std::setw(8) << label_str(y_labels_[yi]) << " |";
+    for (std::size_t xi = 0; xi < width(); ++xi) {
+      const auto v = at(xi, yi);
+      if (!v) {
+        out << ' ';
+        continue;
+      }
+      if (classify) {
+        out << classify(*v);
+      } else if (!any || hi == lo) {
+        out << ramp.back();
+      } else {
+        const double t = (*v - lo) / (hi - lo);
+        const auto k = static_cast<std::size_t>(t * static_cast<double>(ramp.size() - 1));
+        out << ramp[std::min(k, ramp.size() - 1)];
+      }
+    }
+    out << '\n';
+  }
+  out << std::string(9, ' ') << "x: ";
+  for (std::size_t xi = 0; xi < width(); ++xi) {
+    out << label_str(x_labels_[xi]);
+    if (xi + 1 < width()) out << ' ';
+  }
+  out << '\n';
+  return out.str();
+}
+
+}  // namespace wavetune::util

@@ -1,0 +1,44 @@
+// ASCII heatmap rendering for the Fig. 5 reproduction: best band / halo
+// values over a (tsize, dim) grid, printed with axis labels.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace wavetune::util {
+
+/// A dense 2-D grid of optional values keyed by labelled axes.
+/// x runs across columns, y across rows (row 0 printed last so that the
+/// y-axis increases upward, as in the paper's figures).
+class Heatmap {
+public:
+  Heatmap(std::vector<double> x_labels, std::vector<double> y_labels);
+
+  std::size_t width() const { return x_labels_.size(); }
+  std::size_t height() const { return y_labels_.size(); }
+
+  void set(std::size_t xi, std::size_t yi, double value);
+  std::optional<double> at(std::size_t xi, std::size_t yi) const;
+
+  const std::vector<double>& x_labels() const { return x_labels_; }
+  const std::vector<double>& y_labels() const { return y_labels_; }
+
+  /// Renders values numerically in a grid, "." for missing cells.
+  std::string render_numeric(const std::string& x_name, const std::string& y_name,
+                             int cell_width = 6) const;
+
+  /// Renders with a character ramp " .:-=+*#%@" scaled to [min,max];
+  /// custom classifier maps value -> char if provided.
+  std::string render_ramp(const std::string& x_name, const std::string& y_name,
+                          std::function<char(double)> classify = nullptr) const;
+
+private:
+  std::vector<double> x_labels_;
+  std::vector<double> y_labels_;
+  std::vector<std::optional<double>> cells_;
+  std::size_t idx(std::size_t xi, std::size_t yi) const;
+};
+
+}  // namespace wavetune::util

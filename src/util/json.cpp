@@ -1,0 +1,358 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace wavetune::util {
+
+bool Json::as_bool() const {
+  if (type_ != Type::Bool) throw JsonError("Json: not a bool");
+  return bool_;
+}
+double Json::as_number() const {
+  if (type_ != Type::Number) throw JsonError("Json: not a number");
+  return num_;
+}
+long long Json::as_int() const {
+  if (type_ != Type::Number) throw JsonError("Json: not a number");
+  return static_cast<long long>(std::llround(num_));
+}
+const std::string& Json::as_string() const {
+  if (type_ != Type::String) throw JsonError("Json: not a string");
+  return str_;
+}
+const JsonArray& Json::as_array() const {
+  if (type_ != Type::Array) throw JsonError("Json: not an array");
+  return arr_;
+}
+JsonArray& Json::as_array() {
+  if (type_ != Type::Array) throw JsonError("Json: not an array");
+  return arr_;
+}
+const JsonObject& Json::as_object() const {
+  if (type_ != Type::Object) throw JsonError("Json: not an object");
+  return obj_;
+}
+JsonObject& Json::as_object() {
+  if (type_ != Type::Object) throw JsonError("Json: not an object");
+  return obj_;
+}
+
+Json& Json::operator[](const std::string& key) {
+  if (type_ == Type::Null) type_ = Type::Object;
+  if (type_ != Type::Object) throw JsonError("Json: operator[] on non-object");
+  return obj_[key];
+}
+
+const Json& Json::at(const std::string& key) const {
+  const auto& o = as_object();
+  const auto it = o.find(key);
+  if (it == o.end()) throw JsonError("Json: missing key '" + key + "'");
+  return it->second;
+}
+
+bool Json::contains(const std::string& key) const {
+  return type_ == Type::Object && obj_.count(key) > 0;
+}
+
+void Json::push_back(Json v) {
+  if (type_ == Type::Null) type_ = Type::Array;
+  if (type_ != Type::Array) throw JsonError("Json: push_back on non-array");
+  arr_.push_back(std::move(v));
+}
+
+std::size_t Json::size() const {
+  if (type_ == Type::Array) return arr_.size();
+  if (type_ == Type::Object) return obj_.size();
+  throw JsonError("Json: size() on scalar");
+}
+
+const Json& Json::at(std::size_t i) const {
+  const auto& a = as_array();
+  if (i >= a.size()) throw JsonError("Json: array index out of range");
+  return a[i];
+}
+
+namespace {
+
+void dump_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  out += '"';
+}
+
+void dump_number(std::string& out, double v) {
+  if (std::isnan(v) || std::isinf(v)) {
+    out += "null";  // JSON has no NaN/Inf; degrade gracefully
+    return;
+  }
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    out += std::to_string(static_cast<long long>(v));
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+void newline_indent(std::string& out, int indent, int depth) {
+  if (indent < 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) * static_cast<std::size_t>(depth), ' ');
+}
+
+}  // namespace
+
+void Json::dump_impl(std::string& out, int indent, int depth) const {
+  switch (type_) {
+    case Type::Null: out += "null"; return;
+    case Type::Bool: out += bool_ ? "true" : "false"; return;
+    case Type::Number: dump_number(out, num_); return;
+    case Type::String: dump_string(out, str_); return;
+    case Type::Array: {
+      if (arr_.empty()) {
+        out += "[]";
+        return;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        if (i) out += ',';
+        newline_indent(out, indent, depth + 1);
+        arr_[i].dump_impl(out, indent, depth + 1);
+      }
+      newline_indent(out, indent, depth);
+      out += ']';
+      return;
+    }
+    case Type::Object: {
+      if (obj_.empty()) {
+        out += "{}";
+        return;
+      }
+      out += '{';
+      bool first = true;
+      for (const auto& [k, v] : obj_) {
+        if (!first) out += ',';
+        first = false;
+        newline_indent(out, indent, depth + 1);
+        dump_string(out, k);
+        out += indent < 0 ? ":" : ": ";
+        v.dump_impl(out, indent, depth + 1);
+      }
+      newline_indent(out, indent, depth);
+      out += '}';
+      return;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_impl(out, indent, 0);
+  return out;
+}
+
+namespace {
+
+class Parser {
+public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Json parse() {
+    skip_ws();
+    Json v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content");
+    return v;
+  }
+
+private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+
+  [[noreturn]] void fail(const std::string& why) {
+    throw JsonError("JSON parse error at offset " + std::to_string(pos_) + ": " + why);
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  char next() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+  }
+
+  void expect_literal(const std::string& lit) {
+    if (text_.compare(pos_, lit.size(), lit) != 0) fail("expected '" + lit + "'");
+    pos_ += lit.size();
+  }
+
+  Json parse_value() {
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Json(parse_string());
+      case 't': expect_literal("true"); return Json(true);
+      case 'f': expect_literal("false"); return Json(false);
+      case 'n': expect_literal("null"); return Json(nullptr);
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    next();  // {
+    JsonObject obj;
+    skip_ws();
+    if (peek() == '}') {
+      next();
+      return Json(std::move(obj));
+    }
+    for (;;) {
+      skip_ws();
+      if (peek() != '"') fail("expected string key");
+      std::string key = parse_string();
+      skip_ws();
+      if (next() != ':') fail("expected ':'");
+      skip_ws();
+      obj[std::move(key)] = parse_value();
+      skip_ws();
+      const char c = next();
+      if (c == '}') break;
+      if (c != ',') fail("expected ',' or '}'");
+    }
+    return Json(std::move(obj));
+  }
+
+  Json parse_array() {
+    next();  // [
+    JsonArray arr;
+    skip_ws();
+    if (peek() == ']') {
+      next();
+      return Json(std::move(arr));
+    }
+    for (;;) {
+      skip_ws();
+      arr.push_back(parse_value());
+      skip_ws();
+      const char c = next();
+      if (c == ']') break;
+      if (c != ',') fail("expected ',' or ']'");
+    }
+    return Json(std::move(arr));
+  }
+
+  std::string parse_string() {
+    next();  // "
+    std::string out;
+    for (;;) {
+      const char c = next();
+      if (c == '"') break;
+      if (c == '\\') {
+        const char esc = next();
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = next();
+              code <<= 4;
+              if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code += static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code += static_cast<unsigned>(h - 'A' + 10);
+              else fail("bad \\u escape");
+            }
+            // Encode as UTF-8 (BMP only).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default: fail("bad escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') next();
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected value");
+    try {
+      return Json(std::stod(text_.substr(start, pos_ - start)));
+    } catch (const std::exception&) {
+      fail("bad number");
+    }
+  }
+};
+
+}  // namespace
+
+Json Json::parse(const std::string& text) { return Parser(text).parse(); }
+
+Json Json::load_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw JsonError("Json: cannot open " + path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return parse(ss.str());
+}
+
+void Json::save_file(const std::string& path, int indent) const {
+  std::ofstream f(path);
+  if (!f) throw JsonError("Json: cannot open for write " + path);
+  f << dump(indent) << '\n';
+  if (!f) throw JsonError("Json: write failed " + path);
+}
+
+}  // namespace wavetune::util

@@ -1,0 +1,92 @@
+// Minimal JSON value type with a recursive-descent parser and writer.
+// Used to persist trained models (autotune model store) and experiment
+// manifests. Supports the full JSON grammar except \u surrogate pairs
+// beyond the BMP (sufficient for our ASCII model files).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace wavetune::util {
+
+class Json;
+using JsonArray = std::vector<Json>;
+using JsonObject = std::map<std::string, Json>;
+
+/// Thrown on malformed input or type-mismatched access.
+class JsonError : public std::runtime_error {
+public:
+  using std::runtime_error::runtime_error;
+};
+
+class Json {
+public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Json() : type_(Type::Null) {}
+  Json(std::nullptr_t) : type_(Type::Null) {}
+  Json(bool b) : type_(Type::Bool), bool_(b) {}
+  Json(double n) : type_(Type::Number), num_(n) {}
+  Json(int n) : type_(Type::Number), num_(n) {}
+  Json(long long n) : type_(Type::Number), num_(static_cast<double>(n)) {}
+  Json(std::size_t n) : type_(Type::Number), num_(static_cast<double>(n)) {}
+  Json(const char* s) : type_(Type::String), str_(s) {}
+  Json(std::string s) : type_(Type::String), str_(std::move(s)) {}
+  Json(JsonArray a) : type_(Type::Array), arr_(std::move(a)) {}
+  Json(JsonObject o) : type_(Type::Object), obj_(std::move(o)) {}
+
+  static Json array() { return Json(JsonArray{}); }
+  static Json object() { return Json(JsonObject{}); }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::Null; }
+  bool is_bool() const { return type_ == Type::Bool; }
+  bool is_number() const { return type_ == Type::Number; }
+  bool is_string() const { return type_ == Type::String; }
+  bool is_array() const { return type_ == Type::Array; }
+  bool is_object() const { return type_ == Type::Object; }
+
+  bool as_bool() const;
+  double as_number() const;
+  long long as_int() const;
+  const std::string& as_string() const;
+  const JsonArray& as_array() const;
+  JsonArray& as_array();
+  const JsonObject& as_object() const;
+  JsonObject& as_object();
+
+  /// Object access; throws JsonError if not an object / key absent (const).
+  Json& operator[](const std::string& key);
+  const Json& at(const std::string& key) const;
+  bool contains(const std::string& key) const;
+
+  /// Array append.
+  void push_back(Json v);
+  std::size_t size() const;
+  const Json& at(std::size_t i) const;
+
+  /// Serialises; indent < 0 means compact single-line output.
+  std::string dump(int indent = -1) const;
+
+  static Json parse(const std::string& text);
+
+  /// File helpers; throw JsonError on I/O failure.
+  static Json load_file(const std::string& path);
+  void save_file(const std::string& path, int indent = 2) const;
+
+private:
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  JsonArray arr_;
+  JsonObject obj_;
+
+  void dump_impl(std::string& out, int indent, int depth) const;
+};
+
+}  // namespace wavetune::util

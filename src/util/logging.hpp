@@ -1,0 +1,45 @@
+// Leveled logging with a process-global threshold. The executors log phase
+// transitions at Debug; the search drivers log progress at Info.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace wavetune::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Sets/reads the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits a single line "[LEVEL] message" to stderr if enabled.
+void log(LogLevel level, const std::string& message);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream ss;
+  (ss << ... << std::forward<Args>(args));
+  return ss.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  if (log_level() <= LogLevel::Debug) log(LogLevel::Debug, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_info(Args&&... args) {
+  if (log_level() <= LogLevel::Info) log(LogLevel::Info, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_warn(Args&&... args) {
+  if (log_level() <= LogLevel::Warn) log(LogLevel::Warn, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_error(Args&&... args) {
+  if (log_level() <= LogLevel::Error) log(LogLevel::Error, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace wavetune::util

@@ -1,0 +1,148 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace wavetune::util {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double percentile(std::span<const double> xs, double p) {
+  if (xs.empty()) throw std::invalid_argument("percentile: empty sample");
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile: p out of range");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double median(std::span<const double> xs) { return percentile(xs, 50.0); }
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  s.min = *std::min_element(xs.begin(), xs.end());
+  s.max = *std::max_element(xs.begin(), xs.end());
+  s.q1 = percentile(xs, 25.0);
+  s.median = percentile(xs, 50.0);
+  s.q3 = percentile(xs, 75.0);
+  s.mean = mean(xs);
+  s.stddev = stddev(xs);
+  return s;
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size()) throw std::invalid_argument("pearson: size mismatch");
+  if (xs.size() < 2) return 0.0;
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    syy += (ys[i] - my) * (ys[i] - my);
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double Histogram::bin_width() const {
+  if (counts.empty()) return 0.0;
+  return (hi - lo) / static_cast<double>(counts.size());
+}
+
+Histogram histogram(std::span<const double> xs, std::size_t bins) {
+  if (bins == 0) throw std::invalid_argument("histogram: zero bins");
+  Histogram h;
+  h.counts.assign(bins, 0);
+  if (xs.empty()) return h;
+  h.lo = *std::min_element(xs.begin(), xs.end());
+  h.hi = *std::max_element(xs.begin(), xs.end());
+  if (h.hi == h.lo) {
+    h.counts[0] = xs.size();
+    return h;
+  }
+  for (double x : xs) {
+    auto idx = static_cast<std::size_t>((x - h.lo) / (h.hi - h.lo) * static_cast<double>(bins));
+    if (idx >= bins) idx = bins - 1;
+    ++h.counts[idx];
+  }
+  return h;
+}
+
+ViolinSummary violin(std::span<const double> xs, std::size_t grid_points) {
+  if (grid_points < 2) throw std::invalid_argument("violin: need >=2 grid points");
+  ViolinSummary v;
+  v.summary = summarize(xs);
+  if (xs.empty()) return v;
+  const double sd = v.summary.stddev;
+  const double iqr = v.summary.q3 - v.summary.q1;
+  const double n = static_cast<double>(xs.size());
+  // Silverman's rule of thumb; guard against zero-spread samples.
+  double sigma = std::min(sd, iqr / 1.34);
+  if (sigma <= 0.0) sigma = std::max(sd, 1e-9);
+  v.bandwidth = 0.9 * sigma * std::pow(n, -0.2);
+  if (v.bandwidth <= 0.0) v.bandwidth = 1e-9;
+
+  const double lo = v.summary.min;
+  const double hi = v.summary.max;
+  v.grid.resize(grid_points);
+  v.density.resize(grid_points);
+  for (std::size_t i = 0; i < grid_points; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(grid_points - 1);
+    const double g = lo + t * (hi - lo);
+    v.grid[i] = g;
+    double d = 0.0;
+    for (double x : xs) {
+      const double z = (g - x) / v.bandwidth;
+      d += std::exp(-0.5 * z * z);
+    }
+    v.density[i] = d / (n * v.bandwidth * std::sqrt(2.0 * 3.14159265358979323846));
+  }
+  return v;
+}
+
+std::string render_violin(const ViolinSummary& v, std::size_t width) {
+  std::ostringstream out;
+  if (v.grid.empty()) return "(empty)\n";
+  const double dmax = *std::max_element(v.density.begin(), v.density.end());
+  for (std::size_t i = 0; i < v.grid.size(); ++i) {
+    const double frac = dmax > 0.0 ? v.density[i] / dmax : 0.0;
+    const auto bar = static_cast<std::size_t>(frac * static_cast<double>(width));
+    char mark = ' ';
+    if (v.grid[i] <= v.summary.median &&
+        (i + 1 == v.grid.size() || v.grid[i + 1] > v.summary.median)) {
+      mark = 'o';  // median marker, mirroring the white dot in the paper's plots
+    }
+    out << mark << ' ';
+    for (std::size_t b = 0; b < bar; ++b) out << '#';
+    out << "  (" << v.grid[i] << ")\n";
+  }
+  return out.str();
+}
+
+}  // namespace wavetune::util

@@ -1,0 +1,60 @@
+// Descriptive statistics used throughout the experimental harness:
+// summary statistics for Fig. 7 (average-case comparison), violin-plot
+// summaries for Fig. 8 (dispersion analysis), and regression metrics shared
+// with the ML module.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace wavetune::util {
+
+/// Five-number summary plus moments for a sample.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1 denominator)
+};
+
+double mean(std::span<const double> xs);
+/// Sample variance (n-1 denominator); 0 for fewer than 2 points.
+double variance(std::span<const double> xs);
+double stddev(std::span<const double> xs);
+/// Linear-interpolated percentile, p in [0,100]. Throws on empty input.
+double percentile(std::span<const double> xs, double p);
+double median(std::span<const double> xs);
+Summary summarize(std::span<const double> xs);
+
+/// Pearson correlation coefficient; 0 if either side is constant.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Histogram with equal-width bins over [min, max].
+struct Histogram {
+  double lo = 0.0;
+  double hi = 0.0;
+  std::vector<std::size_t> counts;
+  double bin_width() const;
+};
+Histogram histogram(std::span<const double> xs, std::size_t bins);
+
+/// Gaussian kernel-density estimate evaluated on a regular grid — the
+/// textual stand-in for the violin plots of paper Fig. 8.
+struct ViolinSummary {
+  Summary summary;
+  std::vector<double> grid;     ///< evaluation points (low..high)
+  std::vector<double> density;  ///< KDE value at each grid point
+  double bandwidth = 0.0;       ///< Silverman's rule-of-thumb bandwidth
+};
+ViolinSummary violin(std::span<const double> xs, std::size_t grid_points = 24);
+
+/// Renders a violin summary as a horizontal ASCII density profile.
+std::string render_violin(const ViolinSummary& v, std::size_t width = 40);
+
+}  // namespace wavetune::util

@@ -1,0 +1,16 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace wavetune::util {
+
+std::vector<std::string> split(const std::string& s, char delim);
+std::string join(const std::vector<std::string>& parts, const std::string& sep);
+std::string trim(const std::string& s);
+std::string to_lower(const std::string& s);
+bool starts_with(const std::string& s, const std::string& prefix);
+bool ends_with(const std::string& s, const std::string& suffix);
+
+}  // namespace wavetune::util

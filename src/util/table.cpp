@@ -1,0 +1,135 @@
+#include "util/table.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace wavetune::util {
+
+std::string format_double(double v, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << v;
+  std::string s = ss.str();
+  if (s.find('.') != std::string::npos) {
+    while (!s.empty() && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.pop_back();
+  }
+  return s;
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("Table: empty header list");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("Table::add_row: arity mismatch");
+  }
+  cells_.push_back(std::move(cells));
+}
+
+Table::RowBuilder& Table::RowBuilder::add(const std::string& s) {
+  cells_.push_back(s);
+  return *this;
+}
+Table::RowBuilder& Table::RowBuilder::add(const char* s) {
+  cells_.emplace_back(s);
+  return *this;
+}
+Table::RowBuilder& Table::RowBuilder::add(double v, int precision) {
+  cells_.push_back(format_double(v, precision));
+  return *this;
+}
+Table::RowBuilder& Table::RowBuilder::add(long long v) {
+  cells_.push_back(std::to_string(v));
+  return *this;
+}
+Table::RowBuilder& Table::RowBuilder::add(int v) {
+  cells_.push_back(std::to_string(v));
+  return *this;
+}
+Table::RowBuilder& Table::RowBuilder::add(std::size_t v) {
+  cells_.push_back(std::to_string(v));
+  return *this;
+}
+void Table::RowBuilder::done() { table_.add_row(std::move(cells_)); }
+
+std::string Table::to_aligned() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : cells_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << std::left << std::setw(static_cast<int>(widths[c]) + 2) << row[c];
+    }
+    out << '\n';
+  };
+  emit(headers_);
+  std::string rule;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    rule += std::string(widths[c], '-') + "  ";
+  }
+  out << rule << '\n';
+  for (const auto& row : cells_) emit(row);
+  return out.str();
+}
+
+std::string Table::to_markdown() const {
+  std::ostringstream out;
+  out << '|';
+  for (const auto& h : headers_) out << ' ' << h << " |";
+  out << "\n|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) out << "---|";
+  out << '\n';
+  for (const auto& row : cells_) {
+    out << '|';
+    for (const auto& cell : row) out << ' ' << cell << " |";
+    out << '\n';
+  }
+  return out.str();
+}
+
+namespace {
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string esc = "\"";
+  for (char ch : s) {
+    if (ch == '"') esc += "\"\"";
+    else esc += ch;
+  }
+  esc += '"';
+  return esc;
+}
+}  // namespace
+
+std::string Table::to_csv() const {
+  std::ostringstream out;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) out << ',';
+    out << csv_escape(headers_[c]);
+  }
+  out << '\n';
+  for (const auto& row : cells_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out << ',';
+      out << csv_escape(row[c]);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+void Table::save_csv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("Table::save_csv: cannot open " + path);
+  f << to_csv();
+  if (!f) throw std::runtime_error("Table::save_csv: write failed for " + path);
+}
+
+}  // namespace wavetune::util

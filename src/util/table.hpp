@@ -1,0 +1,58 @@
+// Lightweight tabular output: the benchmark harnesses print every paper
+// table/figure as rows, both human-aligned and CSV/markdown for scripting.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace wavetune::util {
+
+/// Column-oriented table of strings with typed-append convenience.
+class Table {
+public:
+  explicit Table(std::vector<std::string> headers);
+
+  std::size_t columns() const { return headers_.size(); }
+  std::size_t rows() const { return cells_.size(); }
+
+  /// Appends a row; throws if the arity does not match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Builder for mixed-type rows: tbl.row().add(3).add("x").add(1.5).done();
+  class RowBuilder {
+  public:
+    explicit RowBuilder(Table& t) : table_(t) {}
+    RowBuilder& add(const std::string& s);
+    RowBuilder& add(const char* s);
+    RowBuilder& add(double v, int precision = 3);
+    RowBuilder& add(long long v);
+    RowBuilder& add(int v);
+    RowBuilder& add(std::size_t v);
+    void done();
+
+  private:
+    Table& table_;
+    std::vector<std::string> cells_;
+  };
+  RowBuilder row() { return RowBuilder(*this); }
+
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& data() const { return cells_; }
+
+  std::string to_aligned() const;   ///< padded plain text
+  std::string to_markdown() const;  ///< GitHub-flavoured markdown
+  std::string to_csv() const;       ///< RFC-4180-ish CSV
+
+  /// Writes CSV to a file; throws std::runtime_error on I/O failure.
+  void save_csv(const std::string& path) const;
+
+private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> cells_;
+};
+
+/// Formats a double with fixed precision, trimming trailing zeros.
+std::string format_double(double v, int precision = 3);
+
+}  // namespace wavetune::util

@@ -1,0 +1,64 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wavetune::util {
+namespace {
+
+Cli make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Cli(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, EqualsForm) {
+  const Cli c = make({"--dim=500", "--system=i3-540"});
+  EXPECT_EQ(c.get_int_or("dim", 0), 500);
+  EXPECT_EQ(c.get_or("system", ""), "i3-540");
+}
+
+TEST(Cli, SpaceForm) {
+  const Cli c = make({"--dim", "700", "--name", "x"});
+  EXPECT_EQ(c.get_int_or("dim", 0), 700);
+  EXPECT_EQ(c.get_or("name", ""), "x");
+}
+
+TEST(Cli, BareFlag) {
+  const Cli c = make({"--full", "--verbose"});
+  EXPECT_TRUE(c.has("full"));
+  EXPECT_TRUE(c.get_bool_or("full", false));
+  EXPECT_FALSE(c.has("absent"));
+  EXPECT_FALSE(c.get_bool_or("absent", false));
+}
+
+TEST(Cli, BoolParsing) {
+  EXPECT_TRUE(make({"--x=true"}).get_bool_or("x", false));
+  EXPECT_TRUE(make({"--x=1"}).get_bool_or("x", false));
+  EXPECT_TRUE(make({"--x=on"}).get_bool_or("x", false));
+  EXPECT_FALSE(make({"--x=false"}).get_bool_or("x", true));
+  EXPECT_FALSE(make({"--x=0"}).get_bool_or("x", true));
+  EXPECT_THROW(make({"--x=banana"}).get_bool_or("x", true), std::invalid_argument);
+}
+
+TEST(Cli, DoubleParsing) {
+  EXPECT_DOUBLE_EQ(make({"--f=2.5"}).get_double_or("f", 0.0), 2.5);
+  EXPECT_DOUBLE_EQ(make({}).get_double_or("f", 1.25), 1.25);
+}
+
+TEST(Cli, Positional) {
+  const Cli c = make({"first", "--k=v", "second"});
+  ASSERT_EQ(c.positional().size(), 2u);
+  EXPECT_EQ(c.positional()[0], "first");
+  EXPECT_EQ(c.positional()[1], "second");
+  EXPECT_EQ(c.program(), "prog");
+}
+
+TEST(Cli, MissingReturnsNullopt) {
+  const Cli c = make({});
+  EXPECT_FALSE(c.get("anything").has_value());
+  EXPECT_EQ(c.get_or("anything", "dflt"), "dflt");
+  EXPECT_EQ(c.get_int_or("anything", -7), -7);
+}
+
+}  // namespace
+}  // namespace wavetune::util

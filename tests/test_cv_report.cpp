@@ -1,0 +1,91 @@
+#include "autotune/cv_report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/system_profile.hpp"
+
+namespace wavetune::autotune {
+namespace {
+
+class CvReportTest : public ::testing::Test {
+protected:
+  static void SetUpTestSuite() {
+    ExhaustiveSearch search(sim::make_i7_2600k(), ParamSpace::reduced());
+    TrainingOptions opt;
+    opt.instance_stride = 1;  // use every instance: more CV data
+    tables_ = new TrainingTables(build_training(search.sweep(), opt));
+  }
+  static void TearDownTestSuite() {
+    delete tables_;
+    tables_ = nullptr;
+  }
+  static TrainingTables* tables_;
+};
+
+TrainingTables* CvReportTest::tables_ = nullptr;
+
+TEST_F(CvReportTest, ReportsAllFiveTargets) {
+  const CvReport report = cross_validate(*tables_);
+  ASSERT_EQ(report.scores.size(), 5u);
+  EXPECT_EQ(report.scores[0].target, "gate (SVM)");
+  EXPECT_EQ(report.scores[1].target, "gpu-use (REP tree)");
+  EXPECT_EQ(report.scores[2].target, "cpu-tile (M5)");
+  EXPECT_EQ(report.scores[3].target, "band (M5)");
+  EXPECT_EQ(report.scores[4].target, "halo (M5)");
+}
+
+TEST_F(CvReportTest, ScoresWithinRange) {
+  const CvReport report = cross_validate(*tables_);
+  for (const auto& s : report.scores) {
+    EXPECT_LE(s.mean_score, 1.0 + 1e-9) << s.target;
+    EXPECT_GE(s.stddev, 0.0) << s.target;
+  }
+}
+
+TEST_F(CvReportTest, BinaryTargetsScoreWell) {
+  // The gate is perfectly separable. The gpu-use labels carry intrinsic
+  // noise near the offload boundary (an instance's top-5 points can mix
+  // CPU and GPU configurations), so on the tiny reduced space we require
+  // 0.8; the paper's >= 90% criterion is checked on the full space by
+  // bench_fig9_model / the training pipeline itself.
+  const CvReport report = cross_validate(*tables_);
+  EXPECT_GE(report.scores[0].mean_score, 0.9) << "gate";
+  EXPECT_GE(report.scores[1].mean_score, 0.8) << "gpu-use";
+}
+
+TEST_F(CvReportTest, BandRegressionIsInformative) {
+  // Band is near-linear in dim in our space: well above the mean
+  // predictor (1 - RAE = 0).
+  const CvReport report = cross_validate(*tables_);
+  EXPECT_GE(report.scores[3].mean_score, 0.5) << "band";
+}
+
+TEST_F(CvReportTest, DescribeRendersTable) {
+  const CvReport report = cross_validate(*tables_);
+  const std::string text = report.describe();
+  EXPECT_NE(text.find("gate (SVM)"), std::string::npos);
+  EXPECT_NE(text.find("halo (M5)"), std::string::npos);
+  EXPECT_NE(text.find(">= 90%?"), std::string::npos);
+}
+
+TEST_F(CvReportTest, DeterministicForSameSeed) {
+  const CvReport a = cross_validate(*tables_, TunerConfig{}, 5, 99);
+  const CvReport b = cross_validate(*tables_, TunerConfig{}, 5, 99);
+  for (std::size_t i = 0; i < a.scores.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.scores[i].mean_score, b.scores[i].mean_score);
+  }
+}
+
+TEST_F(CvReportTest, TinyTablesAreSkippedGracefully) {
+  TrainingTables tiny;
+  tiny.parallel_gate.add({1, 1, 1}, 1.0);
+  tiny.gpu_use.add({1, 1, 1}, 1.0);
+  tiny.cpu_tile.add({1, 1, 1}, 4.0);
+  tiny.band.add({1, 1, 1, 0}, -1.0);
+  tiny.halo.add({1, 1, 1, 4, -1}, -1.0);
+  const CvReport report = cross_validate(tiny);
+  for (const auto& s : report.scores) EXPECT_EQ(s.folds, 0u) << s.target;
+}
+
+}  // namespace
+}  // namespace wavetune::autotune

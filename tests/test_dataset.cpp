@@ -1,0 +1,127 @@
+#include "ml/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wavetune::ml {
+namespace {
+
+Dataset xy() {
+  Dataset d({"a", "b"});
+  d.add({1, 10}, 100);
+  d.add({2, 20}, 200);
+  d.add({3, 30}, 300);
+  return d;
+}
+
+TEST(Dataset, ConstructionAndShape) {
+  const Dataset d = xy();
+  EXPECT_EQ(d.num_features(), 2u);
+  EXPECT_EQ(d.size(), 3u);
+  EXPECT_FALSE(d.empty());
+  EXPECT_THROW(Dataset(std::vector<std::string>{}), std::invalid_argument);
+}
+
+TEST(Dataset, AddArityChecked) {
+  Dataset d({"a"});
+  EXPECT_THROW(d.add({1, 2}, 0), std::invalid_argument);
+}
+
+TEST(Dataset, RowAndTargetAccess) {
+  const Dataset d = xy();
+  EXPECT_DOUBLE_EQ(d.row(1)[0], 2);
+  EXPECT_DOUBLE_EQ(d.row(1)[1], 20);
+  EXPECT_DOUBLE_EQ(d.target(2), 300);
+  EXPECT_THROW(d.row(3), std::out_of_range);
+  EXPECT_THROW(d.target(3), std::out_of_range);
+}
+
+TEST(Dataset, ColumnMaterialisation) {
+  const Dataset d = xy();
+  const auto col = d.column(1);
+  EXPECT_EQ(col, (std::vector<double>{10, 20, 30}));
+  EXPECT_THROW(d.column(2), std::out_of_range);
+}
+
+TEST(Dataset, FeatureIndexLookup) {
+  const Dataset d = xy();
+  EXPECT_EQ(d.feature_index("b"), 1u);
+  EXPECT_THROW(d.feature_index("zzz"), std::invalid_argument);
+}
+
+TEST(Dataset, Subset) {
+  const Dataset d = xy();
+  const std::vector<std::size_t> idx{2, 0};
+  const Dataset s = d.subset(idx);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.target(0), 300);
+  EXPECT_DOUBLE_EQ(s.target(1), 100);
+}
+
+TEST(Dataset, SplitPartitions) {
+  Dataset d({"x"});
+  for (int i = 0; i < 100; ++i) d.add({static_cast<double>(i)}, i);
+  util::Rng rng(5);
+  const auto [first, second] = d.split(0.3, rng);
+  EXPECT_EQ(first.size(), 30u);
+  EXPECT_EQ(second.size(), 70u);
+  // Targets together form the original multiset.
+  std::vector<double> all;
+  for (std::size_t i = 0; i < first.size(); ++i) all.push_back(first.target(i));
+  for (std::size_t i = 0; i < second.size(); ++i) all.push_back(second.target(i));
+  std::sort(all.begin(), all.end());
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(all[i], i);
+}
+
+TEST(Dataset, SplitRejectsBadFraction) {
+  Dataset d = xy();
+  util::Rng rng(1);
+  EXPECT_THROW(d.split(-0.1, rng), std::invalid_argument);
+  EXPECT_THROW(d.split(1.1, rng), std::invalid_argument);
+}
+
+TEST(Dataset, JsonRoundtrip) {
+  const Dataset d = xy();
+  const Dataset back = Dataset::from_json(d.to_json());
+  ASSERT_EQ(back.size(), d.size());
+  EXPECT_EQ(back.feature_names(), d.feature_names());
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    EXPECT_DOUBLE_EQ(back.target(i), d.target(i));
+    EXPECT_DOUBLE_EQ(back.row(i)[0], d.row(i)[0]);
+  }
+}
+
+TEST(Scaler, StandardisesToZeroMeanUnitVariance) {
+  Dataset d({"x", "c"});
+  d.add({2, 7}, 0);
+  d.add({4, 7}, 0);
+  d.add({6, 7}, 0);
+  const Scaler s = Scaler::fit(d);
+  const Dataset t = s.transform(d);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < t.size(); ++i) sum += t.row(i)[0];
+  EXPECT_NEAR(sum, 0.0, 1e-12);
+  // Constant feature: identity scale (no divide-by-zero).
+  EXPECT_DOUBLE_EQ(s.scale()[1], 1.0);
+  EXPECT_DOUBLE_EQ(t.row(0)[1], 0.0);
+}
+
+TEST(Scaler, TransformArityChecked) {
+  Dataset d({"x"});
+  d.add({1}, 0);
+  const Scaler s = Scaler::fit(d);
+  EXPECT_THROW(s.transform(std::vector<double>{1, 2}), std::invalid_argument);
+  EXPECT_THROW(Scaler::fit(Dataset({"x"})), std::invalid_argument);
+}
+
+TEST(Scaler, JsonRoundtrip) {
+  Dataset d({"x", "y"});
+  d.add({1, 100}, 0);
+  d.add({3, 300}, 0);
+  const Scaler s = Scaler::fit(d);
+  const Scaler back = Scaler::from_json(s.to_json());
+  EXPECT_EQ(back.mean(), s.mean());
+  EXPECT_EQ(back.scale(), s.scale());
+}
+
+}  // namespace
+}  // namespace wavetune::ml

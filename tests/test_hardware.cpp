@@ -1,0 +1,108 @@
+#include "sim/hardware.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/system_profile.hpp"
+
+namespace wavetune::sim {
+namespace {
+
+CpuModel test_cpu() {
+  CpuModel c;
+  c.physical_cores = 4;
+  c.hw_threads = 8;
+  c.ns_per_unit = 2.0;
+  c.mem_ns_per_byte = 0.1;
+  c.ht_yield = 0.25;
+  return c;
+}
+
+GpuModel test_gpu() {
+  GpuModel g;
+  g.compute_units = 10;
+  g.simd_width = 32;
+  g.thread_ns_per_unit = 50.0;
+  g.mem_ns_per_byte = 0.5;
+  g.launch_ns = 10000.0;
+  g.wg_sync_ns = 100.0;
+  return g;
+}
+
+TEST(CpuModel, EffectiveParallelismWithSmt) {
+  const CpuModel c = test_cpu();
+  EXPECT_DOUBLE_EQ(c.effective_parallelism(), 5.0);
+  CpuModel no_ht = c;
+  no_ht.hw_threads = 4;
+  EXPECT_DOUBLE_EQ(no_ht.effective_parallelism(), 4.0);
+}
+
+TEST(CpuModel, ElementCostComposition) {
+  const CpuModel c = test_cpu();
+  EXPECT_DOUBLE_EQ(c.element_ns(100.0, 16), 100.0 * 2.0 + 16 * 0.1);
+  EXPECT_THROW(c.element_ns(-1.0, 16), std::invalid_argument);
+}
+
+TEST(CpuModel, TiledElementSpillPenalty) {
+  CpuModel c = test_cpu();
+  c.l2_bytes_per_core = 1000;  // small L2: tile=1 fits (144 B), tile=64 spills
+  c.mem_spill_factor = 3.0;
+  const double small_tile = c.tiled_element_ns(0.0, 16, 1);
+  const double big_tile = c.tiled_element_ns(0.0, 16, 64);
+  EXPECT_GT(big_tile, small_tile);
+  EXPECT_NEAR(big_tile, small_tile * 3.0, 1e-9);
+  EXPECT_THROW(c.tiled_element_ns(1.0, 16, 0), std::invalid_argument);
+}
+
+TEST(GpuModel, LanesProduct) {
+  EXPECT_EQ(test_gpu().lanes(), 320u);
+}
+
+TEST(GpuModel, KernelBaseCostIsLaunch) {
+  const GpuModel g = test_gpu();
+  EXPECT_DOUBLE_EQ(g.kernel_ns(0, 100.0, 16), g.launch_ns);
+}
+
+TEST(GpuModel, KernelSingleWaveUpToLanes) {
+  const GpuModel g = test_gpu();
+  const double one = g.kernel_ns(1, 100.0, 16);
+  const double full = g.kernel_ns(g.lanes(), 100.0, 16);
+  EXPECT_DOUBLE_EQ(one, full);  // both a single wave
+  // Beyond lanes the cost grows linearly in items.
+  const double twice = g.kernel_ns(2 * g.lanes(), 100.0, 16);
+  EXPECT_NEAR(twice - g.launch_ns, 2.0 * (full - g.launch_ns), 1e-9);
+}
+
+TEST(GpuModel, KernelMonotoneInItemsAndTsize) {
+  const GpuModel g = test_gpu();
+  EXPECT_LE(g.kernel_ns(1000, 10.0, 16), g.kernel_ns(2000, 10.0, 16));
+  EXPECT_LE(g.kernel_ns(1000, 10.0, 16), g.kernel_ns(1000, 20.0, 16));
+  EXPECT_LE(g.kernel_ns(1000, 10.0, 16), g.kernel_ns(1000, 10.0, 48));
+}
+
+TEST(GpuModel, TiledKernelSyncCost) {
+  const GpuModel g = test_gpu();
+  const double no_sync = g.tiled_kernel_ns(10, 5, 0, 10.0, 16);
+  const double with_sync = g.tiled_kernel_ns(10, 5, 5, 10.0, 16);
+  EXPECT_NEAR(with_sync - no_sync, 5 * g.wg_sync_ns, 1e-9);
+}
+
+TEST(GpuModel, TiledKernelGroupWaves) {
+  const GpuModel g = test_gpu();  // 10 compute units
+  const double cu_groups = g.tiled_kernel_ns(10, 1, 0, 10.0, 16);
+  const double double_groups = g.tiled_kernel_ns(20, 1, 0, 10.0, 16);
+  EXPECT_NEAR(double_groups - g.launch_ns, 2.0 * (cu_groups - g.launch_ns), 1e-9);
+}
+
+TEST(PcieModel, TransferCostAffine) {
+  PcieModel p;
+  p.bandwidth_gb_s = 2.0;  // 2 bytes per ns
+  p.latency_ns = 100.0;
+  EXPECT_DOUBLE_EQ(p.transfer_ns(0), 100.0);
+  EXPECT_DOUBLE_EQ(p.transfer_ns(200), 200.0);
+  PcieModel bad;
+  bad.bandwidth_gb_s = 0.0;
+  EXPECT_THROW(bad.transfer_ns(1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wavetune::sim

@@ -1,0 +1,68 @@
+#include "util/heatmap.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wavetune::util {
+namespace {
+
+TEST(Heatmap, RejectsEmptyAxes) {
+  EXPECT_THROW(Heatmap({}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(Heatmap({1.0}, {}), std::invalid_argument);
+}
+
+TEST(Heatmap, SetAndGet) {
+  Heatmap h({1, 2, 3}, {10, 20});
+  EXPECT_EQ(h.width(), 3u);
+  EXPECT_EQ(h.height(), 2u);
+  EXPECT_FALSE(h.at(0, 0).has_value());
+  h.set(1, 1, 42.0);
+  ASSERT_TRUE(h.at(1, 1).has_value());
+  EXPECT_DOUBLE_EQ(*h.at(1, 1), 42.0);
+}
+
+TEST(Heatmap, OutOfRangeThrows) {
+  Heatmap h({1}, {1});
+  EXPECT_THROW(h.set(1, 0, 0.0), std::out_of_range);
+  EXPECT_THROW(h.at(0, 1), std::out_of_range);
+}
+
+TEST(Heatmap, NumericRenderShowsValuesAndDots) {
+  Heatmap h({100, 200}, {5, 7});
+  h.set(0, 0, 3);
+  const std::string s = h.render_numeric("tsize", "dim");
+  EXPECT_NE(s.find("tsize"), std::string::npos);
+  EXPECT_NE(s.find("dim"), std::string::npos);
+  EXPECT_NE(s.find('3'), std::string::npos);
+  EXPECT_NE(s.find('.'), std::string::npos);  // missing cells
+  EXPECT_NE(s.find("100"), std::string::npos);
+  EXPECT_NE(s.find("200"), std::string::npos);
+}
+
+TEST(Heatmap, RampRenderUsesClassifier) {
+  Heatmap h({1, 2}, {1});
+  h.set(0, 0, -1);
+  h.set(1, 0, 5);
+  const std::string s =
+      h.render_ramp("x", "y", [](double v) { return v < 0 ? '-' : '+'; });
+  EXPECT_NE(s.find('-'), std::string::npos);
+  EXPECT_NE(s.find('+'), std::string::npos);
+}
+
+TEST(Heatmap, RampRenderConstantValues) {
+  Heatmap h({1, 2}, {1});
+  h.set(0, 0, 4);
+  h.set(1, 0, 4);
+  EXPECT_FALSE(h.render_ramp("x", "y").empty());
+}
+
+TEST(Heatmap, TopRowIsLargestYLabel) {
+  Heatmap h({1}, {10, 99});
+  h.set(0, 0, 1);
+  h.set(0, 1, 2);
+  const std::string s = h.render_numeric("x", "y");
+  // 99 (larger y) must appear before 10 in the rendering.
+  EXPECT_LT(s.find("99"), s.find("10"));
+}
+
+}  // namespace
+}  // namespace wavetune::util

@@ -1,0 +1,130 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+namespace wavetune::util {
+namespace {
+
+TEST(Json, ScalarConstruction) {
+  EXPECT_TRUE(Json().is_null());
+  EXPECT_TRUE(Json(nullptr).is_null());
+  EXPECT_TRUE(Json(true).is_bool());
+  EXPECT_TRUE(Json(1.5).is_number());
+  EXPECT_TRUE(Json(7).is_number());
+  EXPECT_TRUE(Json("s").is_string());
+  EXPECT_TRUE(Json::array().is_array());
+  EXPECT_TRUE(Json::object().is_object());
+}
+
+TEST(Json, TypeMismatchThrows) {
+  const Json j(1.5);
+  EXPECT_THROW(j.as_string(), JsonError);
+  EXPECT_THROW(j.as_array(), JsonError);
+  EXPECT_THROW(j.as_object(), JsonError);
+  EXPECT_THROW(j.as_bool(), JsonError);
+  EXPECT_THROW(Json("x").as_number(), JsonError);
+}
+
+TEST(Json, ObjectAccess) {
+  Json j = Json::object();
+  j["k"] = Json(3);
+  EXPECT_TRUE(j.contains("k"));
+  EXPECT_FALSE(j.contains("missing"));
+  EXPECT_EQ(j.at("k").as_int(), 3);
+  EXPECT_THROW(j.at("missing"), JsonError);
+}
+
+TEST(Json, ArrayAccess) {
+  Json j = Json::array();
+  j.push_back(Json(1));
+  j.push_back(Json("two"));
+  EXPECT_EQ(j.size(), 2u);
+  EXPECT_EQ(j.at(0).as_int(), 1);
+  EXPECT_EQ(j.at(1).as_string(), "two");
+  EXPECT_THROW(j.at(5), JsonError);
+}
+
+TEST(Json, ParseScalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_EQ(Json::parse("true").as_bool(), true);
+  EXPECT_EQ(Json::parse("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(Json::parse("-2.5e2").as_number(), -250.0);
+  EXPECT_EQ(Json::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ParseNested) {
+  const Json j = Json::parse(R"({"a": [1, 2, {"b": null}], "c": "x"})");
+  EXPECT_EQ(j.at("a").size(), 3u);
+  EXPECT_TRUE(j.at("a").at(2).at("b").is_null());
+  EXPECT_EQ(j.at("c").as_string(), "x");
+}
+
+TEST(Json, ParseEscapes) {
+  const Json j = Json::parse(R"("line\nquote\"backslash\\tab\tuA")");
+  EXPECT_EQ(j.as_string(), "line\nquote\"backslash\\tab\tuA");
+}
+
+TEST(Json, ParseErrors) {
+  EXPECT_THROW(Json::parse(""), JsonError);
+  EXPECT_THROW(Json::parse("{"), JsonError);
+  EXPECT_THROW(Json::parse("[1,]"), JsonError);
+  EXPECT_THROW(Json::parse("{\"a\":}"), JsonError);
+  EXPECT_THROW(Json::parse("1 2"), JsonError);
+  EXPECT_THROW(Json::parse("tru"), JsonError);
+  EXPECT_THROW(Json::parse("\"unterminated"), JsonError);
+}
+
+TEST(Json, DumpParseRoundtrip) {
+  Json j = Json::object();
+  j["num"] = Json(3.25);
+  j["int"] = Json(-17);
+  j["str"] = Json("he\"llo\n");
+  j["arr"] = Json::array();
+  j["arr"].push_back(Json(true));
+  j["arr"].push_back(Json(nullptr));
+  j["nested"] = Json::object();
+  j["nested"]["deep"] = Json(1e-9);
+
+  for (int indent : {-1, 0, 2}) {
+    const Json back = Json::parse(j.dump(indent));
+    EXPECT_DOUBLE_EQ(back.at("num").as_number(), 3.25);
+    EXPECT_EQ(back.at("int").as_int(), -17);
+    EXPECT_EQ(back.at("str").as_string(), "he\"llo\n");
+    EXPECT_EQ(back.at("arr").at(0).as_bool(), true);
+    EXPECT_TRUE(back.at("arr").at(1).is_null());
+    EXPECT_DOUBLE_EQ(back.at("nested").at("deep").as_number(), 1e-9);
+  }
+}
+
+TEST(Json, IntegersDumpWithoutDecimalPoint) {
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(-3).dump(), "-3");
+}
+
+TEST(Json, NonFiniteDumpsAsNull) {
+  EXPECT_EQ(Json(std::nan("")).dump(), "null");
+}
+
+TEST(Json, FileRoundtrip) {
+  Json j = Json::object();
+  j["x"] = Json(1);
+  const std::string path = ::testing::TempDir() + "wavetune_json_test.json";
+  j.save_file(path);
+  const Json back = Json::load_file(path);
+  EXPECT_EQ(back.at("x").as_int(), 1);
+  std::remove(path.c_str());
+  EXPECT_THROW(Json::load_file("/no/such/file.json"), JsonError);
+}
+
+TEST(Json, OperatorBracketPromotesNull) {
+  Json j;
+  j["auto"] = Json(5);
+  EXPECT_TRUE(j.is_object());
+  EXPECT_EQ(j.at("auto").as_int(), 5);
+}
+
+}  // namespace
+}  // namespace wavetune::util

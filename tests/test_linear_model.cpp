@@ -1,0 +1,132 @@
+#include "ml/linear_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ml/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace wavetune::ml {
+namespace {
+
+TEST(SolveLinearSystem, Identity) {
+  const auto x = solve_linear_system({{1, 0}, {0, 1}}, {3, 4});
+  EXPECT_NEAR(x[0], 3, 1e-12);
+  EXPECT_NEAR(x[1], 4, 1e-12);
+}
+
+TEST(SolveLinearSystem, SpdSystem) {
+  // A = [[4,1],[1,3]], b = [1,2] -> x = [1/11, 7/11]
+  const auto x = solve_linear_system({{4, 1}, {1, 3}}, {1, 2});
+  EXPECT_NEAR(x[0], 1.0 / 11.0, 1e-10);
+  EXPECT_NEAR(x[1], 7.0 / 11.0, 1e-10);
+}
+
+TEST(SolveLinearSystem, NonSpdFallsBackToGaussian) {
+  // Indefinite but nonsingular.
+  const auto x = solve_linear_system({{0, 1}, {1, 0}}, {5, 6});
+  EXPECT_NEAR(x[0], 6, 1e-10);
+  EXPECT_NEAR(x[1], 5, 1e-10);
+}
+
+TEST(SolveLinearSystem, SingularThrows) {
+  EXPECT_THROW(solve_linear_system({{1, 1}, {1, 1}}, {1, 2}), std::runtime_error);
+}
+
+TEST(SolveLinearSystem, ShapeChecked) {
+  EXPECT_THROW(solve_linear_system({{1, 0}}, {1, 2}), std::invalid_argument);
+  EXPECT_THROW(solve_linear_system({{1, 0}, {0}}, {1, 2}), std::invalid_argument);
+}
+
+TEST(LinearModel, RecoversExactLinearFunction) {
+  // y = 2a - 3b + 7
+  Dataset d({"a", "b"});
+  util::Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const double a = rng.uniform_real(-10, 10);
+    const double b = rng.uniform_real(-10, 10);
+    d.add({a, b}, 2 * a - 3 * b + 7);
+  }
+  const LinearModel m = LinearModel::fit(d);
+  EXPECT_NEAR(m.weights()[0], 2.0, 1e-6);
+  EXPECT_NEAR(m.weights()[1], -3.0, 1e-6);
+  EXPECT_NEAR(m.intercept(), 7.0, 1e-6);
+  EXPECT_NEAR(m.predict(std::vector<double>{1.0, 1.0}), 6.0, 1e-6);
+}
+
+TEST(LinearModel, MaskedFeaturesGetZeroWeight) {
+  Dataset d({"a", "b"});
+  util::Rng rng(4);
+  for (int i = 0; i < 40; ++i) {
+    const double a = rng.uniform_real(-5, 5);
+    const double b = rng.uniform_real(-5, 5);
+    d.add({a, b}, 3 * a + 0.5 * b + 1);
+  }
+  const std::vector<bool> mask{true, false};
+  const LinearModel m = LinearModel::fit(d, 1e-6, &mask);
+  EXPECT_DOUBLE_EQ(m.weights()[1], 0.0);
+  EXPECT_NEAR(m.weights()[0], 3.0, 0.3);  // b's signal folds into noise
+}
+
+TEST(LinearModel, InterceptOnlyWithFullMaskOff) {
+  Dataset d({"a"});
+  d.add({1}, 10);
+  d.add({2}, 20);
+  d.add({3}, 30);
+  const std::vector<bool> mask{false};
+  const LinearModel m = LinearModel::fit(d, 1e-6, &mask);
+  EXPECT_DOUBLE_EQ(m.weights()[0], 0.0);
+  EXPECT_NEAR(m.intercept(), 20.0, 1e-9);  // the mean
+}
+
+TEST(LinearModel, CollinearFeaturesHandledByRidge) {
+  Dataset d({"a", "b"});  // b == a exactly
+  for (int i = 0; i < 20; ++i) {
+    const double a = i;
+    d.add({a, a}, 4 * a + 2);
+  }
+  const LinearModel m = LinearModel::fit(d, 1e-4);
+  // Prediction quality matters, not the (non-unique) split of weights.
+  EXPECT_NEAR(m.predict(std::vector<double>{5.0, 5.0}), 22.0, 0.1);
+}
+
+TEST(LinearModel, FitRejectsEmpty) {
+  Dataset d({"a"});
+  EXPECT_THROW(LinearModel::fit(d), std::invalid_argument);
+  std::vector<bool> bad_mask{true, false};
+  d.add({1}, 1);
+  EXPECT_THROW(LinearModel::fit(d, 1e-6, &bad_mask), std::invalid_argument);
+}
+
+TEST(LinearModel, PredictArityChecked) {
+  const LinearModel m({1.0, 2.0}, 0.0);
+  EXPECT_THROW(m.predict(std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(LinearModel, DescribeResemblesPaperFigure9) {
+  // Fig. 9: "halo = 0*tsize - 0.1598*dsize + 0.0546*cpu-tile + 0.003*band - 0.381"
+  const LinearModel m({0.0, -0.1598, 0.0546, 0.003}, -0.381);
+  const std::string s = m.describe({"tsize", "dsize", "cpu-tile", "band"});
+  EXPECT_EQ(s.find("tsize"), std::string::npos);  // zero weights omitted
+  EXPECT_NE(s.find("0.1598*dsize"), std::string::npos);
+  EXPECT_NE(s.find("0.0546*cpu-tile"), std::string::npos);
+  EXPECT_NE(s.find("0.003*band"), std::string::npos);
+  EXPECT_NE(s.find("0.381"), std::string::npos);
+}
+
+TEST(LinearModel, JsonRoundtrip) {
+  const LinearModel m({1.5, -2.25}, 0.75);
+  const LinearModel back = LinearModel::from_json(m.to_json());
+  EXPECT_EQ(back.weights(), m.weights());
+  EXPECT_DOUBLE_EQ(back.intercept(), m.intercept());
+  EXPECT_EQ(m.kind(), "linear");
+}
+
+TEST(LinearModel, RegistryRoundtrip) {
+  const LinearModel m({2.0}, 1.0);
+  const auto r = regressor_from_json(m.to_json());
+  EXPECT_EQ(r->kind(), "linear");
+  EXPECT_DOUBLE_EQ(r->predict(std::vector<double>{3.0}), 7.0);
+}
+
+}  // namespace
+}  // namespace wavetune::ml

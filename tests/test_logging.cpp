@@ -1,0 +1,33 @@
+#include "util/logging.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wavetune::util {
+namespace {
+
+TEST(Logging, LevelRoundtrip) {
+  const LogLevel old = log_level();
+  set_log_level(LogLevel::Error);
+  EXPECT_EQ(log_level(), LogLevel::Error);
+  set_log_level(LogLevel::Debug);
+  EXPECT_EQ(log_level(), LogLevel::Debug);
+  set_log_level(old);
+}
+
+TEST(Logging, EmitBelowThresholdIsSilentlyDropped) {
+  const LogLevel old = log_level();
+  set_log_level(LogLevel::Off);
+  // Must not crash or throw; output suppressed.
+  log_debug("dropped ", 1);
+  log_info("dropped ", 2);
+  log_warn("dropped ", 3);
+  log_error("dropped ", 4);
+  set_log_level(old);
+}
+
+TEST(Logging, ConcatFormatsMixedArguments) {
+  EXPECT_EQ(detail::concat("a", 1, '-', 2.5), "a1-2.5");
+}
+
+}  // namespace
+}  // namespace wavetune::util

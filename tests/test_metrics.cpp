@@ -1,0 +1,60 @@
+#include "ml/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace wavetune::ml {
+namespace {
+
+const std::vector<double> kTruth{1, 2, 3, 4};
+
+TEST(Metrics, PerfectPrediction) {
+  EXPECT_DOUBLE_EQ(mean_absolute_error(kTruth, kTruth), 0.0);
+  EXPECT_DOUBLE_EQ(root_mean_squared_error(kTruth, kTruth), 0.0);
+  EXPECT_DOUBLE_EQ(r_squared(kTruth, kTruth), 1.0);
+  EXPECT_DOUBLE_EQ(relative_absolute_error(kTruth, kTruth), 0.0);
+}
+
+TEST(Metrics, KnownErrors) {
+  const std::vector<double> pred{2, 3, 4, 5};  // off by one everywhere
+  EXPECT_DOUBLE_EQ(mean_absolute_error(kTruth, pred), 1.0);
+  EXPECT_DOUBLE_EQ(root_mean_squared_error(kTruth, pred), 1.0);
+}
+
+TEST(Metrics, MeanPredictorScoresZeroR2) {
+  const std::vector<double> pred{2.5, 2.5, 2.5, 2.5};
+  EXPECT_NEAR(r_squared(kTruth, pred), 0.0, 1e-12);
+  EXPECT_NEAR(relative_absolute_error(kTruth, pred), 1.0, 1e-12);
+}
+
+TEST(Metrics, WorseThanMeanIsNegativeR2) {
+  const std::vector<double> pred{4, 3, 2, 1};
+  EXPECT_LT(r_squared(kTruth, pred), 0.0);
+}
+
+TEST(Metrics, ConstantTruthEdgeCases) {
+  const std::vector<double> truth{5, 5, 5};
+  EXPECT_DOUBLE_EQ(r_squared(truth, truth), 1.0);
+  const std::vector<double> off{6, 6, 6};
+  EXPECT_DOUBLE_EQ(r_squared(truth, off), 0.0);
+  EXPECT_DOUBLE_EQ(relative_absolute_error(truth, off), 1.0);
+}
+
+TEST(Metrics, ClassificationAccuracy) {
+  const std::vector<double> truth{1, -1, 1, -1};
+  const std::vector<double> pred{0.7, -0.2, -0.9, -3};
+  EXPECT_DOUBLE_EQ(classification_accuracy(truth, pred), 0.75);
+}
+
+TEST(Metrics, SizeMismatchThrows) {
+  const std::vector<double> small{1};
+  EXPECT_THROW(mean_absolute_error(kTruth, small), std::invalid_argument);
+  EXPECT_THROW(r_squared(kTruth, small), std::invalid_argument);
+  EXPECT_THROW(classification_accuracy(kTruth, small), std::invalid_argument);
+  const std::vector<double> empty;
+  EXPECT_THROW(mean_absolute_error(empty, empty), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wavetune::ml

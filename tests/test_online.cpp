@@ -1,0 +1,110 @@
+#include "autotune/online.hpp"
+
+#include <gtest/gtest.h>
+
+#include "autotune/search.hpp"
+#include "autotune/tuner.hpp"
+#include "sim/system_profile.hpp"
+
+namespace wavetune::autotune {
+namespace {
+
+class OnlineTest : public ::testing::Test {
+protected:
+  core::HybridExecutor ex_{sim::make_i7_2600k(), 1};
+};
+
+TEST_F(OnlineTest, NeverWorseThanSeed) {
+  const core::InputParams in{1000, 2000.0, 1};
+  for (const auto& seed :
+       {core::TunableParams{1, -1, -1, 1}, core::TunableParams{4, 100, -1, 1},
+        core::TunableParams{8, 900, 40, 1}}) {
+    const OnlineTuneResult r = refine_online(ex_, in, seed);
+    EXPECT_LE(r.rtime_ns, r.seed_rtime_ns + 1e-9) << seed.describe();
+    EXPECT_GE(r.improvement(), 1.0);
+  }
+}
+
+TEST_F(OnlineTest, RespectsEvaluationBudget) {
+  const core::InputParams in{1000, 2000.0, 1};
+  OnlineTunerOptions opt;
+  opt.max_evaluations = 10;
+  const OnlineTuneResult r = refine_online(ex_, in, core::TunableParams{1, -1, -1, 1}, opt);
+  EXPECT_LE(r.evaluations, 10u);
+  EXPECT_GE(r.evaluations, 1u);
+}
+
+TEST_F(OnlineTest, BudgetOfOneReturnsSeed) {
+  const core::InputParams in{480, 500.0, 1};
+  OnlineTunerOptions opt;
+  opt.max_evaluations = 1;
+  const core::TunableParams seed{4, 100, -1, 1};
+  const OnlineTuneResult r = refine_online(ex_, in, seed, opt);
+  EXPECT_EQ(r.params, seed.normalized(in.dim));
+  EXPECT_DOUBLE_EQ(r.rtime_ns, r.seed_rtime_ns);
+}
+
+TEST_F(OnlineTest, EscapesBadSeedTowardGpuAtHighGranularity) {
+  // A CPU-only seed at a heavily compute-bound instance must be refined
+  // into a GPU-using configuration.
+  const core::InputParams in{2048, 8000.0, 1};
+  const OnlineTuneResult r = refine_online(ex_, in, core::TunableParams{8, -1, -1, 1});
+  EXPECT_TRUE(r.params.uses_gpu()) << r.params.describe();
+  EXPECT_GT(r.improvement(), 1.5);
+}
+
+TEST_F(OnlineTest, DropsGpuAtTinyGranularity) {
+  // A GPU-heavy seed at a tiny-granularity instance should fall back to
+  // the CPU.
+  const core::InputParams in{500, 10.0, 1};
+  const OnlineTuneResult r =
+      refine_online(ex_, in, core::TunableParams{8, 499, -1, 1});
+  EXPECT_FALSE(r.params.uses_gpu()) << r.params.describe();
+}
+
+TEST_F(OnlineTest, RefinementImprovesOfflinePrediction) {
+  // Offline model + online refinement must dominate the offline model
+  // alone (the paper's runtime-tuning motivation).
+  ExhaustiveSearch search(sim::make_i7_2600k(), ParamSpace::reduced());
+  const Autotuner tuner = Autotuner::train(search.sweep(), sim::make_i7_2600k());
+  // An instance off the training grid.
+  const core::InputParams in{860, 3200.0, 3};
+  const core::TunableParams seed = tuner.predict(in).params;
+  const OnlineTuneResult r = refine_online(ex_, in, seed);
+  EXPECT_LE(r.rtime_ns, r.seed_rtime_ns);
+}
+
+TEST_F(OnlineTest, SingleGpuSystemNeverProposesDual) {
+  core::HybridExecutor i3(sim::make_i3_540(), 1);
+  const core::InputParams in{1000, 4000.0, 1};
+  const OnlineTuneResult r = refine_online(i3, in, core::TunableParams{4, 500, -1, 1});
+  EXPECT_LE(r.params.gpu_count(), 1) << r.params.describe();
+}
+
+TEST_F(OnlineTest, CanScaleToMoreThanTwoGpus) {
+  // On the 4-die i7-2600K at a compute-bound corner, the refiner should
+  // discover that more than two devices pay off.
+  const core::InputParams in{3100, 12000.0, 1};
+  const OnlineTuneResult r =
+      refine_online(ex_, in, core::TunableParams{8, 1550, 4, 1},
+                    OnlineTunerOptions{128, 0.25, 0.05});
+  EXPECT_GE(r.params.gpu_count(), 3) << r.params.describe();
+}
+
+TEST_F(OnlineTest, DeterministicForSameInputs) {
+  const core::InputParams in{700, 700.0, 3};
+  const core::TunableParams seed{4, 200, 10, 1};
+  const OnlineTuneResult a = refine_online(ex_, in, seed);
+  const OnlineTuneResult b = refine_online(ex_, in, seed);
+  EXPECT_EQ(a.params, b.params);
+  EXPECT_DOUBLE_EQ(a.rtime_ns, b.rtime_ns);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+}
+
+TEST_F(OnlineTest, InvalidInstanceRejected) {
+  EXPECT_THROW(refine_online(ex_, core::InputParams{0, 1.0, 1}, core::TunableParams{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wavetune::autotune

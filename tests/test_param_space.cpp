@@ -1,0 +1,122 @@
+#include "autotune/param_space.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace wavetune::autotune {
+namespace {
+
+TEST(ParamSpace, PaperDefaultMatchesTable3) {
+  const ParamSpace s = ParamSpace::paper_default();
+  // dim 500..3100, tsize 10..12000, dsize {1,3,5}, cpu-tile {1,2,4,8,10},
+  // gpu-tile {1,4,8,11,16,21,25}.
+  EXPECT_EQ(s.dims.front(), 500u);
+  EXPECT_EQ(s.dims.back(), 3100u);
+  EXPECT_DOUBLE_EQ(s.tsizes.front(), 10);
+  EXPECT_DOUBLE_EQ(s.tsizes.back(), 12000);
+  EXPECT_EQ(s.dsizes, (std::vector<int>{1, 3, 5}));
+  EXPECT_EQ(s.cpu_tiles, (std::vector<int>{1, 2, 4, 8, 10}));
+  EXPECT_EQ(s.gpu_tiles, (std::vector<int>{1, 4, 8, 11, 16, 21, 25}));
+}
+
+TEST(ParamSpace, InstancesAreFullCross) {
+  const ParamSpace s = ParamSpace::reduced();
+  const auto inst = s.instances();
+  EXPECT_EQ(inst.size(), s.dims.size() * s.tsizes.size() * s.dsizes.size());
+  // Spot-check the first and last.
+  EXPECT_EQ(inst.front().dim, s.dims.front());
+  EXPECT_EQ(inst.back().dim, s.dims.back());
+}
+
+TEST(ParamSpace, BandsIncludeMinusOneAndAreSortedUnique) {
+  const ParamSpace s = ParamSpace::paper_default();
+  const auto bands = s.bands_for(1900);
+  EXPECT_EQ(bands.front(), -1);
+  std::set<long long> unique(bands.begin(), bands.end());
+  EXPECT_EQ(unique.size(), bands.size());
+  for (long long b : bands) {
+    EXPECT_GE(b, -1);
+    EXPECT_LE(b, 1899);
+  }
+  // Full-band value present (fraction 1.0).
+  EXPECT_EQ(bands.back(), 1899);
+}
+
+TEST(ParamSpace, HalosRespectSystemGpuCount) {
+  const ParamSpace s = ParamSpace::paper_default();
+  const auto single = s.halos_for(1900, 500, /*max_gpus=*/1);
+  EXPECT_EQ(single, (std::vector<long long>{-1}));
+  const auto dual = s.halos_for(1900, 500, /*max_gpus=*/2);
+  EXPECT_GT(dual.size(), 1u);
+  EXPECT_EQ(dual.front(), -1);
+  const long long hmax = core::TunableParams::max_halo(1900, 500);
+  for (long long h : dual) EXPECT_LE(h, hmax);
+}
+
+TEST(ParamSpace, HalosForCpuOnlyBandIsJustMinusOne) {
+  const ParamSpace s = ParamSpace::paper_default();
+  EXPECT_EQ(s.halos_for(1900, -1, 2), (std::vector<long long>{-1}));
+}
+
+TEST(ParamSpace, ConfigsAreNormalizedAndUnique) {
+  const ParamSpace s = ParamSpace::reduced();
+  const auto configs = s.configs_for(480, 2);
+  std::set<std::tuple<int, long long, long long, int>> seen;
+  for (const auto& p : configs) {
+    EXPECT_TRUE(p.is_normalized(480)) << p.describe();
+    EXPECT_TRUE(seen.insert({p.cpu_tile, p.band, p.halo, p.gpu_tile}).second)
+        << "duplicate " << p.describe();
+  }
+}
+
+TEST(ParamSpace, ConfigsIncludeAllThreeGpuCounts) {
+  const ParamSpace s = ParamSpace::reduced();
+  const auto configs = s.configs_for(480, 2);
+  bool cpu_only = false;
+  bool single = false;
+  bool dual = false;
+  for (const auto& p : configs) {
+    if (p.gpu_count() == 0) cpu_only = true;
+    if (p.gpu_count() == 1) single = true;
+    if (p.gpu_count() == 2) dual = true;
+  }
+  EXPECT_TRUE(cpu_only);
+  EXPECT_TRUE(single);
+  EXPECT_TRUE(dual);
+}
+
+TEST(ParamSpace, SingleGpuSystemGetsNoDualConfigs) {
+  const ParamSpace s = ParamSpace::reduced();
+  for (const auto& p : s.configs_for(480, 1)) {
+    EXPECT_LE(p.gpu_count(), 1) << p.describe();
+  }
+}
+
+TEST(ParamSpace, NoGpuSystemGetsCpuOnlyConfigs) {
+  const ParamSpace s = ParamSpace::reduced();
+  for (const auto& p : s.configs_for(480, 0)) {
+    EXPECT_EQ(p.gpu_count(), 0) << p.describe();
+  }
+}
+
+TEST(ParamSpace, GpuTileOnlyVariesForSingleGpu) {
+  const ParamSpace s = ParamSpace::reduced();
+  for (const auto& p : s.configs_for(1000, 2)) {
+    if (p.dual_gpu()) EXPECT_EQ(p.gpu_tile, 1) << p.describe();
+    if (!p.uses_gpu()) EXPECT_EQ(p.gpu_tile, 1) << p.describe();
+  }
+}
+
+TEST(ParamSpace, ConfigCountScalesWithAxes) {
+  const ParamSpace s = ParamSpace::reduced();
+  const auto dual_cfgs = s.configs_for(1000, 2);
+  const auto single_cfgs = s.configs_for(1000, 1);
+  const auto none_cfgs = s.configs_for(1000, 0);
+  EXPECT_GT(dual_cfgs.size(), single_cfgs.size());
+  EXPECT_GT(single_cfgs.size(), none_cfgs.size());
+  EXPECT_EQ(none_cfgs.size(), s.cpu_tiles.size());
+}
+
+}  // namespace
+}  // namespace wavetune::autotune

@@ -1,0 +1,81 @@
+#include "sim/system_profile.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wavetune::sim {
+namespace {
+
+TEST(Profiles, ThreePaperSystems) {
+  const auto systems = paper_systems();
+  ASSERT_EQ(systems.size(), 3u);
+  EXPECT_EQ(systems[0].name, "i3-540");
+  EXPECT_EQ(systems[1].name, "i7-2600K");
+  EXPECT_EQ(systems[2].name, "i7-3820");
+}
+
+TEST(Profiles, Table4GpuCounts) {
+  EXPECT_EQ(make_i3_540().gpu_count(), 1);
+  EXPECT_EQ(make_i7_2600k().gpu_count(), 4);  // 4x GTX 590 dies
+  EXPECT_EQ(make_i7_3820().gpu_count(), 2);   // Tesla C2070 + C2075
+}
+
+TEST(Profiles, Table4ComputeUnits) {
+  EXPECT_EQ(make_i3_540().gpu().compute_units, 15);
+  EXPECT_EQ(make_i7_2600k().gpu().compute_units, 16);
+  EXPECT_EQ(make_i7_3820().gpu().compute_units, 14);
+}
+
+TEST(Profiles, CpuSpeedOrdering) {
+  // i7-3820 has the fastest cores, i3-540 the slowest (Fig. 5 narrative).
+  const auto i3 = make_i3_540();
+  const auto k2600 = make_i7_2600k();
+  const auto k3820 = make_i7_3820();
+  EXPECT_GT(i3.cpu.ns_per_unit, k2600.cpu.ns_per_unit);
+  EXPECT_GT(k2600.cpu.ns_per_unit, k3820.cpu.ns_per_unit);
+  // The i7-3820 is the reference core: 1 ns per tsize unit.
+  EXPECT_DOUBLE_EQ(k3820.cpu.ns_per_unit, 1.0);
+}
+
+TEST(Profiles, HyperThreadingAsInTable4) {
+  EXPECT_EQ(make_i3_540().cpu.hw_threads, 4);
+  EXPECT_EQ(make_i7_2600k().cpu.hw_threads, 8);
+  EXPECT_EQ(make_i7_3820().cpu.hw_threads, 8);
+}
+
+TEST(Profiles, GpuAccessorBounds) {
+  const auto i3 = make_i3_540();
+  EXPECT_NO_THROW(i3.gpu(0));
+  EXPECT_THROW(i3.gpu(1), std::invalid_argument);
+}
+
+TEST(Profiles, LookupByName) {
+  EXPECT_EQ(profile_by_name("i3-540").name, "i3-540");
+  EXPECT_EQ(profile_by_name("I7-2600K").name, "i7-2600K");
+  EXPECT_EQ(profile_by_name("i7-3820").name, "i7-3820");
+  EXPECT_EQ(profile_by_name("3820").name, "i7-3820");
+  EXPECT_THROW(profile_by_name("pentium"), std::invalid_argument);
+}
+
+TEST(Profiles, DescribeMentionsAllParts) {
+  const auto s = make_i7_3820();
+  const std::string d = s.describe();
+  EXPECT_NE(d.find("i7-3820"), std::string::npos);
+  EXPECT_NE(d.find("Tesla"), std::string::npos);
+}
+
+TEST(Profiles, AllCostParametersPositive) {
+  for (const auto& s : paper_systems()) {
+    EXPECT_GT(s.cpu.ns_per_unit, 0.0) << s.name;
+    EXPECT_GT(s.cpu.effective_parallelism(), 1.0) << s.name;
+    EXPECT_GT(s.pcie.bandwidth_gb_s, 0.0) << s.name;
+    EXPECT_GT(s.pcie.latency_ns, 0.0) << s.name;
+    for (const auto& g : s.gpus) {
+      EXPECT_GT(g.thread_ns_per_unit, 0.0) << s.name;
+      EXPECT_GT(g.launch_ns, 0.0) << s.name;
+      EXPECT_GT(g.lanes(), 0u) << s.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wavetune::sim

@@ -1,0 +1,179 @@
+#include "cpu/rect_wavefront.hpp"
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <vector>
+
+#include "sim/system_profile.hpp"
+
+namespace wavetune::cpu {
+namespace {
+
+/// Path counting over a rows x cols grid: exact oracle for dependency
+/// order and coverage.
+struct RectPathGrid {
+  std::size_t rows;
+  std::size_t cols;
+  std::vector<std::uint64_t> v;
+  RectPathGrid(std::size_t r, std::size_t c) : rows(r), cols(c), v(r * c, 0) {}
+  CellFn cell_fn() {
+    return [this](std::size_t i, std::size_t j) {
+      const std::uint64_t w = j > 0 ? v[i * cols + j - 1] : 0;
+      const std::uint64_t n = i > 0 ? v[(i - 1) * cols + j] : 0;
+      v[i * cols + j] = (i == 0 && j == 0) ? 1 : w + n;
+    };
+  }
+};
+
+TEST(RectGeometry, DiagonalCounts) {
+  EXPECT_EQ(rect_num_diagonals(3, 5), 7u);
+  EXPECT_EQ(rect_num_diagonals(5, 3), 7u);
+  EXPECT_EQ(rect_num_diagonals(1, 1), 1u);
+  EXPECT_EQ(rect_num_diagonals(0, 5), 0u);
+}
+
+TEST(RectGeometry, DiagonalLengths) {
+  // 3 x 5: lengths 1,2,3,3,3,2,1.
+  const std::size_t expect[] = {1, 2, 3, 3, 3, 2, 1};
+  for (std::size_t d = 0; d < 7; ++d) EXPECT_EQ(rect_diag_len(3, 5, d), expect[d]) << d;
+  EXPECT_EQ(rect_diag_len(3, 5, 7), 0u);
+}
+
+TEST(RectGeometry, RowRanges) {
+  // 3 x 5, d = 5: cells (1,4), (2,3).
+  EXPECT_EQ(rect_diag_row_lo(3, 5, 5), 1u);
+  EXPECT_EQ(rect_diag_row_hi(3, 5, 5), 2u);
+}
+
+class RectGeometrySweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(RectGeometrySweep, LengthsPartitionTheGrid) {
+  const auto [rows, cols] = GetParam();
+  std::size_t total = 0;
+  for (std::size_t d = 0; d < rect_num_diagonals(rows, cols); ++d) {
+    const std::size_t len = rect_diag_len(rows, cols, d);
+    EXPECT_EQ(len, rect_diag_row_hi(rows, cols, d) - rect_diag_row_lo(rows, cols, d) + 1);
+    EXPECT_LE(len, std::min(rows, cols));
+    total += len;
+  }
+  EXPECT_EQ(total, rows * cols);
+  // Plateau of maximal parallelism: every diagonal in
+  // [min-1, max-1] has length min(rows, cols).
+  const std::size_t lo = std::min(rows, cols) - 1;
+  const std::size_t hi = std::max(rows, cols) - 1;
+  for (std::size_t d = lo; d <= hi; ++d) {
+    EXPECT_EQ(rect_diag_len(rows, cols, d), std::min(rows, cols)) << d;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, RectGeometrySweep,
+                         ::testing::Combine(::testing::Values<std::size_t>(1, 2, 5, 16, 31),
+                                            ::testing::Values<std::size_t>(1, 3, 8, 40)));
+
+TEST(RectRegion, Validation) {
+  EXPECT_THROW((RectRegion{0, 4, 0, 1, 1}).validate(), std::invalid_argument);
+  EXPECT_THROW((RectRegion{4, 0, 0, 1, 1}).validate(), std::invalid_argument);
+  EXPECT_THROW((RectRegion{4, 4, 0, 1, 0}).validate(), std::invalid_argument);
+  EXPECT_THROW((RectRegion{4, 4, 3, 2, 1}).validate(), std::invalid_argument);
+  EXPECT_THROW((RectRegion{3, 5, 0, 8, 1}).validate(), std::invalid_argument);
+  EXPECT_NO_THROW((RectRegion{3, 5, 0, 7, 1}).validate());
+}
+
+TEST(RectRegion, CellCounts) {
+  EXPECT_EQ((RectRegion{3, 5, 0, 7, 1}).cell_count(), 15u);
+  EXPECT_EQ((RectRegion{3, 5, 2, 5, 1}).cell_count(), 9u);
+}
+
+TEST(RectWavefront, SerialMatchesBinomials) {
+  RectPathGrid g(3, 6);
+  run_serial_wavefront(RectRegion{3, 6, 0, 8, 1}, g.cell_fn());
+  EXPECT_EQ(g.v[0], 1u);
+  EXPECT_EQ(g.v[1 * 6 + 1], 2u);      // C(2,1)
+  EXPECT_EQ(g.v[2 * 6 + 5], 21u);     // C(7,2)
+}
+
+class RectTiledEqualsSerial
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t, std::size_t>> {};
+
+TEST_P(RectTiledEqualsSerial, FullGrid) {
+  const auto [rows, cols, tile] = GetParam();
+  RectPathGrid serial(rows, cols);
+  run_serial_wavefront(RectRegion{rows, cols, 0, rows + cols - 1, 1}, serial.cell_fn());
+
+  RectPathGrid tiled(rows, cols);
+  ThreadPool pool(4);
+  run_tiled_wavefront(RectRegion{rows, cols, 0, rows + cols - 1, tile}, pool, tiled.cell_fn());
+  EXPECT_EQ(serial.v, tiled.v);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndTiles, RectTiledEqualsSerial,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 3, 17, 40),
+                       ::testing::Values<std::size_t>(1, 5, 24, 64),
+                       ::testing::Values<std::size_t>(1, 4, 7, 100)));
+
+TEST(RectWavefront, PhasedExecutionSeamless) {
+  const std::size_t rows = 12;
+  const std::size_t cols = 30;
+  const std::size_t total = rows + cols - 1;
+  RectPathGrid one(rows, cols);
+  run_serial_wavefront(RectRegion{rows, cols, 0, total, 1}, one.cell_fn());
+
+  RectPathGrid phased(rows, cols);
+  ThreadPool pool(2);
+  run_tiled_wavefront(RectRegion{rows, cols, 0, 9, 3}, pool, phased.cell_fn());
+  run_tiled_wavefront(RectRegion{rows, cols, 9, 25, 5}, pool, phased.cell_fn());
+  run_tiled_wavefront(RectRegion{rows, cols, 25, total, 2}, pool, phased.cell_fn());
+  EXPECT_EQ(one.v, phased.v);
+}
+
+TEST(RectWavefront, VisitsEachRegionCellOnce) {
+  const std::size_t rows = 9;
+  const std::size_t cols = 21;
+  std::vector<int> hits(rows * cols, 0);
+  std::mutex m;
+  ThreadPool pool(4);
+  run_tiled_wavefront(RectRegion{rows, cols, 4, 17, 4}, pool,
+                      [&](std::size_t i, std::size_t j) {
+                        std::lock_guard<std::mutex> lock(m);
+                        ++hits[i * cols + j];
+                      });
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      const int expected = (i + j >= 4 && i + j < 17) ? 1 : 0;
+      EXPECT_EQ(hits[i * cols + j], expected) << i << "," << j;
+    }
+  }
+}
+
+TEST(RectWavefrontCost, ConsistentWithSquareModel) {
+  // A square RectRegion must cost exactly what the square model says.
+  const auto cpu = sim::make_i7_3820().cpu;
+  const double square =
+      tiled_wavefront_cost_ns(TiledRegion{64, 0, 127, 8}, cpu, 50.0, 16);
+  const double rect = tiled_wavefront_cost_ns(RectRegion{64, 64, 0, 127, 8}, cpu, 50.0, 16);
+  EXPECT_DOUBLE_EQ(square, rect);
+}
+
+TEST(RectWavefrontCost, WideGridCheaperThanTallPerRowForFixedCells) {
+  // Same cell count, one long/skinny vs balanced: the skinny grid has
+  // fewer parallel tiles per diagonal, so it costs at least as much.
+  const auto cpu = sim::make_i7_2600k().cpu;
+  const double skinny =
+      tiled_wavefront_cost_ns(RectRegion{16, 1024, 0, 1039, 8}, cpu, 100.0, 16);
+  const double square =
+      tiled_wavefront_cost_ns(RectRegion{128, 128, 0, 255, 8}, cpu, 100.0, 16);
+  EXPECT_GE(skinny, square);
+}
+
+TEST(RectWavefrontCost, SerialProportionalToCells) {
+  const auto cpu = sim::make_i7_3820().cpu;
+  const RectRegion r{10, 40, 0, 49, 1};
+  EXPECT_DOUBLE_EQ(serial_wavefront_cost_ns(r, cpu, 20.0, 16),
+                   400.0 * cpu.element_ns(20.0, 16));
+}
+
+}  // namespace
+}  // namespace wavetune::cpu

@@ -1,0 +1,171 @@
+#include "ml/rep_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ml/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace wavetune::ml {
+namespace {
+
+/// Step function the tree must recover: y = 10 when x <= 5, else -10.
+Dataset step_data(std::size_t n, double noise, std::uint64_t seed) {
+  Dataset d({"x"});
+  util::Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = rng.uniform_real(0, 10);
+    const double y = (x <= 5 ? 10.0 : -10.0) + rng.normal(0, noise);
+    d.add({x}, y);
+  }
+  return d;
+}
+
+TEST(RepTree, FitsStepFunctionExactly) {
+  const Dataset d = step_data(200, 0.0, 1);
+  const RepTree t = RepTree::fit(d);
+  EXPECT_NEAR(t.predict(std::vector<double>{1.0}), 10.0, 1e-9);
+  EXPECT_NEAR(t.predict(std::vector<double>{9.0}), -10.0, 1e-9);
+}
+
+TEST(RepTree, ConstantTargetGivesSingleLeaf) {
+  Dataset d({"x"});
+  for (int i = 0; i < 20; ++i) d.add({static_cast<double>(i)}, 7.0);
+  const RepTree t = RepTree::fit(d);
+  EXPECT_EQ(t.leaf_count(), 1u);
+  EXPECT_DOUBLE_EQ(t.predict(std::vector<double>{100.0}), 7.0);
+}
+
+TEST(RepTree, EmptyFitThrows) {
+  Dataset d({"x"});
+  EXPECT_THROW(RepTree::fit(d), std::invalid_argument);
+}
+
+TEST(RepTree, DefaultPredictOnEmptyTreeIsZero) {
+  const RepTree t;
+  EXPECT_DOUBLE_EQ(t.predict(std::vector<double>{1.0}), 0.0);
+}
+
+TEST(RepTree, PruningShrinksNoisyTree) {
+  const Dataset d = step_data(300, 3.0, 2);
+  RepTreeConfig no_prune;
+  no_prune.prune = false;
+  no_prune.min_leaf = 2;
+  RepTreeConfig with_prune = no_prune;
+  with_prune.prune = true;
+  const RepTree big = RepTree::fit(d, no_prune);
+  const RepTree pruned = RepTree::fit(d, with_prune);
+  EXPECT_LT(pruned.node_count(), big.node_count());
+  // The pruned tree still captures the step.
+  EXPECT_GT(pruned.predict(std::vector<double>{1.0}), 5.0);
+  EXPECT_LT(pruned.predict(std::vector<double>{9.0}), -5.0);
+}
+
+TEST(RepTree, MaxDepthRespected) {
+  const Dataset d = step_data(300, 1.0, 3);
+  RepTreeConfig cfg;
+  cfg.max_depth = 2;
+  cfg.prune = false;
+  const RepTree t = RepTree::fit(d, cfg);
+  EXPECT_LE(t.depth(), 3u);  // depth counts nodes on the longest path
+}
+
+TEST(RepTree, MinLeafRespected) {
+  const Dataset d = step_data(40, 0.5, 4);
+  RepTreeConfig cfg;
+  cfg.min_leaf = 10;
+  cfg.prune = false;
+  const RepTree t = RepTree::fit(d, cfg);
+  // With n=40 and min_leaf=10 the tree can have at most 4 leaves.
+  EXPECT_LE(t.leaf_count(), 4u);
+}
+
+TEST(RepTree, BinaryTargetBehavesLikeClassifier) {
+  // The paper's gpu-use decision: 0/1 by thresholds on dim and tsize.
+  Dataset d({"dim", "tsize"});
+  util::Rng rng(5);
+  for (int i = 0; i < 400; ++i) {
+    const double dim = rng.uniform_real(500, 3100);
+    const double tsize = rng.uniform_real(10, 12000);
+    const double use_gpu = (tsize > 500 && dim > 1500) ? 1.0 : 0.0;
+    d.add({dim, tsize}, use_gpu);
+  }
+  const RepTree t = RepTree::fit(d);
+  EXPECT_GT(t.predict(std::vector<double>{2700.0, 8000.0}), 0.5);
+  EXPECT_LT(t.predict(std::vector<double>{700.0, 50.0}), 0.5);
+}
+
+TEST(RepTree, MultiFeatureSplitSelection) {
+  // Only feature 1 is informative.
+  Dataset d({"noise", "signal"});
+  util::Rng rng(6);
+  for (int i = 0; i < 300; ++i) {
+    const double noise = rng.uniform_real(0, 1);
+    const double signal = rng.uniform_real(0, 1);
+    d.add({noise, signal}, signal > 0.5 ? 100.0 : 0.0);
+  }
+  const RepTree t = RepTree::fit(d);
+  std::vector<double> probe{0.0, 0.9};
+  EXPECT_NEAR(t.predict(probe), 100.0, 5.0);
+  probe = {0.9, 0.1};
+  EXPECT_NEAR(t.predict(probe), 0.0, 5.0);
+}
+
+TEST(RepTree, DescribeShowsSplits) {
+  const Dataset d = step_data(100, 0.0, 7);
+  const RepTree t = RepTree::fit(d);
+  const std::string s = t.describe({"x"});
+  EXPECT_NE(s.find("x <="), std::string::npos);
+  EXPECT_NE(s.find("->"), std::string::npos);
+}
+
+TEST(RepTree, JsonRoundtripPreservesPredictions) {
+  const Dataset d = step_data(150, 1.0, 8);
+  const RepTree t = RepTree::fit(d);
+  const RepTree back = RepTree::from_json(t.to_json());
+  util::Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    const std::vector<double> x{rng.uniform_real(0, 10)};
+    EXPECT_DOUBLE_EQ(back.predict(x), t.predict(x));
+  }
+  EXPECT_EQ(t.kind(), "rep_tree");
+}
+
+TEST(RepTree, PredictArityChecked) {
+  const Dataset d = step_data(50, 0.0, 10);
+  const RepTree t = RepTree::fit(d);
+  EXPECT_THROW(t.predict(std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(BestVarianceSplit, FindsMidpoint) {
+  Dataset d({"x"});
+  for (int i = 0; i < 10; ++i) d.add({static_cast<double>(i)}, i < 5 ? 0.0 : 1.0);
+  std::vector<std::size_t> idx(10);
+  for (std::size_t i = 0; i < 10; ++i) idx[i] = i;
+  const auto split = best_variance_split(d, idx, 1, false);
+  ASSERT_TRUE(split.has_value());
+  EXPECT_EQ(split->feature, 0u);
+  EXPECT_DOUBLE_EQ(split->threshold, 4.5);
+}
+
+TEST(BestVarianceSplit, NoSplitOnConstantTarget) {
+  Dataset d({"x"});
+  for (int i = 0; i < 10; ++i) d.add({static_cast<double>(i)}, 3.0);
+  std::vector<std::size_t> idx(10);
+  for (std::size_t i = 0; i < 10; ++i) idx[i] = i;
+  EXPECT_FALSE(best_variance_split(d, idx, 1, false).has_value());
+}
+
+TEST(BestVarianceSplit, RespectsMinLeaf) {
+  Dataset d({"x"});
+  for (int i = 0; i < 6; ++i) d.add({static_cast<double>(i)}, i < 1 ? 100.0 : 0.0);
+  std::vector<std::size_t> idx(6);
+  for (std::size_t i = 0; i < 6; ++i) idx[i] = i;
+  // min_leaf=2 forbids the 1|5 split that pure variance would pick.
+  const auto split = best_variance_split(d, idx, 2, false);
+  if (split) {
+    EXPECT_GE(split->threshold, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace wavetune::ml

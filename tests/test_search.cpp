@@ -1,0 +1,118 @@
+#include "autotune/search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/system_profile.hpp"
+
+namespace wavetune::autotune {
+namespace {
+
+class SearchTest : public ::testing::Test {
+protected:
+  ExhaustiveSearch search_{sim::make_i7_2600k(), ParamSpace::reduced()};
+};
+
+TEST_F(SearchTest, InstanceEvaluatesAllConfigs) {
+  const core::InputParams in{480, 100.0, 1};
+  const InstanceResult res = search_.search_instance(in);
+  const auto expected = ParamSpace::reduced().configs_for(480, 4).size();
+  EXPECT_EQ(res.records.size(), expected);
+  EXPECT_GT(res.serial_ns, 0.0);
+}
+
+TEST_F(SearchTest, BestIsMinimalUncensored) {
+  const InstanceResult res = search_.search_instance(core::InputParams{480, 100.0, 1});
+  const auto best = res.best();
+  ASSERT_TRUE(best.has_value());
+  for (const auto& r : res.records) {
+    if (!r.censored) EXPECT_LE(best->rtime_ns, r.rtime_ns);
+  }
+}
+
+TEST_F(SearchTest, TopKSortedAscending) {
+  const InstanceResult res = search_.search_instance(core::InputParams{480, 1000.0, 1});
+  const auto top = res.top_k(5);
+  ASSERT_EQ(top.size(), 5u);
+  for (std::size_t i = 1; i < top.size(); ++i) {
+    EXPECT_LE(top[i - 1].rtime_ns, top[i].rtime_ns);
+  }
+  EXPECT_DOUBLE_EQ(top.front().rtime_ns, res.best()->rtime_ns);
+}
+
+TEST_F(SearchTest, TopKClampedToAvailable) {
+  const InstanceResult res = search_.search_instance(core::InputParams{240, 10.0, 1});
+  const auto top = res.top_k(1000000);
+  EXPECT_EQ(top.size(), res.records.size() - res.censored_count);
+}
+
+TEST_F(SearchTest, CpuAndGpuBestsPartitionConfigs) {
+  const InstanceResult res = search_.search_instance(core::InputParams{1000, 8000.0, 1});
+  const auto cpu = res.best_cpu_only();
+  const auto gpu = res.best_gpu();
+  ASSERT_TRUE(cpu.has_value());
+  ASSERT_TRUE(gpu.has_value());
+  EXPECT_FALSE(cpu->params.uses_gpu());
+  EXPECT_TRUE(gpu->params.uses_gpu());
+  const auto best = res.best();
+  EXPECT_DOUBLE_EQ(best->rtime_ns, std::min(cpu->rtime_ns, gpu->rtime_ns));
+}
+
+TEST_F(SearchTest, ThresholdCensorsSlowConfigs) {
+  // A 1-microsecond threshold censors everything.
+  ExhaustiveSearch strict(sim::make_i7_2600k(), ParamSpace::reduced(), 1e-6);
+  const InstanceResult res = strict.search_instance(core::InputParams{480, 1000.0, 1});
+  EXPECT_EQ(res.censored_count, res.records.size());
+  EXPECT_FALSE(res.best().has_value());
+  EXPECT_DOUBLE_EQ(res.mean_rtime_ns(), 0.0);
+  // Serial baseline is exempt from the threshold (paper §3.1.1).
+  EXPECT_GT(res.serial_ns, 1e3);
+}
+
+TEST_F(SearchTest, DefaultThresholdIs90Seconds) {
+  EXPECT_DOUBLE_EQ(search_.threshold_seconds(), 90.0);
+}
+
+TEST_F(SearchTest, MeanAndStddevOverUncensored) {
+  const InstanceResult res = search_.search_instance(core::InputParams{480, 100.0, 1});
+  EXPECT_GT(res.mean_rtime_ns(), 0.0);
+  EXPECT_GE(res.stddev_rtime_ns(), 0.0);
+  EXPECT_GE(res.mean_rtime_ns(), res.best()->rtime_ns);
+}
+
+TEST_F(SearchTest, SweepCoversAllInstances) {
+  const auto results = search_.sweep();
+  EXPECT_EQ(results.size(), ParamSpace::reduced().instances().size());
+}
+
+TEST_F(SearchTest, SingleGpuSystemSearchHasNoDualRecords) {
+  ExhaustiveSearch i3(sim::make_i3_540(), ParamSpace::reduced());
+  const InstanceResult res = i3.search_instance(core::InputParams{480, 1000.0, 1});
+  for (const auto& r : res.records) {
+    EXPECT_LE(r.params.gpu_count(), 1) << r.params.describe();
+  }
+}
+
+TEST_F(SearchTest, HighGranularityFavoursGpu) {
+  // At tsize=6000 the best configuration must use the GPU (the core
+  // trade-off of the paper's heatmaps).
+  const InstanceResult res = search_.search_instance(core::InputParams{1000, 8000.0, 1});
+  EXPECT_TRUE(res.best()->params.uses_gpu());
+}
+
+TEST_F(SearchTest, TinyGranularityFavoursCpu) {
+  const InstanceResult res = search_.search_instance(core::InputParams{240, 10.0, 1});
+  EXPECT_FALSE(res.best()->params.uses_gpu());
+}
+
+TEST_F(SearchTest, DeterministicAcrossCalls) {
+  const core::InputParams in{480, 100.0, 5};
+  const InstanceResult a = search_.search_instance(in);
+  const InstanceResult b = search_.search_instance(in);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.records[i].rtime_ns, b.records[i].rtime_ns);
+  }
+}
+
+}  // namespace
+}  // namespace wavetune::autotune

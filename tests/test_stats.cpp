@@ -1,0 +1,140 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace wavetune::util {
+namespace {
+
+TEST(Stats, MeanBasics) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, VarianceSampleDenominator) {
+  const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  // Known population variance 4; sample variance = 32/7.
+  EXPECT_NEAR(variance(xs), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(stddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Stats, VarianceDegenerate) {
+  EXPECT_DOUBLE_EQ(variance(std::vector<double>{5.0}), 0.0);
+  EXPECT_DOUBLE_EQ(variance(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, PercentileInterpolation) {
+  const std::vector<double> xs{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 40);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 25);
+  EXPECT_DOUBLE_EQ(median(xs), 25);
+}
+
+TEST(Stats, PercentileUnsortedInput) {
+  const std::vector<double> xs{40, 10, 30, 20};
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 25);
+}
+
+TEST(Stats, PercentileErrors) {
+  EXPECT_THROW(percentile(std::vector<double>{}, 50), std::invalid_argument);
+  const std::vector<double> xs{1.0};
+  EXPECT_THROW(percentile(xs, -1), std::invalid_argument);
+  EXPECT_THROW(percentile(xs, 101), std::invalid_argument);
+}
+
+// Property: percentile is monotone in p.
+class PercentileMonotone : public ::testing::TestWithParam<int> {};
+
+TEST_P(PercentileMonotone, MonotoneInP) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  std::vector<double> xs(37);
+  for (auto& x : xs) x = rng.uniform_real(-100, 100);
+  double prev = percentile(xs, 0);
+  for (int p = 5; p <= 100; p += 5) {
+    const double cur = percentile(xs, p);
+    EXPECT_GE(cur, prev - 1e-12);
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PercentileMonotone, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(Stats, SummarizeConsistency) {
+  const std::vector<double> xs{5, 1, 4, 2, 3};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.min, 1);
+  EXPECT_DOUBLE_EQ(s.max, 5);
+  EXPECT_DOUBLE_EQ(s.median, 3);
+  EXPECT_DOUBLE_EQ(s.mean, 3);
+  EXPECT_LE(s.q1, s.median);
+  EXPECT_LE(s.median, s.q3);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  const std::vector<double> ys{2, 4, 6, 8};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  std::vector<double> neg{8, 6, 4, 2};
+  EXPECT_NEAR(pearson(xs, neg), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonConstantSideIsZero) {
+  const std::vector<double> xs{1, 2, 3};
+  const std::vector<double> ys{5, 5, 5};
+  EXPECT_DOUBLE_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(Stats, HistogramCountsSumToN) {
+  Rng rng(99);
+  std::vector<double> xs(500);
+  for (auto& x : xs) x = rng.uniform_real(0, 10);
+  const Histogram h = histogram(xs, 8);
+  std::size_t total = 0;
+  for (auto c : h.counts) total += c;
+  EXPECT_EQ(total, xs.size());
+  EXPECT_GT(h.bin_width(), 0.0);
+}
+
+TEST(Stats, HistogramConstantSample) {
+  const std::vector<double> xs{3, 3, 3};
+  const Histogram h = histogram(xs, 4);
+  EXPECT_EQ(h.counts[0], 3u);
+}
+
+TEST(Stats, ViolinDensityIntegratesToRoughlyOne) {
+  Rng rng(7);
+  std::vector<double> xs(400);
+  for (auto& x : xs) x = rng.normal(0, 1);
+  const ViolinSummary v = violin(xs, 64);
+  // Trapezoid integral of the KDE over [min, max] should be close to 1
+  // (tails clipped, so slightly under).
+  double integral = 0.0;
+  for (std::size_t i = 1; i < v.grid.size(); ++i) {
+    integral += 0.5 * (v.density[i] + v.density[i - 1]) * (v.grid[i] - v.grid[i - 1]);
+  }
+  EXPECT_GT(integral, 0.8);
+  EXPECT_LT(integral, 1.05);
+}
+
+TEST(Stats, ViolinMedianWithinRange) {
+  const std::vector<double> xs{1, 2, 2, 3, 3, 3, 9};
+  const ViolinSummary v = violin(xs);
+  EXPECT_GE(v.summary.median, v.summary.min);
+  EXPECT_LE(v.summary.median, v.summary.max);
+  EXPECT_FALSE(render_violin(v).empty());
+}
+
+TEST(Stats, ViolinRejectsTinyGrid) {
+  const std::vector<double> xs{1, 2, 3};
+  EXPECT_THROW(violin(xs, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wavetune::util

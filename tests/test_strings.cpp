@@ -1,0 +1,57 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wavetune::util {
+namespace {
+
+TEST(Strings, SplitBasic) {
+  const auto parts = split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, SplitEmptySegments) {
+  const auto parts = split(",x,", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[1], "x");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(Strings, SplitNoDelimiter) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Strings, JoinInvertsSplit) {
+  const std::string s = "x|y|z";
+  EXPECT_EQ(join(split(s, '|'), "|"), s);
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  hi  "), "hi");
+  EXPECT_EQ(trim("\t\nhi"), "hi");
+  EXPECT_EQ(trim("hi"), "hi");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(Strings, ToLower) {
+  EXPECT_EQ(to_lower("AbC-123"), "abc-123");
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("wavetune", "wave"));
+  EXPECT_FALSE(starts_with("wavetune", "tune"));
+  EXPECT_TRUE(ends_with("wavetune", "tune"));
+  EXPECT_FALSE(ends_with("wavetune", "wave"));
+  EXPECT_TRUE(starts_with("x", ""));
+  EXPECT_FALSE(starts_with("", "x"));
+}
+
+}  // namespace
+}  // namespace wavetune::util

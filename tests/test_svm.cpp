@@ -1,0 +1,100 @@
+#include "ml/svm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace wavetune::ml {
+namespace {
+
+Dataset separable(std::size_t n, double margin, std::uint64_t seed) {
+  Dataset d({"x", "y"});
+  util::Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool pos = rng.bernoulli(0.5);
+    // Separating line: x + y = 0, shifted by +-margin.
+    const double base = pos ? margin : -margin;
+    const double x = rng.uniform_real(-1, 1) + base;
+    const double y = rng.uniform_real(-1, 1) + base;
+    d.add({x, y}, pos ? 1.0 : -1.0);
+  }
+  return d;
+}
+
+TEST(LinearSvm, SeparableDataHighAccuracy) {
+  const Dataset d = separable(400, 2.0, 1);
+  const LinearSvm svm = LinearSvm::fit(d);
+  EXPECT_GE(svm.accuracy(d), 0.98);
+}
+
+TEST(LinearSvm, PredictSignsMatchDecision) {
+  const Dataset d = separable(200, 2.0, 2);
+  const LinearSvm svm = LinearSvm::fit(d);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    const double dec = svm.decision(d.row(i));
+    EXPECT_EQ(svm.predict(d.row(i)), dec >= 0 ? 1 : -1);
+  }
+}
+
+TEST(LinearSvm, BiasLearnsAsymmetricSplit) {
+  // All-positive above x=5, all-negative below: requires a bias term.
+  Dataset d({"x"});
+  util::Rng rng(3);
+  for (int i = 0; i < 300; ++i) {
+    const double x = rng.uniform_real(0, 10);
+    d.add({x}, x > 5 ? 1.0 : -1.0);
+  }
+  const LinearSvm svm = LinearSvm::fit(d);
+  EXPECT_GE(svm.accuracy(d), 0.93);
+  EXPECT_EQ(svm.predict(std::vector<double>{9.0}), 1);
+  EXPECT_EQ(svm.predict(std::vector<double>{1.0}), -1);
+}
+
+TEST(LinearSvm, DeterministicForFixedSeed) {
+  const Dataset d = separable(100, 1.0, 4);
+  const LinearSvm a = LinearSvm::fit(d);
+  const LinearSvm b = LinearSvm::fit(d);
+  EXPECT_EQ(a.weights(), b.weights());
+  EXPECT_DOUBLE_EQ(a.bias(), b.bias());
+}
+
+TEST(LinearSvm, NoisyDataStillAboveChance) {
+  Dataset d = separable(400, 0.5, 5);
+  // Flip 10% of labels.
+  util::Rng rng(6);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    if (rng.bernoulli(0.1)) d.target(i) = -d.target(i);
+  }
+  const LinearSvm svm = LinearSvm::fit(d);
+  EXPECT_GE(svm.accuracy(d), 0.8);
+}
+
+TEST(LinearSvm, AlwaysPositiveLabelsLearned) {
+  // The paper's gate degenerates to "always parallel" over its space; the
+  // SVM must handle single-class training data gracefully.
+  Dataset d({"x"});
+  util::Rng rng(7);
+  for (int i = 0; i < 100; ++i) d.add({rng.uniform_real(0, 1)}, 1.0);
+  const LinearSvm svm = LinearSvm::fit(d);
+  EXPECT_GE(svm.accuracy(d), 0.99);
+}
+
+TEST(LinearSvm, EmptyFitThrows) {
+  Dataset d({"x"});
+  EXPECT_THROW(LinearSvm::fit(d), std::invalid_argument);
+}
+
+TEST(LinearSvm, DecisionArityChecked) {
+  const LinearSvm svm({1.0, 1.0}, 0.0);
+  EXPECT_THROW(svm.decision(std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(LinearSvm, JsonRoundtrip) {
+  const LinearSvm svm({0.5, -0.25}, 1.5);
+  const LinearSvm back = LinearSvm::from_json(svm.to_json());
+  EXPECT_EQ(back.weights(), svm.weights());
+  EXPECT_DOUBLE_EQ(back.bias(), svm.bias());
+}
+
+}  // namespace
+}  // namespace wavetune::ml

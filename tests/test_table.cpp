@@ -1,0 +1,87 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace wavetune::util {
+namespace {
+
+TEST(Table, RejectsEmptyHeaders) {
+  EXPECT_THROW(Table(std::vector<std::string>{}), std::invalid_argument);
+}
+
+TEST(Table, RowArityEnforced) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), std::invalid_argument);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), std::invalid_argument);
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, RowBuilderMixedTypes) {
+  Table t({"name", "count", "ratio"});
+  t.row().add("x").add(42).add(3.14159, 2).done();
+  EXPECT_EQ(t.data()[0][0], "x");
+  EXPECT_EQ(t.data()[0][1], "42");
+  EXPECT_EQ(t.data()[0][2], "3.14");
+}
+
+TEST(Table, MarkdownShape) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  const std::string md = t.to_markdown();
+  EXPECT_NE(md.find("| a | b |"), std::string::npos);
+  EXPECT_NE(md.find("|---|---|"), std::string::npos);
+  EXPECT_NE(md.find("| 1 | 2 |"), std::string::npos);
+}
+
+TEST(Table, CsvEscaping) {
+  Table t({"x"});
+  t.add_row({"plain"});
+  t.add_row({"with,comma"});
+  t.add_row({"with\"quote"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("plain"), std::string::npos);
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, AlignedOutputContainsAllCells) {
+  Table t({"col", "other"});
+  t.add_row({"value1", "value2"});
+  const std::string a = t.to_aligned();
+  EXPECT_NE(a.find("value1"), std::string::npos);
+  EXPECT_NE(a.find("value2"), std::string::npos);
+  EXPECT_NE(a.find("---"), std::string::npos);
+}
+
+TEST(Table, SaveCsvRoundtrip) {
+  Table t({"k", "v"});
+  t.add_row({"a", "1"});
+  const std::string path = ::testing::TempDir() + "wavetune_table_test.csv";
+  t.save_csv(path);
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "k,v");
+  std::getline(f, line);
+  EXPECT_EQ(line, "a,1");
+  std::remove(path.c_str());
+}
+
+TEST(Table, SaveCsvBadPathThrows) {
+  Table t({"k"});
+  EXPECT_THROW(t.save_csv("/nonexistent-dir-xyz/file.csv"), std::runtime_error);
+}
+
+TEST(FormatDouble, TrimsTrailingZeros) {
+  EXPECT_EQ(format_double(1.5, 3), "1.5");
+  EXPECT_EQ(format_double(2.0, 3), "2");
+  EXPECT_EQ(format_double(0.125, 3), "0.125");
+  EXPECT_EQ(format_double(-3.10, 2), "-3.1");
+}
+
+}  // namespace
+}  // namespace wavetune::util

@@ -1,0 +1,96 @@
+#include "cpu/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace wavetune::cpu {
+namespace {
+
+TEST(ThreadPool, WorkerCountDefaultsPositive) {
+  ThreadPool pool;
+  EXPECT_GE(pool.worker_count(), 1u);
+}
+
+TEST(ThreadPool, ExplicitWorkerCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.worker_count(), 3u);
+}
+
+TEST(ThreadPool, ParallelForVisitsEveryIndexOnce) {
+  ThreadPool pool(4);
+  const std::size_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for(0, n, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(5, 5, [&](std::size_t) { called = true; });
+  pool.parallel_for(7, 3, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ParallelForOffsetRange) {
+  ThreadPool pool(2);
+  std::atomic<std::size_t> sum{0};
+  pool.parallel_for(10, 20, [&](std::size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), std::size_t{145});  // 10+11+...+19
+}
+
+TEST(ThreadPool, SingleWorkerExecutesInline) {
+  ThreadPool pool(1);
+  std::vector<std::size_t> order;
+  pool.parallel_for(0, 8, [&](std::size_t i) { order.push_back(i); });
+  // Inline execution preserves order.
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, ParallelForPropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(0, 100,
+                        [&](std::size_t i) {
+                          if (i == 37) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // Pool still usable after the exception.
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 10, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, SubmitAndDrain) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 20; ++i) pool.submit([&] { done.fetch_add(1); });
+  pool.drain();
+  EXPECT_EQ(done.load(), 20);
+}
+
+TEST(ThreadPool, NestedParallelForFromManyRanges) {
+  // Repeated barriers in sequence (the executor's tile-diagonal pattern).
+  ThreadPool pool(4);
+  std::atomic<std::size_t> total{0};
+  for (std::size_t round = 0; round < 50; ++round) {
+    pool.parallel_for(0, round + 1, [&](std::size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), std::size_t{50 * 51 / 2});
+}
+
+TEST(ThreadPool, StressManySmallRanges) {
+  ThreadPool pool(8);
+  std::atomic<std::size_t> total{0};
+  for (int round = 0; round < 200; ++round) {
+    pool.parallel_for(0, 3, [&](std::size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 600u);
+}
+
+}  // namespace
+}  // namespace wavetune::cpu

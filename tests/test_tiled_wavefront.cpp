@@ -1,0 +1,157 @@
+#include "cpu/tiled_wavefront.hpp"
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <vector>
+
+#include "sim/system_profile.hpp"
+
+namespace wavetune::cpu {
+namespace {
+
+/// Path-counting recurrence over a plain vector — any dependency violation
+/// or missed/duplicated cell changes the result.
+struct PathGrid {
+  std::size_t dim;
+  std::vector<std::uint32_t> v;
+  explicit PathGrid(std::size_t d) : dim(d), v(d * d, 0) {}
+  CellFn cell_fn() {
+    return [this](std::size_t i, std::size_t j) {
+      const std::uint32_t w = j > 0 ? v[i * dim + j - 1] : 0;
+      const std::uint32_t n = i > 0 ? v[(i - 1) * dim + j] : 0;
+      v[i * dim + j] = (i == 0 && j == 0) ? 1 : w + n;
+    };
+  }
+};
+
+TEST(TiledRegion, CellCountFullGrid) {
+  TiledRegion r{10, 0, 19, 1};
+  EXPECT_EQ(r.cell_count(), 100u);
+}
+
+TEST(TiledRegion, CellCountBand) {
+  TiledRegion r{4, 2, 5, 1};  // diagonals 2,3,4 of a 4x4: 3+4+3
+  EXPECT_EQ(r.cell_count(), 10u);
+}
+
+TEST(TiledRegion, ValidateRejectsBadShapes) {
+  EXPECT_THROW((TiledRegion{0, 0, 0, 1}).validate(), std::invalid_argument);
+  EXPECT_THROW((TiledRegion{4, 0, 1, 0}).validate(), std::invalid_argument);
+  EXPECT_THROW((TiledRegion{4, 3, 2, 1}).validate(), std::invalid_argument);
+  EXPECT_THROW((TiledRegion{4, 0, 8, 1}).validate(), std::invalid_argument);
+  EXPECT_NO_THROW((TiledRegion{4, 0, 7, 1}).validate());
+}
+
+TEST(TiledWavefront, SerialReferenceMatchesPascal) {
+  PathGrid g(6);
+  run_serial_wavefront(TiledRegion{6, 0, 11, 1}, g.cell_fn());
+  EXPECT_EQ(g.v[0], 1u);
+  EXPECT_EQ(g.v[1 * 6 + 1], 2u);
+  EXPECT_EQ(g.v[2 * 6 + 2], 6u);
+  EXPECT_EQ(g.v[5 * 6 + 5], 252u);  // C(10,5)
+}
+
+// Property: tiled parallel result equals serial for any (dim, tile).
+class TiledEqualsSerial : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(TiledEqualsSerial, FullGrid) {
+  const auto [dim, tile] = GetParam();
+  PathGrid serial(dim);
+  run_serial_wavefront(TiledRegion{dim, 0, 2 * dim - 1, 1}, serial.cell_fn());
+
+  PathGrid tiled(dim);
+  ThreadPool pool(4);
+  run_tiled_wavefront(TiledRegion{dim, 0, 2 * dim - 1, tile}, pool, tiled.cell_fn());
+  EXPECT_EQ(serial.v, tiled.v);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimsAndTiles, TiledEqualsSerial,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 2, 3, 7, 16, 33, 64),
+                       ::testing::Values<std::size_t>(1, 2, 4, 8, 10, 100)));
+
+// Property: executing phases [0,a), [a,b), [b,D) sequentially equals one
+// pass — the executor's three-phase split is seamless at any boundary.
+class PhaseSplitSeamless : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(PhaseSplitSeamless, TwoCuts) {
+  const auto [a_off, b_off] = GetParam();
+  const std::size_t dim = 20;
+  const std::size_t total = 2 * dim - 1;
+  const std::size_t a = std::min(a_off, total);
+  const std::size_t b = std::min(a + b_off, total);
+
+  PathGrid one_pass(dim);
+  run_serial_wavefront(TiledRegion{dim, 0, total, 1}, one_pass.cell_fn());
+
+  PathGrid phased(dim);
+  ThreadPool pool(2);
+  run_tiled_wavefront(TiledRegion{dim, 0, a, 3}, pool, phased.cell_fn());
+  run_tiled_wavefront(TiledRegion{dim, a, b, 5}, pool, phased.cell_fn());
+  run_tiled_wavefront(TiledRegion{dim, b, total, 2}, pool, phased.cell_fn());
+  EXPECT_EQ(one_pass.v, phased.v);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cuts, PhaseSplitSeamless,
+                         ::testing::Combine(::testing::Values<std::size_t>(0, 1, 5, 13, 19, 39),
+                                            ::testing::Values<std::size_t>(0, 1, 7, 20)));
+
+TEST(TiledWavefront, VisitsEachCellExactlyOnce) {
+  const std::size_t dim = 15;
+  std::vector<int> hits(dim * dim, 0);
+  std::mutex m;
+  ThreadPool pool(4);
+  run_tiled_wavefront(TiledRegion{dim, 3, 20, 4}, pool, [&](std::size_t i, std::size_t j) {
+    std::lock_guard<std::mutex> lock(m);
+    ++hits[i * dim + j];
+  });
+  for (std::size_t i = 0; i < dim; ++i) {
+    for (std::size_t j = 0; j < dim; ++j) {
+      const int expected = (i + j >= 3 && i + j < 20) ? 1 : 0;
+      EXPECT_EQ(hits[i * dim + j], expected) << i << "," << j;
+    }
+  }
+}
+
+TEST(TiledWavefrontCost, ZeroForEmptyRegion) {
+  const auto cpu = sim::make_i7_3820().cpu;
+  EXPECT_DOUBLE_EQ(tiled_wavefront_cost_ns(TiledRegion{10, 4, 4, 2}, cpu, 10.0, 16), 0.0);
+}
+
+TEST(TiledWavefrontCost, MonotoneInTsize) {
+  const auto cpu = sim::make_i7_3820().cpu;
+  const TiledRegion r{64, 0, 127, 8};
+  EXPECT_LT(tiled_wavefront_cost_ns(r, cpu, 10.0, 16),
+            tiled_wavefront_cost_ns(r, cpu, 100.0, 16));
+}
+
+TEST(TiledWavefrontCost, TinyTilesPaySchedulingOverhead) {
+  const auto cpu = sim::make_i7_3820().cpu;
+  // At modest granularity, tile=1 must be worse than tile=8: per-element
+  // scheduling dominates (the cpu-tile trade-off of the paper).
+  const TiledRegion t1{256, 0, 511, 1};
+  const TiledRegion t8{256, 0, 511, 8};
+  EXPECT_GT(tiled_wavefront_cost_ns(t1, cpu, 10.0, 16),
+            tiled_wavefront_cost_ns(t8, cpu, 10.0, 16));
+}
+
+TEST(SerialWavefrontCost, ProportionalToCells) {
+  const auto cpu = sim::make_i7_3820().cpu;
+  const double full = serial_wavefront_cost_ns(TiledRegion{32, 0, 63, 1}, cpu, 50.0, 16);
+  const double half_cells =
+      serial_wavefront_cost_ns(TiledRegion{32, 0, 31, 1}, cpu, 50.0, 16) +
+      serial_wavefront_cost_ns(TiledRegion{32, 31, 63, 1}, cpu, 50.0, 16);
+  EXPECT_NEAR(full, half_cells, 1e-6);
+  EXPECT_DOUBLE_EQ(full, 32.0 * 32.0 * cpu.element_ns(50.0, 16));
+}
+
+TEST(TiledWavefrontCost, ParallelBeatsSerialAtScale) {
+  const auto cpu = sim::make_i7_2600k().cpu;
+  const TiledRegion r{512, 0, 1023, 8};
+  EXPECT_LT(tiled_wavefront_cost_ns(r, cpu, 100.0, 16),
+            serial_wavefront_cost_ns(r, cpu, 100.0, 16));
+}
+
+}  // namespace
+}  // namespace wavetune::cpu

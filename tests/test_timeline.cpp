@@ -1,0 +1,72 @@
+#include "sim/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wavetune::sim {
+namespace {
+
+TEST(Timeline, FifoOrdering) {
+  Timeline t("r");
+  const auto s1 = t.acquire(0.0, 10.0);
+  EXPECT_DOUBLE_EQ(s1.start, 0.0);
+  EXPECT_DOUBLE_EQ(s1.end, 10.0);
+  // Second request at an earlier "earliest" still queues behind the first.
+  const auto s2 = t.acquire(5.0, 3.0);
+  EXPECT_DOUBLE_EQ(s2.start, 10.0);
+  EXPECT_DOUBLE_EQ(s2.end, 13.0);
+}
+
+TEST(Timeline, RespectsEarliest) {
+  Timeline t;
+  t.acquire(0.0, 2.0);
+  const auto s = t.acquire(100.0, 1.0);
+  EXPECT_DOUBLE_EQ(s.start, 100.0);
+  EXPECT_DOUBLE_EQ(t.available_at(), 101.0);
+}
+
+TEST(Timeline, ZeroDuration) {
+  Timeline t;
+  const auto s = t.acquire(4.0, 0.0);
+  EXPECT_DOUBLE_EQ(s.start, 4.0);
+  EXPECT_DOUBLE_EQ(s.end, 4.0);
+}
+
+TEST(Timeline, RejectsNegatives) {
+  Timeline t;
+  EXPECT_THROW(t.acquire(0.0, -1.0), std::invalid_argument);
+  EXPECT_THROW(t.acquire(-1.0, 1.0), std::invalid_argument);
+}
+
+TEST(Timeline, BusyAccounting) {
+  Timeline t;
+  t.acquire(0.0, 5.0);
+  t.acquire(10.0, 5.0);
+  EXPECT_DOUBLE_EQ(t.busy_total(), 10.0);
+  EXPECT_EQ(t.acquisitions(), 2u);
+  EXPECT_NEAR(t.utilization(), 10.0 / 15.0, 1e-12);
+}
+
+TEST(Timeline, UtilizationOfIdleResourceIsZero) {
+  Timeline t;
+  EXPECT_DOUBLE_EQ(t.utilization(), 0.0);
+}
+
+TEST(Timeline, ResetRestoresInitialState) {
+  Timeline t("x");
+  t.acquire(0.0, 7.0);
+  t.reset();
+  EXPECT_DOUBLE_EQ(t.available_at(), 0.0);
+  EXPECT_DOUBLE_EQ(t.busy_total(), 0.0);
+  EXPECT_EQ(t.acquisitions(), 0u);
+  EXPECT_EQ(t.name(), "x");
+}
+
+TEST(FormatTime, AdaptiveUnits) {
+  EXPECT_NE(format_time(500).find("ns"), std::string::npos);
+  EXPECT_NE(format_time(5e3).find("us"), std::string::npos);
+  EXPECT_NE(format_time(5e6).find("ms"), std::string::npos);
+  EXPECT_NE(format_time(5e9).find(" s"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wavetune::sim

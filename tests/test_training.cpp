@@ -1,0 +1,114 @@
+#include "autotune/training.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/system_profile.hpp"
+
+namespace wavetune::autotune {
+namespace {
+
+std::vector<InstanceResult> small_sweep() {
+  ExhaustiveSearch search(sim::make_i7_2600k(), ParamSpace::reduced());
+  return search.sweep();
+}
+
+TEST(Training, RegularSamplingSplitsTrainAndHoldout) {
+  const auto results = small_sweep();
+  TrainingOptions opt;
+  opt.instance_stride = 2;
+  const TrainingTables t = build_training(results, opt);
+  EXPECT_EQ(t.holdout.size(), results.size() - (results.size() + 1) / 2);
+  // Every trained instance contributes best_k rows to the per-parameter
+  // regression sets and exactly one row to the binary decision sets.
+  EXPECT_EQ(t.cpu_tile.size(), ((results.size() + 1) / 2) * opt.best_k);
+  EXPECT_EQ(t.band.size(), t.cpu_tile.size());
+  EXPECT_EQ(t.halo.size(), t.cpu_tile.size());
+  EXPECT_EQ(t.gpu_use.size(), (results.size() + 1) / 2);
+  EXPECT_EQ(t.parallel_gate.size(), t.gpu_use.size());
+}
+
+TEST(Training, StrideOneUsesEverything) {
+  const auto results = small_sweep();
+  TrainingOptions opt;
+  opt.instance_stride = 1;
+  const TrainingTables t = build_training(results, opt);
+  EXPECT_TRUE(t.holdout.empty());
+}
+
+TEST(Training, OffsetShiftsSampling) {
+  const auto results = small_sweep();
+  TrainingOptions a;
+  a.instance_stride = 2;
+  a.instance_offset = 0;
+  TrainingOptions b = a;
+  b.instance_offset = 1;
+  const TrainingTables ta = build_training(results, a);
+  const TrainingTables tb = build_training(results, b);
+  // Complementary splits.
+  EXPECT_EQ(ta.holdout.size() + tb.holdout.size(), results.size());
+}
+
+TEST(Training, FeatureSchemasMatchPaperChaining) {
+  const auto results = small_sweep();
+  const TrainingTables t = build_training(results);
+  EXPECT_EQ(t.cpu_tile.feature_names(), (std::vector<std::string>{"dim", "tsize", "dsize"}));
+  EXPECT_EQ(t.band.feature_names(),
+            (std::vector<std::string>{"dim", "tsize", "dsize", "gpu_tile"}));
+  EXPECT_EQ(t.halo.feature_names(),
+            (std::vector<std::string>{"dim", "tsize", "dsize", "cpu_tile", "band"}));
+}
+
+TEST(Training, TargetsComeFromBestRecords) {
+  const auto results = small_sweep();
+  TrainingOptions opt;
+  opt.instance_stride = 1;
+  opt.best_k = 1;
+  const TrainingTables t = build_training(results, opt);
+  // With best_k=1 each row's targets must come from one record whose
+  // runtime equals the instance optimum (ties between equally-fast
+  // configurations are broken arbitrarily, so compare runtimes).
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto best = results[i].best();
+    ASSERT_TRUE(best.has_value());
+    const auto top = results[i].top_k(1);
+    ASSERT_EQ(top.size(), 1u);
+    EXPECT_DOUBLE_EQ(top[0].rtime_ns, best->rtime_ns);
+    EXPECT_DOUBLE_EQ(t.cpu_tile.target(i), top[0].params.cpu_tile);
+    EXPECT_DOUBLE_EQ(t.band.target(i), static_cast<double>(top[0].params.band));
+    EXPECT_DOUBLE_EQ(t.halo.target(i), static_cast<double>(top[0].params.halo));
+  }
+}
+
+TEST(Training, GateLabelsAreSigned) {
+  const auto results = small_sweep();
+  const TrainingTables t = build_training(results);
+  for (std::size_t i = 0; i < t.parallel_gate.size(); ++i) {
+    const double y = t.parallel_gate.target(i);
+    EXPECT_TRUE(y == 1.0 || y == -1.0);
+  }
+}
+
+TEST(Training, GpuUseTargetsAreBinary) {
+  const auto results = small_sweep();
+  const TrainingTables t = build_training(results);
+  for (std::size_t i = 0; i < t.gpu_use.size(); ++i) {
+    const double y = t.gpu_use.target(i);
+    EXPECT_TRUE(y == 0.0 || y == 1.0);
+  }
+}
+
+TEST(Training, OptionValidation) {
+  const auto results = small_sweep();
+  TrainingOptions bad;
+  bad.instance_stride = 0;
+  EXPECT_THROW(build_training(results, bad), std::invalid_argument);
+  bad.instance_stride = 2;
+  bad.instance_offset = 2;
+  EXPECT_THROW(build_training(results, bad), std::invalid_argument);
+  bad.instance_offset = 0;
+  bad.best_k = 0;
+  EXPECT_THROW(build_training(results, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wavetune::autotune
