@@ -1,8 +1,22 @@
 // Google-benchmark microbenchmarks for the substrate hot paths: cost-model
 // estimation throughput (the inner loop of the exhaustive search), the
 // functional executors, the thread pool, and model inference.
+//
+// `--json[=PATH]` switches to the perf-tracking mode: it times the seed's
+// per-cell dispatch against the batched segment dispatch (tiled CPU,
+// default pool) for editdist and seqcmp at dim 512 and 2048, and writes
+// the ns/cell numbers to PATH (default BENCH_micro.json) so CI records
+// the hot-loop trajectory on every push. All other arguments are passed
+// through to google-benchmark.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "apps/editdist.hpp"
+#include "apps/seqcmp.hpp"
 #include "apps/synthetic.hpp"
 #include "autotune/search.hpp"
 #include "core/executor.hpp"
@@ -136,4 +150,135 @@ void BM_JsonRoundtrip(benchmark::State& state) {
 }
 BENCHMARK(BM_JsonRoundtrip);
 
+// --- per-cell vs segment dispatch comparison (--json mode) ---------------
+
+core::WavefrontSpec micro_spec(const std::string& app, std::size_t dim) {
+  if (app == "editdist") {
+    apps::EditDistParams p;
+    p.str_a = apps::random_dna(dim, 101);
+    p.str_b = apps::random_dna(dim, 202);
+    return apps::make_editdist_spec(p);
+  }
+  apps::SeqCmpParams p;
+  p.seq_a = apps::random_dna(dim, 303);
+  p.seq_b = apps::random_dna(dim, 404);
+  return apps::make_seqcmp_spec(p);
+}
+
+/// Wall-clock of one full tiled-CPU sweep, dispatching through the given
+/// per-cell (seed path) or row-segment (batched path) callback.
+template <typename Dispatch>
+double time_tiled_sweep_ns(std::size_t dim, cpu::ThreadPool& pool, std::size_t tile,
+                           const Dispatch& dispatch) {
+  const cpu::TiledRegion region{dim, 0, core::num_diagonals(dim), tile};
+  const auto t0 = std::chrono::steady_clock::now();
+  cpu::run_tiled_wavefront(region, pool, dispatch);
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::nano>(t1 - t0).count();
+}
+
+struct MicroResult {
+  double per_cell_ns = 0.0;  ///< ns/cell, per-cell ByteKernel dispatch
+  double segment_ns = 0.0;   ///< ns/cell, batched SegmentKernel dispatch
+};
+
+MicroResult run_micro(const std::string& app, std::size_t dim, std::size_t tile,
+                      cpu::ThreadPool& pool, int reps) {
+  const core::WavefrontSpec spec = micro_spec(app, dim);
+  core::Grid grid(spec.dim, spec.elem_bytes);
+  std::byte* data = grid.data();
+  const std::size_t elem = spec.elem_bytes;
+  const std::size_t row_bytes = spec.dim * elem;
+
+  // Seed path: the pre-batching executor's host_cell verbatim — one
+  // type-erased kernel call plus up to four bounds-checked Grid::cell
+  // marshalling calls per cell.
+  const core::ByteKernel& kernel = spec.kernel;
+  cpu::CellFn per_cell = [&](std::size_t i, std::size_t j) {
+    const std::byte* w = j > 0 ? grid.cell(i, j - 1) : nullptr;
+    const std::byte* n = i > 0 ? grid.cell(i - 1, j) : nullptr;
+    const std::byte* nw = (i > 0 && j > 0) ? grid.cell(i - 1, j - 1) : nullptr;
+    kernel(i, j, w, n, nw, grid.cell(i, j));
+  };
+  // Batched path: one call per clamped row-span through the native
+  // segment kernel (exactly what HybridExecutor now dispatches).
+  const core::SegmentKernel seg = spec.segment_or_fallback();
+  cpu::RowSegmentFn segment = [&, data, elem, row_bytes](std::size_t i, std::size_t j0,
+                                                         std::size_t j1) {
+    std::byte* out = data + i * row_bytes + j0 * elem;
+    const std::byte* w = j0 > 0 ? out - elem : nullptr;
+    const std::byte* n = i > 0 ? out - row_bytes : nullptr;
+    const std::byte* nw = (i > 0 && j0 > 0) ? out - row_bytes - elem : nullptr;
+    seg(i, j0, j1, w, n, nw, out);
+  };
+
+  const double cells = static_cast<double>(dim) * static_cast<double>(dim);
+  MicroResult r;
+  double best_cell = 1e300;
+  double best_seg = 1e300;
+  // One warmup each, then best-of-reps to shed scheduler noise.
+  time_tiled_sweep_ns(dim, pool, tile, per_cell);
+  time_tiled_sweep_ns(dim, pool, tile, segment);
+  for (int rep = 0; rep < reps; ++rep) {
+    best_cell = std::min(best_cell, time_tiled_sweep_ns(dim, pool, tile, per_cell));
+    best_seg = std::min(best_seg, time_tiled_sweep_ns(dim, pool, tile, segment));
+  }
+  r.per_cell_ns = best_cell / cells;
+  r.segment_ns = best_seg / cells;
+  return r;
+}
+
+int run_json_mode(const std::string& path) {
+  if (path.empty()) {
+    std::cerr << "bench_micro: --json needs a non-empty path (or omit '=' for the default)\n";
+    return 1;
+  }
+  cpu::ThreadPool pool(0);  // default pool: hardware concurrency
+  const std::size_t tile = 64;
+  util::Json runs = util::Json::array();
+  for (const std::string app : {"editdist", "seqcmp"}) {
+    for (const std::size_t dim : {std::size_t{512}, std::size_t{2048}}) {
+      const int reps = dim >= 2048 ? 3 : 5;
+      const MicroResult r = run_micro(app, dim, tile, pool, reps);
+      util::Json row = util::Json::object();
+      row["app"] = util::Json(app);
+      row["dim"] = util::Json(dim);
+      row["cpu_tile"] = util::Json(tile);
+      row["per_cell_ns_per_cell"] = util::Json(r.per_cell_ns);
+      row["segment_ns_per_cell"] = util::Json(r.segment_ns);
+      row["speedup"] = util::Json(r.per_cell_ns / r.segment_ns);
+      runs.push_back(std::move(row));
+      std::cout << app << " dim=" << dim << ": per-cell " << r.per_cell_ns
+                << " ns/cell, segment " << r.segment_ns << " ns/cell ("
+                << r.per_cell_ns / r.segment_ns << "x)\n";
+    }
+  }
+  util::Json doc = util::Json::object();
+  doc["schema"] = util::Json("wavetune.bench_micro.v1");
+  doc["mode"] = util::Json("tiled_cpu_default_pool");
+  doc["workers"] = util::Json(pool.worker_count());
+  doc["runs"] = std::move(runs);
+  try {
+    doc.save_file(path);
+  } catch (const util::JsonError& e) {
+    std::cerr << "bench_micro: " << e.what() << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << path << "\n";
+  return 0;
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") return run_json_mode("BENCH_micro.json");
+    if (arg.rfind("--json=", 0) == 0) return run_json_mode(arg.substr(7));
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -63,6 +63,45 @@ core::WavefrontSpec make_editdist_spec(const EditDistParams& params) {
     c.match_run = match ? ((nw ? read_cell(nw).match_run : 0) + 1) : 0;
     std::memcpy(out, &c, sizeof(c));
   };
+  // Native batched kernel: one call per row-span, neighbour reads hoisted
+  // into sliding locals (west = previous output, northwest = previous
+  // north-row cell) — no per-cell dispatch or marshalling.
+  spec.segment = [a, b, sub, ins, del](std::size_t i, std::size_t j0, std::size_t j1,
+                                       const std::byte* w, const std::byte* n,
+                                       const std::byte* nw, std::byte* out) {
+    const std::int32_t ii = static_cast<std::int32_t>(i);
+    auto* o = reinterpret_cast<EditCell*>(out);
+    const char ai = a[i];
+    std::int32_t west = w ? reinterpret_cast<const EditCell*>(w)->dist : (ii + 1) * del;
+    if (n) {
+      const auto* nrow = reinterpret_cast<const EditCell*>(n);
+      // diag starts as the northwest cell; the implicit border column is
+      // D(i, 0) = i*del when j0 == 0.
+      EditCell diag = nw ? *reinterpret_cast<const EditCell*>(nw) : EditCell{ii * del, 0};
+      for (std::size_t j = j0; j < j1; ++j) {
+        const EditCell north = nrow[j - j0];
+        const bool match = ai == b[j];
+        EditCell c;
+        c.dist = std::min({diag.dist + (match ? 0 : sub), north.dist + del, west + ins});
+        c.match_run = match ? diag.match_run + 1 : 0;
+        o[j - j0] = c;
+        west = c.dist;
+        diag = north;
+      }
+    } else {
+      // Border row i == 0: north and northwest come from the implicit
+      // DP border D(0, j+1) = (j+1)*ins, D(0, j) = j*ins (D(0,0) = 0).
+      for (std::size_t j = j0; j < j1; ++j) {
+        const std::int32_t jj = static_cast<std::int32_t>(j);
+        const bool match = ai == b[j];
+        EditCell c;
+        c.dist = std::min({jj * ins + (match ? 0 : sub), (jj + 1) * ins + del, west + ins});
+        c.match_run = match ? 1 : 0;
+        o[j - j0] = c;
+        west = c.dist;
+      }
+    }
+  };
   return spec;
 }
 

@@ -1,5 +1,6 @@
 #include "apps/nash.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <stdexcept>
@@ -24,6 +25,86 @@ double payoff_entry(std::uint64_t seed, std::size_t i, std::size_t j, std::size_
                      (static_cast<std::uint64_t>(j) << 21) ^ (static_cast<std::uint64_t>(a) << 9) ^
                      (static_cast<std::uint64_t>(b) << 3) ^ (row_player ? 0xabcdULL : 0x1234ULL);
   return static_cast<double>(util::splitmix64(sm) >> 11) * 0x1.0p-53;  // [0, 1)
+}
+
+/// Working buffers of the fictitious-play solve. Allocated once per
+/// dispatch (segment) instead of once per cell — the batched path's main
+/// win for this allocation-heavy kernel.
+struct NashScratch {
+  std::vector<double> pay_row;
+  std::vector<double> pay_col;
+  std::vector<double> count_row;
+  std::vector<double> count_col;
+
+  explicit NashScratch(std::size_t k)
+      : pay_row(k * k), pay_col(k * k), count_row(k), count_col(k) {}
+};
+
+/// Solves the subgame at (i, j) given the neighbour equilibrium values.
+NashCell solve_cell(std::size_t k, std::size_t rounds, std::uint64_t seed, std::size_t i,
+                    std::size_t j, const NashCell& cw, const NashCell& cn, const NashCell& cnw,
+                    NashScratch& s) {
+  // Neighbour subgame values perturb this cell's payoff matrices: the
+  // game at (i, j) is worth playing only relative to the continuation
+  // values of the already-solved subgames.
+  const double shift_row = 0.35 * cw.value_row + 0.35 * cn.value_row + 0.3 * cnw.value_row;
+  const double shift_col = 0.35 * cw.value_col + 0.35 * cn.value_col + 0.3 * cnw.value_col;
+
+  // Build the k x k bimatrix game.
+  for (std::size_t a = 0; a < k; ++a) {
+    for (std::size_t b = 0; b < k; ++b) {
+      s.pay_row[a * k + b] = payoff_entry(seed, i, j, a, b, true) + 0.1 * shift_row;
+      s.pay_col[a * k + b] = payoff_entry(seed, i, j, a, b, false) + 0.1 * shift_col;
+    }
+  }
+
+  // Fictitious play: each round both players best-respond to the
+  // opponent's empirical strategy — the computationally demanding
+  // nested loop the paper's granularity parameter counts.
+  std::fill(s.count_row.begin(), s.count_row.end(), 1.0 / static_cast<double>(k));
+  std::fill(s.count_col.begin(), s.count_col.end(), 1.0 / static_cast<double>(k));
+  double total = 1.0;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    std::size_t best_a = 0;
+    std::size_t best_b = 0;
+    double best_a_val = -1e300;
+    double best_b_val = -1e300;
+    for (std::size_t a = 0; a < k; ++a) {
+      double va = 0.0;
+      for (std::size_t b = 0; b < k; ++b) va += s.pay_row[a * k + b] * s.count_col[b];
+      if (va > best_a_val) {
+        best_a_val = va;
+        best_a = a;
+      }
+    }
+    for (std::size_t b = 0; b < k; ++b) {
+      double vb = 0.0;
+      for (std::size_t a = 0; a < k; ++a) vb += s.pay_col[a * k + b] * s.count_row[a];
+      if (vb > best_b_val) {
+        best_b_val = vb;
+        best_b = b;
+      }
+    }
+    s.count_row[best_a] += 1.0;
+    s.count_col[best_b] += 1.0;
+    total += 1.0;
+  }
+
+  // Normalise the empirical strategies and evaluate the cell.
+  NashCell result{0, 0, 0, 0};
+  for (std::size_t a = 0; a < k; ++a) s.count_row[a] /= total;
+  for (std::size_t b = 0; b < k; ++b) s.count_col[b] /= total;
+  for (std::size_t a = 0; a < k; ++a) {
+    for (std::size_t b = 0; b < k; ++b) {
+      result.value_row += s.count_row[a] * s.count_col[b] * s.pay_row[a * k + b];
+      result.value_col += s.count_row[a] * s.count_col[b] * s.pay_col[a * k + b];
+    }
+  }
+  for (std::size_t a = 0; a < k; ++a) {
+    if (s.count_row[a] > 0.0) result.entropy_row -= s.count_row[a] * std::log(s.count_row[a]);
+    if (s.count_col[a] > 0.0) result.entropy_col -= s.count_col[a] * std::log(s.count_col[a]);
+  }
+  return result;
 }
 
 }  // namespace
@@ -57,72 +138,32 @@ core::WavefrontSpec make_nash_spec(const NashParams& params) {
   spec.dsize = model.dsize;
   spec.kernel = [k, rounds, seed](std::size_t i, std::size_t j, const std::byte* w,
                                   const std::byte* n, const std::byte* nw, std::byte* out) {
-    // Neighbour subgame values perturb this cell's payoff matrices: the
-    // game at (i, j) is worth playing only relative to the continuation
-    // values of the already-solved subgames.
     const NashCell cw = w ? read_cell(w) : NashCell{0, 0, 0, 0};
     const NashCell cn = n ? read_cell(n) : NashCell{0, 0, 0, 0};
     const NashCell cnw = nw ? read_cell(nw) : NashCell{0, 0, 0, 0};
-    const double shift_row = 0.35 * cw.value_row + 0.35 * cn.value_row + 0.3 * cnw.value_row;
-    const double shift_col = 0.35 * cw.value_col + 0.35 * cn.value_col + 0.3 * cnw.value_col;
-
-    // Build the k x k bimatrix game.
-    std::vector<double> pay_row(k * k);
-    std::vector<double> pay_col(k * k);
-    for (std::size_t a = 0; a < k; ++a) {
-      for (std::size_t b = 0; b < k; ++b) {
-        pay_row[a * k + b] = payoff_entry(seed, i, j, a, b, true) + 0.1 * shift_row;
-        pay_col[a * k + b] = payoff_entry(seed, i, j, a, b, false) + 0.1 * shift_col;
-      }
-    }
-
-    // Fictitious play: each round both players best-respond to the
-    // opponent's empirical strategy — the computationally demanding
-    // nested loop the paper's granularity parameter counts.
-    std::vector<double> count_row(k, 1.0 / static_cast<double>(k));
-    std::vector<double> count_col(k, 1.0 / static_cast<double>(k));
-    double total = 1.0;
-    for (std::size_t round = 0; round < rounds; ++round) {
-      std::size_t best_a = 0;
-      std::size_t best_b = 0;
-      double best_a_val = -1e300;
-      double best_b_val = -1e300;
-      for (std::size_t a = 0; a < k; ++a) {
-        double va = 0.0;
-        for (std::size_t b = 0; b < k; ++b) va += pay_row[a * k + b] * count_col[b];
-        if (va > best_a_val) {
-          best_a_val = va;
-          best_a = a;
-        }
-      }
-      for (std::size_t b = 0; b < k; ++b) {
-        double vb = 0.0;
-        for (std::size_t a = 0; a < k; ++a) vb += pay_col[a * k + b] * count_row[a];
-        if (vb > best_b_val) {
-          best_b_val = vb;
-          best_b = b;
-        }
-      }
-      count_row[best_a] += 1.0;
-      count_col[best_b] += 1.0;
-      total += 1.0;
-    }
-
-    // Normalise the empirical strategies and evaluate the cell.
-    NashCell result{0, 0, 0, 0};
-    for (std::size_t a = 0; a < k; ++a) count_row[a] /= total;
-    for (std::size_t b = 0; b < k; ++b) count_col[b] /= total;
-    for (std::size_t a = 0; a < k; ++a) {
-      for (std::size_t b = 0; b < k; ++b) {
-        result.value_row += count_row[a] * count_col[b] * pay_row[a * k + b];
-        result.value_col += count_row[a] * count_col[b] * pay_col[a * k + b];
-      }
-    }
-    for (std::size_t a = 0; a < k; ++a) {
-      if (count_row[a] > 0.0) result.entropy_row -= count_row[a] * std::log(count_row[a]);
-      if (count_col[a] > 0.0) result.entropy_col -= count_col[a] * std::log(count_col[a]);
-    }
+    NashScratch scratch(k);
+    const NashCell result = solve_cell(k, rounds, seed, i, j, cw, cn, cnw, scratch);
     std::memcpy(out, &result, sizeof(result));
+  };
+  // Native batched kernel: the four working vectors are allocated once per
+  // row-span (not once per cell) and the west/northwest neighbours slide
+  // through locals.
+  spec.segment = [k, rounds, seed](std::size_t i, std::size_t j0, std::size_t j1,
+                                   const std::byte* w, const std::byte* n, const std::byte* nw,
+                                   std::byte* out) {
+    NashScratch scratch(k);
+    auto* o = reinterpret_cast<NashCell*>(out);
+    const auto* nrow = n ? reinterpret_cast<const NashCell*>(n) : nullptr;
+    const NashCell zero{0, 0, 0, 0};
+    NashCell west = w ? *reinterpret_cast<const NashCell*>(w) : zero;
+    NashCell diag = nw ? *reinterpret_cast<const NashCell*>(nw) : zero;
+    for (std::size_t j = j0; j < j1; ++j) {
+      const NashCell north = nrow ? nrow[j - j0] : zero;
+      const NashCell c = solve_cell(k, rounds, seed, i, j, west, north, diag, scratch);
+      o[j - j0] = c;
+      west = c;
+      diag = north;
+    }
   };
   return spec;
 }

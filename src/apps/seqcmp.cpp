@@ -64,6 +64,38 @@ core::WavefrontSpec make_seqcmp_spec(const SeqCmpParams& params) {
     c.best_seen = std::max({c.score, cw.best_seen, cn.best_seen, cnw.best_seen});
     std::memcpy(out, &c, sizeof(c));
   };
+  // Native batched kernel: sliding west/northwest locals, one dispatch per
+  // row-span. The i == 0 border folds the implicit zero row into constants.
+  spec.segment = [a, b, match, mismatch, gap](std::size_t i, std::size_t j0, std::size_t j1,
+                                              const std::byte* w, const std::byte* n,
+                                              const std::byte* nw, std::byte* out) {
+    auto* o = reinterpret_cast<SeqCell*>(out);
+    const char ai = a[i];
+    SeqCell west = w ? *reinterpret_cast<const SeqCell*>(w) : SeqCell{0, 0};
+    if (n) {
+      const auto* nrow = reinterpret_cast<const SeqCell*>(n);
+      SeqCell diag = nw ? *reinterpret_cast<const SeqCell*>(nw) : SeqCell{0, 0};
+      for (std::size_t j = j0; j < j1; ++j) {
+        const SeqCell north = nrow[j - j0];
+        const std::int32_t sub = ai == b[j] ? match : mismatch;
+        SeqCell c;
+        c.score = std::max({0, diag.score + sub, north.score - gap, west.score - gap});
+        c.best_seen = std::max({c.score, west.best_seen, north.best_seen, diag.best_seen});
+        o[j - j0] = c;
+        west = c;
+        diag = north;
+      }
+    } else {
+      for (std::size_t j = j0; j < j1; ++j) {
+        const std::int32_t sub = ai == b[j] ? match : mismatch;
+        SeqCell c;
+        c.score = std::max({0, sub, -gap, west.score - gap});
+        c.best_seen = std::max(c.score, west.best_seen);
+        o[j - j0] = c;
+        west = c;
+      }
+    }
+  };
   return spec;
 }
 

@@ -34,6 +34,41 @@ void write_cell(std::byte* out, const SyntheticHeader& h, const std::vector<doub
   std::memcpy(out + sizeof(h), floats.data(), floats.size() * sizeof(double));
 }
 
+/// One cell of the synthetic recurrence; `floats` is caller-provided
+/// scratch of dsize entries so batched dispatch allocates once per
+/// row-span instead of once per cell.
+void compute_synthetic_cell(std::size_t iters, int dsize, std::uint64_t seed, std::size_t i,
+                            std::size_t j, const std::byte* w, const std::byte* n,
+                            const std::byte* nw, std::byte* out, std::vector<double>& floats) {
+  SyntheticHeader h;
+  // Lattice-path recurrence: paths(i,j) = paths(i-1,j) + paths(i,j-1),
+  // borders have exactly one path. Unsigned wraparound is well defined
+  // and exactly reproducible — the test suite checks it cell-for-cell.
+  const std::uint32_t from_w = w ? read_header(w).paths : 0;
+  const std::uint32_t from_n = n ? read_header(n).paths : 0;
+  h.paths = (w || n) ? from_w + from_n : 1u;
+  h.steps = static_cast<std::uint32_t>(i + j + 1);
+
+  for (int k = 0; k < dsize; ++k) {
+    // Deterministic per-cell source term.
+    std::uint64_t sm = seed ^ (static_cast<std::uint64_t>(i) << 32) ^
+                       static_cast<std::uint64_t>(j) ^ (static_cast<std::uint64_t>(k) << 17);
+    const double source =
+        static_cast<double>(util::splitmix64(sm) >> 11) * 0x1.0p-53;  // [0,1)
+    double x = source;
+    const double wf = w ? read_float(w, k) : 0.0;
+    const double nf = n ? read_float(n, k) : 0.0;
+    const double nwf = nw ? read_float(nw, k) : 0.0;
+    // The nested mixing loop stands in for the synthetic kernel's
+    // tsize-controlled inner iteration.
+    for (std::size_t it = 0; it < iters; ++it) {
+      x = 0.4987 * x + 0.25 * wf + 0.1875 * nf + 0.0625 * nwf + 1e-6 * source;
+    }
+    floats[static_cast<std::size_t>(k)] = x;
+  }
+  write_cell(out, h, floats);
+}
+
 }  // namespace
 
 core::WavefrontSpec make_synthetic_spec(const SyntheticParams& params) {
@@ -56,35 +91,23 @@ core::WavefrontSpec make_synthetic_spec(const SyntheticParams& params) {
   spec.dsize = dsize;
   spec.kernel = [iters, dsize, seed](std::size_t i, std::size_t j, const std::byte* w,
                                      const std::byte* n, const std::byte* nw, std::byte* out) {
-    SyntheticHeader h;
-    // Lattice-path recurrence: paths(i,j) = paths(i-1,j) + paths(i,j-1),
-    // borders have exactly one path. Unsigned wraparound is well defined
-    // and exactly reproducible — the test suite checks it cell-for-cell.
-    const std::uint32_t from_w = w ? read_header(w).paths : 0;
-    const std::uint32_t from_n = n ? read_header(n).paths : 0;
-    h.paths = (w || n) ? from_w + from_n : 1u;
-    h.steps = static_cast<std::uint32_t>(i + j + 1);
-
     std::vector<double> floats(static_cast<std::size_t>(dsize));
-    for (int k = 0; k < dsize; ++k) {
-      // Deterministic per-cell source term.
-      std::uint64_t sm = seed ^ (static_cast<std::uint64_t>(i) << 32) ^
-                         static_cast<std::uint64_t>(j) ^
-                         (static_cast<std::uint64_t>(k) << 17);
-      const double source =
-          static_cast<double>(util::splitmix64(sm) >> 11) * 0x1.0p-53;  // [0,1)
-      double x = source;
-      const double wf = w ? read_float(w, k) : 0.0;
-      const double nf = n ? read_float(n, k) : 0.0;
-      const double nwf = nw ? read_float(nw, k) : 0.0;
-      // The nested mixing loop stands in for the synthetic kernel's
-      // tsize-controlled inner iteration.
-      for (std::size_t it = 0; it < iters; ++it) {
-        x = 0.4987 * x + 0.25 * wf + 0.1875 * nf + 0.0625 * nwf + 1e-6 * source;
-      }
-      floats[static_cast<std::size_t>(k)] = x;
+    compute_synthetic_cell(iters, dsize, seed, i, j, w, n, nw, out, floats);
+  };
+  // Native batched kernel: scratch hoisted out of the cell loop, sliding
+  // neighbour pointers over the contiguous output and north rows.
+  const std::size_t elem = spec.elem_bytes;
+  spec.segment = [iters, dsize, seed, elem](std::size_t i, std::size_t j0, std::size_t j1,
+                                            const std::byte* w, const std::byte* n,
+                                            const std::byte* nw, std::byte* out) {
+    std::vector<double> floats(static_cast<std::size_t>(dsize));
+    for (std::size_t j = j0; j < j1; ++j) {
+      compute_synthetic_cell(iters, dsize, seed, i, j, w, n, nw, out, floats);
+      w = out;
+      nw = n;
+      if (n) n += elem;
+      out += elem;
     }
-    write_cell(out, h, floats);
   };
   return spec;
 }

@@ -29,34 +29,46 @@ struct HybridExecutor::FunctionalCtx {
   Grid* host = nullptr;
   std::vector<ocl::Buffer> dev;
   cpu::ThreadPool* pool = nullptr;
+  /// Resolved once per run: the spec's native segment kernel, or the
+  /// per-cell fallback adapter. Every functional compute goes through it.
+  SegmentKernel seg;
 
   std::size_t real_elem() const { return spec->elem_bytes; }
   std::size_t real_offset(std::size_t i, std::size_t j) const {
     return (i * spec->dim + j) * spec->elem_bytes;
   }
 
-  /// Computes cell (i, j) into `storage` (a full-grid-shaped byte array),
-  /// reading neighbours from the same storage.
+  /// Computes the run of cells (i, j0..j1) into `storage` (a full-grid-
+  /// shaped byte array), reading neighbours from the same storage, with a
+  /// single batched kernel dispatch.
+  void compute_row_segment(std::byte* storage, std::size_t i, std::size_t j0,
+                           std::size_t j1) const {
+    const std::byte* w = j0 > 0 ? storage + real_offset(i, j0 - 1) : nullptr;
+    const std::byte* n = i > 0 ? storage + real_offset(i - 1, j0) : nullptr;
+    const std::byte* nw = (i > 0 && j0 > 0) ? storage + real_offset(i - 1, j0 - 1) : nullptr;
+    seg(i, j0, j1, w, n, nw, storage + real_offset(i, j0));
+  }
+
+  /// Computes cell (i, j): a one-cell segment (diagonal sweeps have no
+  /// row-contiguous runs to batch).
   void compute_cell(std::byte* storage, std::size_t i, std::size_t j) const {
-    const std::byte* w = j > 0 ? storage + real_offset(i, j - 1) : nullptr;
-    const std::byte* n = i > 0 ? storage + real_offset(i - 1, j) : nullptr;
-    const std::byte* nw = (i > 0 && j > 0) ? storage + real_offset(i - 1, j - 1) : nullptr;
-    spec->kernel(i, j, w, n, nw, storage + real_offset(i, j));
+    compute_row_segment(storage, i, j, j + 1);
   }
 
   /// Copies the cells of diagonals [d_begin, d_end) with rows in
   /// [row_begin, row_end) from `src` to `dst` (both full-grid-shaped).
+  /// Each row's intersection with the diagonal band is one contiguous
+  /// column span, so this is one memcpy per row, not one per cell.
   void copy_diag_rows(const std::byte* src, std::byte* dst, std::size_t d_begin,
                       std::size_t d_end, std::size_t row_begin, std::size_t row_end) const {
     const std::size_t dim = spec->dim;
-    for (std::size_t d = d_begin; d < d_end; ++d) {
-      if (diag_len(dim, d) == 0) continue;
-      const std::size_t lo = std::max(diag_row_lo(dim, d), row_begin);
-      const std::size_t hi = std::min(diag_row_hi(dim, d) + 1, row_end);
-      for (std::size_t i = lo; i < hi; ++i) {
-        const std::size_t j = d - i;
-        std::memcpy(dst + real_offset(i, j), src + real_offset(i, j), real_elem());
-      }
+    const std::size_t i_end = std::min(row_end, dim);
+    for (std::size_t i = row_begin; i < i_end; ++i) {
+      if (d_end <= i) break;  // spans only shrink as i grows
+      const auto [j_lo, j_hi] = cpu::row_band_span(i, d_begin, d_end, 0, dim);
+      if (j_lo >= j_hi) continue;
+      const std::size_t off = real_offset(i, j_lo);
+      std::memcpy(dst + off, src + off, (j_hi - j_lo) * real_elem());
     }
   }
 };
@@ -74,6 +86,7 @@ RunResult HybridExecutor::run(const WavefrontSpec& spec, const TunableParams& pa
   fctx.spec = &spec;
   fctx.host = &grid;
   fctx.pool = &pool_;
+  fctx.seg = spec.segment_or_fallback();
   return execute(spec.inputs(), params, &fctx, trace);
 }
 
@@ -89,12 +102,14 @@ RunResult HybridExecutor::run_serial(const WavefrontSpec& spec, Grid& grid) cons
     throw std::invalid_argument("HybridExecutor::run_serial: grid does not match spec");
   }
   cpu::TiledRegion region{spec.dim, 0, num_diagonals(spec.dim), 1};
-  cpu::run_serial_wavefront(region, [&](std::size_t i, std::size_t j) {
-    const std::byte* w = j > 0 ? grid.cell(i, j - 1) : nullptr;
-    const std::byte* n = i > 0 ? grid.cell(i - 1, j) : nullptr;
-    const std::byte* nw = (i > 0 && j > 0) ? grid.cell(i - 1, j - 1) : nullptr;
-    spec.kernel(i, j, w, n, nw, grid.cell(i, j));
-  });
+  const SegmentKernel seg = spec.segment_or_fallback();
+  cpu::run_serial_wavefront(
+      region, cpu::RowSegmentFn{[&](std::size_t i, std::size_t j0, std::size_t j1) {
+        const std::byte* w = j0 > 0 ? grid.cell(i, j0 - 1) : nullptr;
+        const std::byte* n = i > 0 ? grid.cell(i - 1, j0) : nullptr;
+        const std::byte* nw = (i > 0 && j0 > 0) ? grid.cell(i - 1, j0 - 1) : nullptr;
+        seg(i, j0, j1, w, n, nw, grid.cell(i, j0));
+      }});
   RunResult r;
   r.params = TunableParams{1, -1, -1, 1};
   const InputParams in = spec.inputs();
@@ -128,20 +143,20 @@ RunResult HybridExecutor::execute(const InputParams& in, const TunableParams& ra
   RunResult result;
   result.params = p;
 
-  auto host_cell = [&](std::size_t i, std::size_t j) {
-    Grid& g = *fctx->host;
-    const std::byte* w = j > 0 ? g.cell(i, j - 1) : nullptr;
-    const std::byte* n = i > 0 ? g.cell(i - 1, j) : nullptr;
-    const std::byte* nw = (i > 0 && j > 0) ? g.cell(i - 1, j - 1) : nullptr;
-    fctx->spec->kernel(i, j, w, n, nw, g.cell(i, j));
-  };
+  // Batched host dispatch: one segment-kernel call per clamped row-span.
+  cpu::RowSegmentFn host_segment;
+  if (fctx) {
+    host_segment = [fctx](std::size_t i, std::size_t j0, std::size_t j1) {
+      fctx->compute_row_segment(fctx->host->data(), i, j0, j1);
+    };
+  }
 
   // Phase 1: CPU before the band (the whole grid when band == -1).
   {
     cpu::TiledRegion region{dim, 0, d0, tile};
     result.breakdown.phase1_ns =
         cpu::tiled_wavefront_cost_ns(region, profile_.cpu, in.tsize, in.elem_bytes());
-    if (fctx) cpu::run_tiled_wavefront(region, *fctx->pool, host_cell);
+    if (fctx) cpu::run_tiled_wavefront(region, *fctx->pool, host_segment);
   }
 
   // Phase 2: GPU band.
@@ -154,7 +169,7 @@ RunResult HybridExecutor::execute(const InputParams& in, const TunableParams& ra
     cpu::TiledRegion region{dim, d1, d_total, tile};
     result.breakdown.phase3_ns =
         cpu::tiled_wavefront_cost_ns(region, profile_.cpu, in.tsize, in.elem_bytes());
-    if (fctx) cpu::run_tiled_wavefront(region, *fctx->pool, host_cell);
+    if (fctx) cpu::run_tiled_wavefront(region, *fctx->pool, host_segment);
   }
 
   result.rtime_ns = result.breakdown.total_ns();
@@ -248,12 +263,14 @@ void HybridExecutor::gpu_phase_single(const InputParams& in, const TunableParams
         for (std::size_t I = i_tile_lo; I <= i_tile_hi; ++I) {
           const std::size_t J = k - I;
           const std::size_t row_hi = std::min((I + 1) * g, dim);
+          const std::size_t col_lo = J * g;
           const std::size_t col_hi = std::min((J + 1) * g, dim);
+          // Clamp each tile row to the band [d0, d1) up front and batch
+          // the whole run — no per-cell membership test.
           for (std::size_t i = I * g; i < row_hi; ++i) {
-            for (std::size_t j = J * g; j < col_hi; ++j) {
-              const std::size_t d = i + j;
-              if (d >= d0 && d < d1) fctx->compute_cell(storage, i, j);
-            }
+            if (d1 <= i) break;
+            const auto [j_lo, j_hi] = cpu::row_band_span(i, d0, d1, col_lo, col_hi);
+            if (j_lo < j_hi) fctx->compute_row_segment(storage, i, j_lo, j_hi);
           }
         }
       }

@@ -23,12 +23,66 @@ using ByteKernel =
     std::function<void(std::size_t i, std::size_t j, const std::byte* west,
                        const std::byte* north, const std::byte* northwest, std::byte* out)>;
 
+/// Type-erased batched row-segment kernel.
+///
+/// Computes the contiguous run of cells (i, j) for j in [j0, j1) in ONE
+/// call, writing elem_bytes-strided results starting at `out` (which points
+/// at cell (i, j0) of row-major full-grid storage). This is the hot-path
+/// ABI: the execution engine dispatches one call per row-span instead of
+/// one type-erased call per cell.
+///
+/// Pointer contract (all pointers are into the same row-major storage):
+///   - `north` points at cell (i-1, j0); null iff i == 0. The north row is
+///     contiguous: the north neighbour of cell j is north + (j-j0)*elem.
+///   - `west` points at cell (i, j0-1); null iff j0 == 0. For j > j0 the
+///     west neighbour is the previously computed output cell.
+///   - `northwest` points at cell (i-1, j0-1); null iff i == 0 or j0 == 0.
+///     For j > j0 the northwest neighbour is the north row's previous cell.
+///
+/// Like ByteKernel, the kernel must be pure in the neighbours and safe to
+/// call concurrently for disjoint segments of one wavefront step.
+using SegmentKernel = std::function<void(
+    std::size_t i, std::size_t j0, std::size_t j1, const std::byte* west,
+    const std::byte* north, const std::byte* northwest, std::byte* out)>;
+
+/// Fallback adapter: wraps a per-cell kernel as a segment kernel by walking
+/// the run cell-by-cell with sliding neighbour pointers. Specs that ship no
+/// native SegmentKernel execute through this, so every per-cell call site
+/// keeps working unchanged (at per-cell dispatch cost).
+inline SegmentKernel make_segment_fallback(ByteKernel kernel, std::size_t elem_bytes) {
+  if (!kernel) throw std::invalid_argument("make_segment_fallback: null kernel");
+  if (elem_bytes == 0) throw std::invalid_argument("make_segment_fallback: elem_bytes == 0");
+  return [kernel = std::move(kernel), elem_bytes](
+             std::size_t i, std::size_t j0, std::size_t j1, const std::byte* west,
+             const std::byte* north, const std::byte* northwest, std::byte* out) {
+    for (std::size_t j = j0; j < j1; ++j) {
+      kernel(i, j, west, north, northwest, out);
+      west = out;
+      northwest = north;
+      if (north) north += elem_bytes;
+      out += elem_bytes;
+    }
+  };
+}
+
 struct WavefrontSpec {
   std::size_t dim = 0;
   std::size_t elem_bytes = 0;
   double tsize = 0.0;  ///< cost-model granularity, reference-core units
   int dsize = 0;       ///< cost-model data granularity (floats per element)
   ByteKernel kernel;
+
+  /// Optional batched kernel. When set, it MUST compute exactly the same
+  /// values as `kernel` (the equivalence test suite enforces this for the
+  /// bundled apps); when null, consumers fall back to the per-cell kernel
+  /// via make_segment_fallback.
+  SegmentKernel segment;
+
+  /// The kernel the execution engine actually dispatches: the native
+  /// segment kernel when present, the wrapped per-cell kernel otherwise.
+  SegmentKernel segment_or_fallback() const {
+    return segment ? segment : make_segment_fallback(kernel, elem_bytes);
+  }
 
   InputParams inputs() const { return InputParams{dim, tsize, dsize}; }
 
@@ -55,11 +109,27 @@ public:
   using Kernel = std::function<T(std::size_t i, std::size_t j, const T* west, const T* north,
                                  const T* northwest)>;
 
+  /// Typed batched kernel: computes cells (i, j0..j1) into `out` (which
+  /// points at cell (i, j0)). Same pointer contract as core::SegmentKernel
+  /// with T-typed pointers: `north` is the contiguous north row (null iff
+  /// i == 0), `west`/`northwest` are the neighbours of the FIRST cell (null
+  /// on the j0 == 0 border); inside the run they slide over the output and
+  /// north rows.
+  using Segment = std::function<void(std::size_t i, std::size_t j0, std::size_t j1,
+                                     const T* west, const T* north, const T* northwest, T* out)>;
+
   Problem(std::size_t dim, double tsize, int dsize, Kernel kernel)
       : dim_(dim), tsize_(tsize), dsize_(dsize), kernel_(std::move(kernel)) {
     static_assert(std::is_trivially_copyable_v<T>,
                   "Problem<T>: cell type must be trivially copyable");
     if (!kernel_) throw std::invalid_argument("Problem: null kernel");
+  }
+
+  /// Attaches a typed batched kernel; it must compute exactly the same
+  /// values as the per-cell kernel. Returns *this for chaining.
+  Problem& with_segment(Segment segment) {
+    segment_ = std::move(segment);
+    return *this;
   }
 
   std::size_t dim() const { return dim_; }
@@ -79,6 +149,14 @@ public:
       const T value = k(i, j, tw, tn, tnw);
       *reinterpret_cast<T*>(out) = value;
     };
+    if (segment_) {
+      Segment seg = segment_;
+      s.segment = [seg](std::size_t i, std::size_t j0, std::size_t j1, const std::byte* w,
+                        const std::byte* n, const std::byte* nw, std::byte* out) {
+        seg(i, j0, j1, reinterpret_cast<const T*>(w), reinterpret_cast<const T*>(n),
+            reinterpret_cast<const T*>(nw), reinterpret_cast<T*>(out));
+      };
+    }
     s.validate();
     return s;
   }
@@ -88,6 +166,7 @@ private:
   double tsize_;
   int dsize_;
   Kernel kernel_;
+  Segment segment_;
 };
 
 }  // namespace wavetune::core

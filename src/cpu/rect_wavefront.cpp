@@ -39,17 +39,21 @@ void RectRegion::validate() const {
   }
 }
 
-void run_serial_wavefront(const RectRegion& region, const CellFn& cell) {
+void run_serial_wavefront(const RectRegion& region, const RowSegmentFn& segment) {
   region.validate();
   for (std::size_t i = 0; i < region.rows; ++i) {
     if (region.d_end <= i) break;
-    const std::size_t j_lo = region.d_begin > i ? region.d_begin - i : 0;
-    const std::size_t j_hi = std::min(region.cols, region.d_end - i);
-    for (std::size_t j = j_lo; j < j_hi; ++j) cell(i, j);
+    const auto [j_lo, j_hi] = row_band_span(i, region.d_begin, region.d_end, 0, region.cols);
+    if (j_lo < j_hi) segment(i, j_lo, j_hi);
   }
 }
 
-void run_tiled_wavefront(const RectRegion& region, ThreadPool& pool, const CellFn& cell) {
+void run_serial_wavefront(const RectRegion& region, const CellFn& cell) {
+  run_serial_wavefront(region, per_cell_adapter(cell));
+}
+
+void run_tiled_wavefront(const RectRegion& region, ThreadPool& pool,
+                         const RowSegmentFn& segment) {
   region.validate();
   if (region.d_begin == region.d_end) return;
   const std::size_t T = region.tile;
@@ -65,18 +69,28 @@ void run_tiled_wavefront(const RectRegion& region, ThreadPool& pool, const CellF
     const std::size_t i_lo = k >= MC ? k - MC + 1 : 0;
     const std::size_t i_hi = std::min(k, MR - 1);
     if (i_lo > i_hi) continue;
-    pool.parallel_for(i_lo, i_hi + 1, [&](std::size_t I) {
-      const std::size_t J = k - I;
-      const std::size_t row_hi = std::min((I + 1) * T, region.rows);
-      const std::size_t col_hi = std::min((J + 1) * T, region.cols);
-      for (std::size_t i = I * T; i < row_hi; ++i) {
-        for (std::size_t j = J * T; j < col_hi; ++j) {
-          const std::size_t d = i + j;
-          if (d >= region.d_begin && d < region.d_end) cell(i, j);
-        }
-      }
-    });
+    const std::size_t grain = tile_grain(i_hi - i_lo + 1, T, pool.worker_count());
+    pool.parallel_for(
+        i_lo, i_hi + 1,
+        [&](std::size_t I) {
+          const std::size_t J = k - I;
+          const std::size_t row_hi = std::min((I + 1) * T, region.rows);
+          const std::size_t col_lo = J * T;
+          const std::size_t col_hi = std::min((J + 1) * T, region.cols);
+          // One clamped span per tile row — no per-cell band branch.
+          for (std::size_t i = I * T; i < row_hi; ++i) {
+            if (region.d_end <= i) break;
+            const auto [j_lo, j_hi] =
+                row_band_span(i, region.d_begin, region.d_end, col_lo, col_hi);
+            if (j_lo < j_hi) segment(i, j_lo, j_hi);
+          }
+        },
+        grain);
   }
+}
+
+void run_tiled_wavefront(const RectRegion& region, ThreadPool& pool, const CellFn& cell) {
+  run_tiled_wavefront(region, pool, per_cell_adapter(cell));
 }
 
 double tiled_wavefront_cost_ns(const RectRegion& region, const sim::CpuModel& cpu,

@@ -36,12 +36,17 @@ struct RectRegion {
   void validate() const;
 };
 
-/// Sequential reference (row-major order respects the dependencies).
+/// Sequential reference (row-major order respects the dependencies). The
+/// RowSegmentFn overload dispatches one call per clamped row-span.
+void run_serial_wavefront(const RectRegion& region, const RowSegmentFn& segment);
 void run_serial_wavefront(const RectRegion& region, const CellFn& cell);
 
 /// Tiled parallel execution: tiles of one tile-diagonal run concurrently,
 /// with a barrier between tile-diagonals — the square algorithm
-/// generalised to a rectangular tile grid.
+/// generalised to a rectangular tile grid. The RowSegmentFn overload is
+/// the batched native path (one call per clamped tile-row span).
+void run_tiled_wavefront(const RectRegion& region, ThreadPool& pool,
+                         const RowSegmentFn& segment);
 void run_tiled_wavefront(const RectRegion& region, ThreadPool& pool, const CellFn& cell);
 
 /// CPU cost model for the tiled rectangular execution (same structure as

@@ -17,6 +17,38 @@
 
 namespace wavetune::cpu {
 
+/// Minimal reusable completion latch. Lives on the caller's stack for the
+/// duration of one parallel_for (no heap allocation per call): the final
+/// count_down happens entirely under the latch mutex, so once wait()
+/// returns no other thread can still be touching the latch and the caller
+/// may safely destroy it.
+class CompletionLatch {
+public:
+  explicit CompletionLatch(std::size_t count = 0) : remaining_(count) {}
+
+  /// Re-arms the latch for `count` completions. Only valid when no thread
+  /// is waiting or counting down.
+  void reset(std::size_t count) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    remaining_ = count;
+  }
+
+  void count_down() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (remaining_ > 0 && --remaining_ == 0) cv_.notify_all();
+  }
+
+  void wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return remaining_ == 0; });
+  }
+
+private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::size_t remaining_;
+};
+
 class ThreadPool {
 public:
   /// Spawns `workers` threads; 0 picks std::thread::hardware_concurrency()
@@ -33,8 +65,15 @@ public:
   /// iterations finish. Exceptions from fn propagate to the caller (first
   /// one wins). Executes inline when the range is tiny or the pool has a
   /// single worker.
+  ///
+  /// `grain` batches the dynamic scheduling: workers claim runs of `grain`
+  /// consecutive indices per atomic fetch_add, so ranges of many cheap
+  /// iterations (e.g. tile-diagonals with many small tiles) don't pay one
+  /// atomic RMW per iteration. grain == 0 is treated as 1. Completion is
+  /// tracked by a stack-allocated CompletionLatch — no per-call heap
+  /// allocation.
   void parallel_for(std::size_t begin, std::size_t end,
-                    const std::function<void(std::size_t)>& fn);
+                    const std::function<void(std::size_t)>& fn, std::size_t grain = 1);
 
   /// Fire-and-forget task submission (used by tests to exercise the queue).
   void submit(std::function<void()> task);

@@ -28,7 +28,17 @@ void TiledRegion::validate() const {
   if (d_end > 2 * dim - 1) throw std::invalid_argument("TiledRegion: d_end beyond last diagonal");
 }
 
-void run_tiled_wavefront(const TiledRegion& region, ThreadPool& pool, const CellFn& cell) {
+std::size_t tile_grain(std::size_t n_tiles, std::size_t tile, std::size_t workers) {
+  constexpr std::size_t kMinCellsPerClaim = 1024;
+  const std::size_t per_tile = tile * tile;
+  if (per_tile >= kMinCellsPerClaim || workers == 0) return 1;
+  const std::size_t want = (kMinCellsPerClaim + per_tile - 1) / per_tile;
+  const std::size_t fair = std::max<std::size_t>(1, n_tiles / (2 * workers));
+  return std::min(want, fair);
+}
+
+void run_tiled_wavefront(const TiledRegion& region, ThreadPool& pool,
+                         const RowSegmentFn& segment) {
   region.validate();
   if (region.d_begin == region.d_end) return;
   const std::size_t dim = region.dim;
@@ -45,32 +55,45 @@ void run_tiled_wavefront(const TiledRegion& region, ThreadPool& pool, const Cell
     // Tiles on tile-diagonal k: I in [max(0, k-M+1), min(k, M-1)].
     const std::size_t i_lo = k >= M ? k - M + 1 : 0;
     const std::size_t i_hi = std::min(k, M - 1);
-    pool.parallel_for(i_lo, i_hi + 1, [&](std::size_t I) {
-      const std::size_t J = k - I;
-      const std::size_t row_lo = I * T;
-      const std::size_t row_hi = std::min(row_lo + T, dim);  // exclusive
-      const std::size_t col_lo = J * T;
-      const std::size_t col_hi = std::min(col_lo + T, dim);
-      for (std::size_t i = row_lo; i < row_hi; ++i) {
-        for (std::size_t j = col_lo; j < col_hi; ++j) {
-          const std::size_t d = i + j;
-          if (d >= region.d_begin && d < region.d_end) cell(i, j);
-        }
-      }
-    });
+    const std::size_t grain = tile_grain(i_hi - i_lo + 1, T, pool.worker_count());
+    pool.parallel_for(
+        i_lo, i_hi + 1,
+        [&](std::size_t I) {
+          const std::size_t J = k - I;
+          const std::size_t row_lo = I * T;
+          const std::size_t row_hi = std::min(row_lo + T, dim);  // exclusive
+          const std::size_t col_lo = J * T;
+          const std::size_t col_hi = std::min(col_lo + T, dim);
+          // Clamp each row's column run to the diagonal band up front and
+          // dispatch it whole: no per-cell membership branch.
+          for (std::size_t i = row_lo; i < row_hi; ++i) {
+            if (region.d_end <= i) break;
+            const auto [j_lo, j_hi] =
+                row_band_span(i, region.d_begin, region.d_end, col_lo, col_hi);
+            if (j_lo < j_hi) segment(i, j_lo, j_hi);
+          }
+        },
+        grain);
     // parallel_for blocks: that is the inter-tile-diagonal barrier.
   }
 }
 
-void run_serial_wavefront(const TiledRegion& region, const CellFn& cell) {
+void run_tiled_wavefront(const TiledRegion& region, ThreadPool& pool, const CellFn& cell) {
+  run_tiled_wavefront(region, pool, per_cell_adapter(cell));
+}
+
+void run_serial_wavefront(const TiledRegion& region, const RowSegmentFn& segment) {
   region.validate();
   for (std::size_t i = 0; i < region.dim; ++i) {
     // Clamp the column range to the diagonal band to avoid a full scan.
-    const std::size_t j_lo = region.d_begin > i ? region.d_begin - i : 0;
     if (region.d_end <= i) break;
-    const std::size_t j_hi = std::min(region.dim, region.d_end - i);
-    for (std::size_t j = j_lo; j < j_hi; ++j) cell(i, j);
+    const auto [j_lo, j_hi] = row_band_span(i, region.d_begin, region.d_end, 0, region.dim);
+    if (j_lo < j_hi) segment(i, j_lo, j_hi);
   }
+}
+
+void run_serial_wavefront(const TiledRegion& region, const CellFn& cell) {
+  run_serial_wavefront(region, per_cell_adapter(cell));
 }
 
 double tiled_wavefront_cost_ns(const TiledRegion& region, const sim::CpuModel& cpu,

@@ -13,8 +13,10 @@
 // with any recurrence.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <functional>
+#include <utility>
 
 #include "cpu/thread_pool.hpp"
 #include "sim/hardware.hpp"
@@ -25,6 +27,37 @@ namespace wavetune::cpu {
 /// state it needs. Must be safe to call concurrently for cells on the same
 /// diagonal.
 using CellFn = std::function<void(std::size_t i, std::size_t j)>;
+
+/// Computes the contiguous run of cells (i, j) for j in [j_begin, j_end)
+/// in one call — the batched counterpart of CellFn that the hot loops
+/// dispatch (one call per clamped row-span instead of one per cell). Must
+/// be safe to call concurrently for segments of independent tiles.
+using RowSegmentFn = std::function<void(std::size_t i, std::size_t j_begin, std::size_t j_end)>;
+
+/// Adapts a per-cell callee onto the batched traversal. Captures `cell` by
+/// reference: the adapter must not outlive it.
+inline RowSegmentFn per_cell_adapter(const CellFn& cell) {
+  return [&cell](std::size_t i, std::size_t j_begin, std::size_t j_end) {
+    for (std::size_t j = j_begin; j < j_end; ++j) cell(i, j);
+  };
+}
+
+/// Column span [first, second) of row i within columns [col_lo, col_hi)
+/// clamped to the diagonal band [d_begin, d_end) (i + j in the band).
+/// Empty (first >= second) when the row misses the band. The single source
+/// of the clamp algebra shared by every batched hot loop.
+inline std::pair<std::size_t, std::size_t> row_band_span(std::size_t i, std::size_t d_begin,
+                                                         std::size_t d_end, std::size_t col_lo,
+                                                         std::size_t col_hi) {
+  if (d_end <= i) return {0, 0};
+  const std::size_t band_lo = d_begin > i ? d_begin - i : 0;
+  return {std::max(col_lo, band_lo), std::min(col_hi, d_end - i)};
+}
+
+/// Scheduling grain for one tile-diagonal of `n_tiles` tiles of side
+/// `tile`: batch enough tiles per parallel_for claim that tiny tiles don't
+/// pay one atomic RMW each, without starving the pool of parallel slack.
+std::size_t tile_grain(std::size_t n_tiles, std::size_t tile, std::size_t workers);
 
 /// A contiguous band of diagonals [d_begin, d_end) of a dim x dim grid,
 /// executed with square tiles of side `tile`.
@@ -44,12 +77,19 @@ struct TiledRegion {
 /// Functionally executes the region: every cell with i+j in
 /// [d_begin, d_end) is visited exactly once, in an order that respects the
 /// wavefront dependencies. Tiles of one tile-diagonal run concurrently on
-/// `pool`.
+/// `pool`. The segment overload is the native path: per tile row it
+/// computes the column span clamped to the diagonal band up front and
+/// issues ONE call — no per-cell dispatch, no per-cell band branch. The
+/// CellFn overload adapts per-cell callees onto the same traversal.
+void run_tiled_wavefront(const TiledRegion& region, ThreadPool& pool,
+                         const RowSegmentFn& segment);
 void run_tiled_wavefront(const TiledRegion& region, ThreadPool& pool, const CellFn& cell);
 
 /// Sequential reference: visits the same cells in row-major order (which
 /// also respects dependencies). Used as the correctness oracle in tests
-/// and as the functional part of the sequential baseline.
+/// and as the functional part of the sequential baseline. The segment
+/// overload issues one call per row with the clamped column span.
+void run_serial_wavefront(const TiledRegion& region, const RowSegmentFn& segment);
 void run_serial_wavefront(const TiledRegion& region, const CellFn& cell);
 
 /// Simulated time of run_tiled_wavefront on `cpu`: per tile-diagonal,

@@ -92,5 +92,77 @@ TEST(ThreadPool, StressManySmallRanges) {
   EXPECT_EQ(total.load(), 600u);
 }
 
+TEST(ThreadPool, GrainVisitsEveryIndexOnce) {
+  ThreadPool pool(4);
+  const std::size_t n = 1000;
+  for (std::size_t grain : {std::size_t{2}, std::size_t{7}, std::size_t{64}, std::size_t{5000}}) {
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallel_for(0, n, [&](std::size_t i) { hits[i].fetch_add(1); }, grain);
+    for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1) << "grain=" << grain;
+  }
+}
+
+TEST(ThreadPool, GrainZeroTreatedAsOne) {
+  ThreadPool pool(4);
+  std::atomic<std::size_t> sum{0};
+  pool.parallel_for(0, 100, [&](std::size_t i) { sum.fetch_add(i); }, 0);
+  EXPECT_EQ(sum.load(), std::size_t{4950});
+}
+
+TEST(ThreadPool, GrainLargerThanRangeRunsInline) {
+  ThreadPool pool(4);
+  std::vector<std::size_t> order;  // no synchronisation: must be inline
+  pool.parallel_for(3, 9, [&](std::size_t i) { order.push_back(i); }, 100);
+  ASSERT_EQ(order.size(), 6u);
+  for (std::size_t k = 0; k < order.size(); ++k) EXPECT_EQ(order[k], k + 3);
+}
+
+TEST(ThreadPool, GrainedEmptyRange) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(5, 5, [&](std::size_t) { called = true; }, 16);
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, GrainedExceptionPropagates) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(
+          0, 1000,
+          [&](std::size_t i) {
+            if (i == 613) throw std::runtime_error("boom");
+          },
+          8),
+      std::runtime_error);
+  // The latch must leave the pool reusable after an exception.
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 10, [&](std::size_t) { count.fetch_add(1); }, 4);
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(CompletionLatch, CountsDownAcrossThreads) {
+  CompletionLatch latch(3);
+  std::vector<std::thread> threads;
+  std::atomic<int> done{0};
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&] {
+      done.fetch_add(1);
+      latch.count_down();
+    });
+  }
+  latch.wait();
+  EXPECT_EQ(done.load(), 3);
+  for (auto& t : threads) t.join();
+  // Re-arm and reuse.
+  latch.reset(1);
+  latch.count_down();
+  latch.wait();
+}
+
+TEST(CompletionLatch, ZeroCountWaitsImmediately) {
+  CompletionLatch latch(0);
+  latch.wait();  // must not block
+}
+
 }  // namespace
 }  // namespace wavetune::cpu

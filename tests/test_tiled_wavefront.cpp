@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 #include "sim/system_profile.hpp"
@@ -151,6 +154,85 @@ TEST(TiledWavefrontCost, ParallelBeatsSerialAtScale) {
   const TiledRegion r{512, 0, 1023, 8};
   EXPECT_LT(tiled_wavefront_cost_ns(r, cpu, 100.0, 16),
             serial_wavefront_cost_ns(r, cpu, 100.0, 16));
+}
+
+// --- batched row-segment dispatch ---
+
+// The segment overloads must visit exactly the cells of the region, as
+// contiguous in-band runs: same coverage as the per-cell overloads, fewer
+// dispatches.
+TEST(RowSegmentDispatch, SerialCoversRegionExactlyOnce) {
+  for (const TiledRegion& region :
+       {TiledRegion{16, 0, 31, 1}, TiledRegion{16, 5, 20, 1}, TiledRegion{9, 3, 9, 1}}) {
+    std::vector<int> hits(region.dim * region.dim, 0);
+    std::size_t calls = 0;
+    run_serial_wavefront(region, RowSegmentFn{[&](std::size_t i, std::size_t j0, std::size_t j1) {
+                           ASSERT_LT(j0, j1);
+                           ++calls;
+                           for (std::size_t j = j0; j < j1; ++j) hits[i * region.dim + j]++;
+                         }});
+    for (std::size_t i = 0; i < region.dim; ++i) {
+      for (std::size_t j = 0; j < region.dim; ++j) {
+        const std::size_t d = i + j;
+        const int want = (d >= region.d_begin && d < region.d_end) ? 1 : 0;
+        ASSERT_EQ(hits[i * region.dim + j], want) << "i=" << i << " j=" << j;
+      }
+    }
+    // At most one segment per row.
+    EXPECT_LE(calls, region.dim);
+  }
+}
+
+TEST(RowSegmentDispatch, TiledMatchesSerialValues) {
+  ThreadPool pool(4);
+  const std::size_t dim = 33;
+  for (std::size_t tile : {std::size_t{1}, std::size_t{4}, std::size_t{16}, std::size_t{40}}) {
+    for (auto [d0, d1] : {std::pair<std::size_t, std::size_t>{0, 2 * dim - 1},
+                          std::pair<std::size_t, std::size_t>{7, 41}}) {
+      std::vector<std::uint64_t> ref(dim * dim, 0);
+      run_serial_wavefront(TiledRegion{dim, d0, d1, 1},
+                           RowSegmentFn{[&](std::size_t i, std::size_t j0, std::size_t j1) {
+                             for (std::size_t j = j0; j < j1; ++j) {
+                               const std::uint64_t w = j > 0 ? ref[i * dim + j - 1] : 1;
+                               const std::uint64_t n = i > 0 ? ref[(i - 1) * dim + j] : 1;
+                               ref[i * dim + j] = 3 * w + n + i + j;
+                             }
+                           }});
+      std::vector<std::uint64_t> got(dim * dim, 0);
+      run_tiled_wavefront(TiledRegion{dim, d0, d1, tile}, pool,
+                          RowSegmentFn{[&](std::size_t i, std::size_t j0, std::size_t j1) {
+                            for (std::size_t j = j0; j < j1; ++j) {
+                              const std::uint64_t w = j > 0 ? got[i * dim + j - 1] : 1;
+                              const std::uint64_t n = i > 0 ? got[(i - 1) * dim + j] : 1;
+                              got[i * dim + j] = 3 * w + n + i + j;
+                            }
+                          }});
+      EXPECT_EQ(ref, got) << "tile=" << tile << " d=[" << d0 << "," << d1 << ")";
+    }
+  }
+}
+
+TEST(RowSegmentDispatch, SegmentsNeverCrossTileOrBandBoundaries) {
+  ThreadPool pool(1);  // deterministic single-worker run
+  const TiledRegion region{20, 6, 30, 8};
+  std::mutex m;
+  std::vector<std::array<std::size_t, 3>> segs;
+  run_tiled_wavefront(region, pool,
+                      RowSegmentFn{[&](std::size_t i, std::size_t j0, std::size_t j1) {
+                        std::lock_guard<std::mutex> lock(m);
+                        segs.push_back({i, j0, j1});
+                      }});
+  std::size_t cells = 0;
+  for (const auto& [i, j0, j1] : segs) {
+    ASSERT_LT(j0, j1);
+    // Within one tile column-wise...
+    EXPECT_EQ(j0 / region.tile, (j1 - 1) / region.tile);
+    // ...and fully inside the diagonal band.
+    EXPECT_GE(i + j0, region.d_begin);
+    EXPECT_LT(i + (j1 - 1), region.d_end);
+    cells += j1 - j0;
+  }
+  EXPECT_EQ(cells, region.cell_count());
 }
 
 }  // namespace
