@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
   for (const auto& sys : ctx.systems) {
     const auto& tuner = bench::tuner_for(ctx, sys);
     autotune::ExhaustiveSearch search(sys, ctx.space);
-    core::HybridExecutor ex(sys, 1);
+    api::Engine& engine = bench::engine_for(ctx, sys);
 
     double log_best = 0.0;
     double log_tuned = 0.0;
@@ -37,7 +37,9 @@ int main(int argc, char** argv) {
         const auto best = res.best();
         if (!best) continue;
         const autotune::Prediction pred = tuner.predict(in);
-        const double tuned_ns = ex.estimate(in, pred.params).rtime_ns;
+        // Estimate-only plan: validated once, memoized in the plan cache.
+        const api::Plan plan = engine.compile(in, pred.params);
+        const double tuned_ns = engine.estimate(plan).rtime_ns;
         log_best += std::log(res.serial_ns / best->rtime_ns);
         log_tuned += std::log(res.serial_ns / tuned_ns);
         ++n;

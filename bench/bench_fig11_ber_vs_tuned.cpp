@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
   for (const auto& sys : ctx.systems) {
     const auto& tuner = bench::tuner_for(ctx, sys);
     autotune::ExhaustiveSearch search(sys, ctx.space);
-    core::HybridExecutor ex(sys, 1);
+    api::Engine& engine = bench::engine_for(ctx, sys);
 
     util::Table table({"dim", "tsize", "ber (s)", "tuned (s)", "tuned/ber",
                        "tuned params"});
@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
         const auto best = res.best();
         if (!best) continue;
         const autotune::Prediction pred = tuner.predict(in);
-        const double tuned_ns = ex.estimate(in, pred.params).rtime_ns;
+        const double tuned_ns = engine.estimate(engine.compile(in, pred.params)).rtime_ns;
         if (tuned_ns < best->rtime_ns) ++super_optimal;
         ++total;
         table.row()

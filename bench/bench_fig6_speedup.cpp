@@ -20,7 +20,9 @@ int main(int argc, char** argv) {
   bool i7_gpu_only_worse = true;
   for (const auto& sys : ctx.systems) {
     const auto& results = bench::sweep_for(ctx, sys);
-    core::HybridExecutor ex(sys, 1);
+    // The baseline helper predates the session API and consumes the raw
+    // cost model; the engine's executor() escape hatch serves it.
+    api::Engine& engine = bench::engine_for(ctx, sys);
 
     double log_serial = 0.0;
     double log_cpu = 0.0;
@@ -30,8 +32,9 @@ int main(int argc, char** argv) {
     for (const auto& res : results) {
       const auto best = res.best();
       if (!best) continue;
-      const auto bl = autotune::compute_baselines(ex, res.instance, ctx.space.cpu_tiles,
-                                                  ctx.space.gpu_tiles, ctx.space.halo_fractions);
+      const auto bl =
+          autotune::compute_baselines(engine.executor(), res.instance, ctx.space.cpu_tiles,
+                                      ctx.space.gpu_tiles, ctx.space.halo_fractions);
       log_serial += std::log(bl.serial_ns / best->rtime_ns);
       log_cpu += std::log(bl.cpu_parallel_ns / best->rtime_ns);
       log_gpu += std::log(bl.gpu_only_ns / best->rtime_ns);

@@ -1,6 +1,8 @@
 // Google-benchmark microbenchmarks for the substrate hot paths: cost-model
 // estimation throughput (the inner loop of the exhaustive search), the
-// functional executors, the thread pool, and model inference.
+// functional executors driven through the api::Engine session API (plans
+// compiled once, runs submitted per iteration), the thread pool, and
+// model inference.
 //
 // `--json[=PATH]` switches to the perf-tracking mode: it times the seed's
 // per-cell dispatch against the batched segment dispatch (tiled CPU,
@@ -15,11 +17,11 @@
 #include <iostream>
 #include <string>
 
+#include "api/engine.hpp"
 #include "apps/editdist.hpp"
 #include "apps/seqcmp.hpp"
 #include "apps/synthetic.hpp"
 #include "autotune/search.hpp"
-#include "core/executor.hpp"
 #include "cpu/thread_pool.hpp"
 #include "cpu/tiled_wavefront.hpp"
 #include "ml/m5_tree.hpp"
@@ -31,35 +33,59 @@ namespace {
 
 using namespace wavetune;
 
+/// One estimate-focused engine per benchmark process: plans compile once,
+/// every iteration estimates through the cached plan.
+api::Engine& micro_engine() {
+  static api::Engine engine(sim::make_i7_2600k(), [] {
+    api::EngineOptions o;
+    o.pool_workers = 1;
+    o.queue_workers = 1;
+    return o;
+  }());
+  return engine;
+}
+
 void BM_EstimateCpuOnly(benchmark::State& state) {
-  core::HybridExecutor ex(sim::make_i7_2600k(), 1);
+  api::Engine& engine = micro_engine();
   const core::InputParams in{static_cast<std::size_t>(state.range(0)), 500.0, 1};
-  const core::TunableParams p{8, -1, -1, 1};
+  const api::Plan plan = engine.compile(in, core::TunableParams{8, -1, -1, 1});
   for (auto _ : state) {
-    benchmark::DoNotOptimize(ex.estimate(in, p).rtime_ns);
+    benchmark::DoNotOptimize(engine.estimate(plan).rtime_ns);
   }
 }
 BENCHMARK(BM_EstimateCpuOnly)->Arg(500)->Arg(1900)->Arg(3100);
 
 void BM_EstimateSingleGpu(benchmark::State& state) {
-  core::HybridExecutor ex(sim::make_i7_2600k(), 1);
+  api::Engine& engine = micro_engine();
   const core::InputParams in{static_cast<std::size_t>(state.range(0)), 500.0, 1};
-  const core::TunableParams p{8, state.range(0) / 2, -1, 1};
+  const api::Plan plan = engine.compile(in, core::TunableParams{8, state.range(0) / 2, -1, 1});
   for (auto _ : state) {
-    benchmark::DoNotOptimize(ex.estimate(in, p).rtime_ns);
+    benchmark::DoNotOptimize(engine.estimate(plan).rtime_ns);
   }
 }
 BENCHMARK(BM_EstimateSingleGpu)->Arg(500)->Arg(1900)->Arg(3100);
 
 void BM_EstimateDualGpuHalo(benchmark::State& state) {
-  core::HybridExecutor ex(sim::make_i7_2600k(), 1);
+  api::Engine& engine = micro_engine();
   const core::InputParams in{static_cast<std::size_t>(state.range(0)), 500.0, 1};
-  const core::TunableParams p{8, state.range(0) / 2, 8, 1};
+  const api::Plan plan = engine.compile(in, core::TunableParams{8, state.range(0) / 2, 8, 1});
   for (auto _ : state) {
-    benchmark::DoNotOptimize(ex.estimate(in, p).rtime_ns);
+    benchmark::DoNotOptimize(engine.estimate(plan).rtime_ns);
   }
 }
 BENCHMARK(BM_EstimateDualGpuHalo)->Arg(500)->Arg(1900)->Arg(3100);
+
+void BM_PlanCacheCompile(benchmark::State& state) {
+  // Steady-state compile cost of a served request: everything after the
+  // first iteration is a plan-cache hit that skips validation.
+  api::Engine& engine = micro_engine();
+  const core::InputParams in{1024, 500.0, 1};
+  const core::TunableParams p{8, 512, 8, 1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.compile(in, p).id());
+  }
+}
+BENCHMARK(BM_PlanCacheCompile);
 
 void BM_SearchInstance(benchmark::State& state) {
   autotune::ExhaustiveSearch search(sim::make_i7_2600k(), autotune::ParamSpace::reduced());
@@ -77,17 +103,38 @@ void BM_FunctionalHybridRun(benchmark::State& state) {
   sp.dsize = 1;
   sp.functional_iters = 4;
   const auto spec = apps::make_synthetic_spec(sp);
-  core::HybridExecutor ex(sim::make_i7_2600k(), 0);
+  api::Engine engine(sim::make_i7_2600k());
+  const api::Plan plan =
+      engine.compile(spec, core::TunableParams{8, static_cast<long long>(sp.dim) / 2, 2, 1});
   core::Grid grid(spec.dim, spec.elem_bytes);
-  const core::TunableParams p{8, static_cast<long long>(sp.dim) / 2, 2, 1};
   for (auto _ : state) {
-    ex.run(spec, p, grid);
+    engine.run(plan, grid);
     benchmark::DoNotOptimize(grid.data());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(sp.dim * sp.dim));
 }
 BENCHMARK(BM_FunctionalHybridRun)->Arg(64)->Arg(128);
+
+void BM_EngineSubmitQueue(benchmark::State& state) {
+  // Async-queue round trip: submit through the bounded job queue and wait
+  // for the future; the delta to BM_FunctionalHybridRun is the queue +
+  // future overhead a served request pays.
+  apps::SyntheticParams sp;
+  sp.dim = 64;
+  sp.tsize = 50;
+  sp.dsize = 1;
+  sp.functional_iters = 4;
+  const auto spec = apps::make_synthetic_spec(sp);
+  api::Engine engine(sim::make_i7_2600k());
+  const api::Plan plan =
+      engine.compile(spec, core::TunableParams{8, static_cast<long long>(sp.dim) / 2, 2, 1});
+  core::Grid grid(spec.dim, spec.elem_bytes);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.submit(plan, grid).get().rtime_ns);
+  }
+}
+BENCHMARK(BM_EngineSubmitQueue);
 
 void BM_ThreadPoolParallelFor(benchmark::State& state) {
   cpu::ThreadPool pool(static_cast<std::size_t>(state.range(0)));

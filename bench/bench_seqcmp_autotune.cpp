@@ -16,14 +16,14 @@ int main(int argc, char** argv) {
   bool all_cpu = true;
   for (const auto& sys : ctx.systems) {
     const auto& tuner = bench::tuner_for(ctx, sys);
-    core::HybridExecutor ex(sys, 1);
+    api::Engine& engine = bench::engine_for(ctx, sys);
     util::Table table({"dim", "predicted band", "predicted cpu-tile", "tuned (s)",
                        "serial (s)", "speedup"});
     for (std::size_t dim : ctx.space.dims) {
       const core::InputParams in = apps::seqcmp_model_inputs(dim);  // tsize=0.5, dsize=0
       const autotune::Prediction pred = tuner.predict(in);
-      const double tuned = ex.estimate(in, pred.params).rtime_ns;
-      const double serial = ex.estimate_serial(in);
+      const double tuned = engine.estimate(engine.compile(in, pred.params)).rtime_ns;
+      const double serial = engine.estimate_serial(in);
       if (pred.params.band != -1) all_cpu = false;
       table.row()
           .add(static_cast<long long>(dim))

@@ -2,13 +2,18 @@
 
 #include <iostream>
 #include <map>
+#include <memory>
+#include <utility>
 
 #include "util/logging.hpp"
 
 namespace wavetune::bench {
 
-BenchContext make_context(int argc, char** argv) {
-  const util::Cli cli(argc, argv);
+BenchContext make_context(int argc, char** argv,
+                          const std::vector<std::string>& extra_flags) {
+  std::vector<std::string> known{"fast", "system", "csv", "verbose"};
+  known.insert(known.end(), extra_flags.begin(), extra_flags.end());
+  const util::Cli cli = util::Cli::parse_or_exit(argc, argv, std::move(known));
   BenchContext ctx;
   ctx.fast = cli.get_bool_or("fast", false);
   ctx.space = ctx.fast ? autotune::ParamSpace::reduced() : autotune::ParamSpace::paper_default();
@@ -25,6 +30,7 @@ BenchContext make_context(int argc, char** argv) {
 namespace {
 std::map<std::string, std::vector<autotune::InstanceResult>> g_sweeps;
 std::map<std::string, autotune::Autotuner> g_tuners;
+std::map<std::string, std::unique_ptr<api::Engine>> g_engines;
 
 std::string cache_key(const BenchContext& ctx, const sim::SystemProfile& system) {
   return system.name + (ctx.fast ? "#fast" : "#full");
@@ -52,6 +58,18 @@ const autotune::Autotuner& tuner_for(const BenchContext& ctx,
              .first;
   }
   return it->second;
+}
+
+api::Engine& engine_for(const BenchContext& ctx, const sim::SystemProfile& system) {
+  const std::string key = cache_key(ctx, system);
+  auto it = g_engines.find(key);
+  if (it == g_engines.end()) {
+    api::EngineOptions options;
+    options.pool_workers = 1;  // the benches time the cost model, not the pool
+    options.queue_workers = 1;
+    it = g_engines.emplace(key, std::make_unique<api::Engine>(system, options)).first;
+  }
+  return *it->second;
 }
 
 void emit(const BenchContext& ctx, const util::Table& table, const std::string& title) {

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "api/engine.hpp"
 #include "autotune/baselines.hpp"
 #include "autotune/search.hpp"
 #include "autotune/tuner.hpp"
@@ -27,8 +28,18 @@ struct BenchContext {
   std::optional<std::string> csv_path;
 };
 
-/// Parses the common flags and resolves the space/system selection.
-BenchContext make_context(int argc, char** argv);
+/// Parses the common flags (--fast, --system, --csv, --verbose) and
+/// resolves the space/system selection. Unknown flags abort with an error
+/// listing the known set; harnesses with extra flags pass them via
+/// `extra_flags`.
+BenchContext make_context(int argc, char** argv,
+                          const std::vector<std::string>& extra_flags = {});
+
+/// Returns the memoised session Engine for one system — the object every
+/// migrated harness compiles plans on and estimates through. Configured
+/// with a single-worker pool, matching the historical per-bench
+/// `HybridExecutor(sys, 1)`.
+api::Engine& engine_for(const BenchContext& ctx, const sim::SystemProfile& system);
 
 /// Runs (or returns the memoised) exhaustive sweep for one system.
 const std::vector<autotune::InstanceResult>& sweep_for(const BenchContext& ctx,

@@ -1,6 +1,6 @@
 // A grid of coupled two-player games solved by backward induction — the
 // paper's coarse-grained Nash evaluation application — executed with an
-// autotuned hybrid schedule.
+// autotuned hybrid schedule through the api::Engine session API.
 //
 //   ./nash_equilibrium [--dim=N] [--iters=K] [--system=i7-3820]
 //
@@ -10,9 +10,9 @@
 #include <cstring>
 #include <iostream>
 
+#include "api/engine.hpp"
 #include "apps/nash.hpp"
 #include "autotune/tuner.hpp"
-#include "core/executor.hpp"
 #include "sim/system_profile.hpp"
 #include "sim/timeline.hpp"
 #include "util/cli.hpp"
@@ -21,38 +21,42 @@
 using namespace wavetune;
 
 int main(int argc, char** argv) {
-  const util::Cli cli(argc, argv);
+  const util::Cli cli =
+      util::Cli::parse_or_exit(argc, argv, {"dim", "strategies", "iters", "system"});
   apps::NashParams params;
   params.dim = static_cast<std::size_t>(cli.get_int_or("dim", 64));
   params.strategies = static_cast<std::size_t>(cli.get_int_or("strategies", 6));
   params.fp_iterations = static_cast<std::size_t>(cli.get_int_or("iters", 8));
   const sim::SystemProfile system = sim::profile_by_name(cli.get_or("system", "i7-3820"));
 
-  // Train on the synthetic app, deploy on Nash.
+  // Train on the synthetic app, then build the session engine around the
+  // trained tuner: compile() with no explicit params autotunes.
   autotune::ExhaustiveSearch search(system, autotune::ParamSpace::reduced());
-  const autotune::Autotuner tuner = autotune::Autotuner::train(search.sweep(), system);
-  const core::InputParams model_inputs = apps::nash_model_inputs(params);
-  const autotune::Prediction pred = tuner.predict(model_inputs);
-
-  std::cout << "system: " << system.describe() << '\n'
-            << "model inputs: " << model_inputs.describe() << '\n'
-            << "predicted tuning: " << pred.params.describe() << "\n\n";
+  api::Engine engine(system, autotune::Autotuner::train(search.sweep(), system));
 
   const core::WavefrontSpec spec = apps::make_nash_spec(params);
-  core::HybridExecutor executor(system);
+  const api::Plan tuned_plan = engine.compile(spec);
+  const api::Plan serial_plan = engine.compile(spec, core::TunableParams{}, api::kSerialBackend);
 
+  std::cout << "system: " << engine.profile().describe() << '\n'
+            << "model inputs: " << tuned_plan.inputs().describe() << '\n'
+            << "predicted tuning: " << tuned_plan.params().describe() << "\n\n";
+
+  // Submit both schedules as async jobs; each future delivers the
+  // simulated timing once its grid is fully computed.
   core::Grid reference(spec.dim, spec.elem_bytes);
-  const core::RunResult serial = executor.run_serial(spec, reference);
-
   core::Grid grid(spec.dim, spec.elem_bytes);
   grid.fill_poison();
-  const core::RunResult tuned = executor.run(spec, pred.params, grid);
+  auto serial_future = engine.submit(serial_plan, reference);
+  auto tuned_future = engine.submit(tuned_plan, grid);
+  const core::RunResult serial = serial_future.get();
+  const core::RunResult tuned = tuned_future.get();
   const bool ok = std::memcmp(grid.data(), reference.data(), grid.size_bytes()) == 0;
 
   util::Table table({"schedule", "simulated rtime", "speedup"});
   table.row().add("serial").add(sim::format_time(serial.rtime_ns)).add(1.0, 2).done();
   table.row()
-      .add("autotuned (" + pred.params.describe() + ")")
+      .add("autotuned (" + tuned.params.describe() + ")")
       .add(sim::format_time(tuned.rtime_ns))
       .add(serial.rtime_ns / tuned.rtime_ns, 2)
       .done();

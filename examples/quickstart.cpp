@@ -1,15 +1,18 @@
 // Quickstart: define a wavefront recurrence with the typed Problem<T>
-// facade, run it through the hybrid executor under different tunings on a
-// simulated system, and compare simulated runtimes.
+// facade, compile it into Plans on a wavetune::api::Engine, submit the
+// plans as async jobs, and compare the simulated runtimes the futures
+// deliver.
 //
 //   ./quickstart [--dim=N]
 //
 // The recurrence here is the classic "minimum path sum": each cell holds
 // the cheapest monotone path cost from (0,0).
 #include <cstring>
+#include <future>
 #include <iostream>
+#include <vector>
 
-#include "core/executor.hpp"
+#include "api/engine.hpp"
 #include "core/spec.hpp"
 #include "sim/system_profile.hpp"
 #include "sim/timeline.hpp"
@@ -32,7 +35,7 @@ double terrain(std::size_t i, std::size_t j) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Cli cli(argc, argv);
+  const util::Cli cli = util::Cli::parse_or_exit(argc, argv, {"dim"});
   const auto dim = static_cast<std::size_t>(cli.get_int_or("dim", 96));
 
   // 1. Describe the computation: dim, cost-model granularity (tsize,
@@ -48,33 +51,52 @@ int main(int argc, char** argv) {
         else if (n) best = n->cost;
         return PathCell{best + terrain(i, j)};
       });
+  // The kernel is a pure function of (i, j), so a constant content key
+  // identifies it for the engine's plan cache (kernels capturing
+  // per-request data would digest that data instead — see
+  // WavefrontSpec::content_key).
+  problem.with_content_key("minpath");
   const core::WavefrontSpec spec = problem.spec();
 
   // 2. Pick a (simulated) machine — here the paper's i7-2600K with four
-  //    GTX 590 dies — and build the executor.
-  const sim::SystemProfile system = sim::make_i7_2600k();
-  core::HybridExecutor executor(system);
-  std::cout << "system: " << system.describe() << "\n\n";
+  //    GTX 590 dies — and build the session engine that owns the thread
+  //    pool, the plan cache, and the async job queue.
+  api::Engine engine(sim::make_i7_2600k());
+  std::cout << "system: " << engine.profile().describe() << "\n\n";
 
-  // 3. Run the sequential baseline, then a few tunings, and compare.
+  // 3. Compile the serial baseline and a few tunings into Plans. A Plan is
+  //    the validated, normalized recipe; compiling the same inputs again
+  //    would hit the engine's plan cache.
+  const api::Plan serial_plan = engine.compile(spec, core::TunableParams{}, api::kSerialBackend);
+  const std::vector<api::Plan> plans = {
+      engine.compile(spec, core::TunableParams{8, -1, -1, 1}),  // all-CPU, tiled
+      engine.compile(spec, core::TunableParams{8, static_cast<long long>(dim) / 3, -1, 1}),
+      engine.compile(spec, core::TunableParams{8, static_cast<long long>(dim) / 2, 4, 1}),
+  };
+
+  // 4. Run the baseline synchronously, then submit every tuned plan to the
+  //    job queue at once — each with its own caller-owned Grid — and
+  //    collect the futures.
   core::Grid reference(dim, spec.elem_bytes);
-  const core::RunResult serial = executor.run_serial(spec, reference);
+  const core::RunResult serial = engine.run(serial_plan, reference);
+
+  std::vector<core::Grid> grids;
+  grids.reserve(plans.size());
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    grids.emplace_back(dim, spec.elem_bytes).fill_poison();
+  }
+  std::vector<std::future<core::RunResult>> futures;
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    futures.push_back(engine.submit(plans[i], grids[i]));
+  }
 
   util::Table table({"configuration", "simulated rtime", "speedup", "values OK"});
   table.row().add("serial baseline").add(sim::format_time(serial.rtime_ns)).add(1.0, 2).add("-")
       .done();
-
-  const core::TunableParams configs[] = {
-      {8, -1, -1, 1},                            // all-CPU, tiled
-      {8, static_cast<long long>(dim) / 3, -1, 1},  // hybrid, single GPU
-      {8, static_cast<long long>(dim) / 2, 4, 1},   // hybrid, dual GPU, halo 4
-  };
-  for (const auto& params : configs) {
-    core::Grid grid(dim, spec.elem_bytes);
-    grid.fill_poison();
-    const core::RunResult r = executor.run(spec, params, grid);
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    const core::RunResult r = futures[i].get();
     const bool ok =
-        std::memcmp(grid.data(), reference.data(), grid.size_bytes()) == 0;
+        std::memcmp(grids[i].data(), reference.data(), reference.size_bytes()) == 0;
     table.row()
         .add(r.params.describe())
         .add(sim::format_time(r.rtime_ns))

@@ -1,16 +1,17 @@
 // Smith-Waterman local alignment through the wavefront library, tuned by
 // a trained autotuner — the paper's fine-grained evaluation application.
 //
-//   ./sequence_alignment [--len=N] [--system=i7-2600K] [--fast]
+//   ./sequence_alignment [--len=N] [--system=i7-2600K]
 //
 // Demonstrates the paper's §4.2 finding: at tsize = 0.5 the tuner predicts
 // band = -1 (everything on the CPU), and that is indeed the right call.
-#include <cstring>
+// The trained tuner is loaded into an api::Engine, so compiling the spec
+// with no explicit params autotunes it.
 #include <iostream>
 
+#include "api/engine.hpp"
 #include "apps/seqcmp.hpp"
 #include "autotune/tuner.hpp"
-#include "core/executor.hpp"
 #include "sim/system_profile.hpp"
 #include "sim/timeline.hpp"
 #include "util/cli.hpp"
@@ -18,7 +19,7 @@
 using namespace wavetune;
 
 int main(int argc, char** argv) {
-  const util::Cli cli(argc, argv);
+  const util::Cli cli = util::Cli::parse_or_exit(argc, argv, {"len", "system"});
   const auto len = static_cast<std::size_t>(cli.get_int_or("len", 400));
   const sim::SystemProfile system = sim::profile_by_name(cli.get_or("system", "i7-2600K"));
 
@@ -32,25 +33,24 @@ int main(int argc, char** argv) {
   }
 
   // Train the autotuner on the synthetic application (the pattern-library
-  // workflow: no real applications needed for training).
+  // workflow: no real applications needed for training) and hand it to
+  // the engine — the deployed session object.
   autotune::ExhaustiveSearch search(system, autotune::ParamSpace::reduced());
-  const autotune::Autotuner tuner = autotune::Autotuner::train(search.sweep(), system);
+  api::Engine engine(system, autotune::Autotuner::train(search.sweep(), system));
 
-  // Deploy: map the app onto the synthetic scale (tsize=0.5, dsize=0) and
-  // ask for a tuning.
-  const core::InputParams model_inputs = apps::seqcmp_model_inputs(len);
-  const autotune::Prediction pred = tuner.predict(model_inputs);
-  std::cout << "model inputs: " << model_inputs.describe() << '\n'
-            << "predicted tuning: " << pred.params.describe() << '\n';
-  if (pred.params.band == -1) {
+  // Deploy: compile the app's spec with no explicit params; the engine
+  // predicts the tuning from the instance's (dim, tsize, dsize).
+  const core::WavefrontSpec spec = apps::make_seqcmp_spec(params);
+  const api::Plan plan = engine.compile(spec);
+  std::cout << "model inputs: " << plan.inputs().describe() << '\n'
+            << "predicted tuning: " << plan.params().describe() << '\n';
+  if (plan.params().band == -1) {
     std::cout << "(band = -1: all-CPU, as the paper reports for Smith-Waterman)\n";
   }
 
-  // Execute functionally with the predicted tuning and verify the score.
-  const core::WavefrontSpec spec = apps::make_seqcmp_spec(params);
-  core::HybridExecutor executor(system);
+  // Execute through the job queue and verify the score.
   core::Grid grid(spec.dim, spec.elem_bytes);
-  const core::RunResult run = executor.run(spec, pred.params, grid);
+  const core::RunResult run = engine.submit(plan, grid).get();
 
   const std::int32_t score = apps::seqcmp_best_score(grid);
   const std::int32_t expected = apps::smith_waterman_reference(params);
@@ -58,6 +58,6 @@ int main(int argc, char** argv) {
             << (score == expected ? ", match)" : ", MISMATCH)") << '\n'
             << "simulated runtime: " << sim::format_time(run.rtime_ns)
             << "  (serial baseline: "
-            << sim::format_time(executor.estimate_serial(model_inputs)) << ")\n";
+            << sim::format_time(engine.estimate_serial(plan.inputs())) << ")\n";
   return score == expected ? 0 : 1;
 }

@@ -5,15 +5,16 @@
 //   3. model construction (SVM gate, REP tree, M5 model trees);
 //   4. cross-validation on the held-out instances;
 //   5. persistence to JSON and reload;
-//   6. deployment on unseen instances.
+//   6. deployment: an api::Engine built around the reloaded tuner serves
+//      unseen instances through autotuned, plan-cached compiles.
 //
 //   ./train_and_deploy [--system=i7-2600K] [--model=PATH]
 #include <cmath>
 #include <iostream>
 
+#include "api/engine.hpp"
 #include "autotune/cv_report.hpp"
 #include "autotune/tuner.hpp"
-#include "core/executor.hpp"
 #include "sim/system_profile.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -21,7 +22,7 @@
 using namespace wavetune;
 
 int main(int argc, char** argv) {
-  const util::Cli cli(argc, argv);
+  const util::Cli cli = util::Cli::parse_or_exit(argc, argv, {"system", "model"});
   const sim::SystemProfile system = sim::profile_by_name(cli.get_or("system", "i7-2600K"));
   const std::string model_path = cli.get_or("model", "wavetune_model.json");
 
@@ -43,51 +44,55 @@ int main(int argc, char** argv) {
   const autotune::Autotuner tuner = autotune::Autotuner::train(results, system);
 
   // 4. Cross-validate per model (paper's >= 90% criterion) and measure the
-  //    end-to-end quality on the held-out instances.
+  //    end-to-end quality on the held-out instances. A temporary engine
+  //    around the fresh tuner serves the estimates.
   std::cout << "[4/6] cross-validating the models\n"
             << autotune::cross_validate(tables).describe();
-  core::HybridExecutor ex(system);
-  double log_ratio = 0.0;
-  std::size_t n = 0;
-  for (const auto& res : tables.holdout) {
-    const auto best = res.best();
-    if (!best) continue;
-    const double tuned = ex.estimate(res.instance, tuner.predict(res.instance).params).rtime_ns;
-    log_ratio += std::log((res.serial_ns / tuned) / (res.serial_ns / best->rtime_ns));
-    ++n;
+  {
+    api::Engine trainside(system, tuner);
+    double log_ratio = 0.0;
+    std::size_t n = 0;
+    for (const auto& res : tables.holdout) {
+      const auto best = res.best();
+      if (!best) continue;
+      const double tuned = trainside.estimate(trainside.compile(res.instance)).rtime_ns;
+      log_ratio += std::log((res.serial_ns / tuned) / (res.serial_ns / best->rtime_ns));
+      ++n;
+    }
+    const double quality = n ? std::exp(log_ratio / static_cast<double>(n)) : 0.0;
+    std::cout << "      tuned configurations reach " << util::format_double(quality * 100.0, 1)
+              << "% of the exhaustive-best speedup (paper reports ~98%)\n";
   }
-  const double quality = n ? std::exp(log_ratio / static_cast<double>(n)) : 0.0;
-  std::cout << "      tuned configurations reach " << util::format_double(quality * 100.0, 1)
-            << "% of the exhaustive-best speedup (paper reports ~98%)\n";
 
   // 5. Persist and reload.
   std::cout << "[5/6] saving model to " << model_path << " and reloading\n";
   tuner.save(model_path);
-  const autotune::Autotuner reloaded = autotune::Autotuner::load(model_path);
 
-  // 6. Deploy on unseen instances.
+  // 6. Deploy: the production-side engine owns the reloaded tuner; every
+  //    param-less compile below is an autotuned, cached plan.
   std::cout << "[6/6] deploying on unseen instances\n\n";
+  api::Engine engine(system, autotune::Autotuner::load(model_path));
   util::Table table({"dim", "tsize", "dsize", "prediction", "tuned (ms)", "serial (ms)",
                      "speedup"});
   const core::InputParams unseen[] = {
       {360, 55.0, 2}, {360, 5500.0, 2}, {720, 55.0, 4}, {720, 5500.0, 4}, {1400, 2500.0, 1},
   };
   for (const auto& in : unseen) {
-    const autotune::Prediction pred = reloaded.predict(in);
-    const double tuned = ex.estimate(in, pred.params).rtime_ns;
-    const double serial = ex.estimate_serial(in);
+    const api::Plan plan = engine.compile(in);
+    const double tuned = engine.estimate(plan).rtime_ns;
+    const double serial = engine.estimate_serial(in);
     table.row()
         .add(static_cast<long long>(in.dim))
         .add(in.tsize, 0)
         .add(in.dsize)
-        .add(pred.params.describe())
+        .add(plan.params().describe())
         .add(tuned / 1e6, 2)
         .add(serial / 1e6, 2)
         .add(serial / tuned, 2)
         .done();
   }
   std::cout << table.to_aligned();
-  std::cout << "\nmodel dump (Fig. 9-style):\n" << reloaded.halo_model().describe(
+  std::cout << "\nmodel dump (Fig. 9-style):\n" << engine.tuner()->halo_model().describe(
       {"dim", "tsize", "dsize", "cpu_tile", "band"});
   return 0;
 }

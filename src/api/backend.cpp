@@ -1,0 +1,174 @@
+#include "api/backend.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "api/plan.hpp"
+#include "util/strings.hpp"
+
+namespace wavetune::api {
+
+namespace {
+
+/// "serial": the optimized sequential baseline. The incoming tuning is
+/// irrelevant by definition — the prepared params are always the
+/// canonical sequential configuration. (Note the plan cache keys on the
+/// params as *given*, so differently-tuned serial compiles are distinct
+/// cache entries carrying identical recipes.)
+class SerialBackend final : public Backend {
+public:
+  const std::string& name() const override {
+    static const std::string n = kSerialBackend;
+    return n;
+  }
+
+  core::TunableParams prepare(const core::InputParams& in, const core::TunableParams&,
+                              const sim::SystemProfile&) const override {
+    in.validate();
+    return core::TunableParams{1, -1, -1, 1};
+  }
+
+  core::RunResult run(core::HybridExecutor& executor, const core::WavefrontSpec& spec,
+                      const core::TunableParams&, core::Grid& grid) const override {
+    return executor.run_serial(spec, grid);
+  }
+
+  core::RunResult estimate(const core::HybridExecutor& executor, const core::InputParams& in,
+                           const core::TunableParams&) const override {
+    core::RunResult r;
+    r.params = core::TunableParams{1, -1, -1, 1};
+    r.breakdown.phase1_ns = executor.estimate_serial(in);
+    r.rtime_ns = r.breakdown.total_ns();
+    return r;
+  }
+};
+
+/// "cpu-tiled": tiled-parallel CPU execution with no GPU phase. The
+/// cpu_tile of the incoming tuning is kept; any offload request (band,
+/// halo, gpus, gpu_tile) is stripped at prepare time.
+class CpuTiledBackend final : public Backend {
+public:
+  const std::string& name() const override {
+    static const std::string n = kCpuTiledBackend;
+    return n;
+  }
+
+  core::TunableParams prepare(const core::InputParams& in, const core::TunableParams& params,
+                              const sim::SystemProfile&) const override {
+    in.validate();
+    core::TunableParams p;
+    p.cpu_tile = params.cpu_tile;
+    return p.normalized(in.dim);
+  }
+
+  core::RunResult run(core::HybridExecutor& executor, const core::WavefrontSpec& spec,
+                      const core::TunableParams& params, core::Grid& grid) const override {
+    return executor.run(spec, params, grid);
+  }
+
+  core::RunResult estimate(const core::HybridExecutor& executor, const core::InputParams& in,
+                           const core::TunableParams& params) const override {
+    return executor.estimate(in, params);
+  }
+};
+
+/// "hybrid": the paper's three-phase CPU/GPU schedule — the full
+/// HybridExecutor, with validation hoisted to compile time.
+class HybridBackend final : public Backend {
+public:
+  const std::string& name() const override {
+    static const std::string n = kHybridBackend;
+    return n;
+  }
+
+  core::TunableParams prepare(const core::InputParams& in, const core::TunableParams& params,
+                              const sim::SystemProfile& profile) const override {
+    in.validate();
+    const core::TunableParams p = params.normalized(in.dim);
+    if (p.gpu_count() > profile.gpu_count()) {
+      throw std::invalid_argument("backend 'hybrid': tuning requests " +
+                                  std::to_string(p.gpu_count()) + " GPU(s) but system '" +
+                                  profile.name + "' has " +
+                                  std::to_string(profile.gpu_count()));
+    }
+    return p;
+  }
+
+  core::RunResult run(core::HybridExecutor& executor, const core::WavefrontSpec& spec,
+                      const core::TunableParams& params, core::Grid& grid) const override {
+    return executor.run(spec, params, grid);
+  }
+
+  core::RunResult estimate(const core::HybridExecutor& executor, const core::InputParams& in,
+                           const core::TunableParams& params) const override {
+    return executor.estimate(in, params);
+  }
+};
+
+}  // namespace
+
+BackendRegistry::BackendRegistry() {
+  backends_[kSerialBackend] = std::make_shared<SerialBackend>();
+  backends_[kCpuTiledBackend] = std::make_shared<CpuTiledBackend>();
+  backends_[kHybridBackend] = std::make_shared<HybridBackend>();
+}
+
+BackendRegistry& BackendRegistry::instance() {
+  static BackendRegistry registry;
+  return registry;
+}
+
+void BackendRegistry::add(std::shared_ptr<const Backend> backend) {
+  if (!backend) throw std::invalid_argument("BackendRegistry::add: null backend");
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto [it, inserted] = backends_.emplace(backend->name(), std::move(backend));
+  if (!inserted) {
+    throw std::invalid_argument("BackendRegistry::add: backend '" + it->first +
+                                "' is already registered");
+  }
+}
+
+std::shared_ptr<const Backend> BackendRegistry::find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = backends_.find(name);
+  return it == backends_.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<const Backend> BackendRegistry::require(const std::string& name) const {
+  auto backend = find(name);
+  if (!backend) {
+    throw std::invalid_argument("unknown backend '" + name + "' (registered: " +
+                                util::join(names(), ", ") + ")");
+  }
+  return backend;
+}
+
+std::vector<std::string> BackendRegistry::names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(backends_.size());
+  for (const auto& [name, backend] : backends_) out.push_back(name);
+  return out;
+}
+
+// --- Plan accessors that need the full Backend type ----------------------
+
+const detail::PlanState& Plan::checked() const {
+  if (!state_) throw std::logic_error("Plan: default-constructed (invalid) plan");
+  return *state_;
+}
+
+const core::WavefrontSpec& Plan::spec() const {
+  const detail::PlanState& s = checked();
+  if (!s.executable) {
+    throw std::logic_error("Plan::spec: estimate-only plan has no kernel (compiled from "
+                           "InputParams; use Engine::estimate)");
+  }
+  return s.spec;
+}
+
+const Backend& Plan::backend() const { return *checked().backend; }
+
+const std::string& Plan::backend_name() const { return checked().backend->name(); }
+
+}  // namespace wavetune::api

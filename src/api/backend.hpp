@@ -1,0 +1,91 @@
+// Pluggable execution backends behind a name-keyed registry.
+//
+// A Backend is a stateless strategy object that knows how to validate a
+// tuning for itself ("prepare", done once at Engine::compile time so every
+// later submit skips validation) and how to run/estimate a wavefront
+// through the engine-owned HybridExecutor. The three built-ins mirror the
+// execution paths that call sites previously picked by hand:
+//
+//   "serial"     optimized sequential baseline (HybridExecutor::run_serial)
+//   "cpu-tiled"  tiled-parallel CPU only — any GPU offload in the tuning
+//                is stripped at prepare time
+//   "hybrid"     the paper's full three-phase CPU/GPU schedule
+//
+// User backends register through BackendRegistry::instance().add(...) and
+// become addressable by name from Engine::compile immediately.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/executor.hpp"
+#include "core/grid.hpp"
+#include "core/params.hpp"
+#include "core/spec.hpp"
+#include "sim/system_profile.hpp"
+
+namespace wavetune::api {
+
+/// Canonical names of the built-in backends.
+inline constexpr const char* kSerialBackend = "serial";
+inline constexpr const char* kCpuTiledBackend = "cpu-tiled";
+inline constexpr const char* kHybridBackend = "hybrid";
+
+class Backend {
+public:
+  virtual ~Backend() = default;
+
+  virtual const std::string& name() const = 0;
+
+  /// Validates and canonicalises `params` for this backend on `profile`.
+  /// Called once per Engine::compile; the returned tuning is what the plan
+  /// carries, so run/estimate never re-validate. Throws
+  /// std::invalid_argument for tunings this backend cannot execute (e.g.
+  /// more GPUs than the profile has).
+  virtual core::TunableParams prepare(const core::InputParams& in,
+                                      const core::TunableParams& params,
+                                      const sim::SystemProfile& profile) const = 0;
+
+  /// Functionally computes every cell of `grid` under a prepared tuning,
+  /// charging simulated time. `grid` is caller-owned (see the ownership
+  /// rules in api/plan.hpp).
+  virtual core::RunResult run(core::HybridExecutor& executor, const core::WavefrontSpec& spec,
+                              const core::TunableParams& params, core::Grid& grid) const = 0;
+
+  /// Simulated timing of the same schedule, without functional execution.
+  virtual core::RunResult estimate(const core::HybridExecutor& executor,
+                                   const core::InputParams& in,
+                                   const core::TunableParams& params) const = 0;
+};
+
+/// Process-wide, thread-safe, name-keyed backend registry. The built-in
+/// backends are registered on first access.
+class BackendRegistry {
+public:
+  static BackendRegistry& instance();
+
+  /// Registers a backend under backend->name(). Throws
+  /// std::invalid_argument if the name is already taken.
+  void add(std::shared_ptr<const Backend> backend);
+
+  /// Looks a backend up by name; nullptr when unknown.
+  std::shared_ptr<const Backend> find(const std::string& name) const;
+
+  /// Like find(), but throws std::invalid_argument listing the registered
+  /// names when `name` is unknown.
+  std::shared_ptr<const Backend> require(const std::string& name) const;
+
+  /// Registered backend names, sorted.
+  std::vector<std::string> names() const;
+
+private:
+  BackendRegistry();
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<const Backend>> backends_;
+};
+
+}  // namespace wavetune::api

@@ -1,0 +1,256 @@
+#include "api/engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace wavetune::api {
+
+Engine::Engine(sim::SystemProfile profile, EngineOptions options)
+    : executor_(std::move(profile), options.pool_workers),
+      options_(options),
+      queue_(options.queue_capacity) {
+  const std::size_t workers = options_.queue_workers == 0 ? 1 : options_.queue_workers;
+  workers_.reserve(workers);
+  try {
+    for (std::size_t i = 0; i < workers; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  } catch (...) {
+    // Thread spawn failed mid-constructor: ~Engine will not run, so shut
+    // down the already-spawned workers here or their joinable threads
+    // would std::terminate the process.
+    queue_.close();
+    for (auto& w : workers_) {
+      if (w.joinable()) w.join();
+    }
+    throw;
+  }
+}
+
+Engine::Engine(sim::SystemProfile profile, autotune::Autotuner tuner, EngineOptions options)
+    : Engine(std::move(profile), options) {
+  tuner_ = std::move(tuner);
+}
+
+Engine::~Engine() {
+  queue_.close();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void Engine::worker_loop() {
+  while (auto job = queue_.pop()) {
+    // The completion counter bumps BEFORE the promise resolves, so a
+    // caller returning from future.get() never observes a lagging count.
+    try {
+      core::RunResult result =
+          job->plan->backend->run(executor_, job->plan->spec, job->plan->params, *job->grid);
+      jobs_completed_.fetch_add(1, std::memory_order_relaxed);
+      job->result.set_value(std::move(result));
+    } catch (...) {
+      jobs_completed_.fetch_add(1, std::memory_order_relaxed);
+      job->result.set_exception(std::current_exception());
+    }
+  }
+}
+
+Plan Engine::compile(const core::WavefrontSpec& spec, const CompileOptions& options) {
+  spec.validate();
+  return compile_impl(&spec, spec.inputs(), options);
+}
+
+Plan Engine::compile(const core::WavefrontSpec& spec, const core::TunableParams& params,
+                     const std::string& backend) {
+  CompileOptions options;
+  options.backend = backend;
+  options.params = params;
+  return compile(spec, options);
+}
+
+Plan Engine::compile(const core::InputParams& in, const CompileOptions& options) {
+  in.validate();
+  return compile_impl(nullptr, in, options);
+}
+
+Plan Engine::compile(const core::InputParams& in, const core::TunableParams& params,
+                     const std::string& backend) {
+  CompileOptions options;
+  options.backend = backend;
+  options.params = params;
+  return compile(in, options);
+}
+
+Plan Engine::compile_impl(const core::WavefrontSpec* spec, const core::InputParams& in,
+                          const CompileOptions& options) {
+  const bool autotuned = !options.params.has_value();
+  // Executable specs with no declared identity (no content_key, no tag)
+  // are never cached: the key cannot tell their kernels apart, and a
+  // wrong-kernel cache hit is silent wrong results. Estimate-only plans
+  // are pure functions of the signature and always cache.
+  const bool cacheable =
+      options_.plan_cache &&
+      (!spec || !spec->content_key.empty() || !options.cache_tag.empty());
+
+  CacheKey key;
+  key.backend = options.backend;
+  // The spec's content identity and the caller's tag jointly salt the
+  // key: kernels capturing per-request payload declare it via
+  // WavefrontSpec::content_key, so same-signature requests don't alias.
+  if (spec) key.content = spec->content_key;
+  key.tag = options.cache_tag;
+  key.executable = spec != nullptr;
+  key.autotuned = autotuned;
+  key.dim = in.dim;
+  key.tsize = in.tsize;
+  key.dsize = in.dsize;
+  key.elem_bytes = spec ? spec->elem_bytes : 0;
+  if (!autotuned) key.params = *options.params;
+
+  if (cacheable) {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    const auto it = plan_cache_.find(key);
+    if (it != plan_cache_.end()) {
+      plan_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      return Plan(it->second);
+    }
+  }
+
+  // Miss: resolve the backend, predict (or take) the tuning, and let the
+  // backend validate + canonicalise it once. Done outside the cache lock —
+  // prediction and validation are the expensive part being memoized.
+  auto backend = BackendRegistry::instance().require(options.backend);
+  core::TunableParams params;
+  if (autotuned) {
+    params = tuner_ ? tuner_->predict(in).params : core::TunableParams{}.normalized(in.dim);
+  } else {
+    params = *options.params;
+  }
+
+  auto state = std::make_shared<detail::PlanState>();
+  state->executable = spec != nullptr;
+  state->autotuned = autotuned;
+  if (spec) state->spec = *spec;
+  state->inputs = in;
+  state->params = backend->prepare(in, params, executor_.profile());
+  state->backend = std::move(backend);
+
+  if (cacheable) {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    const auto it = plan_cache_.find(key);
+    if (it != plan_cache_.end()) {
+      // A concurrent compile of the same key inserted first: adopt it.
+      plan_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      return Plan(it->second);
+    }
+    state->id = next_plan_id_.fetch_add(1, std::memory_order_relaxed);
+    plans_compiled_.fetch_add(1, std::memory_order_relaxed);
+    // Bounded cache with FIFO eviction: new recipes keep caching on a
+    // long-lived engine, old ones stop pinning their payloads forever.
+    while (plan_cache_.size() >= options_.plan_cache_capacity && !cache_order_.empty()) {
+      plan_cache_.erase(cache_order_.front());
+      cache_order_.pop_front();
+    }
+    if (options_.plan_cache_capacity > 0) {
+      plan_cache_.emplace(key, state);
+      cache_order_.push_back(std::move(key));
+    }
+    return Plan(std::move(state));
+  }
+
+  state->id = next_plan_id_.fetch_add(1, std::memory_order_relaxed);
+  plans_compiled_.fetch_add(1, std::memory_order_relaxed);
+  return Plan(std::move(state));
+}
+
+void Engine::check_executable(const Plan& plan, const core::Grid& grid, const char* where) {
+  if (!plan.valid()) throw std::invalid_argument(std::string(where) + ": invalid plan");
+  if (!plan.executable()) {
+    throw std::invalid_argument(std::string(where) +
+                                ": estimate-only plan (compiled from InputParams) cannot execute");
+  }
+  const core::WavefrontSpec& spec = plan.spec();
+  if (grid.dim() != spec.dim || grid.elem_bytes() != spec.elem_bytes) {
+    throw std::invalid_argument(std::string(where) + ": grid does not match the plan's spec");
+  }
+}
+
+std::future<core::RunResult> Engine::submit(const Plan& plan, core::Grid& grid) {
+  check_executable(plan, grid, "Engine::submit");
+
+  Job job;
+  job.plan = plan.state_;
+  job.grid = &grid;
+  std::future<core::RunResult> future = job.result.get_future();
+  // Counted before the push so a fast worker completing the job can never
+  // make a concurrent stats() reader see completed > submitted.
+  jobs_submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (!queue_.push(std::move(job))) {
+    jobs_submitted_.fetch_sub(1, std::memory_order_relaxed);
+    throw std::runtime_error("Engine::submit: engine is shutting down");
+  }
+  return future;
+}
+
+std::vector<std::future<core::RunResult>> Engine::submit_batch(
+    const Plan& plan, const std::vector<core::Grid*>& grids) {
+  // Validate the whole batch before enqueuing anything: a bad grid in the
+  // middle must not leave earlier jobs running with their futures
+  // discarded by the unwinding caller.
+  for (core::Grid* grid : grids) {
+    if (!grid) throw std::invalid_argument("Engine::submit_batch: null grid");
+    check_executable(plan, *grid, "Engine::submit_batch");
+  }
+  // A repeated grid would be written by two workers concurrently.
+  std::vector<const core::Grid*> unique(grids.begin(), grids.end());
+  std::sort(unique.begin(), unique.end());
+  if (std::adjacent_find(unique.begin(), unique.end()) != unique.end()) {
+    throw std::invalid_argument("Engine::submit_batch: duplicate grid in batch");
+  }
+  std::vector<std::future<core::RunResult>> futures;
+  futures.reserve(grids.size());
+  for (core::Grid* grid : grids) futures.push_back(submit(plan, *grid));
+  return futures;
+}
+
+core::RunResult Engine::run(const Plan& plan, core::Grid& grid) {
+  check_executable(plan, grid, "Engine::run");
+  const core::RunResult r = plan.backend().run(executor_, plan.spec(), plan.params(), grid);
+  // A synchronous run counts only once it completed: a throwing backend
+  // must not leave a permanently "in-flight" job in the stats.
+  jobs_submitted_.fetch_add(1, std::memory_order_relaxed);
+  jobs_completed_.fetch_add(1, std::memory_order_relaxed);
+  return r;
+}
+
+core::RunResult Engine::estimate(const Plan& plan) const {
+  if (!plan.valid()) throw std::invalid_argument("Engine::estimate: invalid plan");
+  return plan.backend().estimate(executor_, plan.inputs(), plan.params());
+}
+
+double Engine::estimate_serial(const core::InputParams& in) const {
+  return executor_.estimate_serial(in);
+}
+
+EngineStats Engine::stats() const {
+  EngineStats s;
+  s.plans_compiled = plans_compiled_.load(std::memory_order_relaxed);
+  s.plan_cache_hits = plan_cache_hits_.load(std::memory_order_relaxed);
+  s.jobs_submitted = jobs_submitted_.load(std::memory_order_relaxed);
+  s.jobs_completed = jobs_completed_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::size_t Engine::plan_cache_size() const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  return plan_cache_.size();
+}
+
+void Engine::clear_plan_cache() {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  plan_cache_.clear();
+  cache_order_.clear();
+}
+
+}  // namespace wavetune::api

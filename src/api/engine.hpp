@@ -1,0 +1,225 @@
+// wavetune::api::Engine — the compile/submit session facade.
+//
+// The paper's pipeline is "describe a wavefront, train once in the
+// factory, deploy tuned runs". Engine is the object that owns the
+// expensive deployed state across requests: the executor (and its thread
+// pool), the trained Autotuner, a thread-safe cache of compiled Plans,
+// and a bounded async job queue with worker threads. One Engine serves
+// many concurrent requests:
+//
+//   api::Engine engine(sim::make_i7_2600k(), std::move(trained_tuner));
+//   api::Plan plan = engine.compile(problem.spec());       // autotuned
+//   core::Grid grid(plan.spec().dim, plan.spec().elem_bytes);
+//   std::future<core::RunResult> f = engine.submit(plan, grid);
+//   const core::RunResult r = f.get();
+//
+// compile() validates, normalizes, and (absent explicit params) autotunes
+// once, then memoizes the Plan keyed by
+// (dim, tsize, dsize, params-or-auto, backend) so repeated requests skip
+// prediction and validation. submit() enqueues onto the bounded job queue
+// and returns a std::future; run() is the synchronous convenience and
+// submit_batch() the fan-out form. Backends are resolved by name through
+// BackendRegistry ("serial", "cpu-tiled", "hybrid", plus user-registered
+// ones).
+//
+// The raw core::HybridExecutor stays available as the low-level escape
+// hatch — via executor() for cost-model utilities (autotune::
+// compute_baselines, refine_online) or constructed directly by code that
+// needs traces.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "api/backend.hpp"
+#include "api/job_queue.hpp"
+#include "api/plan.hpp"
+#include "autotune/tuner.hpp"
+#include "core/executor.hpp"
+#include "core/grid.hpp"
+#include "core/params.hpp"
+#include "core/spec.hpp"
+#include "sim/system_profile.hpp"
+
+namespace wavetune::api {
+
+struct EngineOptions {
+  /// Workers of the executor's CPU-phase thread pool; 0 sizes it from
+  /// hardware_concurrency.
+  std::size_t pool_workers = 0;
+  /// Consumer threads draining the async job queue. The executor is safe
+  /// for concurrent runs, so > 1 overlaps whole jobs.
+  std::size_t queue_workers = 2;
+  /// Bound of the job queue; submit() blocks once this many jobs are
+  /// waiting (backpressure instead of unbounded growth).
+  std::size_t queue_capacity = 64;
+  /// Memoize compiled plans. Executable specs that declare no identity
+  /// (empty WavefrontSpec::content_key and no CompileOptions::cache_tag)
+  /// are never cached regardless, so an undeclared kernel can't alias.
+  bool plan_cache = true;
+  /// Entry bound of the plan cache: at capacity the oldest entry is
+  /// evicted (FIFO), so one-shot sweeps can neither grow the cache
+  /// without bound nor permanently pin stale recipes.
+  std::size_t plan_cache_capacity = 4096;
+};
+
+struct CompileOptions {
+  /// BackendRegistry name to execute through.
+  std::string backend = kHybridBackend;
+  /// Explicit tuning; absent means autotune (engine's Autotuner when
+  /// loaded, normalized defaults otherwise).
+  std::optional<core::TunableParams> params;
+  /// Extra plan-cache key salt, on top of the spec's own
+  /// WavefrontSpec::content_key (the primary identity for kernels that
+  /// capture per-request payload — all bundled apps set it). Use this for
+  /// ad-hoc kernels sharing a signature AND content key; the alternative
+  /// is disabling EngineOptions::plan_cache.
+  std::string cache_tag;
+};
+
+/// Monotonic counters; cheap to read at any time from any thread.
+struct EngineStats {
+  std::uint64_t plans_compiled = 0;  ///< plan-cache misses (full compiles)
+  std::uint64_t plan_cache_hits = 0;
+  std::uint64_t jobs_submitted = 0;
+  std::uint64_t jobs_completed = 0;  ///< includes jobs that failed
+};
+
+class Engine {
+public:
+  explicit Engine(sim::SystemProfile profile, EngineOptions options = {});
+  /// With a trained Autotuner: param-less compiles predict the tuning.
+  Engine(sim::SystemProfile profile, autotune::Autotuner tuner, EngineOptions options = {});
+
+  /// Closes the queue, finishes in-flight and already-queued jobs, joins
+  /// the workers. Futures of queued jobs all resolve.
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // --- compile --------------------------------------------------------
+
+  /// Executable plan for `spec`: validated, normalized, autotuned when
+  /// `options.params` is absent, memoized in the plan cache.
+  Plan compile(const core::WavefrontSpec& spec, const CompileOptions& options = {});
+  /// Shorthand for an explicit tuning.
+  Plan compile(const core::WavefrontSpec& spec, const core::TunableParams& params,
+               const std::string& backend = kHybridBackend);
+
+  /// Estimate-only plan from bare input parameters (no kernel): usable
+  /// with estimate() but not submit()/run(). Shares the same cache, so
+  /// sweeps re-estimating one instance skip prediction and validation.
+  Plan compile(const core::InputParams& in, const CompileOptions& options = {});
+  Plan compile(const core::InputParams& in, const core::TunableParams& params,
+               const std::string& backend = kHybridBackend);
+
+  // --- execute --------------------------------------------------------
+
+  /// Enqueues one run of `plan` into caller-owned `grid` and returns the
+  /// result future. Blocks while the job queue is full. Throws
+  /// std::invalid_argument on plan/grid mismatch or estimate-only plans,
+  /// std::runtime_error after shutdown began. `grid` must stay alive and
+  /// untouched until the future resolves (ownership rules: api/plan.hpp).
+  std::future<core::RunResult> submit(const Plan& plan, core::Grid& grid);
+
+  /// Fan-out convenience: one job per grid, in order.
+  std::vector<std::future<core::RunResult>> submit_batch(const Plan& plan,
+                                                         const std::vector<core::Grid*>& grids);
+
+  /// Synchronous convenience: executes on the calling thread, bypassing
+  /// the queue (still safe alongside concurrent submits).
+  core::RunResult run(const Plan& plan, core::Grid& grid);
+
+  /// Simulated timing of `plan` without functional execution.
+  core::RunResult estimate(const Plan& plan) const;
+
+  /// Simulated time of the sequential baseline for `in`.
+  double estimate_serial(const core::InputParams& in) const;
+
+  // --- introspection --------------------------------------------------
+
+  const sim::SystemProfile& profile() const { return executor_.profile(); }
+  bool has_tuner() const { return tuner_.has_value(); }
+  /// nullptr when the engine was built without a trained tuner.
+  const autotune::Autotuner* tuner() const { return tuner_ ? &*tuner_ : nullptr; }
+
+  /// Low-level escape hatch for cost-model utilities that predate the
+  /// session API (compute_baselines, refine_online). Thread-safe for
+  /// concurrent run/estimate calls.
+  core::HybridExecutor& executor() { return executor_; }
+  const core::HybridExecutor& executor() const { return executor_; }
+
+  EngineStats stats() const;
+  std::size_t plan_cache_size() const;
+  void clear_plan_cache();
+
+private:
+  struct Job {
+    std::shared_ptr<const detail::PlanState> plan;
+    core::Grid* grid = nullptr;
+    std::promise<core::RunResult> result;
+  };
+
+  /// Plan-cache key: the input signature plus tuning, backend, the
+  /// combined spec-content/caller tag, and whether the entry is
+  /// executable or estimate-only. Autotuned compiles key on
+  /// `autotuned = true` with zeroed params so the prediction itself is
+  /// what the cache skips.
+  struct CacheKey {
+    std::string backend;
+    std::string content;  ///< WavefrontSpec::content_key (own field: never
+                          ///< concatenated with tag, so no separator games
+                          ///< can alias two keys)
+    std::string tag;      ///< CompileOptions::cache_tag
+    bool executable = false;
+    bool autotuned = false;
+    std::size_t dim = 0;
+    double tsize = 0.0;
+    int dsize = 0;
+    std::size_t elem_bytes = 0;
+    core::TunableParams params;
+
+    auto tie() const {
+      return std::tie(backend, content, tag, executable, autotuned, dim, tsize, dsize,
+                      elem_bytes, params.cpu_tile, params.band, params.halo, params.gpu_tile,
+                      params.gpus);
+    }
+    bool operator<(const CacheKey& other) const { return tie() < other.tie(); }
+  };
+
+  Plan compile_impl(const core::WavefrontSpec* spec, const core::InputParams& in,
+                    const CompileOptions& options);
+  /// Shared submit/run precondition: valid, executable, grid matches.
+  static void check_executable(const Plan& plan, const core::Grid& grid, const char* where);
+  void worker_loop();
+
+  core::HybridExecutor executor_;
+  std::optional<autotune::Autotuner> tuner_;
+  const EngineOptions options_;
+
+  mutable std::mutex cache_mutex_;
+  std::map<CacheKey, std::shared_ptr<const detail::PlanState>> plan_cache_;
+  std::deque<CacheKey> cache_order_;  ///< insertion order, for FIFO eviction
+  std::atomic<std::uint64_t> next_plan_id_{1};
+
+  std::atomic<std::uint64_t> plans_compiled_{0};
+  std::atomic<std::uint64_t> plan_cache_hits_{0};
+  std::atomic<std::uint64_t> jobs_submitted_{0};
+  std::atomic<std::uint64_t> jobs_completed_{0};
+
+  BoundedQueue<Job> queue_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace wavetune::api

@@ -1,0 +1,80 @@
+// Bounded blocking MPMC queue — the Engine's async job spine.
+//
+// Semantics chosen for a long-lived serving engine:
+//   * push() blocks while the queue is at capacity (backpressure on
+//     producers instead of unbounded memory growth under load);
+//   * pop() blocks while the queue is empty;
+//   * close() wakes everyone; items already queued still drain through
+//     pop() so shutdown completes in-flight work instead of dropping it.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace wavetune::api {
+
+template <typename T>
+class BoundedQueue {
+public:
+  /// `capacity == 0` is promoted to 1 (a zero-capacity queue can never
+  /// accept work).
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Blocks until there is room, then enqueues. Returns false (dropping
+  /// `item`) when the queue was closed before room appeared.
+  bool push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_push_.wait(lock, [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    cv_pop_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available; returns nullopt once the queue is
+  /// closed AND drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_pop_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    cv_push_.notify_one();
+    return item;
+  }
+
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_push_.notify_all();
+    cv_pop_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_push_;
+  std::condition_variable cv_pop_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace wavetune::api

@@ -40,6 +40,10 @@ core::WavefrontSpec make_editdist_spec(const EditDistParams& params) {
   const core::InputParams model = editdist_model_inputs(dim);
   spec.tsize = model.tsize;
   spec.dsize = model.dsize;
+  // Length-prefixed raw payload, not a digest: the plan cache must never
+  // confuse two different requests, so the identity is exact.
+  spec.content_key = "editdist|" + std::to_string(a.size()) + '|' + a + b + '|' +
+                     std::to_string(sub) + '|' + std::to_string(ins) + '|' + std::to_string(del);
   // Grid cell (i, j) holds D(i+1, j+1); the DP's border row/column are
   // implicit: a null neighbour on the border stands for D(i+1, 0) =
   // (i+1)*del, D(0, j+1) = (j+1)*ins, D(0, 0) = 0.

@@ -136,6 +136,8 @@ core::WavefrontSpec make_nash_spec(const NashParams& params) {
   spec.elem_bytes = sizeof(NashCell);
   spec.tsize = model.tsize;
   spec.dsize = model.dsize;
+  spec.content_key = "nash|" + std::to_string(k) + '|' + std::to_string(rounds) + '|' +
+                     std::to_string(seed);
   spec.kernel = [k, rounds, seed](std::size_t i, std::size_t j, const std::byte* w,
                                   const std::byte* n, const std::byte* nw, std::byte* out) {
     const NashCell cw = w ? read_cell(w) : NashCell{0, 0, 0, 0};

@@ -52,6 +52,11 @@ core::WavefrontSpec make_seqcmp_spec(const SeqCmpParams& params) {
   const core::InputParams model = seqcmp_model_inputs(dim);
   spec.tsize = model.tsize;
   spec.dsize = model.dsize;
+  // Length-prefixed raw payload, not a digest: the plan cache must never
+  // confuse two different requests, so the identity is exact.
+  spec.content_key = "seqcmp|" + std::to_string(a.size()) + '|' + a + b + '|' +
+                     std::to_string(match) + '|' + std::to_string(mismatch) + '|' +
+                     std::to_string(gap);
   spec.kernel = [a, b, match, mismatch, gap](std::size_t i, std::size_t j, const std::byte* w,
                                              const std::byte* n, const std::byte* nw,
                                              std::byte* out) {

@@ -89,6 +89,8 @@ core::WavefrontSpec make_synthetic_spec(const SyntheticParams& params) {
   spec.elem_bytes = sizeof(SyntheticHeader) + static_cast<std::size_t>(dsize) * sizeof(double);
   spec.tsize = params.tsize;
   spec.dsize = dsize;
+  spec.content_key =
+      "synthetic|" + std::to_string(iters) + '|' + std::to_string(seed);
   spec.kernel = [iters, dsize, seed](std::size_t i, std::size_t j, const std::byte* w,
                                      const std::byte* n, const std::byte* nw, std::byte* out) {
     std::vector<double> floats(static_cast<std::size_t>(dsize));

@@ -1,9 +1,15 @@
 // Row-major byte grid holding the wavefront state.
 //
-// Elements are opaque fixed-size byte records (the typed facade in
-// problem.hpp builds a safe view on top). The grid is the host-side truth;
-// the simulated devices keep their own Buffer copies, and all movement
-// between them is explicit — exactly like a discrete-memory machine.
+// Elements are opaque fixed-size byte records (Problem<T>, the typed
+// facade in core/spec.hpp, builds a safe view on top). The grid is the
+// host-side truth; the simulated devices keep their own Buffer copies,
+// and all movement between them is explicit — exactly like a
+// discrete-memory machine.
+//
+// Ownership vs api::Plan (see api/plan.hpp): a Grid is the caller-owned
+// output buffer of one request. Plans never own Grids; Engine::submit
+// borrows a Grid until its future resolves, and one Plan may execute into
+// many Grids concurrently.
 #pragma once
 
 #include <cstddef>

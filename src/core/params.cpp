@@ -1,6 +1,7 @@
 #include "core/params.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 #include <stdexcept>
 
@@ -10,6 +11,7 @@ namespace wavetune::core {
 
 void InputParams::validate() const {
   if (dim == 0) throw std::invalid_argument("InputParams: dim == 0");
+  if (!std::isfinite(tsize)) throw std::invalid_argument("InputParams: non-finite tsize");
   if (tsize < 0.0) throw std::invalid_argument("InputParams: negative tsize");
   if (dsize < 0) throw std::invalid_argument("InputParams: negative dsize");
 }

@@ -7,12 +7,26 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <stdexcept>
+#include <string>
+#include <string_view>
 
 #include "core/params.hpp"
 
 namespace wavetune::core {
+
+/// FNV-1a over a byte string: a cheap deterministic digest for building
+/// WavefrontSpec::content_key values out of captured request payloads.
+inline std::uint64_t fnv1a(std::string_view bytes) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
 
 /// Type-erased cell kernel.
 /// Computes cell (i, j) into `out`. Neighbour pointers are null on the
@@ -72,6 +86,19 @@ struct WavefrontSpec {
   int dsize = 0;       ///< cost-model data granularity (floats per element)
   ByteKernel kernel;
 
+  /// Content identity of the kernel, folded into api::Engine's plan-cache
+  /// key. Kernels capture their payload by value (sequences, payoff
+  /// seeds, ...), which the cache cannot see — a spec whose kernel
+  /// depends on anything beyond (dim, tsize, dsize) MUST identify that
+  /// content here or two different requests with one signature alias to
+  /// the same cached plan. Prefer embedding the exact (length-prefixed)
+  /// payload, as the bundled apps do; fnv1a above is the cheaper
+  /// trade-off for payloads too large to keep in a map key (64-bit
+  /// digest: collisions are unlikely, not impossible). Empty is safe only
+  /// for kernels that are pure functions of (i, j) and the neighbours —
+  /// the engine refuses to cache identity-less executable specs.
+  std::string content_key;
+
   /// Optional batched kernel. When set, it MUST compute exactly the same
   /// values as `kernel` (the equivalence test suite enforces this for the
   /// bundled apps); when null, consumers fall back to the per-cell kernel
@@ -90,7 +117,7 @@ struct WavefrontSpec {
     if (dim == 0) throw std::invalid_argument("WavefrontSpec: dim == 0");
     if (elem_bytes == 0) throw std::invalid_argument("WavefrontSpec: elem_bytes == 0");
     if (!kernel) throw std::invalid_argument("WavefrontSpec: null kernel");
-    if (tsize < 0.0) throw std::invalid_argument("WavefrontSpec: negative tsize");
+    inputs().validate();  // finite non-negative tsize, dsize >= 0
   }
 };
 
@@ -132,6 +159,14 @@ public:
     return *this;
   }
 
+  /// Declares the kernel's content identity (see
+  /// WavefrontSpec::content_key). Required whenever the kernel captures
+  /// per-request data. Returns *this for chaining.
+  Problem& with_content_key(std::string key) {
+    content_key_ = std::move(key);
+    return *this;
+  }
+
   std::size_t dim() const { return dim_; }
 
   WavefrontSpec spec() const {
@@ -140,6 +175,7 @@ public:
     s.elem_bytes = sizeof(T);
     s.tsize = tsize_;
     s.dsize = dsize_;
+    s.content_key = content_key_;
     Kernel k = kernel_;
     s.kernel = [k](std::size_t i, std::size_t j, const std::byte* w, const std::byte* n,
                    const std::byte* nw, std::byte* out) {
@@ -167,6 +203,7 @@ private:
   int dsize_;
   Kernel kernel_;
   Segment segment_;
+  std::string content_key_;
 };
 
 }  // namespace wavetune::core

@@ -1,6 +1,11 @@
 #include "util/cli.hpp"
 
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
+
+#include "util/strings.hpp"
 
 namespace wavetune::util {
 
@@ -22,6 +27,45 @@ Cli::Cli(int argc, const char* const* argv) {
       flags_[body] = "";
     }
   }
+}
+
+Cli::Cli(int argc, const char* const* argv, std::vector<std::string> known)
+    : Cli(argc, argv) {
+  set_known(std::move(known));
+  if (const auto err = unknown_flag_error()) throw CliError(*err);
+}
+
+Cli Cli::parse_or_exit(int argc, const char* const* argv, std::vector<std::string> known) {
+  Cli cli(argc, argv);
+  cli.set_known(std::move(known));
+  if (const auto err = cli.unknown_flag_error()) {
+    std::fprintf(stderr, "%s\n%s\n", err->c_str(), cli.usage().c_str());
+    std::exit(2);
+  }
+  return cli;
+}
+
+void Cli::set_known(std::vector<std::string> known) {
+  std::sort(known.begin(), known.end());
+  known_ = std::move(known);
+}
+
+std::optional<std::string> Cli::unknown_flag_error() const {
+  if (known_.empty()) return std::nullopt;
+  for (const auto& [name, value] : flags_) {
+    if (std::binary_search(known_.begin(), known_.end(), name)) continue;
+    std::vector<std::string> listed;
+    listed.reserve(known_.size());
+    for (const auto& k : known_) listed.push_back("--" + k);
+    return program_ + ": unknown flag --" + name + " (known flags: " + join(listed, ", ") + ")";
+  }
+  return std::nullopt;
+}
+
+std::string Cli::usage() const {
+  std::string out = "usage: " + (program_.empty() ? std::string("prog") : program_);
+  for (const auto& k : known_) out += " [--" + k + "=V]";
+  return out;
 }
 
 bool Cli::has(const std::string& name) const { return flags_.count(name) > 0; }

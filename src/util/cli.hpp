@@ -1,17 +1,43 @@
 // Minimal command-line flag parsing for the bench/example binaries.
 // Supports --key=value, --key value, and bare --flag forms.
+//
+// Binaries should declare their known flags so a typo like --dims=500
+// fails loudly instead of silently falling back to the default (and
+// measuring the wrong thing):
+//
+//   const util::Cli cli = util::Cli::parse_or_exit(argc, argv, {"dim", "system"});
 #pragma once
 
 #include <map>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 namespace wavetune::util {
 
+/// Thrown by the strict constructor on flags outside the known set.
+class CliError : public std::invalid_argument {
+public:
+  using std::invalid_argument::invalid_argument;
+};
+
 class Cli {
 public:
+  /// Permissive: accepts any flag (library/test entry point).
   Cli(int argc, const char* const* argv);
+
+  /// Strict: throws CliError on any --flag not in `known`, with a message
+  /// listing the known flags. An empty `known` list is permissive.
+  Cli(int argc, const char* const* argv, std::vector<std::string> known);
+
+  /// The main() entry point: strict parse that, on an unknown flag,
+  /// prints the error plus usage() to stderr and exits(2).
+  static Cli parse_or_exit(int argc, const char* const* argv, std::vector<std::string> known);
+
+  /// One-line usage string built from the known flags
+  /// ("usage: prog [--dim=V] [--system=V]").
+  std::string usage() const;
 
   /// True if --name appeared (with or without a value).
   bool has(const std::string& name) const;
@@ -25,11 +51,19 @@ public:
   /// Positional (non-flag) arguments in order.
   const std::vector<std::string>& positional() const { return positional_; }
   const std::string& program() const { return program_; }
+  const std::vector<std::string>& known() const { return known_; }
 
 private:
+  void set_known(std::vector<std::string> known);
+
+  /// Message for the first flag outside `known_`; nullopt when all known
+  /// (or when no known set was declared).
+  std::optional<std::string> unknown_flag_error() const;
+
   std::string program_;
   std::map<std::string, std::string> flags_;
   std::vector<std::string> positional_;
+  std::vector<std::string> known_;
 };
 
 }  // namespace wavetune::util

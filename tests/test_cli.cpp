@@ -11,6 +11,12 @@ Cli make(std::initializer_list<const char*> args) {
   return Cli(static_cast<int>(argv.size()), argv.data());
 }
 
+Cli make_strict(std::initializer_list<const char*> args, std::vector<std::string> known) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Cli(static_cast<int>(argv.size()), argv.data(), std::move(known));
+}
+
 TEST(Cli, EqualsForm) {
   const Cli c = make({"--dim=500", "--system=i3-540"});
   EXPECT_EQ(c.get_int_or("dim", 0), 500);
@@ -58,6 +64,48 @@ TEST(Cli, MissingReturnsNullopt) {
   EXPECT_FALSE(c.get("anything").has_value());
   EXPECT_EQ(c.get_or("anything", "dflt"), "dflt");
   EXPECT_EQ(c.get_int_or("anything", -7), -7);
+}
+
+TEST(Cli, StrictAcceptsKnownFlagsAndPositionals) {
+  const Cli c = make_strict({"--dim=500", "--system", "i3-540", "pos"}, {"dim", "system"});
+  EXPECT_EQ(c.get_int_or("dim", 0), 500);
+  EXPECT_EQ(c.get_or("system", ""), "i3-540");
+  ASSERT_EQ(c.positional().size(), 1u);
+}
+
+TEST(Cli, StrictRejectsUnknownFlagListingKnownOnes) {
+  // The bench-typo scenario: --dims instead of --dim must fail loudly
+  // instead of silently measuring the default.
+  try {
+    make_strict({"--dims=500"}, {"dim", "system"});
+    FAIL() << "expected CliError";
+  } catch (const CliError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--dims"), std::string::npos);
+    EXPECT_NE(what.find("--dim"), std::string::npos);
+    EXPECT_NE(what.find("--system"), std::string::npos);
+  }
+}
+
+TEST(Cli, StrictRejectsBareUnknownFlag) {
+  EXPECT_THROW(make_strict({"--fastt"}, {"fast"}), CliError);
+}
+
+TEST(Cli, EmptyKnownSetIsPermissive) {
+  EXPECT_NO_THROW(make_strict({"--whatever=1"}, {}));
+}
+
+TEST(Cli, UsageListsKnownFlagsSorted) {
+  const Cli c = make_strict({}, {"system", "dim"});
+  EXPECT_EQ(c.usage(), "usage: prog [--dim=V] [--system=V]");
+  ASSERT_EQ(c.known().size(), 2u);
+  EXPECT_EQ(c.known().front(), "dim");
+}
+
+TEST(Cli, PermissiveConstructorHasNoKnownSet) {
+  const Cli c = make({"--anything=goes"});
+  EXPECT_TRUE(c.known().empty());
+  EXPECT_EQ(c.get_or("anything", ""), "goes");
 }
 
 }  // namespace

@@ -1,10 +1,16 @@
-#include "core/executor.hpp"
+// Executor semantics exercised through the api::Engine session API: every
+// run/estimate below goes compile -> Plan -> run/estimate, so these tests
+// double as coverage for plan preparation (validation + normalization at
+// compile time) and the backend dispatch path. test_engine.cpp covers the
+// session-level behaviour (cache, queue, concurrency) itself.
+#include "api/engine.hpp"
 
 #include <gtest/gtest.h>
 
 #include <cstring>
 
 #include "apps/synthetic.hpp"
+#include "core/executor.hpp"
 #include "sim/system_profile.hpp"
 
 namespace wavetune::core {
@@ -19,36 +25,60 @@ apps::SyntheticParams small_instance(std::size_t dim = 40, double tsize = 25.0, 
   return p;
 }
 
+api::EngineOptions small_engine() {
+  api::EngineOptions o;
+  o.pool_workers = 2;
+  o.queue_workers = 1;
+  o.queue_capacity = 8;
+  return o;
+}
+
 bool grids_equal(const Grid& a, const Grid& b) {
   return a.size_bytes() == b.size_bytes() &&
          std::memcmp(a.data(), b.data(), a.size_bytes()) == 0;
 }
 
+RunResult run(api::Engine& eng, const WavefrontSpec& spec, const TunableParams& p, Grid& g) {
+  return eng.run(eng.compile(spec, p), g);
+}
+
+RunResult run_serial(api::Engine& eng, const WavefrontSpec& spec, Grid& g) {
+  return eng.run(eng.compile(spec, TunableParams{}, api::kSerialBackend), g);
+}
+
+RunResult estimate(api::Engine& eng, const InputParams& in, const TunableParams& p) {
+  return eng.estimate(eng.compile(in, p));
+}
+
 class ExecutorTest : public ::testing::Test {
 protected:
-  sim::SystemProfile sys_ = sim::make_i7_2600k();
-  HybridExecutor ex_{sys_, 2};
+  api::Engine eng_{sim::make_i7_2600k(), small_engine()};
 
   Grid reference(const WavefrontSpec& spec) {
     Grid ref(spec.dim, spec.elem_bytes);
-    ex_.run_serial(spec, ref);
+    run_serial(eng_, spec, ref);
     return ref;
   }
 };
 
 TEST_F(ExecutorTest, RejectsMismatchedGrid) {
   const auto spec = apps::make_synthetic_spec(small_instance());
+  const api::Plan plan = eng_.compile(spec, TunableParams{});
   Grid wrong_dim(spec.dim + 1, spec.elem_bytes);
-  EXPECT_THROW(ex_.run(spec, TunableParams{}, wrong_dim), std::invalid_argument);
+  EXPECT_THROW(eng_.run(plan, wrong_dim), std::invalid_argument);
+  EXPECT_THROW(eng_.submit(plan, wrong_dim), std::invalid_argument);
   Grid wrong_elem(spec.dim, spec.elem_bytes + 8);
-  EXPECT_THROW(ex_.run(spec, TunableParams{}, wrong_elem), std::invalid_argument);
+  EXPECT_THROW(eng_.run(plan, wrong_elem), std::invalid_argument);
+  EXPECT_THROW(eng_.submit(plan, wrong_elem), std::invalid_argument);
 }
 
 TEST_F(ExecutorTest, RejectsMoreGpusThanSystemHas) {
-  HybridExecutor single(sim::make_i3_540(), 1);
+  // Validation is hoisted to compile time: the plan for a tuning the
+  // system cannot execute never exists.
+  api::Engine single(sim::make_i3_540(), small_engine());
   const InputParams in{64, 10.0, 1};
-  EXPECT_NO_THROW(single.estimate(in, TunableParams{4, 10, -1, 1}));
-  EXPECT_THROW(single.estimate(in, TunableParams{4, 10, 2, 1}), std::invalid_argument);
+  EXPECT_NO_THROW(estimate(single, in, TunableParams{4, 10, -1, 1}));
+  EXPECT_THROW(single.compile(in, TunableParams{4, 10, 2, 1}), std::invalid_argument);
 }
 
 TEST_F(ExecutorTest, CpuOnlyMatchesSerialValues) {
@@ -56,12 +86,12 @@ TEST_F(ExecutorTest, CpuOnlyMatchesSerialValues) {
   const Grid ref = reference(spec);
   for (int ct : {1, 3, 8, 40}) {
     Grid g(spec.dim, spec.elem_bytes);
-    ex_.run(spec, TunableParams{ct, -1, -1, 1}, g);
+    run(eng_, spec, TunableParams{ct, -1, -1, 1}, g);
     EXPECT_TRUE(grids_equal(ref, g)) << "cpu_tile=" << ct;
   }
 }
 
-// The central property: for ANY tuning configuration, the hybrid executor
+// The central property: for ANY tuning configuration, the hybrid backend
 // computes exactly the same values as the sequential reference.
 struct HybridCase {
   int cpu_tile;
@@ -75,15 +105,15 @@ class HybridEqualsSerial : public ::testing::TestWithParam<HybridCase> {};
 TEST_P(HybridEqualsSerial, Values) {
   const HybridCase c = GetParam();
   const auto spec = apps::make_synthetic_spec(small_instance(37, 30.0, 3));
-  HybridExecutor ex(sim::make_i7_2600k(), 2);
+  api::Engine eng(sim::make_i7_2600k(), small_engine());
 
   Grid ref(spec.dim, spec.elem_bytes);
-  ex.run_serial(spec, ref);
+  run_serial(eng, spec, ref);
 
   Grid g(spec.dim, spec.elem_bytes);
   g.fill_poison();  // stale reads must surface as wrong values
   const TunableParams p{c.cpu_tile, c.band, c.halo, c.gpu_tile};
-  ex.run(spec, p, g);
+  run(eng, spec, p, g);
   EXPECT_TRUE(grids_equal(ref, g)) << p.describe();
 }
 
@@ -114,15 +144,15 @@ class DualGpuHaloSweep
 TEST_P(DualGpuHaloSweep, Values) {
   const auto [dim, halo] = GetParam();
   const auto spec = apps::make_synthetic_spec(small_instance(dim, 15.0, 1));
-  HybridExecutor ex(sim::make_i7_3820(), 2);
+  api::Engine eng(sim::make_i7_3820(), small_engine());
 
   Grid ref(spec.dim, spec.elem_bytes);
-  ex.run_serial(spec, ref);
+  run_serial(eng, spec, ref);
 
   Grid g(spec.dim, spec.elem_bytes);
   g.fill_poison();
   const auto band = static_cast<long long>(dim) / 2;
-  ex.run(spec, TunableParams{4, band, halo, 1}, g);
+  run(eng, spec, TunableParams{4, band, halo, 1}, g);
   EXPECT_TRUE(grids_equal(ref, g)) << "dim=" << dim << " halo=" << halo;
 }
 
@@ -138,19 +168,19 @@ TEST_F(ExecutorTest, RunAndEstimateAgreeExactly) {
   };
   for (const auto& p : cases) {
     Grid g(spec.dim, spec.elem_bytes);
-    const RunResult run = ex_.run(spec, p, g);
-    const RunResult est = ex_.estimate(in, p);
-    EXPECT_DOUBLE_EQ(run.rtime_ns, est.rtime_ns) << p.describe();
-    EXPECT_DOUBLE_EQ(run.breakdown.gpu_ns, est.breakdown.gpu_ns) << p.describe();
-    EXPECT_EQ(run.breakdown.swap_count, est.breakdown.swap_count) << p.describe();
-    EXPECT_EQ(run.breakdown.kernel_launches, est.breakdown.kernel_launches) << p.describe();
-    EXPECT_EQ(run.breakdown.redundant_cells, est.breakdown.redundant_cells) << p.describe();
+    const RunResult r = run(eng_, spec, p, g);
+    const RunResult est = estimate(eng_, in, p);
+    EXPECT_DOUBLE_EQ(r.rtime_ns, est.rtime_ns) << p.describe();
+    EXPECT_DOUBLE_EQ(r.breakdown.gpu_ns, est.breakdown.gpu_ns) << p.describe();
+    EXPECT_EQ(r.breakdown.swap_count, est.breakdown.swap_count) << p.describe();
+    EXPECT_EQ(r.breakdown.kernel_launches, est.breakdown.kernel_launches) << p.describe();
+    EXPECT_EQ(r.breakdown.redundant_cells, est.breakdown.redundant_cells) << p.describe();
   }
 }
 
 TEST_F(ExecutorTest, BreakdownSumsToTotal) {
   const InputParams in{64, 100.0, 1};
-  const RunResult r = ex_.estimate(in, TunableParams{4, 20, 3, 1});
+  const RunResult r = estimate(eng_, in, TunableParams{4, 20, 3, 1});
   EXPECT_DOUBLE_EQ(r.rtime_ns, r.breakdown.total_ns());
   EXPECT_GT(r.breakdown.phase1_ns, 0.0);
   EXPECT_GT(r.breakdown.gpu_ns, 0.0);
@@ -164,7 +194,7 @@ TEST_F(ExecutorTest, BreakdownSumsToTotal) {
 
 TEST_F(ExecutorTest, FullBandHasNullCpuPhases) {
   const InputParams in{64, 100.0, 1};
-  const RunResult r = ex_.estimate(in, TunableParams{4, 63, -1, 1});
+  const RunResult r = estimate(eng_, in, TunableParams{4, 63, -1, 1});
   EXPECT_DOUBLE_EQ(r.breakdown.phase1_ns, 0.0);
   EXPECT_DOUBLE_EQ(r.breakdown.phase3_ns, 0.0);
   EXPECT_GT(r.breakdown.gpu_ns, 0.0);
@@ -172,7 +202,7 @@ TEST_F(ExecutorTest, FullBandHasNullCpuPhases) {
 
 TEST_F(ExecutorTest, CpuOnlyHasNoGpuPhase) {
   const InputParams in{64, 100.0, 1};
-  const RunResult r = ex_.estimate(in, TunableParams{4, -1, -1, 1});
+  const RunResult r = estimate(eng_, in, TunableParams{4, -1, -1, 1});
   EXPECT_DOUBLE_EQ(r.breakdown.gpu_ns, 0.0);
   EXPECT_EQ(r.breakdown.kernel_launches, 0u);
   EXPECT_GT(r.breakdown.phase1_ns, 0.0);
@@ -181,22 +211,22 @@ TEST_F(ExecutorTest, CpuOnlyHasNoGpuPhase) {
 TEST_F(ExecutorTest, UntiledLaunchesOnePerDiagonal) {
   const InputParams in{64, 100.0, 1};
   // band=10 => 21 diagonals, single GPU.
-  const RunResult r = ex_.estimate(in, TunableParams{4, 10, -1, 1});
+  const RunResult r = estimate(eng_, in, TunableParams{4, 10, -1, 1});
   EXPECT_EQ(r.breakdown.kernel_launches, 21u);
 }
 
 TEST_F(ExecutorTest, TilingReducesKernelLaunches) {
   const InputParams in{64, 100.0, 1};
-  const RunResult untiled = ex_.estimate(in, TunableParams{4, 63, -1, 1});
-  const RunResult tiled = ex_.estimate(in, TunableParams{4, 63, -1, 8});
+  const RunResult untiled = estimate(eng_, in, TunableParams{4, 63, -1, 1});
+  const RunResult tiled = estimate(eng_, in, TunableParams{4, 63, -1, 8});
   EXPECT_LT(tiled.breakdown.kernel_launches, untiled.breakdown.kernel_launches);
 }
 
 TEST_F(ExecutorTest, LargerHaloMeansFewerSwapsMoreRedundancy) {
   const InputParams in{128, 100.0, 1};
-  const RunResult h0 = ex_.estimate(in, TunableParams{4, 50, 0, 1});
-  const RunResult h4 = ex_.estimate(in, TunableParams{4, 50, 4, 1});
-  const RunResult h12 = ex_.estimate(in, TunableParams{4, 50, 12, 1});
+  const RunResult h0 = estimate(eng_, in, TunableParams{4, 50, 0, 1});
+  const RunResult h4 = estimate(eng_, in, TunableParams{4, 50, 4, 1});
+  const RunResult h12 = estimate(eng_, in, TunableParams{4, 50, 12, 1});
   EXPECT_GT(h0.breakdown.swap_count, h4.breakdown.swap_count);
   EXPECT_GT(h4.breakdown.swap_count, h12.breakdown.swap_count);
   EXPECT_EQ(h0.breakdown.redundant_cells, 0u);
@@ -206,15 +236,18 @@ TEST_F(ExecutorTest, LargerHaloMeansFewerSwapsMoreRedundancy) {
 TEST_F(ExecutorTest, SerialEstimateMatchesClosedForm) {
   const InputParams in{100, 50.0, 5};
   const double expected =
-      100.0 * 100.0 * sys_.cpu.element_ns(50.0, in.elem_bytes());
-  EXPECT_DOUBLE_EQ(ex_.estimate_serial(in), expected);
+      100.0 * 100.0 * eng_.profile().cpu.element_ns(50.0, in.elem_bytes());
+  EXPECT_DOUBLE_EQ(eng_.estimate_serial(in), expected);
+  // The serial backend's estimate agrees with the convenience accessor.
+  const api::Plan serial = eng_.compile(in, core::TunableParams{}, api::kSerialBackend);
+  EXPECT_DOUBLE_EQ(eng_.estimate(serial).rtime_ns, expected);
 }
 
 TEST_F(ExecutorTest, EstimateMonotoneInTsize) {
   const TunableParams p{4, 30, -1, 1};
   double prev = 0.0;
   for (double ts : {1.0, 10.0, 100.0, 1000.0}) {
-    const double t = ex_.estimate(InputParams{64, ts, 1}, p).rtime_ns;
+    const double t = estimate(eng_, InputParams{64, ts, 1}, p).rtime_ns;
     EXPECT_GT(t, prev);
     prev = t;
   }
@@ -224,7 +257,7 @@ TEST_F(ExecutorTest, EstimateMonotoneInDsizeForGpuConfigs) {
   const TunableParams p{4, 63, -1, 1};
   double prev = 0.0;
   for (int ds : {0, 1, 3, 5}) {
-    const double t = ex_.estimate(InputParams{64, 10.0, ds}, p).rtime_ns;
+    const double t = estimate(eng_, InputParams{64, 10.0, ds}, p).rtime_ns;
     EXPECT_GT(t, prev);
     prev = t;
   }
@@ -232,7 +265,11 @@ TEST_F(ExecutorTest, EstimateMonotoneInDsizeForGpuConfigs) {
 
 TEST_F(ExecutorTest, ResultParamsAreNormalized) {
   const InputParams in{64, 10.0, 1};
-  const RunResult r = ex_.estimate(in, TunableParams{4, 1000, 1000, 16});
+  const api::Plan plan = eng_.compile(in, TunableParams{4, 1000, 1000, 16});
+  // Normalization happens at compile: the plan itself carries canonical
+  // parameters, and the result reports them unchanged.
+  EXPECT_TRUE(plan.params().is_normalized(in.dim));
+  const RunResult r = eng_.estimate(plan);
   EXPECT_TRUE(r.params.is_normalized(in.dim));
   EXPECT_EQ(r.params.band, 63);
 }
@@ -241,17 +278,17 @@ TEST_F(ExecutorTest, RunSerialProducesDeterministicTiming) {
   const auto spec = apps::make_synthetic_spec(small_instance());
   Grid g1(spec.dim, spec.elem_bytes);
   Grid g2(spec.dim, spec.elem_bytes);
-  const RunResult a = ex_.run_serial(spec, g1);
-  const RunResult b = ex_.run_serial(spec, g2);
+  const RunResult a = run_serial(eng_, spec, g1);
+  const RunResult b = run_serial(eng_, spec, g2);
   EXPECT_DOUBLE_EQ(a.rtime_ns, b.rtime_ns);
-  EXPECT_DOUBLE_EQ(a.rtime_ns, ex_.estimate_serial(spec.inputs()));
+  EXPECT_DOUBLE_EQ(a.rtime_ns, eng_.estimate_serial(spec.inputs()));
   EXPECT_TRUE(grids_equal(g1, g2));
 }
 
 TEST_F(ExecutorTest, DualGpuOnDualSystemOnly) {
-  HybridExecutor dual(sim::make_i7_3820(), 1);
+  api::Engine dual(sim::make_i7_3820(), small_engine());
   const InputParams in{32, 10.0, 1};
-  EXPECT_NO_THROW(dual.estimate(in, TunableParams{4, 10, 2, 1}));
+  EXPECT_NO_THROW(estimate(dual, in, TunableParams{4, 10, 2, 1}));
 }
 
 // --- N-GPU extension (paper §6 future work: "more than two GPUs") ---
@@ -268,16 +305,16 @@ TEST_P(MultiGpuSweep, ValuesMatchSerial) {
     sp.functional_iters = 3;
     return sp;
   }());
-  HybridExecutor ex(sim::make_i7_2600k(), 2);  // 4 GPUs available
+  api::Engine eng(sim::make_i7_2600k(), small_engine());  // 4 GPUs available
 
   Grid ref(spec.dim, spec.elem_bytes);
-  ex.run_serial(spec, ref);
+  run_serial(eng, spec, ref);
 
   Grid g(spec.dim, spec.elem_bytes);
   g.fill_poison();
   TunableParams p{4, static_cast<long long>(dim) / 2, halo, 1};
   p.gpus = n_gpus;
-  ex.run(spec, p, g);
+  run(eng, spec, p, g);
   EXPECT_EQ(std::memcmp(g.data(), ref.data(), g.size_bytes()), 0)
       << "gpus=" << n_gpus << " halo=" << halo << " dim=" << dim;
 }
@@ -290,12 +327,12 @@ INSTANTIATE_TEST_SUITE_P(GpusHalosDims, MultiGpuSweep,
 TEST_F(ExecutorTest, MultiGpuFullBandMatchesSerial) {
   const auto spec = apps::make_synthetic_spec(small_instance(40, 15.0, 1));
   Grid ref(spec.dim, spec.elem_bytes);
-  ex_.run_serial(spec, ref);
+  run_serial(eng_, spec, ref);
   Grid g(spec.dim, spec.elem_bytes);
   g.fill_poison();
   TunableParams p{4, 39, 2, 1};
   p.gpus = 4;
-  ex_.run(spec, p, g);
+  run(eng_, spec, p, g);
   EXPECT_TRUE(grids_equal(ref, g));
 }
 
@@ -304,11 +341,11 @@ TEST_F(ExecutorTest, MultiGpuRunMatchesEstimate) {
   TunableParams p{4, 20, 2, 1};
   p.gpus = 3;
   Grid g(spec.dim, spec.elem_bytes);
-  const RunResult run = ex_.run(spec, p, g);
-  const RunResult est = ex_.estimate(spec.inputs(), p);
-  EXPECT_DOUBLE_EQ(run.rtime_ns, est.rtime_ns);
-  EXPECT_EQ(run.breakdown.swap_count, est.breakdown.swap_count);
-  EXPECT_EQ(run.breakdown.redundant_cells, est.breakdown.redundant_cells);
+  const RunResult r = run(eng_, spec, p, g);
+  const RunResult est = estimate(eng_, spec.inputs(), p);
+  EXPECT_DOUBLE_EQ(r.rtime_ns, est.rtime_ns);
+  EXPECT_EQ(r.breakdown.swap_count, est.breakdown.swap_count);
+  EXPECT_EQ(r.breakdown.redundant_cells, est.breakdown.redundant_cells);
 }
 
 TEST_F(ExecutorTest, ExplicitGpus2MatchesEncodedDual) {
@@ -317,7 +354,8 @@ TEST_F(ExecutorTest, ExplicitGpus2MatchesEncodedDual) {
   TunableParams explicit2{4, 30, 3, 1};
   explicit2.gpus = 2;
   const TunableParams encoded{4, 30, 3, 1};
-  EXPECT_DOUBLE_EQ(ex_.estimate(in, explicit2).rtime_ns, ex_.estimate(in, encoded).rtime_ns);
+  EXPECT_DOUBLE_EQ(estimate(eng_, in, explicit2).rtime_ns,
+                   estimate(eng_, in, encoded).rtime_ns);
 }
 
 TEST_F(ExecutorTest, MoreGpusReduceComputeBoundRuntime) {
@@ -327,17 +365,17 @@ TEST_F(ExecutorTest, MoreGpusReduceComputeBoundRuntime) {
   for (int n : {1, 2, 3, 4}) {
     TunableParams p{4, 1000, n >= 2 ? 4LL : -1LL, 1};
     p.gpus = n;
-    const double t = ex_.estimate(in, p).rtime_ns;
+    const double t = estimate(eng_, in, p).rtime_ns;
     EXPECT_LT(t, prev) << n << " GPUs";
     prev = t;
   }
 }
 
 TEST_F(ExecutorTest, MultiGpuRequestBeyondProfileThrows) {
-  HybridExecutor two_gpu(sim::make_i7_3820(), 1);
+  api::Engine two_gpu(sim::make_i7_3820(), small_engine());
   TunableParams p{4, 20, 2, 1};
   p.gpus = 3;
-  EXPECT_THROW(two_gpu.estimate(InputParams{64, 100.0, 1}, p), std::invalid_argument);
+  EXPECT_THROW(two_gpu.compile(InputParams{64, 100.0, 1}, p), std::invalid_argument);
 }
 
 TEST_F(ExecutorTest, MultiGpuSwapsScaleWithBoundaries) {
@@ -347,7 +385,7 @@ TEST_F(ExecutorTest, MultiGpuSwapsScaleWithBoundaries) {
   auto swaps = [&](int n) {
     TunableParams p{4, 100, 3, 1};
     p.gpus = n;
-    return ex_.estimate(in, p).breakdown.swap_count;
+    return estimate(eng_, in, p).breakdown.swap_count;
   };
   EXPECT_GT(swaps(3), swaps(2));
   EXPECT_GT(swaps(4), swaps(3));
@@ -387,7 +425,7 @@ TEST_F(ExecutorTest, SwapCountMatchesIntervalFormula) {
   // GPU1 is active). Check against a hand-derived count.
   const InputParams in{64, 10.0, 1};
   const long long band = 20;  // diagonals [43, 84) of 127
-  const RunResult r = ex_.estimate(in, TunableParams{4, band, 3, 1});
+  const RunResult r = estimate(eng_, in, TunableParams{4, band, 3, 1});
   // GPU1 is active on every offloaded diagonal (band < dim/2 keeps both
   // halves populated); the initial transfer seeds the first wedge, then a
   // swap fires every h+1 = 4 diagonals.

@@ -1,44 +1,58 @@
 // End-to-end integration tests: the full paper pipeline on the reduced
 // space — exhaustive search -> training -> deployment on "real"
 // applications — plus cross-module shape checks that mirror the paper's
-// headline observations.
+// headline observations. Deployment goes through the api::Engine session
+// API (compile -> Plan -> submit/estimate), exactly like the examples.
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <cstring>
 
+#include "api/engine.hpp"
 #include "apps/nash.hpp"
 #include "apps/seqcmp.hpp"
 #include "apps/synthetic.hpp"
 #include "autotune/baselines.hpp"
 #include "autotune/tuner.hpp"
-#include "core/executor.hpp"
 #include "sim/system_profile.hpp"
 
 namespace wavetune {
 namespace {
+
+api::EngineOptions one_worker() {
+  api::EngineOptions o;
+  o.pool_workers = 1;
+  o.queue_workers = 1;
+  return o;
+}
+
+double est(api::Engine& eng, const core::InputParams& in, const core::TunableParams& p) {
+  return eng.estimate(eng.compile(in, p)).rtime_ns;
+}
 
 TEST(Integration, FullPipelineTrainsAndDeploysOnNash) {
   // Train on synthetic search data...
   const sim::SystemProfile sys = sim::make_i7_2600k();
   autotune::ExhaustiveSearch search(sys, autotune::ParamSpace::reduced());
   const auto results = search.sweep();
-  const autotune::Autotuner tuner = autotune::Autotuner::train(results, sys);
 
-  // ...deploy on the Nash application (coarse-grained: tsize=750/iter).
+  // ...and build the deployed session object around the trained tuner.
+  api::Engine engine(sys, autotune::Autotuner::train(results, sys), one_worker());
+
+  // Deploy on the Nash application (coarse-grained: tsize=750/iter).
   apps::NashParams np;
   np.dim = 1000;
   np.fp_iterations = 8;  // model tsize = 6000
   const core::InputParams in = apps::nash_model_inputs(np);
-  const autotune::Prediction pred = tuner.predict(in);
+  const api::Plan plan = engine.compile(in);  // autotuned, estimate-only
+  EXPECT_TRUE(plan.autotuned());
 
   // Coarse granularity on a big grid: the tuner must offload.
-  EXPECT_TRUE(pred.params.uses_gpu()) << pred.params.describe();
+  EXPECT_TRUE(plan.params().uses_gpu()) << plan.params().describe();
 
   // The tuned configuration must beat the sequential baseline comfortably.
-  core::HybridExecutor ex(sys, 1);
-  const double tuned = ex.estimate(in, pred.params).rtime_ns;
-  const double serial = ex.estimate_serial(in);
+  const double tuned = engine.estimate(plan).rtime_ns;
+  const double serial = engine.estimate_serial(in);
   EXPECT_GT(serial / tuned, 3.0);
 }
 
@@ -47,43 +61,43 @@ TEST(Integration, SequenceComparisonPredictsAllCpu) {
   // model had predicted band=-1 for all tsize<100".
   const sim::SystemProfile sys = sim::make_i7_2600k();
   autotune::ExhaustiveSearch search(sys, autotune::ParamSpace::reduced());
-  const autotune::Autotuner tuner = autotune::Autotuner::train(search.sweep(), sys);
+  api::Engine engine(sys, autotune::Autotuner::train(search.sweep(), sys), one_worker());
 
   for (std::size_t dim : {240u, 480u, 1000u}) {
     const core::InputParams in = apps::seqcmp_model_inputs(dim);
-    const autotune::Prediction pred = tuner.predict(in);
-    EXPECT_EQ(pred.params.band, -1) << "dim=" << dim << " " << pred.params.describe();
+    const api::Plan plan = engine.compile(in);
+    EXPECT_EQ(plan.params().band, -1) << "dim=" << dim << " " << plan.params().describe();
   }
 }
 
 TEST(Integration, TunedNashRunsFunctionallyCorrect) {
-  // The predicted configuration must also execute correctly end-to-end.
+  // The predicted configuration must also execute correctly end-to-end,
+  // through the async submit path.
   const sim::SystemProfile sys = sim::make_i7_3820();
   autotune::ExhaustiveSearch search(sys, autotune::ParamSpace::reduced());
-  const autotune::Autotuner tuner = autotune::Autotuner::train(search.sweep(), sys);
+  api::Engine engine(sys, autotune::Autotuner::train(search.sweep(), sys));
 
   apps::NashParams np;
   np.dim = 48;
   np.strategies = 3;
   np.fp_iterations = 8;
   const auto spec = apps::make_nash_spec(np);
-  core::HybridExecutor ex(sys, 2);
 
   core::Grid ref(spec.dim, spec.elem_bytes);
-  ex.run_serial(spec, ref);
+  engine.run(engine.compile(spec, core::TunableParams{}, api::kSerialBackend), ref);
 
-  const autotune::Prediction pred = tuner.predict(spec.inputs());
+  const api::Plan plan = engine.compile(spec);  // autotuned, executable
+  EXPECT_TRUE(plan.executable());
   core::Grid g(spec.dim, spec.elem_bytes);
   g.fill_poison();
-  ex.run(spec, pred.params, g);
-  EXPECT_EQ(std::memcmp(g.data(), ref.data(), g.size_bytes()), 0) << pred.params.describe();
+  engine.submit(plan, g).get();
+  EXPECT_EQ(std::memcmp(g.data(), ref.data(), g.size_bytes()), 0) << plan.params().describe();
 }
 
 TEST(Integration, HeatmapShapeGpuThresholdRisesWithDsize) {
   // Fig. 5 shape: the tsize threshold beyond which the best configuration
   // uses the GPU is higher for dsize=5 than for dsize=1.
-  const sim::SystemProfile sys = sim::make_i7_2600k();
-  core::HybridExecutor ex(sys, 1);
+  api::Engine engine(sim::make_i7_2600k(), one_worker());
   const std::size_t dim = 1900;
 
   auto best_uses_gpu = [&](double tsize, int dsize) {
@@ -91,13 +105,11 @@ TEST(Integration, HeatmapShapeGpuThresholdRisesWithDsize) {
     double best_cpu = 1e300;
     double best_gpu = 1e300;
     for (int ct : {1, 4, 10}) {
-      best_cpu = std::min(best_cpu,
-                          ex.estimate(in, core::TunableParams{ct, -1, -1, 1}).rtime_ns);
+      best_cpu = std::min(best_cpu, est(engine, in, core::TunableParams{ct, -1, -1, 1}));
     }
     for (long long band : {300LL, 900LL, 1899LL}) {
       for (long long halo : {-1LL, 0LL, 20LL}) {
-        best_gpu = std::min(
-            best_gpu, ex.estimate(in, core::TunableParams{4, band, halo, 1}).rtime_ns);
+        best_gpu = std::min(best_gpu, est(engine, in, core::TunableParams{4, band, halo, 1}));
       }
     }
     return best_gpu < best_cpu;
@@ -117,18 +129,16 @@ TEST(Integration, I3ThresholdBelowI7Threshold) {
   // Fig. 5 shape: the slow-CPU i3 starts offloading at lower tsize than
   // the fast-CPU i7 systems.
   auto threshold_for = [&](const sim::SystemProfile& sys) {
-    core::HybridExecutor ex(sys, 1);
+    api::Engine engine(sys, one_worker());
     for (double tsize : {10.0, 50.0, 100.0, 300.0, 500.0, 700.0, 2000.0}) {
       const core::InputParams in{1900, tsize, 1};
       double best_cpu = 1e300;
       for (int ct : {1, 4, 10}) {
-        best_cpu = std::min(best_cpu,
-                            ex.estimate(in, core::TunableParams{ct, -1, -1, 1}).rtime_ns);
+        best_cpu = std::min(best_cpu, est(engine, in, core::TunableParams{ct, -1, -1, 1}));
       }
       double best_gpu = 1e300;
       for (long long band : {300LL, 900LL, 1899LL}) {
-        best_gpu = std::min(best_gpu,
-                            ex.estimate(in, core::TunableParams{4, band, -1, 1}).rtime_ns);
+        best_gpu = std::min(best_gpu, est(engine, in, core::TunableParams{4, band, -1, 1}));
       }
       if (best_gpu < best_cpu) return tsize;
     }
@@ -141,14 +151,13 @@ TEST(Integration, MaxSpeedupIsInPaperBallpark) {
   // Paper §1: "a maximum of 20x speedup over an optimized sequential
   // baseline". The best configuration at the heaviest corner should land
   // in the 10x-30x range on the i3 (slow CPU + capable GPU).
-  const sim::SystemProfile sys = sim::make_i3_540();
-  core::HybridExecutor ex(sys, 1);
+  api::Engine engine(sim::make_i3_540(), one_worker());
   const core::InputParams in{2700, 12000.0, 1};
   double best = 1e300;
   for (long long band : {1500LL, 2200LL, 2699LL}) {
-    best = std::min(best, ex.estimate(in, core::TunableParams{8, band, -1, 1}).rtime_ns);
+    best = std::min(best, est(engine, in, core::TunableParams{8, band, -1, 1}));
   }
-  const double speedup = ex.estimate_serial(in) / best;
+  const double speedup = engine.estimate_serial(in) / best;
   EXPECT_GT(speedup, 10.0);
   EXPECT_LT(speedup, 30.0);
 }
@@ -156,15 +165,12 @@ TEST(Integration, MaxSpeedupIsInPaperBallpark) {
 TEST(Integration, GpuTilingNeverWinsInPaperSpace) {
   // §4.1.1: "GPU tiling was not beneficial in our search space" — wherever
   // a GPU configuration is best overall, the untiled variant beats tiled.
-  const sim::SystemProfile sys = sim::make_i7_2600k();
-  core::HybridExecutor ex(sys, 1);
+  api::Engine engine(sim::make_i7_2600k(), one_worker());
   for (double tsize : {500.0, 2000.0, 8000.0}) {
     const core::InputParams in{1900, tsize, 1};
-    const double untiled =
-        ex.estimate(in, core::TunableParams{4, 1899, -1, 1}).rtime_ns;
+    const double untiled = est(engine, in, core::TunableParams{4, 1899, -1, 1});
     for (int gt : {4, 8, 11, 16, 21, 25}) {
-      const double tiled =
-          ex.estimate(in, core::TunableParams{4, 1899, -1, gt}).rtime_ns;
+      const double tiled = est(engine, in, core::TunableParams{4, 1899, -1, gt});
       EXPECT_LT(untiled, tiled) << "tsize=" << tsize << " gpu_tile=" << gt;
     }
   }
@@ -174,12 +180,11 @@ TEST(Integration, TiledGpuCanWinOnlyWhereCpuWinsAnyway) {
   // §4.1.1's complementary observation: tiling helped the GPU only where
   // communication dominated (tiny tsize) — and there the CPU-only
   // configuration dominates every GPU variant anyway.
-  const sim::SystemProfile sys = sim::make_i7_2600k();
-  core::HybridExecutor ex(sys, 1);
+  api::Engine engine(sim::make_i7_2600k(), one_worker());
   const core::InputParams in{1900, 30.0, 1};
-  const double untiled = ex.estimate(in, core::TunableParams{4, 1899, -1, 1}).rtime_ns;
-  const double tiled = ex.estimate(in, core::TunableParams{4, 1899, -1, 16}).rtime_ns;
-  const double cpu = ex.estimate(in, core::TunableParams{8, -1, -1, 1}).rtime_ns;
+  const double untiled = est(engine, in, core::TunableParams{4, 1899, -1, 1});
+  const double tiled = est(engine, in, core::TunableParams{4, 1899, -1, 16});
+  const double cpu = est(engine, in, core::TunableParams{8, -1, -1, 1});
   EXPECT_LT(tiled, untiled);  // tiling helps when launches dominate
   EXPECT_LT(cpu, tiled);      // but the CPU wins the whole regime
 }
@@ -188,14 +193,13 @@ TEST(Integration, HaloBestValueShrinksWithGranularity) {
   // §2.1/§4.1.1: larger halos pay off when communication dominates (small
   // tsize); at large tsize redundant computation bites and the best halo
   // shrinks.
-  const sim::SystemProfile sys = sim::make_i7_3820();
-  core::HybridExecutor ex(sys, 1);
+  api::Engine engine(sim::make_i7_3820(), one_worker());
   auto best_halo = [&](double tsize) {
     long long best_h = -2;
     double best_t = 1e300;
     const core::InputParams in{1900, tsize, 1};
     for (long long h : {0LL, 2LL, 5LL, 10LL, 20LL, 40LL, 80LL, 160LL}) {
-      const double t = ex.estimate(in, core::TunableParams{4, 900, h, 1}).rtime_ns;
+      const double t = est(engine, in, core::TunableParams{4, 900, h, 1});
       if (t < best_t) {
         best_t = t;
         best_h = h;
@@ -207,11 +211,14 @@ TEST(Integration, HaloBestValueShrinksWithGranularity) {
 }
 
 TEST(Integration, BaselinesOrderAtScale) {
-  // serial >= parallel CPU ~ the paper's Fig. 6 sanity ordering.
+  // serial >= parallel CPU ~ the paper's Fig. 6 sanity ordering. The
+  // baseline helper consumes the raw cost model through the engine's
+  // low-level executor() escape hatch.
   for (const auto& sys : sim::paper_systems()) {
-    core::HybridExecutor ex(sys, 1);
-    const auto b = autotune::compute_baselines(ex, core::InputParams{1100, 700.0, 1},
-                                               {1, 2, 4, 8, 10}, {1, 8, 25}, {0.0, 1.0});
+    api::Engine engine(sys, one_worker());
+    const auto b =
+        autotune::compute_baselines(engine.executor(), core::InputParams{1100, 700.0, 1},
+                                    {1, 2, 4, 8, 10}, {1, 8, 25}, {0.0, 1.0});
     EXPECT_GT(b.serial_ns, b.cpu_parallel_ns) << sys.name;
   }
 }
