@@ -4,24 +4,31 @@
 // compiled once, runs submitted per iteration), the thread pool, and
 // model inference.
 //
-// `--json[=PATH]` switches to the perf-tracking mode: it times the seed's
-// per-cell dispatch against the batched segment dispatch (tiled CPU,
-// default pool) for editdist and seqcmp at dim 512 and 2048, and writes
-// the ns/cell numbers to PATH (default BENCH_micro.json) so CI records
-// the hot-loop trajectory on every push. All other arguments are passed
+// `--json[=PATH]` switches to the perf-tracking mode: for editdist and
+// seqcmp at dim 512 and 2048 it times (a) the seed's per-cell dispatch
+// against the batched segment dispatch and (b) the barriered
+// per-tile-diagonal scheduler against the dataflow dependency-counter
+// scheduler (the --scheduler axis, small and medium tiles, >= 4 workers),
+// and writes the ns/cell numbers to PATH (default BENCH_micro.json) so CI
+// records the hot-loop trajectory on every push. `--scheduler=barrier`,
+// `--scheduler=dataflow` or `--scheduler=both` (default) restricts which
+// schedulers the JSON mode measures. All other arguments are passed
 // through to google-benchmark.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <type_traits>
 
 #include "api/engine.hpp"
 #include "apps/editdist.hpp"
 #include "apps/seqcmp.hpp"
 #include "apps/synthetic.hpp"
 #include "autotune/search.hpp"
+#include "cpu/dataflow_wavefront.hpp"
 #include "cpu/thread_pool.hpp"
 #include "cpu/tiled_wavefront.hpp"
 #include "ml/m5_tree.hpp"
@@ -164,6 +171,36 @@ void BM_TiledWavefrontFunctional(benchmark::State& state) {
 }
 BENCHMARK(BM_TiledWavefrontFunctional)->Arg(1)->Arg(8)->Arg(32);
 
+/// The --scheduler axis as a google-benchmark grid: barrier (0) vs
+/// dataflow (1) over a tile size, full sweep of a 512-grid.
+void BM_WavefrontScheduler(benchmark::State& state) {
+  const std::size_t dim = 512;
+  const auto sched =
+      state.range(0) == 0 ? cpu::Scheduler::kBarrier : cpu::Scheduler::kDataflow;
+  const cpu::TiledRegion region{dim, 0, 2 * dim - 1, static_cast<std::size_t>(state.range(1))};
+  std::vector<std::uint32_t> v(dim * dim, 0);
+  cpu::ThreadPool pool(4);
+  const cpu::RowSegmentFn seg = [&](std::size_t i, std::size_t j0, std::size_t j1) {
+    for (std::size_t j = j0; j < j1; ++j) {
+      const std::uint32_t w = j > 0 ? v[i * dim + j - 1] : 0;
+      const std::uint32_t n = i > 0 ? v[(i - 1) * dim + j] : 0;
+      v[i * dim + j] = (i == 0 && j == 0) ? 1 : w + n;
+    }
+  };
+  for (auto _ : state) {
+    cpu::run_wavefront(sched, region, pool, seg);
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetLabel(cpu::scheduler_name(sched));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(dim * dim));
+}
+BENCHMARK(BM_WavefrontScheduler)
+    ->Args({0, 16})
+    ->Args({1, 16})
+    ->Args({0, 64})
+    ->Args({1, 64});
+
 void BM_M5Predict(benchmark::State& state) {
   ml::Dataset d({"a", "b", "c"});
   util::Rng rng(1);
@@ -212,25 +249,38 @@ core::WavefrontSpec micro_spec(const std::string& app, std::size_t dim) {
   return apps::make_seqcmp_spec(p);
 }
 
-/// Wall-clock of one full tiled-CPU sweep, dispatching through the given
-/// per-cell (seed path) or row-segment (batched path) callback.
+/// Wall-clock of one full CPU sweep under the given scheduler,
+/// dispatching through a per-cell (seed path) or row-segment (batched
+/// path) callback.
 template <typename Dispatch>
-double time_tiled_sweep_ns(std::size_t dim, cpu::ThreadPool& pool, std::size_t tile,
-                           const Dispatch& dispatch) {
+double time_sweep_ns(cpu::Scheduler sched, std::size_t dim, cpu::ThreadPool& pool,
+                     std::size_t tile, const Dispatch& dispatch) {
   const cpu::TiledRegion region{dim, 0, core::num_diagonals(dim), tile};
   const auto t0 = std::chrono::steady_clock::now();
-  cpu::run_tiled_wavefront(region, pool, dispatch);
+  if constexpr (std::is_convertible_v<Dispatch, cpu::RowSegmentFn>) {
+    cpu::run_wavefront(sched, region, pool, dispatch);
+  } else {
+    if (sched == cpu::Scheduler::kDataflow) {
+      cpu::run_dataflow_wavefront(region, pool, dispatch);
+    } else {
+      cpu::run_tiled_wavefront(region, pool, dispatch);
+    }
+  }
   const auto t1 = std::chrono::steady_clock::now();
   return std::chrono::duration<double, std::nano>(t1 - t0).count();
 }
 
 struct MicroResult {
-  double per_cell_ns = 0.0;  ///< ns/cell, per-cell ByteKernel dispatch
-  double segment_ns = 0.0;   ///< ns/cell, batched SegmentKernel dispatch
+  double per_cell_ns = 0.0;  ///< ns/cell, per-cell dispatch, barrier sched
+  double segment_ns = 0.0;   ///< ns/cell, batched dispatch, barrier sched
+  double dataflow_ns = 0.0;  ///< ns/cell, batched dispatch, dataflow sched
 };
 
+/// Which schedulers the --scheduler axis measures.
+enum class SchedAxis { kBarrier, kDataflow, kBoth };
+
 MicroResult run_micro(const std::string& app, std::size_t dim, std::size_t tile,
-                      cpu::ThreadPool& pool, int reps) {
+                      cpu::ThreadPool& pool, int reps, SchedAxis axis) {
   const core::WavefrontSpec spec = micro_spec(app, dim);
   core::Grid grid(spec.dim, spec.elem_bytes);
   std::byte* data = grid.data();
@@ -259,50 +309,92 @@ MicroResult run_micro(const std::string& app, std::size_t dim, std::size_t tile,
     seg(i, j0, j1, w, n, nw, out);
   };
 
+  const bool barrier = axis != SchedAxis::kDataflow;
+  const bool dataflow = axis != SchedAxis::kBarrier;
   const double cells = static_cast<double>(dim) * static_cast<double>(dim);
   MicroResult r;
   double best_cell = 1e300;
   double best_seg = 1e300;
+  double best_flow = 1e300;
   // One warmup each, then best-of-reps to shed scheduler noise.
-  time_tiled_sweep_ns(dim, pool, tile, per_cell);
-  time_tiled_sweep_ns(dim, pool, tile, segment);
+  if (barrier) {
+    time_sweep_ns(cpu::Scheduler::kBarrier, dim, pool, tile, per_cell);
+    time_sweep_ns(cpu::Scheduler::kBarrier, dim, pool, tile, segment);
+  }
+  if (dataflow) time_sweep_ns(cpu::Scheduler::kDataflow, dim, pool, tile, segment);
   for (int rep = 0; rep < reps; ++rep) {
-    best_cell = std::min(best_cell, time_tiled_sweep_ns(dim, pool, tile, per_cell));
-    best_seg = std::min(best_seg, time_tiled_sweep_ns(dim, pool, tile, segment));
+    if (barrier) {
+      best_cell =
+          std::min(best_cell, time_sweep_ns(cpu::Scheduler::kBarrier, dim, pool, tile, per_cell));
+      best_seg =
+          std::min(best_seg, time_sweep_ns(cpu::Scheduler::kBarrier, dim, pool, tile, segment));
+    }
+    if (dataflow) {
+      best_flow =
+          std::min(best_flow, time_sweep_ns(cpu::Scheduler::kDataflow, dim, pool, tile, segment));
+    }
   }
   r.per_cell_ns = best_cell / cells;
   r.segment_ns = best_seg / cells;
+  r.dataflow_ns = best_flow / cells;
   return r;
 }
 
-int run_json_mode(const std::string& path) {
+int run_json_mode(const std::string& path, SchedAxis axis) {
   if (path.empty()) {
     std::cerr << "bench_micro: --json needs a non-empty path (or omit '=' for the default)\n";
     return 1;
   }
-  cpu::ThreadPool pool(0);  // default pool: hardware concurrency
-  const std::size_t tile = 64;
+  // The scheduler comparison needs real contention: at least 4 workers
+  // (more when the host has them), per the perf-trajectory contract.
+  std::size_t hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  cpu::ThreadPool pool(std::max<std::size_t>(4, hw));
   util::Json runs = util::Json::array();
   for (const std::string app : {"editdist", "seqcmp"}) {
     for (const std::size_t dim : {std::size_t{512}, std::size_t{2048}}) {
-      const int reps = dim >= 2048 ? 3 : 5;
-      const MicroResult r = run_micro(app, dim, tile, pool, reps);
-      util::Json row = util::Json::object();
-      row["app"] = util::Json(app);
-      row["dim"] = util::Json(dim);
-      row["cpu_tile"] = util::Json(tile);
-      row["per_cell_ns_per_cell"] = util::Json(r.per_cell_ns);
-      row["segment_ns_per_cell"] = util::Json(r.segment_ns);
-      row["speedup"] = util::Json(r.per_cell_ns / r.segment_ns);
-      runs.push_back(std::move(row));
-      std::cout << app << " dim=" << dim << ": per-cell " << r.per_cell_ns
-                << " ns/cell, segment " << r.segment_ns << " ns/cell ("
-                << r.per_cell_ns / r.segment_ns << "x)\n";
+      // Small tiles stress the inter-diagonal barriers (2M-1 of them);
+      // 64 is the historical per-cell-vs-segment configuration.
+      for (const std::size_t tile : {std::size_t{16}, std::size_t{64}}) {
+        // Best-of-N: single-run ratios are unstable on loaded hosts.
+        const int reps = 5;
+        const MicroResult r = run_micro(app, dim, tile, pool, reps, axis);
+        util::Json row = util::Json::object();
+        row["app"] = util::Json(app);
+        row["dim"] = util::Json(dim);
+        row["cpu_tile"] = util::Json(tile);
+        if (axis != SchedAxis::kDataflow) {
+          row["per_cell_ns_per_cell"] = util::Json(r.per_cell_ns);
+          row["segment_ns_per_cell"] = util::Json(r.segment_ns);
+          row["speedup"] = util::Json(r.per_cell_ns / r.segment_ns);
+          row["barrier_ns_per_cell"] = util::Json(r.segment_ns);
+        }
+        if (axis != SchedAxis::kBarrier) {
+          row["dataflow_ns_per_cell"] = util::Json(r.dataflow_ns);
+        }
+        std::cout << app << " dim=" << dim << " tile=" << tile << ":";
+        if (axis == SchedAxis::kBoth) {
+          row["dataflow_speedup"] = util::Json(r.segment_ns / r.dataflow_ns);
+          std::cout << " per-cell " << r.per_cell_ns << " ns/cell, segment(barrier) "
+                    << r.segment_ns << " ns/cell, segment(dataflow) " << r.dataflow_ns
+                    << " ns/cell (dataflow " << r.segment_ns / r.dataflow_ns << "x)";
+        } else if (axis == SchedAxis::kBarrier) {
+          std::cout << " per-cell " << r.per_cell_ns << " ns/cell, segment " << r.segment_ns
+                    << " ns/cell (" << r.per_cell_ns / r.segment_ns << "x)";
+        } else {
+          std::cout << " segment(dataflow) " << r.dataflow_ns << " ns/cell";
+        }
+        std::cout << "\n";
+        runs.push_back(std::move(row));
+      }
     }
   }
   util::Json doc = util::Json::object();
-  doc["schema"] = util::Json("wavetune.bench_micro.v1");
-  doc["mode"] = util::Json("tiled_cpu_default_pool");
+  doc["schema"] = util::Json("wavetune.bench_micro.v2");
+  doc["mode"] = util::Json("tiled_cpu");
+  doc["scheduler_axis"] = util::Json(axis == SchedAxis::kBoth      ? "both"
+                                     : axis == SchedAxis::kBarrier ? "barrier"
+                                                                   : "dataflow");
   doc["workers"] = util::Json(pool.worker_count());
   doc["runs"] = std::move(runs);
   try {
@@ -318,11 +410,37 @@ int run_json_mode(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::string json_path;
+  bool json_mode = false;
+  SchedAxis axis = SchedAxis::kBoth;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--json") return run_json_mode("BENCH_micro.json");
-    if (arg.rfind("--json=", 0) == 0) return run_json_mode(arg.substr(7));
+    if (arg == "--json") {
+      json_mode = true;
+      json_path = "BENCH_micro.json";
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_mode = true;
+      json_path = arg.substr(7);
+    } else if (arg == "--scheduler") {
+      // A bare/space-separated form would otherwise be silently dropped
+      // and the run would measure the wrong thing.
+      std::cerr << "bench_micro: use --scheduler=barrier|dataflow|both (with '=')\n";
+      return 1;
+    } else if (arg.rfind("--scheduler=", 0) == 0) {
+      const std::string v = arg.substr(12);
+      if (v == "barrier") {
+        axis = SchedAxis::kBarrier;
+      } else if (v == "dataflow") {
+        axis = SchedAxis::kDataflow;
+      } else if (v == "both") {
+        axis = SchedAxis::kBoth;
+      } else {
+        std::cerr << "bench_micro: --scheduler expects barrier, dataflow or both\n";
+        return 1;
+      }
+    }
   }
+  if (json_mode) return run_json_mode(json_path, axis);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "api/plan.hpp"
+#include "autotune/sched_select.hpp"
 #include "util/strings.hpp"
 
 namespace wavetune::api {
@@ -72,6 +73,72 @@ public:
   }
 };
 
+/// "cpu-dataflow": tiled-parallel CPU execution under the dependency-
+/// counter dataflow scheduler (cpu/dataflow_wavefront.hpp) — no
+/// inter-diagonal barriers, work stealing across the pool. Prepared
+/// tunings are identical to "cpu-tiled" (GPU offload stripped, cpu_tile
+/// kept), and results are bit-identical; only the schedule (and therefore
+/// the charged simulated time) differs.
+class CpuDataflowBackend final : public Backend {
+public:
+  const std::string& name() const override {
+    static const std::string n = kCpuDataflowBackend;
+    return n;
+  }
+
+  core::TunableParams prepare(const core::InputParams& in, const core::TunableParams& params,
+                              const sim::SystemProfile&) const override {
+    in.validate();
+    core::TunableParams p;
+    p.cpu_tile = params.cpu_tile;
+    return p.normalized(in.dim);
+  }
+
+  core::RunResult run(core::HybridExecutor& executor, const core::WavefrontSpec& spec,
+                      const core::TunableParams& params, core::Grid& grid) const override {
+    return executor.run(spec, params, grid, nullptr, cpu::Scheduler::kDataflow);
+  }
+
+  core::RunResult estimate(const core::HybridExecutor& executor, const core::InputParams& in,
+                           const core::TunableParams& params) const override {
+    return executor.estimate(in, params, nullptr, cpu::Scheduler::kDataflow);
+  }
+};
+
+/// "cpu-auto": tiled-parallel CPU execution that picks the scheduling
+/// discipline PER INPUT: the analytic cost models decide barrier vs
+/// dataflow for the prepared (dim, tsize, dsize, cpu_tile) the same way
+/// the paper's autotuner decides band/halo/tile. Results are identical
+/// either way; only the schedule differs.
+class CpuAutoBackend final : public Backend {
+public:
+  const std::string& name() const override {
+    static const std::string n = kCpuAutoBackend;
+    return n;
+  }
+
+  core::TunableParams prepare(const core::InputParams& in, const core::TunableParams& params,
+                              const sim::SystemProfile&) const override {
+    in.validate();
+    core::TunableParams p;
+    p.cpu_tile = params.cpu_tile;
+    return p.normalized(in.dim);
+  }
+
+  core::RunResult run(core::HybridExecutor& executor, const core::WavefrontSpec& spec,
+                      const core::TunableParams& params, core::Grid& grid) const override {
+    const cpu::Scheduler s =
+        autotune::choose_cpu_scheduler(spec.inputs(), params, executor.profile().cpu);
+    return executor.run(spec, params, grid, nullptr, s);
+  }
+
+  core::RunResult estimate(const core::HybridExecutor& executor, const core::InputParams& in,
+                           const core::TunableParams& params) const override {
+    const cpu::Scheduler s = autotune::choose_cpu_scheduler(in, params, executor.profile().cpu);
+    return executor.estimate(in, params, nullptr, s);
+  }
+};
+
 /// "hybrid": the paper's three-phase CPU/GPU schedule — the full
 /// HybridExecutor, with validation hoisted to compile time.
 class HybridBackend final : public Backend {
@@ -110,6 +177,8 @@ public:
 BackendRegistry::BackendRegistry() {
   backends_[kSerialBackend] = std::make_shared<SerialBackend>();
   backends_[kCpuTiledBackend] = std::make_shared<CpuTiledBackend>();
+  backends_[kCpuDataflowBackend] = std::make_shared<CpuDataflowBackend>();
+  backends_[kCpuAutoBackend] = std::make_shared<CpuAutoBackend>();
   backends_[kHybridBackend] = std::make_shared<HybridBackend>();
 }
 

@@ -6,10 +6,18 @@
 // through the engine-owned HybridExecutor. The three built-ins mirror the
 // execution paths that call sites previously picked by hand:
 //
-//   "serial"     optimized sequential baseline (HybridExecutor::run_serial)
-//   "cpu-tiled"  tiled-parallel CPU only — any GPU offload in the tuning
-//                is stripped at prepare time
-//   "hybrid"     the paper's full three-phase CPU/GPU schedule
+//   "serial"       optimized sequential baseline (HybridExecutor::run_serial)
+//   "cpu-tiled"    tiled-parallel CPU only, barriered per-tile-diagonal
+//                  scheduling — any GPU offload in the tuning is stripped
+//                  at prepare time
+//   "cpu-dataflow" tiled-parallel CPU only, dependency-counter dataflow
+//                  scheduling with work stealing (no inter-diagonal
+//                  barriers; see cpu/dataflow_wavefront.hpp) — same
+//                  prepare-time GPU stripping, bit-identical results
+//   "cpu-auto"     tiled-parallel CPU only; picks barrier vs dataflow per
+//                  input through the analytic cost models
+//                  (autotune::choose_cpu_scheduler)
+//   "hybrid"       the paper's full three-phase CPU/GPU schedule
 //
 // User backends register through BackendRegistry::instance().add(...) and
 // become addressable by name from Engine::compile immediately.
@@ -32,6 +40,8 @@ namespace wavetune::api {
 /// Canonical names of the built-in backends.
 inline constexpr const char* kSerialBackend = "serial";
 inline constexpr const char* kCpuTiledBackend = "cpu-tiled";
+inline constexpr const char* kCpuDataflowBackend = "cpu-dataflow";
+inline constexpr const char* kCpuAutoBackend = "cpu-auto";
 inline constexpr const char* kHybridBackend = "hybrid";
 
 class Backend {

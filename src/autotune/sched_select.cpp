@@ -1,0 +1,45 @@
+#include "autotune/sched_select.hpp"
+
+#include "core/diag.hpp"
+
+namespace wavetune::autotune {
+
+double cpu_phase_cost_ns(cpu::Scheduler scheduler, const core::InputParams& in,
+                         const core::TunableParams& params, const sim::CpuModel& cpu) {
+  in.validate();
+  const core::TunableParams p = params.normalized(in.dim);
+  const std::size_t dim = in.dim;
+  const std::size_t d_total = core::num_diagonals(dim);
+  const std::size_t d0 = p.uses_gpu() ? p.gpu_d_begin(dim) : d_total;
+  const std::size_t d1 = p.uses_gpu() ? p.gpu_d_end(dim) : d_total;
+  const auto tile = static_cast<std::size_t>(p.cpu_tile);
+
+  double total = 0.0;
+  if (d0 > 0) {
+    const cpu::TiledRegion phase1{dim, 0, d0, tile};
+    total += cpu::wavefront_cost_ns(scheduler, phase1, cpu, in.tsize, in.elem_bytes());
+  }
+  if (d1 < d_total) {
+    const cpu::TiledRegion phase3{dim, d1, d_total, tile};
+    total += cpu::wavefront_cost_ns(scheduler, phase3, cpu, in.tsize, in.elem_bytes());
+  }
+  return total;
+}
+
+cpu::Scheduler choose_cpu_scheduler(const core::InputParams& in,
+                                    const core::TunableParams& params,
+                                    const sim::CpuModel& cpu) {
+  const double barrier = cpu_phase_cost_ns(cpu::Scheduler::kBarrier, in, params, cpu);
+  const double dataflow = cpu_phase_cost_ns(cpu::Scheduler::kDataflow, in, params, cpu);
+  return dataflow < barrier ? cpu::Scheduler::kDataflow : cpu::Scheduler::kBarrier;
+}
+
+const char* preferred_cpu_backend(const core::InputParams& in,
+                                  const core::TunableParams& params,
+                                  const sim::SystemProfile& profile) {
+  return choose_cpu_scheduler(in, params, profile.cpu) == cpu::Scheduler::kDataflow
+             ? "cpu-dataflow"
+             : "cpu-tiled";
+}
+
+}  // namespace wavetune::autotune

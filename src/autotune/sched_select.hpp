@@ -1,0 +1,45 @@
+// Per-input CPU-scheduler selection through the analytic cost model.
+//
+// The two CPU-phase scheduling disciplines (barriered tile-diagonal sweep
+// vs dependency-counter dataflow, cpu/dataflow_wavefront.hpp) produce
+// bit-identical grids, so the choice between them is purely a performance
+// question — and the cost models answer it deterministically per input:
+// sum the phase-1 + phase-3 region costs of a tuning under each scheduler
+// and take the argmin. For the three shipped profiles the calibration
+// (dataflow_dep_ns < tile_sched_ns, barrier_ns > 0) makes dataflow the
+// predicted winner on every nonempty region; the selection hook earns its
+// keep on recalibrated or user-supplied CpuModels — machines where
+// dependency bookkeeping and steal traffic genuinely cost more than a
+// pool barrier (high-core-count NUMA boxes, dataflow_dep_ns measured
+// above tile_sched_ns) flip the answer per region shape. The "cpu-auto"
+// backend applies this choice at run/estimate time, the same way the
+// paper's autotuner picks band/halo/tile.
+#pragma once
+
+#include "core/params.hpp"
+#include "cpu/dataflow_wavefront.hpp"
+#include "sim/system_profile.hpp"
+
+namespace wavetune::autotune {
+
+/// Total modelled CPU-phase time (phases 1 and 3 of the three-phase
+/// schedule; the whole grid when the tuning uses no GPU) for `in` under
+/// `params` with the given scheduler. `params` may be raw: it is
+/// normalized for in.dim first.
+double cpu_phase_cost_ns(cpu::Scheduler scheduler, const core::InputParams& in,
+                         const core::TunableParams& params, const sim::CpuModel& cpu);
+
+/// The scheduler the cost model predicts faster for this input + tuning.
+/// Ties go to the barriered scheduler (the paper's baseline discipline).
+cpu::Scheduler choose_cpu_scheduler(const core::InputParams& in,
+                                    const core::TunableParams& params,
+                                    const sim::CpuModel& cpu);
+
+/// Backend-registry name of the predicted-faster pure-CPU backend for
+/// this input + tuning: "cpu-dataflow" or "cpu-tiled". Convenience for
+/// call sites that select per-plan through api::Engine::compile.
+const char* preferred_cpu_backend(const core::InputParams& in,
+                                  const core::TunableParams& params,
+                                  const sim::SystemProfile& profile);
+
+}  // namespace wavetune::autotune

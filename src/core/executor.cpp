@@ -77,7 +77,7 @@ HybridExecutor::HybridExecutor(sim::SystemProfile profile, std::size_t pool_work
     : profile_(std::move(profile)), pool_(pool_workers) {}
 
 RunResult HybridExecutor::run(const WavefrontSpec& spec, const TunableParams& params,
-                              Grid& grid, ocl::Trace* trace) {
+                              Grid& grid, ocl::Trace* trace, cpu::Scheduler scheduler) {
   spec.validate();
   if (grid.dim() != spec.dim || grid.elem_bytes() != spec.elem_bytes) {
     throw std::invalid_argument("HybridExecutor::run: grid does not match spec");
@@ -87,13 +87,13 @@ RunResult HybridExecutor::run(const WavefrontSpec& spec, const TunableParams& pa
   fctx.host = &grid;
   fctx.pool = &pool_;
   fctx.seg = spec.segment_or_fallback();
-  return execute(spec.inputs(), params, &fctx, trace);
+  return execute(spec.inputs(), params, &fctx, trace, scheduler);
 }
 
 RunResult HybridExecutor::estimate(const InputParams& in, const TunableParams& params,
-                                   ocl::Trace* trace) const {
+                                   ocl::Trace* trace, cpu::Scheduler scheduler) const {
   in.validate();
-  return execute(in, params, nullptr, trace);
+  return execute(in, params, nullptr, trace, scheduler);
 }
 
 RunResult HybridExecutor::run_serial(const WavefrontSpec& spec, Grid& grid) const {
@@ -125,7 +125,8 @@ double HybridExecutor::estimate_serial(const InputParams& in) const {
 }
 
 RunResult HybridExecutor::execute(const InputParams& in, const TunableParams& raw,
-                                  FunctionalCtx* fctx, ocl::Trace* trace) const {
+                                  FunctionalCtx* fctx, ocl::Trace* trace,
+                                  cpu::Scheduler scheduler) const {
   const TunableParams p = raw.normalized(in.dim);
   if (p.gpu_count() > profile_.gpu_count()) {
     throw std::invalid_argument("HybridExecutor: tuning requests " +
@@ -151,12 +152,14 @@ RunResult HybridExecutor::execute(const InputParams& in, const TunableParams& ra
     };
   }
 
-  // Phase 1: CPU before the band (the whole grid when band == -1).
+  // Phase 1: CPU before the band (the whole grid when band == -1). Both
+  // the charged time and the functional run go through the selected
+  // scheduler, preserving the run()/estimate() parity property.
   {
     cpu::TiledRegion region{dim, 0, d0, tile};
     result.breakdown.phase1_ns =
-        cpu::tiled_wavefront_cost_ns(region, profile_.cpu, in.tsize, in.elem_bytes());
-    if (fctx) cpu::run_tiled_wavefront(region, *fctx->pool, host_segment);
+        cpu::wavefront_cost_ns(scheduler, region, profile_.cpu, in.tsize, in.elem_bytes());
+    if (fctx) cpu::run_wavefront(scheduler, region, *fctx->pool, host_segment);
   }
 
   // Phase 2: GPU band.
@@ -168,8 +171,8 @@ RunResult HybridExecutor::execute(const InputParams& in, const TunableParams& ra
   if (d1 < d_total) {
     cpu::TiledRegion region{dim, d1, d_total, tile};
     result.breakdown.phase3_ns =
-        cpu::tiled_wavefront_cost_ns(region, profile_.cpu, in.tsize, in.elem_bytes());
-    if (fctx) cpu::run_tiled_wavefront(region, *fctx->pool, host_segment);
+        cpu::wavefront_cost_ns(scheduler, region, profile_.cpu, in.tsize, in.elem_bytes());
+    if (fctx) cpu::run_wavefront(scheduler, region, *fctx->pool, host_segment);
   }
 
   result.rtime_ns = result.breakdown.total_ns();
@@ -258,8 +261,8 @@ void HybridExecutor::gpu_phase_single(const InputParams& in, const TunableParams
       ++out.kernel_launches;
       if (fctx) {
         std::byte* storage = fctx->dev[0].data();
-        const std::size_t i_tile_lo = k >= Mg ? k - Mg + 1 : 0;
-        const std::size_t i_tile_hi = std::min(k, Mg - 1);
+        const std::size_t i_tile_lo = diag_row_lo(Mg, k);
+        const std::size_t i_tile_hi = diag_row_hi(Mg, k);
         for (std::size_t I = i_tile_lo; I <= i_tile_hi; ++I) {
           const std::size_t J = k - I;
           const std::size_t row_hi = std::min((I + 1) * g, dim);

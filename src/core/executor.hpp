@@ -22,6 +22,7 @@
 #include "core/grid.hpp"
 #include "core/params.hpp"
 #include "core/spec.hpp"
+#include "cpu/dataflow_wavefront.hpp"
 #include "cpu/thread_pool.hpp"
 #include "sim/system_profile.hpp"
 
@@ -65,13 +66,19 @@ public:
   /// match the spec) under the given tuning, and returns the simulated
   /// timing. Throws std::invalid_argument on spec/grid mismatch or if the
   /// tuning requests more GPUs than the profile has. A non-null `trace`
-  /// receives every GPU-phase command (see ocl/trace.hpp).
+  /// receives every GPU-phase command (see ocl/trace.hpp). `scheduler`
+  /// selects the CPU-phase discipline for phases 1 and 3: the paper's
+  /// barriered tile-diagonal sweep (default) or the dependency-counter
+  /// dataflow scheduler (cpu/dataflow_wavefront.hpp); both compute
+  /// bit-identical grids.
   RunResult run(const WavefrontSpec& spec, const TunableParams& params, Grid& grid,
-                ocl::Trace* trace = nullptr);
+                ocl::Trace* trace = nullptr,
+                cpu::Scheduler scheduler = cpu::Scheduler::kBarrier);
 
   /// Simulated timing of the same schedule, without functional execution.
   RunResult estimate(const InputParams& in, const TunableParams& params,
-                     ocl::Trace* trace = nullptr) const;
+                     ocl::Trace* trace = nullptr,
+                     cpu::Scheduler scheduler = cpu::Scheduler::kBarrier) const;
 
   /// Optimized sequential baseline: functional + simulated timing.
   RunResult run_serial(const WavefrontSpec& spec, Grid& grid) const;
@@ -86,7 +93,7 @@ private:
   struct FunctionalCtx;  // run-mode state (spec, host grid, device buffers)
 
   RunResult execute(const InputParams& in, const TunableParams& params, FunctionalCtx* fctx,
-                    ocl::Trace* trace) const;
+                    ocl::Trace* trace, cpu::Scheduler scheduler) const;
 
   void gpu_phase(const InputParams& in, const TunableParams& p, FunctionalCtx* fctx,
                  ocl::Trace* trace, PhaseBreakdown& out) const;

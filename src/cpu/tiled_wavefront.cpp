@@ -3,21 +3,14 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/diag.hpp"
+
 namespace wavetune::cpu {
 
-namespace {
-
-/// Number of cells of a dim x dim grid on diagonal d (i+j == d).
-std::size_t diag_len(std::size_t dim, std::size_t d) {
-  if (d >= 2 * dim - 1) return 0;
-  return std::min({d + 1, dim, 2 * dim - 1 - d});
-}
-
-}  // namespace
-
 std::size_t TiledRegion::cell_count() const {
+  // core/diag.hpp is the single source of the diagonal-length algebra.
   std::size_t n = 0;
-  for (std::size_t d = d_begin; d < d_end; ++d) n += diag_len(dim, d);
+  for (std::size_t d = d_begin; d < d_end; ++d) n += core::diag_len(dim, d);
   return n;
 }
 
@@ -52,9 +45,10 @@ void run_tiled_wavefront(const TiledRegion& region, ThreadPool& pool,
     const std::size_t span_hi = (k + 2) * T - 2;  // inclusive
     if (span_lo >= region.d_end || span_hi < region.d_begin) continue;
 
-    // Tiles on tile-diagonal k: I in [max(0, k-M+1), min(k, M-1)].
-    const std::size_t i_lo = k >= M ? k - M + 1 : 0;
-    const std::size_t i_hi = std::min(k, M - 1);
+    // Tiles on tile-diagonal k: same row algebra as cells on a cell
+    // diagonal of an MxM grid (core/diag.hpp, with dim = M).
+    const std::size_t i_lo = core::diag_row_lo(M, k);
+    const std::size_t i_hi = core::diag_row_hi(M, k);
     const std::size_t grain = tile_grain(i_hi - i_lo + 1, T, pool.worker_count());
     pool.parallel_for(
         i_lo, i_hi + 1,
@@ -84,7 +78,11 @@ void run_tiled_wavefront(const TiledRegion& region, ThreadPool& pool, const Cell
 
 void run_serial_wavefront(const TiledRegion& region, const RowSegmentFn& segment) {
   region.validate();
-  for (std::size_t i = 0; i < region.dim; ++i) {
+  if (region.d_begin == region.d_end) return;
+  // Rows below diag_row_lo(dim, d_begin) have an empty band span: when the
+  // band starts deep in the grid (phase-3 runs), skip straight to the
+  // first row that intersects it instead of scanning empties.
+  for (std::size_t i = core::diag_row_lo(region.dim, region.d_begin); i < region.dim; ++i) {
     // Clamp the column range to the diagonal band to avoid a full scan.
     if (region.d_end <= i) break;
     const auto [j_lo, j_hi] = row_band_span(i, region.d_begin, region.d_end, 0, region.dim);

@@ -7,10 +7,11 @@
 // which respects the cell-level dependencies and maximises cache reuse —
 // the optimization the paper's cpu-tile parameter controls.
 //
-// The module is deliberately independent of core/: it operates on an
-// abstract "compute cell (i,j)" callback plus a diagonal range, so the
-// hybrid executor can use it for phases 1 and 3 and tests can drive it
-// with any recurrence.
+// The module operates on an abstract "compute cell (i,j)" callback plus a
+// diagonal range, so the hybrid executor can use it for phases 1 and 3 and
+// tests can drive it with any recurrence. The diagonal-geometry algebra
+// comes from core/diag.hpp — the single definition shared with the GPU
+// partitioner and the cost model.
 #pragma once
 
 #include <algorithm>

@@ -28,8 +28,12 @@ struct CpuModel {
   double mem_ns_per_byte = 0.05; ///< per-element per-byte cost, cache-resident tiles
   double mem_spill_factor = 3.0; ///< multiplier when the tile working set spills L2
   double l2_bytes_per_core = 256 * 1024;
-  double tile_sched_ns = 150.0;  ///< per-tile enqueue/dispatch overhead
+  double tile_sched_ns = 150.0;  ///< per-tile enqueue/dispatch overhead (barriered scheduler)
   double barrier_ns = 2500.0;    ///< per tile-diagonal barrier across the pool
+  /// Per-tile dependency bookkeeping of the dataflow scheduler (two
+  /// counter decrements + deque push/pop, often inline-continued): what a
+  /// tile pays INSTEAD of tile_sched_ns + its share of barrier_ns.
+  double dataflow_dep_ns = 90.0;
   double ht_yield = 0.3;         ///< extra throughput from SMT beyond physical cores
 
   /// Usable parallel throughput, in "core equivalents".

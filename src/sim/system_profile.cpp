@@ -53,6 +53,7 @@ CpuModel cpu_i3_540() {
   c.mem_ns_per_byte = 0.06;
   c.tile_sched_ns = 180.0;
   c.barrier_ns = 2200.0;
+  c.dataflow_dep_ns = 110.0;
   c.ht_yield = 0.3;
   c.l2_bytes_per_core = 256 * 1024;
   return c;
@@ -68,6 +69,7 @@ CpuModel cpu_i7_2600k() {
   c.mem_ns_per_byte = 0.05;
   c.tile_sched_ns = 150.0;
   c.barrier_ns = 2500.0;
+  c.dataflow_dep_ns = 90.0;
   c.ht_yield = 0.3;
   c.l2_bytes_per_core = 256 * 1024;
   return c;
@@ -83,6 +85,7 @@ CpuModel cpu_i7_3820() {
   c.mem_ns_per_byte = 0.04;
   c.tile_sched_ns = 120.0;
   c.barrier_ns = 2000.0;
+  c.dataflow_dep_ns = 70.0;
   c.ht_yield = 0.3;
   c.l2_bytes_per_core = 256 * 1024;
   return c;

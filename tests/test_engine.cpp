@@ -246,7 +246,8 @@ TEST(EngineBackends, SerialCpuTiledAndHybridProduceIdenticalValues) {
   core::Grid serial(spec.dim, spec.elem_bytes);
   eng.run(eng.compile(spec, p, kSerialBackend), serial);
 
-  for (const char* backend : {kCpuTiledBackend, kHybridBackend}) {
+  for (const char* backend :
+       {kCpuTiledBackend, kCpuDataflowBackend, kCpuAutoBackend, kHybridBackend}) {
     core::Grid g(spec.dim, spec.elem_bytes);
     g.fill_poison();
     const Plan plan = eng.compile(spec, p, backend);
@@ -263,6 +264,34 @@ TEST(EngineBackends, CpuTiledStripsGpuOffloadAtPrepare) {
   EXPECT_EQ(plan.params().band, -1);
   EXPECT_EQ(plan.params().gpu_count(), 0);
   EXPECT_DOUBLE_EQ(eng.estimate(plan).breakdown.gpu_ns, 0.0);
+}
+
+TEST(EngineBackends, CpuDataflowStripsGpuAndChargesBarrierFreeTime) {
+  Engine eng(sim::make_i7_2600k(), small_engine());
+  const auto spec = small_spec();
+  const Plan flow = eng.compile(spec, core::TunableParams{6, 18, 3, 4}, kCpuDataflowBackend);
+  EXPECT_EQ(flow.params().cpu_tile, 6);
+  EXPECT_EQ(flow.params().band, -1);
+  EXPECT_EQ(flow.params().gpu_count(), 0);
+  EXPECT_DOUBLE_EQ(eng.estimate(flow).breakdown.gpu_ns, 0.0);
+  // Same prepared tuning through the barriered backend: the dataflow
+  // schedule must charge strictly less simulated CPU time (no barriers).
+  const Plan tiled = eng.compile(spec, core::TunableParams{6, 18, 3, 4}, kCpuTiledBackend);
+  EXPECT_EQ(flow.params(), tiled.params());
+  EXPECT_LT(eng.estimate(flow).rtime_ns, eng.estimate(tiled).rtime_ns);
+}
+
+TEST(EngineBackends, CpuAutoEstimatesTheCheaperSchedule) {
+  // "cpu-auto" consults the analytic cost models per input: its estimate
+  // must equal the cheaper of the two fixed-scheduler backends for the
+  // same tuning.
+  Engine eng(sim::make_i7_2600k(), small_engine());
+  const auto spec = small_spec();
+  const core::TunableParams p{4, -1, -1, 1};
+  const double tiled = eng.estimate(eng.compile(spec, p, kCpuTiledBackend)).rtime_ns;
+  const double flow = eng.estimate(eng.compile(spec, p, kCpuDataflowBackend)).rtime_ns;
+  const double autod = eng.estimate(eng.compile(spec, p, kCpuAutoBackend)).rtime_ns;
+  EXPECT_DOUBLE_EQ(autod, std::min(tiled, flow));
 }
 
 TEST(EngineBackends, SerialBackendIgnoresTheTuning) {

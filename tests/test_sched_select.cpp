@@ -1,0 +1,71 @@
+#include "autotune/sched_select.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/executor.hpp"
+#include "sim/system_profile.hpp"
+
+namespace wavetune::autotune {
+namespace {
+
+TEST(SchedSelect, CostMatchesExecutorEstimatePhases) {
+  // cpu_phase_cost_ns must equal what the executor actually charges for
+  // phases 1 + 3 under each scheduler — CPU-only and hybrid tunings.
+  const sim::SystemProfile profile = sim::make_i7_2600k();
+  core::HybridExecutor executor(profile, 1);
+  const core::InputParams in{512, 100.0, 1};
+  for (const core::TunableParams& params :
+       {core::TunableParams{8, -1, -1, 1}, core::TunableParams{4, 200, -1, 1}}) {
+    for (cpu::Scheduler s : {cpu::Scheduler::kBarrier, cpu::Scheduler::kDataflow}) {
+      const core::RunResult r = executor.estimate(in, params, nullptr, s);
+      EXPECT_DOUBLE_EQ(cpu_phase_cost_ns(s, in, params, profile.cpu),
+                       r.breakdown.phase1_ns + r.breakdown.phase3_ns)
+          << cpu::scheduler_name(s) << " " << params.describe();
+    }
+  }
+}
+
+TEST(SchedSelect, LargeGridSmallTilesPicksDataflow) {
+  // 2M-1 barriers at dim 2048 / tile 8: the barriered model pays ~511
+  // barriers plus ragged-edge slot rounding; dataflow must win.
+  const auto cpu = sim::make_i7_2600k().cpu;
+  const core::InputParams in{2048, 10.0, 1};
+  EXPECT_EQ(choose_cpu_scheduler(in, core::TunableParams{8, -1, -1, 1}, cpu),
+            cpu::Scheduler::kDataflow);
+}
+
+TEST(SchedSelect, ExpensiveDependencyBookkeepingPicksBarrier) {
+  // A CPU whose per-tile dependency cost dwarfs its barriers keeps the
+  // barriered discipline — the choice is a real trade-off, not a
+  // constant.
+  auto cpu = sim::make_i7_2600k().cpu;
+  cpu.dataflow_dep_ns = 1e9;
+  const core::InputParams in{2048, 10.0, 1};
+  EXPECT_EQ(choose_cpu_scheduler(in, core::TunableParams{8, -1, -1, 1}, cpu),
+            cpu::Scheduler::kBarrier);
+}
+
+TEST(SchedSelect, PreferredBackendNamesMatchRegistry) {
+  const sim::SystemProfile profile = sim::make_i7_2600k();
+  const core::InputParams big{2048, 10.0, 1};
+  EXPECT_STREQ(preferred_cpu_backend(big, core::TunableParams{8, -1, -1, 1}, profile),
+               "cpu-dataflow");
+  sim::SystemProfile costly = profile;
+  costly.cpu.dataflow_dep_ns = 1e9;
+  EXPECT_STREQ(preferred_cpu_backend(big, core::TunableParams{8, -1, -1, 1}, costly),
+               "cpu-tiled");
+}
+
+TEST(SchedSelect, GpuBandLeavesOnlyCpuPhases) {
+  // With a GPU band covering the whole grid there are no CPU phases: both
+  // schedulers cost zero and the tie goes to barrier.
+  const auto cpu = sim::make_i7_2600k().cpu;
+  const core::InputParams in{512, 100.0, 1};
+  const core::TunableParams all_gpu{8, 511, -1, 1};
+  EXPECT_DOUBLE_EQ(cpu_phase_cost_ns(cpu::Scheduler::kBarrier, in, all_gpu, cpu), 0.0);
+  EXPECT_DOUBLE_EQ(cpu_phase_cost_ns(cpu::Scheduler::kDataflow, in, all_gpu, cpu), 0.0);
+  EXPECT_EQ(choose_cpu_scheduler(in, all_gpu, cpu), cpu::Scheduler::kBarrier);
+}
+
+}  // namespace
+}  // namespace wavetune::autotune

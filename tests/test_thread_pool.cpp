@@ -5,6 +5,8 @@
 #include <atomic>
 #include <numeric>
 #include <set>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace wavetune::cpu {
@@ -137,6 +139,96 @@ TEST(ThreadPool, GrainedExceptionPropagates) {
   // The latch must leave the pool reusable after an exception.
   std::atomic<int> count{0};
   pool.parallel_for(0, 10, [&](std::size_t) { count.fetch_add(1); }, 4);
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, SubmitLocalFromExternalThreadBehavesLikeSubmit) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 16; ++i) pool.submit_local([&] { done.fetch_add(1); });
+  pool.drain();
+  EXPECT_EQ(done.load(), 16);
+}
+
+TEST(ThreadPool, SubmitLocalTasksAreStolenByIdleWorkers) {
+  // A worker pushes tasks onto its OWN deque and then stays busy: every
+  // pushed task must complete anyway — only stealing by the other workers
+  // can have run them, and none on the producer's thread.
+  ThreadPool pool(4);
+  constexpr int kTasks = 32;
+  std::atomic<int> ran_on_producer{0};
+  std::atomic<bool> release{false};
+  CompletionLatch stolen(kTasks);
+  pool.submit([&] {
+    const std::thread::id producer = std::this_thread::get_id();
+    for (int i = 0; i < kTasks; ++i) {
+      pool.submit_local([&, producer] {
+        if (std::this_thread::get_id() == producer) ran_on_producer.fetch_add(1);
+        stolen.count_down();
+      });
+    }
+    // Producer spins until every pushed task completed elsewhere.
+    while (!release.load(std::memory_order_acquire)) std::this_thread::yield();
+  });
+  stolen.wait();
+  EXPECT_EQ(ran_on_producer.load(), 0);
+  release.store(true, std::memory_order_release);
+  pool.drain();
+}
+
+TEST(ThreadPool, TryRunOneExecutesPendingWorkOnCallingThread) {
+  ThreadPool pool(1);
+  // Park the lone worker so the submitted task stays queued. Wait until
+  // the worker actually claimed the parking task, or try_run_one below
+  // could claim it itself and spin forever.
+  std::atomic<bool> parked{false};
+  std::atomic<bool> release{false};
+  pool.submit([&] {
+    parked.store(true, std::memory_order_release);
+    while (!release.load(std::memory_order_acquire)) std::this_thread::yield();
+  });
+  while (!parked.load(std::memory_order_acquire)) std::this_thread::yield();
+  std::atomic<int> done{0};
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id ran_on;
+  pool.submit([&] {
+    ran_on = std::this_thread::get_id();
+    done.fetch_add(1);
+  });
+  while (!pool.try_run_one()) std::this_thread::yield();
+  EXPECT_EQ(done.load(), 1);
+  EXPECT_EQ(ran_on, caller);
+  release.store(true, std::memory_order_release);
+  pool.drain();
+  EXPECT_FALSE(pool.try_run_one());  // nothing left to claim
+}
+
+TEST(ThreadPool, ExceptionFromIterationOnAnotherWorkerPropagates) {
+  // The satellite guarantee: an exception thrown by work executing on a
+  // DIFFERENT worker than the caller still reaches the parallel_for
+  // caller. Retry until some helper (not the caller) claims an iteration.
+  ThreadPool pool(4);
+  const std::thread::id caller = std::this_thread::get_id();
+  bool propagated = false;
+  for (int attempt = 0; attempt < 50 && !propagated; ++attempt) {
+    std::atomic<bool> threw{false};
+    try {
+      pool.parallel_for(0, 2000, [&](std::size_t) {
+        if (std::this_thread::get_id() != caller) {
+          threw.store(true);
+          throw std::runtime_error("boom on helper");
+        }
+        std::this_thread::yield();
+      });
+    } catch (const std::runtime_error&) {
+      EXPECT_TRUE(threw.load());
+      propagated = true;
+    }
+  }
+  EXPECT_TRUE(propagated);
+  // Pool still usable.
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 10, [&](std::size_t) { count.fetch_add(1); });
   EXPECT_EQ(count.load(), 10);
 }
 
