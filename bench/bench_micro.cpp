@@ -5,15 +5,27 @@
 // model inference.
 //
 // `--json[=PATH]` switches to the perf-tracking mode: for editdist and
-// seqcmp at dim 512 and 2048 it times (a) the seed's per-cell dispatch
-// against the batched segment dispatch and (b) the barriered
-// per-tile-diagonal scheduler against the dataflow dependency-counter
-// scheduler (the --scheduler axis, small and medium tiles, >= 4 workers),
-// and writes the ns/cell numbers to PATH (default BENCH_micro.json) so CI
-// records the hot-loop trajectory on every push. `--scheduler=barrier`,
-// `--scheduler=dataflow` or `--scheduler=both` (default) restricts which
-// schedulers the JSON mode measures. All other arguments are passed
-// through to google-benchmark.
+// seqcmp at dim 512 and 2048 it times (a) the kernel ABI ladder — the
+// seed's per-cell dispatch, the batched segment dispatch, and the
+// one-call-per-tile lowered dispatch (the --kernel-abi axis) — and (b)
+// the barriered per-tile-diagonal scheduler against the dataflow
+// dependency-counter scheduler (the --scheduler axis, small and medium
+// tiles, >= 4 workers), and writes the ns/cell numbers to PATH (default
+// BENCH_micro.json) so CI records the hot-loop trajectory on every push.
+//
+//   --kernel-abi={cell,segment,tile,all}  which ABI rungs to measure
+//                                         (default all; implies --json)
+//   --scheduler={barrier,dataflow,both}   which schedulers to measure
+//   --quick                               smoke configuration: dim 512
+//                                         only, fewer reps (implies
+//                                         --json; what the Release CI
+//                                         job runs)
+//
+// The tile-ABI measurement also attributes its wall time across
+// lower/dispatch/compute phases (plan-time lowering cost, scheduler +
+// dispatch machinery via a no-op lowered kernel, and the remainder), so
+// perf regressions are attributable from the JSON alone. All other
+// arguments are passed through to google-benchmark.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -22,6 +34,7 @@
 #include <iostream>
 #include <string>
 #include <type_traits>
+#include <vector>
 
 #include "api/engine.hpp"
 #include "apps/editdist.hpp"
@@ -271,24 +284,63 @@ double time_sweep_ns(cpu::Scheduler sched, std::size_t dim, cpu::ThreadPool& poo
 }
 
 struct MicroResult {
-  double per_cell_ns = 0.0;  ///< ns/cell, per-cell dispatch, barrier sched
-  double segment_ns = 0.0;   ///< ns/cell, batched dispatch, barrier sched
-  double dataflow_ns = 0.0;  ///< ns/cell, batched dispatch, dataflow sched
+  // ABI axis (single-worker pool: dispatch + compute, no pool noise):
+  double per_cell_ns = 0.0;  ///< ns/cell, per-cell dispatch
+  double segment_ns = 0.0;   ///< ns/cell, per-row-segment dispatch
+  double tile_ns = 0.0;      ///< ns/cell, one-call-per-tile lowered dispatch
+  double lower_ns = 0.0;     ///< one-time plan lowering (spec.lower()), ns
+  double dispatch_ns = 0.0;  ///< ns/cell, traversal+dispatch machinery only
+                             ///< (no-op lowered kernel sweep)
+  // Scheduler axis (>= 4-worker pool: contention is the signal):
+  double barrier_ns = 0.0;   ///< ns/cell, segment dispatch, barrier sched
+  double dataflow_ns = 0.0;  ///< ns/cell, segment dispatch, dataflow sched
+  bool native_tile = false;  ///< lowering hit the spec's native TileKernel
 };
 
 /// Which schedulers the --scheduler axis measures.
 enum class SchedAxis { kBarrier, kDataflow, kBoth };
 
+/// Which rungs of the kernel ABI ladder the --kernel-abi axis measures.
+enum class AbiAxis { kCell, kSegment, kTile, kAll };
+
+/// Wall-clock of one full CPU sweep through the lowered (tile-granular)
+/// dispatch path — exactly what the executor's CPU phases now run.
+double time_lowered_sweep_ns(cpu::Scheduler sched, std::size_t dim, cpu::ThreadPool& pool,
+                             std::size_t tile, const core::LoweredKernel& kernel,
+                             std::byte* data) {
+  const cpu::TiledRegion region{dim, 0, core::num_diagonals(dim), tile};
+  const auto t0 = std::chrono::steady_clock::now();
+  cpu::run_wavefront(sched, region, pool, kernel, data);
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::nano>(t1 - t0).count();
+}
+
+/// No-op tile entry point: measuring a sweep through this isolates the
+/// scheduler + lowered-dispatch machinery from kernel compute.
+void noop_tile_kernel(const void*, std::size_t, std::size_t, std::size_t, std::size_t,
+                      std::size_t, const std::byte*, const std::byte*, const std::byte*,
+                      std::byte*) {}
+
+/// `abi_pool` has ONE worker: parallel_for runs inline, so the ABI-axis
+/// numbers compare pure dispatch + compute with no pool-scheduling noise
+/// masking the delta. `sched_pool` has >= 4 workers: the scheduler-axis
+/// numbers (barrier vs dataflow) measure exactly that contention.
 MicroResult run_micro(const std::string& app, std::size_t dim, std::size_t tile,
-                      cpu::ThreadPool& pool, int reps, SchedAxis axis) {
+                      cpu::ThreadPool& abi_pool, cpu::ThreadPool& sched_pool, int reps,
+                      SchedAxis sched_axis, AbiAxis abi_axis) {
   const core::WavefrontSpec spec = micro_spec(app, dim);
   core::Grid grid(spec.dim, spec.elem_bytes);
   std::byte* data = grid.data();
   const std::size_t elem = spec.elem_bytes;
-  const std::size_t row_bytes = spec.dim * elem;
 
-  // Seed path: the pre-batching executor's host_cell verbatim — one
-  // type-erased kernel call plus up to four bounds-checked Grid::cell
+  const bool abi_cell = abi_axis == AbiAxis::kCell || abi_axis == AbiAxis::kAll;
+  const bool abi_segment = abi_axis == AbiAxis::kSegment || abi_axis == AbiAxis::kAll;
+  const bool abi_tile = abi_axis == AbiAxis::kTile || abi_axis == AbiAxis::kAll;
+  const bool sched_barrier = abi_segment && sched_axis != SchedAxis::kDataflow;
+  const bool dataflow = sched_axis != SchedAxis::kBarrier && abi_segment;
+
+  // Seed path (cell ABI): the pre-batching executor's host_cell verbatim —
+  // one type-erased kernel call plus up to four bounds-checked Grid::cell
   // marshalling calls per cell.
   const core::ByteKernel& kernel = spec.kernel;
   cpu::CellFn per_cell = [&](std::size_t i, std::size_t j) {
@@ -297,92 +349,163 @@ MicroResult run_micro(const std::string& app, std::size_t dim, std::size_t tile,
     const std::byte* nw = (i > 0 && j > 0) ? grid.cell(i - 1, j - 1) : nullptr;
     kernel(i, j, w, n, nw, grid.cell(i, j));
   };
-  // Batched path: one call per clamped row-span through the native
-  // segment kernel (exactly what HybridExecutor now dispatches).
+  // Segment ABI: the pre-lowering executor's host path verbatim — the
+  // RowSegmentFn hop into FunctionalCtx::compute_row_segment (per-row
+  // neighbour offsets recomputed from (i, j) coordinates) and the
+  // type-erased SegmentKernel call per clamped row-span.
   const core::SegmentKernel seg = spec.segment_or_fallback();
-  cpu::RowSegmentFn segment = [&, data, elem, row_bytes](std::size_t i, std::size_t j0,
-                                                         std::size_t j1) {
-    std::byte* out = data + i * row_bytes + j0 * elem;
-    const std::byte* w = j0 > 0 ? out - elem : nullptr;
-    const std::byte* n = i > 0 ? out - row_bytes : nullptr;
-    const std::byte* nw = (i > 0 && j0 > 0) ? out - row_bytes - elem : nullptr;
-    seg(i, j0, j1, w, n, nw, out);
+  const std::size_t dim_ = spec.dim;
+  cpu::RowSegmentFn segment = [&, data, elem, dim_](std::size_t i, std::size_t j0,
+                                                    std::size_t j1) {
+    const auto off = [&](std::size_t ii, std::size_t jj) { return (ii * dim_ + jj) * elem; };
+    const std::byte* w = j0 > 0 ? data + off(i, j0 - 1) : nullptr;
+    const std::byte* n = i > 0 ? data + off(i - 1, j0) : nullptr;
+    const std::byte* nw = (i > 0 && j0 > 0) ? data + off(i - 1, j0 - 1) : nullptr;
+    seg(i, j0, j1, w, n, nw, data + off(i, j0));
   };
-
-  const bool barrier = axis != SchedAxis::kDataflow;
-  const bool dataflow = axis != SchedAxis::kBarrier;
-  const double cells = static_cast<double>(dim) * static_cast<double>(dim);
+  // Tile ABI: plan-time lowering resolved ONCE, one indirect call per
+  // tile (exactly what HybridExecutor + Engine plans now dispatch).
   MicroResult r;
+  const auto l0 = std::chrono::steady_clock::now();
+  const core::LoweredKernel lowered = spec.lower();
+  const auto l1 = std::chrono::steady_clock::now();
+  r.lower_ns = std::chrono::duration<double, std::nano>(l1 - l0).count();
+  r.native_tile = lowered.native;
+  core::LoweredKernel noop = lowered;
+  noop.fn = &noop_tile_kernel;
+  noop.ctx = nullptr;
+
+  const double cells = static_cast<double>(dim) * static_cast<double>(dim);
   double best_cell = 1e300;
   double best_seg = 1e300;
+  double best_bar = 1e300;
   double best_flow = 1e300;
-  // One warmup each, then best-of-reps to shed scheduler noise.
-  if (barrier) {
-    time_sweep_ns(cpu::Scheduler::kBarrier, dim, pool, tile, per_cell);
-    time_sweep_ns(cpu::Scheduler::kBarrier, dim, pool, tile, segment);
+  double best_tile = 1e300;
+  double best_dispatch = 1e300;
+  // One warmup each, then best-of-reps to shed noise.
+  if (abi_cell) time_sweep_ns(cpu::Scheduler::kBarrier, dim, abi_pool, tile, per_cell);
+  if (abi_segment) time_sweep_ns(cpu::Scheduler::kBarrier, dim, abi_pool, tile, segment);
+  if (abi_tile) {
+    time_lowered_sweep_ns(cpu::Scheduler::kBarrier, dim, abi_pool, tile, lowered, data);
+    time_lowered_sweep_ns(cpu::Scheduler::kBarrier, dim, abi_pool, tile, noop, data);
   }
-  if (dataflow) time_sweep_ns(cpu::Scheduler::kDataflow, dim, pool, tile, segment);
+  if (sched_barrier) time_sweep_ns(cpu::Scheduler::kBarrier, dim, sched_pool, tile, segment);
+  if (dataflow) time_sweep_ns(cpu::Scheduler::kDataflow, dim, sched_pool, tile, segment);
   for (int rep = 0; rep < reps; ++rep) {
-    if (barrier) {
-      best_cell =
-          std::min(best_cell, time_sweep_ns(cpu::Scheduler::kBarrier, dim, pool, tile, per_cell));
-      best_seg =
-          std::min(best_seg, time_sweep_ns(cpu::Scheduler::kBarrier, dim, pool, tile, segment));
+    if (abi_cell) {
+      best_cell = std::min(best_cell,
+                           time_sweep_ns(cpu::Scheduler::kBarrier, dim, abi_pool, tile, per_cell));
+    }
+    if (abi_segment) {
+      best_seg = std::min(best_seg,
+                          time_sweep_ns(cpu::Scheduler::kBarrier, dim, abi_pool, tile, segment));
+    }
+    if (abi_tile) {
+      best_tile = std::min(best_tile, time_lowered_sweep_ns(cpu::Scheduler::kBarrier, dim,
+                                                            abi_pool, tile, lowered, data));
+      best_dispatch = std::min(best_dispatch, time_lowered_sweep_ns(cpu::Scheduler::kBarrier, dim,
+                                                                    abi_pool, tile, noop, data));
+    }
+    if (sched_barrier) {
+      best_bar = std::min(best_bar,
+                          time_sweep_ns(cpu::Scheduler::kBarrier, dim, sched_pool, tile, segment));
     }
     if (dataflow) {
-      best_flow =
-          std::min(best_flow, time_sweep_ns(cpu::Scheduler::kDataflow, dim, pool, tile, segment));
+      best_flow = std::min(
+          best_flow, time_sweep_ns(cpu::Scheduler::kDataflow, dim, sched_pool, tile, segment));
     }
   }
   r.per_cell_ns = best_cell / cells;
   r.segment_ns = best_seg / cells;
+  r.barrier_ns = best_bar / cells;
   r.dataflow_ns = best_flow / cells;
+  r.tile_ns = best_tile / cells;
+  r.dispatch_ns = best_dispatch / cells;
   return r;
 }
 
-int run_json_mode(const std::string& path, SchedAxis axis) {
+int run_json_mode(const std::string& path, SchedAxis sched_axis, bool sched_explicit,
+                  AbiAxis abi_axis, bool quick) {
   if (path.empty()) {
     std::cerr << "bench_micro: --json needs a non-empty path (or omit '=' for the default)\n";
     return 1;
   }
-  // The scheduler comparison needs real contention: at least 4 workers
-  // (more when the host has them), per the perf-trajectory contract.
+  const bool abi_cell = abi_axis == AbiAxis::kCell || abi_axis == AbiAxis::kAll;
+  const bool abi_segment = abi_axis == AbiAxis::kSegment || abi_axis == AbiAxis::kAll;
+  const bool abi_tile = abi_axis == AbiAxis::kTile || abi_axis == AbiAxis::kAll;
+  // The scheduler sweeps ride on the segment dispatch path; an explicit
+  // --scheduler combined with a --kernel-abi that excludes the segment
+  // rung would silently measure nothing, so refuse the combination.
+  if (!abi_segment && sched_explicit) {
+    std::cerr << "bench_micro: --scheduler needs the segment rung; use "
+                 "--kernel-abi=segment or --kernel-abi=all alongside it\n";
+    return 1;
+  }
+  // Two pools, one per axis: the scheduler comparison needs real
+  // contention — at least 4 workers (more when the host has them), per
+  // the perf-trajectory contract — while the kernel-ABI comparison wants
+  // NO contention (a single worker makes parallel_for run inline), so
+  // pool-scheduling noise can't mask the dispatch delta. The contended
+  // pool only spins up when a scheduler sweep will actually use it.
   std::size_t hw = std::thread::hardware_concurrency();
   if (hw == 0) hw = 1;
-  cpu::ThreadPool pool(std::max<std::size_t>(4, hw));
+  cpu::ThreadPool abi_pool(1);
+  cpu::ThreadPool sched_pool(abi_segment ? std::max<std::size_t>(4, hw) : 1);
+  const std::vector<std::size_t> dims =
+      quick ? std::vector<std::size_t>{512} : std::vector<std::size_t>{512, 2048};
+  // Best-of-N: single-run ratios are unstable on loaded hosts.
+  const int reps = quick ? 2 : 7;
   util::Json runs = util::Json::array();
   for (const std::string app : {"editdist", "seqcmp"}) {
-    for (const std::size_t dim : {std::size_t{512}, std::size_t{2048}}) {
-      // Small tiles stress the inter-diagonal barriers (2M-1 of them);
+    for (const std::size_t dim : dims) {
+      // Small tiles stress dispatch hardest (most tiles, most calls);
       // 64 is the historical per-cell-vs-segment configuration.
       for (const std::size_t tile : {std::size_t{16}, std::size_t{64}}) {
-        // Best-of-N: single-run ratios are unstable on loaded hosts.
-        const int reps = 5;
-        const MicroResult r = run_micro(app, dim, tile, pool, reps, axis);
+        const MicroResult r =
+            run_micro(app, dim, tile, abi_pool, sched_pool, reps, sched_axis, abi_axis);
         util::Json row = util::Json::object();
         row["app"] = util::Json(app);
         row["dim"] = util::Json(dim);
         row["cpu_tile"] = util::Json(tile);
-        if (axis != SchedAxis::kDataflow) {
-          row["per_cell_ns_per_cell"] = util::Json(r.per_cell_ns);
-          row["segment_ns_per_cell"] = util::Json(r.segment_ns);
-          row["speedup"] = util::Json(r.per_cell_ns / r.segment_ns);
-          row["barrier_ns_per_cell"] = util::Json(r.segment_ns);
-        }
-        if (axis != SchedAxis::kBarrier) {
-          row["dataflow_ns_per_cell"] = util::Json(r.dataflow_ns);
-        }
         std::cout << app << " dim=" << dim << " tile=" << tile << ":";
-        if (axis == SchedAxis::kBoth) {
-          row["dataflow_speedup"] = util::Json(r.segment_ns / r.dataflow_ns);
-          std::cout << " per-cell " << r.per_cell_ns << " ns/cell, segment(barrier) "
-                    << r.segment_ns << " ns/cell, segment(dataflow) " << r.dataflow_ns
-                    << " ns/cell (dataflow " << r.segment_ns / r.dataflow_ns << "x)";
-        } else if (axis == SchedAxis::kBarrier) {
-          std::cout << " per-cell " << r.per_cell_ns << " ns/cell, segment " << r.segment_ns
-                    << " ns/cell (" << r.per_cell_ns / r.segment_ns << "x)";
+        if (abi_cell) {
+          row["per_cell_ns_per_cell"] = util::Json(r.per_cell_ns);
+          std::cout << " cell " << r.per_cell_ns;
+        }
+        if (abi_segment) {
+          row["segment_ns_per_cell"] = util::Json(r.segment_ns);
+          std::cout << " segment " << r.segment_ns;
+        }
+        if (abi_cell && abi_segment) {
+          row["speedup"] = util::Json(r.per_cell_ns / r.segment_ns);
+        }
+        if (abi_tile) {
+          row["tile_ns_per_cell"] = util::Json(r.tile_ns);
+          row["native_tile_kernel"] = util::Json(r.native_tile);
+          // Attribution of the tile-ABI time: one-time lowering,
+          // traversal+dispatch machinery, kernel compute.
+          row["lower_ns"] = util::Json(r.lower_ns);
+          row["dispatch_ns_per_cell"] = util::Json(r.dispatch_ns);
+          row["compute_ns_per_cell"] = util::Json(std::max(0.0, r.tile_ns - r.dispatch_ns));
+          std::cout << " tile " << r.tile_ns;
+        }
+        if (abi_segment && abi_tile) {
+          row["tile_speedup"] = util::Json(r.segment_ns / r.tile_ns);
+          std::cout << " ns/cell (tile " << r.segment_ns / r.tile_ns << "x vs segment)";
         } else {
-          std::cout << " segment(dataflow) " << r.dataflow_ns << " ns/cell";
+          std::cout << " ns/cell";
+        }
+        if (abi_segment && sched_axis != SchedAxis::kDataflow) {
+          row["barrier_ns_per_cell"] = util::Json(r.barrier_ns);
+          std::cout << ", sched barrier " << r.barrier_ns;
+        }
+        if (abi_segment && sched_axis != SchedAxis::kBarrier) {
+          row["dataflow_ns_per_cell"] = util::Json(r.dataflow_ns);
+          std::cout << " dataflow " << r.dataflow_ns << " ns/cell";
+          if (sched_axis == SchedAxis::kBoth) {
+            row["dataflow_speedup"] = util::Json(r.barrier_ns / r.dataflow_ns);
+            std::cout << " (" << r.barrier_ns / r.dataflow_ns << "x)";
+          }
         }
         std::cout << "\n";
         runs.push_back(std::move(row));
@@ -390,12 +513,23 @@ int run_json_mode(const std::string& path, SchedAxis axis) {
     }
   }
   util::Json doc = util::Json::object();
-  doc["schema"] = util::Json("wavetune.bench_micro.v2");
+  doc["schema"] = util::Json("wavetune.bench_micro.v3");
   doc["mode"] = util::Json("tiled_cpu");
-  doc["scheduler_axis"] = util::Json(axis == SchedAxis::kBoth      ? "both"
-                                     : axis == SchedAxis::kBarrier ? "barrier"
-                                                                   : "dataflow");
-  doc["workers"] = util::Json(pool.worker_count());
+  // The scheduler sweeps ride on the segment dispatch path; without the
+  // segment rung in the ABI axis none ran, and the header must say so
+  // rather than claim an axis the file has no data for.
+  doc["scheduler_axis"] =
+      util::Json(!abi_segment                        ? "none"
+                 : sched_axis == SchedAxis::kBoth    ? "both"
+                 : sched_axis == SchedAxis::kBarrier ? "barrier"
+                                                     : "dataflow");
+  doc["kernel_abi_axis"] = util::Json(abi_axis == AbiAxis::kAll       ? "all"
+                                      : abi_axis == AbiAxis::kCell    ? "cell"
+                                      : abi_axis == AbiAxis::kSegment ? "segment"
+                                                                      : "tile");
+  doc["quick"] = util::Json(quick);
+  if (abi_segment) doc["workers"] = util::Json(sched_pool.worker_count());
+  doc["abi_workers"] = util::Json(abi_pool.worker_count());
   doc["runs"] = std::move(runs);
   try {
     doc.save_file(path);
@@ -412,7 +546,25 @@ int run_json_mode(const std::string& path, SchedAxis axis) {
 int main(int argc, char** argv) {
   std::string json_path;
   bool json_mode = false;
-  SchedAxis axis = SchedAxis::kBoth;
+  bool quick = false;
+  SchedAxis sched_axis = SchedAxis::kBoth;
+  bool sched_explicit = false;
+  AbiAxis abi_axis = AbiAxis::kAll;
+  const auto parse_abi = [&](const std::string& v) -> bool {
+    if (v == "cell") {
+      abi_axis = AbiAxis::kCell;
+    } else if (v == "segment") {
+      abi_axis = AbiAxis::kSegment;
+    } else if (v == "tile") {
+      abi_axis = AbiAxis::kTile;
+    } else if (v == "all") {
+      abi_axis = AbiAxis::kAll;
+    } else {
+      return false;
+    }
+    return true;
+  };
+  std::vector<std::string> unrecognized;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json") {
@@ -421,26 +573,65 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--json=", 0) == 0) {
       json_mode = true;
       json_path = arg.substr(7);
+    } else if (arg == "--quick") {
+      // The CI smoke configuration; implies JSON mode.
+      quick = true;
+      json_mode = true;
+      if (json_path.empty()) json_path = "BENCH_micro.json";
     } else if (arg == "--scheduler") {
       // A bare/space-separated form would otherwise be silently dropped
       // and the run would measure the wrong thing.
       std::cerr << "bench_micro: use --scheduler=barrier|dataflow|both (with '=')\n";
       return 1;
     } else if (arg.rfind("--scheduler=", 0) == 0) {
+      sched_explicit = true;
       const std::string v = arg.substr(12);
       if (v == "barrier") {
-        axis = SchedAxis::kBarrier;
+        sched_axis = SchedAxis::kBarrier;
       } else if (v == "dataflow") {
-        axis = SchedAxis::kDataflow;
+        sched_axis = SchedAxis::kDataflow;
       } else if (v == "both") {
-        axis = SchedAxis::kBoth;
+        sched_axis = SchedAxis::kBoth;
       } else {
         std::cerr << "bench_micro: --scheduler expects barrier, dataflow or both\n";
         return 1;
       }
+    } else if (arg == "--kernel-abi" || arg.rfind("--kernel-abi=", 0) == 0) {
+      // Both `--kernel-abi=tile` and `--kernel-abi tile` are accepted
+      // (CI uses the space form). Implies JSON mode.
+      std::string v;
+      if (arg == "--kernel-abi") {
+        if (i + 1 >= argc) {
+          std::cerr << "bench_micro: --kernel-abi expects cell, segment, tile or all\n";
+          return 1;
+        }
+        v = argv[++i];
+      } else {
+        v = arg.substr(13);
+      }
+      if (!parse_abi(v)) {
+        std::cerr << "bench_micro: --kernel-abi expects cell, segment, tile or all\n";
+        return 1;
+      }
+      json_mode = true;
+      if (json_path.empty()) json_path = "BENCH_micro.json";
+    } else {
+      // Remembered, not rejected here: google-benchmark mode forwards
+      // these; JSON mode refuses them below so a typo can't silently
+      // measure the wrong configuration.
+      unrecognized.push_back(arg);
     }
   }
-  if (json_mode) return run_json_mode(json_path, axis);
+  if (json_mode) {
+    if (!unrecognized.empty()) {
+      std::cerr << "bench_micro: unrecognized argument(s) in JSON mode:";
+      for (const std::string& a : unrecognized) std::cerr << " " << a;
+      std::cerr << "\n  (known: --json[=PATH], --quick, --scheduler=barrier|dataflow|both,"
+                   " --kernel-abi[=]cell|segment|tile|all)\n";
+      return 1;
+    }
+    return run_json_mode(json_path, sched_axis, sched_explicit, abi_axis, quick);
+  }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -30,8 +30,9 @@ public:
   }
 
   core::RunResult run(core::HybridExecutor& executor, const core::WavefrontSpec& spec,
-                      const core::TunableParams&, core::Grid& grid) const override {
-    return executor.run_serial(spec, grid);
+                      const core::LoweredKernel& lowered, const core::TunableParams&,
+                      core::Grid& grid) const override {
+    return executor.run_serial(spec, grid, &lowered);
   }
 
   core::RunResult estimate(const core::HybridExecutor& executor, const core::InputParams& in,
@@ -63,8 +64,9 @@ public:
   }
 
   core::RunResult run(core::HybridExecutor& executor, const core::WavefrontSpec& spec,
-                      const core::TunableParams& params, core::Grid& grid) const override {
-    return executor.run(spec, params, grid);
+                      const core::LoweredKernel& lowered, const core::TunableParams& params,
+                      core::Grid& grid) const override {
+    return executor.run(spec, params, grid, nullptr, cpu::Scheduler::kBarrier, &lowered);
   }
 
   core::RunResult estimate(const core::HybridExecutor& executor, const core::InputParams& in,
@@ -95,8 +97,9 @@ public:
   }
 
   core::RunResult run(core::HybridExecutor& executor, const core::WavefrontSpec& spec,
-                      const core::TunableParams& params, core::Grid& grid) const override {
-    return executor.run(spec, params, grid, nullptr, cpu::Scheduler::kDataflow);
+                      const core::LoweredKernel& lowered, const core::TunableParams& params,
+                      core::Grid& grid) const override {
+    return executor.run(spec, params, grid, nullptr, cpu::Scheduler::kDataflow, &lowered);
   }
 
   core::RunResult estimate(const core::HybridExecutor& executor, const core::InputParams& in,
@@ -126,10 +129,11 @@ public:
   }
 
   core::RunResult run(core::HybridExecutor& executor, const core::WavefrontSpec& spec,
-                      const core::TunableParams& params, core::Grid& grid) const override {
+                      const core::LoweredKernel& lowered, const core::TunableParams& params,
+                      core::Grid& grid) const override {
     const cpu::Scheduler s =
         autotune::choose_cpu_scheduler(spec.inputs(), params, executor.profile().cpu);
-    return executor.run(spec, params, grid, nullptr, s);
+    return executor.run(spec, params, grid, nullptr, s, &lowered);
   }
 
   core::RunResult estimate(const core::HybridExecutor& executor, const core::InputParams& in,
@@ -162,8 +166,9 @@ public:
   }
 
   core::RunResult run(core::HybridExecutor& executor, const core::WavefrontSpec& spec,
-                      const core::TunableParams& params, core::Grid& grid) const override {
-    return executor.run(spec, params, grid);
+                      const core::LoweredKernel& lowered, const core::TunableParams& params,
+                      core::Grid& grid) const override {
+    return executor.run(spec, params, grid, nullptr, cpu::Scheduler::kBarrier, &lowered);
   }
 
   core::RunResult estimate(const core::HybridExecutor& executor, const core::InputParams& in,

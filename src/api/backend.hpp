@@ -61,8 +61,11 @@ public:
 
   /// Functionally computes every cell of `grid` under a prepared tuning,
   /// charging simulated time. `grid` is caller-owned (see the ownership
-  /// rules in api/plan.hpp).
+  /// rules in api/plan.hpp). `lowered` is the plan's compile-time kernel
+  /// resolution (core/lowered.hpp) — backends pass it down so no run path
+  /// re-lowers or constructs a std::function per request.
   virtual core::RunResult run(core::HybridExecutor& executor, const core::WavefrontSpec& spec,
+                              const core::LoweredKernel& lowered,
                               const core::TunableParams& params, core::Grid& grid) const = 0;
 
   /// Simulated timing of the same schedule, without functional execution.

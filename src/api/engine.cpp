@@ -45,8 +45,9 @@ void Engine::worker_loop() {
     // The completion counter bumps BEFORE the promise resolves, so a
     // caller returning from future.get() never observes a lagging count.
     try {
-      core::RunResult result =
-          job->plan->backend->run(executor_, job->plan->spec, job->plan->params, *job->grid);
+      core::RunResult result = job->plan->backend->run(executor_, job->plan->spec,
+                                                       job->plan->lowered, job->plan->params,
+                                                       *job->grid);
       jobs_completed_.fetch_add(1, std::memory_order_relaxed);
       job->result.set_value(std::move(result));
     } catch (...) {
@@ -131,7 +132,13 @@ Plan Engine::compile_impl(const core::WavefrontSpec* spec, const core::InputPara
   auto state = std::make_shared<detail::PlanState>();
   state->executable = spec != nullptr;
   state->autotuned = autotuned;
-  if (spec) state->spec = *spec;
+  if (spec) {
+    state->spec = *spec;
+    // Plan-time kernel lowering: resolve the widest ABI rung once, here,
+    // so every submit/run of this plan dispatches through the cached
+    // LoweredKernel without constructing anything.
+    state->lowered = state->spec.lower();
+  }
   state->inputs = in;
   state->params = backend->prepare(in, params, executor_.profile());
   state->backend = std::move(backend);
@@ -216,7 +223,8 @@ std::vector<std::future<core::RunResult>> Engine::submit_batch(
 
 core::RunResult Engine::run(const Plan& plan, core::Grid& grid) {
   check_executable(plan, grid, "Engine::run");
-  const core::RunResult r = plan.backend().run(executor_, plan.spec(), plan.params(), grid);
+  const core::RunResult r =
+      plan.backend().run(executor_, plan.spec(), plan.state_->lowered, plan.params(), grid);
   // A synchronous run counts only once it completed: a throwing backend
   // must not leave a permanently "in-flight" job in the stats.
   jobs_submitted_.fetch_add(1, std::memory_order_relaxed);

@@ -36,6 +36,11 @@ struct PlanState {
   bool executable = false;         ///< has a kernel-bearing spec
   bool autotuned = false;          ///< params came from the engine's Autotuner
   core::WavefrontSpec spec;        ///< kernel is null when !executable
+  /// Plan-time kernel lowering (core/lowered.hpp): the spec resolved onto
+  /// the tile-granular dispatch ABI ONCE at compile time, so every
+  /// submit/run of this plan skips lowering entirely. Null (fn == nullptr)
+  /// for estimate-only plans.
+  core::LoweredKernel lowered;
   core::InputParams inputs;        ///< (dim, tsize, dsize) of the instance
   core::TunableParams params;      ///< normalized + backend-validated tuning
   std::shared_ptr<const Backend> backend;

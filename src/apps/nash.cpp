@@ -107,6 +107,42 @@ NashCell solve_cell(std::size_t k, std::size_t rounds, std::uint64_t seed, std::
   return result;
 }
 
+/// Captured state of the native tile kernel (core::TileKernel ctx).
+struct NashTileCtx {
+  std::size_t k;
+  std::size_t rounds;
+  std::uint64_t seed;
+};
+
+/// Native tile kernel: one plain call per tile, with the fictitious-play
+/// scratch vectors allocated ONCE PER TILE (the batched path's main win
+/// for this allocation-heavy kernel — the segment rung re-allocates them
+/// per row). Neighbour values slide through registers; rows past the
+/// first read their north row from the block's own output.
+void nash_tile_kernel(const void* pv, std::size_t i0, std::size_t i1, std::size_t j0,
+                      std::size_t j1, std::size_t stride, const std::byte* w,
+                      const std::byte* n, const std::byte* nw, std::byte* out) {
+  (void)nw;  // folded into nrow[-1] below
+  const NashTileCtx& c = *static_cast<const NashTileCtx*>(pv);
+  NashScratch scratch(c.k);
+  const NashCell zero{0, 0, 0, 0};
+  for (std::size_t i = i0; i < i1; ++i) {
+    const std::size_t r = i - i0;
+    auto* __restrict o = reinterpret_cast<NashCell*>(out + r * stride);
+    const auto* nrow = r == 0 ? reinterpret_cast<const NashCell*>(n)
+                              : reinterpret_cast<const NashCell*>(out + (r - 1) * stride);
+    NashCell west = w ? o[-1] : zero;
+    NashCell diag = nrow ? (w ? nrow[-1] : zero) : zero;
+    for (std::size_t j = j0; j < j1; ++j) {
+      const NashCell north = nrow ? nrow[j - j0] : zero;
+      const NashCell cell = solve_cell(c.k, c.rounds, c.seed, i, j, west, north, diag, scratch);
+      o[j - j0] = cell;
+      west = cell;
+      diag = north;
+    }
+  }
+}
+
 }  // namespace
 
 core::InputParams nash_model_inputs(const NashParams& params) {
@@ -167,6 +203,9 @@ core::WavefrontSpec make_nash_spec(const NashParams& params) {
       diag = north;
     }
   };
+  // Native tile kernel (rung three): scratch hoisted to once per tile.
+  spec.tile = core::TileKernel{&nash_tile_kernel,
+                               std::make_shared<const NashTileCtx>(NashTileCtx{k, rounds, seed})};
   return spec;
 }
 

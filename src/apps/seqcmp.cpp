@@ -17,6 +17,134 @@ SeqCell read_cell(const std::byte* p) {
   return c;
 }
 
+/// Captured state of the native tile kernel (core::TileKernel ctx).
+struct SeqTileCtx {
+  std::string a;
+  std::string b;
+  std::int32_t match;
+  std::int32_t mismatch;
+  std::int32_t gap;
+};
+
+/// Native tile kernel: the whole [i0,i1) x [j0,j1) block in one plain
+/// call. The structural win over per-row segment dispatch is CROSS-ROW
+/// register blocking — something a one-row-at-a-time ABI cannot express:
+/// rows are swept in pairs, so the lower row's north neighbour is the
+/// value just computed in a register (no north-row load) and each b[j]
+/// character is loaded once for both rows. Typed __restrict pointers,
+/// branchless max chains; the northwest values fold into nrow[-1] / the
+/// previous column's cells.
+void seqcmp_tile_kernel(const void* pv, std::size_t i0, std::size_t i1, std::size_t j0,
+                        std::size_t j1, std::size_t stride, const std::byte* w,
+                        const std::byte* n, const std::byte* nw, std::byte* out) {
+  (void)nw;  // folded into nrow[-1] below
+  const SeqTileCtx& c = *static_cast<const SeqTileCtx*>(pv);
+  const char* __restrict bs = c.b.data();
+  const std::int32_t match = c.match;
+  const std::int32_t mismatch = c.mismatch;
+  const std::int32_t gap = c.gap;
+  const SeqCell zero{0, 0};
+  const std::size_t width = j1 - j0;
+  const char* __restrict bc = bs + j0;
+  std::size_t i = i0;
+
+  // Border row i == 0: the implicit zero row folds into constants.
+  if (i == 0 && i < i1) {
+    auto* __restrict o = reinterpret_cast<SeqCell*>(out);
+    const char ai = c.a[0];
+    SeqCell west = w ? o[-1] : zero;
+    for (std::size_t j = j0; j < j1; ++j) {
+      const std::int32_t sub =
+          mismatch + (match - mismatch) * static_cast<std::int32_t>(ai == bs[j]);
+      SeqCell cell;
+      cell.score = std::max({0, sub, -gap, west.score - gap});
+      cell.best_seen = std::max(cell.score, west.best_seen);
+      o[j - j0] = cell;
+      west = cell;
+    }
+    ++i;
+  }
+
+  // Row pairs: the upper row reads the stored north row; the lower row's
+  // north/northwest ride in registers from the upper row's sweep. Three
+  // concurrent row streams (north + two outputs) pay off while rows are
+  // short or the row stride small; wide rows at large (page-multiple)
+  // strides alias one cache set and lose to the two-stream single-row
+  // sweep below, so those take that path instead.
+  constexpr std::size_t kPairMaxWidth = 32;
+  constexpr std::size_t kPairMaxStride = 8192;
+  if (width <= kPairMaxWidth || stride <= kPairMaxStride) {
+    for (; i + 1 < i1; i += 2) {
+      const std::size_t r = i - i0;
+      auto* __restrict o0 = reinterpret_cast<SeqCell*>(out + r * stride);
+      auto* __restrict o1 = reinterpret_cast<SeqCell*>(out + (r + 1) * stride);
+      const auto* __restrict nrow =
+          r == 0 ? reinterpret_cast<const SeqCell*>(n)
+                 : reinterpret_cast<const SeqCell*>(out + (r - 1) * stride);
+      const char a0 = c.a[i];
+      const char a1 = c.a[i + 1];
+      SeqCell west0 = w ? o0[-1] : zero;
+      SeqCell west1 = w ? o1[-1] : zero;
+      SeqCell diag0 = w ? nrow[-1] : zero;
+      SeqCell diag1 = w ? o0[-1] : zero;
+      for (std::size_t t = 0; t < width; ++t) {
+        const SeqCell north = nrow[t];
+        const char bj = bc[t];
+        // Branchless match handling: 0/1 comparisons fold into
+        // arithmetic, so random (unpredictable) match patterns cost no
+        // mispredicts.
+        const std::int32_t sub0 =
+            mismatch + (match - mismatch) * static_cast<std::int32_t>(a0 == bj);
+        SeqCell c0;
+        c0.score =
+            std::max(std::max(0, diag0.score + sub0), std::max(north.score, west0.score) - gap);
+        c0.best_seen = std::max(std::max(c0.score, west0.best_seen),
+                                std::max(north.best_seen, diag0.best_seen));
+        o0[t] = c0;
+        const std::int32_t sub1 =
+            mismatch + (match - mismatch) * static_cast<std::int32_t>(a1 == bj);
+        SeqCell c1;
+        c1.score =
+            std::max(std::max(0, diag1.score + sub1), std::max(c0.score, west1.score) - gap);
+        c1.best_seen =
+            std::max(std::max(c1.score, west1.best_seen), std::max(c0.best_seen, diag1.best_seen));
+        o1[t] = c1;
+        west0 = c0;
+        west1 = c1;
+        diag0 = north;
+        diag1 = c0;
+      }
+    }
+  }
+
+  // Remaining rows (all of them for wide blocks, the odd trailing row
+  // otherwise): single sweep against the stored north row.
+  for (; i < i1; ++i) {
+    const std::size_t r = i - i0;
+    auto* __restrict o = reinterpret_cast<SeqCell*>(out + r * stride);
+    const auto* __restrict nrow =
+        r == 0 ? reinterpret_cast<const SeqCell*>(n)
+               : reinterpret_cast<const SeqCell*>(out + (r - 1) * stride);
+    const char ai = c.a[i];
+    SeqCell west = w ? o[-1] : zero;
+    SeqCell diag = w ? nrow[-1] : zero;
+    for (std::size_t t = 0; t < width; ++t) {
+      const SeqCell north = nrow[t];
+      const std::int32_t sub =
+          mismatch + (match - mismatch) * static_cast<std::int32_t>(ai == bc[t]);
+      const std::int32_t score =
+          std::max(std::max(0, diag.score + sub), std::max(north.score, west.score) - gap);
+      const std::int32_t best = std::max(std::max(score, west.best_seen),
+                                         std::max(north.best_seen, diag.best_seen));
+      o[t].score = score;
+      o[t].best_seen = best;
+      west.score = score;
+      west.best_seen = best;
+      diag = north;
+    }
+  }
+}
+
 }  // namespace
 
 std::string random_dna(std::size_t n, std::uint64_t seed) {
@@ -101,6 +229,9 @@ core::WavefrontSpec make_seqcmp_spec(const SeqCmpParams& params) {
       }
     }
   };
+  // Native tile kernel (rung three): one plain-function call per tile.
+  spec.tile = core::TileKernel{&seqcmp_tile_kernel, std::make_shared<const SeqTileCtx>(SeqTileCtx{
+                                                        a, b, match, mismatch, gap})};
   return spec;
 }
 

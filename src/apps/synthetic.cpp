@@ -69,6 +69,39 @@ void compute_synthetic_cell(std::size_t iters, int dsize, std::uint64_t seed, st
   write_cell(out, h, floats);
 }
 
+/// Captured state of the native tile kernel (core::TileKernel ctx).
+struct SyntheticTileCtx {
+  std::size_t iters;
+  int dsize;
+  std::uint64_t seed;
+  std::size_t elem;
+};
+
+/// Native tile kernel: one plain call per tile, scratch allocated once
+/// per tile, sliding neighbour pointers over the contiguous output and
+/// north rows (rows past the first read their north row from the block's
+/// own output).
+void synthetic_tile_kernel(const void* pv, std::size_t i0, std::size_t i1, std::size_t j0,
+                           std::size_t j1, std::size_t stride, const std::byte* w,
+                           const std::byte* n, const std::byte* nw, std::byte* out) {
+  const SyntheticTileCtx& c = *static_cast<const SyntheticTileCtx*>(pv);
+  std::vector<double> floats(static_cast<std::size_t>(c.dsize));
+  for (std::size_t i = i0; i < i1; ++i) {
+    const std::size_t r = i - i0;
+    std::byte* orow = out + r * stride;
+    const std::byte* wr = w ? orow - c.elem : nullptr;
+    const std::byte* nr = r == 0 ? n : orow - stride;
+    const std::byte* nwr = r == 0 ? nw : (w ? orow - stride - c.elem : nullptr);
+    for (std::size_t j = j0; j < j1; ++j) {
+      compute_synthetic_cell(c.iters, c.dsize, c.seed, i, j, wr, nr, nwr, orow, floats);
+      wr = orow;
+      nwr = nr;
+      if (nr) nr += c.elem;
+      orow += c.elem;
+    }
+  }
+}
+
 }  // namespace
 
 core::WavefrontSpec make_synthetic_spec(const SyntheticParams& params) {
@@ -111,6 +144,10 @@ core::WavefrontSpec make_synthetic_spec(const SyntheticParams& params) {
       out += elem;
     }
   };
+  // Native tile kernel (rung three): one plain-function call per tile.
+  spec.tile = core::TileKernel{
+      &synthetic_tile_kernel,
+      std::make_shared<const SyntheticTileCtx>(SyntheticTileCtx{iters, dsize, seed, elem})};
   return spec;
 }
 

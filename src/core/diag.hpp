@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <utility>
 
 namespace wavetune::core {
 
@@ -40,6 +41,20 @@ constexpr std::size_t diag_rows_in(std::size_t dim, std::size_t d, std::size_t r
   const std::size_t lo = std::max(diag_row_lo(dim, d), row_begin);
   const std::size_t hi_excl = std::min(diag_row_hi(dim, d) + 1, row_end);
   return hi_excl > lo ? hi_excl - lo : 0;
+}
+
+/// Column span [first, second) of row i within columns [col_lo, col_hi)
+/// clamped to the diagonal band [d_begin, d_end) (i + j in the band).
+/// Empty (first >= second) when the row misses the band. The single source
+/// of the clamp algebra shared by every batched hot loop (CPU schedulers,
+/// the lowered-kernel dispatch in core/lowered.hpp, the GPU partitioner).
+constexpr std::pair<std::size_t, std::size_t> row_band_span(std::size_t i, std::size_t d_begin,
+                                                            std::size_t d_end,
+                                                            std::size_t col_lo,
+                                                            std::size_t col_hi) {
+  if (d_end <= i) return {0, 0};
+  const std::size_t band_lo = d_begin > i ? d_begin - i : 0;
+  return {std::max(col_lo, band_lo), std::min(col_hi, d_end - i)};
 }
 
 /// Total cells over diagonals [d_begin, d_end).

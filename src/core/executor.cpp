@@ -29,30 +29,20 @@ struct HybridExecutor::FunctionalCtx {
   Grid* host = nullptr;
   std::vector<ocl::Buffer> dev;
   cpu::ThreadPool* pool = nullptr;
-  /// Resolved once per run: the spec's native segment kernel, or the
-  /// per-cell fallback adapter. Every functional compute goes through it.
-  SegmentKernel seg;
+  /// Plan-time kernel resolution (core/lowered.hpp), resolved exactly
+  /// once per run — by the caller's compiled plan or at the top of
+  /// run(). Every functional compute is a plain indirect call through it.
+  const LoweredKernel* lowered = nullptr;
 
   std::size_t real_elem() const { return spec->elem_bytes; }
   std::size_t real_offset(std::size_t i, std::size_t j) const {
     return (i * spec->dim + j) * spec->elem_bytes;
   }
 
-  /// Computes the run of cells (i, j0..j1) into `storage` (a full-grid-
-  /// shaped byte array), reading neighbours from the same storage, with a
-  /// single batched kernel dispatch.
-  void compute_row_segment(std::byte* storage, std::size_t i, std::size_t j0,
-                           std::size_t j1) const {
-    const std::byte* w = j0 > 0 ? storage + real_offset(i, j0 - 1) : nullptr;
-    const std::byte* n = i > 0 ? storage + real_offset(i - 1, j0) : nullptr;
-    const std::byte* nw = (i > 0 && j0 > 0) ? storage + real_offset(i - 1, j0 - 1) : nullptr;
-    seg(i, j0, j1, w, n, nw, storage + real_offset(i, j0));
-  }
-
-  /// Computes cell (i, j): a one-cell segment (diagonal sweeps have no
+  /// Computes cell (i, j): a one-cell block (diagonal sweeps have no
   /// row-contiguous runs to batch).
   void compute_cell(std::byte* storage, std::size_t i, std::size_t j) const {
-    compute_row_segment(storage, i, j, j + 1);
+    lowered->block(storage, i, i + 1, j, j + 1);
   }
 
   /// Copies the cells of diagonals [d_begin, d_end) with rows in
@@ -77,16 +67,24 @@ HybridExecutor::HybridExecutor(sim::SystemProfile profile, std::size_t pool_work
     : profile_(std::move(profile)), pool_(pool_workers) {}
 
 RunResult HybridExecutor::run(const WavefrontSpec& spec, const TunableParams& params,
-                              Grid& grid, ocl::Trace* trace, cpu::Scheduler scheduler) {
+                              Grid& grid, ocl::Trace* trace, cpu::Scheduler scheduler,
+                              const LoweredKernel* lowered) {
   spec.validate();
   if (grid.dim() != spec.dim || grid.elem_bytes() != spec.elem_bytes) {
     throw std::invalid_argument("HybridExecutor::run: grid does not match spec");
+  }
+  // Kernel lowering happens HERE (or earlier, in the caller's compiled
+  // plan) — once per run, never per tile/diagonal/phase.
+  LoweredKernel local;
+  if (!lowered) {
+    local = spec.lower();
+    lowered = &local;
   }
   FunctionalCtx fctx;
   fctx.spec = &spec;
   fctx.host = &grid;
   fctx.pool = &pool_;
-  fctx.seg = spec.segment_or_fallback();
+  fctx.lowered = lowered;
   return execute(spec.inputs(), params, &fctx, trace, scheduler);
 }
 
@@ -96,20 +94,20 @@ RunResult HybridExecutor::estimate(const InputParams& in, const TunableParams& p
   return execute(in, params, nullptr, trace, scheduler);
 }
 
-RunResult HybridExecutor::run_serial(const WavefrontSpec& spec, Grid& grid) const {
+RunResult HybridExecutor::run_serial(const WavefrontSpec& spec, Grid& grid,
+                                     const LoweredKernel* lowered) const {
   spec.validate();
   if (grid.dim() != spec.dim || grid.elem_bytes() != spec.elem_bytes) {
     throw std::invalid_argument("HybridExecutor::run_serial: grid does not match spec");
   }
   cpu::TiledRegion region{spec.dim, 0, num_diagonals(spec.dim), 1};
-  const SegmentKernel seg = spec.segment_or_fallback();
-  cpu::run_serial_wavefront(
-      region, cpu::RowSegmentFn{[&](std::size_t i, std::size_t j0, std::size_t j1) {
-        const std::byte* w = j0 > 0 ? grid.cell(i, j0 - 1) : nullptr;
-        const std::byte* n = i > 0 ? grid.cell(i - 1, j0) : nullptr;
-        const std::byte* nw = (i > 0 && j0 > 0) ? grid.cell(i - 1, j0 - 1) : nullptr;
-        seg(i, j0, j1, w, n, nw, grid.cell(i, j0));
-      }});
+  LoweredKernel local;
+  if (!lowered) {
+    local = spec.lower();
+    lowered = &local;
+  }
+  // A full serial sweep is ONE lowered-kernel call over the whole grid.
+  cpu::run_serial_wavefront(region, *lowered, grid.data());
   RunResult r;
   r.params = TunableParams{1, -1, -1, 1};
   const InputParams in = spec.inputs();
@@ -144,22 +142,18 @@ RunResult HybridExecutor::execute(const InputParams& in, const TunableParams& ra
   RunResult result;
   result.params = p;
 
-  // Batched host dispatch: one segment-kernel call per clamped row-span.
-  cpu::RowSegmentFn host_segment;
-  if (fctx) {
-    host_segment = [fctx](std::size_t i, std::size_t j0, std::size_t j1) {
-      fctx->compute_row_segment(fctx->host->data(), i, j0, j1);
-    };
-  }
-
   // Phase 1: CPU before the band (the whole grid when band == -1). Both
   // the charged time and the functional run go through the selected
-  // scheduler, preserving the run()/estimate() parity property.
+  // scheduler, preserving the run()/estimate() parity property. The
+  // functional run dispatches one lowered-kernel call per tile — the
+  // kernel was resolved once, before any loop.
   {
     cpu::TiledRegion region{dim, 0, d0, tile};
     result.breakdown.phase1_ns =
         cpu::wavefront_cost_ns(scheduler, region, profile_.cpu, in.tsize, in.elem_bytes());
-    if (fctx) cpu::run_wavefront(scheduler, region, *fctx->pool, host_segment);
+    if (fctx) {
+      cpu::run_wavefront(scheduler, region, *fctx->pool, *fctx->lowered, fctx->host->data());
+    }
   }
 
   // Phase 2: GPU band.
@@ -172,7 +166,9 @@ RunResult HybridExecutor::execute(const InputParams& in, const TunableParams& ra
     cpu::TiledRegion region{dim, d1, d_total, tile};
     result.breakdown.phase3_ns =
         cpu::wavefront_cost_ns(scheduler, region, profile_.cpu, in.tsize, in.elem_bytes());
-    if (fctx) cpu::run_wavefront(scheduler, region, *fctx->pool, host_segment);
+    if (fctx) {
+      cpu::run_wavefront(scheduler, region, *fctx->pool, *fctx->lowered, fctx->host->data());
+    }
   }
 
   result.rtime_ns = result.breakdown.total_ns();
@@ -265,16 +261,10 @@ void HybridExecutor::gpu_phase_single(const InputParams& in, const TunableParams
         const std::size_t i_tile_hi = diag_row_hi(Mg, k);
         for (std::size_t I = i_tile_lo; I <= i_tile_hi; ++I) {
           const std::size_t J = k - I;
-          const std::size_t row_hi = std::min((I + 1) * g, dim);
-          const std::size_t col_lo = J * g;
-          const std::size_t col_hi = std::min((J + 1) * g, dim);
-          // Clamp each tile row to the band [d0, d1) up front and batch
-          // the whole run — no per-cell membership test.
-          for (std::size_t i = I * g; i < row_hi; ++i) {
-            if (d1 <= i) break;
-            const auto [j_lo, j_hi] = cpu::row_band_span(i, d0, d1, col_lo, col_hi);
-            if (j_lo < j_hi) fctx->compute_row_segment(storage, i, j_lo, j_hi);
-          }
+          // One lowered-kernel call per tile, band clamp included — the
+          // functional mirror of one simulated work-group.
+          fctx->lowered->tile(storage, I * g, std::min((I + 1) * g, dim), J * g,
+                              std::min((J + 1) * g, dim), d0, d1);
         }
       }
     }

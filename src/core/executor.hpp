@@ -71,17 +71,26 @@ public:
   /// barriered tile-diagonal sweep (default) or the dependency-counter
   /// dataflow scheduler (cpu/dataflow_wavefront.hpp); both compute
   /// bit-identical grids.
+  ///
+  /// `lowered` is the plan-time kernel resolution (core/lowered.hpp):
+  /// callers that compiled the spec once (api::Engine plans) pass their
+  /// cached LoweredKernel so repeated runs skip re-lowering; when null,
+  /// the spec is lowered once at the top of the call — never inside any
+  /// per-tile, per-diagonal, or per-phase loop.
   RunResult run(const WavefrontSpec& spec, const TunableParams& params, Grid& grid,
                 ocl::Trace* trace = nullptr,
-                cpu::Scheduler scheduler = cpu::Scheduler::kBarrier);
+                cpu::Scheduler scheduler = cpu::Scheduler::kBarrier,
+                const LoweredKernel* lowered = nullptr);
 
   /// Simulated timing of the same schedule, without functional execution.
   RunResult estimate(const InputParams& in, const TunableParams& params,
                      ocl::Trace* trace = nullptr,
                      cpu::Scheduler scheduler = cpu::Scheduler::kBarrier) const;
 
-  /// Optimized sequential baseline: functional + simulated timing.
-  RunResult run_serial(const WavefrontSpec& spec, Grid& grid) const;
+  /// Optimized sequential baseline: functional + simulated timing. Same
+  /// `lowered` contract as run().
+  RunResult run_serial(const WavefrontSpec& spec, Grid& grid,
+                       const LoweredKernel* lowered = nullptr) const;
 
   /// Simulated time of the sequential baseline.
   double estimate_serial(const InputParams& in) const;

@@ -11,21 +11,6 @@ Grid::Grid(std::size_t dim, std::size_t elem_bytes) : dim_(dim), elem_bytes_(ele
   storage_.assign(dim * dim * elem_bytes, std::byte{0});
 }
 
-void Grid::check(std::size_t i, std::size_t j) const {
-  if (i >= dim_ || j >= dim_) throw std::out_of_range("Grid: cell index out of range");
-}
-
-std::size_t Grid::offset(std::size_t i, std::size_t j) const {
-  check(i, j);
-  return (i * dim_ + j) * elem_bytes_;
-}
-
-std::byte* Grid::cell(std::size_t i, std::size_t j) { return storage_.data() + offset(i, j); }
-
-const std::byte* Grid::cell(std::size_t i, std::size_t j) const {
-  return storage_.data() + offset(i, j);
-}
-
 void Grid::fill_zero() { std::fill(storage_.begin(), storage_.end(), std::byte{0}); }
 
 void Grid::fill_poison() { std::fill(storage_.begin(), storage_.end(), kPoison); }

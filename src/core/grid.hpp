@@ -12,7 +12,9 @@
 // many Grids concurrently.
 #pragma once
 
+#include <cassert>
 #include <cstddef>
+#include <stdexcept>
 #include <vector>
 
 #include "core/diag.hpp"
@@ -31,12 +33,37 @@ public:
   std::size_t elem_bytes() const { return elem_bytes_; }
   std::size_t size_bytes() const { return storage_.size(); }
 
-  std::byte* cell(std::size_t i, std::size_t j);
-  const std::byte* cell(std::size_t i, std::size_t j) const;
+  /// Checked accessors for public / typed access. The bounds check is
+  /// debug-only (throws std::out_of_range in debug builds, compiles to an
+  /// assert — i.e. nothing — under NDEBUG).
+  std::byte* cell(std::size_t i, std::size_t j) {
+    check(i, j);
+    return storage_.data() + (i * dim_ + j) * elem_bytes_;
+  }
+  const std::byte* cell(std::size_t i, std::size_t j) const {
+    check(i, j);
+    return storage_.data() + (i * dim_ + j) * elem_bytes_;
+  }
+
+  /// Unchecked accessors for engine-adjacent code whose indices were
+  /// already validated (no bounds check in any build). The lowered hot
+  /// paths themselves run on raw storage pointers (core/lowered.hpp) and
+  /// never come back through Grid; this is the escape hatch for
+  /// everything in between — code that holds a Grid, has proven its
+  /// indices, and must not pay even the debug throw.
+  std::byte* cell_unchecked(std::size_t i, std::size_t j) {
+    return storage_.data() + (i * dim_ + j) * elem_bytes_;
+  }
+  const std::byte* cell_unchecked(std::size_t i, std::size_t j) const {
+    return storage_.data() + (i * dim_ + j) * elem_bytes_;
+  }
 
   /// Byte offset of cell (i, j) within the storage (shared with device
-  /// buffers, which mirror the same layout).
-  std::size_t offset(std::size_t i, std::size_t j) const;
+  /// buffers, which mirror the same layout). Bounds-checked like cell().
+  std::size_t offset(std::size_t i, std::size_t j) const {
+    check(i, j);
+    return (i * dim_ + j) * elem_bytes_;
+  }
 
   std::byte* data() { return storage_.data(); }
   const std::byte* data() const { return storage_.data(); }
@@ -59,7 +86,17 @@ private:
   std::size_t elem_bytes_;
   std::vector<std::byte> storage_;
 
-  void check(std::size_t i, std::size_t j) const;
+  /// Debug-only bounds check: throws in debug builds, is an assert (a
+  /// no-op) under NDEBUG.
+  void check(std::size_t i, std::size_t j) const {
+#ifdef NDEBUG
+    assert(i < dim_ && j < dim_);
+    (void)i;
+    (void)j;
+#else
+    if (i >= dim_ || j >= dim_) throw std::out_of_range("Grid: cell index out of range");
+#endif
+  }
 };
 
 }  // namespace wavetune::core

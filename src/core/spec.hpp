@@ -1,18 +1,41 @@
 // Application-facing description of a wavefront computation.
 //
-// WavefrontSpec is the type-erased ABI the executor consumes: a cell
-// kernel over opaque byte records plus the paper's input parameters
+// WavefrontSpec is the type-erased ABI the executor consumes: a kernel
+// over opaque byte records plus the paper's input parameters
 // (dim, tsize, dsize). Problem<T> below is the typed facade most users
 // (and all examples) should prefer.
+//
+// The kernel ABI is a three-rung ladder of widening granularity:
+//
+//   cell    (ByteKernel)    one type-erased call per cell — the simplest
+//                           contract, what Problem<T> wraps.
+//   segment (SegmentKernel) one type-erased call per contiguous row run —
+//                           neighbour pointers slide inside the call.
+//   tile    (TileKernel)    one PLAIN-FUNCTION call per rows x cols block
+//                           (core/lowered.hpp) — the row loop, pointer
+//                           advance and border handling all live inside
+//                           the kernel; nothing type-erased remains on
+//                           the dispatch path.
+//
+// Each rung has a fallback adapter onto the rung below
+// (make_segment_fallback, make_tile_fallback), so a spec shipping only a
+// cell kernel still executes through the widest ABI — at the narrower
+// rung's dispatch cost. The execution engine never dispatches the rungs
+// directly: WavefrontSpec::lower() resolves the widest available rung
+// into a core::LoweredKernel exactly once per compiled plan / run, and
+// the hot loops call only that.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <utility>
 
+#include "core/lowered.hpp"
 #include "core/params.hpp"
 
 namespace wavetune::core {
@@ -79,6 +102,42 @@ inline SegmentKernel make_segment_fallback(ByteKernel kernel, std::size_t elem_b
   };
 }
 
+/// Fallback adapter: wraps a segment kernel as a tile kernel by walking
+/// the block row-by-row, deriving each row's neighbour pointers from the
+/// block corner (rows past the first read their north row from the
+/// block's own output; a null `west` at the corner means the j0 == 0
+/// border for every row, a null `north` only affects row i0). Specs that
+/// ship no native TileKernel lower through this, so every existing spec
+/// keeps working — at one type-erased call per tile row.
+inline TileKernel make_tile_fallback(SegmentKernel segment, std::size_t elem_bytes) {
+  if (!segment) throw std::invalid_argument("make_tile_fallback: null segment kernel");
+  if (elem_bytes == 0) throw std::invalid_argument("make_tile_fallback: elem_bytes == 0");
+  struct Ctx {
+    SegmentKernel seg;
+    std::size_t elem;
+  };
+  auto ctx = std::make_shared<const Ctx>(Ctx{std::move(segment), elem_bytes});
+  TileKernel t;
+  t.fn = [](const void* pv, std::size_t i0, std::size_t i1, std::size_t j0, std::size_t j1,
+            std::size_t stride, const std::byte* w, const std::byte* n, const std::byte* nw,
+            std::byte* out) {
+    const Ctx& c = *static_cast<const Ctx*>(pv);
+    for (std::size_t i = i0; i < i1; ++i) {
+      const std::size_t r = i - i0;
+      std::byte* orow = out + r * stride;
+      // Row r > 0: the north row is the block row above (always present in
+      // storage since i - 1 >= i0 >= 0); west/northwest exist iff j0 > 0,
+      // which the corner `w` witnesses.
+      const std::byte* wr = w ? orow - c.elem : nullptr;
+      const std::byte* nr = r == 0 ? n : orow - stride;
+      const std::byte* nwr = r == 0 ? nw : (w ? orow - stride - c.elem : nullptr);
+      c.seg(i, j0, j1, wr, nr, nwr, orow);
+    }
+  };
+  t.ctx = std::move(ctx);
+  return t;
+}
+
 struct WavefrontSpec {
   std::size_t dim = 0;
   std::size_t elem_bytes = 0;
@@ -99,16 +158,48 @@ struct WavefrontSpec {
   /// the engine refuses to cache identity-less executable specs.
   std::string content_key;
 
-  /// Optional batched kernel. When set, it MUST compute exactly the same
-  /// values as `kernel` (the equivalence test suite enforces this for the
-  /// bundled apps); when null, consumers fall back to the per-cell kernel
-  /// via make_segment_fallback.
+  /// Optional batched row-segment kernel (rung two of the ladder). When
+  /// set, it MUST compute exactly the same values as `kernel` (the
+  /// equivalence test suite enforces this for the bundled apps); when
+  /// null, consumers fall back to the per-cell kernel via
+  /// make_segment_fallback.
   SegmentKernel segment;
 
-  /// The kernel the execution engine actually dispatches: the native
-  /// segment kernel when present, the wrapped per-cell kernel otherwise.
+  /// Optional native tile kernel (rung three — the widest ABI, see
+  /// core/lowered.hpp for the full contract). When set, it MUST compute
+  /// exactly the same values as `kernel`/`segment`; when null, lower()
+  /// adapts the next rung down. All bundled apps ship one.
+  TileKernel tile;
+
+  /// The segment-granular view: the native segment kernel when present,
+  /// the wrapped per-cell kernel otherwise. NOT for hot loops — this
+  /// constructs a std::function; resolve once per run (or use lower())
+  /// and pass the result by reference.
   SegmentKernel segment_or_fallback() const {
     return segment ? segment : make_segment_fallback(kernel, elem_bytes);
+  }
+
+  /// Plan-time lowering: resolves the widest available rung into the
+  /// plain-function dispatch form the execution engine consumes. Called
+  /// exactly once per compiled plan (api::Engine::compile) or per direct
+  /// run (top of HybridExecutor::run/run_serial) — never inside a
+  /// per-tile, per-diagonal, or per-phase loop.
+  LoweredKernel lower() const {
+    LoweredKernel k;
+    k.dim = dim;
+    k.elem_bytes = elem_bytes;
+    if (tile) {
+      k.fn = tile.fn;
+      k.ctx = tile.ctx.get();
+      k.keepalive = tile.ctx;
+      k.native = true;
+    } else {
+      TileKernel fallback = make_tile_fallback(segment_or_fallback(), elem_bytes);
+      k.fn = fallback.fn;
+      k.ctx = fallback.ctx.get();
+      k.keepalive = std::move(fallback.ctx);
+    }
+    return k;
   }
 
   InputParams inputs() const { return InputParams{dim, tsize, dsize}; }

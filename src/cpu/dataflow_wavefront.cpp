@@ -47,6 +47,11 @@ TileDiagRange tile_diag_range(const TiledRegion& region, std::size_t M) {
 struct DataflowState {
   const TiledRegion* region = nullptr;
   ThreadPool* pool = nullptr;
+  /// Tile dispatch: exactly one of `lowered` (hot path — one indirect
+  /// call per tile over `storage`) or `segment` (legacy type-erased
+  /// per-row path) is set.
+  const core::LoweredKernel* lowered = nullptr;
+  std::byte* storage = nullptr;
   const RowSegmentFn* segment = nullptr;
   std::size_t M = 0;  ///< tiles per side
   TileDiagRange range;
@@ -106,6 +111,12 @@ struct DataflowState {
     const std::size_t row_hi = std::min(row_lo + T, dim);  // exclusive
     const std::size_t col_lo = J * T;
     const std::size_t col_hi = std::min(col_lo + T, dim);
+    if (lowered) {
+      // One indirect call per tile; clamping and the row loop live inside
+      // the lowered dispatch.
+      lowered->tile(storage, row_lo, row_hi, col_lo, col_hi, region->d_begin, region->d_end);
+      return;
+    }
     for (std::size_t i = row_lo; i < row_hi; ++i) {
       if (region->d_end <= i) break;
       const auto [j_lo, j_hi] = row_band_span(i, region->d_begin, region->d_end, col_lo, col_hi);
@@ -177,27 +188,20 @@ struct DataflowState {
 /// In-order inline sweep for degenerate cases (single worker, or so few
 /// tiles that scheduling can't pay): same tile order as the barriered
 /// path's serial fallback.
-void run_inline(const TiledRegion& region, const RowSegmentFn& segment, std::size_t M,
-                const TileDiagRange& range) {
-  DataflowState state;  // reuse execute(); counters stay untouched
-  state.region = &region;
-  state.segment = &segment;
-  state.M = M;
-  state.range = range;
+void run_inline(DataflowState& state) {
+  const TileDiagRange& range = state.range;
   for (std::size_t k = range.k_lo; k <= range.k_hi; ++k) {
-    const std::size_t i_hi = core::diag_row_hi(M, k);
-    for (std::size_t I = core::diag_row_lo(M, k); I <= i_hi; ++I) state.execute(I, k - I);
+    const std::size_t i_hi = core::diag_row_hi(state.M, k);
+    for (std::size_t I = core::diag_row_lo(state.M, k); I <= i_hi; ++I) {
+      state.execute(I, k - I);
+    }
   }
 }
 
-}  // namespace
-
-const char* scheduler_name(Scheduler s) {
-  return s == Scheduler::kDataflow ? "dataflow" : "barrier";
-}
-
-void run_dataflow_wavefront(const TiledRegion& region, ThreadPool& pool,
-                            const RowSegmentFn& segment) {
+/// Shared body of the LoweredKernel and RowSegmentFn entry points: `state`
+/// arrives with its dispatch fields (lowered/storage or segment) already
+/// set; everything else is initialised here.
+void run_dataflow_impl(const TiledRegion& region, ThreadPool& pool, DataflowState& state) {
   region.validate();
   if (region.d_begin == region.d_end) return;
   const std::size_t T = region.tile;
@@ -212,17 +216,15 @@ void run_dataflow_wavefront(const TiledRegion& region, ThreadPool& pool,
     diag_offset.push_back(n_tiles);
     n_tiles += core::diag_row_hi(M, k) - core::diag_row_lo(M, k) + 1;
   }
+  state.region = &region;
+  state.pool = &pool;
+  state.M = M;
+  state.range = range;
   if (pool.worker_count() <= 1 || n_tiles <= 2) {
-    run_inline(region, segment, M, range);
+    run_inline(state);  // counters stay untouched
     return;
   }
 
-  DataflowState state;
-  state.region = &region;
-  state.pool = &pool;
-  state.segment = &segment;
-  state.M = M;
-  state.range = range;
   state.diag_offset = std::move(diag_offset);
   state.deps = std::vector<std::atomic<unsigned char>>(n_tiles);
   for (std::size_t k = range.k_lo; k <= range.k_hi; ++k) {
@@ -262,6 +264,27 @@ void run_dataflow_wavefront(const TiledRegion& region, ThreadPool& pool,
   if (state.error) std::rethrow_exception(state.error);
 }
 
+}  // namespace
+
+const char* scheduler_name(Scheduler s) {
+  return s == Scheduler::kDataflow ? "dataflow" : "barrier";
+}
+
+void run_dataflow_wavefront(const TiledRegion& region, ThreadPool& pool,
+                            const core::LoweredKernel& kernel, std::byte* storage) {
+  DataflowState state;
+  state.lowered = &kernel;
+  state.storage = storage;
+  run_dataflow_impl(region, pool, state);
+}
+
+void run_dataflow_wavefront(const TiledRegion& region, ThreadPool& pool,
+                            const RowSegmentFn& segment) {
+  DataflowState state;
+  state.segment = &segment;
+  run_dataflow_impl(region, pool, state);
+}
+
 void run_dataflow_wavefront(const TiledRegion& region, ThreadPool& pool, const CellFn& cell) {
   run_dataflow_wavefront(region, pool, per_cell_adapter(cell));
 }
@@ -279,9 +302,12 @@ double dataflow_wavefront_cost_ns(const TiledRegion& region, const sim::CpuModel
   for (std::size_t k = range.k_lo; k <= range.k_hi; ++k) {
     n_tiles += core::diag_row_hi(M, k) - core::diag_row_lo(M, k) + 1;
   }
+  // Per tile: T^2 elements, one lowered-kernel dispatch, and the
+  // dependency-counter bookkeeping (what a tile pays instead of
+  // tile_sched_ns + its share of barrier_ns).
   const double tile_cost = static_cast<double>(T) * static_cast<double>(T) *
                                cpu.tiled_element_ns(tsize_units, elem_bytes, T) +
-                           cpu.dataflow_dep_ns;
+                           cpu.kernel_dispatch_ns + cpu.dataflow_dep_ns;
   const double n_diags = static_cast<double>(range.k_hi - range.k_lo + 1);
   const double P = cpu.effective_parallelism();
   // Greedy-scheduling bound: the longer of the critical path (one tile
@@ -290,6 +316,15 @@ double dataflow_wavefront_cost_ns(const TiledRegion& region, const sim::CpuModel
   const double critical = n_diags * tile_cost;
   const double work = static_cast<double>(n_tiles) * tile_cost / P;
   return std::max(critical, work);
+}
+
+void run_wavefront(Scheduler s, const TiledRegion& region, ThreadPool& pool,
+                   const core::LoweredKernel& kernel, std::byte* storage) {
+  if (s == Scheduler::kDataflow) {
+    run_dataflow_wavefront(region, pool, kernel, storage);
+  } else {
+    run_tiled_wavefront(region, pool, kernel, storage);
+  }
 }
 
 void run_wavefront(Scheduler s, const TiledRegion& region, ThreadPool& pool,

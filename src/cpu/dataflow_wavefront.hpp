@@ -44,11 +44,15 @@ const char* scheduler_name(Scheduler s);
 
 /// Functionally executes the region under dataflow scheduling: every cell
 /// with i+j in [d_begin, d_end) is visited exactly once, in an order that
-/// respects the wavefront dependencies. The segment overload is the native
-/// path (one call per clamped row-span); the CellFn overload adapts
+/// respects the wavefront dependencies. The LoweredKernel overload is the
+/// hot path: each tile body is exactly ONE indirect call over `storage`
+/// (see core/lowered.hpp); the segment overload dispatches one
+/// type-erased call per clamped row-span; the CellFn overload adapts
 /// per-cell callees onto the same traversal. Exceptions thrown by the
 /// callee — including from tiles stolen by other workers — propagate to
 /// the caller (first one wins); remaining tiles are skipped.
+void run_dataflow_wavefront(const TiledRegion& region, ThreadPool& pool,
+                            const core::LoweredKernel& kernel, std::byte* storage);
 void run_dataflow_wavefront(const TiledRegion& region, ThreadPool& pool,
                             const RowSegmentFn& segment);
 void run_dataflow_wavefront(const TiledRegion& region, ThreadPool& pool, const CellFn& cell);
@@ -63,7 +67,10 @@ void run_dataflow_wavefront(const TiledRegion& region, ThreadPool& pool, const C
 double dataflow_wavefront_cost_ns(const TiledRegion& region, const sim::CpuModel& cpu,
                                   double tsize_units, std::size_t elem_bytes);
 
-/// Dispatch helpers: one switch point for the executor's CPU phases.
+/// Dispatch helpers: one switch point for the executor's CPU phases. The
+/// LoweredKernel overload is what the executor uses.
+void run_wavefront(Scheduler s, const TiledRegion& region, ThreadPool& pool,
+                   const core::LoweredKernel& kernel, std::byte* storage);
 void run_wavefront(Scheduler s, const TiledRegion& region, ThreadPool& pool,
                    const RowSegmentFn& segment);
 double wavefront_cost_ns(Scheduler s, const TiledRegion& region, const sim::CpuModel& cpu,

@@ -101,9 +101,11 @@ double tiled_wavefront_cost_ns(const RectRegion& region, const sim::CpuModel& cp
   const std::size_t MR = (region.rows + T - 1) / T;
   const std::size_t MC = (region.cols + T - 1) / T;
   const double P = cpu.effective_parallelism();
+  // Same per-tile structure as the square model: T^2 elements, one
+  // lowered-kernel dispatch, one claim/enqueue.
   const double tile_cost = static_cast<double>(T) * static_cast<double>(T) *
                                cpu.tiled_element_ns(tsize_units, elem_bytes, T) +
-                           cpu.tile_sched_ns;
+                           cpu.kernel_dispatch_ns + cpu.tile_sched_ns;
 
   double total = 0.0;
   for (std::size_t k = 0; k < MR + MC - 1; ++k) {

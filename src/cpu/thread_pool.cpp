@@ -176,12 +176,24 @@ void ThreadPool::drain() {
 
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               const std::function<void(std::size_t)>& fn, std::size_t grain) {
+  // Trampoline onto the raw variant: one type-erased call per index is
+  // exactly what this overload's contract always cost.
+  parallel_for(
+      begin, end,
+      [](void* ctx, std::size_t i) {
+        (*static_cast<const std::function<void(std::size_t)>*>(ctx))(i);
+      },
+      const_cast<std::function<void(std::size_t)>*>(&fn), grain);
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end, ForFn fn, void* ctx,
+                              std::size_t grain) {
   if (begin >= end) return;
   if (grain == 0) grain = 1;
   const std::size_t n = end - begin;
   const std::size_t workers = worker_count();
   if (workers <= 1 || n <= grain) {
-    for (std::size_t i = begin; i < end; ++i) fn(i);
+    for (std::size_t i = begin; i < end; ++i) fn(ctx, i);
     return;
   }
 
@@ -196,7 +208,8 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     std::atomic<std::size_t> next;
     std::size_t end;
     std::size_t grain;
-    const std::function<void(std::size_t)>* fn;
+    ForFn fn;
+    void* ctx;
     std::exception_ptr error;
     std::mutex error_mutex;
     CompletionLatch latch;
@@ -207,7 +220,7 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
         if (chunk >= end) break;
         const std::size_t chunk_end = std::min(end, chunk + grain);
         try {
-          for (std::size_t i = chunk; i < chunk_end; ++i) (*fn)(i);
+          for (std::size_t i = chunk; i < chunk_end; ++i) fn(ctx, i);
         } catch (...) {
           std::lock_guard<std::mutex> lock(error_mutex);
           if (!error) error = std::current_exception();
@@ -220,7 +233,8 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   state.next.store(begin);
   state.end = end;
   state.grain = grain;
-  state.fn = &fn;
+  state.fn = fn;
+  state.ctx = ctx;
   const std::size_t chunks = (n + grain - 1) / grain;
   const std::size_t tasks = std::min(workers, chunks);
   state.latch.reset(tasks);

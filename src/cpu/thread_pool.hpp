@@ -88,6 +88,17 @@ public:
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& fn, std::size_t grain = 1);
 
+  /// Raw per-index callback: a plain function pointer + context.
+  using ForFn = void (*)(void* ctx, std::size_t i);
+
+  /// Like parallel_for above, but nothing type-erased is invoked per
+  /// index — the per-iteration cost is one indirect call. This is the
+  /// variant the lowered-kernel hot loops use (the std::function overload
+  /// wraps onto it). Helper TASKS are still std::function (one per
+  /// participating worker, not per index).
+  void parallel_for(std::size_t begin, std::size_t end, ForFn fn, void* ctx,
+                    std::size_t grain = 1);
+
   /// Fire-and-forget task submission onto the global injection queue.
   /// Tasks must not throw (the schedulers built on top catch internally
   /// and propagate to their caller). Throws std::runtime_error once the

@@ -22,12 +22,83 @@ void TiledRegion::validate() const {
 }
 
 std::size_t tile_grain(std::size_t n_tiles, std::size_t tile, std::size_t workers) {
-  constexpr std::size_t kMinCellsPerClaim = 1024;
+  // Calibrated for one-call-per-tile lowered dispatch. Two thresholds:
+  //
+  //  * kInlineCells: farming a tile-diagonal out to the pool costs
+  //    helper submissions plus a CV wakeup/sleep cycle per helper
+  //    (microseconds). A diagonal whose ENTIRE work is below this many
+  //    cells (~a microsecond at ns-scale kernels) finishes faster on the
+  //    calling thread than the wakeup alone would take — returning the
+  //    full range as one grain makes parallel_for run it inline with
+  //    zero pool traffic. Pre-lowering, each tile also paid T
+  //    type-erased calls that dwarfed this accounting; with one indirect
+  //    call per tile the scheduling machinery IS the overhead. The
+  //    threshold is cell-count-based (tile_grain sees no kernel cost),
+  //    so it deliberately stays small: for an expensive kernel the worst
+  //    case is one claim's worth of work serialized, the same exposure
+  //    the per-claim batching below always had.
+  //  * kMinCellsPerClaim: once the pool is engaged, each claim costs one
+  //    contended atomic RMW; ~512 cells of work per claim keeps that
+  //    under a few percent.
+  constexpr std::size_t kInlineCells = 1024;
+  constexpr std::size_t kMinCellsPerClaim = 512;
   const std::size_t per_tile = tile * tile;
-  if (per_tile >= kMinCellsPerClaim || workers == 0) return 1;
+  if (workers == 0) return 1;
+  if (per_tile < kInlineCells && n_tiles <= kInlineCells / per_tile) return n_tiles;
+  if (per_tile >= kMinCellsPerClaim) return 1;
   const std::size_t want = (kMinCellsPerClaim + per_tile - 1) / per_tile;
+  // Never batch so hard that the diagonal stops feeding every worker.
   const std::size_t fair = std::max<std::size_t>(1, n_tiles / (2 * workers));
   return std::min(want, fair);
+}
+
+namespace {
+
+/// Per-tile-diagonal state of the lowered barrier sweep, dispatched
+/// through ThreadPool's raw parallel_for so nothing type-erased is
+/// invoked per tile.
+struct LoweredDiagCtx {
+  const core::LoweredKernel* kernel;
+  std::byte* storage;
+  const TiledRegion* region;
+  std::size_t k;  ///< current tile-diagonal (I + J == k)
+};
+
+void run_lowered_diag_tile(void* pv, std::size_t I) {
+  const LoweredDiagCtx& c = *static_cast<const LoweredDiagCtx*>(pv);
+  const std::size_t dim = c.region->dim;
+  const std::size_t T = c.region->tile;
+  const std::size_t J = c.k - I;
+  const std::size_t row_lo = I * T;
+  // One indirect call per tile: clamping and the row loop live inside
+  // the lowered kernel dispatch.
+  c.kernel->tile(c.storage, row_lo, std::min(row_lo + T, dim), J * T, std::min(J * T + T, dim),
+                 c.region->d_begin, c.region->d_end);
+}
+
+}  // namespace
+
+void run_tiled_wavefront(const TiledRegion& region, ThreadPool& pool,
+                         const core::LoweredKernel& kernel, std::byte* storage) {
+  region.validate();
+  if (region.d_begin == region.d_end) return;
+  const std::size_t dim = region.dim;
+  const std::size_t T = region.tile;
+  const std::size_t M = (dim + T - 1) / T;  // tiles per side
+
+  LoweredDiagCtx ctx{&kernel, storage, &region, 0};
+  for (std::size_t k = 0; k < 2 * M - 1; ++k) {
+    const std::size_t span_lo = k * T;
+    const std::size_t span_hi = (k + 2) * T - 2;  // inclusive
+    if (span_lo >= region.d_end || span_hi < region.d_begin) continue;
+
+    const std::size_t i_lo = core::diag_row_lo(M, k);
+    const std::size_t i_hi = core::diag_row_hi(M, k);
+    const std::size_t grain = tile_grain(i_hi - i_lo + 1, T, pool.worker_count());
+    ctx.k = k;
+    pool.parallel_for(i_lo, i_hi + 1, &run_lowered_diag_tile, &ctx, grain);
+    // parallel_for blocks: that is the inter-tile-diagonal barrier.
+  }
 }
 
 void run_tiled_wavefront(const TiledRegion& region, ThreadPool& pool,
@@ -76,6 +147,20 @@ void run_tiled_wavefront(const TiledRegion& region, ThreadPool& pool, const Cell
   run_tiled_wavefront(region, pool, per_cell_adapter(cell));
 }
 
+void run_serial_wavefront(const TiledRegion& region, const core::LoweredKernel& kernel,
+                          std::byte* storage) {
+  region.validate();
+  if (region.d_begin == region.d_end) return;
+  // One band-clamped dispatch over the whole remaining rectangle: a full
+  // sweep (everything in band) is a SINGLE kernel call — row-major order
+  // over the rectangle satisfies every wavefront dependency — and a band
+  // slice degrades to one call per clamped row inside tile(), the same
+  // traversal as the segment overload below.
+  const std::size_t i_first = core::diag_row_lo(region.dim, region.d_begin);
+  if (i_first >= region.dim) return;
+  kernel.tile(storage, i_first, region.dim, 0, region.dim, region.d_begin, region.d_end);
+}
+
 void run_serial_wavefront(const TiledRegion& region, const RowSegmentFn& segment) {
   region.validate();
   if (region.d_begin == region.d_end) return;
@@ -102,9 +187,11 @@ double tiled_wavefront_cost_ns(const TiledRegion& region, const sim::CpuModel& c
   const std::size_t T = region.tile;
   const std::size_t M = (dim + T - 1) / T;
   const double P = cpu.effective_parallelism();
+  // Per tile: T^2 elements, one lowered-kernel dispatch, and the
+  // scheduler's claim/enqueue overhead.
   const double tile_cost = static_cast<double>(T) * static_cast<double>(T) *
                                cpu.tiled_element_ns(tsize_units, elem_bytes, T) +
-                           cpu.tile_sched_ns;
+                           cpu.kernel_dispatch_ns + cpu.tile_sched_ns;
 
   double total = 0.0;
   for (std::size_t k = 0; k < 2 * M - 1; ++k) {

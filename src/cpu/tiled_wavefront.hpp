@@ -19,6 +19,7 @@
 #include <functional>
 #include <utility>
 
+#include "core/lowered.hpp"
 #include "cpu/thread_pool.hpp"
 #include "sim/hardware.hpp"
 
@@ -43,21 +44,17 @@ inline RowSegmentFn per_cell_adapter(const CellFn& cell) {
   };
 }
 
-/// Column span [first, second) of row i within columns [col_lo, col_hi)
-/// clamped to the diagonal band [d_begin, d_end) (i + j in the band).
-/// Empty (first >= second) when the row misses the band. The single source
-/// of the clamp algebra shared by every batched hot loop.
-inline std::pair<std::size_t, std::size_t> row_band_span(std::size_t i, std::size_t d_begin,
-                                                         std::size_t d_end, std::size_t col_lo,
-                                                         std::size_t col_hi) {
-  if (d_end <= i) return {0, 0};
-  const std::size_t band_lo = d_begin > i ? d_begin - i : 0;
-  return {std::max(col_lo, band_lo), std::min(col_hi, d_end - i)};
-}
+/// Column span of row i clamped to the diagonal band — the single clamp
+/// algebra, now defined in core/diag.hpp (the lowered-kernel dispatch
+/// needs it below the cpu layer); re-exported here for the cpu call sites.
+using core::row_band_span;
 
 /// Scheduling grain for one tile-diagonal of `n_tiles` tiles of side
 /// `tile`: batch enough tiles per parallel_for claim that tiny tiles don't
 /// pay one atomic RMW each, without starving the pool of parallel slack.
+/// Calibrated for one-call-per-tile lowered dispatch (the per-claim
+/// overhead is one atomic RMW plus one indirect call per tile, not one
+/// type-erased call per tile row).
 std::size_t tile_grain(std::size_t n_tiles, std::size_t tile, std::size_t workers);
 
 /// A contiguous band of diagonals [d_begin, d_end) of a dim x dim grid,
@@ -78,18 +75,31 @@ struct TiledRegion {
 /// Functionally executes the region: every cell with i+j in
 /// [d_begin, d_end) is visited exactly once, in an order that respects the
 /// wavefront dependencies. Tiles of one tile-diagonal run concurrently on
-/// `pool`. The segment overload is the native path: per tile row it
-/// computes the column span clamped to the diagonal band up front and
-/// issues ONE call — no per-cell dispatch, no per-cell band branch. The
-/// CellFn overload adapts per-cell callees onto the same traversal.
+/// `pool`.
+///
+/// The LoweredKernel overload is the hot path: each tile is exactly ONE
+/// indirect call into the lowered kernel over `storage` (a full-grid-
+/// shaped row-major byte array) — the row loop, neighbour-pointer advance
+/// and band clamp all live inside the call; nothing type-erased is
+/// invoked per tile. The RowSegmentFn overload dispatches one type-erased
+/// call per clamped tile row (the segment ABI); the CellFn overload
+/// adapts per-cell callees onto the same traversal. All three visit the
+/// identical cell order.
+void run_tiled_wavefront(const TiledRegion& region, ThreadPool& pool,
+                         const core::LoweredKernel& kernel, std::byte* storage);
 void run_tiled_wavefront(const TiledRegion& region, ThreadPool& pool,
                          const RowSegmentFn& segment);
 void run_tiled_wavefront(const TiledRegion& region, ThreadPool& pool, const CellFn& cell);
 
 /// Sequential reference: visits the same cells in row-major order (which
 /// also respects dependencies). Used as the correctness oracle in tests
-/// and as the functional part of the sequential baseline. The segment
-/// overload issues one call per row with the clamped column span.
+/// and as the functional part of the sequential baseline. The
+/// LoweredKernel overload executes a fully-in-band region as a SINGLE
+/// kernel call over the whole rectangle (row-major order satisfies every
+/// dependency); banded regions degrade to one call per clamped row. The
+/// segment overload issues one type-erased call per row.
+void run_serial_wavefront(const TiledRegion& region, const core::LoweredKernel& kernel,
+                          std::byte* storage);
 void run_serial_wavefront(const TiledRegion& region, const RowSegmentFn& segment);
 void run_serial_wavefront(const TiledRegion& region, const CellFn& cell);
 

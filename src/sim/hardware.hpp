@@ -28,7 +28,11 @@ struct CpuModel {
   double mem_ns_per_byte = 0.05; ///< per-element per-byte cost, cache-resident tiles
   double mem_spill_factor = 3.0; ///< multiplier when the tile working set spills L2
   double l2_bytes_per_core = 256 * 1024;
-  double tile_sched_ns = 150.0;  ///< per-tile enqueue/dispatch overhead (barriered scheduler)
+  double tile_sched_ns = 150.0;  ///< per-tile claim/enqueue overhead (barriered scheduler)
+  /// One lowered tile-kernel invocation (core/lowered.hpp): the per-TILE
+  /// dispatch term. Replaces the per-segment dispatch of the pre-lowering
+  /// engine, which paid one type-erased call per tile ROW.
+  double kernel_dispatch_ns = 20.0;
   double barrier_ns = 2500.0;    ///< per tile-diagonal barrier across the pool
   /// Per-tile dependency bookkeeping of the dataflow scheduler (two
   /// counter decrements + deque push/pop, often inline-continued): what a

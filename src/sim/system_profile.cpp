@@ -52,6 +52,7 @@ CpuModel cpu_i3_540() {
   c.ns_per_unit = 3.0;  // slowest cores of the three systems
   c.mem_ns_per_byte = 0.06;
   c.tile_sched_ns = 180.0;
+  c.kernel_dispatch_ns = 24.0;
   c.barrier_ns = 2200.0;
   c.dataflow_dep_ns = 110.0;
   c.ht_yield = 0.3;
@@ -68,6 +69,7 @@ CpuModel cpu_i7_2600k() {
   c.ns_per_unit = 2.25;
   c.mem_ns_per_byte = 0.05;
   c.tile_sched_ns = 150.0;
+  c.kernel_dispatch_ns = 20.0;
   c.barrier_ns = 2500.0;
   c.dataflow_dep_ns = 90.0;
   c.ht_yield = 0.3;
@@ -84,6 +86,7 @@ CpuModel cpu_i7_3820() {
   c.ns_per_unit = 1.0;  // reference core: 1 ns per tsize unit
   c.mem_ns_per_byte = 0.04;
   c.tile_sched_ns = 120.0;
+  c.kernel_dispatch_ns = 16.0;
   c.barrier_ns = 2000.0;
   c.dataflow_dep_ns = 70.0;
   c.ht_yield = 0.3;

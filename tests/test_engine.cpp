@@ -333,8 +333,9 @@ public:
     return core::TunableParams{1, -1, -1, 1};
   }
   core::RunResult run(core::HybridExecutor& executor, const core::WavefrontSpec& spec,
-                      const core::TunableParams&, core::Grid& grid) const override {
-    return executor.run_serial(spec, grid);
+                      const core::LoweredKernel& lowered, const core::TunableParams&,
+                      core::Grid& grid) const override {
+    return executor.run_serial(spec, grid, &lowered);
   }
   core::RunResult estimate(const core::HybridExecutor& executor, const core::InputParams& in,
                            const core::TunableParams&) const override {

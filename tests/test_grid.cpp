@@ -31,11 +31,26 @@ TEST(Grid, OffsetRowMajor) {
   EXPECT_EQ(g.offset(3, 3), (3u * 4u + 3u) * 8u);
 }
 
-TEST(Grid, BoundsChecked) {
+// The bounds check is debug-only: throws without NDEBUG, compiles to an
+// assert (nothing) in release builds.
+#ifndef NDEBUG
+TEST(Grid, BoundsCheckedInDebugBuilds) {
   Grid g(4, 8);
   EXPECT_THROW(g.cell(4, 0), std::out_of_range);
   EXPECT_THROW(g.cell(0, 4), std::out_of_range);
   EXPECT_THROW(g.offset(5, 5), std::out_of_range);
+}
+#endif
+
+TEST(Grid, UncheckedAccessorMatchesCheckedLayout) {
+  Grid g(4, 8);
+  const Grid& cg = g;
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_EQ(g.cell_unchecked(i, j), g.data() + g.offset(i, j));
+      EXPECT_EQ(cg.cell_unchecked(i, j), cg.data() + g.offset(i, j));
+    }
+  }
 }
 
 TEST(Grid, TypedAccessRoundtrip) {

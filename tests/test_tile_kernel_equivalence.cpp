@@ -1,0 +1,353 @@
+// Kernel ABI ladder equivalence: the cell, segment, and tile rungs must
+// produce bit-identical grids for every bundled app, under every schedule
+// the engine can run (serial, barriered tiled CPU, dataflow CPU, and the
+// full hybrid schedule including the GPU-sim tiled loop), at
+// non-divisible dimensions and over band slices.
+//
+// ABIs are forced by stripping rungs off a copy of the spec before
+// lowering: a spec with no tile and no segment kernel lowers through
+// cell -> segment-fallback -> tile-fallback; a spec with no tile kernel
+// lowers through the native segment kernel; the full spec lowers onto
+// the native tile kernel. The oracle is the cell-ABI serial sweep.
+//
+// Also here: direct contract tests of make_tile_fallback's border-pointer
+// derivation (the i0 == 0 / j0 == 0 corners) and of the LoweredKernel
+// band clamp.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/editdist.hpp"
+#include "apps/nash.hpp"
+#include "apps/seqcmp.hpp"
+#include "apps/synthetic.hpp"
+#include "core/executor.hpp"
+#include "core/grid.hpp"
+#include "core/lowered.hpp"
+#include "core/spec.hpp"
+#include "cpu/dataflow_wavefront.hpp"
+#include "sim/system_profile.hpp"
+
+namespace wavetune {
+namespace {
+
+using core::Grid;
+using core::HybridExecutor;
+using core::LoweredKernel;
+using core::TunableParams;
+using core::WavefrontSpec;
+
+WavefrontSpec make_app_spec(const std::string& app, std::size_t dim) {
+  if (app == "editdist") {
+    apps::EditDistParams p;
+    p.str_a = apps::random_dna(dim, 31);
+    p.str_b = apps::random_dna(dim, 47);
+    return apps::make_editdist_spec(p);
+  }
+  if (app == "seqcmp") {
+    apps::SeqCmpParams p;
+    p.seq_a = apps::random_dna(dim, 7);
+    p.seq_b = apps::random_dna(dim, 13);
+    return apps::make_seqcmp_spec(p);
+  }
+  if (app == "nash") {
+    apps::NashParams p;
+    p.dim = dim;
+    p.strategies = 3;
+    p.fp_iterations = 3;
+    return apps::make_nash_spec(p);
+  }
+  apps::SyntheticParams p;
+  p.dim = dim;
+  p.tsize = 15.0;
+  p.dsize = 2;
+  p.functional_iters = 3;
+  return apps::make_synthetic_spec(p);
+}
+
+/// The three rungs, forced by stripping the wider kernels.
+enum class Abi { kCell, kSegment, kTile };
+
+const char* abi_name(Abi a) {
+  return a == Abi::kCell ? "cell" : a == Abi::kSegment ? "segment" : "tile";
+}
+
+WavefrontSpec with_abi(const WavefrontSpec& spec, Abi abi) {
+  WavefrontSpec s = spec;
+  if (abi != Abi::kTile) s.tile = core::TileKernel{};
+  if (abi == Abi::kCell) s.segment = core::SegmentKernel{};
+  return s;
+}
+
+class TileKernelEquivalence : public ::testing::TestWithParam<std::string> {};
+
+/// Every app x every schedule x every ABI: bit-identical to the cell-ABI
+/// serial oracle. dim = 37 with cpu_tile = 8 exercises ragged edge tiles
+/// (37 = 4*8 + 5); the hybrid tunings slice the grid into CPU band /
+/// GPU band / CPU band, exercising the band-clamped (partial-tile)
+/// lowered dispatch on both CPU phases and the GPU-sim tiled loop.
+TEST_P(TileKernelEquivalence, AllSchedulesAllAbisBitIdentical) {
+  const std::string app = GetParam();
+  const std::size_t dim = 37;  // not divisible by any tile below
+  const WavefrontSpec full = make_app_spec(app, dim);
+  HybridExecutor exec(sim::make_i7_2600k(), 3);
+
+  Grid oracle(dim, full.elem_bytes);
+  exec.run_serial(with_abi(full, Abi::kCell), oracle);
+
+  struct Schedule {
+    const char* name;
+    TunableParams params;
+    cpu::Scheduler scheduler;
+    bool serial;
+  };
+  const Schedule schedules[] = {
+      {"serial", TunableParams{1, -1, -1, 1}, cpu::Scheduler::kBarrier, true},
+      {"cpu-tiled", TunableParams{8, -1, -1, 1}, cpu::Scheduler::kBarrier, false},
+      {"cpu-dataflow", TunableParams{8, -1, -1, 1}, cpu::Scheduler::kDataflow, false},
+      // Band slice, untiled GPU: clamped row segments on the diagonals.
+      {"hybrid-untiled", TunableParams{8, 9, -1, 1}, cpu::Scheduler::kBarrier, false},
+      // Band slice, tiled GPU: the GPU-sim tiled loop's one-call-per-tile
+      // dispatch with tiles straddling the band edges.
+      {"hybrid-gputiled", TunableParams{8, 9, -1, 5}, cpu::Scheduler::kBarrier, false},
+      // Dual GPU with halo exchange: the per-diagonal 1x1-block path.
+      {"hybrid-dual", TunableParams{8, 9, 2, 1}, cpu::Scheduler::kBarrier, false},
+  };
+
+  for (const Schedule& sched : schedules) {
+    for (const Abi abi : {Abi::kCell, Abi::kSegment, Abi::kTile}) {
+      const WavefrontSpec spec = with_abi(full, abi);
+      Grid grid(dim, spec.elem_bytes);
+      grid.fill_poison();
+      if (sched.serial) {
+        exec.run_serial(spec, grid);
+      } else {
+        exec.run(spec, sched.params, grid, nullptr, sched.scheduler);
+      }
+      ASSERT_EQ(0, std::memcmp(oracle.data(), grid.data(), oracle.size_bytes()))
+          << app << " schedule=" << sched.name << " abi=" << abi_name(abi);
+    }
+  }
+}
+
+/// Band slices through the CPU schedulers directly: regions whose
+/// d_begin/d_end force every tile through the clamped (non-fast-path)
+/// lowered dispatch, compared across all three ABIs.
+TEST_P(TileKernelEquivalence, BandSlicedRegionsBitIdentical) {
+  const std::string app = GetParam();
+  const std::size_t dim = 29;
+  const WavefrontSpec full = make_app_spec(app, dim);
+  HybridExecutor exec(sim::make_i7_2600k(), 3);
+
+  // Pure-CPU band runs: phase 1 computes [0, d0), phase 3 [d1, 2*dim-1)
+  // via run(); the band in between runs on the simulated GPU. Comparing
+  // whole grids still works because every cell is computed by one of the
+  // three phases.
+  for (const long long band : {3LL, 11LL}) {
+    Grid oracle(dim, full.elem_bytes);
+    exec.run(with_abi(full, Abi::kCell), TunableParams{5, band, -1, 1}, oracle);
+    for (const Abi abi : {Abi::kSegment, Abi::kTile}) {
+      for (const cpu::Scheduler s : {cpu::Scheduler::kBarrier, cpu::Scheduler::kDataflow}) {
+        Grid grid(dim, full.elem_bytes);
+        grid.fill_poison();
+        exec.run(with_abi(full, abi), TunableParams{5, band, -1, 1}, grid, nullptr, s);
+        ASSERT_EQ(0, std::memcmp(oracle.data(), grid.data(), oracle.size_bytes()))
+            << app << " band=" << band << " abi=" << abi_name(abi)
+            << " sched=" << cpu::scheduler_name(s);
+      }
+    }
+  }
+}
+
+/// The editdist/seqcmp native tile kernels switch from pair-blocked to
+/// single-row sweeps when a block is wide AND the grid row stride is
+/// large (width > 32 and stride > 8 KiB). Every other test in this file
+/// runs at small dims where that branch never engages, so pin it
+/// explicitly: dim 1040 (stride 8320 for 8-byte cells) with cpu_tile 64
+/// exercises the wide-block path; bit-identical to the cell-ABI oracle.
+TEST(TileKernelWideBlocks, SingleRowSweepBranchBitIdentical) {
+  const std::size_t dim = 1040;
+  HybridExecutor exec(sim::make_i7_2600k(), 2);
+  for (const std::string app : {"editdist", "seqcmp"}) {
+    const WavefrontSpec full = make_app_spec(app, dim);
+    ASSERT_GT(dim * full.elem_bytes, std::size_t{8192});  // stride engages the branch
+    Grid oracle(dim, full.elem_bytes);
+    exec.run_serial(with_abi(full, Abi::kCell), oracle);
+    // run_serial on the tile ABI is a single whole-grid call (width 1040)
+    // and the tiled run dispatches 64-wide blocks — both wide-block paths.
+    Grid serial(dim, full.elem_bytes);
+    serial.fill_poison();
+    exec.run_serial(full, serial);
+    ASSERT_EQ(0, std::memcmp(oracle.data(), serial.data(), oracle.size_bytes())) << app;
+    Grid tiled(dim, full.elem_bytes);
+    tiled.fill_poison();
+    exec.run(full, TunableParams{64, -1, -1, 1}, tiled);
+    ASSERT_EQ(0, std::memcmp(oracle.data(), tiled.data(), oracle.size_bytes())) << app;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, TileKernelEquivalence,
+                         ::testing::Values("editdist", "seqcmp", "nash", "synthetic"),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+// --- make_tile_fallback border-pointer contract --------------------------
+
+/// One recorded segment invocation: the row index, span, and the exact
+/// pointers the fallback adapter derived.
+struct SegCall {
+  std::size_t i, j0, j1;
+  const std::byte* w;
+  const std::byte* n;
+  const std::byte* nw;
+  std::byte* out;
+};
+
+TEST(TileFallback, TopLeftCornerPassesNullBorders) {
+  // 4x4 grid of 1-byte cells; block [0,2) x [0,2) sits on both borders.
+  const std::size_t dim = 4, elem = 1;
+  std::vector<std::byte> storage(dim * dim * elem);
+  std::vector<SegCall> calls;
+  core::SegmentKernel rec = [&](std::size_t i, std::size_t j0, std::size_t j1,
+                                const std::byte* w, const std::byte* n, const std::byte* nw,
+                                std::byte* out) {
+    calls.push_back(SegCall{i, j0, j1, w, n, nw, out});
+  };
+  const core::TileKernel fb = core::make_tile_fallback(rec, elem);
+  const std::size_t stride = dim * elem;
+  fb.fn(fb.ctx.get(), 0, 2, 0, 2, stride, nullptr, nullptr, nullptr, storage.data());
+
+  ASSERT_EQ(calls.size(), 2u);
+  // Row 0: all borders null.
+  EXPECT_EQ(calls[0].i, 0u);
+  EXPECT_EQ(calls[0].j0, 0u);
+  EXPECT_EQ(calls[0].j1, 2u);
+  EXPECT_EQ(calls[0].w, nullptr);
+  EXPECT_EQ(calls[0].n, nullptr);
+  EXPECT_EQ(calls[0].nw, nullptr);
+  EXPECT_EQ(calls[0].out, storage.data());
+  // Row 1: west/northwest still the j0 == 0 border (null), but north is
+  // the block's own previous output row.
+  EXPECT_EQ(calls[1].i, 1u);
+  EXPECT_EQ(calls[1].w, nullptr);
+  EXPECT_EQ(calls[1].nw, nullptr);
+  EXPECT_EQ(calls[1].n, storage.data());
+  EXPECT_EQ(calls[1].out, storage.data() + stride);
+}
+
+TEST(TileFallback, InteriorBlockDerivesSlidingRowPointers) {
+  // Block [1,3) x [2,4) of a 4x4 grid of 2-byte cells: no border is null,
+  // and each row's pointers step by the row stride.
+  const std::size_t dim = 4, elem = 2;
+  std::vector<std::byte> storage(dim * dim * elem);
+  std::vector<SegCall> calls;
+  core::SegmentKernel rec = [&](std::size_t i, std::size_t j0, std::size_t j1,
+                                const std::byte* w, const std::byte* n, const std::byte* nw,
+                                std::byte* out) {
+    calls.push_back(SegCall{i, j0, j1, w, n, nw, out});
+  };
+  const core::TileKernel fb = core::make_tile_fallback(rec, elem);
+  const std::size_t stride = dim * elem;
+  const auto cell = [&](std::size_t i, std::size_t j) {
+    return storage.data() + i * stride + j * elem;
+  };
+  fb.fn(fb.ctx.get(), 1, 3, 2, 4, stride, cell(1, 1), cell(0, 2), cell(0, 1), cell(1, 2));
+
+  ASSERT_EQ(calls.size(), 2u);
+  // Row 1 (first of the block): the corner pointers pass through.
+  EXPECT_EQ(calls[0].w, cell(1, 1));
+  EXPECT_EQ(calls[0].n, cell(0, 2));
+  EXPECT_EQ(calls[0].nw, cell(0, 1));
+  EXPECT_EQ(calls[0].out, cell(1, 2));
+  // Row 2: west is (2,1), north the previous output row (1,2), northwest
+  // (1,1) — all derived from the block corner plus the stride.
+  EXPECT_EQ(calls[1].w, cell(2, 1));
+  EXPECT_EQ(calls[1].n, cell(1, 2));
+  EXPECT_EQ(calls[1].nw, cell(1, 1));
+  EXPECT_EQ(calls[1].out, cell(2, 2));
+}
+
+TEST(TileFallback, TopRowOnlyBorderKeepsWestPointers) {
+  // Block [0,2) x [2,4): i0 == 0 border (north/northwest null at the
+  // corner) but j0 > 0, so west pointers must survive on every row and
+  // row 1's northwest must be derived from the output row above.
+  const std::size_t dim = 4, elem = 1;
+  std::vector<std::byte> storage(dim * dim * elem);
+  std::vector<SegCall> calls;
+  core::SegmentKernel rec = [&](std::size_t i, std::size_t j0, std::size_t j1,
+                                const std::byte* w, const std::byte* n, const std::byte* nw,
+                                std::byte* out) {
+    calls.push_back(SegCall{i, j0, j1, w, n, nw, out});
+  };
+  const core::TileKernel fb = core::make_tile_fallback(rec, elem);
+  const std::size_t stride = dim * elem;
+  const auto cell = [&](std::size_t i, std::size_t j) { return storage.data() + i * stride + j; };
+  fb.fn(fb.ctx.get(), 0, 2, 2, 4, stride, cell(0, 1), nullptr, nullptr, cell(0, 2));
+
+  ASSERT_EQ(calls.size(), 2u);
+  EXPECT_EQ(calls[0].w, cell(0, 1));
+  EXPECT_EQ(calls[0].n, nullptr);
+  EXPECT_EQ(calls[0].nw, nullptr);
+  EXPECT_EQ(calls[1].w, cell(1, 1));
+  EXPECT_EQ(calls[1].n, cell(0, 2));
+  EXPECT_EQ(calls[1].nw, cell(0, 1));
+}
+
+TEST(TileFallback, RejectsNullKernelAndZeroElem) {
+  EXPECT_THROW(core::make_tile_fallback(core::SegmentKernel{}, 4), std::invalid_argument);
+  core::SegmentKernel ok = [](std::size_t, std::size_t, std::size_t, const std::byte*,
+                              const std::byte*, const std::byte*, std::byte*) {};
+  EXPECT_THROW(core::make_tile_fallback(ok, 0), std::invalid_argument);
+}
+
+// --- LoweredKernel band clamp --------------------------------------------
+
+TEST(LoweredKernel, TileDispatchClampsToBand) {
+  // Record every block the lowered dispatch issues for a banded tile.
+  struct Rec {
+    std::vector<SegCall> calls;
+  };
+  Rec rec;
+  LoweredKernel k;
+  k.dim = 8;
+  k.elem_bytes = 1;
+  k.ctx = &rec;
+  k.fn = [](const void* ctx, std::size_t i0, std::size_t i1, std::size_t j0, std::size_t j1,
+            std::size_t, const std::byte* w, const std::byte* n, const std::byte* nw,
+            std::byte* out) {
+    auto* r = const_cast<Rec*>(static_cast<const Rec*>(ctx));
+    r->calls.push_back(SegCall{i0, j0, j1, w, n, nw, out});
+    (void)i1;
+  };
+  std::vector<std::byte> storage(8 * 8);
+
+  // Fully in band: exactly ONE call covering the whole tile.
+  k.tile(storage.data(), 2, 4, 2, 4, 0, 15);
+  ASSERT_EQ(rec.calls.size(), 1u);
+  EXPECT_EQ(rec.calls[0].i, 2u);
+  EXPECT_EQ(rec.calls[0].j0, 2u);
+  EXPECT_EQ(rec.calls[0].j1, 4u);
+
+  // Band [5, 7): row 2 keeps cols [3,4), row 3 keeps [2,4) — one clamped
+  // single-row call each.
+  rec.calls.clear();
+  k.tile(storage.data(), 2, 4, 2, 4, 5, 7);
+  ASSERT_EQ(rec.calls.size(), 2u);
+  EXPECT_EQ(rec.calls[0].i, 2u);
+  EXPECT_EQ(rec.calls[0].j0, 3u);
+  EXPECT_EQ(rec.calls[0].j1, 4u);
+  EXPECT_EQ(rec.calls[1].i, 3u);
+  EXPECT_EQ(rec.calls[1].j0, 2u);
+  EXPECT_EQ(rec.calls[1].j1, 4u);
+
+  // Band entirely past the tile: no calls at all.
+  rec.calls.clear();
+  k.tile(storage.data(), 2, 4, 2, 4, 10, 15);
+  EXPECT_TRUE(rec.calls.empty());
+}
+
+}  // namespace
+}  // namespace wavetune

@@ -235,5 +235,46 @@ TEST(RowSegmentDispatch, SegmentsNeverCrossTileOrBandBoundaries) {
   EXPECT_EQ(cells, region.cell_count());
 }
 
+// tile_grain is calibrated for one-call-per-tile lowered dispatch: a
+// diagonal whose whole work is under ~1024 cells runs INLINE (one grain
+// covering the range — a pool wakeup costs more than the work; the
+// threshold is cell-count-based, so it stays small enough that even an
+// expensive kernel serializes at most one claim's worth); once the pool
+// is engaged, claims batch up to ~512 cells each, capped by fairness
+// (keep every worker fed). Pin the behaviour at the extremes so
+// recalibrations are deliberate.
+TEST(TileGrain, TinyDiagonalsRunInline) {
+  // 8 cells of work: returning the full range makes parallel_for skip
+  // the pool entirely.
+  EXPECT_EQ(tile_grain(8, 1, 4), 8u);
+  EXPECT_EQ(tile_grain(64, 1, 1), 64u);
+  // 4 tiles of 16x16 = 1024 cells: still inline.
+  EXPECT_EQ(tile_grain(4, 16, 4), 4u);
+  // One more tile crosses the threshold: the pool engages, and the
+  // fairness cap (5 / (2*4) -> 1) takes over for so short a diagonal.
+  EXPECT_EQ(tile_grain(5, 16, 4), 1u);
+  // A long diagonal batches ceil(512/256) = 2 tiles per claim.
+  EXPECT_EQ(tile_grain(17, 16, 4), 2u);
+}
+
+TEST(TileGrain, TinyTilesBatchUpToTheCellFloor) {
+  // 1x1 tiles: 1000 cells of work is still under the inline threshold...
+  EXPECT_EQ(tile_grain(1000, 1, 4), 1000u);
+  // ...but past it the pool engages and claims batch to the 512-cell
+  // floor (fairness cap 10000 / (2*4) = 1250 doesn't bind).
+  EXPECT_EQ(tile_grain(10000, 1, 4), 512u);
+  // A long diagonal of 4x4 tiles wants ceil(512/16) = 32 per claim.
+  EXPECT_EQ(tile_grain(2000, 4, 4), 32u);
+}
+
+TEST(TileGrain, HugeTilesClaimOneAtATime) {
+  // 23^2 = 529 >= 512: one tile already amortizes the claim.
+  EXPECT_EQ(tile_grain(2000, 23, 4), 1u);
+  EXPECT_EQ(tile_grain(2000, 64, 4), 1u);
+  EXPECT_EQ(tile_grain(2000, 1024, 4), 1u);
+  // Zero workers (degenerate serial pool): no batching decision to make.
+  EXPECT_EQ(tile_grain(2000, 1, 0), 1u);
+}
+
 }  // namespace
 }  // namespace wavetune::cpu
