@@ -36,9 +36,9 @@ int main(int argc, char** argv) {
           .add(n)
           .add(bench::secs(r.rtime_ns))
           .add(one_gpu / r.rtime_ns, 2)
-          .add(r.breakdown.swap_count)
-          .add(r.breakdown.swap_ns / 1e6, 2)
-          .add((r.breakdown.transfer_in_ns + r.breakdown.transfer_out_ns) / 1e6, 2)
+          .add(r.breakdown.swap_count())
+          .add(r.breakdown.swap_ns() / 1e6, 2)
+          .add((r.breakdown.transfer_in_ns() + r.breakdown.transfer_out_ns()) / 1e6, 2)
           .done();
     }
   }

@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
           .add(tsize, 0)
           .add(gt)
           .add(bench::secs(r.rtime_ns))
-          .add(r.breakdown.kernel_launches)
+          .add(r.breakdown.kernel_launches())
           .add(r.rtime_ns / untiled.rtime_ns, 3)
           .add(bench::secs(cpu_only))
           .done();

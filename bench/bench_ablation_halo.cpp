@@ -39,9 +39,9 @@ int main(int argc, char** argv) {
           .add(tsize, 0)
           .add(halos[i])
           .add(bench::secs(r.rtime_ns))
-          .add(r.breakdown.swap_count)
-          .add(r.breakdown.swap_ns / 1e6, 2)
-          .add(r.breakdown.redundant_cells)
+          .add(r.breakdown.swap_count())
+          .add(r.breakdown.swap_ns() / 1e6, 2)
+          .add(r.breakdown.redundant_cells())
           .add(halos[i] == best_h ? "*" : "")
           .done();
     }

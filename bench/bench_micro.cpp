@@ -16,6 +16,14 @@
 //   --kernel-abi={cell,segment,tile,all}  which ABI rungs to measure
 //                                         (default all; implies --json)
 //   --scheduler={barrier,dataflow,both}   which schedulers to measure
+//   --phase-plan={paper,cpu-only,split-band,all}
+//                                         phase-program shapes to run
+//                                         functionally through api::Engine
+//                                         (CompileOptions::program),
+//                                         emitting per-phase simulated ns
+//                                         plus the measured wall time per
+//                                         shape (default: none; implies
+//                                         --json)
 //   --quick                               smoke configuration: dim 512
 //                                         only, fewer reps (implies
 //                                         --json; what the Release CI
@@ -41,6 +49,7 @@
 #include "apps/seqcmp.hpp"
 #include "apps/synthetic.hpp"
 #include "autotune/search.hpp"
+#include "core/phase_program.hpp"
 #include "cpu/dataflow_wavefront.hpp"
 #include "cpu/thread_pool.hpp"
 #include "cpu/tiled_wavefront.hpp"
@@ -303,6 +312,75 @@ enum class SchedAxis { kBarrier, kDataflow, kBoth };
 /// Which rungs of the kernel ABI ladder the --kernel-abi axis measures.
 enum class AbiAxis { kCell, kSegment, kTile, kAll };
 
+/// Which schedule shapes the --phase-plan axis runs through the engine.
+enum class PlanAxis { kNone, kPaper, kCpuOnly, kSplitBand, kAll };
+
+/// One functional engine run of `plan`, timed: returns (RunResult, wall ns).
+std::pair<core::RunResult, double> timed_engine_run(api::Engine& engine, const api::Plan& plan,
+                                                    core::Grid& grid) {
+  const auto t0 = std::chrono::steady_clock::now();
+  core::RunResult r = engine.run(plan, grid);
+  const auto t1 = std::chrono::steady_clock::now();
+  return {std::move(r), std::chrono::duration<double, std::nano>(t1 - t0).count()};
+}
+
+/// The --phase-plan axis: compile one shape of the phase-program IR
+/// (paper default / 4-phase CPU-only / GPU band split into 3 sub-bands),
+/// run it functionally through api::Engine, and emit the per-phase
+/// simulated ns the interpreter charged plus the measured wall time.
+util::Json run_phase_plan(api::Engine& engine, const std::string& app, std::size_t dim,
+                          const std::string& shape, int reps) {
+  const core::WavefrontSpec spec = micro_spec(app, dim);
+  const core::InputParams in = spec.inputs();
+
+  api::CompileOptions options;
+  if (shape == "paper") {
+    options.params = core::TunableParams{8, static_cast<long long>(dim) / 2, -1, 1};
+  } else if (shape == "cpu-only") {
+    options.backend = api::kCpuTiledBackend;
+    options.params = core::TunableParams{8, -1, -1, 1};
+    options.program = core::make_cpu_only_program(in, 8, 4);
+  } else {  // split-band
+    options.params = core::TunableParams{8, static_cast<long long>(dim) / 2, -1, 1};
+    options.program = core::split_gpu_band(core::plan_phases(in, *options.params), 3);
+  }
+  const api::Plan plan = engine.compile(spec, options);
+  core::Grid grid(spec.dim, spec.elem_bytes);
+
+  timed_engine_run(engine, plan, grid);  // warmup
+  core::RunResult result;
+  double best_wall = 1e300;
+  for (int rep = 0; rep < reps; ++rep) {
+    auto [r, wall] = timed_engine_run(engine, plan, grid);
+    if (wall < best_wall) {
+      best_wall = wall;
+      result = std::move(r);
+    }
+  }
+
+  util::Json row = util::Json::object();
+  row["app"] = util::Json(app);
+  row["dim"] = util::Json(dim);
+  row["plan"] = util::Json(shape);
+  row["program"] = util::Json(plan.program().describe());
+  row["rtime_ns"] = util::Json(result.rtime_ns);
+  row["wall_ns"] = util::Json(best_wall);
+  util::Json phases = util::Json::array();
+  for (const core::PhaseTiming& t : result.breakdown.phases) {
+    util::Json ph = util::Json::object();
+    ph["device"] = util::Json(core::phase_device_name(t.device));
+    ph["d_begin"] = util::Json(t.d_begin);
+    ph["d_end"] = util::Json(t.d_end);
+    ph["sim_ns"] = util::Json(t.ns);
+    phases.push_back(std::move(ph));
+  }
+  row["phases"] = std::move(phases);
+  std::cout << app << " dim=" << dim << " plan=" << shape << ": "
+            << result.breakdown.phases.size() << " phases, sim " << result.rtime_ns
+            << " ns, wall " << best_wall << " ns\n";
+  return row;
+}
+
 /// Wall-clock of one full CPU sweep through the lowered (tile-granular)
 /// dispatch path — exactly what the executor's CPU phases now run.
 double time_lowered_sweep_ns(cpu::Scheduler sched, std::size_t dim, cpu::ThreadPool& pool,
@@ -425,7 +503,7 @@ MicroResult run_micro(const std::string& app, std::size_t dim, std::size_t tile,
 }
 
 int run_json_mode(const std::string& path, SchedAxis sched_axis, bool sched_explicit,
-                  AbiAxis abi_axis, bool quick) {
+                  AbiAxis abi_axis, PlanAxis plan_axis, bool quick) {
   if (path.empty()) {
     std::cerr << "bench_micro: --json needs a non-empty path (or omit '=' for the default)\n";
     return 1;
@@ -531,6 +609,36 @@ int run_json_mode(const std::string& path, SchedAxis sched_axis, bool sched_expl
   if (abi_segment) doc["workers"] = util::Json(sched_pool.worker_count());
   doc["abi_workers"] = util::Json(abi_pool.worker_count());
   doc["runs"] = std::move(runs);
+
+  // The --phase-plan axis: functional engine runs of whole phase-program
+  // shapes, recording the interpreter's per-phase simulated ns.
+  doc["phase_plan_axis"] = util::Json(plan_axis == PlanAxis::kNone      ? "none"
+                                      : plan_axis == PlanAxis::kPaper   ? "paper"
+                                      : plan_axis == PlanAxis::kCpuOnly ? "cpu-only"
+                                      : plan_axis == PlanAxis::kSplitBand
+                                          ? "split-band"
+                                          : "all");
+  if (plan_axis != PlanAxis::kNone) {
+    api::EngineOptions eo;
+    eo.pool_workers = std::max<std::size_t>(4, hw);
+    eo.queue_workers = 1;
+    api::Engine engine(sim::make_i7_2600k(), eo);
+    util::Json plan_runs = util::Json::array();
+    const int plan_reps = quick ? 2 : 5;
+    for (const std::size_t dim : dims) {
+      for (const char* shape : {"paper", "cpu-only", "split-band"}) {
+        const bool selected = plan_axis == PlanAxis::kAll ||
+                              (plan_axis == PlanAxis::kPaper && std::string(shape) == "paper") ||
+                              (plan_axis == PlanAxis::kCpuOnly &&
+                               std::string(shape) == "cpu-only") ||
+                              (plan_axis == PlanAxis::kSplitBand &&
+                               std::string(shape) == "split-band");
+        if (!selected) continue;
+        plan_runs.push_back(run_phase_plan(engine, "editdist", dim, shape, plan_reps));
+      }
+    }
+    doc["phase_plans"] = std::move(plan_runs);
+  }
   try {
     doc.save_file(path);
   } catch (const util::JsonError& e) {
@@ -550,6 +658,21 @@ int main(int argc, char** argv) {
   SchedAxis sched_axis = SchedAxis::kBoth;
   bool sched_explicit = false;
   AbiAxis abi_axis = AbiAxis::kAll;
+  PlanAxis plan_axis = PlanAxis::kNone;
+  const auto parse_plan = [&](const std::string& v) -> bool {
+    if (v == "paper") {
+      plan_axis = PlanAxis::kPaper;
+    } else if (v == "cpu-only") {
+      plan_axis = PlanAxis::kCpuOnly;
+    } else if (v == "split-band") {
+      plan_axis = PlanAxis::kSplitBand;
+    } else if (v == "all") {
+      plan_axis = PlanAxis::kAll;
+    } else {
+      return false;
+    }
+    return true;
+  };
   const auto parse_abi = [&](const std::string& v) -> bool {
     if (v == "cell") {
       abi_axis = AbiAxis::kCell;
@@ -615,6 +738,25 @@ int main(int argc, char** argv) {
       }
       json_mode = true;
       if (json_path.empty()) json_path = "BENCH_micro.json";
+    } else if (arg == "--phase-plan" || arg.rfind("--phase-plan=", 0) == 0) {
+      // Both `--phase-plan=paper` and `--phase-plan paper` are accepted
+      // (CI uses the space form). Implies JSON mode.
+      std::string v;
+      if (arg == "--phase-plan") {
+        if (i + 1 >= argc) {
+          std::cerr << "bench_micro: --phase-plan expects paper, cpu-only, split-band or all\n";
+          return 1;
+        }
+        v = argv[++i];
+      } else {
+        v = arg.substr(13);
+      }
+      if (!parse_plan(v)) {
+        std::cerr << "bench_micro: --phase-plan expects paper, cpu-only, split-band or all\n";
+        return 1;
+      }
+      json_mode = true;
+      if (json_path.empty()) json_path = "BENCH_micro.json";
     } else {
       // Remembered, not rejected here: google-benchmark mode forwards
       // these; JSON mode refuses them below so a typo can't silently
@@ -627,10 +769,11 @@ int main(int argc, char** argv) {
       std::cerr << "bench_micro: unrecognized argument(s) in JSON mode:";
       for (const std::string& a : unrecognized) std::cerr << " " << a;
       std::cerr << "\n  (known: --json[=PATH], --quick, --scheduler=barrier|dataflow|both,"
-                   " --kernel-abi[=]cell|segment|tile|all)\n";
+                   " --kernel-abi[=]cell|segment|tile|all,"
+                   " --phase-plan[=]paper|cpu-only|split-band|all)\n";
       return 1;
     }
-    return run_json_mode(json_path, sched_axis, sched_explicit, abi_axis, quick);
+    return run_json_mode(json_path, sched_axis, sched_explicit, abi_axis, plan_axis, quick);
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -35,9 +35,9 @@ int main(int argc, char** argv) {
     ocl::Trace trace;
     const core::RunResult r = ex.estimate(in, s.params, &trace);
     std::cout << "== " << s.label << " — " << r.params.describe() << " ==\n"
-              << "gpu phase: " << sim::format_time(r.breakdown.gpu_ns) << ", "
+              << "gpu phase: " << sim::format_time(r.breakdown.gpu_ns()) << ", "
               << trace.count(ocl::CommandKind::Kernel) << " kernels, "
-              << r.breakdown.swap_count << " swaps, " << r.breakdown.redundant_cells
+              << r.breakdown.swap_count() << " swaps, " << r.breakdown.redundant_cells()
               << " redundant cells\n"
               << trace.render_gantt(96) << '\n';
   }

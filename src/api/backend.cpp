@@ -9,13 +9,37 @@
 
 namespace wavetune::api {
 
+// Default execution path: every backend that compiles a real program runs
+// and estimates through the ONE interpreter — structural parity, nothing
+// to keep in sync per backend.
+
+core::PhaseProgram Backend::plan(const core::InputParams& in,
+                                 const core::TunableParams& prepared,
+                                 const sim::SystemProfile&) const {
+  return core::plan_phases(in, prepared, cpu::Scheduler::kBarrier);
+}
+
+core::RunResult Backend::run(core::HybridExecutor& executor, const core::WavefrontSpec& spec,
+                             const core::PhaseProgram& program,
+                             const core::LoweredKernel& lowered, core::Grid& grid) const {
+  return executor.run(spec, program, grid, nullptr, &lowered);
+}
+
+core::RunResult Backend::estimate(const core::HybridExecutor& executor,
+                                  const core::InputParams& in,
+                                  const core::PhaseProgram& program) const {
+  return executor.estimate(in, program);
+}
+
 namespace {
 
 /// "serial": the optimized sequential baseline. The incoming tuning is
 /// irrelevant by definition — the prepared params are always the
 /// canonical sequential configuration. (Note the plan cache keys on the
 /// params as *given*, so differently-tuned serial compiles are distinct
-/// cache entries carrying identical recipes.)
+/// cache entries carrying identical recipes.) Its program (one whole-grid
+/// CPU phase) is informational: run/estimate use the dedicated serial
+/// path, whose cost model has no scheduling overhead at all.
 class SerialBackend final : public Backend {
 public:
   const std::string& name() const override {
@@ -30,24 +54,39 @@ public:
   }
 
   core::RunResult run(core::HybridExecutor& executor, const core::WavefrontSpec& spec,
-                      const core::LoweredKernel& lowered, const core::TunableParams&,
+                      const core::PhaseProgram&, const core::LoweredKernel& lowered,
                       core::Grid& grid) const override {
     return executor.run_serial(spec, grid, &lowered);
   }
 
   core::RunResult estimate(const core::HybridExecutor& executor, const core::InputParams& in,
-                           const core::TunableParams&) const override {
+                           const core::PhaseProgram& program) const override {
     core::RunResult r;
     r.params = core::TunableParams{1, -1, -1, 1};
-    r.breakdown.phase1_ns = executor.estimate_serial(in);
+    core::PhaseTiming t;
+    t.device = core::PhaseDevice::kCpu;
+    t.d_begin = 0;
+    t.d_end = program.phases.empty() ? core::num_diagonals(in.dim) : program.phases.back().d_end;
+    t.ns = executor.estimate_serial(in);
+    r.breakdown.phases.push_back(t);
     r.rtime_ns = r.breakdown.total_ns();
     return r;
   }
 };
 
-/// "cpu-tiled": tiled-parallel CPU execution with no GPU phase. The
-/// cpu_tile of the incoming tuning is kept; any offload request (band,
-/// halo, gpus, gpu_tile) is stripped at prepare time.
+/// Shared prepare of the pure-CPU backends: the cpu_tile of the incoming
+/// tuning is kept; any offload request (band, halo, gpus, gpu_tile) is
+/// stripped at prepare time.
+core::TunableParams prepare_cpu_only(const core::InputParams& in,
+                                     const core::TunableParams& params) {
+  in.validate();
+  core::TunableParams p;
+  p.cpu_tile = params.cpu_tile;
+  return p.normalized(in.dim);
+}
+
+/// "cpu-tiled": tiled-parallel CPU execution with no GPU phase, under the
+/// paper's barriered per-tile-diagonal scheduling.
 class CpuTiledBackend final : public Backend {
 public:
   const std::string& name() const override {
@@ -57,21 +96,7 @@ public:
 
   core::TunableParams prepare(const core::InputParams& in, const core::TunableParams& params,
                               const sim::SystemProfile&) const override {
-    in.validate();
-    core::TunableParams p;
-    p.cpu_tile = params.cpu_tile;
-    return p.normalized(in.dim);
-  }
-
-  core::RunResult run(core::HybridExecutor& executor, const core::WavefrontSpec& spec,
-                      const core::LoweredKernel& lowered, const core::TunableParams& params,
-                      core::Grid& grid) const override {
-    return executor.run(spec, params, grid, nullptr, cpu::Scheduler::kBarrier, &lowered);
-  }
-
-  core::RunResult estimate(const core::HybridExecutor& executor, const core::InputParams& in,
-                           const core::TunableParams& params) const override {
-    return executor.estimate(in, params);
+    return prepare_cpu_only(in, params);
   }
 };
 
@@ -90,29 +115,21 @@ public:
 
   core::TunableParams prepare(const core::InputParams& in, const core::TunableParams& params,
                               const sim::SystemProfile&) const override {
-    in.validate();
-    core::TunableParams p;
-    p.cpu_tile = params.cpu_tile;
-    return p.normalized(in.dim);
+    return prepare_cpu_only(in, params);
   }
 
-  core::RunResult run(core::HybridExecutor& executor, const core::WavefrontSpec& spec,
-                      const core::LoweredKernel& lowered, const core::TunableParams& params,
-                      core::Grid& grid) const override {
-    return executor.run(spec, params, grid, nullptr, cpu::Scheduler::kDataflow, &lowered);
-  }
-
-  core::RunResult estimate(const core::HybridExecutor& executor, const core::InputParams& in,
-                           const core::TunableParams& params) const override {
-    return executor.estimate(in, params, nullptr, cpu::Scheduler::kDataflow);
+  core::PhaseProgram plan(const core::InputParams& in, const core::TunableParams& prepared,
+                          const sim::SystemProfile&) const override {
+    return core::plan_phases(in, prepared, cpu::Scheduler::kDataflow);
   }
 };
 
 /// "cpu-auto": tiled-parallel CPU execution that picks the scheduling
-/// discipline PER INPUT: the analytic cost models decide barrier vs
-/// dataflow for the prepared (dim, tsize, dsize, cpu_tile) the same way
-/// the paper's autotuner decides band/halo/tile. Results are identical
-/// either way; only the schedule differs.
+/// discipline PER PHASE at plan time: the analytic cost models decide
+/// barrier vs dataflow for every CPU phase of the program the same way
+/// the paper's autotuner decides band/halo/tile. The chosen program is
+/// what the plan carries, so run and estimate CANNOT disagree on the
+/// discipline — the choice is data, not a per-call re-derivation.
 class CpuAutoBackend final : public Backend {
 public:
   const std::string& name() const override {
@@ -122,29 +139,17 @@ public:
 
   core::TunableParams prepare(const core::InputParams& in, const core::TunableParams& params,
                               const sim::SystemProfile&) const override {
-    in.validate();
-    core::TunableParams p;
-    p.cpu_tile = params.cpu_tile;
-    return p.normalized(in.dim);
+    return prepare_cpu_only(in, params);
   }
 
-  core::RunResult run(core::HybridExecutor& executor, const core::WavefrontSpec& spec,
-                      const core::LoweredKernel& lowered, const core::TunableParams& params,
-                      core::Grid& grid) const override {
-    const cpu::Scheduler s =
-        autotune::choose_cpu_scheduler(spec.inputs(), params, executor.profile().cpu);
-    return executor.run(spec, params, grid, nullptr, s, &lowered);
-  }
-
-  core::RunResult estimate(const core::HybridExecutor& executor, const core::InputParams& in,
-                           const core::TunableParams& params) const override {
-    const cpu::Scheduler s = autotune::choose_cpu_scheduler(in, params, executor.profile().cpu);
-    return executor.estimate(in, params, nullptr, s);
+  core::PhaseProgram plan(const core::InputParams& in, const core::TunableParams& prepared,
+                          const sim::SystemProfile& profile) const override {
+    return autotune::tune_cpu_schedulers(core::plan_phases(in, prepared), in, profile.cpu);
   }
 };
 
-/// "hybrid": the paper's three-phase CPU/GPU schedule — the full
-/// HybridExecutor, with validation hoisted to compile time.
+/// "hybrid": the paper's three-phase CPU/GPU schedule — the default
+/// program of core::plan_phases, with validation hoisted to compile time.
 class HybridBackend final : public Backend {
 public:
   const std::string& name() const override {
@@ -163,17 +168,6 @@ public:
                                   std::to_string(profile.gpu_count()));
     }
     return p;
-  }
-
-  core::RunResult run(core::HybridExecutor& executor, const core::WavefrontSpec& spec,
-                      const core::LoweredKernel& lowered, const core::TunableParams& params,
-                      core::Grid& grid) const override {
-    return executor.run(spec, params, grid, nullptr, cpu::Scheduler::kBarrier, &lowered);
-  }
-
-  core::RunResult estimate(const core::HybridExecutor& executor, const core::InputParams& in,
-                           const core::TunableParams& params) const override {
-    return executor.estimate(in, params);
   }
 };
 

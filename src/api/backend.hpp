@@ -2,9 +2,13 @@
 //
 // A Backend is a stateless strategy object that knows how to validate a
 // tuning for itself ("prepare", done once at Engine::compile time so every
-// later submit skips validation) and how to run/estimate a wavefront
-// through the engine-owned HybridExecutor. The three built-ins mirror the
-// execution paths that call sites previously picked by hand:
+// later submit skips validation), how to compile that tuning into a
+// core::PhaseProgram ("plan", also once at compile time), and how to
+// run/estimate a wavefront through the engine-owned HybridExecutor. The
+// default run/estimate simply interpret the plan's program — one
+// interpreter, two modes — so most backends only customise plan(). The
+// built-ins mirror the execution paths that call sites previously picked
+// by hand:
 //
 //   "serial"       optimized sequential baseline (HybridExecutor::run_serial)
 //   "cpu-tiled"    tiled-parallel CPU only, barriered per-tile-diagonal
@@ -32,6 +36,7 @@
 #include "core/executor.hpp"
 #include "core/grid.hpp"
 #include "core/params.hpp"
+#include "core/phase_program.hpp"
 #include "core/spec.hpp"
 #include "sim/system_profile.hpp"
 
@@ -59,19 +64,32 @@ public:
                                       const core::TunableParams& params,
                                       const sim::SystemProfile& profile) const = 0;
 
-  /// Functionally computes every cell of `grid` under a prepared tuning,
-  /// charging simulated time. `grid` is caller-owned (see the ownership
-  /// rules in api/plan.hpp). `lowered` is the plan's compile-time kernel
-  /// resolution (core/lowered.hpp) — backends pass it down so no run path
-  /// re-lowers or constructs a std::function per request.
-  virtual core::RunResult run(core::HybridExecutor& executor, const core::WavefrontSpec& spec,
-                              const core::LoweredKernel& lowered,
-                              const core::TunableParams& params, core::Grid& grid) const = 0;
+  /// Compiles a prepared tuning into the phase program this backend
+  /// executes — called once per Engine::compile; the returned program is
+  /// what the plan carries and what BOTH run and estimate interpret. The
+  /// base implementation is the paper's default shape
+  /// (core::plan_phases with the barriered CPU scheduler).
+  virtual core::PhaseProgram plan(const core::InputParams& in,
+                                  const core::TunableParams& prepared,
+                                  const sim::SystemProfile& profile) const;
 
-  /// Simulated timing of the same schedule, without functional execution.
+  /// Functionally computes every cell of `grid` by interpreting the
+  /// plan's compiled `program`, charging simulated time. `grid` is
+  /// caller-owned (see the ownership rules in api/plan.hpp). `lowered` is
+  /// the plan's compile-time kernel resolution (core/lowered.hpp) —
+  /// backends pass it down so no run path re-lowers or constructs a
+  /// std::function per request. The base implementation is the generic
+  /// interpreter (HybridExecutor::run over the program); only backends
+  /// with a non-program execution path (e.g. "serial") override it.
+  virtual core::RunResult run(core::HybridExecutor& executor, const core::WavefrontSpec& spec,
+                              const core::PhaseProgram& program,
+                              const core::LoweredKernel& lowered, core::Grid& grid) const;
+
+  /// Simulated timing of the SAME program, without functional execution.
+  /// Base implementation: HybridExecutor::estimate over the program.
   virtual core::RunResult estimate(const core::HybridExecutor& executor,
                                    const core::InputParams& in,
-                                   const core::TunableParams& params) const = 0;
+                                   const core::PhaseProgram& program) const;
 };
 
 /// Process-wide, thread-safe, name-keyed backend registry. The built-in

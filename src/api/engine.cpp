@@ -46,7 +46,7 @@ void Engine::worker_loop() {
     // caller returning from future.get() never observes a lagging count.
     try {
       core::RunResult result = job->plan->backend->run(executor_, job->plan->spec,
-                                                       job->plan->lowered, job->plan->params,
+                                                       job->plan->program, job->plan->lowered,
                                                        *job->grid);
       jobs_completed_.fetch_add(1, std::memory_order_relaxed);
       job->result.set_value(std::move(result));
@@ -101,6 +101,9 @@ Plan Engine::compile_impl(const core::WavefrontSpec* spec, const core::InputPara
   // WavefrontSpec::content_key, so same-signature requests don't alias.
   if (spec) key.content = spec->content_key;
   key.tag = options.cache_tag;
+  // Custom programs key on their exact shape; backend-planned programs
+  // are a pure function of (backend, params) and need no extra salt.
+  if (options.program) key.program = options.program->describe();
   key.executable = spec != nullptr;
   key.autotuned = autotuned;
   key.dim = in.dim;
@@ -141,6 +144,26 @@ Plan Engine::compile_impl(const core::WavefrontSpec* spec, const core::InputPara
   }
   state->inputs = in;
   state->params = backend->prepare(in, params, executor_.profile());
+  // Plan-time schedule compilation: the backend lowers the prepared
+  // tuning to a phase program (or a caller-supplied program is adopted
+  // after the same validation), and BOTH run and estimate interpret it.
+  if (options.program) {
+    state->program = *options.program;
+    state->program.validate();
+    if (state->program.dim != in.dim) {
+      throw std::invalid_argument("Engine::compile: custom program dim " +
+                                  std::to_string(state->program.dim) +
+                                  " does not match instance dim " + std::to_string(in.dim));
+    }
+    if (state->program.max_gpu_count() > executor_.profile().gpu_count()) {
+      throw std::invalid_argument("Engine::compile: custom program requests " +
+                                  std::to_string(state->program.max_gpu_count()) +
+                                  " GPU(s) but system '" + executor_.profile().name + "' has " +
+                                  std::to_string(executor_.profile().gpu_count()));
+    }
+  } else {
+    state->program = backend->plan(in, state->params, executor_.profile());
+  }
   state->backend = std::move(backend);
 
   if (cacheable) {
@@ -223,8 +246,8 @@ std::vector<std::future<core::RunResult>> Engine::submit_batch(
 
 core::RunResult Engine::run(const Plan& plan, core::Grid& grid) {
   check_executable(plan, grid, "Engine::run");
-  const core::RunResult r =
-      plan.backend().run(executor_, plan.spec(), plan.state_->lowered, plan.params(), grid);
+  const core::RunResult r = plan.backend().run(executor_, plan.spec(), plan.state_->program,
+                                               plan.state_->lowered, grid);
   // A synchronous run counts only once it completed: a throwing backend
   // must not leave a permanently "in-flight" job in the stats.
   jobs_submitted_.fetch_add(1, std::memory_order_relaxed);
@@ -234,7 +257,7 @@ core::RunResult Engine::run(const Plan& plan, core::Grid& grid) {
 
 core::RunResult Engine::estimate(const Plan& plan) const {
   if (!plan.valid()) throw std::invalid_argument("Engine::estimate: invalid plan");
-  return plan.backend().estimate(executor_, plan.inputs(), plan.params());
+  return plan.backend().estimate(executor_, plan.inputs(), plan.program());
 }
 
 double Engine::estimate_serial(const core::InputParams& in) const {

@@ -79,6 +79,14 @@ struct CompileOptions {
   /// Explicit tuning; absent means autotune (engine's Autotuner when
   /// loaded, normalized defaults otherwise).
   std::optional<core::TunableParams> params;
+  /// Explicit phase program (core/phase_program.hpp); absent means the
+  /// backend compiles one from the prepared tuning (the paper's
+  /// three-phase shape for "hybrid"). A custom program must validate and
+  /// match the instance's dim; the engine checks its GPU demands against
+  /// the profile at compile time, exactly like backend-planned programs.
+  /// This is the door to non-paper schedules — N-phase CPU pipelines,
+  /// split GPU bands, alternating CPU/GPU — through the same session API.
+  std::optional<core::PhaseProgram> program;
   /// Extra plan-cache key salt, on top of the spec's own
   /// WavefrontSpec::content_key (the primary identity for kernels that
   /// capture per-request payload — all bundled apps set it). Use this for
@@ -182,6 +190,10 @@ private:
                           ///< concatenated with tag, so no separator games
                           ///< can alias two keys)
     std::string tag;      ///< CompileOptions::cache_tag
+    std::string program;  ///< describe() of a custom CompileOptions::program
+                          ///< (empty for backend-planned programs), so two
+                          ///< compiles differing only in schedule shape
+                          ///< never alias
     bool executable = false;
     bool autotuned = false;
     std::size_t dim = 0;
@@ -191,7 +203,7 @@ private:
     core::TunableParams params;
 
     auto tie() const {
-      return std::tie(backend, content, tag, executable, autotuned, dim, tsize, dsize,
+      return std::tie(backend, content, tag, program, executable, autotuned, dim, tsize, dsize,
                       elem_bytes, params.cpu_tile, params.band, params.halo, params.gpu_tile,
                       params.gpus);
     }

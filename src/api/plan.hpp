@@ -20,6 +20,7 @@
 #include <string>
 
 #include "core/params.hpp"
+#include "core/phase_program.hpp"
 #include "core/spec.hpp"
 
 namespace wavetune::api {
@@ -43,6 +44,13 @@ struct PlanState {
   core::LoweredKernel lowered;
   core::InputParams inputs;        ///< (dim, tsize, dsize) of the instance
   core::TunableParams params;      ///< normalized + backend-validated tuning
+  /// The compiled phase program (core/phase_program.hpp): the schedule as
+  /// data, built ONCE at compile time — by the backend's planner (the
+  /// paper's three-phase shape for "hybrid", scheduler-refined variants
+  /// for the CPU backends) or taken verbatim from
+  /// CompileOptions::program. Both run and estimate interpret exactly
+  /// this object, so a plan cannot estimate one schedule and run another.
+  core::PhaseProgram program;
   std::shared_ptr<const Backend> backend;
 };
 
@@ -70,6 +78,9 @@ public:
 
   const core::InputParams& inputs() const { return checked().inputs; }
   const core::TunableParams& params() const { return checked().params; }
+
+  /// The compiled phase program this plan interprets on run AND estimate.
+  const core::PhaseProgram& program() const { return checked().program; }
 
   /// The spec this plan executes. Throws std::logic_error on estimate-only
   /// plans (they have no kernel to run).

@@ -73,6 +73,15 @@ std::vector<long long> ParamSpace::halos_for(std::size_t dim, long long band,
   return {values.begin(), values.end()};
 }
 
+std::vector<int> ParamSpace::splits_for(const core::TunableParams& params) const {
+  if (!params.uses_gpu()) return {1};
+  std::set<int> values{1};
+  for (int k : band_splits) {
+    if (k >= 1) values.insert(k);
+  }
+  return {values.begin(), values.end()};
+}
+
 std::vector<core::TunableParams> ParamSpace::configs_for(std::size_t dim, int max_gpus) const {
   // Enumerate, normalize, deduplicate: the paper's overloaded encoding
   // means several raw tuples collapse to one executable configuration.

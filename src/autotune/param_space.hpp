@@ -31,6 +31,13 @@ struct ParamSpace {
   /// round(f * max_halo) for each fraction.
   std::vector<double> halo_fractions;
   std::vector<int> gpu_tiles;
+  /// Phase-STRUCTURE axis (beyond the paper's Table 3): split the GPU
+  /// band of a configuration into K contiguous sub-band phases
+  /// (core::split_gpu_band), trading extra frontier transfers for shorter
+  /// device residency. {1} — the default everywhere, and what the paper
+  /// searched — keeps the classic single-band program; values > 1 make
+  /// the exhaustive search explore schedule shape, not just tile sizes.
+  std::vector<int> band_splits = {1};
 
   /// The paper's Table 3 ranges with irregular spacing.
   static ParamSpace paper_default();
@@ -52,6 +59,11 @@ struct ParamSpace {
   /// Every distinct normalized tunable configuration for a dim on a system
   /// with `max_gpus` GPUs.
   std::vector<core::TunableParams> configs_for(std::size_t dim, int max_gpus) const;
+
+  /// The band-split factors applicable to one configuration: always {1}
+  /// for CPU-only tunings (no band to split), the deduplicated sorted
+  /// splits otherwise.
+  std::vector<int> splits_for(const core::TunableParams& params) const;
 };
 
 }  // namespace wavetune::autotune

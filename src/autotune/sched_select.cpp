@@ -1,27 +1,24 @@
 #include "autotune/sched_select.hpp"
 
 #include "core/diag.hpp"
+#include "cpu/tiled_wavefront.hpp"
 
 namespace wavetune::autotune {
 
+double phase_cost_ns(const core::PhaseDesc& phase, std::size_t dim, double tsize_units,
+                     std::size_t elem_bytes, const sim::CpuModel& cpu) {
+  const cpu::TiledRegion region{dim, phase.d_begin, phase.d_end, phase.cpu_tile};
+  return cpu::wavefront_cost_ns(phase.scheduler, region, cpu, tsize_units, elem_bytes);
+}
+
 double cpu_phase_cost_ns(cpu::Scheduler scheduler, const core::InputParams& in,
                          const core::TunableParams& params, const sim::CpuModel& cpu) {
-  in.validate();
-  const core::TunableParams p = params.normalized(in.dim);
-  const std::size_t dim = in.dim;
-  const std::size_t d_total = core::num_diagonals(dim);
-  const std::size_t d0 = p.uses_gpu() ? p.gpu_d_begin(dim) : d_total;
-  const std::size_t d1 = p.uses_gpu() ? p.gpu_d_end(dim) : d_total;
-  const auto tile = static_cast<std::size_t>(p.cpu_tile);
-
+  // Walk the exact program the executor would interpret for this tuning —
+  // one source of truth for the schedule shape, not a re-derivation.
+  const core::PhaseProgram program = core::plan_phases(in, params, scheduler);
   double total = 0.0;
-  if (d0 > 0) {
-    const cpu::TiledRegion phase1{dim, 0, d0, tile};
-    total += cpu::wavefront_cost_ns(scheduler, phase1, cpu, in.tsize, in.elem_bytes());
-  }
-  if (d1 < d_total) {
-    const cpu::TiledRegion phase3{dim, d1, d_total, tile};
-    total += cpu::wavefront_cost_ns(scheduler, phase3, cpu, in.tsize, in.elem_bytes());
+  for (const core::PhaseDesc& ph : program.phases) {
+    if (ph.is_cpu()) total += phase_cost_ns(ph, program.dim, in.tsize, in.elem_bytes(), cpu);
   }
   return total;
 }
@@ -32,6 +29,21 @@ cpu::Scheduler choose_cpu_scheduler(const core::InputParams& in,
   const double barrier = cpu_phase_cost_ns(cpu::Scheduler::kBarrier, in, params, cpu);
   const double dataflow = cpu_phase_cost_ns(cpu::Scheduler::kDataflow, in, params, cpu);
   return dataflow < barrier ? cpu::Scheduler::kDataflow : cpu::Scheduler::kBarrier;
+}
+
+core::PhaseProgram tune_cpu_schedulers(core::PhaseProgram program, const core::InputParams& in,
+                                       const sim::CpuModel& cpu) {
+  for (core::PhaseDesc& ph : program.phases) {
+    if (!ph.is_cpu()) continue;
+    core::PhaseDesc barrier = ph;
+    barrier.scheduler = cpu::Scheduler::kBarrier;
+    core::PhaseDesc dataflow = ph;
+    dataflow.scheduler = cpu::Scheduler::kDataflow;
+    const double b = phase_cost_ns(barrier, program.dim, in.tsize, in.elem_bytes(), cpu);
+    const double f = phase_cost_ns(dataflow, program.dim, in.tsize, in.elem_bytes(), cpu);
+    ph.scheduler = f < b ? cpu::Scheduler::kDataflow : cpu::Scheduler::kBarrier;
+  }
+  return program;
 }
 
 const char* preferred_cpu_backend(const core::InputParams& in,

@@ -3,37 +3,51 @@
 // The two CPU-phase scheduling disciplines (barriered tile-diagonal sweep
 // vs dependency-counter dataflow, cpu/dataflow_wavefront.hpp) produce
 // bit-identical grids, so the choice between them is purely a performance
-// question — and the cost models answer it deterministically per input:
-// sum the phase-1 + phase-3 region costs of a tuning under each scheduler
-// and take the argmin. For the three shipped profiles the calibration
-// (dataflow_dep_ns < tile_sched_ns, barrier_ns > 0) makes dataflow the
-// predicted winner on every nonempty region; the selection hook earns its
-// keep on recalibrated or user-supplied CpuModels — machines where
-// dependency bookkeeping and steal traffic genuinely cost more than a
-// pool barrier (high-core-count NUMA boxes, dataflow_dep_ns measured
-// above tile_sched_ns) flip the answer per region shape. The "cpu-auto"
-// backend applies this choice at run/estimate time, the same way the
-// paper's autotuner picks band/halo/tile.
+// question — and the cost models answer it deterministically per input by
+// walking the same core::PhaseProgram the executor interprets: cost each
+// CPU phase's region under each scheduler and take the argmin. For the
+// three shipped profiles the calibration (dataflow_dep_ns < tile_sched_ns,
+// barrier_ns > 0) makes dataflow the predicted winner on every nonempty
+// region; the selection hook earns its keep on recalibrated or
+// user-supplied CpuModels — machines where dependency bookkeeping and
+// steal traffic genuinely cost more than a pool barrier (high-core-count
+// NUMA boxes, dataflow_dep_ns measured above tile_sched_ns) flip the
+// answer per region shape. The "cpu-auto" backend applies the per-phase
+// refinement (tune_cpu_schedulers) at PLAN time, so the one program its
+// plan carries is what both run and estimate interpret.
 #pragma once
 
 #include "core/params.hpp"
+#include "core/phase_program.hpp"
 #include "cpu/dataflow_wavefront.hpp"
 #include "sim/system_profile.hpp"
 
 namespace wavetune::autotune {
 
-/// Total modelled CPU-phase time (phases 1 and 3 of the three-phase
-/// schedule; the whole grid when the tuning uses no GPU) for `in` under
-/// `params` with the given scheduler. `params` may be raw: it is
-/// normalized for in.dim first.
+/// Total modelled CPU-phase time of the program `plan_phases(in, params,
+/// scheduler)` would produce (the whole grid when the tuning uses no
+/// GPU) — i.e. the sum of the CPU phases of the same program walk the
+/// executor charges. `params` may be raw: it is normalized for in.dim.
 double cpu_phase_cost_ns(cpu::Scheduler scheduler, const core::InputParams& in,
                          const core::TunableParams& params, const sim::CpuModel& cpu);
 
-/// The scheduler the cost model predicts faster for this input + tuning.
-/// Ties go to the barriered scheduler (the paper's baseline discipline).
+/// Modelled time of ONE CPU phase of a program on `cpu`.
+double phase_cost_ns(const core::PhaseDesc& phase, std::size_t dim, double tsize_units,
+                     std::size_t elem_bytes, const sim::CpuModel& cpu);
+
+/// The single scheduler the cost model predicts faster across all CPU
+/// phases of this input + tuning. Ties go to the barriered scheduler (the
+/// paper's baseline discipline).
 cpu::Scheduler choose_cpu_scheduler(const core::InputParams& in,
                                     const core::TunableParams& params,
                                     const sim::CpuModel& cpu);
+
+/// Per-PHASE refinement: re-decides barrier-vs-dataflow for every CPU
+/// phase of `program` independently (a pre-band sliver and a post-band
+/// bulk phase can want different disciplines). GPU phases pass through
+/// untouched; ties go to barrier. Returns the refined program.
+core::PhaseProgram tune_cpu_schedulers(core::PhaseProgram program, const core::InputParams& in,
+                                       const sim::CpuModel& cpu);
 
 /// Backend-registry name of the predicted-faster pure-CPU backend for
 /// this input + tuning: "cpu-dataflow" or "cpu-tiled". Convenience for

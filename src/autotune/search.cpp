@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <set>
 
+#include "core/phase_program.hpp"
 #include "util/logging.hpp"
 #include "util/stats.hpp"
 
@@ -75,12 +77,26 @@ InstanceResult ExhaustiveSearch::search_instance(const core::InputParams& instan
   const auto configs = space_.configs_for(instance.dim, profile_.gpu_count());
   result.records.reserve(configs.size());
   for (const auto& params : configs) {
-    SearchRecord rec;
-    rec.params = params;
-    rec.rtime_ns = executor_.estimate(instance, params).rtime_ns;
-    rec.censored = rec.rtime_ns > threshold_ns;
-    if (rec.censored) ++result.censored_count;
-    result.records.push_back(rec);
+    // Every configuration is evaluated as a phase program — the same IR
+    // the executor interprets — so the search can explore schedule
+    // STRUCTURE (the band-split axis) alongside the paper's tile sizes.
+    const core::PhaseProgram base = core::plan_phases(instance, params);
+    // Splits clamp to the band width, so distinct k values can collapse to
+    // one shape (k=4 and k=8 on a 3-diagonal band are both 3 sub-bands);
+    // evaluate each resulting shape once or top_k would double-weight it.
+    std::set<std::size_t> seen_shapes{base.phases.size()};
+    for (int split : space_.splits_for(params)) {
+      const core::PhaseProgram program =
+          split > 1 ? core::split_gpu_band(base, static_cast<std::size_t>(split)) : base;
+      if (split > 1 && !seen_shapes.insert(program.phases.size()).second) continue;
+      SearchRecord rec;
+      rec.params = params;
+      rec.band_split = split;
+      rec.rtime_ns = executor_.estimate(instance, program).rtime_ns;
+      rec.censored = rec.rtime_ns > threshold_ns;
+      if (rec.censored) ++result.censored_count;
+      result.records.push_back(rec);
+    }
   }
   return result;
 }

@@ -20,6 +20,11 @@ namespace wavetune::autotune {
 
 struct SearchRecord {
   core::TunableParams params;  ///< normalized configuration
+  /// Phase-structure axis: the GPU band was split into this many
+  /// contiguous sub-band phases (1 = the paper's single-band program).
+  /// The evaluated schedule is
+  /// core::split_gpu_band(core::plan_phases(in, params), band_split).
+  int band_split = 1;
   double rtime_ns = 0.0;       ///< simulated runtime
   bool censored = false;       ///< exceeded the runtime threshold
 };

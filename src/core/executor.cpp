@@ -4,6 +4,7 @@
 #include <climits>
 #include <cstring>
 #include <stdexcept>
+#include <string>
 
 #include "cpu/tiled_wavefront.hpp"
 #include "ocl/context.hpp"
@@ -12,13 +13,78 @@ namespace wavetune::core {
 
 namespace {
 
-/// Sentinels for the dual-GPU validity frontier (see gpu_phase_dual).
+/// Sentinels for the multi-GPU validity frontier (see gpu_phase_multi).
 constexpr long long kValidAll = LLONG_MIN / 4;   ///< every existing row valid
 constexpr long long kValidNone = LLONG_MAX / 4;  ///< no row valid
 
 long long ll(std::size_t v) { return static_cast<long long>(v); }
 
 }  // namespace
+
+// --- PhaseBreakdown derived accessors ------------------------------------
+
+double PhaseBreakdown::total_ns() const {
+  double t = 0.0;
+  for (const PhaseTiming& p : phases) t += p.ns;
+  return t;
+}
+
+double PhaseBreakdown::phase1_ns() const {
+  double t = 0.0;
+  for (const PhaseTiming& p : phases) {
+    if (p.device != PhaseDevice::kCpu) break;  // first GPU phase ends "phase 1"
+    t += p.ns;
+  }
+  return t;
+}
+
+double PhaseBreakdown::gpu_ns() const {
+  double t = 0.0;
+  for (const PhaseTiming& p : phases) {
+    if (p.device != PhaseDevice::kCpu) t += p.ns;
+  }
+  return t;
+}
+
+double PhaseBreakdown::phase3_ns() const { return total_ns() - phase1_ns() - gpu_ns(); }
+
+double PhaseBreakdown::transfer_in_ns() const {
+  double t = 0.0;
+  for (const PhaseTiming& p : phases) t += p.transfer_in_ns;
+  return t;
+}
+
+double PhaseBreakdown::transfer_out_ns() const {
+  double t = 0.0;
+  for (const PhaseTiming& p : phases) t += p.transfer_out_ns;
+  return t;
+}
+
+double PhaseBreakdown::swap_ns() const {
+  double t = 0.0;
+  for (const PhaseTiming& p : phases) t += p.swap_ns;
+  return t;
+}
+
+std::size_t PhaseBreakdown::kernel_launches() const {
+  std::size_t n = 0;
+  for (const PhaseTiming& p : phases) n += p.kernel_launches;
+  return n;
+}
+
+std::size_t PhaseBreakdown::swap_count() const {
+  std::size_t n = 0;
+  for (const PhaseTiming& p : phases) n += p.swap_count;
+  return n;
+}
+
+std::size_t PhaseBreakdown::redundant_cells() const {
+  std::size_t n = 0;
+  for (const PhaseTiming& p : phases) n += p.redundant_cells;
+  return n;
+}
+
+// --- executor -------------------------------------------------------------
 
 /// Run-mode state: the spec and host grid, plus one full-grid-shaped
 /// device buffer per GPU. Device buffers are poison-filled so that any
@@ -66,9 +132,8 @@ struct HybridExecutor::FunctionalCtx {
 HybridExecutor::HybridExecutor(sim::SystemProfile profile, std::size_t pool_workers)
     : profile_(std::move(profile)), pool_(pool_workers) {}
 
-RunResult HybridExecutor::run(const WavefrontSpec& spec, const TunableParams& params,
-                              Grid& grid, ocl::Trace* trace, cpu::Scheduler scheduler,
-                              const LoweredKernel* lowered) {
+RunResult HybridExecutor::run(const WavefrontSpec& spec, const PhaseProgram& program,
+                              Grid& grid, ocl::Trace* trace, const LoweredKernel* lowered) {
   spec.validate();
   if (grid.dim() != spec.dim || grid.elem_bytes() != spec.elem_bytes) {
     throw std::invalid_argument("HybridExecutor::run: grid does not match spec");
@@ -85,13 +150,24 @@ RunResult HybridExecutor::run(const WavefrontSpec& spec, const TunableParams& pa
   fctx.host = &grid;
   fctx.pool = &pool_;
   fctx.lowered = lowered;
-  return execute(spec.inputs(), params, &fctx, trace, scheduler);
+  return execute(spec.inputs(), program, &fctx, trace);
+}
+
+RunResult HybridExecutor::estimate(const InputParams& in, const PhaseProgram& program,
+                                   ocl::Trace* trace) const {
+  in.validate();
+  return execute(in, program, nullptr, trace);
+}
+
+RunResult HybridExecutor::run(const WavefrontSpec& spec, const TunableParams& params,
+                              Grid& grid, ocl::Trace* trace, cpu::Scheduler scheduler,
+                              const LoweredKernel* lowered) {
+  return run(spec, plan_phases(spec.inputs(), params, scheduler), grid, trace, lowered);
 }
 
 RunResult HybridExecutor::estimate(const InputParams& in, const TunableParams& params,
                                    ocl::Trace* trace, cpu::Scheduler scheduler) const {
-  in.validate();
-  return execute(in, params, nullptr, trace, scheduler);
+  return estimate(in, plan_phases(in, params, scheduler), trace);
 }
 
 RunResult HybridExecutor::run_serial(const WavefrontSpec& spec, Grid& grid,
@@ -111,7 +187,12 @@ RunResult HybridExecutor::run_serial(const WavefrontSpec& spec, Grid& grid,
   RunResult r;
   r.params = TunableParams{1, -1, -1, 1};
   const InputParams in = spec.inputs();
-  r.breakdown.phase1_ns = estimate_serial(in);
+  PhaseTiming t;
+  t.device = PhaseDevice::kCpu;
+  t.d_begin = 0;
+  t.d_end = num_diagonals(spec.dim);
+  t.ns = estimate_serial(in);
+  r.breakdown.phases.push_back(t);
   r.rtime_ns = r.breakdown.total_ns();
   return r;
 }
@@ -122,85 +203,78 @@ double HybridExecutor::estimate_serial(const InputParams& in) const {
   return cpu::serial_wavefront_cost_ns(region, profile_.cpu, in.tsize, in.elem_bytes());
 }
 
-RunResult HybridExecutor::execute(const InputParams& in, const TunableParams& raw,
-                                  FunctionalCtx* fctx, ocl::Trace* trace,
-                                  cpu::Scheduler scheduler) const {
-  const TunableParams p = raw.normalized(in.dim);
-  if (p.gpu_count() > profile_.gpu_count()) {
-    throw std::invalid_argument("HybridExecutor: tuning requests " +
-                                std::to_string(p.gpu_count()) + " GPU(s) but system '" +
+RunResult HybridExecutor::execute(const InputParams& in, const PhaseProgram& program,
+                                  FunctionalCtx* fctx, ocl::Trace* trace) const {
+  program.validate();
+  if (program.dim != in.dim) {
+    throw std::invalid_argument("HybridExecutor: program dim " + std::to_string(program.dim) +
+                                " does not match instance dim " + std::to_string(in.dim));
+  }
+  if (program.max_gpu_count() > profile_.gpu_count()) {
+    throw std::invalid_argument("HybridExecutor: program requests " +
+                                std::to_string(program.max_gpu_count()) + " GPU(s) but system '" +
                                 profile_.name + "' has " +
                                 std::to_string(profile_.gpu_count()));
   }
 
-  const std::size_t dim = in.dim;
-  const std::size_t d_total = num_diagonals(dim);
-  const std::size_t d0 = p.uses_gpu() ? p.gpu_d_begin(dim) : d_total;
-  const std::size_t d1 = p.uses_gpu() ? p.gpu_d_end(dim) : d_total;
-  const auto tile = static_cast<std::size_t>(p.cpu_tile);
-
   RunResult result;
-  result.params = p;
+  result.params = program.params;
+  result.breakdown.phases.reserve(program.phases.size());
 
-  // Phase 1: CPU before the band (the whole grid when band == -1). Both
-  // the charged time and the functional run go through the selected
-  // scheduler, preserving the run()/estimate() parity property. The
-  // functional run dispatches one lowered-kernel call per tile — the
-  // kernel was resolved once, before any loop.
-  {
-    cpu::TiledRegion region{dim, 0, d0, tile};
-    result.breakdown.phase1_ns =
-        cpu::wavefront_cost_ns(scheduler, region, profile_.cpu, in.tsize, in.elem_bytes());
-    if (fctx) {
-      cpu::run_wavefront(scheduler, region, *fctx->pool, *fctx->lowered, fctx->host->data());
+  // ONE walk of the program, shared by run (fctx != nullptr) and estimate
+  // (fctx == nullptr). Each phase charges its simulated time; in run mode
+  // it also executes functionally — CPU phases through the selected
+  // scheduler (one lowered-kernel call per tile, resolved before any
+  // loop), GPU phases through the simulated devices.
+  for (const PhaseDesc& ph : program.phases) {
+    PhaseTiming t;
+    t.device = ph.device;
+    t.d_begin = ph.d_begin;
+    t.d_end = ph.d_end;
+    if (ph.is_cpu()) {
+      cpu::TiledRegion region{in.dim, ph.d_begin, ph.d_end, ph.cpu_tile};
+      t.ns = cpu::wavefront_cost_ns(ph.scheduler, region, profile_.cpu, in.tsize,
+                                    in.elem_bytes());
+      if (fctx) {
+        cpu::run_wavefront(ph.scheduler, region, *fctx->pool, *fctx->lowered,
+                           fctx->host->data());
+      }
+    } else {
+      gpu_phase(in, ph, fctx, trace, t);
     }
-  }
-
-  // Phase 2: GPU band.
-  if (p.uses_gpu() && d0 < d1) {
-    gpu_phase(in, p, fctx, trace, result.breakdown);
-  }
-
-  // Phase 3: CPU after the band.
-  if (d1 < d_total) {
-    cpu::TiledRegion region{dim, d1, d_total, tile};
-    result.breakdown.phase3_ns =
-        cpu::wavefront_cost_ns(scheduler, region, profile_.cpu, in.tsize, in.elem_bytes());
-    if (fctx) {
-      cpu::run_wavefront(scheduler, region, *fctx->pool, *fctx->lowered, fctx->host->data());
-    }
+    result.breakdown.phases.push_back(t);
   }
 
   result.rtime_ns = result.breakdown.total_ns();
   return result;
 }
 
-void HybridExecutor::gpu_phase(const InputParams& in, const TunableParams& p,
+void HybridExecutor::gpu_phase(const InputParams& in, const PhaseDesc& ph,
                                FunctionalCtx* fctx, ocl::Trace* trace,
-                               PhaseBreakdown& out) const {
+                               PhaseTiming& out) const {
   if (fctx) {
     // One full-grid-shaped, poison-filled buffer per device in use.
     fctx->dev.clear();
     const std::size_t bytes = in.dim * in.dim * fctx->spec->elem_bytes;
-    for (int g = 0; g < p.gpu_count(); ++g) {
+    for (int g = 0; g < ph.gpu_count; ++g) {
       fctx->dev.emplace_back(bytes);
       fctx->dev.back().fill(Grid::kPoison);
     }
   }
-  if (p.gpu_count() >= 2) {
-    gpu_phase_multi(in, p, p.gpu_count(), fctx, trace, out);
+  if (ph.gpu_count >= 2) {
+    gpu_phase_multi(in, ph, fctx, trace, out);
   } else {
-    gpu_phase_single(in, p, fctx, trace, out);
+    gpu_phase_single(in, ph, fctx, trace, out);
   }
 }
 
-void HybridExecutor::gpu_phase_single(const InputParams& in, const TunableParams& p,
+void HybridExecutor::gpu_phase_single(const InputParams& in, const PhaseDesc& ph,
                                       FunctionalCtx* fctx, ocl::Trace* trace,
-                                      PhaseBreakdown& out) const {
+                                      PhaseTiming& out) const {
   const std::size_t dim = in.dim;
   const std::size_t esize = in.elem_bytes();
-  const std::size_t d0 = p.gpu_d_begin(dim);
-  const std::size_t d1 = p.gpu_d_end(dim);
+  const std::size_t d0 = ph.d_begin;
+  const std::size_t d1 = ph.d_end;
   const std::size_t frontier_lo = d0 >= 2 ? d0 - 2 : 0;
 
   ocl::Context ctx(profile_);
@@ -219,7 +293,7 @@ void HybridExecutor::gpu_phase_single(const InputParams& in, const TunableParams
     fctx->copy_diag_rows(fctx->host->data(), fctx->dev[0].data(), frontier_lo, d1, 0, dim);
   }
 
-  if (!p.gpu_tiled()) {
+  if (ph.gpu_tile <= 1) {
     // Untiled: one kernel per diagonal (paper Fig. 2).
     for (std::size_t d = d0; d < d1; ++d) {
       const std::size_t len = diag_len(dim, d);
@@ -240,7 +314,7 @@ void HybridExecutor::gpu_phase_single(const InputParams& in, const TunableParams
   } else {
     // Tiled: one kernel per tile-diagonal; work-groups are g x g tiles
     // whose work-items run an intra-tile wavefront with barriers.
-    const auto g = static_cast<std::size_t>(p.gpu_tile);
+    const std::size_t g = ph.gpu_tile;
     const std::size_t Mg = (dim + g - 1) / g;
     for (std::size_t k = 0; k < 2 * Mg - 1; ++k) {
       const std::size_t span_lo = k * g;
@@ -278,19 +352,19 @@ void HybridExecutor::gpu_phase_single(const InputParams& in, const TunableParams
     fctx->copy_diag_rows(fctx->dev[0].data(), fctx->host->data(), d0, d1, 0, dim);
   }
 
-  out.gpu_ns = ctx.finish_time();
+  out.ns = ctx.finish_time();
 }
 
-void HybridExecutor::gpu_phase_multi(const InputParams& in, const TunableParams& p,
-                                     int n_gpus, FunctionalCtx* fctx, ocl::Trace* trace,
-                                     PhaseBreakdown& out) const {
+void HybridExecutor::gpu_phase_multi(const InputParams& in, const PhaseDesc& ph,
+                                     FunctionalCtx* fctx, ocl::Trace* trace,
+                                     PhaseTiming& out) const {
   const std::size_t dim = in.dim;
   const std::size_t esize = in.elem_bytes();
-  const std::size_t d0 = p.gpu_d_begin(dim);
-  const std::size_t d1 = p.gpu_d_end(dim);
+  const std::size_t d0 = ph.d_begin;
+  const std::size_t d1 = ph.d_end;
   const std::size_t frontier_lo = d0 >= 2 ? d0 - 2 : 0;
-  const auto n = static_cast<std::size_t>(n_gpus);
-  const long long h = p.halo;  // redundancy depth (>= 0)
+  const auto n = static_cast<std::size_t>(ph.gpu_count);
+  const long long h = ph.halo;  // redundancy depth (>= 0)
 
   // Fixed row split: device g owns rows [split[g], split[g+1]).
   std::vector<long long> split(n + 1);
@@ -427,7 +501,7 @@ void HybridExecutor::gpu_phase_multi(const InputParams& in, const TunableParams&
     }
   }
 
-  out.gpu_ns = ctx.finish_time();
+  out.ns = ctx.finish_time();
 }
 
 }  // namespace wavetune::core

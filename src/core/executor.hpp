@@ -1,26 +1,36 @@
-// The hybrid three-phase wavefront executor — the paper's §2 strategy.
+// The hybrid wavefront executor: a single interpreter over a
+// core::PhaseProgram (core/phase_program.hpp).
 //
-//   Phase 1 (CPU): diagonals [0, d0) tiled-parallel across the cores.
-//   Phase 2 (GPU): diagonals [d0, d1) — the band of 2*band+1 diagonals
-//                  centred on the main diagonal — on 1 or 2 simulated GPUs,
-//                  untiled (one kernel per diagonal) or tiled (work-groups
-//                  of gpu_tile x gpu_tile cells, one kernel per
-//                  tile-diagonal). Dual-GPU schedules split each diagonal
-//                  at the fixed row s = dim/2 and exchange halo strips
-//                  through host memory every halo+1 diagonals.
-//   Phase 3 (CPU): diagonals [d1, 2*dim-1) tiled-parallel.
+// The paper's §2 strategy — CPU tiled before the band, the GPU band
+// (single or multi device), CPU tiled after — is the DEFAULT program that
+// core::plan_phases compiles from a TunableParams tuning; the executor
+// itself knows nothing about that shape. It walks whatever valid program
+// it is handed, phase by phase:
 //
-// run() executes the computation functionally (real values, real threads
-// for the CPU phases) while charging simulated time; estimate() walks the
-// identical schedule charging time only. Both produce the same simulated
-// rtime by construction — a property the test suite checks.
+//   kCpu        diagonals [d_begin, d_end) tiled-parallel across the
+//               cores, under the phase's scheduler (barriered sweep or
+//               dependency-counter dataflow).
+//   kGpuSingle  the range on one simulated GPU, untiled (one kernel per
+//               diagonal) or tiled (work-groups of gpu_tile x gpu_tile
+//               cells, one kernel per tile-diagonal).
+//   kGpuMulti   N-way fixed row split at rows dim*g/N with chained halo
+//               exchanges through host memory every halo+1 diagonals.
+//
+// run() interprets the program functionally (real values, real threads
+// for the CPU phases) while charging simulated time; estimate() interprets
+// the IDENTICAL program charging time only. Parity is structural: both are
+// the same walk of the same data, differing only in whether a functional
+// context is attached — a property the test suite still checks over
+// randomized programs.
 #pragma once
 
 #include <cstddef>
 #include <memory>
+#include <vector>
 
 #include "core/grid.hpp"
 #include "core/params.hpp"
+#include "core/phase_program.hpp"
 #include "core/spec.hpp"
 #include "cpu/dataflow_wavefront.hpp"
 #include "cpu/thread_pool.hpp"
@@ -32,27 +42,54 @@ class Trace;
 
 namespace wavetune::core {
 
-/// Simulated-time accounting of one execution.
-struct PhaseBreakdown {
-  double phase1_ns = 0.0;  ///< CPU tiled phase before the band
-  double gpu_ns = 0.0;     ///< whole GPU phase (transfers + kernels + swaps)
-  double phase3_ns = 0.0;  ///< CPU tiled phase after the band
+/// Simulated-time accounting of one executed phase.
+struct PhaseTiming {
+  PhaseDevice device = PhaseDevice::kCpu;
+  std::size_t d_begin = 0;  ///< diagonal range the phase covered
+  std::size_t d_end = 0;
+  double ns = 0.0;  ///< simulated time of the whole phase
 
-  // Informational detail of the GPU phase (already included in gpu_ns):
+  // GPU-phase detail (already included in ns; zero for CPU phases):
   double transfer_in_ns = 0.0;
   double transfer_out_ns = 0.0;
   double swap_ns = 0.0;
   std::size_t kernel_launches = 0;
   std::size_t swap_count = 0;
   std::size_t redundant_cells = 0;  ///< halo cells computed twice
+};
 
-  double total_ns() const { return phase1_ns + gpu_ns + phase3_ns; }
+/// Simulated-time accounting of one execution: one PhaseTiming per program
+/// phase, in execution order. The legacy three-phase fields
+/// (phase1/gpu/phase3) are DERIVED accessors over the vector — for the
+/// paper's default program they mean exactly what they always did; for
+/// arbitrary programs they partition the total as documented.
+struct PhaseBreakdown {
+  std::vector<PhaseTiming> phases;
+
+  double total_ns() const;
+
+  /// CPU time before the first GPU phase (all CPU time for pure-CPU
+  /// programs) — the paper's "phase 1".
+  double phase1_ns() const;
+  /// Total GPU time (transfers + kernels + swaps) across every GPU phase.
+  double gpu_ns() const;
+  /// CPU time from the first GPU phase onward — the paper's "phase 3".
+  /// phase1_ns() + gpu_ns() + phase3_ns() == total_ns() for any program.
+  double phase3_ns() const;
+
+  // GPU-phase detail, summed over every GPU phase:
+  double transfer_in_ns() const;
+  double transfer_out_ns() const;
+  double swap_ns() const;
+  std::size_t kernel_launches() const;
+  std::size_t swap_count() const;
+  std::size_t redundant_cells() const;
 };
 
 struct RunResult {
   PhaseBreakdown breakdown;
-  double rtime_ns = 0.0;        ///< == breakdown.total_ns()
-  TunableParams params;         ///< normalized parameters actually executed
+  double rtime_ns = 0.0;  ///< == breakdown.total_ns()
+  TunableParams params;   ///< normalized parameters the program was built from
 };
 
 class HybridExecutor {
@@ -63,26 +100,33 @@ public:
   const sim::SystemProfile& profile() const { return profile_; }
 
   /// Functionally computes every cell of `grid` (whose dimensions must
-  /// match the spec) under the given tuning, and returns the simulated
-  /// timing. Throws std::invalid_argument on spec/grid mismatch or if the
-  /// tuning requests more GPUs than the profile has. A non-null `trace`
-  /// receives every GPU-phase command (see ocl/trace.hpp). `scheduler`
-  /// selects the CPU-phase discipline for phases 1 and 3: the paper's
-  /// barriered tile-diagonal sweep (default) or the dependency-counter
-  /// dataflow scheduler (cpu/dataflow_wavefront.hpp); both compute
-  /// bit-identical grids.
+  /// match the spec) by interpreting `program`, and returns the simulated
+  /// timing. Throws std::invalid_argument on spec/grid/program mismatch or
+  /// if any phase requests more GPUs than the profile has. A non-null
+  /// `trace` receives every GPU-phase command (see ocl/trace.hpp).
   ///
   /// `lowered` is the plan-time kernel resolution (core/lowered.hpp):
   /// callers that compiled the spec once (api::Engine plans) pass their
   /// cached LoweredKernel so repeated runs skip re-lowering; when null,
   /// the spec is lowered once at the top of the call — never inside any
   /// per-tile, per-diagonal, or per-phase loop.
+  RunResult run(const WavefrontSpec& spec, const PhaseProgram& program, Grid& grid,
+                ocl::Trace* trace = nullptr, const LoweredKernel* lowered = nullptr);
+
+  /// Simulated timing of the IDENTICAL program walk, without functional
+  /// execution — the same interpreter as run(), minus the kernel calls.
+  RunResult estimate(const InputParams& in, const PhaseProgram& program,
+                     ocl::Trace* trace = nullptr) const;
+
+  /// Convenience: compiles the paper's default program via
+  /// core::plan_phases(spec.inputs(), params, scheduler) and runs it.
   RunResult run(const WavefrontSpec& spec, const TunableParams& params, Grid& grid,
                 ocl::Trace* trace = nullptr,
                 cpu::Scheduler scheduler = cpu::Scheduler::kBarrier,
                 const LoweredKernel* lowered = nullptr);
 
-  /// Simulated timing of the same schedule, without functional execution.
+  /// Convenience: compiles the same default program and estimates it —
+  /// by construction the exact program the run() convenience executes.
   RunResult estimate(const InputParams& in, const TunableParams& params,
                      ocl::Trace* trace = nullptr,
                      cpu::Scheduler scheduler = cpu::Scheduler::kBarrier) const;
@@ -101,17 +145,19 @@ private:
 
   struct FunctionalCtx;  // run-mode state (spec, host grid, device buffers)
 
-  RunResult execute(const InputParams& in, const TunableParams& params, FunctionalCtx* fctx,
-                    ocl::Trace* trace, cpu::Scheduler scheduler) const;
+  /// THE interpreter: the only walk of a program. `fctx == nullptr` is
+  /// timing-only mode (estimate); non-null executes functionally too.
+  RunResult execute(const InputParams& in, const PhaseProgram& program, FunctionalCtx* fctx,
+                    ocl::Trace* trace) const;
 
-  void gpu_phase(const InputParams& in, const TunableParams& p, FunctionalCtx* fctx,
-                 ocl::Trace* trace, PhaseBreakdown& out) const;
-  void gpu_phase_single(const InputParams& in, const TunableParams& p, FunctionalCtx* fctx,
-                        ocl::Trace* trace, PhaseBreakdown& out) const;
+  void gpu_phase(const InputParams& in, const PhaseDesc& ph, FunctionalCtx* fctx,
+                 ocl::Trace* trace, PhaseTiming& out) const;
+  void gpu_phase_single(const InputParams& in, const PhaseDesc& ph, FunctionalCtx* fctx,
+                        ocl::Trace* trace, PhaseTiming& out) const;
   /// N-way row split (N >= 2) with chained halo exchanges; N == 2 is the
   /// paper's dual-GPU schedule, N >= 3 the §6 future-work extension.
-  void gpu_phase_multi(const InputParams& in, const TunableParams& p, int n_gpus,
-                       FunctionalCtx* fctx, ocl::Trace* trace, PhaseBreakdown& out) const;
+  void gpu_phase_multi(const InputParams& in, const PhaseDesc& ph, FunctionalCtx* fctx,
+                       ocl::Trace* trace, PhaseTiming& out) const;
 };
 
 }  // namespace wavetune::core

@@ -20,21 +20,21 @@ std::vector<double> solve_linear_system(std::vector<std::vector<double>> a,
   }
 
   // Try Cholesky first (A = L L^T); bail out to Gaussian elimination on a
-  // non-positive pivot.
-  std::vector<std::vector<double>> l(n, std::vector<double>(n, 0.0));
+  // non-positive pivot. L is a flat row-major n x n lower triangle.
+  std::vector<double> l(n * n, 0.0);
   bool spd = true;
   for (std::size_t i = 0; i < n && spd; ++i) {
     for (std::size_t j = 0; j <= i; ++j) {
       double sum = a[i][j];
-      for (std::size_t k = 0; k < j; ++k) sum -= l[i][k] * l[j][k];
+      for (std::size_t k = 0; k < j; ++k) sum -= l[i * n + k] * l[j * n + k];
       if (i == j) {
         if (sum <= 1e-14) {
           spd = false;
           break;
         }
-        l[i][j] = std::sqrt(sum);
+        l[i * n + j] = std::sqrt(sum);
       } else {
-        l[i][j] = sum / l[j][j];
+        l[i * n + j] = sum / l[j * n + j];
       }
     }
   }
@@ -43,14 +43,14 @@ std::vector<double> solve_linear_system(std::vector<std::vector<double>> a,
     std::vector<double> y(n);
     for (std::size_t i = 0; i < n; ++i) {
       double sum = b[i];
-      for (std::size_t k = 0; k < i; ++k) sum -= l[i][k] * y[k];
-      y[i] = sum / l[i][i];
+      for (std::size_t k = 0; k < i; ++k) sum -= l[i * n + k] * y[k];
+      y[i] = sum / l[i * n + i];
     }
     std::vector<double> x(n);
     for (std::size_t ii = n; ii-- > 0;) {
       double sum = y[ii];
-      for (std::size_t k = ii + 1; k < n; ++k) sum -= l[k][ii] * x[k];
-      x[ii] = sum / l[ii][ii];
+      for (std::size_t k = ii + 1; k < n; ++k) sum -= l[k * n + ii] * x[k];
+      x[ii] = sum / l[ii * n + ii];
     }
     return x;
   }

@@ -69,16 +69,16 @@ TEST_P(FuzzSweep, EstimateIsFiniteDeterministicAndDecomposed) {
     EXPECT_GT(a.rtime_ns, 0.0) << p.describe();
     EXPECT_DOUBLE_EQ(a.rtime_ns, b.rtime_ns) << p.describe();
     EXPECT_DOUBLE_EQ(a.rtime_ns, a.breakdown.total_ns()) << p.describe();
-    EXPECT_GE(a.breakdown.phase1_ns, 0.0);
-    EXPECT_GE(a.breakdown.gpu_ns, 0.0);
-    EXPECT_GE(a.breakdown.phase3_ns, 0.0);
+    EXPECT_GE(a.breakdown.phase1_ns(), 0.0);
+    EXPECT_GE(a.breakdown.gpu_ns(), 0.0);
+    EXPECT_GE(a.breakdown.phase3_ns(), 0.0);
     if (!a.params.uses_gpu()) {
-      EXPECT_DOUBLE_EQ(a.breakdown.gpu_ns, 0.0) << p.describe();
-      EXPECT_EQ(a.breakdown.swap_count, 0u);
+      EXPECT_DOUBLE_EQ(a.breakdown.gpu_ns(), 0.0) << p.describe();
+      EXPECT_EQ(a.breakdown.swap_count(), 0u);
     }
     if (a.params.gpu_count() < 2) {
-      EXPECT_EQ(a.breakdown.swap_count, 0u) << p.describe();
-      EXPECT_EQ(a.breakdown.redundant_cells, 0u) << p.describe();
+      EXPECT_EQ(a.breakdown.swap_count(), 0u) << p.describe();
+      EXPECT_EQ(a.breakdown.redundant_cells(), 0u) << p.describe();
     }
   }
 }
@@ -133,11 +133,11 @@ TEST(CostProperties, WiderBandMovesWorkToGpu) {
   double prev_gpu = 0.0;
   for (long long band : {50LL, 150LL, 300LL, 511LL}) {
     const auto r = ex.estimate(in, TunableParams{8, band, -1, 1});
-    const double cpu_time = r.breakdown.phase1_ns + r.breakdown.phase3_ns;
+    const double cpu_time = r.breakdown.phase1_ns() + r.breakdown.phase3_ns();
     EXPECT_LT(cpu_time, prev_cpu) << band;
-    EXPECT_GT(r.breakdown.gpu_ns, prev_gpu) << band;
+    EXPECT_GT(r.breakdown.gpu_ns(), prev_gpu) << band;
     prev_cpu = cpu_time;
-    prev_gpu = r.breakdown.gpu_ns;
+    prev_gpu = r.breakdown.gpu_ns();
   }
 }
 
@@ -147,7 +147,7 @@ TEST(CostProperties, TransfersGrowWithDsize) {
   double prev = 0.0;
   for (int dsize : {0, 1, 3, 5}) {
     const auto r = ex.estimate(InputParams{256, 100.0, dsize}, p);
-    const double xfer = r.breakdown.transfer_in_ns + r.breakdown.transfer_out_ns;
+    const double xfer = r.breakdown.transfer_in_ns() + r.breakdown.transfer_out_ns();
     EXPECT_GT(xfer, prev) << dsize;
     prev = xfer;
   }

@@ -263,7 +263,7 @@ TEST(EngineBackends, CpuTiledStripsGpuOffloadAtPrepare) {
   EXPECT_EQ(plan.params().cpu_tile, 6);
   EXPECT_EQ(plan.params().band, -1);
   EXPECT_EQ(plan.params().gpu_count(), 0);
-  EXPECT_DOUBLE_EQ(eng.estimate(plan).breakdown.gpu_ns, 0.0);
+  EXPECT_DOUBLE_EQ(eng.estimate(plan).breakdown.gpu_ns(), 0.0);
 }
 
 TEST(EngineBackends, CpuDataflowStripsGpuAndChargesBarrierFreeTime) {
@@ -273,7 +273,7 @@ TEST(EngineBackends, CpuDataflowStripsGpuAndChargesBarrierFreeTime) {
   EXPECT_EQ(flow.params().cpu_tile, 6);
   EXPECT_EQ(flow.params().band, -1);
   EXPECT_EQ(flow.params().gpu_count(), 0);
-  EXPECT_DOUBLE_EQ(eng.estimate(flow).breakdown.gpu_ns, 0.0);
+  EXPECT_DOUBLE_EQ(eng.estimate(flow).breakdown.gpu_ns(), 0.0);
   // Same prepared tuning through the barriered backend: the dataflow
   // schedule must charge strictly less simulated CPU time (no barriers).
   const Plan tiled = eng.compile(spec, core::TunableParams{6, 18, 3, 4}, kCpuTiledBackend);
@@ -333,14 +333,17 @@ public:
     return core::TunableParams{1, -1, -1, 1};
   }
   core::RunResult run(core::HybridExecutor& executor, const core::WavefrontSpec& spec,
-                      const core::LoweredKernel& lowered, const core::TunableParams&,
+                      const core::PhaseProgram&, const core::LoweredKernel& lowered,
                       core::Grid& grid) const override {
     return executor.run_serial(spec, grid, &lowered);
   }
   core::RunResult estimate(const core::HybridExecutor& executor, const core::InputParams& in,
-                           const core::TunableParams&) const override {
+                           const core::PhaseProgram&) const override {
     core::RunResult r;
-    r.breakdown.phase1_ns = executor.estimate_serial(in);
+    core::PhaseTiming t;
+    t.d_end = core::num_diagonals(in.dim);
+    t.ns = executor.estimate_serial(in);
+    r.breakdown.phases.push_back(t);
     r.rtime_ns = r.breakdown.total_ns();
     return r;
   }

@@ -171,10 +171,10 @@ TEST_F(ExecutorTest, RunAndEstimateAgreeExactly) {
     const RunResult r = run(eng_, spec, p, g);
     const RunResult est = estimate(eng_, in, p);
     EXPECT_DOUBLE_EQ(r.rtime_ns, est.rtime_ns) << p.describe();
-    EXPECT_DOUBLE_EQ(r.breakdown.gpu_ns, est.breakdown.gpu_ns) << p.describe();
-    EXPECT_EQ(r.breakdown.swap_count, est.breakdown.swap_count) << p.describe();
-    EXPECT_EQ(r.breakdown.kernel_launches, est.breakdown.kernel_launches) << p.describe();
-    EXPECT_EQ(r.breakdown.redundant_cells, est.breakdown.redundant_cells) << p.describe();
+    EXPECT_DOUBLE_EQ(r.breakdown.gpu_ns(), est.breakdown.gpu_ns()) << p.describe();
+    EXPECT_EQ(r.breakdown.swap_count(), est.breakdown.swap_count()) << p.describe();
+    EXPECT_EQ(r.breakdown.kernel_launches(), est.breakdown.kernel_launches()) << p.describe();
+    EXPECT_EQ(r.breakdown.redundant_cells(), est.breakdown.redundant_cells()) << p.describe();
   }
 }
 
@@ -182,44 +182,44 @@ TEST_F(ExecutorTest, BreakdownSumsToTotal) {
   const InputParams in{64, 100.0, 1};
   const RunResult r = estimate(eng_, in, TunableParams{4, 20, 3, 1});
   EXPECT_DOUBLE_EQ(r.rtime_ns, r.breakdown.total_ns());
-  EXPECT_GT(r.breakdown.phase1_ns, 0.0);
-  EXPECT_GT(r.breakdown.gpu_ns, 0.0);
-  EXPECT_GT(r.breakdown.phase3_ns, 0.0);
-  EXPECT_GT(r.breakdown.transfer_in_ns, 0.0);
-  EXPECT_GT(r.breakdown.transfer_out_ns, 0.0);
-  EXPECT_GT(r.breakdown.swap_count, 0u);
+  EXPECT_GT(r.breakdown.phase1_ns(), 0.0);
+  EXPECT_GT(r.breakdown.gpu_ns(), 0.0);
+  EXPECT_GT(r.breakdown.phase3_ns(), 0.0);
+  EXPECT_GT(r.breakdown.transfer_in_ns(), 0.0);
+  EXPECT_GT(r.breakdown.transfer_out_ns(), 0.0);
+  EXPECT_GT(r.breakdown.swap_count(), 0u);
   // Transfers and swaps happen inside the GPU phase.
-  EXPECT_LE(r.breakdown.transfer_in_ns + r.breakdown.transfer_out_ns, r.breakdown.gpu_ns);
+  EXPECT_LE(r.breakdown.transfer_in_ns() + r.breakdown.transfer_out_ns(), r.breakdown.gpu_ns());
 }
 
 TEST_F(ExecutorTest, FullBandHasNullCpuPhases) {
   const InputParams in{64, 100.0, 1};
   const RunResult r = estimate(eng_, in, TunableParams{4, 63, -1, 1});
-  EXPECT_DOUBLE_EQ(r.breakdown.phase1_ns, 0.0);
-  EXPECT_DOUBLE_EQ(r.breakdown.phase3_ns, 0.0);
-  EXPECT_GT(r.breakdown.gpu_ns, 0.0);
+  EXPECT_DOUBLE_EQ(r.breakdown.phase1_ns(), 0.0);
+  EXPECT_DOUBLE_EQ(r.breakdown.phase3_ns(), 0.0);
+  EXPECT_GT(r.breakdown.gpu_ns(), 0.0);
 }
 
 TEST_F(ExecutorTest, CpuOnlyHasNoGpuPhase) {
   const InputParams in{64, 100.0, 1};
   const RunResult r = estimate(eng_, in, TunableParams{4, -1, -1, 1});
-  EXPECT_DOUBLE_EQ(r.breakdown.gpu_ns, 0.0);
-  EXPECT_EQ(r.breakdown.kernel_launches, 0u);
-  EXPECT_GT(r.breakdown.phase1_ns, 0.0);
+  EXPECT_DOUBLE_EQ(r.breakdown.gpu_ns(), 0.0);
+  EXPECT_EQ(r.breakdown.kernel_launches(), 0u);
+  EXPECT_GT(r.breakdown.phase1_ns(), 0.0);
 }
 
 TEST_F(ExecutorTest, UntiledLaunchesOnePerDiagonal) {
   const InputParams in{64, 100.0, 1};
   // band=10 => 21 diagonals, single GPU.
   const RunResult r = estimate(eng_, in, TunableParams{4, 10, -1, 1});
-  EXPECT_EQ(r.breakdown.kernel_launches, 21u);
+  EXPECT_EQ(r.breakdown.kernel_launches(), 21u);
 }
 
 TEST_F(ExecutorTest, TilingReducesKernelLaunches) {
   const InputParams in{64, 100.0, 1};
   const RunResult untiled = estimate(eng_, in, TunableParams{4, 63, -1, 1});
   const RunResult tiled = estimate(eng_, in, TunableParams{4, 63, -1, 8});
-  EXPECT_LT(tiled.breakdown.kernel_launches, untiled.breakdown.kernel_launches);
+  EXPECT_LT(tiled.breakdown.kernel_launches(), untiled.breakdown.kernel_launches());
 }
 
 TEST_F(ExecutorTest, LargerHaloMeansFewerSwapsMoreRedundancy) {
@@ -227,10 +227,10 @@ TEST_F(ExecutorTest, LargerHaloMeansFewerSwapsMoreRedundancy) {
   const RunResult h0 = estimate(eng_, in, TunableParams{4, 50, 0, 1});
   const RunResult h4 = estimate(eng_, in, TunableParams{4, 50, 4, 1});
   const RunResult h12 = estimate(eng_, in, TunableParams{4, 50, 12, 1});
-  EXPECT_GT(h0.breakdown.swap_count, h4.breakdown.swap_count);
-  EXPECT_GT(h4.breakdown.swap_count, h12.breakdown.swap_count);
-  EXPECT_EQ(h0.breakdown.redundant_cells, 0u);
-  EXPECT_LT(h4.breakdown.redundant_cells, h12.breakdown.redundant_cells);
+  EXPECT_GT(h0.breakdown.swap_count(), h4.breakdown.swap_count());
+  EXPECT_GT(h4.breakdown.swap_count(), h12.breakdown.swap_count());
+  EXPECT_EQ(h0.breakdown.redundant_cells(), 0u);
+  EXPECT_LT(h4.breakdown.redundant_cells(), h12.breakdown.redundant_cells());
 }
 
 TEST_F(ExecutorTest, SerialEstimateMatchesClosedForm) {
@@ -344,8 +344,8 @@ TEST_F(ExecutorTest, MultiGpuRunMatchesEstimate) {
   const RunResult r = run(eng_, spec, p, g);
   const RunResult est = estimate(eng_, spec.inputs(), p);
   EXPECT_DOUBLE_EQ(r.rtime_ns, est.rtime_ns);
-  EXPECT_EQ(r.breakdown.swap_count, est.breakdown.swap_count);
-  EXPECT_EQ(r.breakdown.redundant_cells, est.breakdown.redundant_cells);
+  EXPECT_EQ(r.breakdown.swap_count(), est.breakdown.swap_count());
+  EXPECT_EQ(r.breakdown.redundant_cells(), est.breakdown.redundant_cells());
 }
 
 TEST_F(ExecutorTest, ExplicitGpus2MatchesEncodedDual) {
@@ -385,7 +385,7 @@ TEST_F(ExecutorTest, MultiGpuSwapsScaleWithBoundaries) {
   auto swaps = [&](int n) {
     TunableParams p{4, 100, 3, 1};
     p.gpus = n;
-    return estimate(eng_, in, p).breakdown.swap_count;
+    return estimate(eng_, in, p).breakdown.swap_count();
   };
   EXPECT_GT(swaps(3), swaps(2));
   EXPECT_GT(swaps(4), swaps(3));
@@ -431,7 +431,7 @@ TEST_F(ExecutorTest, SwapCountMatchesIntervalFormula) {
   // swap fires every h+1 = 4 diagonals.
   const std::size_t n_diags = 2 * band + 1;
   const std::size_t expected = (n_diags - 1) / 4;
-  EXPECT_EQ(r.breakdown.swap_count, expected);
+  EXPECT_EQ(r.breakdown.swap_count(), expected);
 }
 
 }  // namespace

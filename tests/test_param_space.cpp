@@ -103,8 +103,12 @@ TEST(ParamSpace, NoGpuSystemGetsCpuOnlyConfigs) {
 TEST(ParamSpace, GpuTileOnlyVariesForSingleGpu) {
   const ParamSpace s = ParamSpace::reduced();
   for (const auto& p : s.configs_for(1000, 2)) {
-    if (p.dual_gpu()) EXPECT_EQ(p.gpu_tile, 1) << p.describe();
-    if (!p.uses_gpu()) EXPECT_EQ(p.gpu_tile, 1) << p.describe();
+    if (p.dual_gpu()) {
+      EXPECT_EQ(p.gpu_tile, 1) << p.describe();
+    }
+    if (!p.uses_gpu()) {
+      EXPECT_EQ(p.gpu_tile, 1) << p.describe();
+    }
   }
 }
 

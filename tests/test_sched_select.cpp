@@ -19,7 +19,7 @@ TEST(SchedSelect, CostMatchesExecutorEstimatePhases) {
     for (cpu::Scheduler s : {cpu::Scheduler::kBarrier, cpu::Scheduler::kDataflow}) {
       const core::RunResult r = executor.estimate(in, params, nullptr, s);
       EXPECT_DOUBLE_EQ(cpu_phase_cost_ns(s, in, params, profile.cpu),
-                       r.breakdown.phase1_ns + r.breakdown.phase3_ns)
+                       r.breakdown.phase1_ns() + r.breakdown.phase3_ns())
           << cpu::scheduler_name(s) << " " << params.describe();
     }
   }

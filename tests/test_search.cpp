@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/phase_program.hpp"
 #include "sim/system_profile.hpp"
 
 namespace wavetune::autotune {
@@ -25,7 +26,9 @@ TEST_F(SearchTest, BestIsMinimalUncensored) {
   const auto best = res.best();
   ASSERT_TRUE(best.has_value());
   for (const auto& r : res.records) {
-    if (!r.censored) EXPECT_LE(best->rtime_ns, r.rtime_ns);
+    if (!r.censored) {
+      EXPECT_LE(best->rtime_ns, r.rtime_ns);
+    }
   }
 }
 
@@ -112,6 +115,49 @@ TEST_F(SearchTest, DeterministicAcrossCalls) {
   for (std::size_t i = 0; i < a.records.size(); ++i) {
     EXPECT_DOUBLE_EQ(a.records[i].rtime_ns, b.records[i].rtime_ns);
   }
+}
+
+// --- the phase-structure axis (band splits over the program IR) ----------
+
+TEST_F(SearchTest, DefaultSpaceHasNoSplitRecords) {
+  // The paper's Table 3 space searches single-band programs only; the
+  // structure axis defaults to {1} and adds no records.
+  const InstanceResult res = search_.search_instance(core::InputParams{480, 100.0, 1});
+  for (const auto& r : res.records) EXPECT_EQ(r.band_split, 1);
+}
+
+TEST_F(SearchTest, BandSplitAxisAddsScheduleShapesPerGpuConfig) {
+  ParamSpace space = ParamSpace::reduced();
+  space.band_splits = {1, 2, 4};
+  ExhaustiveSearch search(sim::make_i7_2600k(), space);
+  const core::InputParams in{480, 1000.0, 1};
+  const InstanceResult res = search.search_instance(in);
+
+  // CPU-only configurations have no band to split: split 1 only.
+  std::size_t split_records = 0;
+  for (const auto& r : res.records) {
+    if (!r.params.uses_gpu()) {
+      EXPECT_EQ(r.band_split, 1);
+    } else if (r.band_split > 1) {
+      ++split_records;
+    }
+  }
+  EXPECT_GT(split_records, 0u);
+
+  // Every record's runtime is reproducible by walking the same program
+  // the search evaluated.
+  core::HybridExecutor ex(sim::make_i7_2600k(), 1);
+  for (const auto& r : res.records) {
+    const core::PhaseProgram prog = core::split_gpu_band(
+        core::plan_phases(in, r.params), static_cast<std::size_t>(r.band_split));
+    EXPECT_DOUBLE_EQ(r.rtime_ns, ex.estimate(in, prog).rtime_ns)
+        << r.params.describe() << " split=" << r.band_split;
+  }
+
+  // The axis is a superset of the default search: best() can only improve.
+  const InstanceResult base = search_.search_instance(in);
+  ASSERT_TRUE(res.best().has_value());
+  EXPECT_LE(res.best()->rtime_ns, base.best()->rtime_ns);
 }
 
 }  // namespace

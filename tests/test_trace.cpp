@@ -67,7 +67,7 @@ protected:
 TEST_F(ExecutorTraceTest, KernelCountMatchesBreakdown) {
   Trace trace;
   const auto r = ex_.estimate(in_, core::TunableParams{4, 20, 3, 1}, &trace);
-  EXPECT_EQ(trace.count(CommandKind::Kernel), r.breakdown.kernel_launches);
+  EXPECT_EQ(trace.count(CommandKind::Kernel), r.breakdown.kernel_launches());
 }
 
 TEST_F(ExecutorTraceTest, SingleGpuTransfersAreTwoBulkMoves) {
@@ -82,8 +82,8 @@ TEST_F(ExecutorTraceTest, SwapLegsAppearAsPairedTransfers) {
   Trace trace;
   const auto r = ex_.estimate(in_, core::TunableParams{4, 20, 2, 1}, &trace);
   // Dual GPU: 2 initial h2d + 2 final d2h + one (d2h + h2d) pair per swap.
-  EXPECT_EQ(trace.count(CommandKind::HostToDevice), 2u + r.breakdown.swap_count);
-  EXPECT_EQ(trace.count(CommandKind::DeviceToHost), 2u + r.breakdown.swap_count);
+  EXPECT_EQ(trace.count(CommandKind::HostToDevice), 2u + r.breakdown.swap_count());
+  EXPECT_EQ(trace.count(CommandKind::DeviceToHost), 2u + r.breakdown.swap_count());
 }
 
 TEST_F(ExecutorTraceTest, PerDeviceIntervalsDoNotOverlap) {
@@ -107,7 +107,7 @@ TEST_F(ExecutorTraceTest, PerDeviceIntervalsDoNotOverlap) {
 TEST_F(ExecutorTraceTest, SpanMatchesGpuPhase) {
   Trace trace;
   const auto r = ex_.estimate(in_, core::TunableParams{4, 30, 2, 1}, &trace);
-  EXPECT_DOUBLE_EQ(trace.span_ns(), r.breakdown.gpu_ns);
+  EXPECT_DOUBLE_EQ(trace.span_ns(), r.breakdown.gpu_ns());
 }
 
 TEST_F(ExecutorTraceTest, FunctionalRunProducesIdenticalTrace) {
