@@ -1,0 +1,261 @@
+// Serving-throughput harness: N closed-loop client threads hammer one
+// api::Engine, comparing the sharded lock-free submission path against
+// the legacy single-mutex baseline (EngineOptions::legacy_serving_path)
+// that this PR replaced as the default.
+//
+// Workloads (per client thread, closed loop):
+//   submit   submit() + future.get() round-trips of one tiny plan — the
+//            job-queue hot path (plus coalescing on the sharded side);
+//   compile  plan-cache HIT compiles — the lock-free snapshot read vs
+//            mutex-guarded lookup;
+//   mixed    alternating cache-hit compiles and submit round-trips.
+//
+// Emits an aligned table plus a JSON report (ops/sec, p50/p95/p99 client
+// latency, engine + queue contention counters, and the sharded-vs-legacy
+// speedup summary):
+//
+//   bench_serving [--quick] [--json=BENCH_serving.json]
+//                 [--threads=1,2,4,8,16] [--ops=N]
+//
+// --quick shrinks the sweep for CI smoke runs; --ops overrides the
+// per-thread op count of every workload (0 keeps the defaults).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/engine.hpp"
+#include "apps/synthetic.hpp"
+#include "sim/system_profile.hpp"
+#include "util/cli.hpp"
+#include "util/json.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace wavetune;
+using Clock = std::chrono::steady_clock;
+
+struct Cell {
+  std::string mode;      // "sharded" | "legacy"
+  std::string workload;  // "submit" | "compile" | "mixed"
+  int threads = 0;
+  std::uint64_t ops = 0;
+  double wall_s = 0.0;
+  double ops_per_s = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  api::EngineStats stats;
+  api::ShardedQueueStats queue;
+};
+
+core::WavefrontSpec tiny_spec() {
+  apps::SyntheticParams p;
+  p.dim = 16;
+  p.tsize = 8.0;
+  p.dsize = 1;
+  p.functional_iters = 1;
+  return apps::make_synthetic_spec(p);
+}
+
+double percentile(std::vector<double>& sorted_us, double q) {
+  if (sorted_us.empty()) return 0.0;
+  const double idx = q * static_cast<double>(sorted_us.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, sorted_us.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return sorted_us[lo] * (1.0 - frac) + sorted_us[hi] * frac;
+}
+
+/// The cache-hit recipes every workload rotates through (all compiled
+/// during warmup, so steady state is 100% hits).
+const std::vector<core::TunableParams>& hit_recipes() {
+  static const std::vector<core::TunableParams> r = {
+      {4, 8, 1, 1}, {4, 10, 1, 1}, {2, 8, 0, 1}, {4, 12, -1, 1}};
+  return r;
+}
+
+Cell run_cell(const std::string& mode, const std::string& workload, int threads,
+              std::uint64_t ops_per_thread) {
+  api::EngineOptions o;
+  o.pool_workers = 1;
+  o.queue_workers = 2;
+  o.queue_capacity = 64;
+  o.legacy_serving_path = (mode == "legacy");
+  api::Engine eng(sim::make_i7_2600k(), o);
+  const core::WavefrontSpec spec = tiny_spec();
+
+  // Warm the plan cache so measured compiles are pure hits.
+  std::vector<api::Plan> plans;
+  for (const auto& p : hit_recipes()) plans.push_back(eng.compile(spec, p));
+  const api::EngineStats warm = eng.stats();
+
+  std::vector<std::vector<double>> lat_us(static_cast<std::size_t>(threads));
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<std::size_t>(threads));
+  const auto t0 = Clock::now();
+  for (int t = 0; t < threads; ++t) {
+    clients.emplace_back([&, t] {
+      auto& lat = lat_us[static_cast<std::size_t>(t)];
+      lat.reserve(ops_per_thread);
+      core::Grid grid(spec.dim, spec.elem_bytes);
+      for (std::uint64_t i = 0; i < ops_per_thread; ++i) {
+        const auto& recipe =
+            hit_recipes()[(static_cast<std::size_t>(t) + i) % hit_recipes().size()];
+        const auto op0 = Clock::now();
+        if (workload == "compile" || (workload == "mixed" && i % 2 == 0)) {
+          (void)eng.compile(spec, recipe);
+        } else {
+          eng.submit(plans[0], grid).get();
+        }
+        lat.push_back(std::chrono::duration<double, std::micro>(Clock::now() - op0).count());
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  const double wall = std::chrono::duration<double>(Clock::now() - t0).count();
+
+  Cell cell;
+  cell.mode = mode;
+  cell.workload = workload;
+  cell.threads = threads;
+  cell.ops = ops_per_thread * static_cast<std::uint64_t>(threads);
+  cell.wall_s = wall;
+  cell.ops_per_s = wall > 0.0 ? static_cast<double>(cell.ops) / wall : 0.0;
+  std::vector<double> merged;
+  for (auto& v : lat_us) merged.insert(merged.end(), v.begin(), v.end());
+  std::sort(merged.begin(), merged.end());
+  cell.p50_us = percentile(merged, 0.50);
+  cell.p95_us = percentile(merged, 0.95);
+  cell.p99_us = percentile(merged, 0.99);
+  cell.stats = eng.stats();
+  cell.stats.plans_compiled -= warm.plans_compiled;
+  cell.stats.plan_cache_hits -= warm.plan_cache_hits;
+  cell.queue = eng.queue_stats();
+  return cell;
+}
+
+util::Json to_json(const Cell& c) {
+  util::JsonObject o;
+  o["mode"] = c.mode;
+  o["workload"] = c.workload;
+  o["threads"] = c.threads;
+  o["ops"] = c.ops;
+  o["wall_s"] = c.wall_s;
+  o["ops_per_sec"] = c.ops_per_s;
+  o["p50_us"] = c.p50_us;
+  o["p95_us"] = c.p95_us;
+  o["p99_us"] = c.p99_us;
+  util::JsonObject stats;
+  stats["plans_compiled"] = c.stats.plans_compiled;
+  stats["plan_cache_hits"] = c.stats.plan_cache_hits;
+  stats["plan_cache_evictions"] = c.stats.plan_cache_evictions;
+  stats["jobs_submitted"] = c.stats.jobs_submitted;
+  stats["jobs_completed"] = c.stats.jobs_completed;
+  stats["jobs_failed"] = c.stats.jobs_failed;
+  stats["jobs_coalesced"] = c.stats.jobs_coalesced;
+  o["engine"] = util::Json(std::move(stats));
+  util::JsonObject q;
+  q["pushes"] = c.queue.pushes;
+  q["pops"] = c.queue.pops;
+  q["push_fallovers"] = c.queue.push_fallovers;
+  q["pop_steals"] = c.queue.pop_steals;
+  q["push_blocks"] = c.queue.push_blocks;
+  q["pop_blocks"] = c.queue.pop_blocks;
+  o["queue"] = util::Json(std::move(q));
+  return util::Json(std::move(o));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli =
+      util::Cli::parse_or_exit(argc, argv, {"quick", "json", "threads", "ops"});
+  const bool quick = cli.get_bool_or("quick", false);
+  const std::string json_path = cli.get_or("json", "BENCH_serving.json");
+
+  std::vector<int> threads;
+  if (const auto csv = cli.get("threads")) {
+    std::string tok;
+    for (const char ch : *csv + ",") {
+      if (ch == ',') {
+        if (!tok.empty()) threads.push_back(std::stoi(tok));
+        tok.clear();
+      } else {
+        tok.push_back(ch);
+      }
+    }
+  } else {
+    threads = quick ? std::vector<int>{1, 8} : std::vector<int>{1, 2, 4, 8, 16};
+  }
+
+  const auto ops_override = static_cast<std::uint64_t>(cli.get_int_or("ops", 0));
+  const auto ops_for = [&](const std::string& workload) -> std::uint64_t {
+    if (ops_override > 0) return ops_override;
+    if (workload == "compile") return quick ? 500 : 4000;
+    if (workload == "submit") return quick ? 50 : 250;
+    return quick ? 80 : 400;  // mixed
+  };
+
+  std::vector<Cell> cells;
+  for (const std::string workload : {"submit", "compile", "mixed"}) {
+    for (const int t : threads) {
+      for (const std::string mode : {"legacy", "sharded"}) {
+        cells.push_back(run_cell(mode, workload, t, ops_for(workload)));
+      }
+    }
+  }
+
+  util::Table table({"workload", "threads", "legacy ops/s", "sharded ops/s", "speedup",
+                     "sharded p50us", "sharded p99us"});
+  util::JsonArray summary;
+  for (const std::string workload : {"submit", "compile", "mixed"}) {
+    for (const int t : threads) {
+      const Cell* legacy = nullptr;
+      const Cell* sharded = nullptr;
+      for (const Cell& c : cells) {
+        if (c.workload != workload || c.threads != t) continue;
+        (c.mode == "legacy" ? legacy : sharded) = &c;
+      }
+      const double speedup =
+          legacy->ops_per_s > 0.0 ? sharded->ops_per_s / legacy->ops_per_s : 0.0;
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.2fx", speedup);
+      table.row()
+          .add(workload)
+          .add(t)
+          .add(legacy->ops_per_s, 0)
+          .add(sharded->ops_per_s, 0)
+          .add(buf)
+          .add(sharded->p50_us, 1)
+          .add(sharded->p99_us, 1)
+          .done();
+      util::JsonObject s;
+      s["workload"] = workload;
+      s["threads"] = t;
+      s["legacy_ops_per_sec"] = legacy->ops_per_s;
+      s["sharded_ops_per_sec"] = sharded->ops_per_s;
+      s["speedup"] = speedup;
+      summary.emplace_back(std::move(s));
+    }
+  }
+  std::printf("Serving throughput: sharded lock-free path vs single-mutex baseline\n%s",
+              table.to_aligned().c_str());
+
+  util::JsonObject root;
+  root["bench"] = "bench_serving";
+  root["quick"] = quick;
+  root["hardware_concurrency"] = static_cast<std::size_t>(std::thread::hardware_concurrency());
+  util::JsonArray arr;
+  for (const Cell& c : cells) arr.push_back(to_json(c));
+  root["cells"] = util::Json(std::move(arr));
+  root["summary"] = util::Json(std::move(summary));
+  std::ofstream out(json_path);
+  out << util::Json(std::move(root)).dump(2) << "\n";
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}

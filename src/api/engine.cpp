@@ -7,20 +7,27 @@
 namespace wavetune::api {
 
 Engine::Engine(sim::SystemProfile profile, EngineOptions options)
-    : executor_(std::move(profile), options.pool_workers),
-      options_(options),
-      queue_(options.queue_capacity) {
+    : executor_(std::move(profile), options.pool_workers), options_(options) {
+  store_snapshot(std::make_shared<const CacheMap>());
   const std::size_t workers = options_.queue_workers == 0 ? 1 : options_.queue_workers;
+  if (options_.legacy_serving_path) {
+    legacy_queue_ = std::make_unique<BoundedQueue<Job>>(options_.queue_capacity);
+  } else {
+    std::size_t shards = options_.queue_shards;
+    if (shards == 0) shards = std::max<std::size_t>(workers, 4);
+    queue_ = std::make_unique<ShardedQueue<Job>>(options_.queue_capacity, shards);
+  }
   workers_.reserve(workers);
   try {
     for (std::size_t i = 0; i < workers; ++i) {
-      workers_.emplace_back([this] { worker_loop(); });
+      workers_.emplace_back([this, i] { worker_loop(i); });
     }
   } catch (...) {
     // Thread spawn failed mid-constructor: ~Engine will not run, so shut
     // down the already-spawned workers here or their joinable threads
     // would std::terminate the process.
-    queue_.close();
+    if (queue_) queue_->close();
+    if (legacy_queue_) legacy_queue_->close();
     for (auto& w : workers_) {
       if (w.joinable()) w.join();
     }
@@ -34,26 +41,143 @@ Engine::Engine(sim::SystemProfile profile, autotune::Autotuner tuner, EngineOpti
 }
 
 Engine::~Engine() {
-  queue_.close();
+  if (queue_) queue_->close();
+  if (legacy_queue_) legacy_queue_->close();
   for (auto& w : workers_) {
     if (w.joinable()) w.join();
   }
 }
 
-void Engine::worker_loop() {
-  while (auto job = queue_.pop()) {
-    // The completion counter bumps BEFORE the promise resolves, so a
-    // caller returning from future.get() never observes a lagging count.
-    try {
-      core::RunResult result = job->plan->backend->run(executor_, job->plan->spec,
-                                                       job->plan->program, job->plan->lowered,
-                                                       *job->grid);
-      jobs_completed_.fetch_add(1, std::memory_order_relaxed);
-      job->result.set_value(std::move(result));
-    } catch (...) {
-      jobs_completed_.fetch_add(1, std::memory_order_relaxed);
-      job->result.set_exception(std::current_exception());
+namespace {
+/// Process-global source of snapshot version numbers: strictly increasing
+/// across ALL Engine instances, so a thread-local SnapshotRef stamped by a
+/// destroyed engine can never validate against a new engine that happens
+/// to reuse the same address.
+std::atomic<std::uint64_t> g_snapshot_version{0};
+}  // namespace
+
+Engine::SnapshotRef& Engine::tl_snapshot() {
+  thread_local SnapshotRef tl;
+  return tl;
+}
+
+const Engine::CacheMap& Engine::reader_snapshot() const {
+  SnapshotRef& tl = tl_snapshot();
+  const std::uint64_t v = snapshot_version_.load(std::memory_order_acquire);
+  if (tl.engine != this || tl.version != v || !tl.map) {
+    // Stale (or another engine's) cache: take the refcounted load. The
+    // loaded map is at least generation `v`; stamping it `v` is therefore
+    // conservative — worst case one redundant refresh, never staleness.
+    tl.map = load_snapshot();
+    tl.engine = this;
+    tl.version = v;
+  }
+  return *tl.map;
+}
+
+std::shared_ptr<const Engine::CacheMap> Engine::load_snapshot() const {
+#if defined(__SANITIZE_THREAD__)
+  std::lock_guard<std::mutex> lock(snapshot_tsan_mutex_);
+  return cache_snapshot_;
+#else
+  return cache_snapshot_.load(std::memory_order_acquire);
+#endif
+}
+
+void Engine::store_snapshot(std::shared_ptr<const CacheMap> next) {
+#if defined(__SANITIZE_THREAD__)
+  {
+    std::lock_guard<std::mutex> lock(snapshot_tsan_mutex_);
+    cache_snapshot_ = std::move(next);
+  }
+#else
+  cache_snapshot_.store(std::move(next), std::memory_order_release);
+#endif
+  // Version AFTER snapshot (release): a reader that sees the new version
+  // is guaranteed to load at least this generation.
+  snapshot_version_.store(g_snapshot_version.fetch_add(1, std::memory_order_relaxed) + 1,
+                          std::memory_order_release);
+}
+
+bool Engine::queue_push(Job job) {
+  return legacy_queue_ ? legacy_queue_->push(std::move(job)) : queue_->push(std::move(job));
+}
+
+bool Engine::queue_try_push(Job& job) {
+  return legacy_queue_ ? legacy_queue_->try_push(job) : queue_->try_push(job);
+}
+
+void Engine::worker_loop(std::size_t worker) {
+  std::vector<Job> batch;
+  if (legacy_queue_) {
+    // The measured baseline: one mutex-guarded pop per job, no coalescing.
+    while (auto job = legacy_queue_->pop()) {
+      batch.clear();
+      batch.push_back(std::move(*job));
+      run_batch(batch);
     }
+    return;
+  }
+  const std::size_t limit = std::max<std::size_t>(1, options_.coalesce_limit);
+  std::size_t src = 0;
+  while (auto job = queue_->pop(worker, &src)) {
+    batch.clear();
+    batch.push_back(std::move(*job));
+    // Opportunistic request coalescing: extend the batch with jobs queued
+    // consecutively behind this one on the SAME shard. Strictly
+    // non-blocking — a lone job is never delayed waiting for company —
+    // and capped, so one worker cannot vacuum the queue while its peers
+    // idle. Same-plan members of the batch then share one plan
+    // resolution in run_batch.
+    while (batch.size() < limit) {
+      auto extra = queue_->try_pop_shard(src);
+      if (!extra) break;
+      batch.push_back(std::move(*extra));
+    }
+    run_batch(batch);
+  }
+}
+
+void Engine::run_batch(std::vector<Job>& jobs) {
+  // Stable same-plan grouping: the first job of each distinct PlanState
+  // becomes the group leader; the leader resolves the plan exactly once
+  // (backend, spec, compiled program, lowered kernel — one shared_ptr
+  // dereference chain) and every follower's grid is dispatched
+  // back-to-back through those same references. Per-job promises still
+  // resolve individually, failures included.
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (!jobs[i].plan) continue;  // already ran as a follower
+    const std::shared_ptr<const detail::PlanState> plan = std::move(jobs[i].plan);
+    // Count the group and bump jobs_coalesced_ BEFORE resolving any of its
+    // promises: a client that joins every future of the group must observe
+    // the counter, and set_value is the only synchronization edge it has.
+    std::uint64_t followers = 0;
+    for (std::size_t j = i + 1; j < jobs.size(); ++j) {
+      if (jobs[j].plan.get() == plan.get()) ++followers;
+    }
+    if (followers > 0) jobs_coalesced_.fetch_add(followers, std::memory_order_relaxed);
+    run_one(*plan, jobs[i]);
+    for (std::size_t j = i + 1; j < jobs.size(); ++j) {
+      if (jobs[j].plan.get() == plan.get()) {
+        jobs[j].plan.reset();
+        run_one(*plan, jobs[j]);
+      }
+    }
+  }
+}
+
+void Engine::run_one(const detail::PlanState& plan, Job& job) {
+  // The completion/failure counter bumps BEFORE the promise resolves (and
+  // with release order, pairing with stats()'s acquire loads), so a
+  // caller returning from future.get() never observes a lagging count.
+  try {
+    core::RunResult result =
+        plan.backend->run(executor_, plan.spec, plan.program, plan.lowered, *job.grid);
+    jobs_completed_.fetch_add(1, std::memory_order_release);
+    job.result.set_value(std::move(result));
+  } catch (...) {
+    jobs_failed_.fetch_add(1, std::memory_order_release);
+    job.result.set_exception(std::current_exception());
   }
 }
 
@@ -113,11 +237,21 @@ Plan Engine::compile_impl(const core::WavefrontSpec* spec, const core::InputPara
   if (!autotuned) key.params = *options.params;
 
   if (cacheable) {
-    std::lock_guard<std::mutex> lock(cache_mutex_);
-    const auto it = plan_cache_.find(key);
-    if (it != plan_cache_.end()) {
+    // The serving hot path: a steady-state HIT is one acquire load of the
+    // snapshot version plus a map lookup — no lock, no shared refcount
+    // traffic (the thread-local SnapshotRef pins the generation). The
+    // legacy baseline takes cache_mutex_ here instead, so bench_serving
+    // can price exactly this difference.
+    std::unique_lock<std::mutex> legacy_lock;
+    if (options_.legacy_serving_path) {
+      legacy_lock = std::unique_lock<std::mutex>(cache_mutex_);
+    }
+    const CacheMap& snap = reader_snapshot();
+    const auto it = snap.find(key);
+    if (it != snap.end()) {
+      it->second->referenced.store(true, std::memory_order_relaxed);
       plan_cache_hits_.fetch_add(1, std::memory_order_relaxed);
-      return Plan(it->second);
+      return Plan(it->second->state);
     }
   }
 
@@ -166,31 +300,62 @@ Plan Engine::compile_impl(const core::WavefrontSpec* spec, const core::InputPara
   }
   state->backend = std::move(backend);
 
-  if (cacheable) {
-    std::lock_guard<std::mutex> lock(cache_mutex_);
-    const auto it = plan_cache_.find(key);
-    if (it != plan_cache_.end()) {
-      // A concurrent compile of the same key inserted first: adopt it.
-      plan_cache_hits_.fetch_add(1, std::memory_order_relaxed);
-      return Plan(it->second);
-    }
-    state->id = next_plan_id_.fetch_add(1, std::memory_order_relaxed);
-    plans_compiled_.fetch_add(1, std::memory_order_relaxed);
-    // Bounded cache with FIFO eviction: new recipes keep caching on a
-    // long-lived engine, old ones stop pinning their payloads forever.
-    while (plan_cache_.size() >= options_.plan_cache_capacity && !cache_order_.empty()) {
-      plan_cache_.erase(cache_order_.front());
-      cache_order_.pop_front();
-    }
-    if (options_.plan_cache_capacity > 0) {
-      plan_cache_.emplace(key, state);
-      cache_order_.push_back(std::move(key));
-    }
-    return Plan(std::move(state));
-  }
+  if (cacheable) return publish_plan(std::move(key), std::move(state));
 
   state->id = next_plan_id_.fetch_add(1, std::memory_order_relaxed);
   plans_compiled_.fetch_add(1, std::memory_order_relaxed);
+  return Plan(std::move(state));
+}
+
+Plan Engine::publish_plan(CacheKey key, std::shared_ptr<detail::PlanState> state) {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  const std::shared_ptr<const CacheMap> snap = load_snapshot();
+  const auto it = snap->find(key);
+  if (it != snap->end()) {
+    // A concurrent compile of the same key published first: adopt it.
+    plan_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    it->second->referenced.store(true, std::memory_order_relaxed);
+    return Plan(it->second->state);
+  }
+  // Fix the identity while still uniquely owning the state.
+  state->id = next_plan_id_.fetch_add(1, std::memory_order_relaxed);
+  plans_compiled_.fetch_add(1, std::memory_order_relaxed);
+
+  // Copy-on-write: the published map itself is never mutated, so readers
+  // mid-lookup keep their (possibly previous) generation alive via the
+  // snapshot shared_ptr — that refcount IS the reclamation barrier for
+  // evicted PlanStates. Entry objects are shared across generations, so
+  // referenced bits set against an old snapshot still count.
+  auto next = std::make_shared<CacheMap>(*snap);
+
+  // Bounded cache with CLOCK second-chance eviction: the hand walks
+  // insertion order; an entry hit since the last sweep spends its
+  // referenced bit for another lap, an untouched one is evicted. Hot
+  // plans therefore survive one-shot compile sweeps that would flush a
+  // plain FIFO. Terminates: each pass either evicts or clears a bit, and
+  // cleared entries cannot be re-marked while we hold cache_mutex_...
+  // (readers CAN re-mark concurrently — that only grants another lap
+  // later; the hand still evicts the first entry whose exchange returns
+  // false, and with a finite queue some exchange eventually does).
+  while (next->size() >= options_.plan_cache_capacity && !clock_order_.empty()) {
+    CacheKey victim = std::move(clock_order_.front());
+    clock_order_.pop_front();
+    const auto vit = next->find(victim);
+    if (vit == next->end()) continue;  // stale hand entry (clear_plan_cache ran)
+    if (vit->second->referenced.exchange(false, std::memory_order_relaxed)) {
+      clock_order_.push_back(std::move(victim));  // second chance
+      continue;
+    }
+    next->erase(vit);
+    plan_cache_evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (options_.plan_cache_capacity > 0) {
+    auto entry = std::make_shared<CacheEntry>();
+    entry->state = state;
+    next->emplace(key, std::move(entry));
+    clock_order_.push_back(std::move(key));
+  }
+  store_snapshot(std::move(next));
   return Plan(std::move(state));
 }
 
@@ -216,9 +381,27 @@ std::future<core::RunResult> Engine::submit(const Plan& plan, core::Grid& grid) 
   // Counted before the push so a fast worker completing the job can never
   // make a concurrent stats() reader see completed > submitted.
   jobs_submitted_.fetch_add(1, std::memory_order_relaxed);
-  if (!queue_.push(std::move(job))) {
+  if (!queue_push(std::move(job))) {
     jobs_submitted_.fetch_sub(1, std::memory_order_relaxed);
     throw std::runtime_error("Engine::submit: engine is shutting down");
+  }
+  return future;
+}
+
+std::optional<std::future<core::RunResult>> Engine::try_submit(const Plan& plan,
+                                                               core::Grid& grid) {
+  check_executable(plan, grid, "Engine::try_submit");
+
+  Job job;
+  job.plan = plan.state_;
+  job.grid = &grid;
+  std::future<core::RunResult> future = job.result.get_future();
+  jobs_submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (!queue_try_push(job)) {
+    jobs_submitted_.fetch_sub(1, std::memory_order_relaxed);
+    const bool closed = legacy_queue_ ? legacy_queue_->closed() : queue_->closed();
+    if (closed) throw std::runtime_error("Engine::try_submit: engine is shutting down");
+    return std::nullopt;  // every shard full: shed instead of blocking
   }
   return future;
 }
@@ -246,13 +429,19 @@ std::vector<std::future<core::RunResult>> Engine::submit_batch(
 
 core::RunResult Engine::run(const Plan& plan, core::Grid& grid) {
   check_executable(plan, grid, "Engine::run");
-  const core::RunResult r = plan.backend().run(executor_, plan.spec(), plan.state_->program,
-                                               plan.state_->lowered, grid);
-  // A synchronous run counts only once it completed: a throwing backend
-  // must not leave a permanently "in-flight" job in the stats.
+  // Counted like the async path: submitted up front, then exactly one of
+  // completed/failed — a throwing backend must not leave a permanently
+  // "in-flight" job in the stats.
   jobs_submitted_.fetch_add(1, std::memory_order_relaxed);
-  jobs_completed_.fetch_add(1, std::memory_order_relaxed);
-  return r;
+  try {
+    const core::RunResult r = plan.backend().run(executor_, plan.spec(), plan.state_->program,
+                                                 plan.state_->lowered, grid);
+    jobs_completed_.fetch_add(1, std::memory_order_release);
+    return r;
+  } catch (...) {
+    jobs_failed_.fetch_add(1, std::memory_order_release);
+    throw;
+  }
 }
 
 core::RunResult Engine::estimate(const Plan& plan) const {
@@ -266,22 +455,39 @@ double Engine::estimate_serial(const core::InputParams& in) const {
 
 EngineStats Engine::stats() const {
   EngineStats s;
+  // completed/failed are read (acquire) BEFORE submitted: the release
+  // increments in run_one/run plus the submit-before-push ordering keep
+  // completed + failed <= submitted from this reader's point of view.
+  s.jobs_completed = jobs_completed_.load(std::memory_order_acquire);
+  s.jobs_failed = jobs_failed_.load(std::memory_order_acquire);
+  s.jobs_submitted = jobs_submitted_.load(std::memory_order_relaxed);
+  s.jobs_coalesced = jobs_coalesced_.load(std::memory_order_relaxed);
   s.plans_compiled = plans_compiled_.load(std::memory_order_relaxed);
   s.plan_cache_hits = plan_cache_hits_.load(std::memory_order_relaxed);
-  s.jobs_submitted = jobs_submitted_.load(std::memory_order_relaxed);
-  s.jobs_completed = jobs_completed_.load(std::memory_order_relaxed);
+  s.plan_cache_evictions = plan_cache_evictions_.load(std::memory_order_relaxed);
+  s.queue_depth = queue_ ? queue_->size() : legacy_queue_->size();
   return s;
 }
 
+ShardedQueueStats Engine::queue_stats() const {
+  return queue_ ? queue_->stats() : ShardedQueueStats{};
+}
+
+std::size_t Engine::queue_capacity() const {
+  return queue_ ? queue_->capacity() : legacy_queue_->capacity();
+}
+
 std::size_t Engine::plan_cache_size() const {
-  std::lock_guard<std::mutex> lock(cache_mutex_);
-  return plan_cache_.size();
+  return reader_snapshot().size();
 }
 
 void Engine::clear_plan_cache() {
   std::lock_guard<std::mutex> lock(cache_mutex_);
-  plan_cache_.clear();
-  cache_order_.clear();
+  store_snapshot(std::make_shared<const CacheMap>());
+  clock_order_.clear();
+  // Readers holding the old snapshot (or Plans from it) keep those
+  // PlanStates alive until they drop them — clearing invalidates the
+  // cache, not in-flight work.
 }
 
 }  // namespace wavetune::api

@@ -17,10 +17,25 @@
 // once, then memoizes the Plan keyed by
 // (dim, tsize, dsize, params-or-auto, backend) so repeated requests skip
 // prediction and validation. submit() enqueues onto the bounded job queue
-// and returns a std::future; run() is the synchronous convenience and
-// submit_batch() the fan-out form. Backends are resolved by name through
-// BackendRegistry ("serial", "cpu-tiled", "hybrid", plus user-registered
-// ones).
+// and returns a std::future; try_submit() is the load-shedding variant,
+// run() the synchronous convenience and submit_batch() the fan-out form.
+// Backends are resolved by name through BackendRegistry ("serial",
+// "cpu-tiled", "hybrid", plus user-registered ones).
+//
+// The serving hot path is lock-free end to end:
+//   * submit() lands on a sharded lock-free MPMC ring queue
+//     (sharded_queue.hpp) — producers CAS into per-thread-hashed shards,
+//     workers drain their own shard first and steal from the rest;
+//   * a plan-cache HIT is one atomic snapshot load plus a map lookup —
+//     no mutex. The cache is published as an immutable copy-on-write
+//     snapshot behind std::atomic<std::shared_ptr>; misses and evictions
+//     rebuild the snapshot under cache_mutex_ and re-publish it.
+//     shared_ptr refcounts give QSBR-style safe reclamation for free: a
+//     reader still holding the previous snapshot (or a Plan) keeps an
+//     evicted PlanState alive until it drops the reference;
+//   * workers opportunistically COALESCE consecutive same-plan jobs from
+//     their shard into one batched sweep (one plan resolution, grids
+//     dispatched back-to-back); a lone job is never delayed.
 //
 // The raw core::HybridExecutor stays available as the low-level escape
 // hatch — via executor() for cost-model utilities (autotune::
@@ -44,6 +59,7 @@
 #include "api/backend.hpp"
 #include "api/job_queue.hpp"
 #include "api/plan.hpp"
+#include "api/sharded_queue.hpp"
 #include "autotune/tuner.hpp"
 #include "core/executor.hpp"
 #include "core/grid.hpp"
@@ -61,14 +77,32 @@ struct EngineOptions {
   /// for concurrent runs, so > 1 overlaps whole jobs.
   std::size_t queue_workers = 2;
   /// Bound of the job queue; submit() blocks once this many jobs are
-  /// waiting (backpressure instead of unbounded growth).
+  /// waiting (backpressure instead of unbounded growth). The sharded
+  /// queue rounds this up per shard (Engine::queue_capacity() reports the
+  /// effective bound).
   std::size_t queue_capacity = 64;
+  /// Ring shards of the lock-free job queue (rounded up to a power of
+  /// two). 0 picks one shard per queue worker, at least 4, so producers
+  /// hash across at least as many cache lines as there are consumers.
+  std::size_t queue_shards = 0;
+  /// Upper bound of one coalesced sweep: a worker that popped a job keeps
+  /// popping up to this many jobs total from the SAME shard (never
+  /// blocking, so a lone job is never delayed) and executes same-plan
+  /// runs back-to-back. 1 disables coalescing.
+  std::size_t coalesce_limit = 8;
+  /// Serve through the original single-mutex BoundedQueue and take
+  /// cache_mutex_ on plan-cache HITS as well — the pre-sharding engine,
+  /// kept selectable as the measured baseline for bench_serving. Also
+  /// disables coalescing.
+  bool legacy_serving_path = false;
   /// Memoize compiled plans. Executable specs that declare no identity
   /// (empty WavefrontSpec::content_key and no CompileOptions::cache_tag)
   /// are never cached regardless, so an undeclared kernel can't alias.
   bool plan_cache = true;
-  /// Entry bound of the plan cache: at capacity the oldest entry is
-  /// evicted (FIFO), so one-shot sweeps can neither grow the cache
+  /// Entry bound of the plan cache: at capacity, eviction is CLOCK
+  /// second-chance — a victim whose referenced bit was set by a cache hit
+  /// since the last sweep gets one more lap instead — so hot plans
+  /// survive one-shot compile sweeps, while the cache can neither grow
   /// without bound nor permanently pin stale recipes.
   std::size_t plan_cache_capacity = 4096;
 };
@@ -95,12 +129,26 @@ struct CompileOptions {
   std::string cache_tag;
 };
 
-/// Monotonic counters; cheap to read at any time from any thread.
+/// Cheap to read at any time from any thread. Every counter is maintained
+/// with RELAXED atomics: each field is individually monotonic (except the
+/// queue_depth gauge) and individually exact once the engine is
+/// quiescent, but a stats() snapshot is NOT an atomic cut across fields —
+/// two counters read together may disagree by in-flight requests. The
+/// orderings that ARE guaranteed, because the increments are sequenced on
+/// one thread: a job counts as submitted before it can count as completed
+/// or failed (so completed + failed <= submitted never over-reports), and
+/// a completion/failure is counted before the job's promise resolves (so
+/// a caller returning from future.get() never observes a lagging count).
 struct EngineStats {
-  std::uint64_t plans_compiled = 0;  ///< plan-cache misses (full compiles)
+  std::uint64_t plans_compiled = 0;       ///< plan-cache misses (full compiles)
   std::uint64_t plan_cache_hits = 0;
-  std::uint64_t jobs_submitted = 0;
-  std::uint64_t jobs_completed = 0;  ///< includes jobs that failed
+  std::uint64_t plan_cache_evictions = 0; ///< entries dropped by the clock sweep
+  std::uint64_t jobs_submitted = 0;       ///< accepted by submit()/try_submit()/run()
+  std::uint64_t jobs_completed = 0;       ///< finished successfully (failures excluded)
+  std::uint64_t jobs_failed = 0;          ///< finished by throwing (promise holds the exception)
+  std::uint64_t jobs_coalesced = 0;       ///< jobs that rode a same-plan batched sweep
+                                          ///< behind its leader (leaders not counted)
+  std::uint64_t queue_depth = 0;          ///< LIVE gauge: jobs queued right now
 };
 
 class Engine {
@@ -119,7 +167,8 @@ public:
   // --- compile --------------------------------------------------------
 
   /// Executable plan for `spec`: validated, normalized, autotuned when
-  /// `options.params` is absent, memoized in the plan cache.
+  /// `options.params` is absent, memoized in the plan cache. A cache HIT
+  /// takes no lock (one atomic snapshot load + lookup).
   Plan compile(const core::WavefrontSpec& spec, const CompileOptions& options = {});
   /// Shorthand for an explicit tuning.
   Plan compile(const core::WavefrontSpec& spec, const core::TunableParams& params,
@@ -140,6 +189,12 @@ public:
   /// std::runtime_error after shutdown began. `grid` must stay alive and
   /// untouched until the future resolves (ownership rules: api/plan.hpp).
   std::future<core::RunResult> submit(const Plan& plan, core::Grid& grid);
+
+  /// Non-blocking submit for load-shedding callers: nullopt when the
+  /// queue is full (every shard), so the caller can degrade gracefully —
+  /// reject the request, fall back to run(), retry later — instead of
+  /// blocking. Same validation and shutdown behavior as submit().
+  std::optional<std::future<core::RunResult>> try_submit(const Plan& plan, core::Grid& grid);
 
   /// Fan-out convenience: one job per grid, in order.
   std::vector<std::future<core::RunResult>> submit_batch(const Plan& plan,
@@ -169,6 +224,13 @@ public:
   const core::HybridExecutor& executor() const { return executor_; }
 
   EngineStats stats() const;
+  /// Contention counters of the sharded job queue (all-zero on the
+  /// legacy single-mutex path).
+  ShardedQueueStats queue_stats() const;
+  /// Effective job-queue bound (the sharded queue rounds the requested
+  /// capacity up per shard).
+  std::size_t queue_capacity() const;
+  /// Lock-free (snapshot-read) entry count.
   std::size_t plan_cache_size() const;
   void clear_plan_cache();
 
@@ -210,27 +272,111 @@ private:
     bool operator<(const CacheKey& other) const { return tie() < other.tie(); }
   };
 
+  /// One cached plan plus its clock bit. Entries are shared (by pointer)
+  /// across snapshot generations, so a hit marking `referenced` on an old
+  /// snapshot is still seen by the next eviction sweep.
+  struct CacheEntry {
+    std::shared_ptr<const detail::PlanState> state;
+    /// Second-chance bit: set by readers on every hit (relaxed — it only
+    /// steers the eviction heuristic), cleared by the clock sweep under
+    /// cache_mutex_.
+    std::atomic<bool> referenced{false};
+  };
+
+  /// The published cache generation: an IMMUTABLE map (only the entries'
+  /// referenced bits ever change after publication). Readers load it with
+  /// one atomic op and search without any lock; writers copy, mutate, and
+  /// re-publish under cache_mutex_. Old generations (and the PlanStates
+  /// only they reference) are reclaimed by shared_ptr refcounts when the
+  /// last concurrent reader drops them — RCU semantics without an epoch
+  /// machine.
+  using CacheMap = std::map<CacheKey, std::shared_ptr<CacheEntry>>;
+
   Plan compile_impl(const core::WavefrontSpec* spec, const core::InputParams& in,
                     const CompileOptions& options);
+  /// Cache insertion + clock eviction + snapshot publication (the miss
+  /// slow path). Returns the plan to hand out — `state`, or the entry a
+  /// concurrent compile of the same key published first.
+  Plan publish_plan(CacheKey key, std::shared_ptr<detail::PlanState> state);
   /// Shared submit/run precondition: valid, executable, grid matches.
   static void check_executable(const Plan& plan, const core::Grid& grid, const char* where);
-  void worker_loop();
+  void worker_loop(std::size_t worker);
+  /// Executes `jobs`, resolving each promise; same-plan jobs are grouped
+  /// (stably) and dispatched back-to-back through one plan resolution.
+  void run_batch(std::vector<Job>& jobs);
+  void run_one(const detail::PlanState& plan, Job& job);
+  bool queue_push(Job job);          // blocking; false once closed
+  bool queue_try_push(Job& job);     // non-blocking; false when full/closed
 
   core::HybridExecutor executor_;
   std::optional<autotune::Autotuner> tuner_;
   const EngineOptions options_;
 
+  /// Thread-local reader cache of the current snapshot generation: one
+  /// entry per thread, validated against snapshot_version_ on each read.
+  /// A reader whose cached version still matches touches NO shared
+  /// reference count — the steady-state hit path is a single acquire
+  /// load of the version word plus a map lookup. Only after a
+  /// publication (or when the thread switches engines) does it fall back
+  /// to the refcounted snapshot load. The cached shared_ptr pins at most
+  /// one retired generation per thread, which is the QSBR grace period
+  /// in miniature. `engine` is only ever compared, never dereferenced,
+  /// so a dangling value after ~Engine is harmless; version numbers come
+  /// from a process-global counter, so an engine reusing a dead engine's
+  /// address can never revalidate its stale cache entry.
+  struct SnapshotRef {
+    const Engine* engine = nullptr;
+    std::uint64_t version = 0;
+    std::shared_ptr<const CacheMap> map;
+  };
+  static SnapshotRef& tl_snapshot();
+
+  /// Hot-path read: returns the current generation, refreshing the
+  /// calling thread's SnapshotRef if it is stale. The reference stays
+  /// valid until this thread's next Engine call (single-threaded use of
+  /// the thread-local slot).
+  const CacheMap& reader_snapshot() const;
+  /// Refcounted snapshot load — the slow path under reader_snapshot and
+  /// the copy source for writers. Under TSan the lock-free
+  /// std::atomic<shared_ptr> is swapped for a mutex-guarded plain
+  /// shared_ptr: libstdc++'s _Sp_atomic synchronizes with
+  /// __atomic_thread_fence, which TSan does not model, so the lock-free
+  /// form reports a false-positive race on load vs store.
+  std::shared_ptr<const CacheMap> load_snapshot() const;
+  /// Publishes `next` and bumps snapshot_version_ (release), invalidating
+  /// every thread's cached SnapshotRef. Callers hold cache_mutex_ (or are
+  /// the constructor, which runs before any worker exists).
+  void store_snapshot(std::shared_ptr<const CacheMap> next);
+
+  /// Writers only (miss/evict/clear): guards the copy-on-write rebuild,
+  /// clock_order_, and the publication below. Readers never take it —
+  /// except on the legacy_serving_path baseline, which locks on hits too.
   mutable std::mutex cache_mutex_;
-  std::map<CacheKey, std::shared_ptr<const detail::PlanState>> plan_cache_;
-  std::deque<CacheKey> cache_order_;  ///< insertion order, for FIFO eviction
+#if defined(__SANITIZE_THREAD__)
+  mutable std::mutex snapshot_tsan_mutex_;
+  std::shared_ptr<const CacheMap> cache_snapshot_;
+#else
+  std::atomic<std::shared_ptr<const CacheMap>> cache_snapshot_;
+#endif
+  /// Generation stamp of cache_snapshot_, drawn from a process-global
+  /// monotonic counter (never reused across Engine instances). Written
+  /// by store_snapshot after the snapshot itself (release), so a reader
+  /// that observes version V also observes snapshot ≥ V.
+  std::atomic<std::uint64_t> snapshot_version_{0};
+  std::deque<CacheKey> clock_order_;  ///< clock hand order (under cache_mutex_)
   std::atomic<std::uint64_t> next_plan_id_{1};
 
   std::atomic<std::uint64_t> plans_compiled_{0};
   std::atomic<std::uint64_t> plan_cache_hits_{0};
+  std::atomic<std::uint64_t> plan_cache_evictions_{0};
   std::atomic<std::uint64_t> jobs_submitted_{0};
   std::atomic<std::uint64_t> jobs_completed_{0};
+  std::atomic<std::uint64_t> jobs_failed_{0};
+  std::atomic<std::uint64_t> jobs_coalesced_{0};
 
-  BoundedQueue<Job> queue_;
+  /// Exactly one of the two is engaged (legacy_serving_path selects).
+  std::unique_ptr<ShardedQueue<Job>> queue_;
+  std::unique_ptr<BoundedQueue<Job>> legacy_queue_;
   std::vector<std::thread> workers_;
 };
 

@@ -1,4 +1,6 @@
-// Bounded blocking MPMC queue — the Engine's async job spine.
+// Bounded blocking MPMC queue — the Engine's original single-mutex job
+// spine, kept as the measured baseline for the sharded lock-free path
+// (sharded_queue.hpp) and selectable via EngineOptions::legacy_serving_path.
 //
 // Semantics chosen for a long-lived serving engine:
 //   * push() blocks while the queue is at capacity (backpressure on
@@ -6,6 +8,36 @@
 //   * pop() blocks while the queue is empty;
 //   * close() wakes everyone; items already queued still drain through
 //     pop() so shutdown completes in-flight work instead of dropping it.
+//
+// Notify semantics, audited and pinned (regression tests in
+// tests/test_sharded_queue.cpp) while building the sharded queue's
+// blocking fallback. (That fallback ultimately went futex-based rather
+// than reusing these CVs: glibc < 2.41 can lose a pthread_cond_signal
+// wakeup under condvar group rotation — sourceware BZ #25847 — which we
+// reproduced against this box's glibc 2.36. This legacy queue keeps its
+// CVs: it is the measured baseline, sees orders of magnitude fewer
+// park/wake cycles, and a lost signal here is recoverable because
+// close() broadcasts. See sharded_queue.hpp for the details.)
+//   * Every state change wakes exactly the waiters it can unblock: a
+//     successful push frees one pop (notify_one on cv_pop_), a successful
+//     pop frees one push (notify_one on cv_push_), close() can unblock
+//     everyone (notify_all on both CVs). notify_one is sufficient on the
+//     success paths because one push enables at most one pop and vice
+//     versa; waiters re-check their predicate under the mutex, so a
+//     notification can be consumed spuriously but never lost.
+//   * A push that loses the close race (woken by close()'s notify_all,
+//     finds closed_ set) returns false WITHOUT notifying cv_pop_: it
+//     enqueued nothing, so there is nothing for a consumer to wake for,
+//     and consumers were already woken by close() itself. A batch of
+//     producers unblocked this way therefore cannot re-wake drained
+//     consumers into a spurious scan loop, and — because closed_ and
+//     items_ live under one mutex — cannot slip an item in after a
+//     consumer concluded "closed and empty" (the race the lock-free queue
+//     has to close with its pending-push guard).
+//   * Notifies are issued AFTER the mutex is released: the predicate was
+//     decided under the lock, so the late notify is safe, and the woken
+//     thread doesn't immediately block on a mutex the notifier still
+//     holds.
 #pragma once
 
 #include <condition_variable>
@@ -27,10 +59,25 @@ public:
   /// Blocks until there is room, then enqueues. Returns false (dropping
   /// `item`) when the queue was closed before room appeared.
   bool push(T item) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_push_.wait(lock, [this] { return closed_ || items_.size() < capacity_; });
-    if (closed_) return false;
-    items_.push_back(std::move(item));
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_push_.wait(lock, [this] { return closed_ || items_.size() < capacity_; });
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_pop_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push: false when the queue is full or closed, leaving
+  /// `item` untouched in the caller's hands (so a load-shedding caller
+  /// keeps its payload). Distinguish the outcomes with closed().
+  bool try_push(T& item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
     cv_pop_.notify_one();
     return true;
   }
@@ -38,15 +85,19 @@ public:
   /// Blocks until an item is available; returns nullopt once the queue is
   /// closed AND drained.
   std::optional<T> pop() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_pop_.wait(lock, [this] { return closed_ || !items_.empty(); });
-    if (items_.empty()) return std::nullopt;
-    T item = std::move(items_.front());
-    items_.pop_front();
+    std::optional<T> item;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_pop_.wait(lock, [this] { return closed_ || !items_.empty(); });
+      if (items_.empty()) return std::nullopt;
+      item.emplace(std::move(items_.front()));
+      items_.pop_front();
+    }
     cv_push_.notify_one();
     return item;
   }
 
+  /// Idempotent; see the pinned semantics above.
   void close() {
     {
       std::lock_guard<std::mutex> lock(mutex_);

@@ -157,22 +157,50 @@ TEST(EnginePlanCache, DisablingTheCacheCompilesFreshPlans) {
   EXPECT_EQ(eng.plan_cache_size(), 0u);
 }
 
-TEST(EnginePlanCache, CapacityEvictsOldestEntriesFifo) {
+TEST(EnginePlanCache, CapacityEvictsColdEntriesNeverTouchedSinceInsertion) {
+  // Clock second-chance: with no hits at all, eviction degenerates to
+  // FIFO — the oldest never-referenced entry goes first.
   EngineOptions o = small_engine();
   o.plan_cache_capacity = 2;
   Engine eng(sim::make_i7_2600k(), o);
   const auto spec = small_spec();
   const Plan a = eng.compile(spec, core::TunableParams{4, 10, -1, 1});
   const Plan b = eng.compile(spec, core::TunableParams{4, 12, -1, 1});
-  // Third distinct recipe: cached, evicting the oldest (a).
+  // Third distinct recipe: cached, evicting the oldest untouched (a).
   const Plan c1 = eng.compile(spec, core::TunableParams{4, 14, -1, 1});
   const Plan c2 = eng.compile(spec, core::TunableParams{4, 14, -1, 1});
   EXPECT_EQ(eng.plan_cache_size(), 2u);
   EXPECT_TRUE(c1.shares_state_with(c2));
-  EXPECT_TRUE(b.shares_state_with(eng.compile(spec, core::TunableParams{4, 12, -1, 1})));
+  EXPECT_EQ(eng.stats().plan_cache_evictions, 1u);
   // a was evicted: recompiling it is a fresh plan (which evicts again).
   EXPECT_FALSE(a.shares_state_with(eng.compile(spec, core::TunableParams{4, 10, -1, 1})));
   EXPECT_EQ(eng.plan_cache_size(), 2u);
+  EXPECT_EQ(eng.stats().plan_cache_evictions, 2u);
+  (void)b;
+}
+
+TEST(EnginePlanCache, HitEntriesSurviveTheClockSweepOnce) {
+  // Second chance proper: an entry whose referenced bit was set by a hit
+  // since the last sweep is skipped (bit cleared, requeued) and the next
+  // cold entry is evicted instead — hot plans survive one-shot sweeps.
+  EngineOptions o = small_engine();
+  o.plan_cache_capacity = 3;
+  Engine eng(sim::make_i7_2600k(), o);
+  const auto spec = small_spec();
+  const Plan a = eng.compile(spec, core::TunableParams{4, 10, -1, 1});
+  const Plan b = eng.compile(spec, core::TunableParams{4, 12, -1, 1});
+  const Plan c = eng.compile(spec, core::TunableParams{4, 14, -1, 1});
+  // Touch a: the oldest entry is now marked referenced.
+  EXPECT_TRUE(a.shares_state_with(eng.compile(spec, core::TunableParams{4, 10, -1, 1})));
+  // Insert d at capacity: the clock hand reaches a first, grants it a
+  // second chance, and evicts b (oldest cold) instead.
+  const Plan d = eng.compile(spec, core::TunableParams{4, 16, -1, 1});
+  EXPECT_EQ(eng.plan_cache_size(), 3u);
+  EXPECT_EQ(eng.stats().plan_cache_evictions, 1u);
+  EXPECT_TRUE(a.shares_state_with(eng.compile(spec, core::TunableParams{4, 10, -1, 1})));
+  EXPECT_TRUE(c.shares_state_with(eng.compile(spec, core::TunableParams{4, 14, -1, 1})));
+  EXPECT_TRUE(d.shares_state_with(eng.compile(spec, core::TunableParams{4, 16, -1, 1})));
+  EXPECT_FALSE(b.shares_state_with(eng.compile(spec, core::TunableParams{4, 12, -1, 1})));
 }
 
 TEST(EnginePlanCache, NonFiniteTsizeIsRejectedBeforeTouchingTheCache) {

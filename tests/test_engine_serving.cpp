@@ -1,0 +1,504 @@
+// Serving-scale behavior of the api::Engine submission path: the sharded
+// lock-free queue under many producers, RCU-style plan-cache reads racing
+// evictions and clear_plan_cache(), same-plan request coalescing,
+// try_submit load shedding, failure accounting, and shutdown under load.
+// Queue mechanics in isolation are covered by test_sharded_queue.cpp;
+// here the subject is the Engine wired on top of them.
+#include "api/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "apps/synthetic.hpp"
+#include "sim/system_profile.hpp"
+
+namespace wavetune::api {
+namespace {
+
+using namespace std::chrono_literals;
+
+core::WavefrontSpec serving_spec(std::size_t dim = 24, double tsize = 10.0, int dsize = 1) {
+  apps::SyntheticParams p;
+  p.dim = dim;
+  p.tsize = tsize;
+  p.dsize = dsize;
+  p.functional_iters = 2;
+  return apps::make_synthetic_spec(p);
+}
+
+/// Worker-blocking gate shared by the test backends: a GateBackend run
+/// parks its queue worker until the test opens the gate, making queue
+/// occupancy deterministic on any machine.
+struct Gate {
+  std::mutex m;
+  std::condition_variable cv;
+  bool open = false;
+  int arrived = 0;
+  void open_all() {
+    {
+      std::lock_guard<std::mutex> lock(m);
+      open = true;
+    }
+    cv.notify_all();
+  }
+  void reset() {
+    std::lock_guard<std::mutex> lock(m);
+    open = false;
+    arrived = 0;
+  }
+  void wait() {
+    std::unique_lock<std::mutex> lock(m);
+    ++arrived;
+    cv.notify_all();
+    cv.wait(lock, [this] { return open; });
+  }
+  /// Blocks until `n` workers are parked inside run() — the deterministic
+  /// "the worker holds a job and cannot pop another" checkpoint.
+  void wait_arrived(int n) {
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [&] { return arrived >= n; });
+  }
+};
+
+Gate& gate() {
+  static Gate g;
+  return g;
+}
+
+core::RunResult serial_estimate(const core::HybridExecutor& executor, const core::InputParams& in) {
+  core::RunResult r;
+  core::PhaseTiming t;
+  t.d_end = core::num_diagonals(in.dim);
+  t.ns = executor.estimate_serial(in);
+  r.breakdown.phases.push_back(t);
+  r.rtime_ns = r.breakdown.total_ns();
+  return r;
+}
+
+/// Serial execution that first parks on the gate (above).
+class GateBackend final : public Backend {
+public:
+  const std::string& name() const override {
+    static const std::string n = "test-gate";
+    return n;
+  }
+  core::TunableParams prepare(const core::InputParams& in, const core::TunableParams&,
+                              const sim::SystemProfile&) const override {
+    in.validate();
+    return core::TunableParams{1, -1, -1, 1};
+  }
+  core::RunResult run(core::HybridExecutor& executor, const core::WavefrontSpec& spec,
+                      const core::PhaseProgram&, const core::LoweredKernel& lowered,
+                      core::Grid& grid) const override {
+    gate().wait();
+    return executor.run_serial(spec, grid, &lowered);
+  }
+  core::RunResult estimate(const core::HybridExecutor& executor, const core::InputParams& in,
+                           const core::PhaseProgram&) const override {
+    return serial_estimate(executor, in);
+  }
+};
+
+/// Always throws from run(): the failure-accounting probe.
+class ThrowingBackend final : public Backend {
+public:
+  const std::string& name() const override {
+    static const std::string n = "test-throwing";
+    return n;
+  }
+  core::TunableParams prepare(const core::InputParams& in, const core::TunableParams&,
+                              const sim::SystemProfile&) const override {
+    in.validate();
+    return core::TunableParams{1, -1, -1, 1};
+  }
+  core::RunResult run(core::HybridExecutor&, const core::WavefrontSpec&, const core::PhaseProgram&,
+                      const core::LoweredKernel&, core::Grid&) const override {
+    throw std::runtime_error("test-throwing backend always fails");
+  }
+  core::RunResult estimate(const core::HybridExecutor& executor, const core::InputParams& in,
+                           const core::PhaseProgram&) const override {
+    return serial_estimate(executor, in);
+  }
+};
+
+void register_test_backends() {
+  auto& reg = BackendRegistry::instance();
+  if (!reg.find("test-gate")) reg.add(std::make_shared<GateBackend>());
+  if (!reg.find("test-throwing")) reg.add(std::make_shared<ThrowingBackend>());
+}
+
+// --- load shedding ------------------------------------------------------
+
+TEST(EngineServing, TrySubmitShedsWhenTheQueueIsFullAndRecovers) {
+  register_test_backends();
+  gate().reset();
+  EngineOptions o;
+  o.pool_workers = 1;
+  o.queue_workers = 1;
+  o.queue_shards = 1;
+  o.queue_capacity = 2;
+  Engine eng(sim::make_i7_2600k(), o);
+  EXPECT_EQ(eng.queue_capacity(), 2u);
+
+  const auto spec = serving_spec();
+  const Plan plan = eng.compile(spec, core::TunableParams{}, "test-gate");
+
+  // First submit is popped by the (gated) worker; the queue then fills.
+  std::vector<core::Grid> grids;
+  grids.reserve(8);
+  std::vector<std::future<core::RunResult>> futures;
+  futures.push_back(eng.submit(plan, grids.emplace_back(spec.dim, spec.elem_bytes)));
+  gate().wait_arrived(1);  // worker is parked inside job 1, queue empty
+
+  std::size_t accepted = 0;
+  while (accepted < 8) {
+    auto f = eng.try_submit(plan, grids.emplace_back(spec.dim, spec.elem_bytes));
+    if (!f) {
+      grids.pop_back();
+      break;
+    }
+    futures.push_back(std::move(*f));
+    ++accepted;
+  }
+  // The shed point is the effective queue bound.
+  EXPECT_EQ(accepted, eng.queue_capacity());
+  EXPECT_EQ(eng.stats().queue_depth, eng.queue_capacity());
+  // A rejected try_submit does not count as submitted.
+  EXPECT_EQ(eng.stats().jobs_submitted, futures.size());
+
+  gate().open_all();
+  for (auto& f : futures) EXPECT_GT(f.get().rtime_ns, 0.0);
+  // Capacity drained: try_submit accepts again.
+  auto again = eng.try_submit(plan, grids.emplace_back(spec.dim, spec.elem_bytes));
+  ASSERT_TRUE(again.has_value());
+  EXPECT_GT(again->get().rtime_ns, 0.0);
+  EXPECT_EQ(eng.stats().jobs_failed, 0u);
+}
+
+// --- failure accounting -------------------------------------------------
+
+TEST(EngineServing, FailedJobsAreCountedSeparatelyFromCompletions) {
+  register_test_backends();
+  EngineOptions o;
+  o.pool_workers = 1;
+  o.queue_workers = 1;
+  Engine eng(sim::make_i7_2600k(), o);
+  const auto spec = serving_spec();
+  const Plan bad = eng.compile(spec, core::TunableParams{}, "test-throwing");
+  const Plan good = eng.compile(spec, core::TunableParams{4, 8, 1, 1});
+
+  core::Grid g1(spec.dim, spec.elem_bytes);
+  core::Grid g2(spec.dim, spec.elem_bytes);
+  auto f_bad = eng.submit(bad, g1);
+  auto f_good = eng.submit(good, g2);
+  EXPECT_THROW(f_bad.get(), std::runtime_error);
+  EXPECT_GT(f_good.get().rtime_ns, 0.0);
+
+  // jobs_completed counts successes ONLY; the failure is its own bucket.
+  const EngineStats s = eng.stats();
+  EXPECT_EQ(s.jobs_submitted, 2u);
+  EXPECT_EQ(s.jobs_completed, 1u);
+  EXPECT_EQ(s.jobs_failed, 1u);
+
+  // The synchronous path counts identically.
+  core::Grid g3(spec.dim, spec.elem_bytes);
+  EXPECT_THROW(eng.run(bad, g3), std::runtime_error);
+  EXPECT_EQ(eng.stats().jobs_failed, 2u);
+  EXPECT_EQ(eng.stats().jobs_completed, 1u);
+}
+
+// --- coalescing ---------------------------------------------------------
+
+TEST(EngineServing, ConsecutiveSamePlanJobsCoalesceIntoOneSweep) {
+  register_test_backends();
+  gate().reset();
+  EngineOptions o;
+  o.pool_workers = 1;
+  o.queue_workers = 1;
+  o.queue_shards = 1;  // all jobs land in one shard => one batch
+  o.queue_capacity = 16;
+  o.coalesce_limit = 8;
+  Engine eng(sim::make_i7_2600k(), o);
+  const auto spec = serving_spec();
+  const Plan gate_plan = eng.compile(spec, core::TunableParams{}, "test-gate");
+  const Plan plan = eng.compile(spec, core::TunableParams{4, 8, 1, 1});
+
+  // Park the worker on a gated job, then queue five same-plan jobs: when
+  // the worker returns they are popped as one batch and counted as one
+  // leader + four coalesced followers.
+  std::vector<core::Grid> grids;
+  grids.reserve(6);
+  std::vector<std::future<core::RunResult>> futures;
+  futures.push_back(eng.submit(gate_plan, grids.emplace_back(spec.dim, spec.elem_bytes)));
+  gate().wait_arrived(1);
+  for (int i = 0; i < 5; ++i) {
+    futures.push_back(eng.submit(plan, grids.emplace_back(spec.dim, spec.elem_bytes)));
+  }
+  gate().open_all();
+  for (auto& f : futures) EXPECT_GT(f.get().rtime_ns, 0.0);
+  EXPECT_EQ(eng.stats().jobs_coalesced, 4u);
+  EXPECT_EQ(eng.stats().jobs_completed, 6u);
+}
+
+TEST(EngineServing, CoalesceLimitOneDisablesCoalescing) {
+  register_test_backends();
+  gate().reset();
+  EngineOptions o;
+  o.pool_workers = 1;
+  o.queue_workers = 1;
+  o.queue_shards = 1;
+  o.queue_capacity = 16;
+  o.coalesce_limit = 1;
+  Engine eng(sim::make_i7_2600k(), o);
+  const auto spec = serving_spec();
+  const Plan gate_plan = eng.compile(spec, core::TunableParams{}, "test-gate");
+  const Plan plan = eng.compile(spec, core::TunableParams{4, 8, 1, 1});
+
+  std::vector<core::Grid> grids;
+  grids.reserve(5);
+  std::vector<std::future<core::RunResult>> futures;
+  futures.push_back(eng.submit(gate_plan, grids.emplace_back(spec.dim, spec.elem_bytes)));
+  gate().wait_arrived(1);
+  for (int i = 0; i < 4; ++i) {
+    futures.push_back(eng.submit(plan, grids.emplace_back(spec.dim, spec.elem_bytes)));
+  }
+  gate().open_all();
+  for (auto& f : futures) EXPECT_GT(f.get().rtime_ns, 0.0);
+  EXPECT_EQ(eng.stats().jobs_coalesced, 0u);
+}
+
+// --- queue depth gauge --------------------------------------------------
+
+TEST(EngineServing, QueueDepthGaugeReportsWaitingJobs) {
+  register_test_backends();
+  gate().reset();
+  EngineOptions o;
+  o.pool_workers = 1;
+  o.queue_workers = 1;
+  o.queue_shards = 1;
+  o.queue_capacity = 8;
+  Engine eng(sim::make_i7_2600k(), o);
+  const auto spec = serving_spec();
+  const Plan gate_plan = eng.compile(spec, core::TunableParams{}, "test-gate");
+
+  std::vector<core::Grid> grids;
+  grids.reserve(4);
+  std::vector<std::future<core::RunResult>> futures;
+  futures.push_back(eng.submit(gate_plan, grids.emplace_back(spec.dim, spec.elem_bytes)));
+  gate().wait_arrived(1);  // picked up by the worker, which is now parked
+  for (int i = 0; i < 3; ++i) {
+    futures.push_back(eng.submit(gate_plan, grids.emplace_back(spec.dim, spec.elem_bytes)));
+  }
+  EXPECT_EQ(eng.stats().queue_depth, 3u);
+  gate().open_all();
+  for (auto& f : futures) EXPECT_GT(f.get().rtime_ns, 0.0);
+  EXPECT_EQ(eng.stats().queue_depth, 0u);
+}
+
+// --- legacy baseline path -----------------------------------------------
+
+TEST(EngineServing, LegacyServingPathServesIdenticalResults) {
+  EngineOptions o;
+  o.pool_workers = 2;
+  o.queue_workers = 2;
+  o.legacy_serving_path = true;
+  Engine legacy(sim::make_i7_2600k(), o);
+  EngineOptions o2 = o;
+  o2.legacy_serving_path = false;
+  Engine sharded(sim::make_i7_2600k(), o2);
+
+  const auto spec = serving_spec(32, 14.0, 2);
+  const core::TunableParams p{4, 10, 2, 1};
+  core::Grid ref(spec.dim, spec.elem_bytes);
+  legacy.run(legacy.compile(spec, p, kSerialBackend), ref);
+
+  for (Engine* eng : {&legacy, &sharded}) {
+    const Plan plan = eng->compile(spec, p);
+    ASSERT_TRUE(eng->compile(spec, p).shares_state_with(plan));  // cache hit both paths
+    core::Grid g(spec.dim, spec.elem_bytes);
+    g.fill_poison();
+    EXPECT_GT(eng->submit(plan, g).get().rtime_ns, 0.0);
+    EXPECT_EQ(std::memcmp(g.data(), ref.data(), g.size_bytes()), 0);
+    // try_submit works on both paths.
+    core::Grid g2(spec.dim, spec.elem_bytes);
+    auto f = eng->try_submit(plan, g2);
+    ASSERT_TRUE(f.has_value());
+    EXPECT_GT(f->get().rtime_ns, 0.0);
+  }
+  // Contention counters only tick on the sharded path.
+  EXPECT_EQ(legacy.queue_stats().pushes, 0u);
+  EXPECT_GE(sharded.queue_stats().pushes, 2u);
+  EXPECT_EQ(legacy.stats().plan_cache_hits, 1u);
+}
+
+// --- thread-local snapshot cache ----------------------------------------
+
+TEST(EngineServing, ThreadLocalSnapshotCacheIsolatesEnginesAndClears) {
+  // The read path validates a per-thread cached snapshot generation
+  // against the engine's version stamp. One thread alternating between
+  // two engines must hit each engine's own cache (never the other's),
+  // and clear_plan_cache must invalidate this thread's cached generation
+  // immediately — no stale hits off the thread-local shared_ptr.
+  EngineOptions o;
+  o.pool_workers = 1;
+  o.queue_workers = 1;
+  Engine a(sim::make_i7_2600k(), o);
+  Engine b(sim::make_i7_2600k(), o);
+  const auto spec = serving_spec();
+  const core::TunableParams p{4, 10, 1, 1};
+
+  EXPECT_TRUE(a.compile(spec, p).shares_state_with(a.compile(spec, p)));
+  EXPECT_TRUE(b.compile(spec, p).shares_state_with(b.compile(spec, p)));
+  EXPECT_EQ(a.stats().plans_compiled, 1u);
+  EXPECT_EQ(a.stats().plan_cache_hits, 1u);
+  EXPECT_EQ(b.stats().plans_compiled, 1u);
+  EXPECT_EQ(b.stats().plan_cache_hits, 1u);
+
+  a.clear_plan_cache();
+  EXPECT_EQ(a.plan_cache_size(), 0u);  // reader sees the clear at once
+  EXPECT_EQ(a.stats().plans_compiled, 1u);
+  (void)a.compile(spec, p);  // recompiles: the cleared map has no entry
+  EXPECT_EQ(a.stats().plans_compiled, 2u);
+  // The sibling engine's cache (and this thread's view of it) is intact.
+  EXPECT_EQ(b.plan_cache_size(), 1u);
+  (void)b.compile(spec, p);
+  EXPECT_EQ(b.stats().plan_cache_hits, 2u);
+  EXPECT_EQ(b.stats().plans_compiled, 1u);
+}
+
+TEST(EngineServing, SnapshotVersionsAreNeverReusedAcrossEngines) {
+  // Engines are created and destroyed in a loop from one thread; each
+  // compile must miss in the fresh engine even when the allocator reuses
+  // the previous engine's address (the version counter is process-global,
+  // so a stale thread-local SnapshotRef can never revalidate).
+  const auto spec = serving_spec();
+  const core::TunableParams p{4, 10, 1, 1};
+  for (int i = 0; i < 8; ++i) {
+    EngineOptions o;
+    o.pool_workers = 1;
+    o.queue_workers = 1;
+    Engine eng(sim::make_i7_2600k(), o);
+    (void)eng.compile(spec, p);
+    EXPECT_EQ(eng.stats().plans_compiled, 1u);
+    EXPECT_EQ(eng.stats().plan_cache_hits, 0u);
+    EXPECT_TRUE(eng.compile(spec, p).shares_state_with(eng.compile(spec, p)));
+    EXPECT_EQ(eng.stats().plan_cache_hits, 2u);
+  }
+}
+
+// --- the stress satellite -----------------------------------------------
+
+TEST(EngineServingStress, ProducersVsEvictionsVsCacheClearsStayBitIdentical) {
+  // >= 8 producers hammer one engine (>= 4 queue workers) with compile +
+  // submit while a churn thread clears the plan cache and the tiny cache
+  // capacity forces constant clock evictions. Every grid must come out
+  // bit-identical to the serial reference, every future must resolve, and
+  // the books must balance. TSan-clean by construction (no test-side
+  // synchronization beyond the engine's own).
+  const auto spec = serving_spec(31, 14.0, 2);
+  EngineOptions o;
+  o.pool_workers = 2;
+  o.queue_workers = 4;
+  o.queue_capacity = 16;
+  o.plan_cache_capacity = 2;  // forces eviction churn under the race
+  Engine eng(sim::make_i7_2600k(), o);
+
+  core::Grid ref(spec.dim, spec.elem_bytes);
+  eng.run(eng.compile(spec, core::TunableParams{}, kSerialBackend), ref);
+
+  const std::vector<core::TunableParams> recipes = {
+      {4, 10, 2, 1}, {4, 12, -1, 1}, {2, 30, 0, 1}, {6, -1, -1, 1}, {4, 10, -1, 8},
+  };
+
+  constexpr int kProducers = 8;
+  constexpr int kIterations = 6;
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::atomic<bool> stop_churn{false};
+  std::thread churn([&] {
+    while (!stop_churn.load()) {
+      eng.clear_plan_cache();
+      std::this_thread::sleep_for(500us);
+    }
+  });
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int t = 0; t < kProducers; ++t) {
+    producers.emplace_back([&, t] {
+      for (int i = 0; i < kIterations; ++i) {
+        try {
+          const Plan plan = eng.compile(spec, recipes[static_cast<std::size_t>(t + i) % recipes.size()]);
+          core::Grid g(spec.dim, spec.elem_bytes);
+          g.fill_poison();
+          std::optional<std::future<core::RunResult>> f = eng.try_submit(plan, g);
+          const core::RunResult r = f ? f->get() : eng.run(plan, g);  // shed => run inline
+          if (r.rtime_ns <= 0.0) ++failures;
+          if (std::memcmp(g.data(), ref.data(), g.size_bytes()) != 0) ++mismatches;
+        } catch (...) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  stop_churn.store(true);
+  churn.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(failures.load(), 0);
+  const EngineStats s = eng.stats();
+  EXPECT_EQ(s.jobs_completed, s.jobs_submitted);
+  EXPECT_EQ(s.jobs_failed, 0u);
+  // 1 (serial ref) + producers*iterations compiles all resolved somewhere.
+  EXPECT_EQ(s.plans_compiled + s.plan_cache_hits, 1u + kProducers * kIterations);
+  EXPECT_LE(eng.plan_cache_size(), 2u);
+}
+
+TEST(EngineServingStress, ShutdownUnderLoadResolvesEveryAcceptedFuture) {
+  // 100 randomized iterations of "destroy the engine with jobs still
+  // queued": every accepted future must resolve (the destructor drains),
+  // with values bit-identical to the serial reference.
+  const auto spec = serving_spec(20, 8.0, 1);
+  std::mt19937 rng(20260808u);
+  core::Grid ref(spec.dim, spec.elem_bytes);
+  {
+    Engine warm(sim::make_i7_2600k(), EngineOptions{});
+    warm.run(warm.compile(spec, core::TunableParams{}, kSerialBackend), ref);
+  }
+  for (int iter = 0; iter < 100; ++iter) {
+    const int jobs = 1 + static_cast<int>(rng() % 8);
+    std::vector<core::Grid> grids;
+    grids.reserve(static_cast<std::size_t>(jobs));
+    std::vector<std::future<core::RunResult>> futures;
+    {
+      EngineOptions o;
+      o.pool_workers = 1;
+      o.queue_workers = 1 + static_cast<std::size_t>(rng() % 2);
+      o.queue_capacity = 2 + rng() % 6;
+      o.coalesce_limit = 1 + rng() % 4;
+      Engine eng(sim::make_i7_2600k(), o);
+      const Plan plan = eng.compile(spec, core::TunableParams{4, 8, 1, 1});
+      for (int j = 0; j < jobs; ++j) {
+        futures.push_back(eng.submit(plan, grids.emplace_back(spec.dim, spec.elem_bytes)));
+      }
+      // Engine destructor runs here with most jobs still queued.
+    }
+    for (auto& f : futures) EXPECT_GT(f.get().rtime_ns, 0.0) << "iteration " << iter;
+    for (const auto& g : grids) {
+      EXPECT_EQ(std::memcmp(g.data(), ref.data(), g.size_bytes()), 0) << "iteration " << iter;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wavetune::api
