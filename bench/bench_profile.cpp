@@ -1,0 +1,212 @@
+// Closed-loop feedback-planning harness: measure -> attribute -> replan,
+// end to end through api::Engine, on a deliberately mispredicted workload.
+//
+// The mispredict is structural: the cost model prices the simulated GPU
+// with 2011-era constants (massively parallel across a diagonal), but the
+// functional GPU simulation executes per-cell on the host — so a synthetic
+// kernel with heavy per-cell work (functional_iters) makes the offloaded
+// band far slower in MEASURED wall time than the model believes, while
+// CPU phases run on the real thread pool. The a-priori hybrid plan
+// therefore offloads a band it shouldn't (in wall terms), and the loop
+// must discover that from its own measurements:
+//
+//   1. run the a-priori plan N times under a profiling Engine;
+//   2. attribute: per-phase wall-vs-sim residuals flag the GPU band;
+//   3. recalibrate: fit per-device scales from live residuals (the
+//      median |measured - estimated| residual must shrink);
+//   4. replan: Engine::refine_plan re-optimizes the phase program under
+//      the measured scales and the refined plan is re-measured;
+//   5. restart: a SECOND Engine reloads the persisted store and derives
+//      the same refined program with zero new runs.
+//
+// Emits an aligned table plus BENCH_profile.json:
+//
+//   bench_profile [--quick] [--runs=N] [--json=BENCH_profile.json]
+//                 [--store=PATH]
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "api/engine.hpp"
+#include "apps/synthetic.hpp"
+#include "core/phase_program.hpp"
+#include "profile/attribution.hpp"
+#include "profile/recalibrate.hpp"
+#include "sim/system_profile.hpp"
+#include "util/cli.hpp"
+#include "util/json.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace wavetune;
+
+double percentile(std::vector<double> v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const double idx = q * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+/// Runs `plan` `reps` times synchronously and returns the measured wall
+/// ns of each run (RunResult::wall_ns — the sum of per-phase steady_clock
+/// measurements, which is also exactly what the profile store records).
+std::vector<double> measure(api::Engine& eng, const api::Plan& plan, core::Grid& grid,
+                            int reps) {
+  std::vector<double> walls;
+  walls.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) walls.push_back(eng.run(plan, grid).wall_ns);
+  return walls;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli = util::Cli::parse_or_exit(argc, argv, {"quick", "runs", "json", "store"});
+  const bool quick = cli.get_bool_or("quick", false);
+  const std::string json_path = cli.get_or("json", "BENCH_profile.json");
+  const std::string store_path = cli.get_or("store", "BENCH_profile_store.json");
+  const int reps = static_cast<int>(cli.get_int_or("runs", quick ? 5 : 12));
+
+  // The mispredicted workload: a wide instance whose diagonals are broad
+  // enough that the model genuinely favors offloading the middle band,
+  // with per-cell functional work heavy enough that the host-executed
+  // "GPU" is the measured bottleneck.
+  apps::SyntheticParams sp;
+  sp.dim = quick ? 256 : 384;
+  sp.tsize = 1000.0;
+  sp.dsize = 2;
+  sp.functional_iters = quick ? 24 : 64;
+  const core::WavefrontSpec spec = apps::make_synthetic_spec(sp);
+  const core::TunableParams apriori{8, static_cast<int>(sp.dim / 2), -1, 1};
+
+  std::remove(store_path.c_str());
+  util::JsonObject root;
+  root["bench"] = "bench_profile";
+  root["quick"] = quick;
+  root["runs"] = reps;
+  root["dim"] = sp.dim;
+  root["tsize"] = sp.tsize;
+  root["functional_iters"] = sp.functional_iters;
+
+  std::string seed_key;
+  std::string seed_describe;
+  std::string refined_describe;
+  double seed_p50 = 0.0;
+  double refined_p50 = 0.0;
+
+  {
+    api::EngineOptions opts;
+    opts.pool_workers = 0;  // real host parallelism for CPU phases
+    opts.queue_workers = 1;
+    opts.profile_path = store_path;
+    api::Engine eng(sim::make_i7_2600k(), opts);
+
+    const api::Plan seed = eng.compile(spec, apriori);
+    seed_key = seed.profile_key();
+    seed_describe = seed.program().describe();
+    core::Grid grid(spec.dim, spec.elem_bytes);
+
+    // 1. measure the a-priori plan
+    const std::vector<double> seed_walls = measure(eng, seed, grid, reps);
+    seed_p50 = percentile(seed_walls, 0.5);
+
+    // 2. attribute
+    const auto report = eng.profile_report();
+    util::JsonArray attr;
+    for (const profile::PlanAttribution& a : report) attr.push_back(a.to_json());
+    root["attribution"] = util::Json(std::move(attr));
+    const profile::PlanAttribution* seed_attr = nullptr;
+    for (const profile::PlanAttribution& a : report) {
+      if (a.key == seed_key) seed_attr = &a;
+    }
+    if (seed_attr != nullptr) {
+      std::printf("a-priori plan: %s\n", seed_describe.c_str());
+      util::Table t({"phase", "device", "sim ns", "wall p50 ns", "ratio", "hotspot"});
+      for (const profile::PhaseAttribution& p : seed_attr->phases) {
+        t.row()
+            .add(p.index)
+            .add(core::phase_device_name(p.device))
+            .add(p.sim_ns, 0)
+            .add(p.wall_p50_ns, 0)
+            .add(p.residual_ratio, 2)
+            .add(p.hotspot ? "YES" : "")
+            .done();
+      }
+      std::printf("%s", t.to_aligned().c_str());
+    }
+
+    // 3. recalibrate the system profile from live residuals
+    const profile::RecalibrationResult recal =
+        profile::recalibrate(eng.profile(), eng.profile_store());
+    std::printf(
+        "recalibration: cpu_scale=%.3g gpu_scale=%.3g  median |wall-est| %.0f -> %.0f ns "
+        "(%s)\n",
+        recal.cpu_scale, recal.gpu_scale, recal.median_abs_residual_before_ns,
+        recal.median_abs_residual_after_ns, recal.improved() ? "improved" : "NOT improved");
+    util::JsonObject rj;
+    rj["cpu_scale"] = recal.cpu_scale;
+    rj["gpu_scale"] = recal.gpu_scale;
+    rj["median_abs_residual_before_ns"] = recal.median_abs_residual_before_ns;
+    rj["median_abs_residual_after_ns"] = recal.median_abs_residual_after_ns;
+    rj["improved"] = recal.improved();
+    root["recalibration"] = util::Json(std::move(rj));
+
+    // 4. replan under the measured scales and re-measure
+    const api::Plan refined = eng.refine_plan(seed);
+    refined_describe = refined.program().describe();
+    const std::vector<double> refined_walls = measure(eng, refined, grid, reps);
+    refined_p50 = percentile(refined_walls, 0.5);
+  }  // ~Engine persists the store
+
+  const double speedup = refined_p50 > 0.0 ? seed_p50 / refined_p50 : 0.0;
+  std::printf("refined plan:  %s\n", refined_describe.c_str());
+  std::printf("measured wall p50: a-priori %.3f ms, refined %.3f ms  ->  %.2fx\n",
+              seed_p50 / 1e6, refined_p50 / 1e6, speedup);
+
+  // 5. restart: reload the persisted store, replan with zero new runs
+  bool restart_same_plan = false;
+  std::uint64_t restart_samples = 0;
+  {
+    api::EngineOptions opts;
+    opts.pool_workers = 0;
+    opts.queue_workers = 1;
+    opts.profile_path = store_path;
+    api::Engine restarted(sim::make_i7_2600k(), opts);
+    const api::Plan again = restarted.compile(spec, apriori);
+    const api::Plan refined_again = restarted.refine_plan(again);
+    restart_same_plan = refined_again.program().describe() == refined_describe;
+    restart_samples = restarted.stats().profile_samples_recorded;
+    std::printf("restarted engine: refined plan %s without re-learning (%llu new samples)\n",
+                restart_same_plan ? "REPRODUCED" : "DIVERGED",
+                static_cast<unsigned long long>(restart_samples));
+  }
+
+  root["seed_program"] = seed_describe;
+  root["refined_program"] = refined_describe;
+  root["seed_wall_p50_ns"] = seed_p50;
+  root["refined_wall_p50_ns"] = refined_p50;
+  root["speedup"] = speedup;
+  root["refined_differs"] = refined_describe != seed_describe;
+  root["restart_reproduced_plan"] = restart_same_plan;
+  root["restart_new_samples"] = static_cast<double>(restart_samples);
+
+  std::ofstream out(json_path);
+  out << util::Json(std::move(root)).dump(2) << "\n";
+  std::printf("wrote %s\n", json_path.c_str());
+
+  // The loop must actually close: fail loudly (for CI) if the refined
+  // plan regressed measured wall by more than noise, if recalibration
+  // made the model worse, or if the restart failed to reuse the store.
+  if (speedup < 0.9 || !restart_same_plan) {
+    std::printf("FAIL: feedback loop did not close (speedup %.2f, restart %s)\n", speedup,
+                restart_same_plan ? "ok" : "diverged");
+    return 1;
+  }
+  return 0;
+}

@@ -1,13 +1,18 @@
 #include "api/engine.hpp"
 
 #include <algorithm>
+#include <sstream>
 #include <stdexcept>
 #include <utility>
+
+#include "autotune/online.hpp"
 
 namespace wavetune::api {
 
 Engine::Engine(sim::SystemProfile profile, EngineOptions options)
-    : executor_(std::move(profile), options.pool_workers), options_(options) {
+    : executor_(std::move(profile), options.pool_workers),
+      options_(options),
+      profile_store_(profile::ProfileStoreOptions{options.profile_ring_capacity}) {
   store_snapshot(std::make_shared<const CacheMap>());
   const std::size_t workers = options_.queue_workers == 0 ? 1 : options_.queue_workers;
   if (options_.legacy_serving_path) {
@@ -16,6 +21,16 @@ Engine::Engine(sim::SystemProfile profile, EngineOptions options)
     std::size_t shards = options_.queue_shards;
     if (shards == 0) shards = std::max<std::size_t>(workers, 4);
     queue_ = std::make_unique<ShardedQueue<Job>>(options_.queue_capacity, shards);
+  }
+  profile_slots_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    profile_slots_.push_back(std::make_unique<ProfileSlot>());
+  }
+  // Warm start: a persisted store makes a rebooted engine replan from
+  // yesterday's measurements. A missing file is a fresh deployment, not
+  // an error; a malformed one still throws (silent data loss is worse).
+  if (!options_.profile_path.empty()) {
+    profile_store_.load_file_if_exists(options_.profile_path);
   }
   workers_.reserve(workers);
   try {
@@ -45,6 +60,15 @@ Engine::~Engine() {
   if (legacy_queue_) legacy_queue_->close();
   for (auto& w : workers_) {
     if (w.joinable()) w.join();
+  }
+  // Workers are joined: every buffered sample is final. Persisting is
+  // best effort — a destructor must not throw over a full disk.
+  flush_profiles();
+  if (!options_.profile_path.empty()) {
+    try {
+      profile_store_.save_file(options_.profile_path);
+    } catch (...) {
+    }
   }
 }
 
@@ -114,7 +138,7 @@ void Engine::worker_loop(std::size_t worker) {
     while (auto job = legacy_queue_->pop()) {
       batch.clear();
       batch.push_back(std::move(*job));
-      run_batch(batch);
+      run_batch(batch, worker);
     }
     return;
   }
@@ -134,11 +158,11 @@ void Engine::worker_loop(std::size_t worker) {
       if (!extra) break;
       batch.push_back(std::move(*extra));
     }
-    run_batch(batch);
+    run_batch(batch, worker);
   }
 }
 
-void Engine::run_batch(std::vector<Job>& jobs) {
+void Engine::run_batch(std::vector<Job>& jobs, std::size_t worker) {
   // Stable same-plan grouping: the first job of each distinct PlanState
   // becomes the group leader; the leader resolves the plan exactly once
   // (backend, spec, compiled program, lowered kernel — one shared_ptr
@@ -156,23 +180,74 @@ void Engine::run_batch(std::vector<Job>& jobs) {
       if (jobs[j].plan.get() == plan.get()) ++followers;
     }
     if (followers > 0) jobs_coalesced_.fetch_add(followers, std::memory_order_relaxed);
-    run_one(*plan, jobs[i]);
+    run_one(*plan, jobs[i], worker);
     for (std::size_t j = i + 1; j < jobs.size(); ++j) {
       if (jobs[j].plan.get() == plan.get()) {
         jobs[j].plan.reset();
-        run_one(*plan, jobs[j]);
+        run_one(*plan, jobs[j], worker);
       }
     }
   }
 }
 
-void Engine::run_one(const detail::PlanState& plan, Job& job) {
+namespace {
+
+profile::RunSample make_profile_sample(const detail::PlanState& plan,
+                                       const core::RunResult& result) {
+  profile::RunSample sample;
+  sample.key = plan.profile_key;
+  sample.phases.reserve(result.breakdown.phases.size());
+  for (const core::PhaseTiming& t : result.breakdown.phases) {
+    sample.phases.push_back({t.device, t.wall_ns, t.ns});
+  }
+  return sample;
+}
+
+}  // namespace
+
+void Engine::record_profile(const detail::PlanState& plan, const core::RunResult& result,
+                            std::size_t worker) {
+  // Steady state this costs one uncontended per-worker lock and a vector
+  // push; the store's shared lock is only taken when a full batch flushes.
+  ProfileSlot& slot = *profile_slots_[worker];
+  std::vector<profile::RunSample> batch;
+  {
+    std::lock_guard<std::mutex> lock(slot.mutex);
+    slot.buffer.push_back(make_profile_sample(plan, result));
+    if (slot.buffer.size() >= kProfileFlushBatch) batch.swap(slot.buffer);
+  }
+  if (!batch.empty()) {
+    profile_store_.record_batch(batch);
+    profile_flushes_.fetch_add(1, std::memory_order_release);
+  }
+  profile_samples_recorded_.fetch_add(1, std::memory_order_release);
+}
+
+void Engine::flush_profiles() {
+  for (auto& slot : profile_slots_) {
+    std::vector<profile::RunSample> batch;
+    {
+      std::lock_guard<std::mutex> lock(slot->mutex);
+      batch.swap(slot->buffer);
+    }
+    if (batch.empty()) continue;
+    profile_store_.record_batch(batch);
+    profile_flushes_.fetch_add(1, std::memory_order_release);
+  }
+}
+
+void Engine::run_one(const detail::PlanState& plan, Job& job, std::size_t worker) {
   // The completion/failure counter bumps BEFORE the promise resolves (and
   // with release order, pairing with stats()'s acquire loads), so a
   // caller returning from future.get() never observes a lagging count.
+  // The profile sample is captured before set_value for the same reason:
+  // profile_samples_recorded is part of the stats audit.
   try {
     core::RunResult result =
         plan.backend->run(executor_, plan.spec, plan.program, plan.lowered, *job.grid);
+    if (options_.profiling && !plan.profile_key.empty()) {
+      record_profile(plan, result, worker);
+    }
     jobs_completed_.fetch_add(1, std::memory_order_release);
     job.result.set_value(std::move(result));
   } catch (...) {
@@ -297,6 +372,16 @@ Plan Engine::compile_impl(const core::WavefrontSpec* spec, const core::InputPara
     }
   } else {
     state->program = backend->plan(in, state->params, executor_.profile());
+  }
+  // Profile signature: everything that determines the plan's timing
+  // behavior (backend, exact program shape, instance inputs) and nothing
+  // that doesn't (content identity — so measurements pool across payloads
+  // that execute the same schedule).
+  {
+    std::ostringstream sig;
+    sig << options.backend << '|' << state->program.describe() << "|t" << in.tsize << "|d"
+        << in.dsize;
+    state->profile_key = sig.str();
   }
   state->backend = std::move(backend);
 
@@ -436,6 +521,13 @@ core::RunResult Engine::run(const Plan& plan, core::Grid& grid) {
   try {
     const core::RunResult r = plan.backend().run(executor_, plan.spec(), plan.state_->program,
                                                  plan.state_->lowered, grid);
+    if (options_.profiling && !plan.state_->profile_key.empty()) {
+      // The synchronous path has no worker slot; a one-sample flush
+      // straight into the store keeps run() results immediately visible.
+      profile_store_.record(make_profile_sample(*plan.state_, r));
+      profile_flushes_.fetch_add(1, std::memory_order_release);
+      profile_samples_recorded_.fetch_add(1, std::memory_order_release);
+    }
     jobs_completed_.fetch_add(1, std::memory_order_release);
     return r;
   } catch (...) {
@@ -460,6 +552,10 @@ EngineStats Engine::stats() const {
   // completed + failed <= submitted from this reader's point of view.
   s.jobs_completed = jobs_completed_.load(std::memory_order_acquire);
   s.jobs_failed = jobs_failed_.load(std::memory_order_acquire);
+  // Same audit as completed/failed: bumped (release) before set_value, so
+  // these can't lag behind a join the reader has already observed.
+  s.profile_samples_recorded = profile_samples_recorded_.load(std::memory_order_acquire);
+  s.profile_flushes = profile_flushes_.load(std::memory_order_acquire);
   s.jobs_submitted = jobs_submitted_.load(std::memory_order_relaxed);
   s.jobs_coalesced = jobs_coalesced_.load(std::memory_order_relaxed);
   s.plans_compiled = plans_compiled_.load(std::memory_order_relaxed);
@@ -479,6 +575,58 @@ std::size_t Engine::queue_capacity() const {
 
 std::size_t Engine::plan_cache_size() const {
   return reader_snapshot().size();
+}
+
+void Engine::save_profile(const std::string& path) {
+  const std::string& target = path.empty() ? options_.profile_path : path;
+  if (target.empty()) {
+    throw std::invalid_argument(
+        "Engine::save_profile: no path given and EngineOptions::profile_path is empty");
+  }
+  flush_profiles();
+  profile_store_.save_file(target);
+}
+
+std::vector<profile::PlanAttribution> Engine::profile_report() {
+  flush_profiles();
+  std::vector<profile::PlanAttribution> report;
+  for (const profile::PlanProfile& plan : profile_store_.all()) {
+    report.push_back(profile::attribute(plan));
+  }
+  return report;
+}
+
+Plan Engine::refine_plan(const Plan& plan, std::size_t max_evaluations) {
+  if (!plan.valid()) throw std::invalid_argument("Engine::refine_plan: invalid plan");
+  if (!plan.executable()) {
+    throw std::invalid_argument(
+        "Engine::refine_plan: estimate-only plan (compiled from InputParams) cannot be refined");
+  }
+  flush_profiles();
+  // Scales from the plan's own measured residuals when its signature was
+  // profiled; otherwise the store-wide per-device medians (a fresh plan
+  // still benefits from what the fleet learned); otherwise neutral (the
+  // refiner then just re-optimizes under the a-priori model).
+  autotune::PhaseCostScales scales;
+  if (const auto own = profile_store_.find(plan.profile_key())) {
+    scales = profile::device_scales(*own);
+  } else {
+    scales = profile::device_scales(profile_store_);
+  }
+  autotune::ProgramTuneOptions tune;
+  tune.max_evaluations = max_evaluations;
+  const autotune::ProgramTuneResult tuned =
+      autotune::refine_program(executor_, plan.inputs(), plan.program(), scales, tune);
+  if (tuned.program.describe() == plan.program().describe()) return plan;
+  // Recompile through the normal path so the refined plan is cached and
+  // served to subsequent compiles; the program salt in CacheKey keeps it
+  // from aliasing the seed.
+  CompileOptions options;
+  options.backend = plan.backend_name();
+  options.params = plan.params();
+  options.program = tuned.program;
+  options.cache_tag = "profile-refined";
+  return compile(plan.spec(), options);
 }
 
 void Engine::clear_plan_cache() {

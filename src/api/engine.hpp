@@ -65,6 +65,8 @@
 #include "core/grid.hpp"
 #include "core/params.hpp"
 #include "core/spec.hpp"
+#include "profile/attribution.hpp"
+#include "profile/profile_store.hpp"
 #include "sim/system_profile.hpp"
 
 namespace wavetune::api {
@@ -105,6 +107,20 @@ struct EngineOptions {
   /// survive one-shot compile sweeps, while the cache can neither grow
   /// without bound nor permanently pin stale recipes.
   std::size_t plan_cache_capacity = 4096;
+  /// Record measured per-phase wall timings of every submit()/run() into
+  /// the engine's profile::ProfileStore (keyed by Plan::profile_key).
+  /// Workers append to per-worker buffers (own uncontended mutex each)
+  /// and flush in batches, so the store's lock stays off the serving hot
+  /// path; false skips recording entirely.
+  bool profiling = true;
+  /// Wall samples retained per (signature, phase) — ProfileStoreOptions::
+  /// ring_capacity of the engine's store.
+  std::size_t profile_ring_capacity = 64;
+  /// When non-empty: load the profile store from this file at
+  /// construction (silently starting fresh when it does not exist yet)
+  /// and save it back at destruction (best effort) — so a restarted
+  /// engine replans from yesterday's measurements instead of re-learning.
+  std::string profile_path;
 };
 
 struct CompileOptions {
@@ -148,6 +164,15 @@ struct EngineStats {
   std::uint64_t jobs_failed = 0;          ///< finished by throwing (promise holds the exception)
   std::uint64_t jobs_coalesced = 0;       ///< jobs that rode a same-plan batched sweep
                                           ///< behind its leader (leaders not counted)
+  /// Measured executions captured for the profile store (buffered samples
+  /// included). Bumped with release order BEFORE the job's promise
+  /// resolves — same audit as jobs_completed, so a caller returning from
+  /// future.get() never observes a lagging count. 0 when profiling is off.
+  std::uint64_t profile_samples_recorded = 0;
+  /// Batches pushed into the profile store (one store lock each): worker
+  /// buffers reaching the flush threshold, flush_profiles() sweeps, and
+  /// synchronous run() recordings.
+  std::uint64_t profile_flushes = 0;
   std::uint64_t queue_depth = 0;          ///< LIVE gauge: jobs queued right now
 };
 
@@ -234,6 +259,38 @@ public:
   std::size_t plan_cache_size() const;
   void clear_plan_cache();
 
+  // --- feedback-driven planning (src/profile/) ------------------------
+
+  /// The engine's measured-timing store. Reading it mid-flight may miss
+  /// samples still sitting in worker buffers — call flush_profiles()
+  /// first for an up-to-date view.
+  const profile::ProfileStore& profile_store() const { return profile_store_; }
+
+  /// Drains every worker's buffered samples into the store. Callable from
+  /// any thread at any time (buffers are swapped out under their own
+  /// per-worker mutex, then recorded outside it).
+  void flush_profiles();
+
+  /// Flushes and persists the store to `path`, or to
+  /// EngineOptions::profile_path when `path` is empty. Throws
+  /// std::invalid_argument when both are empty.
+  void save_profile(const std::string& path = "");
+
+  /// Flushes, then attributes every profiled signature: measured p50/p95
+  /// against the simulated charge, per-phase shares, imbalance and
+  /// hotspot flags. Key-ordered.
+  std::vector<profile::PlanAttribution> profile_report();
+
+  /// The "replan" leg: re-optimizes `plan`'s phase program under
+  /// profile-derived per-device cost scales (the plan's own measured
+  /// residuals when its signature was profiled, the store-wide medians
+  /// otherwise) and compiles the refined program through the normal
+  /// compile path — so the result lands in the plan cache and is served
+  /// from there on. Returns `plan` itself when the search keeps the seed
+  /// program. Throws std::invalid_argument on invalid or estimate-only
+  /// plans.
+  Plan refine_plan(const Plan& plan, std::size_t max_evaluations = 96);
+
 private:
   struct Job {
     std::shared_ptr<const detail::PlanState> plan;
@@ -303,8 +360,9 @@ private:
   void worker_loop(std::size_t worker);
   /// Executes `jobs`, resolving each promise; same-plan jobs are grouped
   /// (stably) and dispatched back-to-back through one plan resolution.
-  void run_batch(std::vector<Job>& jobs);
-  void run_one(const detail::PlanState& plan, Job& job);
+  /// `worker` selects the profile sample buffer.
+  void run_batch(std::vector<Job>& jobs, std::size_t worker);
+  void run_one(const detail::PlanState& plan, Job& job, std::size_t worker);
   bool queue_push(Job job);          // blocking; false once closed
   bool queue_try_push(Job& job);     // non-blocking; false when full/closed
 
@@ -373,6 +431,29 @@ private:
   std::atomic<std::uint64_t> jobs_completed_{0};
   std::atomic<std::uint64_t> jobs_failed_{0};
   std::atomic<std::uint64_t> jobs_coalesced_{0};
+  std::atomic<std::uint64_t> profile_samples_recorded_{0};
+  std::atomic<std::uint64_t> profile_flushes_{0};
+
+  /// One worker's buffered profile samples awaiting a batched flush. The
+  /// mutex is per-slot: the owning worker's append is uncontended in the
+  /// steady state; flush_profiles() (any thread) swaps the vector out
+  /// under it and records OUTSIDE it, so a worker never blocks on the
+  /// store's lock through its slot. unique_ptr keeps slots address-stable
+  /// (std::mutex is immovable).
+  struct ProfileSlot {
+    std::mutex mutex;
+    std::vector<profile::RunSample> buffer;
+  };
+  /// Appends one run's measured phases to `worker`'s slot and flushes the
+  /// slot into the store once it holds kProfileFlushBatch samples. Bumps
+  /// profile_samples_recorded_/profile_flushes_ with release order — the
+  /// caller resolves the job's promise only afterwards.
+  void record_profile(const detail::PlanState& plan, const core::RunResult& result,
+                      std::size_t worker);
+  static constexpr std::size_t kProfileFlushBatch = 32;
+
+  profile::ProfileStore profile_store_;
+  std::vector<std::unique_ptr<ProfileSlot>> profile_slots_;
 
   /// Exactly one of the two is engaged (legacy_serving_path selects).
   std::unique_ptr<ShardedQueue<Job>> queue_;

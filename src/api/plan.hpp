@@ -51,6 +51,10 @@ struct PlanState {
   /// CompileOptions::program. Both run and estimate interpret exactly
   /// this object, so a plan cannot estimate one schedule and run another.
   core::PhaseProgram program;
+  /// Profile signature: backend + program shape + instance timing inputs
+  /// (content_key deliberately excluded, so measurements pool across
+  /// payloads that execute identically). Key of profile::ProfileStore.
+  std::string profile_key;
   std::shared_ptr<const Backend> backend;
 };
 
@@ -81,6 +85,11 @@ public:
 
   /// The compiled phase program this plan interprets on run AND estimate.
   const core::PhaseProgram& program() const { return checked().program; }
+
+  /// The signature this plan's measured timings are recorded under in the
+  /// engine's profile::ProfileStore (backend + program shape + timing
+  /// inputs; payload identity excluded so profiles pool across payloads).
+  const std::string& profile_key() const { return checked().profile_key; }
 
   /// The spec this plan executes. Throws std::logic_error on estimate-only
   /// plans (they have no kernel to run).

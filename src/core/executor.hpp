@@ -49,6 +49,12 @@ struct PhaseTiming {
   std::size_t d_end = 0;
   double ns = 0.0;  ///< simulated time of the whole phase
 
+  /// MEASURED wall time of the phase (steady_clock), populated only in
+  /// run mode — exactly 0 on estimate(), which executes nothing. This is
+  /// what the profile subsystem (src/profile/) aggregates and compares
+  /// against `ns` to close the measure -> attribute -> replan loop.
+  double wall_ns = 0.0;
+
   // GPU-phase detail (already included in ns; zero for CPU phases):
   double transfer_in_ns = 0.0;
   double transfer_out_ns = 0.0;
@@ -67,6 +73,8 @@ struct PhaseBreakdown {
   std::vector<PhaseTiming> phases;
 
   double total_ns() const;
+  /// Measured wall time summed over every phase (0 for estimates).
+  double total_wall_ns() const;
 
   /// CPU time before the first GPU phase (all CPU time for pure-CPU
   /// programs) — the paper's "phase 1".
@@ -89,6 +97,7 @@ struct PhaseBreakdown {
 struct RunResult {
   PhaseBreakdown breakdown;
   double rtime_ns = 0.0;  ///< == breakdown.total_ns()
+  double wall_ns = 0.0;   ///< == breakdown.total_wall_ns(); 0 for estimates
   TunableParams params;   ///< normalized parameters the program was built from
 };
 

@@ -1,0 +1,121 @@
+#include "profile/attribution.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wavetune::profile {
+
+namespace {
+
+double median(std::vector<double>& v) {
+  if (v.empty()) return 1.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+void collect_ratios(const PlanProfile& plan, std::vector<double>& cpu,
+                    std::vector<double>& gpu) {
+  for (const PhaseProfile& agg : plan.phases) {
+    if (agg.count == 0 || agg.sim_ns <= 0.0) continue;
+    const double ratio = agg.p50_wall_ns() / agg.sim_ns;
+    if (!(ratio > 0.0) || !std::isfinite(ratio)) continue;
+    (agg.device == core::PhaseDevice::kCpu ? cpu : gpu).push_back(ratio);
+  }
+}
+
+}  // namespace
+
+PlanAttribution attribute(const PlanProfile& plan, double hotspot_margin) {
+  PlanAttribution out;
+  out.key = plan.key;
+  out.runs = plan.runs;
+  out.sim_total_ns = plan.sim_total_ns();
+  out.wall_total_ns = plan.measured_total_ns();
+  out.phases.reserve(plan.phases.size());
+
+  double max_wall_share = 0.0;
+  std::size_t max_wall_index = 0;
+  for (std::size_t i = 0; i < plan.phases.size(); ++i) {
+    const PhaseProfile& agg = plan.phases[i];
+    PhaseAttribution a;
+    a.index = i;
+    a.device = agg.device;
+    a.count = agg.count;
+    a.sim_ns = agg.sim_ns;
+    a.wall_p50_ns = agg.p50_wall_ns();
+    a.wall_p95_ns = agg.p95_wall_ns();
+    a.wall_ewma_ns = agg.ewma_wall_ns;
+    a.residual_ns = a.wall_p50_ns - a.sim_ns;
+    a.residual_ratio = a.sim_ns > 0.0 ? a.wall_p50_ns / a.sim_ns : 1.0;
+    a.sim_share = out.sim_total_ns > 0.0 ? a.sim_ns / out.sim_total_ns : 0.0;
+    a.wall_share = out.wall_total_ns > 0.0 ? a.wall_p50_ns / out.wall_total_ns : 0.0;
+    if (a.wall_share > max_wall_share) {
+      max_wall_share = a.wall_share;
+      max_wall_index = i;
+    }
+    out.phases.push_back(a);
+  }
+
+  if (!out.phases.empty()) {
+    const double balanced = 1.0 / static_cast<double>(out.phases.size());
+    out.imbalance = balanced > 0.0 ? max_wall_share / balanced : 1.0;
+    PhaseAttribution& top = out.phases[max_wall_index];
+    if (top.count > 0 && top.wall_share > top.sim_share + hotspot_margin) {
+      top.hotspot = true;
+      out.hotspot_phase = static_cast<int>(max_wall_index);
+    }
+  }
+  return out;
+}
+
+util::Json PlanAttribution::to_json() const {
+  util::Json j = util::Json::object();
+  j["key"] = key;
+  j["runs"] = static_cast<double>(runs);
+  j["sim_total_ns"] = sim_total_ns;
+  j["wall_total_ns"] = wall_total_ns;
+  j["imbalance"] = imbalance;
+  j["hotspot_phase"] = hotspot_phase;
+  util::Json arr = util::Json::array();
+  for (const PhaseAttribution& a : phases) {
+    util::Json p = util::Json::object();
+    p["index"] = a.index;
+    p["device"] = core::phase_device_name(a.device);
+    p["count"] = static_cast<double>(a.count);
+    p["sim_ns"] = a.sim_ns;
+    p["wall_p50_ns"] = a.wall_p50_ns;
+    p["wall_p95_ns"] = a.wall_p95_ns;
+    p["wall_ewma_ns"] = a.wall_ewma_ns;
+    p["residual_ns"] = a.residual_ns;
+    p["residual_ratio"] = a.residual_ratio;
+    p["sim_share"] = a.sim_share;
+    p["wall_share"] = a.wall_share;
+    p["hotspot"] = a.hotspot;
+    arr.push_back(std::move(p));
+  }
+  j["phases"] = std::move(arr);
+  return j;
+}
+
+autotune::PhaseCostScales device_scales(const PlanProfile& plan) {
+  std::vector<double> cpu;
+  std::vector<double> gpu;
+  collect_ratios(plan, cpu, gpu);
+  autotune::PhaseCostScales s;
+  s.cpu = median(cpu);
+  s.gpu = median(gpu);
+  return s;
+}
+
+autotune::PhaseCostScales device_scales(const ProfileStore& store) {
+  std::vector<double> cpu;
+  std::vector<double> gpu;
+  for (const PlanProfile& plan : store.all()) collect_ratios(plan, cpu, gpu);
+  autotune::PhaseCostScales s;
+  s.cpu = median(cpu);
+  s.gpu = median(gpu);
+  return s;
+}
+
+}  // namespace wavetune::profile

@@ -1,0 +1,79 @@
+// The "attribute" leg of the feedback loop: turn a PlanProfile's raw
+// aggregates into residuals, shares and imbalance flags — a PerFlow-style
+// analysis (imbalance + pattern attribution over measured executions of a
+// dataflow schedule) specialised to phase programs.
+//
+// For every phase of a profiled plan we compare the measured wall time
+// (p50 over the sample ring; EWMA and p95 carried for drift/tail
+// reporting) against the interpreter's simulated charge:
+//
+//   residual_ns     = wall_p50 - sim          (absolute misprediction)
+//   residual_ratio  = wall_p50 / sim          (the device-class scale the
+//                                              replanner consumes)
+//   wall/sim shares = phase's fraction of the plan total, measured vs
+//                     modelled — a phase whose measured share exceeds its
+//                     modelled share by more than `hotspot_margin` AND is
+//                     the largest measured share is flagged the hotspot:
+//                     the phase the model most under-prices, i.e. where a
+//                     replan should spend its budget first.
+//
+// device_scales() pools residual ratios across every profiled plan into
+// one autotune::PhaseCostScales (median per device class) — the bridge
+// into autotune::refine_program, and the input profile::recalibrate fits
+// SystemProfile constants from.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "autotune/online.hpp"
+#include "profile/profile_store.hpp"
+#include "util/json.hpp"
+
+namespace wavetune::profile {
+
+struct PhaseAttribution {
+  std::size_t index = 0;
+  core::PhaseDevice device = core::PhaseDevice::kCpu;
+  std::uint64_t count = 0;        ///< samples behind the statistics
+  double sim_ns = 0.0;
+  double wall_p50_ns = 0.0;
+  double wall_p95_ns = 0.0;
+  double wall_ewma_ns = 0.0;
+  double residual_ns = 0.0;       ///< wall_p50 - sim
+  double residual_ratio = 1.0;    ///< wall_p50 / sim (1 when sim == 0)
+  double sim_share = 0.0;         ///< sim_ns / plan sim total
+  double wall_share = 0.0;        ///< wall_p50 / plan wall total
+  bool hotspot = false;
+};
+
+struct PlanAttribution {
+  std::string key;
+  std::uint64_t runs = 0;
+  double sim_total_ns = 0.0;
+  double wall_total_ns = 0.0;     ///< sum of per-phase p50 wall
+  /// Largest measured phase share divided by the balanced share (1 /
+  /// phase count): 1 = perfectly balanced, phase count = one phase is
+  /// everything. The imbalance metric replans try to push down.
+  double imbalance = 1.0;
+  int hotspot_phase = -1;         ///< index of the flagged phase, -1 if none
+  std::vector<PhaseAttribution> phases;
+
+  util::Json to_json() const;     ///< report/bench serialization
+};
+
+/// Residual/imbalance analysis of one profiled plan. `hotspot_margin` is
+/// the minimum (measured share - modelled share) for the hotspot flag.
+PlanAttribution attribute(const PlanProfile& plan, double hotspot_margin = 0.10);
+
+/// Pooled measured-vs-modelled scales across every plan in the store:
+/// the median per-phase residual ratio per device class (CPU vs GPU).
+/// Phases without samples are skipped; an empty class keeps scale 1.
+autotune::PhaseCostScales device_scales(const ProfileStore& store);
+
+/// Same pooling restricted to one plan's profile — what
+/// api::Engine::refine_plan uses when the plan itself has history.
+autotune::PhaseCostScales device_scales(const PlanProfile& plan);
+
+}  // namespace wavetune::profile

@@ -1,0 +1,236 @@
+#include "profile/profile_store.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace wavetune::profile {
+
+namespace {
+
+core::PhaseDevice device_from_json(long long v) {
+  switch (v) {
+    case 0: return core::PhaseDevice::kCpu;
+    case 1: return core::PhaseDevice::kGpuSingle;
+    case 2: return core::PhaseDevice::kGpuMulti;
+    default: throw util::JsonError("ProfileStore: bad device code " + std::to_string(v));
+  }
+}
+
+long long device_to_json(core::PhaseDevice d) { return static_cast<long long>(d); }
+
+}  // namespace
+
+double PhaseProfile::percentile_wall_ns(double q) const {
+  if (ring.empty()) return 0.0;
+  std::vector<double> sorted = ring;
+  std::sort(sorted.begin(), sorted.end());
+  const double idx = std::clamp(q, 0.0, 1.0) * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double PlanProfile::measured_total_ns() const {
+  double t = 0.0;
+  for (const PhaseProfile& p : phases) t += p.p50_wall_ns();
+  return t;
+}
+
+double PlanProfile::sim_total_ns() const {
+  double t = 0.0;
+  for (const PhaseProfile& p : phases) t += p.sim_ns;
+  return t;
+}
+
+ProfileStore::ProfileStore(ProfileStoreOptions options) : options_(options) {
+  if (options_.ring_capacity == 0) {
+    throw std::invalid_argument("ProfileStore: ring_capacity must be >= 1");
+  }
+  if (!(options_.ewma_alpha > 0.0) || options_.ewma_alpha > 1.0) {
+    throw std::invalid_argument("ProfileStore: ewma_alpha must be in (0, 1]");
+  }
+}
+
+void ProfileStore::record_locked(const RunSample& sample) {
+  if (sample.key.empty() || sample.phases.empty()) return;
+  PlanProfile& plan = plans_[sample.key];
+  if (plan.phases.size() != sample.phases.size()) {
+    // Shape changed under the same key: restart the aggregates instead of
+    // blending phase slots that no longer correspond.
+    plan = PlanProfile{};
+    plan.phases.resize(sample.phases.size());
+  }
+  plan.key = sample.key;
+  ++plan.runs;
+  for (std::size_t i = 0; i < sample.phases.size(); ++i) {
+    const PhaseSample& s = sample.phases[i];
+    PhaseProfile& agg = plan.phases[i];
+    agg.device = s.device;
+    agg.sim_ns = s.sim_ns;
+    agg.ewma_wall_ns = agg.count == 0
+                           ? s.wall_ns
+                           : options_.ewma_alpha * s.wall_ns +
+                                 (1.0 - options_.ewma_alpha) * agg.ewma_wall_ns;
+    ++agg.count;
+    if (agg.ring.size() < options_.ring_capacity) {
+      agg.ring.push_back(s.wall_ns);
+    } else {
+      agg.ring[agg.ring_next] = s.wall_ns;
+      agg.ring_next = (agg.ring_next + 1) % options_.ring_capacity;
+    }
+  }
+  ++samples_;
+}
+
+void ProfileStore::record(const RunSample& sample) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++flushes_;
+  record_locked(sample);
+}
+
+void ProfileStore::record_batch(const std::vector<RunSample>& samples) {
+  if (samples.empty()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++flushes_;
+  for (const RunSample& s : samples) record_locked(s);
+}
+
+std::optional<PlanProfile> ProfileStore::find(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = plans_.find(key);
+  if (it == plans_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<PlanProfile> ProfileStore::all() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<PlanProfile> out;
+  out.reserve(plans_.size());
+  for (const auto& [key, plan] : plans_) out.push_back(plan);
+  return out;
+}
+
+std::vector<std::string> ProfileStore::keys() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(plans_.size());
+  for (const auto& [key, plan] : plans_) out.push_back(key);
+  return out;
+}
+
+std::size_t ProfileStore::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return plans_.size();
+}
+
+std::uint64_t ProfileStore::samples_recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return samples_;
+}
+
+std::uint64_t ProfileStore::flushes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return flushes_;
+}
+
+void ProfileStore::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  plans_.clear();
+  samples_ = 0;
+  flushes_ = 0;
+}
+
+util::Json ProfileStore::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  util::Json j = util::Json::object();
+  j["format"] = "wavetune-profile-v1";
+  j["ring_capacity"] = options_.ring_capacity;
+  j["ewma_alpha"] = options_.ewma_alpha;
+  j["samples_recorded"] = static_cast<double>(samples_);
+  util::Json plans = util::Json::array();
+  for (const auto& [key, plan] : plans_) {
+    util::Json p = util::Json::object();
+    p["key"] = key;
+    p["runs"] = static_cast<double>(plan.runs);
+    util::Json phases = util::Json::array();
+    for (const PhaseProfile& agg : plan.phases) {
+      util::Json a = util::Json::object();
+      a["device"] = device_to_json(agg.device);
+      a["count"] = static_cast<double>(agg.count);
+      a["ewma_wall_ns"] = agg.ewma_wall_ns;
+      a["sim_ns"] = agg.sim_ns;
+      a["ring_next"] = agg.ring_next;
+      util::Json ring = util::Json::array();
+      for (double v : agg.ring) ring.push_back(v);
+      a["ring"] = std::move(ring);
+      phases.push_back(std::move(a));
+    }
+    p["phases"] = std::move(phases);
+    plans.push_back(std::move(p));
+  }
+  j["plans"] = std::move(plans);
+  return j;
+}
+
+void ProfileStore::load_json(const util::Json& j) {
+  if (j.at("format").as_string() != "wavetune-profile-v1") {
+    throw util::JsonError("ProfileStore: unknown format '" + j.at("format").as_string() + "'");
+  }
+  ProfileStoreOptions options;
+  options.ring_capacity = static_cast<std::size_t>(j.at("ring_capacity").as_int());
+  options.ewma_alpha = j.at("ewma_alpha").as_number();
+  if (options.ring_capacity == 0 || !(options.ewma_alpha > 0.0) || options.ewma_alpha > 1.0) {
+    throw util::JsonError("ProfileStore: invalid options in file");
+  }
+  std::map<std::string, PlanProfile> plans;
+  for (const util::Json& p : j.at("plans").as_array()) {
+    PlanProfile plan;
+    plan.key = p.at("key").as_string();
+    plan.runs = static_cast<std::uint64_t>(p.at("runs").as_int());
+    for (const util::Json& a : p.at("phases").as_array()) {
+      PhaseProfile agg;
+      agg.device = device_from_json(a.at("device").as_int());
+      agg.count = static_cast<std::uint64_t>(a.at("count").as_int());
+      agg.ewma_wall_ns = a.at("ewma_wall_ns").as_number();
+      agg.sim_ns = a.at("sim_ns").as_number();
+      agg.ring_next = static_cast<std::size_t>(a.at("ring_next").as_int());
+      for (const util::Json& v : a.at("ring").as_array()) agg.ring.push_back(v.as_number());
+      if (agg.ring.size() > options.ring_capacity || agg.ring_next >= options.ring_capacity) {
+        throw util::JsonError("ProfileStore: ring exceeds declared capacity");
+      }
+      plan.phases.push_back(std::move(agg));
+    }
+    if (plan.key.empty() || plan.phases.empty()) {
+      throw util::JsonError("ProfileStore: empty plan entry");
+    }
+    plans[plan.key] = std::move(plan);
+  }
+  const auto samples = static_cast<std::uint64_t>(j.at("samples_recorded").as_int());
+  std::lock_guard<std::mutex> lock(mutex_);
+  options_ = options;
+  plans_ = std::move(plans);
+  samples_ = samples;
+  flushes_ = 0;
+}
+
+void ProfileStore::save_file(const std::string& path) const { to_json().save_file(path); }
+
+void ProfileStore::load_file(const std::string& path) { load_json(util::Json::load_file(path)); }
+
+bool ProfileStore::load_file_if_exists(const std::string& path) {
+  util::Json j;
+  try {
+    j = util::Json::load_file(path);
+  } catch (const util::JsonError& e) {
+    // Distinguish "no file yet" (fresh deployment: fine) from "file exists
+    // but is malformed" (data loss waiting to happen: loud).
+    if (std::string(e.what()).find("cannot open") != std::string::npos) return false;
+    throw;
+  }
+  load_json(j);
+  return true;
+}
+
+}  // namespace wavetune::profile

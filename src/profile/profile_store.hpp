@@ -1,0 +1,139 @@
+// profile::ProfileStore — measured per-phase wall timings, keyed by plan
+// signature. The "measure" leg of the feedback-driven planning loop.
+//
+// The planner prices every program with the a-priori cost model, but a
+// long-running Engine sees the same plan signature thousands of times and
+// each run's PhaseBreakdown now carries MEASURED wall ns per phase next to
+// the interpreter's simulated charge. This store turns that stream into
+// durable per-signature aggregates:
+//
+//   * a fixed-capacity ring of the most recent wall samples per phase
+//     (what p50/p95 are computed from — bounded memory per signature),
+//   * an EWMA of the wall time (fast tracking of drift),
+//   * the last simulated charge (constant per compiled program, kept so
+//     the attribution layer can form measured-vs-modelled residuals
+//     without re-estimating).
+//
+// Concurrency: one mutex guards the map. That is deliberate — the store
+// is NOT on the serving hot path. api::Engine feeds it through per-worker
+// sample buffers that flush in batches (record_batch = one lock per
+// batch), so no submit(), compile() or cache-hit path ever touches this
+// lock. Readers (snapshot/all) copy under the lock and analyse outside it.
+//
+// Persistence: to_json/load_json round-trip the full state (ring samples
+// included) through util::Json, so profiles survive an Engine restart —
+// a rebooted server replans from yesterday's measurements instead of
+// re-learning. Doubles are serialized round-trip-safe (max_digits10).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/phase_program.hpp"
+#include "util/json.hpp"
+
+namespace wavetune::profile {
+
+/// One phase of one measured execution.
+struct PhaseSample {
+  core::PhaseDevice device = core::PhaseDevice::kCpu;
+  double wall_ns = 0.0;  ///< measured (PhaseTiming::wall_ns)
+  double sim_ns = 0.0;   ///< the interpreter's simulated charge (PhaseTiming::ns)
+};
+
+/// One measured execution of one plan: the signature plus every phase.
+struct RunSample {
+  std::string key;  ///< plan signature (api::Engine derives it at compile time)
+  std::vector<PhaseSample> phases;
+};
+
+/// Aggregates for one phase slot of one plan signature.
+struct PhaseProfile {
+  core::PhaseDevice device = core::PhaseDevice::kCpu;
+  std::uint64_t count = 0;        ///< samples ever recorded (ring keeps the tail)
+  double ewma_wall_ns = 0.0;
+  double sim_ns = 0.0;            ///< last simulated charge
+  std::vector<double> ring;       ///< last <= ring_capacity wall samples, unordered
+  std::size_t ring_next = 0;      ///< overwrite cursor once the ring is full
+
+  /// Percentile over the ring contents (q in [0, 1], linear interpolation);
+  /// 0 when no samples yet.
+  double percentile_wall_ns(double q) const;
+  double p50_wall_ns() const { return percentile_wall_ns(0.50); }
+  double p95_wall_ns() const { return percentile_wall_ns(0.95); }
+};
+
+/// Everything measured for one plan signature.
+struct PlanProfile {
+  std::string key;
+  std::uint64_t runs = 0;
+  std::vector<PhaseProfile> phases;
+
+  double measured_total_ns() const;  ///< sum of per-phase p50 wall
+  double sim_total_ns() const;       ///< sum of per-phase simulated charges
+};
+
+struct ProfileStoreOptions {
+  std::size_t ring_capacity = 64;  ///< wall samples retained per phase (>= 1)
+  double ewma_alpha = 0.25;        ///< EWMA weight of the newest sample, (0, 1]
+};
+
+class ProfileStore {
+public:
+  explicit ProfileStore(ProfileStoreOptions options = {});
+
+  ProfileStore(const ProfileStore&) = delete;
+  ProfileStore& operator=(const ProfileStore&) = delete;
+
+  /// Records one execution (one lock). A sample whose phase count differs
+  /// from the stored profile of the same key (the signature scheme
+  /// changed across a version) resets that profile rather than mixing
+  /// incompatible shapes.
+  void record(const RunSample& sample);
+
+  /// Records a batch under ONE lock — the flush target of the Engine's
+  /// per-worker sample buffers.
+  void record_batch(const std::vector<RunSample>& samples);
+
+  /// Copy of one signature's aggregates; nullopt when never recorded.
+  std::optional<PlanProfile> find(const std::string& key) const;
+
+  /// Copies of every profiled signature, key-ordered.
+  std::vector<PlanProfile> all() const;
+
+  std::vector<std::string> keys() const;
+  std::size_t size() const;
+  /// Executions recorded since construction/clear (monotonic).
+  std::uint64_t samples_recorded() const;
+  /// record/record_batch calls taken (monotonic) — the lock count.
+  std::uint64_t flushes() const;
+  void clear();
+
+  const ProfileStoreOptions& options() const { return options_; }
+
+  // --- persistence ----------------------------------------------------
+  util::Json to_json() const;
+  /// Replaces the contents (options included) from to_json() output;
+  /// throws util::JsonError on malformed input.
+  void load_json(const util::Json& j);
+  void save_file(const std::string& path) const;
+  void load_file(const std::string& path);
+  /// False when the file cannot be opened (fresh deployment); malformed
+  /// content still throws.
+  bool load_file_if_exists(const std::string& path);
+
+private:
+  void record_locked(const RunSample& sample);
+
+  ProfileStoreOptions options_;
+  mutable std::mutex mutex_;
+  std::map<std::string, PlanProfile> plans_;
+  std::uint64_t samples_ = 0;
+  std::uint64_t flushes_ = 0;
+};
+
+}  // namespace wavetune::profile

@@ -1,0 +1,95 @@
+#include "profile/recalibrate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "ml/linear_model.hpp"
+
+namespace wavetune::profile {
+
+namespace {
+
+struct Example {
+  double sim_ns;
+  double wall_ns;
+  bool cpu;
+};
+
+double median_of(std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+/// Fitted wall/sim ratio of one device class: ml::LinearModel on the
+/// (sim -> wall) examples, evaluated at the sample centroid. Falls back
+/// to 1.0 (no rescale) when the class has no usable examples or the fit
+/// degenerates to a non-positive ratio.
+double fit_scale(const std::vector<Example>& examples, bool cpu) {
+  ml::Dataset data({"sim_ns"});
+  double sim_sum = 0.0;
+  double wall_sum = 0.0;
+  for (const Example& e : examples) {
+    if (e.cpu != cpu || !(e.sim_ns > 0.0) || !std::isfinite(e.wall_ns)) continue;
+    data.add({e.sim_ns}, e.wall_ns);
+    sim_sum += e.sim_ns;
+    wall_sum += e.wall_ns;
+  }
+  if (data.empty() || !(sim_sum > 0.0)) return 1.0;
+  const double mean_sim = sim_sum / static_cast<double>(data.size());
+  double scale;
+  try {
+    const ml::LinearModel model = ml::LinearModel::fit(data);
+    scale = model.predict({&mean_sim, 1}) / mean_sim;
+  } catch (const std::exception&) {
+    // A device class whose phases all carry the SAME simulated charge
+    // makes the (feature, intercept) system singular — the regressor is
+    // constant. The centroid ratio is the exact least-squares scale
+    // through the origin there.
+    scale = wall_sum / sim_sum;
+  }
+  return scale > 0.0 && std::isfinite(scale) ? scale : 1.0;
+}
+
+}  // namespace
+
+RecalibrationResult recalibrate(const sim::SystemProfile& base, const ProfileStore& store) {
+  std::vector<Example> examples;
+  for (const PlanProfile& plan : store.all()) {
+    for (const PhaseProfile& agg : plan.phases) {
+      if (agg.count == 0 || !(agg.sim_ns > 0.0)) continue;
+      const bool cpu = agg.device == core::PhaseDevice::kCpu;
+      for (double wall : agg.ring) examples.push_back({agg.sim_ns, wall, cpu});
+    }
+  }
+
+  RecalibrationResult result;
+  result.cpu_scale = fit_scale(examples, true);
+  result.gpu_scale = fit_scale(examples, false);
+  for (const Example& e : examples) {
+    if (e.cpu) {
+      ++result.cpu_examples;
+    } else {
+      ++result.gpu_examples;
+    }
+  }
+  result.profile = base.scaled(result.cpu_scale, result.gpu_scale);
+
+  std::vector<double> before;
+  std::vector<double> after;
+  before.reserve(examples.size());
+  after.reserve(examples.size());
+  for (const Example& e : examples) {
+    const double scale = e.cpu ? result.cpu_scale : result.gpu_scale;
+    before.push_back(std::abs(e.wall_ns - e.sim_ns));
+    after.push_back(std::abs(e.wall_ns - scale * e.sim_ns));
+  }
+  result.median_abs_residual_before_ns = median_of(before);
+  result.median_abs_residual_after_ns = median_of(after);
+  return result;
+}
+
+}  // namespace wavetune::profile

@@ -1,0 +1,50 @@
+// SystemProfile recalibration from live residuals — the model-repair half
+// of the "replan" leg.
+//
+// Every profiled phase contributes (sim_ns -> wall_ns) examples: the ring
+// of measured wall samples against the phase's simulated charge. Per
+// device class we fit an ml::LinearModel (the same ridge regressor the
+// offline autotuner trains on) of wall = w * sim + b and take the fitted
+// ratio at the sample centroid as the class's scale, then bake both
+// scales into a SystemProfile via SystemProfile::scaled. Because phase
+// estimates are exactly linear in the scaled constants, the recalibrated
+// profile's per-phase estimates are scale x the originals — so the median
+// |measured - estimated| residual shrinks whenever the fitted scales beat
+// 1.0, which bench_profile asserts end to end.
+//
+// The recalibrated profile is how a deployment repairs a model whose
+// frozen assumptions drifted from observed behavior: feed it to a new
+// Engine (or to autotune searches) and every subsequent plan is priced in
+// measured-world units.
+#pragma once
+
+#include <cstddef>
+
+#include "profile/profile_store.hpp"
+#include "sim/system_profile.hpp"
+
+namespace wavetune::profile {
+
+struct RecalibrationResult {
+  sim::SystemProfile profile;      ///< base with the fitted scales applied
+  double cpu_scale = 1.0;          ///< fitted wall/sim ratio, CPU phases
+  double gpu_scale = 1.0;          ///< fitted wall/sim ratio, GPU phases
+  std::size_t cpu_examples = 0;    ///< ring samples behind the CPU fit
+  std::size_t gpu_examples = 0;
+  /// Median |wall - estimate| per phase example, before (estimate = sim)
+  /// and after (estimate = scale x sim) recalibration.
+  double median_abs_residual_before_ns = 0.0;
+  double median_abs_residual_after_ns = 0.0;
+
+  bool improved() const {
+    return median_abs_residual_after_ns < median_abs_residual_before_ns;
+  }
+};
+
+/// Fits per-device-class scales from every sample in `store` and returns
+/// `base.scaled(cpu_scale, gpu_scale)` plus the fit diagnostics. A device
+/// class with no samples keeps scale 1 (its constants pass through
+/// unchanged); an empty store returns `base` verbatim.
+RecalibrationResult recalibrate(const sim::SystemProfile& base, const ProfileStore& store);
+
+}  // namespace wavetune::profile

@@ -16,6 +16,7 @@
 //    systems (paper §4.1.2).
 #include "sim/system_profile.hpp"
 
+#include <cmath>
 #include <sstream>
 #include <stdexcept>
 
@@ -29,6 +30,29 @@ const GpuModel& SystemProfile::gpu(std::size_t index) const {
                                 std::to_string(gpus.size()) + " GPU(s)");
   }
   return gpus[index];
+}
+
+SystemProfile SystemProfile::scaled(double cpu_scale, double gpu_scale) const {
+  const auto ok = [](double s) { return s > 0.0 && std::isfinite(s); };
+  if (!ok(cpu_scale) || !ok(gpu_scale)) {
+    throw std::invalid_argument("SystemProfile::scaled: scales must be positive and finite");
+  }
+  SystemProfile out = *this;
+  out.cpu.ns_per_unit *= cpu_scale;
+  out.cpu.mem_ns_per_byte *= cpu_scale;
+  out.cpu.tile_sched_ns *= cpu_scale;
+  out.cpu.kernel_dispatch_ns *= cpu_scale;
+  out.cpu.barrier_ns *= cpu_scale;
+  out.cpu.dataflow_dep_ns *= cpu_scale;
+  for (GpuModel& g : out.gpus) {
+    g.thread_ns_per_unit *= gpu_scale;
+    g.mem_ns_per_byte *= gpu_scale;
+    g.launch_ns *= gpu_scale;
+    g.wg_sync_ns *= gpu_scale;
+  }
+  out.pcie.latency_ns *= gpu_scale;
+  out.pcie.bandwidth_gb_s /= gpu_scale;
+  return out;
 }
 
 std::string SystemProfile::describe() const {

@@ -26,6 +26,16 @@ struct SystemProfile {
 
   /// One-line human description, mirroring the paper's Table 4 row.
   std::string describe() const;
+
+  /// Copy with every CPU time constant multiplied by `cpu_scale` and every
+  /// GPU + interconnect time constant by `gpu_scale` (PCIe latency scales
+  /// up, bandwidth down, so transfer time scales exactly). Because each
+  /// modelled phase cost is a linear combination of those constants, the
+  /// scaled profile's phase estimates are exactly scale x the originals —
+  /// which is what lets profile::recalibrate fit the scales from measured
+  /// residuals and bake them back into a profile. Throws
+  /// std::invalid_argument unless both scales are positive and finite.
+  SystemProfile scaled(double cpu_scale, double gpu_scale) const;
 };
 
 /// Paper Table 4, row 1: Intel i3-540 + GeForce GTX 480 (single GPU,

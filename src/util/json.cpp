@@ -1,9 +1,12 @@
 #include "util/json.hpp"
 
 #include <cctype>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 namespace wavetune::util {
@@ -111,8 +114,19 @@ void dump_number(std::string& out, double v) {
     out += std::to_string(static_cast<long long>(v));
     return;
   }
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // Shortest representation that parses back to exactly `v`: try 15
+  // significant digits (enough for most values) and widen up to
+  // max_digits10 (17 for IEEE double), at which point the round trip is
+  // guaranteed. Keeps dumps readable (0.1 stays "0.1") without ever
+  // losing a bit through save/load.
+  char buf[40];
+  for (int precision = 15;; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v ||
+        precision >= std::numeric_limits<double>::max_digits10) {
+      break;
+    }
+  }
   out += buf;
 }
 
@@ -328,11 +342,18 @@ private:
       ++pos_;
     }
     if (pos_ == start) fail("expected value");
-    try {
-      return Json(std::stod(text_.substr(start, pos_ - start)));
-    } catch (const std::exception&) {
-      fail("bad number");
-    }
+    const std::string token = text_.substr(start, pos_ - start);
+    // strtod instead of stod: stod throws out_of_range on ERANGE, which
+    // glibc also reports for UNDERFLOW — rejecting perfectly valid
+    // subnormals like 4.94e-324 that our own dumper emits. Accept
+    // underflow (strtod still returns the nearest representable value);
+    // reject genuine overflow and trailing junk ("1e", "1.2.3").
+    char* end = nullptr;
+    errno = 0;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) fail("bad number");
+    if (errno == ERANGE && (v == HUGE_VAL || v == -HUGE_VAL)) fail("bad number");
+    return Json(v);
   }
 };
 

@@ -553,5 +553,45 @@ TEST(EngineConcurrency, ManyThreadsCompileAndSubmitMixedBackendsBitIdentical) {
   EXPECT_GT(s.plan_cache_hits, 0u);
 }
 
+// --- profiling counters (stats-before-set_value audit) -------------------
+
+TEST(EngineStatsAudit, ProfileSamplesNeverLagAJoinedFuture) {
+  // Same contract as jobs_completed: the sample counter is bumped
+  // (release) before the promise resolves, so a caller that joined N
+  // futures must observe >= N samples — checked immediately after every
+  // single join, which is exactly where a stats-after-set_value ordering
+  // would flake.
+  Engine eng(sim::make_i7_2600k(), small_engine());
+  const auto spec = small_spec(32);
+  const Plan plan = eng.compile(spec, core::TunableParams{4, -1, -1, 1});
+
+  constexpr int kJobs = 12;
+  std::vector<core::Grid> grids;
+  grids.reserve(kJobs);
+  std::vector<std::future<core::RunResult>> futures;
+  for (int i = 0; i < kJobs; ++i) {
+    grids.emplace_back(spec.dim, spec.elem_bytes);
+    futures.push_back(eng.submit(plan, grids.back()));
+  }
+  std::uint64_t joined = 0;
+  for (auto& f : futures) {
+    f.get();
+    ++joined;
+    EXPECT_GE(eng.stats().profile_samples_recorded, joined);
+  }
+  EXPECT_EQ(eng.stats().profile_samples_recorded, static_cast<std::uint64_t>(kJobs));
+
+  // Synchronous run() counts too, and flushes straight through.
+  core::Grid g(spec.dim, spec.elem_bytes);
+  eng.run(plan, g);
+  const EngineStats after = eng.stats();
+  EXPECT_EQ(after.profile_samples_recorded, static_cast<std::uint64_t>(kJobs) + 1);
+  EXPECT_GE(after.profile_flushes, 1u);
+
+  // Every buffered sample lands in the store on an explicit flush.
+  eng.flush_profiles();
+  EXPECT_EQ(eng.profile_store().samples_recorded(), static_cast<std::uint64_t>(kJobs) + 1);
+}
+
 }  // namespace
 }  // namespace wavetune::api

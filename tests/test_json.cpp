@@ -108,6 +108,41 @@ TEST(Json, NonFiniteDumpsAsNull) {
   EXPECT_EQ(Json(std::nan("")).dump(), "null");
 }
 
+TEST(Json, DoublesRoundTripExactly) {
+  // Values with no short decimal representation must survive
+  // dump -> parse bit-exactly (max_digits10 fallback)...
+  const double awkward[] = {0.1,
+                            1.0 / 3.0,
+                            2.0 / 3.0,
+                            1e-9,
+                            6.02214076e23,
+                            -1.7976931348623157e308,  // DBL_MAX
+                            4.9406564584124654e-324,  // min subnormal
+                            3.141592653589793,
+                            1234.5678901234567};
+  for (const double v : awkward) {
+    const Json back = Json::parse(Json(v).dump());
+    EXPECT_EQ(back.as_number(), v) << Json(v).dump();
+  }
+  // ...while values that DO have one stay readable instead of being
+  // padded out to 17 digits.
+  EXPECT_EQ(Json(0.1).dump(), "0.1");
+  EXPECT_EQ(Json(0.25).dump(), "0.25");
+  EXPECT_EQ(Json(-2.5).dump(), "-2.5");
+}
+
+TEST(Json, ParsesScientificNotation) {
+  EXPECT_DOUBLE_EQ(Json::parse("1e3").as_number(), 1000.0);
+  EXPECT_DOUBLE_EQ(Json::parse("1E3").as_number(), 1000.0);
+  EXPECT_DOUBLE_EQ(Json::parse("-2.5e-4").as_number(), -2.5e-4);
+  EXPECT_DOUBLE_EQ(Json::parse("6.02214076e23").as_number(), 6.02214076e23);
+  EXPECT_DOUBLE_EQ(Json::parse("[1.5e2, 2e+1]").at(0).as_number(), 150.0);
+  EXPECT_DOUBLE_EQ(Json::parse("[1.5e2, 2e+1]").at(1).as_number(), 20.0);
+  // Exponent syntax from our own dumper (max_digits10 path) parses back.
+  EXPECT_EQ(Json::parse(Json(4.9406564584124654e-324).dump()).as_number(),
+            4.9406564584124654e-324);
+}
+
 TEST(Json, FileRoundtrip) {
   Json j = Json::object();
   j["x"] = Json(1);

@@ -1,0 +1,385 @@
+// The measure -> attribute -> replan loop (src/profile/):
+//
+//   * measured-vs-simulated parity contract: run() populates
+//     PhaseTiming::wall_ns for every phase, estimate() leaves it exactly
+//     zero — across all four apps and paper / cpu-only / split-band
+//     program shapes;
+//   * attribution turns per-signature aggregates into residuals, shares
+//     and hotspot flags;
+//   * SystemProfile::scaled is exactly linear in the phase estimates,
+//     which is the property recalibration relies on;
+//   * recalibrate() recovers planted per-device-class scales from the
+//     store and shrinks the median residual;
+//   * refine_program under skewed device scales walks the program away
+//     from the mispriced device;
+//   * api::Engine wires it all: recording, reporting, refine_plan, and
+//     persistence across an engine restart.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "api/engine.hpp"
+#include "apps/editdist.hpp"
+#include "apps/nash.hpp"
+#include "apps/seqcmp.hpp"
+#include "apps/synthetic.hpp"
+#include "autotune/online.hpp"
+#include "core/executor.hpp"
+#include "core/phase_program.hpp"
+#include "profile/attribution.hpp"
+#include "profile/profile_store.hpp"
+#include "profile/recalibrate.hpp"
+#include "sim/system_profile.hpp"
+
+namespace wavetune {
+namespace {
+
+struct AppCase {
+  const char* name;
+  core::WavefrontSpec spec;
+};
+
+std::vector<AppCase> small_apps(std::size_t dim) {
+  std::vector<AppCase> out;
+  {
+    apps::EditDistParams p;
+    p.str_a = apps::random_dna(dim, 1);
+    p.str_b = apps::random_dna(dim, 2);
+    out.push_back({"editdist", apps::make_editdist_spec(p)});
+  }
+  {
+    apps::SeqCmpParams p;
+    p.seq_a = apps::random_dna(dim, 3);
+    p.seq_b = apps::random_dna(dim, 4);
+    out.push_back({"seqcmp", apps::make_seqcmp_spec(p)});
+  }
+  {
+    apps::NashParams p;
+    p.dim = dim;
+    p.strategies = 3;
+    p.fp_iterations = 4;
+    out.push_back({"nash", apps::make_nash_spec(p)});
+  }
+  {
+    apps::SyntheticParams p;
+    p.dim = dim;
+    p.tsize = 20.0;
+    p.dsize = 2;
+    p.functional_iters = 3;
+    out.push_back({"synthetic", apps::make_synthetic_spec(p)});
+  }
+  return out;
+}
+
+// --- measured-vs-simulated parity ----------------------------------------
+
+TEST(WallTiming, RunMeasuresEveryPhaseEstimateMeasuresNone) {
+  const std::size_t dim = 33;
+  core::HybridExecutor ex(sim::make_i7_2600k(), 2);
+  for (const AppCase& app : small_apps(dim)) {
+    const core::InputParams in = app.spec.inputs();
+    std::vector<std::pair<const char*, core::PhaseProgram>> programs;
+    programs.emplace_back("paper", core::plan_phases(in, core::TunableParams{4, 12, -1, 1}));
+    programs.emplace_back("cpu-only", core::make_cpu_only_program(in, 4, 3));
+    programs.emplace_back("split-band", core::split_gpu_band(programs.front().second, 2));
+
+    for (const auto& [shape, prog] : programs) {
+      core::Grid g(dim, app.spec.elem_bytes);
+      const core::RunResult run = ex.run(app.spec, prog, g);
+      ASSERT_EQ(run.breakdown.phases.size(), prog.phases.size()) << app.name << " " << shape;
+      for (const core::PhaseTiming& t : run.breakdown.phases) {
+        EXPECT_GT(t.wall_ns, 0.0) << app.name << " " << shape;
+      }
+      EXPECT_DOUBLE_EQ(run.wall_ns, run.breakdown.total_wall_ns()) << app.name << " " << shape;
+      EXPECT_GT(run.wall_ns, 0.0);
+
+      const core::RunResult est = ex.estimate(in, prog);
+      for (const core::PhaseTiming& t : est.breakdown.phases) {
+        EXPECT_EQ(t.wall_ns, 0.0) << app.name << " " << shape;
+      }
+      EXPECT_EQ(est.wall_ns, 0.0) << app.name << " " << shape;
+      EXPECT_EQ(est.breakdown.total_wall_ns(), 0.0);
+      // Measuring must not perturb the simulated timings themselves.
+      EXPECT_DOUBLE_EQ(run.rtime_ns, est.rtime_ns) << app.name << " " << shape;
+    }
+  }
+}
+
+TEST(WallTiming, RunSerialMeasuresToo) {
+  core::HybridExecutor ex(sim::make_i3_540(), 1);
+  const auto app = small_apps(24).front();
+  core::Grid g(24, app.spec.elem_bytes);
+  const core::RunResult r = ex.run_serial(app.spec, g);
+  EXPECT_GT(r.wall_ns, 0.0);
+  EXPECT_DOUBLE_EQ(r.wall_ns, r.breakdown.total_wall_ns());
+}
+
+// --- attribution ---------------------------------------------------------
+
+profile::PlanProfile planted_profile() {
+  // Two phases: a CPU phase measured exactly at its simulated charge and a
+  // GPU phase measured 4x over it — the unambiguous hotspot.
+  profile::PlanProfile plan;
+  plan.key = "planted";
+  plan.runs = 5;
+  profile::PhaseProfile cpu;
+  cpu.device = core::PhaseDevice::kCpu;
+  cpu.count = 5;
+  cpu.sim_ns = 1000.0;
+  cpu.ring = {1000.0, 1000.0, 1000.0};
+  cpu.ewma_wall_ns = 1000.0;
+  profile::PhaseProfile gpu;
+  gpu.device = core::PhaseDevice::kGpuSingle;
+  gpu.count = 5;
+  gpu.sim_ns = 1000.0;
+  gpu.ring = {4000.0, 4000.0, 4000.0};
+  gpu.ewma_wall_ns = 4000.0;
+  plan.phases = {cpu, gpu};
+  return plan;
+}
+
+TEST(Attribution, ResidualsSharesAndHotspot) {
+  const profile::PlanAttribution a = profile::attribute(planted_profile());
+  EXPECT_EQ(a.key, "planted");
+  EXPECT_DOUBLE_EQ(a.sim_total_ns, 2000.0);
+  EXPECT_DOUBLE_EQ(a.wall_total_ns, 5000.0);
+  ASSERT_EQ(a.phases.size(), 2u);
+
+  EXPECT_DOUBLE_EQ(a.phases[0].residual_ns, 0.0);
+  EXPECT_DOUBLE_EQ(a.phases[0].residual_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(a.phases[0].sim_share, 0.5);
+  EXPECT_DOUBLE_EQ(a.phases[0].wall_share, 0.2);
+  EXPECT_FALSE(a.phases[0].hotspot);
+
+  EXPECT_DOUBLE_EQ(a.phases[1].residual_ns, 3000.0);
+  EXPECT_DOUBLE_EQ(a.phases[1].residual_ratio, 4.0);
+  EXPECT_DOUBLE_EQ(a.phases[1].wall_share, 0.8);
+  EXPECT_TRUE(a.phases[1].hotspot);
+  EXPECT_EQ(a.hotspot_phase, 1);
+  // 2 phases, top share 0.8 vs balanced 0.5 -> imbalance 1.6.
+  EXPECT_DOUBLE_EQ(a.imbalance, 1.6);
+
+  // JSON export carries the verdict.
+  const util::Json j = a.to_json();
+  EXPECT_EQ(j.at("hotspot_phase").as_int(), 1);
+  EXPECT_TRUE(j.at("phases").at(1).at("hotspot").as_bool());
+}
+
+TEST(Attribution, DeviceScalesAreRatioMedians) {
+  profile::ProfileStore store;
+  profile::RunSample s;
+  s.key = "k";
+  s.phases.push_back({core::PhaseDevice::kCpu, 2000.0, 1000.0});       // cpu x2
+  s.phases.push_back({core::PhaseDevice::kGpuSingle, 500.0, 1000.0});  // gpu x0.5
+  store.record(s);
+  const autotune::PhaseCostScales scales = profile::device_scales(store);
+  EXPECT_DOUBLE_EQ(scales.cpu, 2.0);
+  EXPECT_DOUBLE_EQ(scales.gpu, 0.5);
+  // No data at all: neutral scales, not zeros.
+  const autotune::PhaseCostScales neutral = profile::device_scales(profile::ProfileStore{});
+  EXPECT_DOUBLE_EQ(neutral.cpu, 1.0);
+  EXPECT_DOUBLE_EQ(neutral.gpu, 1.0);
+}
+
+// --- SystemProfile::scaled -----------------------------------------------
+
+TEST(ScaledProfile, PhaseEstimatesScaleExactlyPerDeviceClass) {
+  const sim::SystemProfile base = sim::make_i7_2600k();
+  const core::InputParams in{48, 60.0, 2};
+  const core::PhaseProgram prog = core::plan_phases(in, core::TunableParams{4, 16, -1, 2});
+
+  core::HybridExecutor base_ex(base, 1);
+  core::HybridExecutor scaled_ex(base.scaled(2.0, 3.0), 1);
+  const core::RunResult b = base_ex.estimate(in, prog);
+  const core::RunResult s = scaled_ex.estimate(in, prog);
+  ASSERT_EQ(b.breakdown.phases.size(), s.breakdown.phases.size());
+  for (std::size_t i = 0; i < b.breakdown.phases.size(); ++i) {
+    const double factor = b.breakdown.phases[i].device == core::PhaseDevice::kCpu ? 2.0 : 3.0;
+    EXPECT_NEAR(s.breakdown.phases[i].ns, factor * b.breakdown.phases[i].ns,
+                1e-6 * b.breakdown.phases[i].ns)
+        << "phase " << i;
+  }
+
+  EXPECT_THROW(base.scaled(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(base.scaled(1.0, -2.0), std::invalid_argument);
+}
+
+// --- recalibration -------------------------------------------------------
+
+TEST(Recalibrate, RecoversPlantedScalesAndShrinksResiduals) {
+  profile::ProfileStore store;
+  // CPU walls at 3x sim, GPU walls at 0.5x sim, across a spread of sims.
+  for (double sim_ns : {500.0, 1000.0, 2000.0, 4000.0, 8000.0}) {
+    for (int rep = 0; rep < 4; ++rep) {
+      profile::RunSample s;
+      s.key = "plan-" + std::to_string(sim_ns);
+      s.phases.push_back({core::PhaseDevice::kCpu, 3.0 * sim_ns, sim_ns});
+      s.phases.push_back({core::PhaseDevice::kGpuSingle, 0.5 * sim_ns, sim_ns});
+      store.record(s);
+    }
+  }
+
+  const sim::SystemProfile base = sim::make_i7_3820();
+  const profile::RecalibrationResult r = profile::recalibrate(base, store);
+  EXPECT_NEAR(r.cpu_scale, 3.0, 0.2);
+  EXPECT_NEAR(r.gpu_scale, 0.5, 0.2);
+  EXPECT_EQ(r.cpu_examples, r.gpu_examples);
+  EXPECT_GT(r.cpu_examples, 0u);
+  EXPECT_LT(r.median_abs_residual_after_ns, r.median_abs_residual_before_ns);
+  EXPECT_TRUE(r.improved());
+  // The recalibrated profile is usable as-is.
+  EXPECT_NEAR(r.profile.cpu.ns_per_unit, r.cpu_scale * base.cpu.ns_per_unit, 1e-12);
+
+  // Empty store: identity recalibration.
+  const profile::RecalibrationResult id =
+      profile::recalibrate(base, profile::ProfileStore{});
+  EXPECT_DOUBLE_EQ(id.cpu_scale, 1.0);
+  EXPECT_DOUBLE_EQ(id.gpu_scale, 1.0);
+}
+
+// --- profile-driven program refinement -----------------------------------
+
+TEST(RefineProgram, WalksAwayFromTheMispricedDevice) {
+  const sim::SystemProfile profile = sim::make_i7_2600k();
+  core::HybridExecutor ex(profile, 1);
+  const core::InputParams in{64, 100.0, 1};
+  // A-priori plan offloads a band; measurements (scales) say the GPU is
+  // 50x slower than modelled.
+  const core::PhaseProgram seed = core::plan_phases(in, core::TunableParams{4, 24, -1, 1});
+  ASSERT_GT(seed.gpu_phase_count(), 0u);
+
+  autotune::PhaseCostScales gpu_slow;
+  gpu_slow.gpu = 50.0;
+  const autotune::ProgramTuneResult tuned = autotune::refine_program(ex, in, seed, gpu_slow);
+  EXPECT_LT(tuned.cost_ns, tuned.seed_cost_ns);
+  EXPECT_EQ(tuned.program.gpu_phase_count(), 0u) << tuned.program.describe();
+  EXPECT_NO_THROW(tuned.program.validate());
+  EXPECT_GT(tuned.evaluations, 0u);
+  EXPECT_GT(tuned.improvement(), 0.0);
+
+  // Neutral scales: the refiner still never returns something worse than
+  // the seed under its own objective.
+  const autotune::ProgramTuneResult neutral = autotune::refine_program(ex, in, seed);
+  EXPECT_LE(neutral.cost_ns, neutral.seed_cost_ns);
+}
+
+// --- api::Engine wiring --------------------------------------------------
+
+core::WavefrontSpec engine_spec(std::size_t dim = 40) {
+  apps::SyntheticParams p;
+  p.dim = dim;
+  p.tsize = 25.0;
+  p.dsize = 2;
+  p.functional_iters = 4;
+  return apps::make_synthetic_spec(p);
+}
+
+TEST(EngineProfiling, RecordsReportsRefines) {
+  api::EngineOptions opts;
+  opts.pool_workers = 2;
+  opts.queue_workers = 2;
+  api::Engine eng(sim::make_i7_2600k(), opts);
+  const core::WavefrontSpec spec = engine_spec();
+  const api::Plan plan = eng.compile(spec, core::TunableParams{4, 12, -1, 1});
+  EXPECT_FALSE(plan.profile_key().empty());
+
+  core::Grid g(spec.dim, spec.elem_bytes);
+  for (int i = 0; i < 3; ++i) eng.run(plan, g);
+  std::vector<core::Grid> grids;
+  std::vector<core::Grid*> ptrs;
+  for (int i = 0; i < 4; ++i) grids.emplace_back(spec.dim, spec.elem_bytes);
+  for (auto& grid : grids) ptrs.push_back(&grid);
+  for (auto& f : eng.submit_batch(plan, ptrs)) f.get();
+
+  eng.flush_profiles();
+  const auto prof = eng.profile_store().find(plan.profile_key());
+  ASSERT_TRUE(prof.has_value());
+  EXPECT_EQ(prof->runs, 7u);
+  ASSERT_EQ(prof->phases.size(), plan.program().phases.size());
+  for (const profile::PhaseProfile& ph : prof->phases) {
+    EXPECT_EQ(ph.count, 7u);
+    EXPECT_GT(ph.p50_wall_ns(), 0.0);
+    EXPECT_GT(ph.sim_ns, 0.0);
+  }
+
+  // Attribution report covers the signature.
+  const auto report = eng.profile_report();
+  ASSERT_EQ(report.size(), 1u);
+  EXPECT_EQ(report[0].key, plan.profile_key());
+  EXPECT_EQ(report[0].runs, 7u);
+  EXPECT_GT(report[0].wall_total_ns, 0.0);
+
+  // refine_plan returns an executable plan with identical semantics.
+  const api::Plan refined = eng.refine_plan(plan);
+  EXPECT_TRUE(refined.executable());
+  EXPECT_EQ(refined.inputs().dim, plan.inputs().dim);
+  core::Grid a(spec.dim, spec.elem_bytes);
+  core::Grid b(spec.dim, spec.elem_bytes);
+  eng.run(plan, a);
+  eng.run(refined, b);
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size_bytes()), 0);
+
+  // Estimate-only plans cannot be refined.
+  const api::Plan estimate_only = eng.compile(spec.inputs());
+  EXPECT_THROW(eng.refine_plan(estimate_only), std::invalid_argument);
+}
+
+TEST(EngineProfiling, DisabledMeansZeroOverheadAndZeroCounters) {
+  api::EngineOptions opts;
+  opts.pool_workers = 1;
+  opts.queue_workers = 1;
+  opts.profiling = false;
+  api::Engine eng(sim::make_i7_2600k(), opts);
+  const core::WavefrontSpec spec = engine_spec(28);
+  const api::Plan plan = eng.compile(spec, core::TunableParams{4, -1, -1, 1});
+  core::Grid g(spec.dim, spec.elem_bytes);
+  eng.run(plan, g);
+  eng.flush_profiles();
+  EXPECT_EQ(eng.profile_store().size(), 0u);
+  EXPECT_EQ(eng.stats().profile_samples_recorded, 0u);
+  EXPECT_EQ(eng.stats().profile_flushes, 0u);
+}
+
+TEST(EngineProfiling, PersistsAcrossRestart) {
+  const std::string path = ::testing::TempDir() + "wavetune_engine_profile_test.json";
+  std::remove(path.c_str());
+  const core::WavefrontSpec spec = engine_spec(32);
+  std::string key;
+  {
+    api::EngineOptions opts;
+    opts.pool_workers = 1;
+    opts.queue_workers = 1;
+    opts.profile_path = path;
+    api::Engine eng(sim::make_i7_2600k(), opts);
+    const api::Plan plan = eng.compile(spec, core::TunableParams{4, 10, -1, 1});
+    key = plan.profile_key();
+    core::Grid g(spec.dim, spec.elem_bytes);
+    for (int i = 0; i < 5; ++i) eng.run(plan, g);
+  }  // ~Engine flushes and saves
+
+  {
+    api::EngineOptions opts;
+    opts.pool_workers = 1;
+    opts.queue_workers = 1;
+    opts.profile_path = path;
+    api::Engine restarted(sim::make_i7_2600k(), opts);
+    // The rebooted engine serves yesterday's measurements without a
+    // single new run...
+    const auto prof = restarted.profile_store().find(key);
+    ASSERT_TRUE(prof.has_value());
+    EXPECT_EQ(prof->runs, 5u);
+    // ...and the same compile maps onto the same signature, so replanning
+    // picks the history straight up.
+    const api::Plan again = restarted.compile(spec, core::TunableParams{4, 10, -1, 1});
+    EXPECT_EQ(again.profile_key(), key);
+    const api::Plan refined = restarted.refine_plan(again);
+    EXPECT_TRUE(refined.executable());
+    EXPECT_EQ(restarted.stats().profile_samples_recorded, 0u);  // no re-learning
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace wavetune

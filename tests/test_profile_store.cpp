@@ -1,0 +1,174 @@
+// profile::ProfileStore: aggregation semantics (ring, EWMA, percentiles,
+// shape-change reset), JSON persistence round trips, and thread safety of
+// concurrent record_batch/readers (exercised under TSan in CI).
+#include "profile/profile_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+namespace wavetune::profile {
+namespace {
+
+RunSample sample(const std::string& key, std::vector<double> walls, double sim = 100.0) {
+  RunSample s;
+  s.key = key;
+  for (double w : walls) s.phases.push_back({core::PhaseDevice::kCpu, w, sim});
+  return s;
+}
+
+TEST(ProfileStore, RecordAggregatesPerPhase) {
+  ProfileStore store;
+  store.record(sample("k", {10.0, 30.0}));
+  store.record(sample("k", {20.0, 50.0}));
+
+  ASSERT_EQ(store.size(), 1u);
+  const auto p = store.find("k");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->runs, 2u);
+  ASSERT_EQ(p->phases.size(), 2u);
+  EXPECT_EQ(p->phases[0].count, 2u);
+  EXPECT_DOUBLE_EQ(p->phases[0].sim_ns, 100.0);
+  EXPECT_DOUBLE_EQ(p->phases[0].p50_wall_ns(), 15.0);
+  EXPECT_DOUBLE_EQ(p->phases[1].p50_wall_ns(), 40.0);
+  // EWMA: first sample is adopted verbatim, then blended by alpha.
+  const double alpha = store.options().ewma_alpha;
+  EXPECT_DOUBLE_EQ(p->phases[0].ewma_wall_ns, (1 - alpha) * 10.0 + alpha * 20.0);
+  EXPECT_FALSE(store.find("other").has_value());
+}
+
+TEST(ProfileStore, RingKeepsOnlyTheTail) {
+  ProfileStore store(ProfileStoreOptions{4, 0.5});
+  for (int i = 1; i <= 10; ++i) store.record(sample("k", {double(i)}));
+  const auto p = store.find("k");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->phases[0].count, 10u);
+  ASSERT_EQ(p->phases[0].ring.size(), 4u);
+  // Last 4 samples (7..10) survive, so the ring median is 8.5.
+  EXPECT_DOUBLE_EQ(p->phases[0].p50_wall_ns(), 8.5);
+  EXPECT_DOUBLE_EQ(p->phases[0].percentile_wall_ns(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(p->phases[0].percentile_wall_ns(1.0), 10.0);
+}
+
+TEST(ProfileStore, ShapeChangeResetsTheProfile) {
+  ProfileStore store;
+  store.record(sample("k", {1.0, 2.0}));
+  store.record(sample("k", {5.0}));  // signature now maps to 1 phase
+  const auto p = store.find("k");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->runs, 1u);
+  ASSERT_EQ(p->phases.size(), 1u);
+  EXPECT_DOUBLE_EQ(p->phases[0].p50_wall_ns(), 5.0);
+}
+
+TEST(ProfileStore, CountersAndBatching) {
+  ProfileStore store;
+  store.record_batch({sample("a", {1.0}), sample("b", {2.0}), sample("a", {3.0})});
+  store.record(sample("b", {4.0}));
+  EXPECT_EQ(store.samples_recorded(), 4u);
+  EXPECT_EQ(store.flushes(), 2u);  // one batch + one single = two locks
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.keys(), (std::vector<std::string>{"a", "b"}));
+  store.clear();
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.samples_recorded(), 0u);
+}
+
+TEST(ProfileStore, JsonRoundTripPreservesEverything) {
+  ProfileStore store(ProfileStoreOptions{8, 0.3});
+  for (int i = 0; i < 12; ++i) {
+    RunSample s;
+    s.key = "plan";
+    s.phases.push_back({core::PhaseDevice::kCpu, 10.0 + i, 100.0});
+    s.phases.push_back({core::PhaseDevice::kGpuSingle, 0.1 * i + 1e-9, 55.5});
+    store.record(s);
+  }
+
+  ProfileStore back;
+  back.load_json(store.to_json());
+  EXPECT_EQ(back.options().ring_capacity, 8u);
+  EXPECT_DOUBLE_EQ(back.options().ewma_alpha, 0.3);
+  const auto orig = store.find("plan");
+  const auto copy = back.find("plan");
+  ASSERT_TRUE(orig && copy);
+  EXPECT_EQ(copy->runs, orig->runs);
+  ASSERT_EQ(copy->phases.size(), orig->phases.size());
+  for (std::size_t i = 0; i < orig->phases.size(); ++i) {
+    EXPECT_EQ(copy->phases[i].device, orig->phases[i].device);
+    EXPECT_EQ(copy->phases[i].count, orig->phases[i].count);
+    // Round-trip-safe doubles: bit-exact, not approximately equal.
+    EXPECT_EQ(copy->phases[i].ewma_wall_ns, orig->phases[i].ewma_wall_ns);
+    EXPECT_EQ(copy->phases[i].sim_ns, orig->phases[i].sim_ns);
+    EXPECT_EQ(copy->phases[i].ring, orig->phases[i].ring);
+    EXPECT_EQ(copy->phases[i].ring_next, orig->phases[i].ring_next);
+  }
+  // Aggregation continues seamlessly after a reload.
+  back.record(sample("plan", {1.0, 2.0}, 0.0));
+  EXPECT_EQ(back.find("plan")->runs, orig->runs + 1);
+}
+
+TEST(ProfileStore, FilePersistenceAndMissingFiles) {
+  const std::string path = ::testing::TempDir() + "wavetune_profile_store_test.json";
+  std::remove(path.c_str());
+
+  ProfileStore store;
+  EXPECT_FALSE(store.load_file_if_exists(path));  // fresh deployment: no file
+  store.record(sample("k", {42.0}));
+  store.save_file(path);
+
+  ProfileStore loaded;
+  EXPECT_TRUE(loaded.load_file_if_exists(path));
+  ASSERT_TRUE(loaded.find("k").has_value());
+  EXPECT_DOUBLE_EQ(loaded.find("k")->phases[0].p50_wall_ns(), 42.0);
+  EXPECT_THROW(loaded.load_file(path + ".missing"), util::JsonError);
+  std::remove(path.c_str());
+}
+
+TEST(ProfileStore, MalformedJsonThrows) {
+  ProfileStore store;
+  util::Json j = util::Json::object();
+  j["format"] = "not-a-profile";
+  EXPECT_THROW(store.load_json(j), util::JsonError);
+}
+
+// The TSan target: writers batching into the store while readers snapshot
+// and one thread persists. No ordering assertions — the invariant is "no
+// data race and no lost samples".
+TEST(ProfileStoreStress, ConcurrentBatchedFlushesAndReaders) {
+  ProfileStore store(ProfileStoreOptions{16, 0.25});
+  constexpr int kWriters = 4;
+  constexpr int kBatches = 25;
+  constexpr int kBatchSize = 8;
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&store, w] {
+      for (int b = 0; b < kBatches; ++b) {
+        std::vector<RunSample> batch;
+        for (int i = 0; i < kBatchSize; ++i) {
+          batch.push_back(sample("plan-" + std::to_string(w % 2), {double(b + i), 2.0 * b}));
+        }
+        store.record_batch(batch);
+      }
+    });
+  }
+  threads.emplace_back([&store] {
+    for (int i = 0; i < 50; ++i) {
+      for (const PlanProfile& p : store.all()) {
+        for (const PhaseProfile& ph : p.phases) (void)ph.p95_wall_ns();
+      }
+      (void)store.to_json();
+    }
+  });
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(store.samples_recorded(),
+            static_cast<std::uint64_t>(kWriters) * kBatches * kBatchSize);
+  EXPECT_EQ(store.flushes(), static_cast<std::uint64_t>(kWriters) * kBatches);
+  EXPECT_EQ(store.size(), 2u);
+}
+
+}  // namespace
+}  // namespace wavetune::profile
