@@ -15,10 +15,16 @@
 // speedup summary):
 //
 //   bench_serving [--quick] [--json=BENCH_serving.json]
-//                 [--threads=1,2,4,8,16] [--ops=N]
+//                 [--threads=1,2,4,8,16] [--ops=N] [--faults]
 //
 // --quick shrinks the sweep for CI smoke runs; --ops overrides the
 // per-thread op count of every workload (0 keeps the defaults).
+//
+// --faults swaps the sweep for the degraded-mode one: the submit workload
+// under a seeded fault::Injector firing transient faults at the queue and
+// executor sites, absorbed by SubmitOptions{max_retries, allow_fallback}.
+// Rate 0 is the armed-but-silent control, so the table reads as "what
+// does each fault rate cost end to end".
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -29,6 +35,7 @@
 
 #include "api/engine.hpp"
 #include "apps/synthetic.hpp"
+#include "fault/injector.hpp"
 #include "sim/system_profile.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
@@ -139,6 +146,77 @@ Cell run_cell(const std::string& mode, const std::string& workload, int threads,
   return cell;
 }
 
+/// One --faults measurement: closed-loop submit round-trips with the
+/// injector armed at `rate` on the queue + phase-boundary sites, every
+/// job carrying the retry+fallback policy.
+Cell run_fault_cell(double rate, int threads, std::uint64_t ops_per_thread) {
+  fault::InjectionPlan inject;
+  inject.seed = 0xBE7C5ULL ^ static_cast<std::uint64_t>(rate * 1e6) ^
+                static_cast<std::uint64_t>(threads);
+  for (const fault::Site s :
+       {fault::Site::kQueuePush, fault::Site::kQueuePop, fault::Site::kPhaseBoundary}) {
+    inject.at(s).probability = rate;
+    inject.at(s).severity = fault::Severity::kTransient;
+  }
+  // Armed before the Engine exists, disarmed after it is gone: thread
+  // creation/join orders the injector state for every worker.
+  fault::ScopedInjection arm(inject);
+
+  api::EngineOptions o;
+  o.pool_workers = 1;
+  o.queue_workers = 2;
+  o.queue_capacity = 64;
+  o.retry_backoff_base = std::chrono::microseconds(10);
+  o.retry_backoff_max = std::chrono::milliseconds(1);
+  api::Engine eng(sim::make_i7_2600k(), o);
+  const core::WavefrontSpec spec = tiny_spec();
+  const api::Plan plan = eng.compile(spec, hit_recipes()[0]);
+
+  api::SubmitOptions policy;
+  policy.max_retries = 4;
+  policy.allow_fallback = true;
+
+  std::vector<std::vector<double>> lat_us(static_cast<std::size_t>(threads));
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<std::size_t>(threads));
+  const auto t0 = Clock::now();
+  for (int t = 0; t < threads; ++t) {
+    clients.emplace_back([&, t] {
+      auto& lat = lat_us[static_cast<std::size_t>(t)];
+      lat.reserve(ops_per_thread);
+      core::Grid grid(spec.dim, spec.elem_bytes);
+      for (std::uint64_t i = 0; i < ops_per_thread; ++i) {
+        const auto op0 = Clock::now();
+        try {
+          eng.submit(plan, grid, policy).future.get();
+        } catch (const fault::InjectedError&) {
+          // Budget exhausted on this op — counted via jobs_failed below.
+        }
+        lat.push_back(std::chrono::duration<double, std::micro>(Clock::now() - op0).count());
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  const double wall = std::chrono::duration<double>(Clock::now() - t0).count();
+
+  Cell cell;
+  cell.mode = "faults";
+  cell.workload = "submit";
+  cell.threads = threads;
+  cell.ops = ops_per_thread * static_cast<std::uint64_t>(threads);
+  cell.wall_s = wall;
+  cell.ops_per_s = wall > 0.0 ? static_cast<double>(cell.ops) / wall : 0.0;
+  std::vector<double> merged;
+  for (auto& v : lat_us) merged.insert(merged.end(), v.begin(), v.end());
+  std::sort(merged.begin(), merged.end());
+  cell.p50_us = percentile(merged, 0.50);
+  cell.p95_us = percentile(merged, 0.95);
+  cell.p99_us = percentile(merged, 0.99);
+  cell.stats = eng.stats();
+  cell.queue = eng.queue_stats();
+  return cell;
+}
+
 util::Json to_json(const Cell& c) {
   util::JsonObject o;
   o["mode"] = c.mode;
@@ -158,6 +236,10 @@ util::Json to_json(const Cell& c) {
   stats["jobs_completed"] = c.stats.jobs_completed;
   stats["jobs_failed"] = c.stats.jobs_failed;
   stats["jobs_coalesced"] = c.stats.jobs_coalesced;
+  stats["jobs_retried"] = c.stats.jobs_retried;
+  stats["jobs_degraded"] = c.stats.jobs_degraded;
+  stats["jobs_timed_out"] = c.stats.jobs_timed_out;
+  stats["jobs_cancelled"] = c.stats.jobs_cancelled;
   o["engine"] = util::Json(std::move(stats));
   util::JsonObject q;
   q["pushes"] = c.queue.pushes;
@@ -174,9 +256,11 @@ util::Json to_json(const Cell& c) {
 
 int main(int argc, char** argv) {
   const util::Cli cli =
-      util::Cli::parse_or_exit(argc, argv, {"quick", "json", "threads", "ops"});
+      util::Cli::parse_or_exit(argc, argv, {"quick", "json", "threads", "ops", "faults"});
   const bool quick = cli.get_bool_or("quick", false);
-  const std::string json_path = cli.get_or("json", "BENCH_serving.json");
+  const bool faults = cli.get_bool_or("faults", false);
+  const std::string json_path =
+      cli.get_or("json", faults ? "BENCH_serving_faults.json" : "BENCH_serving.json");
 
   std::vector<int> threads;
   if (const auto csv = cli.get("threads")) {
@@ -200,6 +284,46 @@ int main(int argc, char** argv) {
     if (workload == "submit") return quick ? 50 : 250;
     return quick ? 80 : 400;  // mixed
   };
+
+  if (faults) {
+    const std::uint64_t ops = ops_override > 0 ? ops_override : (quick ? 50 : 250);
+    const std::vector<double> rates = {0.0, 0.001, 0.01, 0.05};
+    std::vector<Cell> cells;
+    util::Table table({"fault rate", "threads", "ops/s", "p50us", "p99us", "retried",
+                       "degraded", "failed"});
+    util::JsonArray arr;
+    for (const double rate : rates) {
+      for (const int t : threads) {
+        const Cell c = run_fault_cell(rate, t, ops);
+        table.row()
+            .add(rate, 3)
+            .add(t)
+            .add(c.ops_per_s, 0)
+            .add(c.p50_us, 1)
+            .add(c.p99_us, 1)
+            .add(c.stats.jobs_retried)
+            .add(c.stats.jobs_degraded)
+            .add(c.stats.jobs_failed)
+            .done();
+        util::Json j = to_json(c);
+        j["fault_rate"] = rate;
+        arr.push_back(std::move(j));
+        cells.push_back(c);
+      }
+    }
+    std::printf(
+        "Serving throughput under injected transient faults (retry+fallback policy)\n%s",
+        table.to_aligned().c_str());
+    util::JsonObject root;
+    root["bench"] = "bench_serving";
+    root["faults"] = true;
+    root["quick"] = quick;
+    root["cells"] = util::Json(std::move(arr));
+    std::ofstream out(json_path);
+    out << util::Json(std::move(root)).dump(2) << "\n";
+    std::printf("wrote %s\n", json_path.c_str());
+    return 0;
+  }
 
   std::vector<Cell> cells;
   for (const std::string workload : {"submit", "compile", "mixed"}) {

@@ -21,8 +21,9 @@ core::PhaseProgram Backend::plan(const core::InputParams& in,
 
 core::RunResult Backend::run(core::HybridExecutor& executor, const core::WavefrontSpec& spec,
                              const core::PhaseProgram& program,
-                             const core::LoweredKernel& lowered, core::Grid& grid) const {
-  return executor.run(spec, program, grid, nullptr, &lowered);
+                             const core::LoweredKernel& lowered, core::Grid& grid,
+                             const core::RunControl* control) const {
+  return executor.run(spec, program, grid, nullptr, &lowered, control);
 }
 
 core::RunResult Backend::estimate(const core::HybridExecutor& executor,
@@ -55,7 +56,14 @@ public:
 
   core::RunResult run(core::HybridExecutor& executor, const core::WavefrontSpec& spec,
                       const core::PhaseProgram&, const core::LoweredKernel& lowered,
-                      core::Grid& grid) const override {
+                      core::Grid& grid, const core::RunControl* control) const override {
+    // One whole-grid sweep has no phase boundaries to poll at; honor the
+    // control once up front so an already-cancelled/expired job is shed
+    // before any work.
+    if (control) {
+      const core::RunControl::Stop stop = control->should_stop();
+      if (stop != core::RunControl::Stop::kNone) throw core::ExecutionInterrupted(stop);
+    }
     return executor.run_serial(spec, grid, &lowered);
   }
 

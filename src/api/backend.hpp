@@ -78,12 +78,17 @@ public:
   /// caller-owned (see the ownership rules in api/plan.hpp). `lowered` is
   /// the plan's compile-time kernel resolution (core/lowered.hpp) —
   /// backends pass it down so no run path re-lowers or constructs a
-  /// std::function per request. The base implementation is the generic
+  /// std::function per request. A non-null `control` is the job's
+  /// cancellation/deadline poll (core/run_control.hpp): backends must
+  /// thread it to the interpreter (the base implementation does) or at
+  /// minimum honor it once before executing, so a cancelled or expired
+  /// job stops within one phase. The base implementation is the generic
   /// interpreter (HybridExecutor::run over the program); only backends
   /// with a non-program execution path (e.g. "serial") override it.
   virtual core::RunResult run(core::HybridExecutor& executor, const core::WavefrontSpec& spec,
                               const core::PhaseProgram& program,
-                              const core::LoweredKernel& lowered, core::Grid& grid) const;
+                              const core::LoweredKernel& lowered, core::Grid& grid,
+                              const core::RunControl* control = nullptr) const;
 
   /// Simulated timing of the SAME program, without functional execution.
   /// Base implementation: HybridExecutor::estimate over the program.

@@ -1,13 +1,26 @@
 #include "api/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "autotune/online.hpp"
+#include "fault/injector.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
 
 namespace wavetune::api {
+
+namespace {
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
 
 Engine::Engine(sim::SystemProfile profile, EngineOptions options)
     : executor_(std::move(profile), options.pool_workers),
@@ -27,10 +40,17 @@ Engine::Engine(sim::SystemProfile profile, EngineOptions options)
     profile_slots_.push_back(std::make_unique<ProfileSlot>());
   }
   // Warm start: a persisted store makes a rebooted engine replan from
-  // yesterday's measurements. A missing file is a fresh deployment, not
-  // an error; a malformed one still throws (silent data loss is worse).
+  // yesterday's measurements. A missing file is a fresh deployment; a
+  // truncated, corrupt, or version-mismatched one must not take the
+  // engine down over yesterday's telemetry — warn and start fresh (the
+  // load is all-or-nothing, so the store is untouched on failure).
   if (!options_.profile_path.empty()) {
-    profile_store_.load_file_if_exists(options_.profile_path);
+    try {
+      profile_store_.load_file_if_exists(options_.profile_path);
+    } catch (const std::exception& e) {
+      util::log_warn("Engine: ignoring unusable profile store '", options_.profile_path,
+                     "': ", e.what(), " (starting fresh)");
+    }
   }
   workers_.reserve(workers);
   try {
@@ -56,19 +76,39 @@ Engine::Engine(sim::SystemProfile profile, autotune::Autotuner tuner, EngineOpti
 }
 
 Engine::~Engine() {
+  shutdown();
+  // Workers are joined: every buffered sample is final. Persisting is
+  // best effort — a destructor must not throw over a full disk, an
+  // unwritable path, or a removed directory; warn and carry on.
+  try {
+    flush_profiles();
+  } catch (const std::exception& e) {
+    util::log_warn("Engine: dropping buffered profile samples at shutdown: ", e.what());
+  }
+  if (!options_.profile_path.empty()) {
+    try {
+      profile_store_.save_file(options_.profile_path);
+    } catch (const std::exception& e) {
+      util::log_warn("Engine: failed to persist profile store to '", options_.profile_path,
+                     "': ", e.what());
+    } catch (...) {
+      util::log_warn("Engine: failed to persist profile store to '", options_.profile_path, "'");
+    }
+  }
+}
+
+void Engine::shutdown(std::chrono::nanoseconds drain_budget) {
+  if (drain_budget.count() > 0) {
+    // Publish the drain deadline BEFORE closing the queue: a worker that
+    // observes the close also observes the deadline, so no queued job can
+    // slip past the shed check into an unbounded run.
+    drain_deadline_ns_.store(steady_now_ns() + drain_budget.count(), std::memory_order_release);
+  }
+  std::lock_guard<std::mutex> lock(shutdown_mutex_);
   if (queue_) queue_->close();
   if (legacy_queue_) legacy_queue_->close();
   for (auto& w : workers_) {
     if (w.joinable()) w.join();
-  }
-  // Workers are joined: every buffered sample is final. Persisting is
-  // best effort — a destructor must not throw over a full disk.
-  flush_profiles();
-  if (!options_.profile_path.empty()) {
-    try {
-      profile_store_.save_file(options_.profile_path);
-    } catch (...) {
-    }
   }
 }
 
@@ -123,7 +163,10 @@ void Engine::store_snapshot(std::shared_ptr<const CacheMap> next) {
                           std::memory_order_release);
 }
 
-bool Engine::queue_push(Job job) {
+bool Engine::queue_push(Job& job) {
+  // The sharded queue's fault sites fire before `job` is consumed, so an
+  // InjectedError propagating from here leaves the job (promise included)
+  // intact in the caller's hands. The legacy queue has no fault sites.
   return legacy_queue_ ? legacy_queue_->push(std::move(job)) : queue_->push(std::move(job));
 }
 
@@ -144,7 +187,14 @@ void Engine::worker_loop(std::size_t worker) {
   }
   const std::size_t limit = std::max<std::size_t>(1, options_.coalesce_limit);
   std::size_t src = 0;
-  while (auto job = queue_->pop(worker, &src)) {
+  for (;;) {
+    std::optional<Job> job;
+    try {
+      job = queue_->pop(worker, &src);
+    } catch (const fault::InjectedError&) {
+      continue;  // nothing was popped; the worker itself must survive
+    }
+    if (!job) return;  // closed and drained
     batch.clear();
     batch.push_back(std::move(*job));
     // Opportunistic request coalescing: extend the batch with jobs queued
@@ -154,7 +204,12 @@ void Engine::worker_loop(std::size_t worker) {
     // idle. Same-plan members of the batch then share one plan
     // resolution in run_batch.
     while (batch.size() < limit) {
-      auto extra = queue_->try_pop_shard(src);
+      std::optional<Job> extra;
+      try {
+        extra = queue_->try_pop_shard(src);
+      } catch (const fault::InjectedError&) {
+        break;  // settle for the batch in hand
+      }
       if (!extra) break;
       batch.push_back(std::move(*extra));
     }
@@ -217,8 +272,14 @@ void Engine::record_profile(const detail::PlanState& plan, const core::RunResult
     if (slot.buffer.size() >= kProfileFlushBatch) batch.swap(slot.buffer);
   }
   if (!batch.empty()) {
-    profile_store_.record_batch(batch);
-    profile_flushes_.fetch_add(1, std::memory_order_release);
+    // Telemetry must never fail the job it measures: an injected flush
+    // fault drops this batch (warned) and the run still completes.
+    try {
+      profile_store_.record_batch(batch);
+      profile_flushes_.fetch_add(1, std::memory_order_release);
+    } catch (const fault::InjectedError& e) {
+      util::log_warn("Engine: dropping ", batch.size(), " profile sample(s): ", e.what());
+    }
   }
   profile_samples_recorded_.fetch_add(1, std::memory_order_release);
 }
@@ -231,28 +292,141 @@ void Engine::flush_profiles() {
       batch.swap(slot->buffer);
     }
     if (batch.empty()) continue;
-    profile_store_.record_batch(batch);
-    profile_flushes_.fetch_add(1, std::memory_order_release);
+    try {
+      profile_store_.record_batch(batch);
+      profile_flushes_.fetch_add(1, std::memory_order_release);
+    } catch (const fault::InjectedError& e) {
+      util::log_warn("Engine: dropping ", batch.size(), " profile sample(s): ", e.what());
+    }
   }
 }
 
+void Engine::retry_backoff(std::uint64_t job_id, std::size_t attempt) const {
+  std::int64_t ns = options_.retry_backoff_base.count();
+  if (ns <= 0) return;
+  for (std::size_t i = 1; i < attempt && ns < options_.retry_backoff_max.count(); ++i) ns *= 2;
+  ns = std::min<std::int64_t>(ns, std::max<std::int64_t>(options_.retry_backoff_max.count(), 1));
+  // Deterministic jitter in [0.5, 1.0): a pure function of (job, attempt),
+  // so a replayed chaos schedule sleeps the same nanoseconds.
+  std::uint64_t s = job_id * 0x9E3779B97F4A7C15ULL + attempt;
+  const std::uint64_t r = util::splitmix64(s);
+  const double f = 0.5 + 0.5 * static_cast<double>(r >> 11) * 0x1.0p-53;
+  std::this_thread::sleep_for(std::chrono::nanoseconds(static_cast<std::int64_t>(
+      static_cast<double>(ns) * f)));
+}
+
 void Engine::run_one(const detail::PlanState& plan, Job& job, std::size_t worker) {
-  // The completion/failure counter bumps BEFORE the promise resolves (and
-  // with release order, pairing with stats()'s acquire loads), so a
-  // caller returning from future.get() never observes a lagging count.
+  // Every terminal counter bumps BEFORE the promise resolves (and with
+  // release order, pairing with stats()'s acquire loads), so a caller
+  // returning from future.get()/wait() never observes a lagging count.
   // The profile sample is captured before set_value for the same reason:
   // profile_samples_recorded is part of the stats audit.
-  try {
-    core::RunResult result =
-        plan.backend->run(executor_, plan.spec, plan.program, plan.lowered, *job.grid);
-    if (options_.profiling && !plan.profile_key.empty()) {
-      record_profile(plan, result, worker);
+
+  // Shed at dequeue: a job that is already cancelled or expired — or that
+  // outlived a shutdown drain deadline — resolves typed, without touching
+  // the grid. This is what bounds shutdown(drain): workers still POP
+  // every queued job, they just stop EXECUTING them.
+  const std::int64_t drain = drain_deadline_ns_.load(std::memory_order_acquire);
+  if (drain != 0 && steady_now_ns() >= drain) {
+    jobs_cancelled_.fetch_add(1, std::memory_order_release);
+    job.result.set_exception(std::make_exception_ptr(JobCancelled()));
+    return;
+  }
+  if (job.control) {
+    const core::RunControl::Stop stop = job.control->should_stop();
+    if (stop == core::RunControl::Stop::kDeadline) {
+      jobs_timed_out_.fetch_add(1, std::memory_order_release);
+      job.result.set_exception(std::make_exception_ptr(JobTimedOut()));
+      return;
     }
-    jobs_completed_.fetch_add(1, std::memory_order_release);
-    job.result.set_value(std::move(result));
-  } catch (...) {
+    if (stop == core::RunControl::Stop::kCancelled) {
+      jobs_cancelled_.fetch_add(1, std::memory_order_release);
+      job.result.set_exception(std::make_exception_ptr(JobCancelled()));
+      return;
+    }
+  }
+
+  // The attempt loop: transient faults retry the SAME backend (bounded,
+  // backed off); permanent ones — and transients past the budget — walk
+  // the degradation chain. Every built-in backend computes bit-identical
+  // results and every attempt rewrites every cell, so retrying into a
+  // dirty grid is safe and a degraded result is still correct.
+  const detail::PlanState* active = &plan;
+  std::shared_ptr<const detail::PlanState> fallback_state;  // keeps a degraded plan alive
+  std::vector<std::string> chain;
+  if (job.opts.allow_fallback) {
+    for (const char* name : {kCpuDataflowBackend, kSerialBackend}) {
+      if (plan.backend->name() != name) chain.emplace_back(name);
+    }
+  }
+  std::size_t chain_next = 0;
+  std::size_t attempt = 0;
+  bool degraded = false;
+  std::exception_ptr last;
+  for (;;) {
+    try {
+      core::RunResult result = active->backend->run(executor_, active->spec, active->program,
+                                                    active->lowered, *job.grid,
+                                                    job.control.get());
+      if (options_.profiling && !active->profile_key.empty()) {
+        record_profile(*active, result, worker);
+      }
+      jobs_completed_.fetch_add(1, std::memory_order_release);
+      job.result.set_value(std::move(result));
+      return;
+    } catch (const core::ExecutionInterrupted& e) {
+      // Cancellation/deadline is a verdict, not a failure: no retry.
+      if (e.reason() == core::RunControl::Stop::kDeadline) {
+        jobs_timed_out_.fetch_add(1, std::memory_order_release);
+        job.result.set_exception(std::make_exception_ptr(JobTimedOut()));
+      } else {
+        jobs_cancelled_.fetch_add(1, std::memory_order_release);
+        job.result.set_exception(std::make_exception_ptr(JobCancelled()));
+      }
+      return;
+    } catch (const fault::InjectedError& e) {
+      last = std::current_exception();
+      if (e.transient() && attempt < job.opts.max_retries) {
+        ++attempt;
+        jobs_retried_.fetch_add(1, std::memory_order_release);
+        retry_backoff(job.id, attempt);
+        continue;
+      }
+    } catch (...) {
+      // A real backend exception is permanent by definition: retrying a
+      // deterministic failure just repeats it. Fall through to the chain.
+      last = std::current_exception();
+    }
+    // Degrade: compile the next rung of the chain through the normal
+    // path (so it lands in — and is later served from — the plan cache).
+    // A rung whose compile itself fails is skipped, not fatal.
+    bool advanced = false;
+    while (chain_next < chain.size()) {
+      const std::string fb = chain[chain_next++];
+      try {
+        CompileOptions copts;
+        copts.backend = fb;
+        copts.params = plan.params;
+        Plan fplan = compile(plan.spec, copts);
+        fallback_state = fplan.state_;
+        active = fallback_state.get();
+        advanced = true;
+        break;
+      } catch (...) {
+        last = std::current_exception();
+      }
+    }
+    if (advanced) {
+      attempt = 0;
+      if (!degraded) {
+        degraded = true;
+        jobs_degraded_.fetch_add(1, std::memory_order_release);
+      }
+      continue;
+    }
     jobs_failed_.fetch_add(1, std::memory_order_release);
-    job.result.set_exception(std::current_exception());
+    job.result.set_exception(last);
+    return;
   }
 }
 
@@ -385,7 +559,20 @@ Plan Engine::compile_impl(const core::WavefrontSpec* spec, const core::InputPara
   }
   state->backend = std::move(backend);
 
-  if (cacheable) return publish_plan(std::move(key), std::move(state));
+  if (cacheable) {
+    try {
+      return publish_plan(std::move(key), state);
+    } catch (const fault::InjectedError& e) {
+      // Cache publication failed, but the plan in hand is fully compiled
+      // and correct — degrade to serving it uncached (a later compile of
+      // the same key will try to publish again) instead of failing the
+      // request over a cache-bookkeeping fault. publish_plan mutates no
+      // engine state before its no-throw commit zone, so the cache,
+      // clock hand, and counters are exactly as before the attempt.
+      util::log_warn("Engine: plan-cache publication failed (", e.what(),
+                     "); serving the plan uncached");
+    }
+  }
 
   state->id = next_plan_id_.fetch_add(1, std::memory_order_relaxed);
   plans_compiled_.fetch_add(1, std::memory_order_relaxed);
@@ -393,6 +580,13 @@ Plan Engine::compile_impl(const core::WavefrontSpec* spec, const core::InputPara
 }
 
 Plan Engine::publish_plan(CacheKey key, std::shared_ptr<detail::PlanState> state) {
+  // Fault sites fire before any engine state mutates: kPlanCachePublish
+  // up front, kPlanCacheEvict per hand step — and the hand itself works
+  // on a LOCAL copy of clock_order_ that is committed (no-throw moves)
+  // only together with the new snapshot. An injected throw therefore
+  // leaves cache, hand, and counters exactly as it found them, and
+  // compile_impl can fall back to serving the plan uncached.
+  fault::check(fault::Site::kPlanCachePublish);
   std::lock_guard<std::mutex> lock(cache_mutex_);
   const std::shared_ptr<const CacheMap> snap = load_snapshot();
   const auto it = snap->find(key);
@@ -402,9 +596,6 @@ Plan Engine::publish_plan(CacheKey key, std::shared_ptr<detail::PlanState> state
     it->second->referenced.store(true, std::memory_order_relaxed);
     return Plan(it->second->state);
   }
-  // Fix the identity while still uniquely owning the state.
-  state->id = next_plan_id_.fetch_add(1, std::memory_order_relaxed);
-  plans_compiled_.fetch_add(1, std::memory_order_relaxed);
 
   // Copy-on-write: the published map itself is never mutated, so readers
   // mid-lookup keep their (possibly previous) generation alive via the
@@ -422,24 +613,34 @@ Plan Engine::publish_plan(CacheKey key, std::shared_ptr<detail::PlanState> state
   // (readers CAN re-mark concurrently — that only grants another lap
   // later; the hand still evicts the first entry whose exchange returns
   // false, and with a finite queue some exchange eventually does).
-  while (next->size() >= options_.plan_cache_capacity && !clock_order_.empty()) {
-    CacheKey victim = std::move(clock_order_.front());
-    clock_order_.pop_front();
+  std::deque<CacheKey> hand = clock_order_;
+  std::uint64_t evicted = 0;
+  while (next->size() >= options_.plan_cache_capacity && !hand.empty()) {
+    fault::check(fault::Site::kPlanCacheEvict);
+    CacheKey victim = std::move(hand.front());
+    hand.pop_front();
     const auto vit = next->find(victim);
     if (vit == next->end()) continue;  // stale hand entry (clear_plan_cache ran)
     if (vit->second->referenced.exchange(false, std::memory_order_relaxed)) {
-      clock_order_.push_back(std::move(victim));  // second chance
+      hand.push_back(std::move(victim));  // second chance
       continue;
     }
     next->erase(vit);
-    plan_cache_evictions_.fetch_add(1, std::memory_order_relaxed);
+    ++evicted;
   }
   if (options_.plan_cache_capacity > 0) {
     auto entry = std::make_shared<CacheEntry>();
     entry->state = state;
     next->emplace(key, std::move(entry));
-    clock_order_.push_back(std::move(key));
+    hand.push_back(std::move(key));
   }
+
+  // Commit zone: fix the identity, then publish — counter bumps, the
+  // container moves, and store_snapshot are all no-throw.
+  state->id = next_plan_id_.fetch_add(1, std::memory_order_relaxed);
+  plans_compiled_.fetch_add(1, std::memory_order_relaxed);
+  if (evicted > 0) plan_cache_evictions_.fetch_add(evicted, std::memory_order_relaxed);
+  clock_order_ = std::move(hand);
   store_snapshot(std::move(next));
   return Plan(std::move(state));
 }
@@ -456,45 +657,99 @@ void Engine::check_executable(const Plan& plan, const core::Grid& grid, const ch
   }
 }
 
-std::future<core::RunResult> Engine::submit(const Plan& plan, core::Grid& grid) {
-  check_executable(plan, grid, "Engine::submit");
+Submission Engine::submit_impl(const Plan& plan, core::Grid& grid, const SubmitOptions& options,
+                               bool with_control, bool blocking, bool* shed, const char* where) {
+  check_executable(plan, grid, where);
+  if (shed) *shed = false;
 
   Job job;
   job.plan = plan.state_;
   job.grid = &grid;
-  std::future<core::RunResult> future = job.result.get_future();
+  job.opts = options;
+  job.id = next_job_id_.fetch_add(1, std::memory_order_relaxed);
+  if (with_control) {
+    const bool has_deadline = options.deadline.count() > 0;
+    job.control = std::make_shared<detail::JobControl>(
+        has_deadline, std::chrono::steady_clock::now() + options.deadline, &drain_deadline_ns_);
+  }
+  Submission out;
+  out.control = job.control;
+  out.future = job.result.get_future();
+
   // Counted before the push so a fast worker completing the job can never
   // make a concurrent stats() reader see completed > submitted.
   jobs_submitted_.fetch_add(1, std::memory_order_relaxed);
-  if (!queue_push(std::move(job))) {
-    jobs_submitted_.fetch_sub(1, std::memory_order_relaxed);
-    throw std::runtime_error("Engine::submit: engine is shutting down");
+  std::size_t attempt = 0;
+  for (;;) {
+    try {
+      const bool accepted = blocking ? queue_push(job) : queue_try_push(job);
+      if (accepted) return out;
+      if (!blocking) {
+        const bool closed = legacy_queue_ ? legacy_queue_->closed() : queue_->closed();
+        if (!closed) {
+          // Every shard full: shed instead of blocking. Nothing was
+          // enqueued, so the submission never happened.
+          jobs_submitted_.fetch_sub(1, std::memory_order_relaxed);
+          *shed = true;
+          return out;
+        }
+      }
+      jobs_submitted_.fetch_sub(1, std::memory_order_relaxed);
+      throw std::runtime_error(std::string(where) + ": engine is shutting down");
+    } catch (const fault::InjectedError& e) {
+      // The queue's fault sites fire before the job is accepted, so `job`
+      // (promise included) is still whole: transient faults within the
+      // retry budget re-push; otherwise the future resolves with the
+      // fault — a chaos-era submit never breaks a promise and never
+      // leaks a submitted count.
+      if (e.transient() && attempt < options.max_retries) {
+        ++attempt;
+        jobs_retried_.fetch_add(1, std::memory_order_release);
+        continue;
+      }
+      jobs_failed_.fetch_add(1, std::memory_order_release);
+      job.result.set_exception(std::current_exception());
+      return out;
+    }
   }
-  return future;
+}
+
+std::future<core::RunResult> Engine::submit(const Plan& plan, core::Grid& grid) {
+  return submit_impl(plan, grid, SubmitOptions{}, /*with_control=*/false, /*blocking=*/true,
+                     nullptr, "Engine::submit")
+      .future;
+}
+
+Submission Engine::submit(const Plan& plan, core::Grid& grid, const SubmitOptions& options) {
+  return submit_impl(plan, grid, options, /*with_control=*/true, /*blocking=*/true, nullptr,
+                     "Engine::submit");
 }
 
 std::optional<std::future<core::RunResult>> Engine::try_submit(const Plan& plan,
                                                                core::Grid& grid) {
-  check_executable(plan, grid, "Engine::try_submit");
-
-  Job job;
-  job.plan = plan.state_;
-  job.grid = &grid;
-  std::future<core::RunResult> future = job.result.get_future();
-  jobs_submitted_.fetch_add(1, std::memory_order_relaxed);
-  if (!queue_try_push(job)) {
-    jobs_submitted_.fetch_sub(1, std::memory_order_relaxed);
-    const bool closed = legacy_queue_ ? legacy_queue_->closed() : queue_->closed();
-    if (closed) throw std::runtime_error("Engine::try_submit: engine is shutting down");
-    return std::nullopt;  // every shard full: shed instead of blocking
-  }
-  return future;
+  bool shed = false;
+  Submission out = submit_impl(plan, grid, SubmitOptions{}, /*with_control=*/false,
+                               /*blocking=*/false, &shed, "Engine::try_submit");
+  if (shed) return std::nullopt;
+  return std::move(out.future);
 }
 
-std::vector<std::future<core::RunResult>> Engine::submit_batch(
-    const Plan& plan, const std::vector<core::Grid*>& grids) {
-  // Validate the whole batch before enqueuing anything: a bad grid in the
-  // middle must not leave earlier jobs running with their futures
+std::optional<Submission> Engine::try_submit(const Plan& plan, core::Grid& grid,
+                                             const SubmitOptions& options) {
+  bool shed = false;
+  Submission out = submit_impl(plan, grid, options, /*with_control=*/true, /*blocking=*/false,
+                               &shed, "Engine::try_submit");
+  if (shed) return std::nullopt;
+  return out;
+}
+
+void Engine::cancel(const Submission& submission) {
+  if (submission.control) submission.control->cancel();
+}
+
+void Engine::check_batch(const Plan& plan, const std::vector<core::Grid*>& grids) {
+  // All-or-nothing validation before anything is enqueued: a bad grid in
+  // the middle must not leave earlier jobs running with their futures
   // discarded by the unwinding caller.
   for (core::Grid* grid : grids) {
     if (!grid) throw std::invalid_argument("Engine::submit_batch: null grid");
@@ -506,10 +761,25 @@ std::vector<std::future<core::RunResult>> Engine::submit_batch(
   if (std::adjacent_find(unique.begin(), unique.end()) != unique.end()) {
     throw std::invalid_argument("Engine::submit_batch: duplicate grid in batch");
   }
+}
+
+std::vector<std::future<core::RunResult>> Engine::submit_batch(
+    const Plan& plan, const std::vector<core::Grid*>& grids) {
+  check_batch(plan, grids);
   std::vector<std::future<core::RunResult>> futures;
   futures.reserve(grids.size());
   for (core::Grid* grid : grids) futures.push_back(submit(plan, *grid));
   return futures;
+}
+
+std::vector<Submission> Engine::submit_batch(const Plan& plan,
+                                             const std::vector<core::Grid*>& grids,
+                                             const SubmitOptions& options) {
+  check_batch(plan, grids);
+  std::vector<Submission> out;
+  out.reserve(grids.size());
+  for (core::Grid* grid : grids) out.push_back(submit(plan, *grid, options));
+  return out;
 }
 
 core::RunResult Engine::run(const Plan& plan, core::Grid& grid) {
@@ -524,9 +794,15 @@ core::RunResult Engine::run(const Plan& plan, core::Grid& grid) {
     if (options_.profiling && !plan.state_->profile_key.empty()) {
       // The synchronous path has no worker slot; a one-sample flush
       // straight into the store keeps run() results immediately visible.
-      profile_store_.record(make_profile_sample(*plan.state_, r));
-      profile_flushes_.fetch_add(1, std::memory_order_release);
-      profile_samples_recorded_.fetch_add(1, std::memory_order_release);
+      // Telemetry must never fail the run it measures (same contract as
+      // record_profile): an injected fault drops the sample, warned.
+      try {
+        profile_store_.record(make_profile_sample(*plan.state_, r));
+        profile_flushes_.fetch_add(1, std::memory_order_release);
+        profile_samples_recorded_.fetch_add(1, std::memory_order_release);
+      } catch (const fault::InjectedError& e) {
+        util::log_warn("Engine: dropping profile sample: ", e.what());
+      }
     }
     jobs_completed_.fetch_add(1, std::memory_order_release);
     return r;
@@ -547,13 +823,18 @@ double Engine::estimate_serial(const core::InputParams& in) const {
 
 EngineStats Engine::stats() const {
   EngineStats s;
-  // completed/failed are read (acquire) BEFORE submitted: the release
-  // increments in run_one/run plus the submit-before-push ordering keep
-  // completed + failed <= submitted from this reader's point of view.
+  // Terminal buckets are read (acquire) BEFORE submitted: the release
+  // increments in run_one/run/submit_impl plus the submit-before-push
+  // ordering keep completed + failed + timed_out + cancelled <= submitted
+  // from this reader's point of view.
   s.jobs_completed = jobs_completed_.load(std::memory_order_acquire);
   s.jobs_failed = jobs_failed_.load(std::memory_order_acquire);
-  // Same audit as completed/failed: bumped (release) before set_value, so
-  // these can't lag behind a join the reader has already observed.
+  s.jobs_timed_out = jobs_timed_out_.load(std::memory_order_acquire);
+  s.jobs_cancelled = jobs_cancelled_.load(std::memory_order_acquire);
+  // Same audit: bumped (release) before the affected job's promise
+  // resolves, so these can't lag behind a join the reader has observed.
+  s.jobs_retried = jobs_retried_.load(std::memory_order_acquire);
+  s.jobs_degraded = jobs_degraded_.load(std::memory_order_acquire);
   s.profile_samples_recorded = profile_samples_recorded_.load(std::memory_order_acquire);
   s.profile_flushes = profile_flushes_.load(std::memory_order_acquire);
   s.jobs_submitted = jobs_submitted_.load(std::memory_order_relaxed);

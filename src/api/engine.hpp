@@ -44,6 +44,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <future>
@@ -57,6 +58,7 @@
 #include <vector>
 
 #include "api/backend.hpp"
+#include "api/errors.hpp"
 #include "api/job_queue.hpp"
 #include "api/plan.hpp"
 #include "api/sharded_queue.hpp"
@@ -117,10 +119,20 @@ struct EngineOptions {
   /// ring_capacity of the engine's store.
   std::size_t profile_ring_capacity = 64;
   /// When non-empty: load the profile store from this file at
-  /// construction (silently starting fresh when it does not exist yet)
-  /// and save it back at destruction (best effort) — so a restarted
-  /// engine replans from yesterday's measurements instead of re-learning.
+  /// construction (starting fresh — with a warning, never a crash — when
+  /// the file is missing, truncated, corrupt, or version-mismatched) and
+  /// save it back at destruction (best effort, log-and-continue) — so a
+  /// restarted engine replans from yesterday's measurements instead of
+  /// re-learning.
   std::string profile_path;
+  /// Base delay of the capped exponential backoff between retry attempts
+  /// of a transiently-failed job (SubmitOptions::max_retries). Attempt k
+  /// sleeps base * 2^(k-1), capped at retry_backoff_max, scaled by a
+  /// DETERMINISTIC jitter factor in [0.5, 1.0) derived from (job id,
+  /// attempt) — no global RNG, so chaos runs replay. <= 0 disables the
+  /// sleep (retries spin back-to-back).
+  std::chrono::nanoseconds retry_backoff_base{std::chrono::microseconds(100)};
+  std::chrono::nanoseconds retry_backoff_max{std::chrono::milliseconds(10)};
 };
 
 struct CompileOptions {
@@ -145,16 +157,100 @@ struct CompileOptions {
   std::string cache_tag;
 };
 
+/// Per-job failure policy of the options-taking submit overloads. The
+/// default value is "no deadline, no retries, no fallback" — exactly the
+/// legacy submit contract.
+struct SubmitOptions {
+  /// Relative deadline, measured from the submit() call. 0 = none. An
+  /// expired job is shed at dequeue or interrupted at the next phase
+  /// boundary (latency bound: ONE phase, not one grid) and its future
+  /// resolves with api::JobTimedOut.
+  std::chrono::nanoseconds deadline{0};
+  /// Transient failures (fault::InjectedError with Severity::kTransient)
+  /// re-execute on the same backend up to this many extra attempts, with
+  /// capped exponential backoff (EngineOptions::retry_backoff_*). A re-run
+  /// rewrites every cell of the grid, so a partially-executed attempt
+  /// leaves nothing stale behind.
+  std::size_t max_retries = 0;
+  /// Permanent failures (and transient ones past max_retries) walk the
+  /// degradation chain — the plan's own backend, then "cpu-dataflow",
+  /// then "serial" — recompiling through the plan cache. Every built-in
+  /// backend is bit-identical, so a degraded result is still correct;
+  /// stats().jobs_degraded counts the jobs served this way.
+  bool allow_fallback = false;
+};
+
+namespace detail {
+
+/// Shared cancellation/deadline state of one options-submitted job: the
+/// api-side implementation of core::RunControl the interpreter polls at
+/// phase boundaries. Composes three stop sources — the caller's explicit
+/// cancel, the job's own deadline, and the engine-wide drain deadline of
+/// Engine::shutdown — without core/ ever depending on api/.
+class JobControl final : public core::RunControl {
+public:
+  JobControl(bool has_deadline, std::chrono::steady_clock::time_point deadline,
+             const std::atomic<std::int64_t>* drain_deadline_ns)
+      : has_deadline_(has_deadline), deadline_(deadline), drain_deadline_ns_(drain_deadline_ns) {}
+
+  void cancel() { cancelled_.store(true, std::memory_order_release); }
+  bool cancel_requested() const { return cancelled_.load(std::memory_order_acquire); }
+
+  Stop should_stop() const override {
+    if (cancelled_.load(std::memory_order_acquire)) return Stop::kCancelled;
+    if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) return Stop::kDeadline;
+    if (drain_deadline_ns_ != nullptr) {
+      // Engine-wide drain deadline (0 = unset). Only workers call
+      // should_stop, and they are joined before the engine's members die,
+      // so the pointer cannot dangle while it is dereferenced.
+      const std::int64_t drain = drain_deadline_ns_->load(std::memory_order_acquire);
+      if (drain != 0 && std::chrono::steady_clock::now().time_since_epoch() >=
+                            std::chrono::nanoseconds(drain)) {
+        return Stop::kCancelled;
+      }
+    }
+    return Stop::kNone;
+  }
+
+private:
+  std::atomic<bool> cancelled_{false};
+  const bool has_deadline_;
+  const std::chrono::steady_clock::time_point deadline_;
+  const std::atomic<std::int64_t>* const drain_deadline_ns_;
+};
+
+}  // namespace detail
+
+/// Handle returned by the options-taking submit overloads: the result
+/// future plus the job's control token. Pass it to Engine::cancel to
+/// request cancellation; the future then resolves with api::JobCancelled
+/// within one phase boundary (or immediately, if the job was still
+/// queued). Keeping the Submission alive is not required for the job to
+/// run.
+struct Submission {
+  std::future<core::RunResult> future;
+  std::shared_ptr<detail::JobControl> control;
+};
+
 /// Cheap to read at any time from any thread. Every counter is maintained
 /// with RELAXED atomics: each field is individually monotonic (except the
 /// queue_depth gauge) and individually exact once the engine is
 /// quiescent, but a stats() snapshot is NOT an atomic cut across fields —
 /// two counters read together may disagree by in-flight requests. The
 /// orderings that ARE guaranteed, because the increments are sequenced on
-/// one thread: a job counts as submitted before it can count as completed
-/// or failed (so completed + failed <= submitted never over-reports), and
-/// a completion/failure is counted before the job's promise resolves (so
-/// a caller returning from future.get() never observes a lagging count).
+/// one thread: a job counts as submitted before it can count in ANY
+/// terminal bucket (completed, failed, timed_out, cancelled — so the
+/// terminal sum never over-reports submitted), and the terminal counter
+/// is bumped (release) before the job's promise resolves (so a caller
+/// returning from future.get() never observes a lagging count).
+/// Conservation: once the engine is quiescent (all futures joined),
+///   jobs_submitted == jobs_completed + jobs_failed
+///                     + jobs_timed_out + jobs_cancelled
+/// exactly — every accepted job lands in exactly one terminal bucket,
+/// whatever faults were injected along the way. jobs_retried and
+/// jobs_degraded count recovery WORK (also bumped before the affected
+/// job's promise resolves) and overlap the terminal buckets rather than
+/// extending them.
 struct EngineStats {
   std::uint64_t plans_compiled = 0;       ///< plan-cache misses (full compiles)
   std::uint64_t plan_cache_hits = 0;
@@ -164,6 +260,15 @@ struct EngineStats {
   std::uint64_t jobs_failed = 0;          ///< finished by throwing (promise holds the exception)
   std::uint64_t jobs_coalesced = 0;       ///< jobs that rode a same-plan batched sweep
                                           ///< behind its leader (leaders not counted)
+  std::uint64_t jobs_retried = 0;         ///< transient-failure re-executions (extra
+                                          ///< attempts beyond each job's first; includes
+                                          ///< re-pushes after an injected submit fault)
+  std::uint64_t jobs_degraded = 0;        ///< jobs served by a fallback backend after
+                                          ///< their plan's backend failed permanently
+                                          ///< (once per job, however far it fell)
+  std::uint64_t jobs_timed_out = 0;       ///< terminal: deadline expired (JobTimedOut)
+  std::uint64_t jobs_cancelled = 0;       ///< terminal: cancelled — explicitly or by a
+                                          ///< shutdown drain deadline (JobCancelled)
   /// Measured executions captured for the profile store (buffered samples
   /// included). Bumped with release order BEFORE the job's promise
   /// resolves — same audit as jobs_completed, so a caller returning from
@@ -224,6 +329,37 @@ public:
   /// Fan-out convenience: one job per grid, in order.
   std::vector<std::future<core::RunResult>> submit_batch(const Plan& plan,
                                                          const std::vector<core::Grid*>& grids);
+
+  // --- execute with a failure policy ----------------------------------
+
+  /// submit() with a per-job failure policy (deadline, retries, fallback
+  /// — see SubmitOptions). Returns the future plus the job's control
+  /// token for Engine::cancel. The legacy overloads above carry no
+  /// control token and pay none of this machinery's cost.
+  Submission submit(const Plan& plan, core::Grid& grid, const SubmitOptions& options);
+  /// Load-shedding variant: nullopt when every shard is full.
+  std::optional<Submission> try_submit(const Plan& plan, core::Grid& grid,
+                                       const SubmitOptions& options);
+  /// Fan-out variant: one job per grid, all under the same policy.
+  std::vector<Submission> submit_batch(const Plan& plan, const std::vector<core::Grid*>& grids,
+                                       const SubmitOptions& options);
+
+  /// Requests cancellation of an options-submitted job. Idempotent,
+  /// callable from any thread, never blocks. The job's future resolves
+  /// with api::JobCancelled — immediately when it is shed at dequeue,
+  /// within one phase boundary when it is already executing. A job that
+  /// completed before the request wins the race and keeps its result.
+  void cancel(const Submission& submission);
+
+  /// Stops accepting jobs and waits for the workers. `drain_budget > 0`
+  /// bounds the drain: when it expires, still-queued jobs are shed with
+  /// api::JobCancelled as workers dequeue them, and running jobs that
+  /// carry a control token stop at their next phase boundary — so every
+  /// outstanding future still resolves, just not all with results.
+  /// `drain_budget == 0` (and the destructor) drains fully. Idempotent
+  /// and safe to race with itself and with submits (late submits throw
+  /// the usual "shutting down").
+  void shutdown(std::chrono::nanoseconds drain_budget = std::chrono::nanoseconds{0});
 
   /// Synchronous convenience: executes on the calling thread, bypassing
   /// the queue (still safe alongside concurrent submits).
@@ -296,6 +432,11 @@ private:
     std::shared_ptr<const detail::PlanState> plan;
     core::Grid* grid = nullptr;
     std::promise<core::RunResult> result;
+    /// Null for legacy submits: no deadline, no cancel, no drain shed.
+    std::shared_ptr<detail::JobControl> control;
+    SubmitOptions opts;
+    /// Monotonic id; seeds the deterministic retry-backoff jitter.
+    std::uint64_t id = 0;
   };
 
   /// Plan-cache key: the input signature plus tuning, backend, the
@@ -357,13 +498,31 @@ private:
   Plan publish_plan(CacheKey key, std::shared_ptr<detail::PlanState> state);
   /// Shared submit/run precondition: valid, executable, grid matches.
   static void check_executable(const Plan& plan, const core::Grid& grid, const char* where);
+  /// Shared submit_batch precondition: every grid valid, no duplicates.
+  static void check_batch(const Plan& plan, const std::vector<core::Grid*>& grids);
   void worker_loop(std::size_t worker);
   /// Executes `jobs`, resolving each promise; same-plan jobs are grouped
   /// (stably) and dispatched back-to-back through one plan resolution.
   /// `worker` selects the profile sample buffer.
   void run_batch(std::vector<Job>& jobs, std::size_t worker);
+  /// Executes one job end to end — shed-at-dequeue check, the
+  /// retry/fallback attempt loop, terminal-counter bump, promise
+  /// resolution. Never throws; every path resolves the promise.
   void run_one(const detail::PlanState& plan, Job& job, std::size_t worker);
-  bool queue_push(Job job);          // blocking; false once closed
+  /// Shared body of all submit variants. `with_control` attaches a
+  /// JobControl (the options overloads); without one the job is the
+  /// legacy zero-overhead shape. May resolve the returned future
+  /// exceptionally right away (injected push fault past its retry
+  /// budget); throws only for shutdown/validation, with nothing enqueued.
+  Submission submit_impl(const Plan& plan, core::Grid& grid, const SubmitOptions& options,
+                         bool with_control, bool blocking, bool* shed, const char* where);
+  /// Deterministic capped-exponential backoff sleep before retry
+  /// `attempt` (1-based) of job `job_id`.
+  void retry_backoff(std::uint64_t job_id, std::size_t attempt) const;
+  // Both may throw fault::InjectedError with `job` UNTOUCHED (sites fire
+  // before the queue accepts), so the caller can retry or resolve the
+  // job's promise itself — no future is ever broken.
+  bool queue_push(Job& job);         // blocking; false once closed
   bool queue_try_push(Job& job);     // non-blocking; false when full/closed
 
   core::HybridExecutor executor_;
@@ -431,8 +590,21 @@ private:
   std::atomic<std::uint64_t> jobs_completed_{0};
   std::atomic<std::uint64_t> jobs_failed_{0};
   std::atomic<std::uint64_t> jobs_coalesced_{0};
+  std::atomic<std::uint64_t> jobs_retried_{0};
+  std::atomic<std::uint64_t> jobs_degraded_{0};
+  std::atomic<std::uint64_t> jobs_timed_out_{0};
+  std::atomic<std::uint64_t> jobs_cancelled_{0};
   std::atomic<std::uint64_t> profile_samples_recorded_{0};
   std::atomic<std::uint64_t> profile_flushes_{0};
+
+  /// Engine-wide drain deadline (steady_clock epoch ns; 0 = none), set by
+  /// shutdown(drain_budget). Checked by run_one at dequeue for every job
+  /// and by JobControl::should_stop at phase boundaries for
+  /// options-submitted jobs.
+  std::atomic<std::int64_t> drain_deadline_ns_{0};
+  std::atomic<std::uint64_t> next_job_id_{1};
+  /// Serializes shutdown callers (concurrent join of one thread is UB).
+  std::mutex shutdown_mutex_;
 
   /// One worker's buffered profile samples awaiting a batched flush. The
   /// mutex is per-slot: the owning worker's append is uncontended in the

@@ -52,6 +52,8 @@
 #include <utility>
 #include <vector>
 
+#include "fault/injector.hpp"
+
 namespace wavetune::api {
 
 /// Relaxed monotonic counters of where queue time goes; every field is
@@ -97,12 +99,37 @@ public:
   /// queue is closed (item is left untouched in the caller's hands, so a
   /// load-shedding caller can still resolve its promise). Distinguish the
   /// two outcomes with closed() when it matters.
-  bool try_push(T& item) { return push_attempt(item) == PushResult::kOk; }
+  ///
+  /// Fault-injection sites (fault/injector.hpp, disarmed = one relaxed
+  /// load each): kQueuePush/kQueuePop fire at the public entry points
+  /// BEFORE any queue state is touched, kQueueFutexWait fires before a
+  /// sleeper registers as a waiter — so an injected throw can never leak
+  /// a waiter count, strand a pending push, or tear a ring cell. An
+  /// InjectedError from push/try_push means the item was NOT accepted
+  /// (still in the caller's hands); from pop, nothing was popped.
+  bool try_push(T& item) {
+    fault::check(fault::Site::kQueuePush);
+    return push_attempt(item) == PushResult::kOk;
+  }
 
   /// Blocks until a shard has room, then enqueues. Returns false
   /// (dropping `item`) when the queue was closed before room appeared —
-  /// the same contract as BoundedQueue::push.
-  bool push(T item) {
+  /// the same contract as BoundedQueue::push. The rvalue overload runs
+  /// the fault check BEFORE consuming `item`: an injected throw leaves
+  /// the caller's object (promise and all) intact and re-pushable.
+  bool push(T&& item) {
+    fault::check(fault::Site::kQueuePush);
+    return push_slow(item);
+  }
+  bool push(const T& item) {
+    fault::check(fault::Site::kQueuePush);
+    T copy(item);
+    return push_slow(copy);
+  }
+
+private:
+  /// The blocking push loop; moves from `item` only on acceptance.
+  bool push_slow(T& item) {
     for (;;) {
       PushResult r = push_attempt(item);
       if (r == PushResult::kOk) return true;
@@ -118,6 +145,7 @@ public:
       // invalidates the ticket and wait() returns without sleeping (the
       // futex value check is kernel-side). Either way no wakeup is lost.
       push_blocks_.fetch_add(1, std::memory_order_relaxed);
+      fault::check(fault::Site::kQueueFutexWait);  // before waiter registration
       push_waiters_.fetch_add(1, std::memory_order_seq_cst);
       const std::uint32_t ticket = push_epoch_.load(std::memory_order_seq_cst);
       r = push_attempt(item);
@@ -130,12 +158,14 @@ public:
     }
   }
 
+public:
   // --- consumers --------------------------------------------------------
 
   /// Non-blocking pop: consumer `who`'s own shard first, then steals from
   /// the others. `src_shard`, when given, receives the shard the item
   /// came from (for shard-local follow-up pops, e.g. request coalescing).
   std::optional<T> try_pop(std::size_t who, std::size_t* src_shard = nullptr) {
+    fault::check(fault::Site::kQueuePop);
     return try_pop_impl(who, src_shard);
   }
 
@@ -144,6 +174,7 @@ public:
   /// from shard S, follow-up try_pop_shard(S) calls extend the batch with
   /// the jobs queued consecutively behind it.
   std::optional<T> try_pop_shard(std::size_t shard) {
+    fault::check(fault::Site::kQueuePop);
     if (std::optional<T> item = shards_[shard & shard_mask_]->try_pop()) {
       finish_pop();
       return item;
@@ -159,6 +190,7 @@ public:
       if (std::optional<T> item = try_pop(who, src_shard)) return item;
       if (closed_.load(std::memory_order_seq_cst) && drained()) return std::nullopt;
       pop_blocks_.fetch_add(1, std::memory_order_relaxed);
+      fault::check(fault::Site::kQueueFutexWait);  // before waiter registration
       // Same Dekker handshake as the push slow path, against "push, then
       // check pop_waiters_, then bump pop_epoch_".
       pop_waiters_.fetch_add(1, std::memory_order_seq_cst);

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "cpu/tiled_wavefront.hpp"
+#include "fault/injector.hpp"
 #include "ocl/context.hpp"
 
 namespace wavetune::core {
@@ -112,6 +113,9 @@ struct HybridExecutor::FunctionalCtx {
   /// once per run — by the caller's compiled plan or at the top of
   /// run(). Every functional compute is a plain indirect call through it.
   const LoweredKernel* lowered = nullptr;
+  /// Cancellation/deadline poll (core/run_control.hpp); null on the
+  /// control-free fast path.
+  const RunControl* control = nullptr;
 
   std::size_t real_elem() const { return spec->elem_bytes; }
   std::size_t real_offset(std::size_t i, std::size_t j) const {
@@ -146,7 +150,8 @@ HybridExecutor::HybridExecutor(sim::SystemProfile profile, std::size_t pool_work
     : profile_(std::move(profile)), pool_(pool_workers) {}
 
 RunResult HybridExecutor::run(const WavefrontSpec& spec, const PhaseProgram& program,
-                              Grid& grid, ocl::Trace* trace, const LoweredKernel* lowered) {
+                              Grid& grid, ocl::Trace* trace, const LoweredKernel* lowered,
+                              const RunControl* control) {
   spec.validate();
   if (grid.dim() != spec.dim || grid.elem_bytes() != spec.elem_bytes) {
     throw std::invalid_argument("HybridExecutor::run: grid does not match spec");
@@ -163,6 +168,7 @@ RunResult HybridExecutor::run(const WavefrontSpec& spec, const PhaseProgram& pro
   fctx.host = &grid;
   fctx.pool = &pool_;
   fctx.lowered = lowered;
+  fctx.control = control;
   return execute(spec.inputs(), program, &fctx, trace);
 }
 
@@ -244,6 +250,16 @@ RunResult HybridExecutor::execute(const InputParams& in, const PhaseProgram& pro
   // scheduler (one lowered-kernel call per tile, resolved before any
   // loop), GPU phases through the simulated devices.
   for (const PhaseDesc& ph : program.phases) {
+    // Phase boundary, run mode only: the fault-injection site and the
+    // cancellation/deadline poll. Estimates stay pure timing functions —
+    // no site visits, no control, so the cost model cannot be perturbed.
+    if (fctx) {
+      fault::check(fault::Site::kPhaseBoundary);
+      if (fctx->control) {
+        const RunControl::Stop stop = fctx->control->should_stop();
+        if (stop != RunControl::Stop::kNone) throw ExecutionInterrupted(stop);
+      }
+    }
     PhaseTiming t;
     t.device = ph.device;
     t.d_begin = ph.d_begin;
@@ -315,6 +331,7 @@ void HybridExecutor::gpu_phase_single(const InputParams& in, const PhaseDesc& ph
   dev.charge_write(bytes_in);
   out.transfer_in_ns = ctx.pcie_model().transfer_ns(bytes_in);
   if (fctx) {
+    fault::check(fault::Site::kGpuTransfer);
     fctx->copy_diag_rows(fctx->host->data(), fctx->dev[0].data(), frontier_lo, d1, 0, dim);
   }
 
@@ -374,6 +391,7 @@ void HybridExecutor::gpu_phase_single(const InputParams& in, const PhaseDesc& ph
   dev.charge_read(bytes_out);
   out.transfer_out_ns = ctx.pcie_model().transfer_ns(bytes_out);
   if (fctx) {
+    fault::check(fault::Site::kGpuTransfer);
     fctx->copy_diag_rows(fctx->dev[0].data(), fctx->host->data(), d0, d1, 0, dim);
   }
 
@@ -415,6 +433,7 @@ void HybridExecutor::gpu_phase_multi(const InputParams& in, const PhaseDesc& ph,
     ctx.device(g).charge_write(cells_in * esize);
     out.transfer_in_ns += ctx.pcie_model().transfer_ns(cells_in * esize);
     if (fctx) {
+      fault::check(fault::Site::kGpuTransfer);
       fctx->copy_diag_rows(fctx->host->data(), fctx->dev[g].data(), frontier_lo, d1,
                            static_cast<std::size_t>(wedge_lo[g]),
                            static_cast<std::size_t>(split[g + 1]));
@@ -520,6 +539,7 @@ void HybridExecutor::gpu_phase_multi(const InputParams& in, const PhaseDesc& ph,
     ctx.device(g).charge_read(cells_out * esize);
     out.transfer_out_ns += ctx.pcie_model().transfer_ns(cells_out * esize);
     if (fctx) {
+      fault::check(fault::Site::kGpuTransfer);
       fctx->copy_diag_rows(fctx->dev[g].data(), fctx->host->data(), d0, d1,
                            static_cast<std::size_t>(split[g]),
                            static_cast<std::size_t>(split[g + 1]));

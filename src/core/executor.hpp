@@ -31,6 +31,7 @@
 #include "core/grid.hpp"
 #include "core/params.hpp"
 #include "core/phase_program.hpp"
+#include "core/run_control.hpp"
 #include "core/spec.hpp"
 #include "cpu/dataflow_wavefront.hpp"
 #include "cpu/thread_pool.hpp"
@@ -119,8 +120,15 @@ public:
   /// cached LoweredKernel so repeated runs skip re-lowering; when null,
   /// the spec is lowered once at the top of the call — never inside any
   /// per-tile, per-diagonal, or per-phase loop.
+  ///
+  /// A non-null `control` is polled at every phase boundary (and once
+  /// before the first phase): when it asks to stop, the run is abandoned
+  /// by throwing core::ExecutionInterrupted and the grid's contents are
+  /// unspecified (core/run_control.hpp). Cancellation latency is
+  /// therefore bounded by one phase, not one grid.
   RunResult run(const WavefrontSpec& spec, const PhaseProgram& program, Grid& grid,
-                ocl::Trace* trace = nullptr, const LoweredKernel* lowered = nullptr);
+                ocl::Trace* trace = nullptr, const LoweredKernel* lowered = nullptr,
+                const RunControl* control = nullptr);
 
   /// Simulated timing of the IDENTICAL program walk, without functional
   /// execution — the same interpreter as run(), minus the kernel calls.

@@ -1,0 +1,54 @@
+// core::RunControl — the cancellation/deadline contract between a caller
+// (api::Engine's per-job control block) and the PhaseProgram interpreter.
+//
+// The executor polls should_stop() at every phase boundary of a
+// functional run (plus once before the first phase), so a cancel or an
+// expired deadline is observed with bounded latency: one PHASE, not one
+// grid. When the poll says stop, the interpreter abandons the run by
+// throwing ExecutionInterrupted; the grid's contents are unspecified from
+// that point (a retry re-runs the whole program — every cell is written
+// by a full sweep, so a dirty grid is safe to reuse).
+//
+// RunControl is an interface rather than a struct of atomics so one
+// virtual call per phase (phases are milliseconds; the call is
+// nanoseconds) lets the api layer compose per-job state with engine-wide
+// state (drain deadlines) without the executor knowing either exists.
+#pragma once
+
+#include <stdexcept>
+
+namespace wavetune::core {
+
+class RunControl {
+public:
+  enum class Stop {
+    kNone,       ///< keep going
+    kCancelled,  ///< caller (or engine shutdown) revoked the job
+    kDeadline,   ///< the job's own deadline expired
+  };
+
+  virtual ~RunControl() = default;
+
+  /// Polled by the interpreter at phase boundaries; must be cheap and
+  /// callable from any thread.
+  virtual Stop should_stop() const = 0;
+};
+
+/// Thrown by the interpreter when should_stop() asks it to abandon a run.
+/// api::Engine converts it to the client-facing typed exceptions
+/// (api::JobCancelled / api::JobTimedOut).
+class ExecutionInterrupted : public std::runtime_error {
+public:
+  explicit ExecutionInterrupted(RunControl::Stop reason)
+      : std::runtime_error(reason == RunControl::Stop::kDeadline
+                               ? "execution interrupted: deadline expired"
+                               : "execution interrupted: cancelled"),
+        reason_(reason) {}
+
+  RunControl::Stop reason() const { return reason_; }
+
+private:
+  RunControl::Stop reason_;
+};
+
+}  // namespace wavetune::core

@@ -1,0 +1,103 @@
+#include "fault/injector.hpp"
+
+namespace wavetune::fault {
+
+namespace {
+
+/// splitmix64 finalizer: the stateless hash behind the per-visit
+/// Bernoulli decision. Duplicated from util::splitmix64's core on purpose
+/// — fault/ is a leaf the concurrency layers include, so it depends on
+/// nothing but the standard library.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+std::string describe(Site site, Severity severity, std::uint64_t ordinal) {
+  std::string s = "injected ";
+  s += severity == Severity::kTransient ? "transient" : "permanent";
+  s += " fault at site ";
+  s += site_name(site);
+  s += " (visit #" + std::to_string(ordinal) + ")";
+  return s;
+}
+
+}  // namespace
+
+const char* site_name(Site site) {
+  switch (site) {
+    case Site::kQueuePush: return "queue-push";
+    case Site::kQueuePop: return "queue-pop";
+    case Site::kQueueFutexWait: return "queue-futex-wait";
+    case Site::kPlanCachePublish: return "plan-cache-publish";
+    case Site::kPlanCacheEvict: return "plan-cache-evict";
+    case Site::kPhaseBoundary: return "phase-boundary";
+    case Site::kGpuTransfer: return "gpu-transfer";
+    case Site::kProfileFlush: return "profile-flush";
+    case Site::kProfileSave: return "profile-save";
+    case Site::kCount: break;
+  }
+  return "unknown-site";
+}
+
+InjectedError::InjectedError(Site site, Severity severity, std::uint64_t ordinal)
+    : std::runtime_error(describe(site, severity, ordinal)),
+      site_(site),
+      severity_(severity),
+      ordinal_(ordinal) {}
+
+Injector& Injector::instance() {
+  static Injector injector;
+  return injector;
+}
+
+void Injector::arm(const InjectionPlan& plan) {
+  // Quiescence contract (header): no concurrent check() while arming, so
+  // the plain plan_ write is safe and the counter resets are not torn
+  // against readers.
+  plan_ = plan;
+  for (auto& v : visits_) v.store(0, std::memory_order_relaxed);
+  for (auto& v : injected_) v.store(0, std::memory_order_relaxed);
+  detail::g_fault_enabled.store(true, std::memory_order_relaxed);
+}
+
+void Injector::disarm() { detail::g_fault_enabled.store(false, std::memory_order_relaxed); }
+
+std::uint64_t Injector::visits(Site s) const {
+  return visits_[static_cast<std::size_t>(s)].load(std::memory_order_relaxed);
+}
+
+std::uint64_t Injector::injected(Site s) const {
+  return injected_[static_cast<std::size_t>(s)].load(std::memory_order_relaxed);
+}
+
+std::uint64_t Injector::injected_total() const {
+  std::uint64_t total = 0;
+  for (const auto& v : injected_) total += v.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Injector::check_armed(Site site) {
+  const auto idx = static_cast<std::size_t>(site);
+  const SitePlan& sp = plan_.sites[idx];
+  if (sp.probability <= 0.0 && sp.countdown == 0) return;
+  // 1-based visit ordinal; fetch_add makes concurrent visitors draw
+  // distinct ordinals, so the firing SET stays deterministic in
+  // (seed, site, ordinal) regardless of interleaving.
+  const std::uint64_t ordinal = visits_[idx].fetch_add(1, std::memory_order_relaxed) + 1;
+  bool fire = sp.countdown != 0 && ordinal == sp.countdown;
+  if (!fire && sp.probability > 0.0) {
+    const std::uint64_t h = mix64(plan_.seed ^ (0x5851F42D4C957F2DULL * (idx + 1)) ^ ordinal);
+    // Top 53 bits -> uniform double in [0, 1).
+    const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+    fire = u < sp.probability;
+  }
+  if (fire) {
+    injected_[idx].fetch_add(1, std::memory_order_relaxed);
+    throw InjectedError(site, sp.severity, ordinal);
+  }
+}
+
+}  // namespace wavetune::fault

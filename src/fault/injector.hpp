@@ -1,0 +1,156 @@
+// fault::Injector — deterministic, site-keyed fault injection for the
+// serving stack's failure-handling paths.
+//
+// A production engine's failure story is only as good as its ability to
+// REHEARSE failures: a throwing kernel, a hung transfer, an unwritable
+// profile path. This injector threads named injection sites through the
+// hot layers (sharded-queue push/pop and its futex slow path, plan-cache
+// snapshot publish/evict, the PhaseProgram interpreter's phase
+// boundaries, GPU-sim transfers, ProfileStore flush/save) and fires typed
+// fault::InjectedError exceptions on a seeded, reproducible schedule —
+// the machinery tests/test_chaos.cpp drives to prove the invariants
+// "every future resolves, no hangs, stats conserve, results stay
+// bit-identical".
+//
+// Determinism: the fire/don't-fire decision at a site is a pure function
+// of (seed, site, visit ordinal) — a splitmix64 hash compared against the
+// site's probability, plus an exact-ordinal countdown trigger. Visit
+// ordinals are per-site atomic counters, so given a seed and a plan the
+// SET of firing ordinals is fixed; which thread draws a firing ordinal
+// depends on scheduling, which is exactly the space a chaos suite wants
+// to explore while staying replayable.
+//
+// Cost when disabled: every site compiles to ONE relaxed atomic load of a
+// namespace-scope flag and a predicted-not-taken branch — no function
+// call, no TLS, no fence. Serving binaries keep the sites compiled in;
+// arming is a test/bench-only act.
+//
+// Concurrency contract: check() is safe from any number of threads.
+// arm()/disarm() must be QUIESCENT with respect to checking threads — arm
+// before the threads that will hit sites exist (thread creation is the
+// happens-before edge), disarm after they joined. The chaos suite arms
+// before constructing an Engine and disarms after destroying it.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace wavetune::fault {
+
+/// The named injection sites threaded through the stack. Keep
+/// site_name() in sync.
+enum class Site : std::size_t {
+  kQueuePush = 0,    ///< ShardedQueue::push/try_push entry (submission path)
+  kQueuePop,         ///< ShardedQueue::pop/try_pop entry (worker path)
+  kQueueFutexWait,   ///< the futex slow path, before a sleeper parks
+  kPlanCachePublish, ///< Engine plan-cache snapshot publication (compile miss)
+  kPlanCacheEvict,   ///< Engine plan-cache clock-eviction sweep
+  kPhaseBoundary,    ///< PhaseProgram interpreter, before each phase (run mode)
+  kGpuTransfer,      ///< GPU-sim bulk transfer in/out (functional runs)
+  kProfileFlush,     ///< ProfileStore::record/record_batch entry
+  kProfileSave,      ///< ProfileStore::save_file entry
+  kCount
+};
+
+inline constexpr std::size_t kSiteCount = static_cast<std::size_t>(Site::kCount);
+
+const char* site_name(Site site);
+
+/// Failure taxonomy the retry machinery keys on: transient faults are
+/// worth retrying against the same backend (a glitch), permanent ones are
+/// not (the backend is broken for this job — degrade or fail).
+enum class Severity { kTransient, kPermanent };
+
+/// The typed exception every armed site throws.
+class InjectedError : public std::runtime_error {
+public:
+  InjectedError(Site site, Severity severity, std::uint64_t ordinal);
+
+  Site site() const { return site_; }
+  Severity severity() const { return severity_; }
+  bool transient() const { return severity_ == Severity::kTransient; }
+  /// 1-based visit ordinal (per site) the fault fired on.
+  std::uint64_t ordinal() const { return ordinal_; }
+
+private:
+  Site site_;
+  Severity severity_;
+  std::uint64_t ordinal_;
+};
+
+/// Per-site trigger: a per-visit Bernoulli rate, an exact one-shot
+/// countdown ordinal, or both (either firing fires).
+struct SitePlan {
+  double probability = 0.0;    ///< per-visit fire rate in [0, 1]
+  std::uint64_t countdown = 0; ///< fire exactly on visit #countdown (1-based); 0 = off
+  Severity severity = Severity::kTransient;
+};
+
+/// One armed schedule: a seed plus a trigger per site.
+struct InjectionPlan {
+  std::uint64_t seed = 0;
+  std::array<SitePlan, kSiteCount> sites{};
+
+  SitePlan& at(Site s) { return sites[static_cast<std::size_t>(s)]; }
+  const SitePlan& at(Site s) const { return sites[static_cast<std::size_t>(s)]; }
+};
+
+namespace detail {
+/// The global enable flag, read relaxed on every site visit. Namespace-
+/// scope inline so the disabled check inlines to one load + one branch.
+inline std::atomic<bool> g_fault_enabled{false};
+}  // namespace detail
+
+class Injector {
+public:
+  /// The process-wide injector the inline site checks route to.
+  static Injector& instance();
+
+  /// Installs `plan`, resets all visit/injected counters, and enables the
+  /// sites. Quiescence contract above.
+  void arm(const InjectionPlan& plan);
+  /// Disables all sites (counters retained for inspection until re-arm).
+  void disarm();
+  bool armed() const { return detail::g_fault_enabled.load(std::memory_order_relaxed); }
+
+  /// Times site `s` was visited while armed / times it fired.
+  std::uint64_t visits(Site s) const;
+  std::uint64_t injected(Site s) const;
+  /// Sum of injected() over all sites.
+  std::uint64_t injected_total() const;
+
+  /// The armed-path decision + throw. Call through fault::check().
+  void check_armed(Site site);
+
+private:
+  Injector() = default;
+
+  InjectionPlan plan_;
+  std::array<std::atomic<std::uint64_t>, kSiteCount> visits_{};
+  std::array<std::atomic<std::uint64_t>, kSiteCount> injected_{};
+};
+
+/// THE site check: zero-cost when disarmed (one relaxed load, branch not
+/// taken), throws InjectedError when the armed schedule says this visit
+/// fails.
+inline void check(Site site) {
+  if (detail::g_fault_enabled.load(std::memory_order_relaxed)) [[unlikely]] {
+    Injector::instance().check_armed(site);
+  }
+}
+
+/// RAII arm/disarm for tests and benches: arms on construction, disarms
+/// on destruction (exception-safe against a failing test body).
+class ScopedInjection {
+public:
+  explicit ScopedInjection(const InjectionPlan& plan) { Injector::instance().arm(plan); }
+  ~ScopedInjection() { Injector::instance().disarm(); }
+  ScopedInjection(const ScopedInjection&) = delete;
+  ScopedInjection& operator=(const ScopedInjection&) = delete;
+};
+
+}  // namespace wavetune::fault

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "fault/injector.hpp"
+
 namespace wavetune::profile {
 
 namespace {
@@ -85,6 +87,9 @@ void ProfileStore::record_locked(const RunSample& sample) {
 }
 
 void ProfileStore::record(const RunSample& sample) {
+  // Fault site fires before the lock and before any aggregate mutates:
+  // an injected flush fault drops the sample(s), never tears the store.
+  fault::check(fault::Site::kProfileFlush);
   std::lock_guard<std::mutex> lock(mutex_);
   ++flushes_;
   record_locked(sample);
@@ -92,6 +97,7 @@ void ProfileStore::record(const RunSample& sample) {
 
 void ProfileStore::record_batch(const std::vector<RunSample>& samples) {
   if (samples.empty()) return;
+  fault::check(fault::Site::kProfileFlush);
   std::lock_guard<std::mutex> lock(mutex_);
   ++flushes_;
   for (const RunSample& s : samples) record_locked(s);
@@ -215,7 +221,12 @@ void ProfileStore::load_json(const util::Json& j) {
   flushes_ = 0;
 }
 
-void ProfileStore::save_file(const std::string& path) const { to_json().save_file(path); }
+void ProfileStore::save_file(const std::string& path) const {
+  // Site fires before any I/O: an injected save fault behaves exactly
+  // like an unwritable path (the file, if present, is left as it was).
+  fault::check(fault::Site::kProfileSave);
+  to_json().save_file(path);
+}
 
 void ProfileStore::load_file(const std::string& path) { load_json(util::Json::load_file(path)); }
 

@@ -362,7 +362,7 @@ public:
   }
   core::RunResult run(core::HybridExecutor& executor, const core::WavefrontSpec& spec,
                       const core::PhaseProgram&, const core::LoweredKernel& lowered,
-                      core::Grid& grid) const override {
+                      core::Grid& grid, const core::RunControl*) const override {
     return executor.run_serial(spec, grid, &lowered);
   }
   core::RunResult estimate(const core::HybridExecutor& executor, const core::InputParams& in,

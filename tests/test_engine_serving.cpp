@@ -12,6 +12,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstring>
+#include <deque>
 #include <future>
 #include <mutex>
 #include <optional>
@@ -20,6 +21,8 @@
 #include <vector>
 
 #include "apps/synthetic.hpp"
+#include "core/run_control.hpp"
+#include "fault/injector.hpp"
 #include "sim/system_profile.hpp"
 
 namespace wavetune::api {
@@ -99,7 +102,7 @@ public:
   }
   core::RunResult run(core::HybridExecutor& executor, const core::WavefrontSpec& spec,
                       const core::PhaseProgram&, const core::LoweredKernel& lowered,
-                      core::Grid& grid) const override {
+                      core::Grid& grid, const core::RunControl*) const override {
     gate().wait();
     return executor.run_serial(spec, grid, &lowered);
   }
@@ -122,8 +125,82 @@ public:
     return core::TunableParams{1, -1, -1, 1};
   }
   core::RunResult run(core::HybridExecutor&, const core::WavefrontSpec&, const core::PhaseProgram&,
-                      const core::LoweredKernel&, core::Grid&) const override {
+                      const core::LoweredKernel&, core::Grid&,
+                      const core::RunControl*) const override {
     throw std::runtime_error("test-throwing backend always fails");
+  }
+  core::RunResult estimate(const core::HybridExecutor& executor, const core::InputParams& in,
+                           const core::PhaseProgram&) const override {
+    return serial_estimate(executor, in);
+  }
+};
+
+/// Parks inside run() until its control token reports a stop, then raises
+/// the interruption — the deterministic "an in-flight job observes its
+/// stop source at the next phase boundary" probe. Bails out with a plain
+/// failure (never a hang) if no stop arrives.
+class ControlPollingBackend final : public Backend {
+public:
+  /// run() entries so far — the "job is now in flight" checkpoint.
+  static std::atomic<int>& arrivals() {
+    static std::atomic<int> a{0};
+    return a;
+  }
+  const std::string& name() const override {
+    static const std::string n = "test-control-polling";
+    return n;
+  }
+  core::TunableParams prepare(const core::InputParams& in, const core::TunableParams&,
+                              const sim::SystemProfile&) const override {
+    in.validate();
+    return core::TunableParams{1, -1, -1, 1};
+  }
+  core::RunResult run(core::HybridExecutor& executor, const core::WavefrontSpec& spec,
+                      const core::PhaseProgram&, const core::LoweredKernel& lowered,
+                      core::Grid& grid, const core::RunControl* control) const override {
+    arrivals().fetch_add(1);
+    if (control != nullptr) {
+      for (int spin = 0; spin < 100000; ++spin) {  // <= ~5 s, then bail
+        const core::RunControl::Stop stop = control->should_stop();
+        if (stop != core::RunControl::Stop::kNone) throw core::ExecutionInterrupted(stop);
+        std::this_thread::sleep_for(50us);
+      }
+      throw std::runtime_error("test-control-polling: no stop arrived");
+    }
+    return executor.run_serial(spec, grid, &lowered);
+  }
+  core::RunResult estimate(const core::HybridExecutor& executor, const core::InputParams& in,
+                           const core::PhaseProgram&) const override {
+    return serial_estimate(executor, in);
+  }
+};
+
+/// Throws a TRANSIENT fault::InjectedError while its fuse lasts, then
+/// runs serially — the retry-budget probe. Reset the fuse per test.
+class FlakyBackend final : public Backend {
+public:
+  /// Remaining run() calls that fail before the backend recovers.
+  static std::atomic<int>& fuse() {
+    static std::atomic<int> f{0};
+    return f;
+  }
+  const std::string& name() const override {
+    static const std::string n = "test-flaky";
+    return n;
+  }
+  core::TunableParams prepare(const core::InputParams& in, const core::TunableParams&,
+                              const sim::SystemProfile&) const override {
+    in.validate();
+    return core::TunableParams{1, -1, -1, 1};
+  }
+  core::RunResult run(core::HybridExecutor& executor, const core::WavefrontSpec& spec,
+                      const core::PhaseProgram&, const core::LoweredKernel& lowered,
+                      core::Grid& grid, const core::RunControl*) const override {
+    if (fuse().load() > 0) {
+      fuse().fetch_sub(1);
+      throw fault::InjectedError(fault::Site::kPhaseBoundary, fault::Severity::kTransient, 0);
+    }
+    return executor.run_serial(spec, grid, &lowered);
   }
   core::RunResult estimate(const core::HybridExecutor& executor, const core::InputParams& in,
                            const core::PhaseProgram&) const override {
@@ -135,6 +212,15 @@ void register_test_backends() {
   auto& reg = BackendRegistry::instance();
   if (!reg.find("test-gate")) reg.add(std::make_shared<GateBackend>());
   if (!reg.find("test-throwing")) reg.add(std::make_shared<ThrowingBackend>());
+  if (!reg.find("test-control-polling")) reg.add(std::make_shared<ControlPollingBackend>());
+  if (!reg.find("test-flaky")) reg.add(std::make_shared<FlakyBackend>());
+}
+
+/// submitted == completed + failed + timed_out + cancelled — the
+/// conservation audit every quiescent engine must pass (api/engine.hpp).
+void expect_conservation(const EngineStats& s) {
+  EXPECT_EQ(s.jobs_submitted,
+            s.jobs_completed + s.jobs_failed + s.jobs_timed_out + s.jobs_cancelled);
 }
 
 // --- load shedding ------------------------------------------------------
@@ -498,6 +584,355 @@ TEST(EngineServingStress, ShutdownUnderLoadResolvesEveryAcceptedFuture) {
       EXPECT_EQ(std::memcmp(g.data(), ref.data(), g.size_bytes()), 0) << "iteration " << iter;
     }
   }
+}
+
+// --- shutdown contract edges --------------------------------------------
+
+TEST(EngineServing, SubmitVariantsAfterShutdownThrowAndShutdownIsIdempotent) {
+  register_test_backends();
+  EngineOptions o;
+  o.pool_workers = 1;
+  o.queue_workers = 1;
+  Engine eng(sim::make_i7_2600k(), o);
+  const auto spec = serving_spec();
+  const Plan plan = eng.compile(spec, core::TunableParams{4, 8, 1, 1});
+  core::Grid g(spec.dim, spec.elem_bytes);
+  EXPECT_GT(eng.submit(plan, g).get().rtime_ns, 0.0);
+
+  eng.shutdown();
+  eng.shutdown();  // idempotent; also safe after the first fully joined
+  EXPECT_THROW(eng.submit(plan, g), std::runtime_error);
+  EXPECT_THROW(eng.try_submit(plan, g), std::runtime_error);
+  EXPECT_THROW(eng.submit(plan, g, SubmitOptions{}), std::runtime_error);
+  EXPECT_THROW(eng.try_submit(plan, g, SubmitOptions{}), std::runtime_error);
+  EXPECT_THROW(eng.submit_batch(plan, {&g}), std::runtime_error);
+  EXPECT_THROW(eng.submit_batch(plan, {&g}, SubmitOptions{}), std::runtime_error);
+  // Rejected submits are not accounted as submitted.
+  const EngineStats s = eng.stats();
+  EXPECT_EQ(s.jobs_submitted, 1u);
+  EXPECT_EQ(s.jobs_completed, 1u);
+  expect_conservation(s);
+}
+
+TEST(EngineServing, ShutdownWithWorkersParkedInTheBlockingPopJoinsCleanly) {
+  // The engine-level close-while-popping edge: every queue worker is
+  // asleep in the futex pop slow path (no job was ever submitted) when
+  // shutdown closes the queue under them. close() must wake and retire
+  // all of them — a hang here is the classic lost-wakeup bug.
+  EngineOptions o;
+  o.pool_workers = 1;
+  o.queue_workers = 4;
+  Engine eng(sim::make_i7_2600k(), o);
+  std::this_thread::sleep_for(20ms);  // let the workers park in pop()
+  eng.shutdown();
+  const EngineStats s = eng.stats();
+  EXPECT_EQ(s.jobs_submitted, 0u);
+  EXPECT_EQ(s.queue_depth, 0u);
+}
+
+TEST(EngineServing, ShutdownRacingSubmitBatchKeepsTheBooksBalanced) {
+  // A producer streams submit_batch calls while shutdown lands at a
+  // randomized point. Contract: the producer either gets a full batch of
+  // futures or the "shutting down" throw; every future it DID get
+  // resolves with a result; and at quiescence the books balance — jobs
+  // accepted in a batch the throw cut short still ran during the drain.
+  register_test_backends();
+  const auto spec = serving_spec(20, 8.0, 1);
+  std::mt19937 rng(20260809u);
+  for (int iter = 0; iter < 20; ++iter) {
+    EngineOptions o;
+    o.pool_workers = 1;
+    o.queue_workers = 2;
+    o.queue_capacity = 16;
+    Engine eng(sim::make_i7_2600k(), o);
+    const Plan plan = eng.compile(spec, core::TunableParams{4, 8, 1, 1});
+    std::deque<core::Grid> grids;  // stable addresses across growth
+    std::vector<std::future<core::RunResult>> accepted;
+    std::atomic<bool> cut_short{false};
+    std::thread producer([&] {
+      try {
+        for (int b = 0; b < 64; ++b) {
+          std::vector<core::Grid*> batch;
+          for (int j = 0; j < 3; ++j) {
+            batch.push_back(&grids.emplace_back(spec.dim, spec.elem_bytes));
+          }
+          auto fs = eng.submit_batch(plan, batch);
+          for (auto& f : fs) accepted.push_back(std::move(f));
+        }
+      } catch (const std::runtime_error&) {
+        cut_short.store(true);  // shutdown won the race mid-stream
+      }
+    });
+    std::this_thread::sleep_for(std::chrono::microseconds(rng() % 400));
+    eng.shutdown();
+    producer.join();
+    for (auto& f : accepted) {
+      EXPECT_GT(f.get().rtime_ns, 0.0) << "iteration " << iter;
+    }
+    const EngineStats s = eng.stats();
+    expect_conservation(s);
+    // Futures handed back before the cut all completed; jobs enqueued by
+    // the very batch the throw discarded are the only ones beyond them.
+    EXPECT_GE(s.jobs_completed, accepted.size()) << "iteration " << iter;
+    EXPECT_EQ(s.queue_depth, 0u);
+    (void)cut_short;
+  }
+}
+
+// --- deadlines, cancellation, retries, fallback -------------------------
+
+TEST(EngineServing, ExpiredDeadlineShedsTheJobAtDequeueWithJobTimedOut) {
+  register_test_backends();
+  gate().reset();
+  EngineOptions o;
+  o.pool_workers = 1;
+  o.queue_workers = 1;
+  o.queue_shards = 1;
+  Engine eng(sim::make_i7_2600k(), o);
+  const auto spec = serving_spec();
+  const Plan gate_plan = eng.compile(spec, core::TunableParams{}, "test-gate");
+  const Plan plan = eng.compile(spec, core::TunableParams{4, 8, 1, 1});
+
+  std::vector<core::Grid> grids;
+  grids.reserve(2);
+  // Park the worker, then queue a job whose deadline expires while it
+  // waits: it must be shed at dequeue, never executed.
+  auto f_gate = eng.submit(gate_plan, grids.emplace_back(spec.dim, spec.elem_bytes));
+  gate().wait_arrived(1);
+  SubmitOptions opts;
+  opts.deadline = 1ns;
+  Submission sub = eng.submit(plan, grids.emplace_back(spec.dim, spec.elem_bytes), opts);
+  std::this_thread::sleep_for(1ms);  // the deadline is long past
+  gate().open_all();
+  EXPECT_GT(f_gate.get().rtime_ns, 0.0);
+  EXPECT_THROW(sub.future.get(), JobTimedOut);
+
+  const EngineStats s = eng.stats();
+  EXPECT_EQ(s.jobs_timed_out, 1u);
+  EXPECT_EQ(s.jobs_completed, 1u);
+  expect_conservation(s);
+}
+
+TEST(EngineServing, CancelWhileQueuedResolvesJobCancelledWithoutExecuting) {
+  register_test_backends();
+  gate().reset();
+  EngineOptions o;
+  o.pool_workers = 1;
+  o.queue_workers = 1;
+  o.queue_shards = 1;
+  Engine eng(sim::make_i7_2600k(), o);
+  const auto spec = serving_spec();
+  const Plan gate_plan = eng.compile(spec, core::TunableParams{}, "test-gate");
+  const Plan plan = eng.compile(spec, core::TunableParams{4, 8, 1, 1});
+
+  std::vector<core::Grid> grids;
+  grids.reserve(2);
+  auto f_gate = eng.submit(gate_plan, grids.emplace_back(spec.dim, spec.elem_bytes));
+  gate().wait_arrived(1);
+  core::Grid& target = grids.emplace_back(spec.dim, spec.elem_bytes);
+  target.fill_poison();
+  Submission sub = eng.submit(plan, target, SubmitOptions{});
+  eng.cancel(sub);
+  eng.cancel(sub);  // idempotent
+  gate().open_all();
+  EXPECT_GT(f_gate.get().rtime_ns, 0.0);
+  EXPECT_THROW(sub.future.get(), JobCancelled);
+
+  const EngineStats s = eng.stats();
+  EXPECT_EQ(s.jobs_cancelled, 1u);
+  EXPECT_EQ(s.jobs_completed, 1u);
+  expect_conservation(s);
+}
+
+TEST(EngineServing, CancelInterruptsAnInFlightJobAtThePhaseBoundary) {
+  register_test_backends();
+  ControlPollingBackend::arrivals().store(0);
+  EngineOptions o;
+  o.pool_workers = 1;
+  o.queue_workers = 1;
+  Engine eng(sim::make_i7_2600k(), o);
+  const auto spec = serving_spec();
+  const Plan plan = eng.compile(spec, core::TunableParams{}, "test-control-polling");
+
+  core::Grid g(spec.dim, spec.elem_bytes);
+  Submission sub = eng.submit(plan, g, SubmitOptions{});
+  while (ControlPollingBackend::arrivals().load() == 0) std::this_thread::sleep_for(100us);
+  // The job is in flight, parked on its control token. Cancellation must
+  // reach it at the next poll — the one-phase latency bound.
+  eng.cancel(sub);
+  EXPECT_THROW(sub.future.get(), JobCancelled);
+  const EngineStats s = eng.stats();
+  EXPECT_EQ(s.jobs_cancelled, 1u);
+  EXPECT_EQ(s.jobs_completed, 0u);
+  expect_conservation(s);
+}
+
+TEST(EngineServing, DeadlineInterruptsAnInFlightJobWithJobTimedOut) {
+  register_test_backends();
+  ControlPollingBackend::arrivals().store(0);
+  EngineOptions o;
+  o.pool_workers = 1;
+  o.queue_workers = 1;
+  Engine eng(sim::make_i7_2600k(), o);
+  const auto spec = serving_spec();
+  const Plan plan = eng.compile(spec, core::TunableParams{}, "test-control-polling");
+
+  core::Grid g(spec.dim, spec.elem_bytes);
+  SubmitOptions opts;
+  opts.deadline = 2ms;  // expires while the backend polls its token
+  Submission sub = eng.submit(plan, g, opts);
+  EXPECT_THROW(sub.future.get(), JobTimedOut);
+  const EngineStats s = eng.stats();
+  EXPECT_EQ(s.jobs_timed_out, 1u);
+  expect_conservation(s);
+}
+
+TEST(EngineServing, TransientFailuresRetryWithinBudgetAndSucceed) {
+  register_test_backends();
+  const auto spec = serving_spec(20, 8.0, 1);
+  core::Grid ref(spec.dim, spec.elem_bytes);
+  EngineOptions o;
+  o.pool_workers = 1;
+  o.queue_workers = 1;
+  o.retry_backoff_base = 1us;
+  o.retry_backoff_max = 10us;
+  Engine eng(sim::make_i7_2600k(), o);
+  eng.run(eng.compile(spec, core::TunableParams{}, kSerialBackend), ref);
+  const Plan plan = eng.compile(spec, core::TunableParams{}, "test-flaky");
+
+  FlakyBackend::fuse().store(2);  // two transient failures, then recovery
+  core::Grid g(spec.dim, spec.elem_bytes);
+  g.fill_poison();
+  SubmitOptions opts;
+  opts.max_retries = 3;
+  Submission sub = eng.submit(plan, g, opts);
+  EXPECT_GT(sub.future.get().rtime_ns, 0.0);
+  EXPECT_EQ(std::memcmp(g.data(), ref.data(), g.size_bytes()), 0);
+
+  const EngineStats s = eng.stats();
+  EXPECT_EQ(s.jobs_retried, 2u);
+  EXPECT_EQ(s.jobs_completed, 2u);  // serial ref + the retried job
+  EXPECT_EQ(s.jobs_failed, 0u);
+  EXPECT_EQ(s.jobs_degraded, 0u);
+  expect_conservation(s);
+}
+
+TEST(EngineServing, TransientFailuresPastTheBudgetFailWithoutFallback) {
+  register_test_backends();
+  const auto spec = serving_spec(20, 8.0, 1);
+  EngineOptions o;
+  o.pool_workers = 1;
+  o.queue_workers = 1;
+  o.retry_backoff_base = 1us;
+  o.retry_backoff_max = 10us;
+  Engine eng(sim::make_i7_2600k(), o);
+  const Plan plan = eng.compile(spec, core::TunableParams{}, "test-flaky");
+
+  FlakyBackend::fuse().store(100);  // never recovers within any budget
+  core::Grid g(spec.dim, spec.elem_bytes);
+  SubmitOptions opts;
+  opts.max_retries = 1;
+  Submission sub = eng.submit(plan, g, opts);
+  EXPECT_THROW(sub.future.get(), fault::InjectedError);
+
+  const EngineStats s = eng.stats();
+  EXPECT_EQ(s.jobs_retried, 1u);  // the budget was spent...
+  EXPECT_EQ(s.jobs_failed, 1u);   // ...and the job still failed
+  EXPECT_EQ(s.jobs_degraded, 0u);
+  expect_conservation(s);
+}
+
+TEST(EngineServing, PermanentBackendFailureWalksTheFallbackChain) {
+  register_test_backends();
+  const auto spec = serving_spec(20, 8.0, 1);
+  core::Grid ref(spec.dim, spec.elem_bytes);
+  EngineOptions o;
+  o.pool_workers = 1;
+  o.queue_workers = 1;
+  Engine eng(sim::make_i7_2600k(), o);
+  eng.run(eng.compile(spec, core::TunableParams{}, kSerialBackend), ref);
+  const Plan plan = eng.compile(spec, core::TunableParams{}, "test-throwing");
+
+  core::Grid g(spec.dim, spec.elem_bytes);
+  g.fill_poison();
+  SubmitOptions opts;
+  opts.allow_fallback = true;
+  Submission sub = eng.submit(plan, g, opts);
+  // The throwing backend fails permanently; the job degrades down the
+  // chain and still completes, bit-identical to the serial reference.
+  EXPECT_GT(sub.future.get().rtime_ns, 0.0);
+  EXPECT_EQ(std::memcmp(g.data(), ref.data(), g.size_bytes()), 0);
+
+  const EngineStats s = eng.stats();
+  EXPECT_EQ(s.jobs_degraded, 1u);
+  EXPECT_EQ(s.jobs_failed, 0u);
+  EXPECT_EQ(s.jobs_completed, 2u);  // serial ref + the degraded job
+  expect_conservation(s);
+}
+
+TEST(EngineServing, FallbackDisabledPropagatesThePermanentFailure) {
+  register_test_backends();
+  const auto spec = serving_spec(20, 8.0, 1);
+  EngineOptions o;
+  o.pool_workers = 1;
+  o.queue_workers = 1;
+  Engine eng(sim::make_i7_2600k(), o);
+  const Plan plan = eng.compile(spec, core::TunableParams{}, "test-throwing");
+
+  core::Grid g(spec.dim, spec.elem_bytes);
+  Submission sub = eng.submit(plan, g, SubmitOptions{});  // no fallback
+  EXPECT_THROW(sub.future.get(), std::runtime_error);
+  const EngineStats s = eng.stats();
+  EXPECT_EQ(s.jobs_failed, 1u);
+  EXPECT_EQ(s.jobs_degraded, 0u);
+  expect_conservation(s);
+}
+
+TEST(EngineServing, ShutdownDrainBudgetShedsQueuedJobsButResolvesEveryFuture) {
+  register_test_backends();
+  gate().reset();
+  EngineOptions o;
+  o.pool_workers = 1;
+  o.queue_workers = 1;
+  o.queue_shards = 1;
+  o.queue_capacity = 8;
+  Engine eng(sim::make_i7_2600k(), o);
+  const auto spec = serving_spec();
+  const Plan gate_plan = eng.compile(spec, core::TunableParams{}, "test-gate");
+  const Plan plan = eng.compile(spec, core::TunableParams{4, 8, 1, 1});
+
+  // One job parks the worker; four more wait behind it. A drain budget
+  // that expires before the gate opens must shed the queued jobs with
+  // JobCancelled — while the future count still balances exactly.
+  std::vector<core::Grid> grids;
+  grids.reserve(5);
+  std::vector<std::future<core::RunResult>> futures;
+  futures.push_back(eng.submit(gate_plan, grids.emplace_back(spec.dim, spec.elem_bytes)));
+  gate().wait_arrived(1);
+  for (int i = 0; i < 4; ++i) {
+    futures.push_back(eng.submit(plan, grids.emplace_back(spec.dim, spec.elem_bytes)));
+  }
+  std::thread closer([&] { eng.shutdown(2ms); });
+  std::this_thread::sleep_for(10ms);  // drain deadline is now long past
+  gate().open_all();                  // release the worker to the shed path
+  closer.join();
+
+  std::size_t completed = 0, cancelled = 0;
+  for (auto& f : futures) {
+    try {
+      EXPECT_GT(f.get().rtime_ns, 0.0);
+      ++completed;
+    } catch (const JobCancelled&) {
+      ++cancelled;
+    }
+  }
+  EXPECT_EQ(completed + cancelled, futures.size());
+  EXPECT_GE(cancelled, 1u);  // the queued jobs were shed, not executed
+  const EngineStats s = eng.stats();
+  EXPECT_EQ(s.jobs_completed, completed);
+  EXPECT_EQ(s.jobs_cancelled, cancelled);
+  EXPECT_EQ(s.queue_depth, 0u);
+  expect_conservation(s);
 }
 
 }  // namespace

@@ -1,13 +1,19 @@
 // profile::ProfileStore: aggregation semantics (ring, EWMA, percentiles,
-// shape-change reset), JSON persistence round trips, and thread safety of
+// shape-change reset), JSON persistence round trips, hardening against
+// truncated/corrupt/mismatched persisted files, and thread safety of
 // concurrent record_batch/readers (exercised under TSan in CI).
 #include "profile/profile_store.hpp"
 
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <thread>
 #include <vector>
+
+#include "api/engine.hpp"
+#include "apps/synthetic.hpp"
+#include "sim/system_profile.hpp"
 
 namespace wavetune::profile {
 namespace {
@@ -131,6 +137,153 @@ TEST(ProfileStore, MalformedJsonThrows) {
   util::Json j = util::Json::object();
   j["format"] = "not-a-profile";
   EXPECT_THROW(store.load_json(j), util::JsonError);
+}
+
+// --- persisted-file hardening -------------------------------------------
+
+/// Writes `content` byte-for-byte to a temp file and returns its path.
+std::string write_temp(const std::string& name, const std::string& content) {
+  const std::string path = ::testing::TempDir() + name;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+  return path;
+}
+
+TEST(ProfileStoreHardening, TruncatedFileThrowsInsteadOfCrashing) {
+  // A save interrupted mid-write (power loss, full disk) leaves a prefix.
+  ProfileStore donor;
+  donor.record(sample("k", {42.0}));
+  util::Json full = donor.to_json();
+  std::string text;
+  {
+    const std::string path = write_temp("wavetune_trunc_src.json", "");
+    full.save_file(path);
+    std::ifstream in(path);
+    text.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+    std::remove(path.c_str());
+  }
+  const std::string path = write_temp("wavetune_trunc.json", text.substr(0, text.size() / 2));
+  ProfileStore store;
+  EXPECT_THROW(store.load_file(path), util::JsonError);
+  // The if_exists variant treats only MISSING as benign, not damaged.
+  EXPECT_THROW(store.load_file_if_exists(path), util::JsonError);
+  std::remove(path.c_str());
+}
+
+TEST(ProfileStoreHardening, NonJsonGarbageThrows) {
+  const std::string path = write_temp("wavetune_garbage.json", "\x7f""ELF not json at all");
+  ProfileStore store;
+  EXPECT_THROW(store.load_file(path), util::JsonError);
+  std::remove(path.c_str());
+}
+
+TEST(ProfileStoreHardening, FormatVersionMismatchThrows) {
+  ProfileStore store;
+  EXPECT_THROW(
+      store.load_json(util::Json::parse(
+          R"({"format": "wavetune-profile-v2", "ring_capacity": 4, "ewma_alpha": 0.5,)"
+          R"( "samples_recorded": 0, "plans": []})")),
+      util::JsonError);
+}
+
+TEST(ProfileStoreHardening, PartialWriteMissingFieldsThrows) {
+  // Parses fine, but the document stops after the header fields.
+  ProfileStore store;
+  EXPECT_THROW(store.load_json(util::Json::parse(R"({"format": "wavetune-profile-v1"})")),
+               util::JsonError);
+}
+
+TEST(ProfileStoreHardening, InvalidOptionsInFileThrow) {
+  ProfileStore store;
+  for (const char* header :
+       {R"("ring_capacity": 0, "ewma_alpha": 0.5)", R"("ring_capacity": 8, "ewma_alpha": 0.0)",
+        R"("ring_capacity": 8, "ewma_alpha": 1.5)"}) {
+    const std::string doc = std::string(R"({"format": "wavetune-profile-v1", )") + header +
+                            R"(, "samples_recorded": 0, "plans": []})";
+    EXPECT_THROW(store.load_json(util::Json::parse(doc)), util::JsonError) << doc;
+  }
+}
+
+TEST(ProfileStoreHardening, RingBeyondDeclaredCapacityThrows) {
+  // A tampered (or cross-config) file whose ring outgrew its capacity
+  // must be rejected up front, not index out of bounds later.
+  ProfileStore store;
+  EXPECT_THROW(
+      store.load_json(util::Json::parse(
+          R"({"format": "wavetune-profile-v1", "ring_capacity": 2, "ewma_alpha": 0.5,)"
+          R"( "samples_recorded": 3, "plans": [{"key": "k", "runs": 3, "phases":)"
+          R"( [{"device": 0, "count": 3, "ewma_wall_ns": 1.0, "sim_ns": 1.0,)"
+          R"( "ring_next": 0, "ring": [1.0, 2.0, 3.0]}]}]})")),
+      util::JsonError);
+}
+
+TEST(ProfileStoreHardening, FailedLoadLeavesTheStoreUntouched) {
+  // load_json validates the whole document BEFORE swapping state in, so a
+  // bad file can never half-overwrite a live store.
+  ProfileStore store;
+  store.record(sample("keep", {7.0}));
+  EXPECT_THROW(store.load_json(util::Json::parse(R"({"format": "wrong"})")), util::JsonError);
+  ASSERT_TRUE(store.find("keep").has_value());
+  EXPECT_DOUBLE_EQ(store.find("keep")->phases[0].p50_wall_ns(), 7.0);
+  EXPECT_EQ(store.samples_recorded(), 1u);
+}
+
+// --- the Engine wrapping: warn-and-continue, never crash ----------------
+
+core::WavefrontSpec tiny_spec() {
+  apps::SyntheticParams p;
+  p.dim = 16;
+  p.tsize = 8.0;
+  p.dsize = 1;
+  p.functional_iters = 2;
+  return apps::make_synthetic_spec(p);
+}
+
+TEST(ProfileStoreHardening, EngineStartsFreshOnACorruptProfileFile) {
+  const std::string path = write_temp("wavetune_engine_corrupt.json", "{ not json");
+  api::EngineOptions o;
+  o.pool_workers = 1;
+  o.queue_workers = 1;
+  o.profile_path = path;
+  {
+    api::Engine eng(sim::make_i7_2600k(), o);  // warns, must not throw
+    EXPECT_EQ(eng.profile_store().size(), 0u);  // started fresh
+    const auto spec = tiny_spec();
+    core::Grid g(spec.dim, spec.elem_bytes);
+    EXPECT_GT(eng.run(eng.compile(spec, core::TunableParams{4, 8, 1, 1}), g).rtime_ns, 0.0);
+    // Destructor overwrites the corrupt file with the fresh store.
+  }
+  ProfileStore reloaded;
+  EXPECT_TRUE(reloaded.load_file_if_exists(path));
+  EXPECT_EQ(reloaded.size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(ProfileStoreHardening, EngineDestructorSurvivesAnUnwritableProfilePath) {
+  // The regression pin for the dtor-save hazard: persisting to a path
+  // whose parent directory does not exist must log and continue, never
+  // propagate out of ~Engine (throwing destructors terminate).
+  api::EngineOptions o;
+  o.pool_workers = 1;
+  o.queue_workers = 1;
+  o.profile_path = ::testing::TempDir() + "wavetune_no_such_dir/sub/profile.json";
+  api::Engine eng(sim::make_i7_2600k(), o);
+  const auto spec = tiny_spec();
+  core::Grid g(spec.dim, spec.elem_bytes);
+  EXPECT_GT(eng.run(eng.compile(spec, core::TunableParams{4, 8, 1, 1}), g).rtime_ns, 0.0);
+  // ~Engine runs at scope exit; reaching the next test IS the assertion.
+}
+
+TEST(ProfileStoreHardening, SaveProfileStillThrowsForSynchronousCallers) {
+  // Only the destructor demotes save failures to warnings: an explicit
+  // save_profile() caller can still handle the error.
+  api::EngineOptions o;
+  o.pool_workers = 1;
+  o.queue_workers = 1;
+  api::Engine eng(sim::make_i7_2600k(), o);
+  EXPECT_THROW(eng.save_profile(::testing::TempDir() + "wavetune_no_such_dir/p.json"),
+               std::exception);
+  EXPECT_THROW(eng.save_profile(), std::invalid_argument);  // no path anywhere
 }
 
 // The TSan target: writers batching into the store while readers snapshot
