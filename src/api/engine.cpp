@@ -186,6 +186,22 @@ void Engine::worker_loop(std::size_t worker) {
     return;
   }
   const std::size_t limit = std::max<std::size_t>(1, options_.coalesce_limit);
+  // The batch former's gather cap: room for the larger of a coalesced
+  // sweep and a fused batch. The rings have no peek, so a cross-shard
+  // gather necessarily pops non-matching jobs too — they simply run
+  // (sequentially, same cycle) alongside the fused group, bounded by the
+  // same cap.
+  const std::size_t cap = std::max(limit, std::max<std::size_t>(1, options_.batch_limit));
+  // True when at least two held jobs share a PlanState — the arm
+  // condition of the admission window (a lone job never waits).
+  const auto same_plan_pair = [&batch]() {
+    for (std::size_t a = 0; a + 1 < batch.size(); ++a) {
+      for (std::size_t b = a + 1; b < batch.size(); ++b) {
+        if (batch[a].plan.get() == batch[b].plan.get()) return true;
+      }
+    }
+    return false;
+  };
   std::size_t src = 0;
   for (;;) {
     std::optional<Job> job;
@@ -213,6 +229,51 @@ void Engine::worker_loop(std::size_t worker) {
       if (!extra) break;
       batch.push_back(std::move(*extra));
     }
+    if (options_.batch_limit > 1) {
+      // Continuous batching, step 1 — cross-shard gather: same-plan jobs
+      // parked on OTHER shards (different producer threads hash to
+      // different rings) join this sweep too, so fusion works ACROSS
+      // submitters, not just consecutive queue neighbors. Still strictly
+      // non-blocking.
+      while (batch.size() < cap) {
+        std::optional<Job> extra;
+        try {
+          extra = queue_->try_pop(worker);
+        } catch (const fault::InjectedError&) {
+          break;
+        }
+        if (!extra) break;
+        batch.push_back(std::move(*extra));
+      }
+      // Step 2 — bounded admission window: only when a second same-plan
+      // job is ALREADY in hand (so a lone job is never delayed), the
+      // batch can still grow, and no shutdown drain is in progress. The
+      // wait is clipped to every held job's deadline: no job is held
+      // past the point where it could still finish on time.
+      if (options_.batch_window.count() > 0 && batch.size() < cap && same_plan_pair() &&
+          drain_deadline_ns_.load(std::memory_order_acquire) == 0) {
+        auto wait_until = std::chrono::steady_clock::now() + options_.batch_window;
+        for (const Job& held : batch) {
+          if (held.control && held.control->has_deadline()) {
+            wait_until = std::min(wait_until, held.control->deadline());
+          }
+        }
+        while (batch.size() < cap && std::chrono::steady_clock::now() < wait_until) {
+          std::optional<Job> extra;
+          try {
+            extra = queue_->try_pop(worker);
+          } catch (const fault::InjectedError&) {
+            break;
+          }
+          if (extra) {
+            batch.push_back(std::move(*extra));
+            continue;
+          }
+          if (queue_->closed()) break;
+          std::this_thread::sleep_for(std::chrono::microseconds(20));
+        }
+      }
+    }
     run_batch(batch, worker);
   }
 }
@@ -221,27 +282,121 @@ void Engine::run_batch(std::vector<Job>& jobs, std::size_t worker) {
   // Stable same-plan grouping: the first job of each distinct PlanState
   // becomes the group leader; the leader resolves the plan exactly once
   // (backend, spec, compiled program, lowered kernel — one shared_ptr
-  // dereference chain) and every follower's grid is dispatched
-  // back-to-back through those same references. Per-job promises still
-  // resolve individually, failures included.
+  // dereference chain). Groups of >= 2 on a fusable backend execute as
+  // ONE multi-grid interpretation of their shared program
+  // (run_fused_group); other groups dispatch member by member through the
+  // same references. Per-job promises always resolve individually,
+  // failures included.
   for (std::size_t i = 0; i < jobs.size(); ++i) {
-    if (!jobs[i].plan) continue;  // already ran as a follower
+    if (!jobs[i].plan) continue;  // already ran as a group member
     const std::shared_ptr<const detail::PlanState> plan = std::move(jobs[i].plan);
-    // Count the group and bump jobs_coalesced_ BEFORE resolving any of its
-    // promises: a client that joins every future of the group must observe
-    // the counter, and set_value is the only synchronization edge it has.
-    std::uint64_t followers = 0;
-    for (std::size_t j = i + 1; j < jobs.size(); ++j) {
-      if (jobs[j].plan.get() == plan.get()) ++followers;
-    }
-    if (followers > 0) jobs_coalesced_.fetch_add(followers, std::memory_order_relaxed);
-    run_one(*plan, jobs[i], worker);
+    std::vector<std::size_t> group{i};
     for (std::size_t j = i + 1; j < jobs.size(); ++j) {
       if (jobs[j].plan.get() == plan.get()) {
         jobs[j].plan.reset();
-        run_one(*plan, jobs[j], worker);
+        group.push_back(j);
       }
     }
+    // Occupancy histogram: EVERY dispatched group counts, lone jobs
+    // included — the denominator that makes occupancy interpretable.
+    const std::size_t bucket =
+        std::min(group.size(), EngineStats::kBatchOccupancyBuckets) - 1;
+    batch_occupancy_[bucket].fetch_add(1, std::memory_order_relaxed);
+    // Count the group and bump jobs_coalesced_ BEFORE resolving any of its
+    // promises: a client that joins every future of the group must observe
+    // the counter, and set_value is the only synchronization edge it has.
+    const std::uint64_t followers = group.size() - 1;
+    if (followers > 0) jobs_coalesced_.fetch_add(followers, std::memory_order_relaxed);
+    if (group.size() >= 2 && options_.batch_limit > 1 && plan->backend->supports_fused_run()) {
+      run_fused_group(*plan, jobs, group, worker);
+    } else {
+      for (const std::size_t idx : group) run_one(*plan, jobs[idx], worker);
+    }
+  }
+}
+
+void Engine::run_fused_group(const detail::PlanState& plan, std::vector<Job>& jobs,
+                             const std::vector<std::size_t>& group, std::size_t worker) {
+  // Shed-at-dequeue pass, mirroring run_one's: members that are already
+  // cancelled or expired — or that outlived a shutdown drain deadline —
+  // resolve typed here and never enter the fused sweep; the survivors
+  // ride it without them.
+  std::vector<std::size_t> live;
+  live.reserve(group.size());
+  const std::int64_t drain = drain_deadline_ns_.load(std::memory_order_acquire);
+  for (const std::size_t idx : group) {
+    Job& job = jobs[idx];
+    if (drain != 0 && steady_now_ns() >= drain) {
+      jobs_cancelled_.fetch_add(1, std::memory_order_release);
+      job.result.set_exception(std::make_exception_ptr(JobCancelled()));
+      continue;
+    }
+    if (job.control) {
+      const core::RunControl::Stop stop = job.control->should_stop();
+      if (stop == core::RunControl::Stop::kDeadline) {
+        jobs_timed_out_.fetch_add(1, std::memory_order_release);
+        job.result.set_exception(std::make_exception_ptr(JobTimedOut()));
+        continue;
+      }
+      if (stop == core::RunControl::Stop::kCancelled) {
+        jobs_cancelled_.fetch_add(1, std::memory_order_release);
+        job.result.set_exception(std::make_exception_ptr(JobCancelled()));
+        continue;
+      }
+    }
+    live.push_back(idx);
+  }
+  if (live.size() < 2) {
+    // Not enough survivors to fuse: the remainder takes the per-job path.
+    for (const std::size_t idx : live) run_one(plan, jobs[idx], worker);
+    return;
+  }
+
+  // Batching counters BEFORE any member's promise resolves — the same
+  // audit as every other stats field a future-joining client can observe.
+  jobs_batched_.fetch_add(live.size(), std::memory_order_release);
+  batches_formed_.fetch_add(1, std::memory_order_release);
+  std::vector<core::BatchMember> members;
+  members.reserve(live.size());
+  for (const std::size_t idx : live) {
+    members.push_back({jobs[idx].grid, jobs[idx].control.get()});
+    if (jobs[idx].control) {
+      jobs[idx].control->note_attempt(plan.backend->name());
+      jobs[idx].control->note_batched();
+    }
+  }
+
+  std::vector<core::BatchOutcome> outcomes;
+  try {
+    outcomes = plan.backend->run_fused(executor_, plan.spec, plan.program, plan.lowered,
+                                       members);
+  } catch (...) {
+    // ANY fused execution failure (an injected fault, a throwing kernel)
+    // reverts every member to the per-job path: each gets its own
+    // shed check, retry budget, and fallback chain, so a fault inside a
+    // batch costs the batch its amortization, never a member its result.
+    for (const std::size_t idx : live) run_one(plan, jobs[idx], worker);
+    return;
+  }
+
+  for (std::size_t k = 0; k < live.size(); ++k) {
+    Job& job = jobs[live[k]];
+    core::BatchOutcome& o = outcomes[k];
+    if (o.stop == core::RunControl::Stop::kDeadline) {
+      jobs_timed_out_.fetch_add(1, std::memory_order_release);
+      job.result.set_exception(std::make_exception_ptr(JobTimedOut()));
+      continue;
+    }
+    if (o.stop == core::RunControl::Stop::kCancelled) {
+      jobs_cancelled_.fetch_add(1, std::memory_order_release);
+      job.result.set_exception(std::make_exception_ptr(JobCancelled()));
+      continue;
+    }
+    if (options_.profiling && !plan.profile_key.empty()) {
+      record_profile(plan, o.result, worker);
+    }
+    jobs_completed_.fetch_add(1, std::memory_order_release);
+    job.result.set_value(std::move(o.result));
   }
 }
 
@@ -365,6 +520,7 @@ void Engine::run_one(const detail::PlanState& plan, Job& job, std::size_t worker
   std::exception_ptr last;
   for (;;) {
     try {
+      if (job.control) job.control->note_attempt(active->backend->name());
       core::RunResult result = active->backend->run(executor_, active->spec, active->program,
                                                     active->lowered, *job.grid,
                                                     job.control.get());
@@ -421,6 +577,7 @@ void Engine::run_one(const detail::PlanState& plan, Job& job, std::size_t worker
       if (!degraded) {
         degraded = true;
         jobs_degraded_.fetch_add(1, std::memory_order_release);
+        if (job.control) job.control->note_degraded();
       }
       continue;
     }
@@ -837,8 +994,15 @@ EngineStats Engine::stats() const {
   s.jobs_degraded = jobs_degraded_.load(std::memory_order_acquire);
   s.profile_samples_recorded = profile_samples_recorded_.load(std::memory_order_acquire);
   s.profile_flushes = profile_flushes_.load(std::memory_order_acquire);
+  // Same audit again: batching counters bump (release) before any fused
+  // member's promise resolves.
+  s.jobs_batched = jobs_batched_.load(std::memory_order_acquire);
+  s.batches_formed = batches_formed_.load(std::memory_order_acquire);
   s.jobs_submitted = jobs_submitted_.load(std::memory_order_relaxed);
   s.jobs_coalesced = jobs_coalesced_.load(std::memory_order_relaxed);
+  for (std::size_t b = 0; b < EngineStats::kBatchOccupancyBuckets; ++b) {
+    s.batch_occupancy[b] = batch_occupancy_[b].load(std::memory_order_relaxed);
+  }
   s.plans_compiled = plans_compiled_.load(std::memory_order_relaxed);
   s.plan_cache_hits = plan_cache_hits_.load(std::memory_order_relaxed);
   s.plan_cache_evictions = plan_cache_evictions_.load(std::memory_order_relaxed);

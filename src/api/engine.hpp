@@ -43,6 +43,7 @@
 // needs traces.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -94,6 +95,24 @@ struct EngineOptions {
   /// blocking, so a lone job is never delayed) and executes same-plan
   /// runs back-to-back. 1 disables coalescing.
   std::size_t coalesce_limit = 8;
+  /// Upper bound of one FUSED batch: same-plan jobs gathered from ALL
+  /// shards (not just the leader's) execute as one multi-grid
+  /// interpretation of their shared program — one scheduling structure,
+  /// one pool wake cycle, one set of simulated GPU transfers per phase,
+  /// amortized across the batch (HybridExecutor::run_batch). Each member
+  /// keeps its own grid, bit-identical results, and its own promise.
+  /// <= 1 disables fusion (same-plan groups still coalesce plan
+  /// resolution as before).
+  std::size_t batch_limit = 8;
+  /// Bounded admission window of the batch former. 0 (the default) makes
+  /// fusion purely opportunistic: only jobs ALREADY queued when the
+  /// worker sweeps join a batch. > 0 lets a worker that holds at least
+  /// TWO same-plan jobs — the window never arms for a lone job, so a lone
+  /// job is never delayed — keep gathering same-plan arrivals for up to
+  /// this long before executing. The wait is clipped to every held job's
+  /// deadline (a job whose deadline cannot survive the window is never
+  /// held past it) and skipped entirely during a shutdown drain.
+  std::chrono::nanoseconds batch_window{0};
   /// Serve through the original single-mutex BoundedQueue and take
   /// cache_mutex_ on plan-cache HITS as well — the pre-sharding engine,
   /// kept selectable as the measured baseline for bench_serving. Also
@@ -180,13 +199,28 @@ struct SubmitOptions {
   bool allow_fallback = false;
 };
 
+/// What actually happened to one options-submitted job on its way to a
+/// result: how many execution attempts it took, which backends were
+/// walked (in order, first = the plan's own), whether it rode a fused
+/// batch, and whether it was served by a fallback backend. Snapshot via
+/// Submission::history() — complete once the job's future resolved,
+/// best-effort (mid-flight) before.
+struct JobHistory {
+  std::size_t attempts = 0;           ///< execution attempts started (>= 1 once run)
+  std::vector<std::string> backends;  ///< backends walked, deduplicated consecutively
+  bool rode_batch = false;            ///< at least one attempt ran inside a fused batch
+  bool degraded = false;              ///< served (or last attempted) by a fallback backend
+};
+
 namespace detail {
 
 /// Shared cancellation/deadline state of one options-submitted job: the
 /// api-side implementation of core::RunControl the interpreter polls at
 /// phase boundaries. Composes three stop sources — the caller's explicit
 /// cancel, the job's own deadline, and the engine-wide drain deadline of
-/// Engine::shutdown — without core/ ever depending on api/.
+/// Engine::shutdown — without core/ ever depending on api/. Also carries
+/// the job's retry/degrade/batch history (JobHistory): workers note
+/// events as they happen, Submission::history() snapshots them.
 class JobControl final : public core::RunControl {
 public:
   JobControl(bool has_deadline, std::chrono::steady_clock::time_point deadline,
@@ -195,6 +229,30 @@ public:
 
   void cancel() { cancelled_.store(true, std::memory_order_release); }
   bool cancel_requested() const { return cancelled_.load(std::memory_order_acquire); }
+
+  bool has_deadline() const { return has_deadline_; }
+  std::chrono::steady_clock::time_point deadline() const { return deadline_; }
+
+  /// History notes, called by the executing worker. note_attempt is once
+  /// per execution attempt (retries and fallback rungs included);
+  /// note_batched/note_degraded are sticky flags.
+  void note_attempt(const std::string& backend) {
+    attempts_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(history_mutex_);
+    if (backends_.empty() || backends_.back() != backend) backends_.push_back(backend);
+  }
+  void note_batched() { batched_.store(true, std::memory_order_relaxed); }
+  void note_degraded() { degraded_.store(true, std::memory_order_relaxed); }
+
+  JobHistory history() const {
+    JobHistory h;
+    h.attempts = attempts_.load(std::memory_order_relaxed);
+    h.rode_batch = batched_.load(std::memory_order_relaxed);
+    h.degraded = degraded_.load(std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(history_mutex_);
+    h.backends = backends_;
+    return h;
+  }
 
   Stop should_stop() const override {
     if (cancelled_.load(std::memory_order_acquire)) return Stop::kCancelled;
@@ -217,6 +275,12 @@ private:
   const bool has_deadline_;
   const std::chrono::steady_clock::time_point deadline_;
   const std::atomic<std::int64_t>* const drain_deadline_ns_;
+
+  std::atomic<std::size_t> attempts_{0};
+  std::atomic<bool> batched_{false};
+  std::atomic<bool> degraded_{false};
+  mutable std::mutex history_mutex_;
+  std::vector<std::string> backends_;
 };
 
 }  // namespace detail
@@ -230,6 +294,12 @@ private:
 struct Submission {
   std::future<core::RunResult> future;
   std::shared_ptr<detail::JobControl> control;
+
+  /// The job's retry/degrade/batch history so far: attempt count,
+  /// backends walked, whether it rode a fused batch. Complete once
+  /// `future` resolved; a best-effort mid-flight snapshot before. Empty
+  /// (all defaults) for handles without a control token.
+  JobHistory history() const { return control ? control->history() : JobHistory{}; }
 };
 
 /// Cheap to read at any time from any thread. Every counter is maintained
@@ -260,6 +330,10 @@ struct EngineStats {
   std::uint64_t jobs_failed = 0;          ///< finished by throwing (promise holds the exception)
   std::uint64_t jobs_coalesced = 0;       ///< jobs that rode a same-plan batched sweep
                                           ///< behind its leader (leaders not counted)
+  std::uint64_t jobs_batched = 0;         ///< jobs that entered a FUSED multi-grid sweep
+                                          ///< (every member counts, leader included;
+                                          ///< bumped before any member's promise resolves)
+  std::uint64_t batches_formed = 0;       ///< fused multi-grid sweeps started (>= 2 members)
   std::uint64_t jobs_retried = 0;         ///< transient-failure re-executions (extra
                                           ///< attempts beyond each job's first; includes
                                           ///< re-pushes after an injected submit fault)
@@ -279,6 +353,15 @@ struct EngineStats {
   /// synchronous run() recordings.
   std::uint64_t profile_flushes = 0;
   std::uint64_t queue_depth = 0;          ///< LIVE gauge: jobs queued right now
+
+  /// Batch-occupancy histogram over every same-plan group a worker
+  /// dispatched: bucket i counts groups of size i+1 (lone jobs land in
+  /// bucket 0), the last bucket counts groups of kBatchOccupancyBuckets
+  /// or more. The evidence record that fusion engaged — and at what
+  /// occupancy — independent of whether the ops/s win shows on a given
+  /// core count.
+  static constexpr std::size_t kBatchOccupancyBuckets = 8;
+  std::array<std::uint64_t, kBatchOccupancyBuckets> batch_occupancy{};
 };
 
 class Engine {
@@ -509,6 +592,14 @@ private:
   /// retry/fallback attempt loop, terminal-counter bump, promise
   /// resolution. Never throws; every path resolves the promise.
   void run_one(const detail::PlanState& plan, Job& job, std::size_t worker);
+  /// Executes one same-plan group (indices into `jobs`) as a FUSED
+  /// multi-grid sweep: shed-at-dequeue pass, batching counters,
+  /// Backend::run_fused, per-member promise resolution. Any fused
+  /// execution failure reverts every member to the per-job run_one path
+  /// (own retries, own fallback chain). Never throws; every member's
+  /// promise resolves.
+  void run_fused_group(const detail::PlanState& plan, std::vector<Job>& jobs,
+                       const std::vector<std::size_t>& group, std::size_t worker);
   /// Shared body of all submit variants. `with_control` attaches a
   /// JobControl (the options overloads); without one the job is the
   /// legacy zero-overhead shape. May resolve the returned future
@@ -590,6 +681,9 @@ private:
   std::atomic<std::uint64_t> jobs_completed_{0};
   std::atomic<std::uint64_t> jobs_failed_{0};
   std::atomic<std::uint64_t> jobs_coalesced_{0};
+  std::atomic<std::uint64_t> jobs_batched_{0};
+  std::atomic<std::uint64_t> batches_formed_{0};
+  std::array<std::atomic<std::uint64_t>, EngineStats::kBatchOccupancyBuckets> batch_occupancy_{};
   std::atomic<std::uint64_t> jobs_retried_{0};
   std::atomic<std::uint64_t> jobs_degraded_{0};
   std::atomic<std::uint64_t> jobs_timed_out_{0};

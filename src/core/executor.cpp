@@ -100,22 +100,38 @@ std::size_t PhaseBreakdown::redundant_cells() const {
 
 // --- executor -------------------------------------------------------------
 
-/// Run-mode state: the spec and host grid, plus one full-grid-shaped
-/// device buffer per GPU. Device buffers are poison-filled so that any
-/// read of a cell the schedule never transferred or computed produces
-/// loudly-wrong values instead of accidentally-correct zeros.
+/// Run-mode state: the spec plus one MEMBER per batched grid (a lone
+/// run() is a batch of one). Each member owns its host grid, its control,
+/// and one full-grid-shaped device buffer per GPU; device buffers are
+/// poison-filled so that any read of a cell the schedule never
+/// transferred or computed produces loudly-wrong values instead of
+/// accidentally-correct zeros. `active` lists the members still running —
+/// members shed by their control at a phase boundary leave the list
+/// without aborting the rest of the batch.
 struct HybridExecutor::FunctionalCtx {
   const WavefrontSpec* spec = nullptr;
-  Grid* host = nullptr;
-  std::vector<ocl::Buffer> dev;
   cpu::ThreadPool* pool = nullptr;
   /// Plan-time kernel resolution (core/lowered.hpp), resolved exactly
   /// once per run — by the caller's compiled plan or at the top of
   /// run(). Every functional compute is a plain indirect call through it.
   const LoweredKernel* lowered = nullptr;
-  /// Cancellation/deadline poll (core/run_control.hpp); null on the
-  /// control-free fast path.
-  const RunControl* control = nullptr;
+
+  struct Member {
+    Grid* host = nullptr;
+    /// Cancellation/deadline poll (core/run_control.hpp); null on the
+    /// control-free fast path.
+    const RunControl* control = nullptr;
+    std::vector<ocl::Buffer> dev;
+    RunControl::Stop stop = RunControl::Stop::kNone;
+  };
+  std::vector<Member> members;
+  std::vector<std::size_t> active;  ///< indices of members still running
+  /// Active member count per EXECUTED phase, recorded by execute() in run
+  /// mode — the denominator for fused wall-time attribution.
+  std::vector<std::size_t> phase_active;
+  /// Scratch for CPU phases: the active members' storages, rebuilt per
+  /// phase (members can be shed between phases).
+  std::vector<std::byte*> storages;
 
   std::size_t real_elem() const { return spec->elem_bytes; }
   std::size_t real_offset(std::size_t i, std::size_t j) const {
@@ -165,11 +181,68 @@ RunResult HybridExecutor::run(const WavefrontSpec& spec, const PhaseProgram& pro
   }
   FunctionalCtx fctx;
   fctx.spec = &spec;
-  fctx.host = &grid;
   fctx.pool = &pool_;
   fctx.lowered = lowered;
-  fctx.control = control;
-  return execute(spec.inputs(), program, &fctx, trace);
+  fctx.members.emplace_back();
+  fctx.members[0].host = &grid;
+  fctx.members[0].control = control;
+  fctx.active.push_back(0);
+  RunResult result = execute(spec.inputs(), program, &fctx, trace);
+  // A lone run preserves the historical contract: a control stop is an
+  // ExecutionInterrupted throw, not a shed.
+  if (fctx.members[0].stop != RunControl::Stop::kNone) {
+    throw ExecutionInterrupted(fctx.members[0].stop);
+  }
+  return result;
+}
+
+std::vector<BatchOutcome> HybridExecutor::run_batch(const WavefrontSpec& spec,
+                                                    const PhaseProgram& program,
+                                                    const std::vector<BatchMember>& members,
+                                                    ocl::Trace* trace,
+                                                    const LoweredKernel* lowered) {
+  spec.validate();
+  if (members.empty()) return {};
+  for (const BatchMember& m : members) {
+    if (!m.grid || m.grid->dim() != spec.dim || m.grid->elem_bytes() != spec.elem_bytes) {
+      throw std::invalid_argument("HybridExecutor::run_batch: grid does not match spec");
+    }
+  }
+  LoweredKernel local;
+  if (!lowered) {
+    local = spec.lower();
+    lowered = &local;
+  }
+  FunctionalCtx fctx;
+  fctx.spec = &spec;
+  fctx.pool = &pool_;
+  fctx.lowered = lowered;
+  fctx.members.resize(members.size());
+  fctx.active.reserve(members.size());
+  for (std::size_t m = 0; m < members.size(); ++m) {
+    fctx.members[m].host = members[m].grid;
+    fctx.members[m].control = members[m].control;
+    fctx.active.push_back(m);
+  }
+  // ONE interpretation of the program for the whole batch. The simulated
+  // fields of `shared` are a pure function of (inputs, program) — exactly
+  // what a lone run() of any member would report.
+  const RunResult shared = execute(spec.inputs(), program, &fctx, trace);
+
+  std::vector<BatchOutcome> out(members.size());
+  for (std::size_t m = 0; m < members.size(); ++m) {
+    out[m].stop = fctx.members[m].stop;
+    if (out[m].stop != RunControl::Stop::kNone) continue;  // shed: no result
+    RunResult r = shared;
+    // Attribute the fused measured wall time: each phase's wall is split
+    // evenly across the members that were active in it.
+    for (std::size_t p = 0; p < r.breakdown.phases.size(); ++p) {
+      r.breakdown.phases[p].wall_ns /= static_cast<double>(fctx.phase_active[p]);
+    }
+    r.wall_ns = r.breakdown.total_wall_ns();
+    out[m].result = std::move(r);
+  }
+  return out;
 }
 
 RunResult HybridExecutor::estimate(const InputParams& in, const PhaseProgram& program,
@@ -251,14 +324,25 @@ RunResult HybridExecutor::execute(const InputParams& in, const PhaseProgram& pro
   // loop), GPU phases through the simulated devices.
   for (const PhaseDesc& ph : program.phases) {
     // Phase boundary, run mode only: the fault-injection site and the
-    // cancellation/deadline poll. Estimates stay pure timing functions —
-    // no site visits, no control, so the cost model cannot be perturbed.
+    // cancellation/deadline polls. Estimates stay pure timing functions —
+    // no site visits, no controls, so the cost model cannot be perturbed.
+    // Each active member's control is polled; a member that asks to stop
+    // is SHED from the batch here (its stop recorded) without aborting
+    // the others — cancellation latency stays bounded by one phase.
     if (fctx) {
       fault::check(fault::Site::kPhaseBoundary);
-      if (fctx->control) {
-        const RunControl::Stop stop = fctx->control->should_stop();
-        if (stop != RunControl::Stop::kNone) throw ExecutionInterrupted(stop);
+      for (std::size_t a = 0; a < fctx->active.size();) {
+        FunctionalCtx::Member& mem = fctx->members[fctx->active[a]];
+        const RunControl::Stop stop =
+            mem.control ? mem.control->should_stop() : RunControl::Stop::kNone;
+        if (stop != RunControl::Stop::kNone) {
+          mem.stop = stop;
+          fctx->active.erase(fctx->active.begin() + static_cast<std::ptrdiff_t>(a));
+        } else {
+          ++a;
+        }
       }
+      if (fctx->active.empty()) break;  // every member shed: nothing left to run
     }
     PhaseTiming t;
     t.device = ph.device;
@@ -275,13 +359,23 @@ RunResult HybridExecutor::execute(const InputParams& in, const PhaseProgram& pro
       t.ns = cpu::wavefront_cost_ns(ph.scheduler, region, profile_.cpu, in.tsize,
                                     in.elem_bytes());
       if (fctx) {
+        // All active grids through ONE scheduling structure (one barrier
+        // sweep or one dep-counter graph), grids innermost. n == 1 is
+        // exactly the historical single-grid path.
+        fctx->storages.clear();
+        for (std::size_t m : fctx->active) {
+          fctx->storages.push_back(fctx->members[m].host->data());
+        }
         cpu::run_wavefront(ph.scheduler, region, *fctx->pool, *fctx->lowered,
-                           fctx->host->data());
+                           fctx->storages.data(), fctx->storages.size());
       }
     } else {
       gpu_phase(in, ph, fctx, trace, t);
     }
-    if (fctx) t.wall_ns = wall_since(wall0);
+    if (fctx) {
+      t.wall_ns = wall_since(wall0);
+      fctx->phase_active.push_back(fctx->active.size());
+    }
     result.breakdown.phases.push_back(t);
   }
 
@@ -294,12 +388,16 @@ void HybridExecutor::gpu_phase(const InputParams& in, const PhaseDesc& ph,
                                FunctionalCtx* fctx, ocl::Trace* trace,
                                PhaseTiming& out) const {
   if (fctx) {
-    // One full-grid-shaped, poison-filled buffer per device in use.
-    fctx->dev.clear();
+    // One full-grid-shaped, poison-filled buffer per device per active
+    // member.
     const std::size_t bytes = in.dim * in.dim * fctx->spec->elem_bytes;
-    for (int g = 0; g < ph.gpu_count; ++g) {
-      fctx->dev.emplace_back(bytes);
-      fctx->dev.back().fill(Grid::kPoison);
+    for (std::size_t m : fctx->active) {
+      FunctionalCtx::Member& mem = fctx->members[m];
+      mem.dev.clear();
+      for (int g = 0; g < ph.gpu_count; ++g) {
+        mem.dev.emplace_back(bytes);
+        mem.dev.back().fill(Grid::kPoison);
+      }
     }
   }
   if (ph.gpu_count >= 2) {
@@ -331,8 +429,13 @@ void HybridExecutor::gpu_phase_single(const InputParams& in, const PhaseDesc& ph
   dev.charge_write(bytes_in);
   out.transfer_in_ns = ctx.pcie_model().transfer_ns(bytes_in);
   if (fctx) {
+    // ONE transfer point (one fault-site visit, one simulated charge) for
+    // the whole batch; the functional copy runs per member.
     fault::check(fault::Site::kGpuTransfer);
-    fctx->copy_diag_rows(fctx->host->data(), fctx->dev[0].data(), frontier_lo, d1, 0, dim);
+    for (std::size_t m : fctx->active) {
+      FunctionalCtx::Member& mem = fctx->members[m];
+      fctx->copy_diag_rows(mem.host->data(), mem.dev[0].data(), frontier_lo, d1, 0, dim);
+    }
   }
 
   if (ph.gpu_tile <= 1) {
@@ -347,10 +450,12 @@ void HybridExecutor::gpu_phase_single(const InputParams& in, const PhaseDesc& ph
       dev.charge_kernel(shape);
       ++out.kernel_launches;
       if (fctx) {
-        std::byte* storage = fctx->dev[0].data();
         const std::size_t lo = diag_row_lo(dim, d);
         const std::size_t hi = diag_row_hi(dim, d);
-        for (std::size_t i = lo; i <= hi; ++i) fctx->compute_cell(storage, i, d - i);
+        for (std::size_t m : fctx->active) {
+          std::byte* storage = fctx->members[m].dev[0].data();
+          for (std::size_t i = lo; i <= hi; ++i) fctx->compute_cell(storage, i, d - i);
+        }
       }
     }
   } else {
@@ -372,15 +477,18 @@ void HybridExecutor::gpu_phase_single(const InputParams& in, const PhaseDesc& ph
       dev.charge_kernel(shape);
       ++out.kernel_launches;
       if (fctx) {
-        std::byte* storage = fctx->dev[0].data();
         const std::size_t i_tile_lo = diag_row_lo(Mg, k);
         const std::size_t i_tile_hi = diag_row_hi(Mg, k);
         for (std::size_t I = i_tile_lo; I <= i_tile_hi; ++I) {
           const std::size_t J = k - I;
-          // One lowered-kernel call per tile, band clamp included — the
-          // functional mirror of one simulated work-group.
-          fctx->lowered->tile(storage, I * g, std::min((I + 1) * g, dim), J * g,
-                              std::min((J + 1) * g, dim), d0, d1);
+          // One lowered-kernel call per tile per member, band clamp
+          // included — the functional mirror of one simulated work-group;
+          // grids iterate innermost so the batch shares the tile walk.
+          for (std::size_t m : fctx->active) {
+            fctx->lowered->tile(fctx->members[m].dev[0].data(), I * g,
+                                std::min((I + 1) * g, dim), J * g,
+                                std::min((J + 1) * g, dim), d0, d1);
+          }
         }
       }
     }
@@ -392,7 +500,10 @@ void HybridExecutor::gpu_phase_single(const InputParams& in, const PhaseDesc& ph
   out.transfer_out_ns = ctx.pcie_model().transfer_ns(bytes_out);
   if (fctx) {
     fault::check(fault::Site::kGpuTransfer);
-    fctx->copy_diag_rows(fctx->dev[0].data(), fctx->host->data(), d0, d1, 0, dim);
+    for (std::size_t m : fctx->active) {
+      FunctionalCtx::Member& mem = fctx->members[m];
+      fctx->copy_diag_rows(mem.dev[0].data(), mem.host->data(), d0, d1, 0, dim);
+    }
   }
 
   out.ns = ctx.finish_time();
@@ -434,9 +545,12 @@ void HybridExecutor::gpu_phase_multi(const InputParams& in, const PhaseDesc& ph,
     out.transfer_in_ns += ctx.pcie_model().transfer_ns(cells_in * esize);
     if (fctx) {
       fault::check(fault::Site::kGpuTransfer);
-      fctx->copy_diag_rows(fctx->host->data(), fctx->dev[g].data(), frontier_lo, d1,
-                           static_cast<std::size_t>(wedge_lo[g]),
-                           static_cast<std::size_t>(split[g + 1]));
+      for (std::size_t m : fctx->active) {
+        FunctionalCtx::Member& mem = fctx->members[m];
+        fctx->copy_diag_rows(mem.host->data(), mem.dev[g].data(), frontier_lo, d1,
+                             static_cast<std::size_t>(wedge_lo[g]),
+                             static_cast<std::size_t>(split[g + 1]));
+      }
     }
   }
 
@@ -489,11 +603,14 @@ void HybridExecutor::gpu_phase_multi(const InputParams& in, const PhaseDesc& ph,
         if (fctx) {
           for (long long pd = ll(d) - 2; pd <= ll(d) - 1; ++pd) {
             if (pd < 0) continue;
-            fctx->copy_diag_rows(fctx->dev[g - 1].data(), fctx->dev[g].data(),
-                                 static_cast<std::size_t>(pd),
-                                 static_cast<std::size_t>(pd) + 1,
-                                 static_cast<std::size_t>(wedge_lo[g]),
-                                 static_cast<std::size_t>(split[g]));
+            for (std::size_t m : fctx->active) {
+              FunctionalCtx::Member& mem = fctx->members[m];
+              fctx->copy_diag_rows(mem.dev[g - 1].data(), mem.dev[g].data(),
+                                   static_cast<std::size_t>(pd),
+                                   static_cast<std::size_t>(pd) + 1,
+                                   static_cast<std::size_t>(wedge_lo[g]),
+                                   static_cast<std::size_t>(split[g]));
+            }
           }
         }
         v_dm1[g] = std::min(v_dm1[g], wedge_lo[g]);
@@ -518,10 +635,12 @@ void HybridExecutor::gpu_phase_multi(const InputParams& in, const PhaseDesc& ph,
       ctx.device(g).charge_kernel(shape);
       ++out.kernel_launches;
       if (fctx) {
-        std::byte* storage = fctx->dev[g].data();
-        for (long long i = compute_lo[g]; i <= compute_hi[g]; ++i) {
-          fctx->compute_cell(storage, static_cast<std::size_t>(i),
-                             d - static_cast<std::size_t>(i));
+        for (std::size_t m : fctx->active) {
+          std::byte* storage = fctx->members[m].dev[g].data();
+          for (long long i = compute_lo[g]; i <= compute_hi[g]; ++i) {
+            fctx->compute_cell(storage, static_cast<std::size_t>(i),
+                               d - static_cast<std::size_t>(i));
+          }
         }
       }
       v_dm2[g] = v_dm1[g];
@@ -540,9 +659,12 @@ void HybridExecutor::gpu_phase_multi(const InputParams& in, const PhaseDesc& ph,
     out.transfer_out_ns += ctx.pcie_model().transfer_ns(cells_out * esize);
     if (fctx) {
       fault::check(fault::Site::kGpuTransfer);
-      fctx->copy_diag_rows(fctx->dev[g].data(), fctx->host->data(), d0, d1,
-                           static_cast<std::size_t>(split[g]),
-                           static_cast<std::size_t>(split[g + 1]));
+      for (std::size_t m : fctx->active) {
+        FunctionalCtx::Member& mem = fctx->members[m];
+        fctx->copy_diag_rows(mem.dev[g].data(), mem.host->data(), d0, d1,
+                             static_cast<std::size_t>(split[g]),
+                             static_cast<std::size_t>(split[g + 1]));
+      }
     }
   }
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/diag.hpp"
+#include "fault/injector.hpp"
 
 namespace wavetune::cpu {
 
@@ -48,10 +49,15 @@ struct DataflowState {
   const TiledRegion* region = nullptr;
   ThreadPool* pool = nullptr;
   /// Tile dispatch: exactly one of `lowered` (hot path — one indirect
-  /// call per tile over `storage`) or `segment` (legacy type-erased
-  /// per-row path) is set.
+  /// call per tile per grid over `storages`) or `segment` (legacy
+  /// type-erased per-row path) is set. `storages` points at n_grids
+  /// independent full-grid byte arrays; the fused batching path drives
+  /// several grids through ONE dep-counter graph by iterating them
+  /// innermost in execute(). The single-grid entry points pass a
+  /// 1-element array living on their own (blocking) stack frame.
   const core::LoweredKernel* lowered = nullptr;
-  std::byte* storage = nullptr;
+  std::byte* const* storages = nullptr;
+  std::size_t n_grids = 1;
   const RowSegmentFn* segment = nullptr;
   std::size_t M = 0;  ///< tiles per side
   TileDiagRange range;
@@ -112,9 +118,15 @@ struct DataflowState {
     const std::size_t col_lo = J * T;
     const std::size_t col_hi = std::min(col_lo + T, dim);
     if (lowered) {
-      // One indirect call per tile; clamping and the row loop live inside
-      // the lowered dispatch.
-      lowered->tile(storage, row_lo, row_hi, col_lo, col_hi, region->d_begin, region->d_end);
+      // One indirect call per tile per grid; clamping and the row loop
+      // live inside the lowered dispatch. Grids iterate innermost so the
+      // whole batch shares one counter graph and one steal schedule —
+      // each call touches only its own storage, so results per grid are
+      // bit-identical to a lone run.
+      for (std::size_t g = 0; g < n_grids; ++g) {
+        lowered->tile(storages[g], row_lo, row_hi, col_lo, col_hi, region->d_begin,
+                      region->d_end);
+      }
       return;
     }
     for (std::size_t i = row_lo; i < row_hi; ++i) {
@@ -164,11 +176,24 @@ struct DataflowState {
         DataflowState* self = this;
         const std::size_t idx = (I + 1) * M + J;
         try {
-          pool->submit_local([self, idx] { self->run_tile(idx / self->M, idx % self->M); });
+          fault::check(fault::Site::kDataflowSpawn);
+          pool->submit_local([self, idx] {
+            // Entry of a spawned/stolen tile task: an injected fault here
+            // models a steal that lands on a poisoned worker. The tile
+            // still drains through the counters (kernels are skipped once
+            // `failed` is set), so the completion latch always resolves.
+            try {
+              fault::check(fault::Site::kDataflowSteal);
+            } catch (...) {
+              self->record_error();
+            }
+            self->run_tile(idx / self->M, idx % self->M);
+          });
         } catch (...) {
-          // Queueing failed (allocation, pool stopping): the south
-          // subtree must still drain or the latch never resolves. Run it
-          // on this thread; depth is bounded by the tile-grid side.
+          // Queueing failed (allocation, pool stopping, injected spawn
+          // fault): the south subtree must still drain or the latch never
+          // resolves. Run it on this thread; depth is bounded by the
+          // tile-grid side.
           record_error();
           run_tile(I + 1, J);
         }
@@ -251,7 +276,15 @@ void run_dataflow_impl(const TiledRegion& region, ThreadPool& pool, DataflowStat
   for (std::size_t I = seed_lo + 1; I <= seed_hi; ++I) {
     const std::size_t idx = I * M + (seed_k - I);
     try {
-      pool.submit([sp, idx] { sp->run_tile(idx / sp->M, idx % sp->M); });
+      fault::check(fault::Site::kDataflowSpawn);
+      pool.submit([sp, idx] {
+        try {
+          fault::check(fault::Site::kDataflowSteal);
+        } catch (...) {
+          sp->record_error();
+        }
+        sp->run_tile(idx / sp->M, idx % sp->M);
+      });
     } catch (...) {
       sp->record_error();
       sp->run_tile(I, seed_k - I);
@@ -272,9 +305,24 @@ const char* scheduler_name(Scheduler s) {
 
 void run_dataflow_wavefront(const TiledRegion& region, ThreadPool& pool,
                             const core::LoweredKernel& kernel, std::byte* storage) {
+  // 1-element storages array on this frame: run_dataflow_impl blocks
+  // until every tile drained, so the frame outlives all worker access.
+  std::byte* storages[1] = {storage};
   DataflowState state;
   state.lowered = &kernel;
-  state.storage = storage;
+  state.storages = storages;
+  state.n_grids = 1;
+  run_dataflow_impl(region, pool, state);
+}
+
+void run_dataflow_wavefront(const TiledRegion& region, ThreadPool& pool,
+                            const core::LoweredKernel& kernel, std::byte* const* storages,
+                            std::size_t n_grids) {
+  if (n_grids == 0) throw std::invalid_argument("run_dataflow_wavefront: n_grids == 0");
+  DataflowState state;
+  state.lowered = &kernel;
+  state.storages = storages;
+  state.n_grids = n_grids;
   run_dataflow_impl(region, pool, state);
 }
 
@@ -324,6 +372,16 @@ void run_wavefront(Scheduler s, const TiledRegion& region, ThreadPool& pool,
     run_dataflow_wavefront(region, pool, kernel, storage);
   } else {
     run_tiled_wavefront(region, pool, kernel, storage);
+  }
+}
+
+void run_wavefront(Scheduler s, const TiledRegion& region, ThreadPool& pool,
+                   const core::LoweredKernel& kernel, std::byte* const* storages,
+                   std::size_t n_grids) {
+  if (s == Scheduler::kDataflow) {
+    run_dataflow_wavefront(region, pool, kernel, storages, n_grids);
+  } else {
+    run_tiled_wavefront(region, pool, kernel, storages, n_grids);
   }
 }
 

@@ -76,6 +76,34 @@ void run_lowered_diag_tile(void* pv, std::size_t I) {
                  c.region->d_begin, c.region->d_end);
 }
 
+/// Fused-batch counterpart of LoweredDiagCtx: one claim dispatches the
+/// same (I,J) tile across every batch member's storage, grids innermost.
+struct LoweredMultiDiagCtx {
+  const core::LoweredKernel* kernel;
+  std::byte* const* storages;
+  std::size_t n_grids;
+  const TiledRegion* region;
+  std::size_t k;  ///< current tile-diagonal (I + J == k)
+};
+
+void run_lowered_multi_diag_tile(void* pv, std::size_t I) {
+  const LoweredMultiDiagCtx& c = *static_cast<const LoweredMultiDiagCtx*>(pv);
+  const std::size_t dim = c.region->dim;
+  const std::size_t T = c.region->tile;
+  const std::size_t J = c.k - I;
+  const std::size_t row_lo = I * T;
+  const std::size_t row_hi = std::min(row_lo + T, dim);
+  const std::size_t col_lo = J * T;
+  const std::size_t col_hi = std::min(col_lo + T, dim);
+  // Grids innermost: the tile geometry (and the claim that scheduled it)
+  // amortizes over the whole batch; each storage is written only by its
+  // own call, so member results cannot cross-contaminate.
+  for (std::size_t g = 0; g < c.n_grids; ++g) {
+    c.kernel->tile(c.storages[g], row_lo, row_hi, col_lo, col_hi, c.region->d_begin,
+                   c.region->d_end);
+  }
+}
+
 }  // namespace
 
 void run_tiled_wavefront(const TiledRegion& region, ThreadPool& pool,
@@ -98,6 +126,40 @@ void run_tiled_wavefront(const TiledRegion& region, ThreadPool& pool,
     ctx.k = k;
     pool.parallel_for(i_lo, i_hi + 1, &run_lowered_diag_tile, &ctx, grain);
     // parallel_for blocks: that is the inter-tile-diagonal barrier.
+  }
+}
+
+void run_tiled_wavefront(const TiledRegion& region, ThreadPool& pool,
+                         const core::LoweredKernel& kernel, std::byte* const* storages,
+                         std::size_t n_grids) {
+  if (n_grids == 1) {
+    run_tiled_wavefront(region, pool, kernel, storages[0]);
+    return;
+  }
+  region.validate();
+  if (n_grids == 0) throw std::invalid_argument("run_tiled_wavefront: n_grids == 0");
+  if (region.d_begin == region.d_end) return;
+  const std::size_t dim = region.dim;
+  const std::size_t T = region.tile;
+  const std::size_t M = (dim + T - 1) / T;  // tiles per side
+
+  LoweredMultiDiagCtx ctx{&kernel, storages, n_grids, &region, 0};
+  for (std::size_t k = 0; k < 2 * M - 1; ++k) {
+    const std::size_t span_lo = k * T;
+    const std::size_t span_hi = (k + 2) * T - 2;  // inclusive
+    if (span_lo >= region.d_end || span_hi < region.d_begin) continue;
+
+    const std::size_t i_lo = core::diag_row_lo(M, k);
+    const std::size_t i_hi = core::diag_row_hi(M, k);
+    // Each claim carries n_grids tiles' worth of cells, so the per-claim
+    // batching the single-grid calibration picked shrinks accordingly
+    // (never below one tile per claim).
+    const std::size_t grain = std::max<std::size_t>(
+        1, tile_grain(i_hi - i_lo + 1, T, pool.worker_count()) / n_grids);
+    ctx.k = k;
+    pool.parallel_for(i_lo, i_hi + 1, &run_lowered_multi_diag_tile, &ctx, grain);
+    // parallel_for blocks: ONE inter-tile-diagonal barrier for the whole
+    // batch — the fixed cost continuous batching amortizes.
   }
 }
 

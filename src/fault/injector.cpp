@@ -37,6 +37,8 @@ const char* site_name(Site site) {
     case Site::kGpuTransfer: return "gpu-transfer";
     case Site::kProfileFlush: return "profile-flush";
     case Site::kProfileSave: return "profile-save";
+    case Site::kDataflowSpawn: return "dataflow-spawn";
+    case Site::kDataflowSteal: return "dataflow-steal";
     case Site::kCount: break;
   }
   return "unknown-site";

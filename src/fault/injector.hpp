@@ -53,6 +53,10 @@ enum class Site : std::size_t {
   kGpuTransfer,      ///< GPU-sim bulk transfer in/out (functional runs)
   kProfileFlush,     ///< ProfileStore::record/record_batch entry
   kProfileSave,      ///< ProfileStore::save_file entry
+  kDataflowSpawn,    ///< dataflow scheduler: before a ready south tile is
+                     ///< pushed onto the worker's deque for stealing
+  kDataflowSteal,    ///< dataflow scheduler: entry of a stolen/spawned
+                     ///< tile task, before its first tile executes
   kCount
 };
 

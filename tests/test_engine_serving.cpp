@@ -345,6 +345,10 @@ TEST(EngineServing, CoalesceLimitOneDisablesCoalescing) {
   o.queue_shards = 1;
   o.queue_capacity = 16;
   o.coalesce_limit = 1;
+  // Continuous batching is a separate knob: its cross-shard gather would
+  // still group the queued jobs (and count followers), so it is disabled
+  // too — this test pins "both grouping knobs off => nothing coalesces".
+  o.batch_limit = 1;
   Engine eng(sim::make_i7_2600k(), o);
   const auto spec = serving_spec();
   const Plan gate_plan = eng.compile(spec, core::TunableParams{}, "test-gate");
@@ -868,6 +872,55 @@ TEST(EngineServing, PermanentBackendFailureWalksTheFallbackChain) {
   EXPECT_EQ(s.jobs_failed, 0u);
   EXPECT_EQ(s.jobs_completed, 2u);  // serial ref + the degraded job
   expect_conservation(s);
+}
+
+TEST(EngineServing, SubmissionHistoryRecordsRetriesAndDegradation) {
+  register_test_backends();
+  const auto spec = serving_spec(20, 8.0, 1);
+  EngineOptions o;
+  o.pool_workers = 1;
+  o.queue_workers = 1;
+  o.retry_backoff_base = std::chrono::microseconds(10);
+  o.retry_backoff_max = std::chrono::microseconds(100);
+  Engine eng(sim::make_i7_2600k(), o);
+
+  // Retries on one backend: two transient failures, third attempt lands.
+  // The consecutive-dedup keeps the walked-backends list at one entry.
+  FlakyBackend::fuse().store(2);
+  const Plan flaky = eng.compile(spec, core::TunableParams{}, "test-flaky");
+  core::Grid g1(spec.dim, spec.elem_bytes);
+  SubmitOptions retrying;
+  retrying.max_retries = 3;
+  Submission retried = eng.submit(flaky, g1, retrying);
+  EXPECT_GT(retried.future.get().rtime_ns, 0.0);
+  JobHistory h = retried.history();
+  EXPECT_EQ(h.attempts, 3u);
+  ASSERT_EQ(h.backends.size(), 1u);
+  EXPECT_EQ(h.backends[0], "test-flaky");
+  EXPECT_FALSE(h.degraded);
+  EXPECT_FALSE(h.rode_batch);
+
+  // Degradation: a permanent failure walks to the first fallback rung,
+  // and the history records BOTH backends, in order.
+  const Plan bad = eng.compile(spec, core::TunableParams{}, "test-throwing");
+  core::Grid g2(spec.dim, spec.elem_bytes);
+  SubmitOptions degrading;
+  degrading.allow_fallback = true;
+  Submission degraded = eng.submit(bad, g2, degrading);
+  EXPECT_GT(degraded.future.get().rtime_ns, 0.0);
+  h = degraded.history();
+  EXPECT_EQ(h.attempts, 2u);
+  ASSERT_EQ(h.backends.size(), 2u);
+  EXPECT_EQ(h.backends[0], "test-throwing");
+  EXPECT_EQ(h.backends[1], kCpuDataflowBackend);
+  EXPECT_TRUE(h.degraded);
+  EXPECT_FALSE(h.rode_batch);
+
+  // A job that never carried a control block reports an empty history.
+  const Plan plain = eng.compile(spec, core::TunableParams{4, 8, 1, 1});
+  EXPECT_EQ(Submission{}.history().attempts, 0u);
+  EXPECT_FALSE(Submission{}.history().rode_batch);
+  (void)plain;
 }
 
 TEST(EngineServing, FallbackDisabledPropagatesThePermanentFailure) {
