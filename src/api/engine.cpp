@@ -8,6 +8,8 @@
 #include <utility>
 
 #include "autotune/online.hpp"
+#include "core/checkpoint.hpp"
+#include "core/streaming.hpp"
 #include "fault/injector.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
@@ -22,9 +24,34 @@ std::int64_t steady_now_ns() {
 }
 }  // namespace
 
+namespace {
+/// Constructor-time options audit. Every rejected value used to be
+/// accepted silently and misbehave later — a zero queue capacity wedges
+/// the first submit forever, a zero batch_limit makes the batch former
+/// gather empty groups, an out-of-range strip pool fails deep inside
+/// program validation on the first capped compile. Failing here, with a
+/// typed error, turns all of those into a startup-time diagnosis.
+EngineOptions validated(EngineOptions options) {
+  if (options.queue_capacity == 0) {
+    throw EngineConfigError(
+        "EngineOptions::queue_capacity must be >= 1 (a zero-capacity job queue can never "
+        "accept a submit)");
+  }
+  if (options.batch_limit == 0) {
+    throw EngineConfigError(
+        "EngineOptions::batch_limit must be >= 1 (use 1 to disable fusion, not 0)");
+  }
+  if (options.strip_buffers < 1 || options.strip_buffers > 3) {
+    throw EngineConfigError("EngineOptions::strip_buffers must be in [1, 3], got " +
+                            std::to_string(options.strip_buffers));
+  }
+  return options;
+}
+}  // namespace
+
 Engine::Engine(sim::SystemProfile profile, EngineOptions options)
     : executor_(std::move(profile), options.pool_workers),
-      options_(options),
+      options_(validated(options)),
       profile_store_(profile::ProfileStoreOptions{options.profile_ring_capacity}) {
   store_snapshot(std::make_shared<const CacheMap>());
   const std::size_t workers = options_.queue_workers == 0 ? 1 : options_.queue_workers;
@@ -616,6 +643,17 @@ Plan Engine::compile(const core::InputParams& in, const core::TunableParams& par
 Plan Engine::compile_impl(const core::WavefrontSpec* spec, const core::InputParams& in,
                           const CompileOptions& options) {
   const bool autotuned = !options.params.has_value();
+  // Effective residency constraints: per-compile override, else the
+  // engine-wide default. Validated the same way as EngineOptions so a
+  // bad per-compile override fails with the same typed error.
+  core::PlanConstraints constraints;
+  constraints.max_resident_bytes =
+      options.max_resident_bytes.value_or(options_.max_resident_bytes);
+  constraints.strip_buffers = options.strip_buffers.value_or(options_.strip_buffers);
+  if (constraints.strip_buffers < 1 || constraints.strip_buffers > 3) {
+    throw EngineConfigError("CompileOptions::strip_buffers must be in [1, 3], got " +
+                            std::to_string(constraints.strip_buffers));
+  }
   // Executable specs with no declared identity (no content_key, no tag)
   // are never cached: the key cannot tell their kernels apart, and a
   // wrong-kernel cache hit is silent wrong results. Estimate-only plans
@@ -640,6 +678,10 @@ Plan Engine::compile_impl(const core::WavefrontSpec* spec, const core::InputPara
   key.tsize = in.tsize;
   key.dsize = in.dsize;
   key.elem_bytes = spec ? spec->elem_bytes : 0;
+  // The cap reshapes backend-planned programs (strip axis), so it must
+  // salt the key; strip_buffers only matters once a cap is set.
+  key.resident_cap = constraints.max_resident_bytes;
+  key.strip_buffers = constraints.max_resident_bytes > 0 ? constraints.strip_buffers : 0;
   if (!autotuned) key.params = *options.params;
 
   if (cacheable) {
@@ -703,6 +745,12 @@ Plan Engine::compile_impl(const core::WavefrontSpec* spec, const core::InputPara
     }
   } else {
     state->program = backend->plan(in, state->params, executor_.profile());
+    // Residency-capped streaming: when the backend's whole-grid device
+    // footprint exceeds the cap, reshape the program onto the
+    // cost-model-chosen strip axis (core/streaming.hpp). Only
+    // backend-planned programs are reshaped — an explicit
+    // CompileOptions::program is the caller's exact schedule.
+    state->program = core::apply_residency_cap(std::move(state->program), in, constraints);
   }
   // Profile signature: everything that determines the plan's timing
   // behavior (backend, exact program shape, instance inputs) and nothing
@@ -969,6 +1017,58 @@ core::RunResult Engine::run(const Plan& plan, core::Grid& grid) {
   }
 }
 
+core::RunResult Engine::run_streamed(const Plan& plan, core::Grid& grid,
+                                     const core::RunCheckpoint* from,
+                                     const CheckpointPolicy& policy, const char* where) {
+  check_executable(plan, grid, where);
+  core::StreamControl stream;
+  stream.resume = from;
+  stream.checkpoint_every_strips = policy.every_strips;
+  if (!policy.path.empty()) {
+    stream.on_checkpoint = [this, &policy](const core::RunCheckpoint& cp) {
+      cp.save_file(policy.path);
+      checkpoints_written_.fetch_add(1, std::memory_order_relaxed);
+    };
+  }
+  // Counted like run(): submitted up front, then exactly one terminal
+  // bucket. Executes through the generic interpreter directly — the
+  // StreamControl hook is an interpreter feature, not a Backend virtual —
+  // which is bit-identical to the backend's own run for every
+  // program-interpreting backend.
+  jobs_submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (from) jobs_resumed_.fetch_add(1, std::memory_order_relaxed);
+  try {
+    const core::RunResult r =
+        executor_.run(plan.spec(), plan.state_->program, grid, nullptr, &plan.state_->lowered,
+                      nullptr, &stream);
+    jobs_completed_.fetch_add(1, std::memory_order_release);
+    return r;
+  } catch (...) {
+    jobs_failed_.fetch_add(1, std::memory_order_release);
+    throw;
+  }
+}
+
+core::RunResult Engine::run_checkpointed(const Plan& plan, core::Grid& grid,
+                                         const CheckpointPolicy& policy) {
+  if (policy.path.empty()) {
+    throw std::invalid_argument("Engine::run_checkpointed: CheckpointPolicy::path is empty");
+  }
+  return run_streamed(plan, grid, nullptr, policy, "Engine::run_checkpointed");
+}
+
+core::RunResult Engine::resume(const Plan& plan, core::Grid& grid,
+                               const core::RunCheckpoint& from, const CheckpointPolicy& policy) {
+  return run_streamed(plan, grid, &from, policy, "Engine::resume");
+}
+
+core::RunResult Engine::resume_from_file(const Plan& plan, core::Grid& grid,
+                                         const std::string& path,
+                                         const CheckpointPolicy& policy) {
+  const core::RunCheckpoint cp = core::RunCheckpoint::load_file(path);
+  return run_streamed(plan, grid, &cp, policy, "Engine::resume_from_file");
+}
+
 core::RunResult Engine::estimate(const Plan& plan) const {
   if (!plan.valid()) throw std::invalid_argument("Engine::estimate: invalid plan");
   return plan.backend().estimate(executor_, plan.inputs(), plan.program());
@@ -994,6 +1094,8 @@ EngineStats Engine::stats() const {
   s.jobs_degraded = jobs_degraded_.load(std::memory_order_acquire);
   s.profile_samples_recorded = profile_samples_recorded_.load(std::memory_order_acquire);
   s.profile_flushes = profile_flushes_.load(std::memory_order_acquire);
+  s.checkpoints_written = checkpoints_written_.load(std::memory_order_relaxed);
+  s.jobs_resumed = jobs_resumed_.load(std::memory_order_relaxed);
   // Same audit again: batching counters bump (release) before any fused
   // member's promise resolves.
   s.jobs_batched = jobs_batched_.load(std::memory_order_acquire);

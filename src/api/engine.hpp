@@ -152,6 +152,17 @@ struct EngineOptions {
   /// sleep (retries spin back-to-back).
   std::chrono::nanoseconds retry_backoff_base{std::chrono::microseconds(100)};
   std::chrono::nanoseconds retry_backoff_max{std::chrono::milliseconds(10)};
+  /// Engine-wide simulated-device residency cap, in bytes (0 = unlimited).
+  /// A compile whose whole-grid GPU footprint exceeds the cap streams the
+  /// plan as row strips over a fixed buffer pool (core/streaming.hpp)
+  /// instead of one dim x dim device buffer. Overridable per compile via
+  /// CompileOptions::max_resident_bytes.
+  std::size_t max_resident_bytes = 0;
+  /// Strip pool size used when a residency cap forces streaming: 1 =
+  /// serialized strips (the no-overlap baseline), 2-3 = double/triple
+  /// buffering with transfer/compute overlap. Must be in [1, 3];
+  /// validated at construction (EngineConfigError).
+  std::size_t strip_buffers = 2;
 };
 
 struct CompileOptions {
@@ -174,6 +185,26 @@ struct CompileOptions {
   /// ad-hoc kernels sharing a signature AND content key; the alternative
   /// is disabling EngineOptions::plan_cache.
   std::string cache_tag;
+  /// Per-compile residency cap override (bytes; 0 = explicitly unlimited).
+  /// Absent means the engine-wide EngineOptions::max_resident_bytes
+  /// applies. The cap only reshapes backend-planned programs; an explicit
+  /// CompileOptions::program is adopted verbatim (set its strip axis via
+  /// core::apply_strips yourself). The effective cap salts the plan-cache
+  /// key, so capped and uncapped compiles of one instance never alias.
+  std::optional<std::size_t> max_resident_bytes;
+  /// Per-compile strip-pool override; absent means
+  /// EngineOptions::strip_buffers. Must be in [1, 3].
+  std::optional<std::size_t> strip_buffers;
+};
+
+/// Strip-boundary checkpointing policy of Engine::run_checkpointed: after
+/// every `every_strips`-th completed strip of a streamed phase, a
+/// consistent core::RunCheckpoint snapshot is written atomically
+/// (tmp + rename) to `path`. Programs without a strip axis complete
+/// normally but write no checkpoints.
+struct CheckpointPolicy {
+  std::string path;
+  std::size_t every_strips = 1;
 };
 
 /// Per-job failure policy of the options-taking submit overloads. The
@@ -352,6 +383,10 @@ struct EngineStats {
   /// buffers reaching the flush threshold, flush_profiles() sweeps, and
   /// synchronous run() recordings.
   std::uint64_t profile_flushes = 0;
+  std::uint64_t checkpoints_written = 0;  ///< RunCheckpoint files persisted by
+                                          ///< run_checkpointed (one per write)
+  std::uint64_t jobs_resumed = 0;         ///< runs that restarted from a checkpoint
+                                          ///< (resume_from_file / resume)
   std::uint64_t queue_depth = 0;          ///< LIVE gauge: jobs queued right now
 
   /// Batch-occupancy histogram over every same-plan group a worker
@@ -448,6 +483,32 @@ public:
   /// the queue (still safe alongside concurrent submits).
   core::RunResult run(const Plan& plan, core::Grid& grid);
 
+  // --- out-of-core streaming & checkpointing ---------------------------
+
+  /// run() with strip-boundary checkpointing: every completed strip of a
+  /// streamed phase (at the policy's cadence) atomically persists a
+  /// core::RunCheckpoint to policy.path, so a killed process can restart
+  /// from the last strip instead of row zero. Executes through the
+  /// generic program interpreter on the calling thread. Throws
+  /// std::invalid_argument when policy.path is empty;
+  /// core::CheckpointError when a checkpoint write fails.
+  core::RunResult run_checkpointed(const Plan& plan, core::Grid& grid,
+                                   const CheckpointPolicy& policy);
+
+  /// Restarts a run from a checkpoint previously written by
+  /// run_checkpointed: validates the snapshot against the plan's program
+  /// digest and grid geometry (core::CheckpointError on mismatch),
+  /// restores the grid, skips the functional work already covered, and
+  /// charges the FULL simulated schedule — so the result's simulated
+  /// fields are bit-identical to an uninterrupted run. A non-empty
+  /// policy.path keeps checkpointing the remainder.
+  core::RunResult resume(const Plan& plan, core::Grid& grid, const core::RunCheckpoint& from,
+                         const CheckpointPolicy& policy = {});
+  /// resume() from a checkpoint file on disk (core::CheckpointError when
+  /// missing, truncated, or corrupt).
+  core::RunResult resume_from_file(const Plan& plan, core::Grid& grid, const std::string& path,
+                                   const CheckpointPolicy& policy = {});
+
   /// Simulated timing of `plan` without functional execution.
   core::RunResult estimate(const Plan& plan) const;
 
@@ -543,12 +604,17 @@ private:
     double tsize = 0.0;
     int dsize = 0;
     std::size_t elem_bytes = 0;
+    /// Effective residency constraint of the compile (0 = uncapped). Part
+    /// of the key because the cap reshapes backend-planned programs (strip
+    /// axis), so capped and uncapped compiles must never alias.
+    std::size_t resident_cap = 0;
+    std::size_t strip_buffers = 0;
     core::TunableParams params;
 
     auto tie() const {
       return std::tie(backend, content, tag, program, executable, autotuned, dim, tsize, dsize,
-                      elem_bytes, params.cpu_tile, params.band, params.halo, params.gpu_tile,
-                      params.gpus);
+                      elem_bytes, resident_cap, strip_buffers, params.cpu_tile, params.band,
+                      params.halo, params.gpu_tile, params.gpus);
     }
     bool operator<(const CacheKey& other) const { return tie() < other.tie(); }
   };
@@ -607,6 +673,11 @@ private:
   /// budget); throws only for shutdown/validation, with nothing enqueued.
   Submission submit_impl(const Plan& plan, core::Grid& grid, const SubmitOptions& options,
                          bool with_control, bool blocking, bool* shed, const char* where);
+  /// Shared body of run_checkpointed/resume: synchronous streamed run
+  /// through the generic interpreter with a StreamControl attached.
+  core::RunResult run_streamed(const Plan& plan, core::Grid& grid,
+                               const core::RunCheckpoint* from, const CheckpointPolicy& policy,
+                               const char* where);
   /// Deterministic capped-exponential backoff sleep before retry
   /// `attempt` (1-based) of job `job_id`.
   void retry_backoff(std::uint64_t job_id, std::size_t attempt) const;
@@ -690,6 +761,8 @@ private:
   std::atomic<std::uint64_t> jobs_cancelled_{0};
   std::atomic<std::uint64_t> profile_samples_recorded_{0};
   std::atomic<std::uint64_t> profile_flushes_{0};
+  std::atomic<std::uint64_t> checkpoints_written_{0};
+  std::atomic<std::uint64_t> jobs_resumed_{0};
 
   /// Engine-wide drain deadline (steady_clock epoch ns; 0 = none), set by
   /// shutdown(drain_budget). Checked by run_one at dequeue for every job

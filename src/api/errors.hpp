@@ -13,6 +13,16 @@
 
 namespace wavetune::api {
 
+/// EngineOptions carried a value no engine can serve with — a zero
+/// batch_limit or queue capacity, a strip pool outside [1, 3]. Thrown by
+/// the Engine constructor BEFORE any worker spawns, so a misconfigured
+/// deployment fails loudly at startup instead of deadlocking or silently
+/// misbehaving under load.
+class EngineConfigError : public std::invalid_argument {
+public:
+  explicit EngineConfigError(const std::string& what) : std::invalid_argument(what) {}
+};
+
 /// The job was cancelled before producing a result — either explicitly via
 /// Engine::cancel(...) on its Submission, or implicitly because the engine
 /// shut down with a drain deadline that expired while the job was still

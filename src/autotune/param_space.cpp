@@ -82,6 +82,14 @@ std::vector<int> ParamSpace::splits_for(const core::TunableParams& params) const
   return {values.begin(), values.end()};
 }
 
+std::vector<std::size_t> ParamSpace::strips_for(std::size_t dim) const {
+  std::set<std::size_t> values{0};
+  for (std::size_t s : strip_rows) {
+    if (s > 0) values.insert(std::min(s, dim));
+  }
+  return {values.begin(), values.end()};
+}
+
 std::vector<core::TunableParams> ParamSpace::configs_for(std::size_t dim, int max_gpus) const {
   // Enumerate, normalize, deduplicate: the paper's overloaded encoding
   // means several raw tuples collapse to one executable configuration.

@@ -38,6 +38,13 @@ struct ParamSpace {
   /// searched — keeps the classic single-band program; values > 1 make
   /// the exhaustive search explore schedule shape, not just tile sizes.
   std::vector<int> band_splits = {1};
+  /// Streaming-strip axis (core::apply_strips): execute each phase as row
+  /// strips of this many rows over a fixed double-buffered pool, 0 = no
+  /// streaming (whole-grid resident — the default everywhere, and what
+  /// the paper searched). Values > 0 let the exhaustive search price the
+  /// out-of-core schedule's transfer/compute overlap against the classic
+  /// whole-grid program.
+  std::vector<std::size_t> strip_rows = {0};
 
   /// The paper's Table 3 ranges with irregular spacing.
   static ParamSpace paper_default();
@@ -64,6 +71,10 @@ struct ParamSpace {
   /// for CPU-only tunings (no band to split), the deduplicated sorted
   /// splits otherwise.
   std::vector<int> splits_for(const core::TunableParams& params) const;
+
+  /// The strip sizes applicable to one dim: 0 (whole-grid) first, then
+  /// the deduplicated sorted positive values clamped to dim.
+  std::vector<std::size_t> strips_for(std::size_t dim) const;
 };
 
 }  // namespace wavetune::autotune

@@ -89,13 +89,21 @@ InstanceResult ExhaustiveSearch::search_instance(const core::InputParams& instan
       const core::PhaseProgram program =
           split > 1 ? core::split_gpu_band(base, static_cast<std::size_t>(split)) : base;
       if (split > 1 && !seen_shapes.insert(program.phases.size()).second) continue;
-      SearchRecord rec;
-      rec.params = params;
-      rec.band_split = split;
-      rec.rtime_ns = executor_.estimate(instance, program).rtime_ns;
-      rec.censored = rec.rtime_ns > threshold_ns;
-      if (rec.censored) ++result.censored_count;
-      result.records.push_back(rec);
+      // The streaming-strip axis is orthogonal to the split axis: each
+      // shape is additionally priced as an out-of-core strip schedule for
+      // every requested strip size (0 keeps the whole-grid program).
+      for (std::size_t strip : space_.strips_for(instance.dim)) {
+        const core::PhaseProgram streamed =
+            strip > 0 ? core::apply_strips(program, strip) : program;
+        SearchRecord rec;
+        rec.params = params;
+        rec.band_split = split;
+        rec.strip_rows = strip;
+        rec.rtime_ns = executor_.estimate(instance, streamed).rtime_ns;
+        rec.censored = rec.rtime_ns > threshold_ns;
+        if (rec.censored) ++result.censored_count;
+        result.records.push_back(rec);
+      }
     }
   }
   return result;

@@ -25,6 +25,9 @@ struct SearchRecord {
   /// The evaluated schedule is
   /// core::split_gpu_band(core::plan_phases(in, params), band_split).
   int band_split = 1;
+  /// Streaming-strip axis: the schedule was executed as row strips of
+  /// this many rows (core::apply_strips; 0 = whole-grid resident).
+  std::size_t strip_rows = 0;
   double rtime_ns = 0.0;       ///< simulated runtime
   bool censored = false;       ///< exceeded the runtime threshold
 };

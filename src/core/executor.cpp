@@ -133,15 +133,32 @@ struct HybridExecutor::FunctionalCtx {
   /// phase (members can be shed between phases).
   std::vector<std::byte*> storages;
 
+  // Streaming checkpoint/resume plumbing (single-member runs only).
+  const StreamControl* stream = nullptr;
+  std::string program_digest;     ///< PhaseProgram::describe(), for checkpoints
+  std::size_t resume_phase = 0;   ///< phases before this are charge-only
+  std::size_t resume_strip = 0;   ///< strips of resume_phase before this too
+  bool resuming = false;
+
   std::size_t real_elem() const { return spec->elem_bytes; }
   std::size_t real_offset(std::size_t i, std::size_t j) const {
     return (i * spec->dim + j) * spec->elem_bytes;
+  }
+  /// Byte offset of cell (i, j) inside a strip-local buffer whose first
+  /// resident grid row is `base_row`.
+  std::size_t local_offset(std::size_t base_row, std::size_t i, std::size_t j) const {
+    return ((i - base_row) * spec->dim + j) * spec->elem_bytes;
   }
 
   /// Computes cell (i, j): a one-cell block (diagonal sweeps have no
   /// row-contiguous runs to batch).
   void compute_cell(std::byte* storage, std::size_t i, std::size_t j) const {
     lowered->block(storage, i, i + 1, j, j + 1);
+  }
+  /// Strip-local variant against a row-window buffer.
+  void compute_cell_local(std::byte* base, std::size_t base_row, std::size_t i,
+                          std::size_t j) const {
+    lowered->block_local(base, base_row, i, i + 1, j, j + 1);
   }
 
   /// Copies the cells of diagonals [d_begin, d_end) with rows in
@@ -160,6 +177,65 @@ struct HybridExecutor::FunctionalCtx {
       std::memcpy(dst + off, src + off, (j_hi - j_lo) * real_elem());
     }
   }
+
+  /// Strip-local counterparts of copy_diag_rows: one side is a row-window
+  /// buffer addressed through (base, base_row). Row [row_begin, row_end)
+  /// must lie inside the buffer's resident rows.
+  void copy_full_to_local(const std::byte* src, std::byte* dst_base, std::size_t base_row,
+                          std::size_t d_begin, std::size_t d_end, std::size_t row_begin,
+                          std::size_t row_end) const {
+    const std::size_t dim = spec->dim;
+    const std::size_t i_end = std::min(row_end, dim);
+    for (std::size_t i = row_begin; i < i_end; ++i) {
+      if (d_end <= i) break;
+      const auto [j_lo, j_hi] = cpu::row_band_span(i, d_begin, d_end, 0, dim);
+      if (j_lo >= j_hi) continue;
+      std::memcpy(dst_base + local_offset(base_row, i, j_lo), src + real_offset(i, j_lo),
+                  (j_hi - j_lo) * real_elem());
+    }
+  }
+  void copy_local_to_full(const std::byte* src_base, std::size_t base_row, std::byte* dst,
+                          std::size_t d_begin, std::size_t d_end, std::size_t row_begin,
+                          std::size_t row_end) const {
+    const std::size_t dim = spec->dim;
+    const std::size_t i_end = std::min(row_end, dim);
+    for (std::size_t i = row_begin; i < i_end; ++i) {
+      if (d_end <= i) break;
+      const auto [j_lo, j_hi] = cpu::row_band_span(i, d_begin, d_end, 0, dim);
+      if (j_lo >= j_hi) continue;
+      std::memcpy(dst + real_offset(i, j_lo), src_base + local_offset(base_row, i, j_lo),
+                  (j_hi - j_lo) * real_elem());
+    }
+  }
+  /// Halo-row move between two strip-local buffers (or within one, for
+  /// the 1-buffer pool — distinct rows, but memmove keeps it safe).
+  void copy_local_row(const std::byte* src_base, std::size_t src_base_row,
+                      std::byte* dst_base, std::size_t dst_base_row, std::size_t row,
+                      std::size_t j_lo, std::size_t j_hi) const {
+    if (j_lo >= j_hi) return;
+    std::memmove(dst_base + local_offset(dst_base_row, row, j_lo),
+                 src_base + local_offset(src_base_row, row, j_lo),
+                 (j_hi - j_lo) * real_elem());
+  }
+
+  /// Emits a strip-boundary checkpoint when the stream asks for one.
+  /// Only single-member runs checkpoint (a fused batch has no single
+  /// grid to snapshot); `next_strip` is the resume cursor, i.e. strips
+  /// BELOW it are complete in the host grid.
+  void maybe_checkpoint(std::size_t phase_index, std::size_t next_strip) const {
+    if (!stream || !stream->on_checkpoint || members.size() != 1) return;
+    const std::size_t every = std::max<std::size_t>(1, stream->checkpoint_every_strips);
+    if (next_strip % every != 0) return;
+    RunCheckpoint cp;
+    cp.program_digest = program_digest;
+    cp.dim = spec->dim;
+    cp.elem_bytes = spec->elem_bytes;
+    cp.phase_index = phase_index;
+    cp.strip_index = next_strip;
+    const Grid& g = *members[0].host;
+    cp.grid.assign(g.data(), g.data() + spec->dim * spec->dim * spec->elem_bytes);
+    stream->on_checkpoint(cp);
+  }
 };
 
 HybridExecutor::HybridExecutor(sim::SystemProfile profile, std::size_t pool_workers)
@@ -167,7 +243,7 @@ HybridExecutor::HybridExecutor(sim::SystemProfile profile, std::size_t pool_work
 
 RunResult HybridExecutor::run(const WavefrontSpec& spec, const PhaseProgram& program,
                               Grid& grid, ocl::Trace* trace, const LoweredKernel* lowered,
-                              const RunControl* control) {
+                              const RunControl* control, const StreamControl* stream) {
   spec.validate();
   if (grid.dim() != spec.dim || grid.elem_bytes() != spec.elem_bytes) {
     throw std::invalid_argument("HybridExecutor::run: grid does not match spec");
@@ -187,6 +263,19 @@ RunResult HybridExecutor::run(const WavefrontSpec& spec, const PhaseProgram& pro
   fctx.members[0].host = &grid;
   fctx.members[0].control = control;
   fctx.active.push_back(0);
+  if (stream && (stream->resume || stream->on_checkpoint)) {
+    fctx.stream = stream;
+    fctx.program_digest = program.describe();
+    if (stream->resume) {
+      // Restore the snapshot and set the charge-only cursor: everything
+      // before (resume_phase, resume_strip) is already in the grid.
+      stream->resume->validate_against(fctx.program_digest, spec.dim, spec.elem_bytes);
+      std::memcpy(grid.data(), stream->resume->grid.data(), stream->resume->grid.size());
+      fctx.resuming = true;
+      fctx.resume_phase = stream->resume->phase_index;
+      fctx.resume_strip = stream->resume->strip_index;
+    }
+  }
   RunResult result = execute(spec.inputs(), program, &fctx, trace);
   // A lone run preserves the historical contract: a control stop is an
   // ExecutionInterrupted throw, not a shed.
@@ -322,7 +411,8 @@ RunResult HybridExecutor::execute(const InputParams& in, const PhaseProgram& pro
   // it also executes functionally — CPU phases through the selected
   // scheduler (one lowered-kernel call per tile, resolved before any
   // loop), GPU phases through the simulated devices.
-  for (const PhaseDesc& ph : program.phases) {
+  for (std::size_t p = 0; p < program.phases.size(); ++p) {
+    const PhaseDesc& ph = program.phases[p];
     // Phase boundary, run mode only: the fault-injection site and the
     // cancellation/deadline polls. Estimates stay pure timing functions —
     // no site visits, no controls, so the cost model cannot be perturbed.
@@ -344,6 +434,14 @@ RunResult HybridExecutor::execute(const InputParams& in, const PhaseProgram& pro
       }
       if (fctx->active.empty()) break;  // every member shed: nothing left to run
     }
+    // Resume cursor: phases before it (and strips of the cursor phase
+    // before its strip index) are charge-only — the grid already holds
+    // their results. The simulated schedule is walked IN FULL either way,
+    // keeping the RunResult a pure function of (inputs, program).
+    const bool phase_skipped = fctx && fctx->resuming && p < fctx->resume_phase;
+    const std::size_t resume_strip =
+        (fctx && fctx->resuming && p == fctx->resume_phase) ? fctx->resume_strip : 0;
+    FunctionalCtx* f = phase_skipped ? nullptr : fctx;
     PhaseTiming t;
     t.device = ph.device;
     t.d_begin = ph.d_begin;
@@ -355,22 +453,50 @@ RunResult HybridExecutor::execute(const InputParams& in, const PhaseProgram& pro
     // SIMULATED fields is untouched.
     const WallClock::time_point wall0 = fctx ? WallClock::now() : WallClock::time_point{};
     if (ph.is_cpu()) {
-      cpu::TiledRegion region{in.dim, ph.d_begin, ph.d_end, ph.cpu_tile};
-      t.ns = cpu::wavefront_cost_ns(ph.scheduler, region, profile_.cpu, in.tsize,
-                                    in.elem_bytes());
-      if (fctx) {
-        // All active grids through ONE scheduling structure (one barrier
-        // sweep or one dep-counter graph), grids innermost. n == 1 is
-        // exactly the historical single-grid path.
-        fctx->storages.clear();
-        for (std::size_t m : fctx->active) {
-          fctx->storages.push_back(fctx->members[m].host->data());
+      if (!ph.streamed()) {
+        cpu::TiledRegion region{in.dim, ph.d_begin, ph.d_end, ph.cpu_tile};
+        t.ns = cpu::wavefront_cost_ns(ph.scheduler, region, profile_.cpu, in.tsize,
+                                      in.elem_bytes());
+        if (f) {
+          // All active grids through ONE scheduling structure (one barrier
+          // sweep or one dep-counter graph), grids innermost. n == 1 is
+          // exactly the historical single-grid path.
+          f->storages.clear();
+          for (std::size_t m : f->active) {
+            f->storages.push_back(f->members[m].host->data());
+          }
+          cpu::run_wavefront(ph.scheduler, region, *f->pool, *f->lowered,
+                             f->storages.data(), f->storages.size());
         }
-        cpu::run_wavefront(ph.scheduler, region, *fctx->pool, *fctx->lowered,
-                           fctx->storages.data(), fctx->storages.size());
+      } else {
+        // Streamed CPU phase: the strips run back to back on the host
+        // grids (dependency-safe: a strip's last row is the next strip's
+        // north frontier, already final when the next strip starts). No
+        // overlap to buy on the host — the win is the checkpoint points
+        // and the uniform strip axis — so serialized_ns == ns.
+        const std::size_t strips = ph.strip_count(in.dim);
+        for (std::size_t s = 0; s < strips; ++s) {
+          const std::size_t r0 = s * ph.strip_rows;
+          const std::size_t r1 = std::min(in.dim, r0 + ph.strip_rows);
+          cpu::TiledRegion region{in.dim, ph.d_begin, ph.d_end, ph.cpu_tile, r0, r1};
+          if (region.cell_count() == 0) continue;
+          ++t.strips;
+          t.ns += cpu::wavefront_cost_ns(ph.scheduler, region, profile_.cpu, in.tsize,
+                                         in.elem_bytes());
+          if (f && s >= resume_strip) {
+            f->storages.clear();
+            for (std::size_t m : f->active) {
+              f->storages.push_back(f->members[m].host->data());
+            }
+            cpu::run_wavefront(ph.scheduler, region, *f->pool, *f->lowered,
+                               f->storages.data(), f->storages.size());
+            f->maybe_checkpoint(p, s + 1);
+          }
+        }
+        t.serialized_ns = t.ns;
       }
     } else {
-      gpu_phase(in, ph, fctx, trace, t);
+      gpu_phase(in, ph, f, resume_strip, p, trace, t);
     }
     if (fctx) {
       t.wall_ns = wall_since(wall0);
@@ -385,16 +511,25 @@ RunResult HybridExecutor::execute(const InputParams& in, const PhaseProgram& pro
 }
 
 void HybridExecutor::gpu_phase(const InputParams& in, const PhaseDesc& ph,
-                               FunctionalCtx* fctx, ocl::Trace* trace,
+                               FunctionalCtx* fctx, std::size_t resume_strip,
+                               std::size_t phase_index, ocl::Trace* trace,
                                PhaseTiming& out) const {
   if (fctx) {
-    // One full-grid-shaped, poison-filled buffer per device per active
-    // member.
-    const std::size_t bytes = in.dim * in.dim * fctx->spec->elem_bytes;
+    // Device storage per active member: one full-grid-shaped buffer per
+    // device, or — for a streamed phase — the fixed strip pool of
+    // strip_buffers buffers of (strip_rows + 1) rows each, which is the
+    // whole point: peak residency O(strip_rows * dim), not O(dim^2).
+    // Either way the buffers are poison-filled so reads of cells the
+    // schedule never staged produce loudly-wrong values.
+    const std::size_t bytes =
+        ph.streamed() ? (ph.strip_rows + 1) * in.dim * fctx->spec->elem_bytes
+                      : in.dim * in.dim * fctx->spec->elem_bytes;
+    const std::size_t count =
+        ph.streamed() ? ph.strip_buffers : static_cast<std::size_t>(ph.gpu_count);
     for (std::size_t m : fctx->active) {
       FunctionalCtx::Member& mem = fctx->members[m];
       mem.dev.clear();
-      for (int g = 0; g < ph.gpu_count; ++g) {
+      for (std::size_t g = 0; g < count; ++g) {
         mem.dev.emplace_back(bytes);
         mem.dev.back().fill(Grid::kPoison);
       }
@@ -402,6 +537,8 @@ void HybridExecutor::gpu_phase(const InputParams& in, const PhaseDesc& ph,
   }
   if (ph.gpu_count >= 2) {
     gpu_phase_multi(in, ph, fctx, trace, out);
+  } else if (ph.streamed()) {
+    gpu_phase_single_streamed(in, ph, fctx, resume_strip, phase_index, trace, out);
   } else {
     gpu_phase_single(in, ph, fctx, trace, out);
   }
@@ -507,6 +644,274 @@ void HybridExecutor::gpu_phase_single(const InputParams& in, const PhaseDesc& ph
   }
 
   out.ns = ctx.finish_time();
+}
+
+void HybridExecutor::gpu_phase_single_streamed(const InputParams& in, const PhaseDesc& ph,
+                                               FunctionalCtx* fctx,
+                                               std::size_t resume_strip,
+                                               std::size_t phase_index, ocl::Trace* trace,
+                                               PhaseTiming& out) const {
+  const std::size_t dim = in.dim;
+  const std::size_t esize = in.elem_bytes();
+  const std::size_t d0 = ph.d_begin;
+  const std::size_t d1 = ph.d_end;
+  const std::size_t frontier_lo = d0 >= 2 ? d0 - 2 : 0;
+  const std::size_t strips = ph.strip_count(dim);
+
+  // Per-strip geometry, computed once and walked twice (real pool, then
+  // the 1-buffer serialized baseline).
+  struct StripInfo {
+    std::size_t r0 = 0, r1 = 0;  ///< row window [r0, r1)
+    std::size_t up_cells = 0;    ///< frontier + band cells staged in
+    std::size_t down_cells = 0;  ///< band cells read back
+    std::size_t halo_j_lo = 0;   ///< row r0-1's [frontier_lo, d1) span
+    std::size_t halo_j_hi = 0;
+  };
+  std::vector<StripInfo> info(strips);
+  std::size_t s_first = strips;
+  std::size_t s_last = 0;
+  for (std::size_t s = 0; s < strips; ++s) {
+    StripInfo& si = info[s];
+    si.r0 = s * ph.strip_rows;
+    si.r1 = std::min(dim, si.r0 + ph.strip_rows);
+    for (std::size_t i = si.r0; i < si.r1; ++i) {
+      if (d1 <= i) break;
+      const auto [ulo, uhi] = cpu::row_band_span(i, frontier_lo, d1, 0, dim);
+      if (ulo < uhi) si.up_cells += uhi - ulo;
+      const auto [blo, bhi] = cpu::row_band_span(i, d0, d1, 0, dim);
+      if (blo < bhi) si.down_cells += bhi - blo;
+    }
+    if (si.r0 > 0 && si.r0 <= d1) {
+      const auto [hlo, hhi] = cpu::row_band_span(si.r0 - 1, frontier_lo, d1, 0, dim);
+      si.halo_j_lo = hlo;
+      si.halo_j_hi = hhi;
+    }
+    if (si.down_cells > 0) {
+      s_first = std::min(s_first, s);
+      s_last = std::max(s_last, s);
+    }
+  }
+  if (s_first == strips) return;  // no band cells anywhere (cannot happen
+                                  // for a validated non-empty range)
+  out.strips = s_last - s_first + 1;
+
+  // ONE parameterized walk of the strip schedule — the same routine
+  // charges the real pool (with functional execution and tracing) and
+  // the B == 1 serialized baseline (timing only, fresh timelines), so
+  // serialized_ns is the same schedule minus the overlap by
+  // construction. Per executed strip s (buffer b = (s - s_first) % B):
+  //   H_s  halo row r0-1 copied into b's row 0 on the COMPUTE queue
+  //        (in-order after strip s-1's kernels); first strip folds the
+  //        halo into its upload instead (the row is host data).
+  //   W_s  async upload of host rows [r0, r1) x [frontier_lo, d1) on the
+  //        PCIe link only, gated on b's previous occupant draining
+  //        (readback done, halo row re-read done) — the DMA engine: with
+  //        B >= 2 this runs while strip s-1's kernels execute.
+  //   K_s  the phase's kernels clipped to the strip's rows; the first
+  //        launch waits on W_s, the rest ride the in-order queue.
+  //   R_s  async readback of the band cells, after K_s.
+  // Enqueue order per iteration: H_s, then W_{s+1} (prefetch; W_s itself
+  // for B == 1 — its deps make prefetching meaningless), K_s, R_s.
+  auto walk = [&](std::size_t B, ocl::Context& ctx, FunctionalCtx* f,
+                  PhaseTiming* acc) -> double {
+    ocl::Device& dev = ctx.device(0);
+    std::vector<ocl::Event> ev_w(strips), ev_h(strips), ev_k(strips), ev_r(strips);
+    std::vector<ocl::Event> deps;
+
+    auto base_row_of = [&](std::size_t s) { return info[s].r0 == 0 ? 0 : info[s].r0 - 1; };
+    auto buf_of = [&](std::size_t s) { return (s - s_first) % B; };
+    // Buffer-reuse gates for strip s's writes into buffer b: the previous
+    // occupant's readback, plus the halo re-read of that occupant's last
+    // row by the strip after it.
+    auto slot_deps = [&](std::size_t s, bool include_self_halo) {
+      deps.clear();
+      if (s >= s_first + B) {
+        deps.push_back(ev_r[s - B]);
+        const std::size_t hs = s - B + 1;
+        if ((hs != s || include_self_halo) && hs > s_first && hs <= s_last &&
+            info[hs].halo_j_lo < info[hs].halo_j_hi) {
+          deps.push_back(ev_h[hs]);
+        }
+      }
+    };
+
+    auto enqueue_w = [&](std::size_t s) {
+      const StripInfo& si = info[s];
+      const bool fold_halo = s == s_first && si.halo_j_lo < si.halo_j_hi;
+      const std::size_t cells =
+          si.up_cells + (fold_halo ? si.halo_j_hi - si.halo_j_lo : 0);
+      const std::size_t bytes = cells * esize;
+      slot_deps(s, true);
+      ev_w[s] = dev.charge_async_write(bytes, deps);
+      if (acc) acc->transfer_in_ns += ctx.pcie_model().transfer_ns(bytes);
+      if (f && s >= resume_strip) {
+        fault::check(fault::Site::kStripTransfer);
+        const std::size_t base_row = base_row_of(s);
+        const std::size_t b = buf_of(s);
+        for (std::size_t m : f->active) {
+          FunctionalCtx::Member& mem = f->members[m];
+          f->copy_full_to_local(mem.host->data(), mem.dev[b].data(), base_row, frontier_lo,
+                                d1, si.r0, si.r1);
+          if (fold_halo) {
+            f->copy_full_to_local(mem.host->data(), mem.dev[b].data(), base_row,
+                                  frontier_lo, d1, si.r0 - 1, si.r0);
+          }
+        }
+      }
+    };
+
+    auto enqueue_h = [&](std::size_t s) {
+      const StripInfo& si = info[s];
+      if (s == s_first || si.halo_j_lo >= si.halo_j_hi) return;
+      slot_deps(s, false);
+      ev_h[s] = dev.charge_internal_copy((si.halo_j_hi - si.halo_j_lo) * esize, deps);
+      if (f && s >= resume_strip) {
+        const std::size_t b = buf_of(s);
+        for (std::size_t m : f->active) {
+          FunctionalCtx::Member& mem = f->members[m];
+          if (s == resume_strip && s > s_first) {
+            // The previous strip was charge-only on this resumed run; its
+            // buffer is poison, but the restored host grid holds the halo
+            // row's final values. The SIMULATED charge above is the
+            // normal internal copy either way — resume never perturbs
+            // the schedule.
+            f->copy_full_to_local(mem.host->data(), mem.dev[b].data(), base_row_of(s),
+                                  frontier_lo, d1, si.r0 - 1, si.r0);
+          } else {
+            f->copy_local_row(mem.dev[buf_of(s - 1)].data(), base_row_of(s - 1),
+                              mem.dev[b].data(), base_row_of(s), si.r0 - 1, si.halo_j_lo,
+                              si.halo_j_hi);
+          }
+        }
+      }
+    };
+
+    auto enqueue_k = [&](std::size_t s) {
+      const StripInfo& si = info[s];
+      const std::size_t b = buf_of(s);
+      const std::size_t base_row = base_row_of(s);
+      bool first_launch = true;
+      auto launch = [&](const ocl::LaunchShape& shape) {
+        deps.clear();
+        if (first_launch) {
+          deps.push_back(ev_w[s]);
+          first_launch = false;
+        }
+        ev_k[s] = dev.charge_kernel(shape, deps);
+        if (acc) {
+          ++acc->kernel_launches;
+          acc->kernel_busy_ns +=
+              shape.groups == 0
+                  ? dev.model().kernel_ns(shape.items, shape.tsize_units,
+                                          shape.bytes_per_item)
+                  : dev.model().tiled_kernel_ns(shape.groups, shape.serial_steps,
+                                                shape.syncs, shape.tsize_units,
+                                                shape.bytes_per_item);
+        }
+      };
+      if (ph.gpu_tile <= 1) {
+        // Untiled: one kernel per diagonal, items clipped to the strip.
+        for (std::size_t d = d0; d < d1; ++d) {
+          const std::size_t n = diag_rows_in(dim, d, si.r0, si.r1);
+          if (n == 0) continue;
+          ocl::LaunchShape shape;
+          shape.items = n;
+          shape.tsize_units = in.tsize;
+          shape.bytes_per_item = esize;
+          launch(shape);
+          if (f && s >= resume_strip) {
+            const std::size_t lo = std::max(diag_row_lo(dim, d), si.r0);
+            const std::size_t hi = std::min(diag_row_hi(dim, d), si.r1 - 1);
+            for (std::size_t m : f->active) {
+              std::byte* base = f->members[m].dev[b].data();
+              for (std::size_t i = lo; i <= hi; ++i) {
+                f->compute_cell_local(base, base_row, i, d - i);
+              }
+            }
+          }
+        }
+      } else {
+        // Tiled: one kernel per tile-diagonal, work-groups clipped to the
+        // strip's tile rows; tiles straddling the strip boundary relaunch
+        // with their rows clamped (honest strip-execution cost).
+        const std::size_t g = ph.gpu_tile;
+        const std::size_t Mg = (dim + g - 1) / g;
+        const std::size_t I_strip_lo = si.r0 / g;
+        const std::size_t I_strip_hi = (si.r1 - 1) / g;
+        for (std::size_t k = 0; k < 2 * Mg - 1; ++k) {
+          const std::size_t span_lo = k * g;
+          const std::size_t span_hi = (k + 2) * g - 2;  // inclusive
+          if (span_lo >= d1 || span_hi < d0) continue;
+          const std::size_t I_lo = std::max(diag_row_lo(Mg, k), I_strip_lo);
+          const std::size_t I_hi = std::min(diag_row_hi(Mg, k), I_strip_hi);
+          if (I_lo > I_hi) continue;
+          ocl::LaunchShape shape;
+          shape.groups = I_hi - I_lo + 1;
+          shape.serial_steps = 2 * g - 1;
+          shape.syncs = 2 * g - 1;
+          shape.tsize_units = in.tsize;
+          shape.bytes_per_item = esize;
+          shape.items = shape.groups * g * g;
+          launch(shape);
+          if (f && s >= resume_strip) {
+            for (std::size_t I = I_lo; I <= I_hi; ++I) {
+              const std::size_t J = k - I;
+              const std::size_t i0 = std::max(I * g, si.r0);
+              const std::size_t i1 = std::min({(I + 1) * g, dim, si.r1});
+              for (std::size_t m : f->active) {
+                f->lowered->tile_local(f->members[m].dev[b].data(), base_row, i0, i1,
+                                       J * g, std::min((J + 1) * g, dim), d0, d1);
+              }
+            }
+          }
+        }
+      }
+    };
+
+    auto enqueue_r = [&](std::size_t s) {
+      const StripInfo& si = info[s];
+      const std::size_t bytes = si.down_cells * esize;
+      deps.clear();
+      deps.push_back(ev_k[s]);
+      ev_r[s] = dev.charge_async_read(bytes, deps);
+      if (acc) acc->transfer_out_ns += ctx.pcie_model().transfer_ns(bytes);
+      if (f && s >= resume_strip) {
+        fault::check(fault::Site::kStripTransfer);
+        const std::size_t b = buf_of(s);
+        for (std::size_t m : f->active) {
+          FunctionalCtx::Member& mem = f->members[m];
+          f->copy_local_to_full(mem.dev[b].data(), base_row_of(s), mem.host->data(), d0,
+                                d1, si.r0, si.r1);
+        }
+        f->maybe_checkpoint(phase_index, s + 1);
+      }
+    };
+
+    if (B > 1) enqueue_w(s_first);
+    for (std::size_t s = s_first; s <= s_last; ++s) {
+      enqueue_h(s);
+      if (B == 1) {
+        enqueue_w(s);
+      } else if (s + 1 <= s_last) {
+        enqueue_w(s + 1);
+      }
+      enqueue_k(s);
+      enqueue_r(s);
+    }
+    return ctx.finish_time();
+  };
+
+  ocl::Context ctx(profile_);
+  if (trace) ctx.attach_trace(trace);
+  out.ns = walk(ph.strip_buffers, ctx, fctx, &out);
+  if (ph.strip_buffers > 1) {
+    // Serialized-strip baseline: identical strips, 1-buffer pool, fresh
+    // timelines, no functional work, no trace, no fault sites.
+    ocl::Context baseline(profile_);
+    out.serialized_ns = walk(1, baseline, nullptr, nullptr);
+  } else {
+    out.serialized_ns = out.ns;
+  }
 }
 
 void HybridExecutor::gpu_phase_multi(const InputParams& in, const PhaseDesc& ph,

@@ -25,9 +25,11 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <vector>
 
+#include "core/checkpoint.hpp"
 #include "core/grid.hpp"
 #include "core/params.hpp"
 #include "core/phase_program.hpp"
@@ -63,6 +65,18 @@ struct PhaseTiming {
   std::size_t kernel_launches = 0;
   std::size_t swap_count = 0;
   std::size_t redundant_cells = 0;  ///< halo cells computed twice
+
+  // Streaming-strip detail (zero for whole-grid phases):
+  std::size_t strips = 0;  ///< row strips the phase executed as
+  /// Simulated time of the SAME strip schedule with a 1-buffer pool (no
+  /// transfer/compute overlap) — the serialized-strip baseline charged by
+  /// a second timing-only walk. ns <= serialized_ns; the difference is
+  /// the simulated overlap the double buffering bought. Equal to ns for
+  /// streamed CPU phases (host strips have nothing to overlap).
+  double serialized_ns = 0.0;
+  /// Sum of this phase's simulated kernel durations (streamed GPU phases
+  /// only) — the denominator bound for the overlap ratio.
+  double kernel_busy_ns = 0.0;
 };
 
 /// Simulated-time accounting of one execution: one PhaseTiming per program
@@ -119,6 +133,24 @@ struct BatchOutcome {
   RunControl::Stop stop = RunControl::Stop::kNone;
 };
 
+/// Checkpoint/resume plumbing for a streamed run() (single-grid path).
+/// Strip boundaries are the checkpoint points: after each strip's results
+/// land in the host grid, `on_checkpoint` (if set, and the cadence says
+/// so) receives a consistent RunCheckpoint snapshot. A non-null `resume`
+/// makes the run SKIP the functional work before the checkpoint's
+/// (phase, strip) cursor — the grid is restored from the snapshot first —
+/// while still charging the FULL simulated schedule, so the RunResult's
+/// simulated fields stay a pure function of (inputs, program).
+struct StreamControl {
+  /// Snapshot to resume from; validated against the program's describe()
+  /// digest and the grid geometry (throws CheckpointError on mismatch).
+  const RunCheckpoint* resume = nullptr;
+  /// Called after every `checkpoint_every_strips`-th completed strip of a
+  /// streamed phase (and never in estimate mode or fused batches).
+  std::function<void(const RunCheckpoint&)> on_checkpoint;
+  std::size_t checkpoint_every_strips = 1;
+};
+
 class HybridExecutor {
 public:
   /// `pool_workers == 0` sizes the pool from hardware_concurrency.
@@ -143,9 +175,12 @@ public:
   /// by throwing core::ExecutionInterrupted and the grid's contents are
   /// unspecified (core/run_control.hpp). Cancellation latency is
   /// therefore bounded by one phase, not one grid.
+  /// A non-null `stream` enables strip-boundary checkpointing and/or
+  /// resume (see StreamControl); it only has effect on programs with
+  /// streamed phases.
   RunResult run(const WavefrontSpec& spec, const PhaseProgram& program, Grid& grid,
                 ocl::Trace* trace = nullptr, const LoweredKernel* lowered = nullptr,
-                const RunControl* control = nullptr);
+                const RunControl* control = nullptr, const StreamControl* stream = nullptr);
 
   /// Continuous-batching entry point: interprets `program` ONCE for all
   /// members' grids. CPU phases drive every grid through one scheduling
@@ -205,9 +240,19 @@ private:
                     ocl::Trace* trace) const;
 
   void gpu_phase(const InputParams& in, const PhaseDesc& ph, FunctionalCtx* fctx,
-                 ocl::Trace* trace, PhaseTiming& out) const;
+                 std::size_t resume_strip, std::size_t phase_index, ocl::Trace* trace,
+                 PhaseTiming& out) const;
   void gpu_phase_single(const InputParams& in, const PhaseDesc& ph, FunctionalCtx* fctx,
                         ocl::Trace* trace, PhaseTiming& out) const;
+  /// Streamed single-GPU phase: W/H/K/R per strip through the fixed
+  /// buffer pool (async staged uploads overlapping kernels when
+  /// strip_buffers >= 2), plus a second timing-only 1-buffer walk for
+  /// PhaseTiming::serialized_ns. `resume_strip` strips are charged but
+  /// not functionally executed; `phase_index` labels checkpoints.
+  void gpu_phase_single_streamed(const InputParams& in, const PhaseDesc& ph,
+                                 FunctionalCtx* fctx, std::size_t resume_strip,
+                                 std::size_t phase_index, ocl::Trace* trace,
+                                 PhaseTiming& out) const;
   /// N-way row split (N >= 2) with chained halo exchanges; N == 2 is the
   /// paper's dual-GPU schedule, N >= 3 the §6 future-work extension.
   void gpu_phase_multi(const InputParams& in, const PhaseDesc& ph, FunctionalCtx* fctx,

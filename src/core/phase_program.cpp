@@ -25,6 +25,21 @@ void PhaseDesc::validate(std::size_t dim) const {
   if (d_end > num_diagonals(dim)) {
     throw std::invalid_argument("PhaseDesc: d_end beyond the last diagonal");
   }
+  if (strip_rows > 0) {
+    // Streaming strips: rows partition [0, dim) exactly once by
+    // construction; what CAN go wrong is a strip taller than the grid
+    // (meaningless) or a pool outside the double/triple-buffer design
+    // range. The wedge split of kGpuMulti already owns the row axis.
+    if (device == PhaseDevice::kGpuMulti) {
+      throw std::invalid_argument("PhaseDesc: gpu-multi phases cannot stream strips");
+    }
+    if (strip_rows > dim) {
+      throw std::invalid_argument("PhaseDesc: strip_rows exceeds the grid side");
+    }
+    if (strip_buffers < 1 || strip_buffers > 3) {
+      throw std::invalid_argument("PhaseDesc: strip_buffers must be in [1, 3]");
+    }
+  }
   switch (device) {
     case PhaseDevice::kCpu:
       if (cpu_tile == 0) throw std::invalid_argument("PhaseDesc: cpu phase with tile == 0");
@@ -110,6 +125,9 @@ std::string PhaseProgram::describe() const {
         ss << "gpu" << ph.gpu_count << "h" << ph.halo;
         break;
     }
+    // Strip suffix only when streaming is on: whole-grid programs keep
+    // their historical descriptions (and plan-cache keys) unchanged.
+    if (ph.streamed()) ss << "s" << ph.strip_rows << "x" << ph.strip_buffers;
   }
   return ss.str();
 }
@@ -203,6 +221,19 @@ PhaseProgram split_gpu_band(PhaseProgram program, std::size_t k) {
     }
   }
   program.phases = std::move(out);
+  program.validate();
+  return program;
+}
+
+PhaseProgram apply_strips(PhaseProgram program, std::size_t strip_rows,
+                          std::size_t strip_buffers) {
+  if (strip_rows == 0) return program;
+  const std::size_t rows = std::min(strip_rows, program.dim);
+  for (PhaseDesc& ph : program.phases) {
+    if (ph.device == PhaseDevice::kGpuMulti) continue;
+    ph.strip_rows = rows;
+    ph.strip_buffers = strip_buffers;
+  }
   program.validate();
   return program;
 }

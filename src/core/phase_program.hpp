@@ -53,8 +53,30 @@ struct PhaseDesc {
   std::size_t gpu_tile = 1;  ///< work-group tile side; 1 = untiled
   long long halo = 0;        ///< multi-GPU redundancy depth (>= 0)
 
+  // Streaming strips (out-of-core execution; 0 = off, whole-grid):
+  // a phase with strip_rows > 0 executes as a sequence of row strips
+  // [s*strip_rows, (s+1)*strip_rows) — exact-once row coverage by
+  // construction, the row-axis analogue of the diagonal-band partition.
+  // On kGpuSingle the strips stream through a fixed pool of
+  // `strip_buffers` device buffers of (strip_rows+1) x dim elements
+  // each (one halo row), so peak device residency is O(strip_rows*dim)
+  // instead of O(dim^2); with strip_buffers >= 2 the next strip's
+  // frontier upload overlaps the current strip's kernels on the
+  // simulated DMA engine. strip_buffers == 1 is the serialized-strip
+  // baseline. On kCpu the strips run back to back on the host grid
+  // (no buffers), which is what makes strip boundaries checkpointable
+  // on every device.
+  std::size_t strip_rows = 0;    ///< rows per strip; 0 = whole-grid
+  std::size_t strip_buffers = 2; ///< strip pool size (1..3); GPU only
+
   bool is_cpu() const { return device == PhaseDevice::kCpu; }
   bool is_gpu() const { return !is_cpu(); }
+  bool streamed() const { return strip_rows > 0; }
+
+  /// Number of row strips this phase executes as (1 when not streamed).
+  std::size_t strip_count(std::size_t dim) const {
+    return strip_rows == 0 ? 1 : (dim + strip_rows - 1) / strip_rows;
+  }
 
   /// Throws std::invalid_argument on device-specific nonsense (empty
   /// range, zero tile, kGpuMulti with < 2 devices or negative halo, ...).
@@ -109,5 +131,15 @@ PhaseProgram make_cpu_only_program(const InputParams& in, int cpu_tile, std::siz
 /// phase-structure axis the autotuner can now search). `k` is clamped per
 /// phase to the phase's width; k <= 1 returns the program unchanged.
 PhaseProgram split_gpu_band(PhaseProgram program, std::size_t k);
+
+/// Applies a streaming-strip axis to every CPU and single-GPU phase of
+/// `program` (kGpuMulti phases are left whole-grid: the wedge split owns
+/// the row axis there). `strip_rows` is clamped to the grid side;
+/// strip_rows == 0 returns the program unchanged. The returned program is
+/// validated; its describe() carries the strip suffix, so streamed and
+/// whole-grid compilations of the same tuning never share a plan-cache
+/// entry.
+PhaseProgram apply_strips(PhaseProgram program, std::size_t strip_rows,
+                          std::size_t strip_buffers = 2);
 
 }  // namespace wavetune::core

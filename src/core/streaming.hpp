@@ -1,0 +1,83 @@
+// Residency-capped streaming-strip planning.
+//
+// Out-of-core execution: when a grid's device footprint (dim^2 elements)
+// exceeds what the deployment wants resident, the planner picks a
+// strip_rows so each phase streams through a fixed pool of
+// strip_buffers x (strip_rows + 1) x dim element buffers instead of one
+// whole-grid buffer. The choice is cost-model driven: among the strip
+// sizes that FIT the residency cap, a tiny analytic walk of the W/K/R
+// event schedule (the same upload -> kernel -> readback shape the
+// executor charges, tracked against a PCIe-availability and a
+// queue-availability clock) picks the one with the shortest estimated
+// makespan — bigger strips amortize transfer latency, smaller strips
+// pipeline deeper, and the walk arbitrates instead of a heuristic.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+
+#include "core/phase_program.hpp"
+#include "sim/hardware.hpp"
+
+namespace wavetune::core {
+
+/// Residency cap smaller than one strip_rows == 1 pool — no streamed plan
+/// exists for the geometry.
+class StreamingPlanError : public std::invalid_argument {
+public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Planning-time constraints for plan_phases_streamed / Engine compiles.
+struct PlanConstraints {
+  /// Peak simulated device residency allowed, in bytes; 0 = unlimited
+  /// (no streaming unless explicitly requested via apply_strips).
+  std::size_t max_resident_bytes = 0;
+  /// Strip pool size applied to streamed phases (1 = serialized-strip
+  /// baseline, 2-3 = overlapped double/triple buffering).
+  std::size_t strip_buffers = 2;
+};
+
+/// Device bytes of a whole-grid GPU phase: one dim x dim buffer.
+std::size_t whole_grid_resident_bytes(std::size_t dim, std::size_t elem_bytes);
+
+/// Device bytes of a streamed GPU phase: strip_buffers pool buffers of
+/// (strip_rows + 1) x dim elements (one halo row each).
+std::size_t streamed_resident_bytes(std::size_t dim, std::size_t elem_bytes,
+                                    std::size_t strip_rows, std::size_t strip_buffers);
+
+/// Largest strip_rows whose pool fits `cap` bytes (clamped to dim).
+/// Throws StreamingPlanError when even strip_rows == 1 does not fit.
+std::size_t max_strip_rows_for_cap(std::size_t dim, std::size_t elem_bytes, std::size_t cap,
+                                   std::size_t strip_buffers);
+
+/// Analytic makespan of one streamed GPU band [d_begin, d_end): walks the
+/// per-strip upload/kernel/readback events against a PCIe clock, a
+/// compute-queue clock and the strip pool's buffer-reuse dependencies —
+/// the planning-side mirror of the executor's simulated schedule (an
+/// approximation, not the charged value: it prices kernels per diagonal
+/// at 3*elem_bytes traffic per item and ignores work-group tiling).
+double estimate_streamed_gpu_phase_ns(std::size_t dim, std::size_t elem_bytes,
+                                      double tsize_units, std::size_t d_begin,
+                                      std::size_t d_end, std::size_t strip_rows,
+                                      std::size_t strip_buffers, const sim::GpuModel& gpu,
+                                      const sim::PcieModel& pcie);
+
+/// Residency-capped strip selection over an already-compiled program: if
+/// any single-GPU phase's whole-grid footprint exceeds
+/// constraints.max_resident_bytes, applies the cost-model-chosen strip
+/// axis via apply_strips (all non-multi-GPU phases stream, so checkpoint
+/// points cover the whole run). Returns the program unchanged when there
+/// is no cap, the whole grid fits, or no phase touches the device. Throws
+/// StreamingPlanError when a multi-GPU phase exceeds the cap (the
+/// multi-GPU path cannot stream) or when even 1-row strips do not fit.
+PhaseProgram apply_residency_cap(PhaseProgram program, const InputParams& in,
+                                 const PlanConstraints& constraints);
+
+/// plan_phases + apply_residency_cap in one call. With no cap (or a cap
+/// the whole grid fits), the result is exactly plan_phases(...).
+PhaseProgram plan_phases_streamed(const InputParams& in, const TunableParams& params,
+                                  cpu::Scheduler scheduler,
+                                  const PlanConstraints& constraints);
+
+}  // namespace wavetune::core

@@ -56,11 +56,15 @@ struct DataflowState {
   /// innermost in execute(). The single-grid entry points pass a
   /// 1-element array living on their own (blocking) stack frame.
   const core::LoweredKernel* lowered = nullptr;
-  std::byte* const* storages = nullptr;
+  const core::StorageView* views = nullptr;
   std::size_t n_grids = 1;
   const RowSegmentFn* segment = nullptr;
   std::size_t M = 0;  ///< tiles per side
   TileDiagRange range;
+  /// Tile-row window [I_lo, I_hi) of the region's row window: tiles whose
+  /// rows fall entirely outside the strip are not in the dep graph at all.
+  std::size_t I_lo = 0;
+  std::size_t I_hi = 0;
   /// deps is sized to exactly the in-range tiles (not M*M): diag_offset[d]
   /// is the index of the first tile of tile-diagonal range.k_lo + d, and a
   /// tile's slot is its offset within its diagonal. Keeps narrow band
@@ -97,24 +101,30 @@ struct DataflowState {
 
   bool in_set(std::size_t I, std::size_t J) const {
     if (I >= M || J >= M) return false;
+    if (I < I_lo || I >= I_hi) return false;
     const std::size_t k = I + J;
     return k >= range.k_lo && k <= range.k_hi;
+  }
+
+  /// First in-set tile row of tile-diagonal k (row window clamped).
+  std::size_t first_row(std::size_t k) const {
+    return std::max(core::diag_row_lo(M, k), I_lo);
   }
 
   /// Flat deps slot of in-set tile (I,J).
   std::size_t dep_index(std::size_t I, std::size_t J) const {
     const std::size_t k = I + J;
-    return diag_offset[k - range.k_lo] + (I - core::diag_row_lo(M, k));
+    return diag_offset[k - range.k_lo] + (I - first_row(k));
   }
 
   /// Computes the cells of tile (I,J): row-major, each row's column run
-  /// clamped to the diagonal band up front — identical traversal to
-  /// run_tiled_wavefront, hence identical results.
+  /// clamped to the diagonal band (and the strip's row window) up front —
+  /// identical traversal to run_tiled_wavefront, hence identical results.
   void execute(std::size_t I, std::size_t J) const {
     const std::size_t dim = region->dim;
     const std::size_t T = region->tile;
-    const std::size_t row_lo = I * T;
-    const std::size_t row_hi = std::min(row_lo + T, dim);  // exclusive
+    const std::size_t row_lo = std::max(I * T, region->row_begin);
+    const std::size_t row_hi = std::min({I * T + T, dim, region->row_hi()});  // exclusive
     const std::size_t col_lo = J * T;
     const std::size_t col_hi = std::min(col_lo + T, dim);
     if (lowered) {
@@ -124,8 +134,8 @@ struct DataflowState {
       // each call touches only its own storage, so results per grid are
       // bit-identical to a lone run.
       for (std::size_t g = 0; g < n_grids; ++g) {
-        lowered->tile(storages[g], row_lo, row_hi, col_lo, col_hi, region->d_begin,
-                      region->d_end);
+        lowered->tile_local(views[g].base, views[g].base_row, row_lo, row_hi, col_lo, col_hi,
+                            region->d_begin, region->d_end);
       }
       return;
     }
@@ -216,8 +226,8 @@ struct DataflowState {
 void run_inline(DataflowState& state) {
   const TileDiagRange& range = state.range;
   for (std::size_t k = range.k_lo; k <= range.k_hi; ++k) {
-    const std::size_t i_hi = core::diag_row_hi(state.M, k);
-    for (std::size_t I = core::diag_row_lo(state.M, k); I <= i_hi; ++I) {
+    const std::size_t i_hi = std::min(core::diag_row_hi(state.M, k), state.I_hi - 1);
+    for (std::size_t I = state.first_row(k); I <= i_hi; ++I) {
       state.execute(I, k - I);
     }
   }
@@ -234,17 +244,23 @@ void run_dataflow_impl(const TiledRegion& region, ThreadPool& pool, DataflowStat
   const TileDiagRange range = tile_diag_range(region, M);
   if (range.k_lo > range.k_hi) return;
 
+  state.region = &region;
+  state.pool = &pool;
+  state.M = M;
+  state.range = range;
+  state.I_lo = region.row_begin / T;
+  state.I_hi = (region.row_hi() + T - 1) / T;
+
   std::vector<std::size_t> diag_offset;
   diag_offset.reserve(range.k_hi - range.k_lo + 1);
   std::size_t n_tiles = 0;
   for (std::size_t k = range.k_lo; k <= range.k_hi; ++k) {
     diag_offset.push_back(n_tiles);
-    n_tiles += core::diag_row_hi(M, k) - core::diag_row_lo(M, k) + 1;
+    const std::size_t i_lo = state.first_row(k);
+    const std::size_t i_hi = std::min(core::diag_row_hi(M, k), state.I_hi - 1);
+    if (i_lo <= i_hi) n_tiles += i_hi - i_lo + 1;
   }
-  state.region = &region;
-  state.pool = &pool;
-  state.M = M;
-  state.range = range;
+  if (n_tiles == 0) return;
   if (pool.worker_count() <= 1 || n_tiles <= 2) {
     run_inline(state);  // counters stay untouched
     return;
@@ -252,29 +268,32 @@ void run_dataflow_impl(const TiledRegion& region, ThreadPool& pool, DataflowStat
 
   state.diag_offset = std::move(diag_offset);
   state.deps = std::vector<std::atomic<unsigned char>>(n_tiles);
+  // Initial ready set: tiles whose in-set gate count is zero. Without a
+  // row window that is exactly the first in-set diagonal; a strip window
+  // can also expose later-diagonal tiles whose north gate was clipped
+  // away (e.g. the window's top row mid-band), so readiness is computed
+  // from the same in_set() the release path uses.
+  std::vector<std::size_t> ready;
   for (std::size_t k = range.k_lo; k <= range.k_hi; ++k) {
-    const std::size_t i_hi = core::diag_row_hi(M, k);
-    for (std::size_t I = core::diag_row_lo(M, k); I <= i_hi; ++I) {
+    const std::size_t i_hi = std::min(core::diag_row_hi(M, k), state.I_hi - 1);
+    for (std::size_t I = state.first_row(k); I <= i_hi; ++I) {
       const std::size_t J = k - I;
       // North/west neighbours sit on tile-diagonal k-1; they gate this
-      // tile only when that diagonal is in the scheduled set.
-      const unsigned char d =
-          k == range.k_lo ? 0
-                          : static_cast<unsigned char>((I > 0 ? 1 : 0) + (J > 0 ? 1 : 0));
+      // tile only when in the scheduled set (band AND row window).
+      const unsigned char d = static_cast<unsigned char>(
+          (I > 0 && state.in_set(I - 1, J) ? 1 : 0) +
+          (J > 0 && state.in_set(I, J - 1) ? 1 : 0));
       state.deps[state.dep_index(I, J)].store(d, std::memory_order_relaxed);
+      if (d == 0) ready.push_back(I * M + J);
     }
   }
   state.remaining.store(n_tiles, std::memory_order_relaxed);
 
-  // Seed: every tile of the first in-set diagonal is ready (its gates are
-  // all out of set). Queue all but one for the workers, run one here, then
-  // help until no task is claimable, then wait out the stragglers.
-  const std::size_t seed_k = range.k_lo;
-  const std::size_t seed_lo = core::diag_row_lo(M, seed_k);
-  const std::size_t seed_hi = core::diag_row_hi(M, seed_k);
+  // Seed: queue all ready tiles but one for the workers, run one here,
+  // then help until no task is claimable, then wait out the stragglers.
   DataflowState* sp = &state;
-  for (std::size_t I = seed_lo + 1; I <= seed_hi; ++I) {
-    const std::size_t idx = I * M + (seed_k - I);
+  for (std::size_t r = 1; r < ready.size(); ++r) {
+    const std::size_t idx = ready[r];
     try {
       fault::check(fault::Site::kDataflowSpawn);
       pool.submit([sp, idx] {
@@ -287,10 +306,10 @@ void run_dataflow_impl(const TiledRegion& region, ThreadPool& pool, DataflowStat
       });
     } catch (...) {
       sp->record_error();
-      sp->run_tile(I, seed_k - I);
+      sp->run_tile(idx / M, idx % M);
     }
   }
-  state.run_tile(seed_lo, seed_k - seed_lo);
+  state.run_tile(ready[0] / M, ready[0] % M);
   while (pool.try_run_one()) {
   }
   state.wait_done();
@@ -305,13 +324,24 @@ const char* scheduler_name(Scheduler s) {
 
 void run_dataflow_wavefront(const TiledRegion& region, ThreadPool& pool,
                             const core::LoweredKernel& kernel, std::byte* storage) {
-  // 1-element storages array on this frame: run_dataflow_impl blocks
-  // until every tile drained, so the frame outlives all worker access.
-  std::byte* storages[1] = {storage};
+  // 1-element views array on this frame: run_dataflow_impl blocks until
+  // every tile drained, so the frame outlives all worker access.
+  const core::StorageView views[1] = {{storage, 0}};
   DataflowState state;
   state.lowered = &kernel;
-  state.storages = storages;
+  state.views = views;
   state.n_grids = 1;
+  run_dataflow_impl(region, pool, state);
+}
+
+void run_dataflow_wavefront(const TiledRegion& region, ThreadPool& pool,
+                            const core::LoweredKernel& kernel,
+                            const core::StorageView* views, std::size_t n_grids) {
+  if (n_grids == 0) throw std::invalid_argument("run_dataflow_wavefront: n_grids == 0");
+  DataflowState state;
+  state.lowered = &kernel;
+  state.views = views;
+  state.n_grids = n_grids;
   run_dataflow_impl(region, pool, state);
 }
 
@@ -319,11 +349,9 @@ void run_dataflow_wavefront(const TiledRegion& region, ThreadPool& pool,
                             const core::LoweredKernel& kernel, std::byte* const* storages,
                             std::size_t n_grids) {
   if (n_grids == 0) throw std::invalid_argument("run_dataflow_wavefront: n_grids == 0");
-  DataflowState state;
-  state.lowered = &kernel;
-  state.storages = storages;
-  state.n_grids = n_grids;
-  run_dataflow_impl(region, pool, state);
+  std::vector<core::StorageView> views(n_grids);
+  for (std::size_t g = 0; g < n_grids; ++g) views[g] = {storages[g], 0};
+  run_dataflow_wavefront(region, pool, kernel, views.data(), n_grids);
 }
 
 void run_dataflow_wavefront(const TiledRegion& region, ThreadPool& pool,
@@ -346,17 +374,25 @@ double dataflow_wavefront_cost_ns(const TiledRegion& region, const sim::CpuModel
   const TileDiagRange range = tile_diag_range(region, M);
   if (range.k_lo > range.k_hi) return 0.0;
 
+  const std::size_t I_lo = region.row_begin / T;
+  const std::size_t I_hi = (region.row_hi() + T - 1) / T;
   std::size_t n_tiles = 0;
+  std::size_t n_nonempty = 0;
   for (std::size_t k = range.k_lo; k <= range.k_hi; ++k) {
-    n_tiles += core::diag_row_hi(M, k) - core::diag_row_lo(M, k) + 1;
+    const std::size_t i_lo = std::max(core::diag_row_lo(M, k), I_lo);
+    const std::size_t i_hi = std::min(core::diag_row_hi(M, k), I_hi - 1);
+    if (i_lo > i_hi) continue;
+    n_tiles += i_hi - i_lo + 1;
+    ++n_nonempty;
   }
+  if (n_tiles == 0) return 0.0;
   // Per tile: T^2 elements, one lowered-kernel dispatch, and the
   // dependency-counter bookkeeping (what a tile pays instead of
   // tile_sched_ns + its share of barrier_ns).
   const double tile_cost = static_cast<double>(T) * static_cast<double>(T) *
                                cpu.tiled_element_ns(tsize_units, elem_bytes, T) +
                            cpu.kernel_dispatch_ns + cpu.dataflow_dep_ns;
-  const double n_diags = static_cast<double>(range.k_hi - range.k_lo + 1);
+  const double n_diags = static_cast<double>(n_nonempty);
   const double P = cpu.effective_parallelism();
   // Greedy-scheduling bound: the longer of the critical path (one tile
   // per tile-diagonal, strictly sequential) and the work-conserving bound
@@ -382,6 +418,16 @@ void run_wavefront(Scheduler s, const TiledRegion& region, ThreadPool& pool,
     run_dataflow_wavefront(region, pool, kernel, storages, n_grids);
   } else {
     run_tiled_wavefront(region, pool, kernel, storages, n_grids);
+  }
+}
+
+void run_wavefront(Scheduler s, const TiledRegion& region, ThreadPool& pool,
+                   const core::LoweredKernel& kernel, const core::StorageView* views,
+                   std::size_t n_grids) {
+  if (s == Scheduler::kDataflow) {
+    run_dataflow_wavefront(region, pool, kernel, views, n_grids);
+  } else {
+    run_tiled_wavefront(region, pool, kernel, views, n_grids);
   }
 }
 

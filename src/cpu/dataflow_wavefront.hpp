@@ -68,6 +68,14 @@ void run_dataflow_wavefront(const TiledRegion& region, ThreadPool& pool,
                             const core::LoweredKernel& kernel, std::byte* const* storages,
                             std::size_t n_grids);
 
+/// Strip-local storage-view variant (see run_tiled_wavefront's): the dep
+/// graph is built over the region's row window only, and each kernel call
+/// addresses the view's row-window buffer while receiving absolute cell
+/// coordinates.
+void run_dataflow_wavefront(const TiledRegion& region, ThreadPool& pool,
+                            const core::LoweredKernel& kernel,
+                            const core::StorageView* views, std::size_t n_grids);
+
 /// Simulated time of run_dataflow_wavefront on `cpu`: a critical-path
 /// model. Per-tile cost is T^2 elements plus CpuModel::dataflow_dep_ns of
 /// dependency bookkeeping (counter updates + deque traffic) — there is no
@@ -84,6 +92,9 @@ void run_wavefront(Scheduler s, const TiledRegion& region, ThreadPool& pool,
                    const core::LoweredKernel& kernel, std::byte* storage);
 void run_wavefront(Scheduler s, const TiledRegion& region, ThreadPool& pool,
                    const core::LoweredKernel& kernel, std::byte* const* storages,
+                   std::size_t n_grids);
+void run_wavefront(Scheduler s, const TiledRegion& region, ThreadPool& pool,
+                   const core::LoweredKernel& kernel, const core::StorageView* views,
                    std::size_t n_grids);
 void run_wavefront(Scheduler s, const TiledRegion& region, ThreadPool& pool,
                    const RowSegmentFn& segment);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <vector>
 
 #include "core/diag.hpp"
 
@@ -9,8 +10,11 @@ namespace wavetune::cpu {
 
 std::size_t TiledRegion::cell_count() const {
   // core/diag.hpp is the single source of the diagonal-length algebra.
+  const std::size_t r_hi = row_hi();
   std::size_t n = 0;
-  for (std::size_t d = d_begin; d < d_end; ++d) n += core::diag_len(dim, d);
+  for (std::size_t d = d_begin; d < d_end; ++d) {
+    n += core::diag_rows_in(dim, d, row_begin, r_hi);
+  }
   return n;
 }
 
@@ -19,6 +23,8 @@ void TiledRegion::validate() const {
   if (tile == 0) throw std::invalid_argument("TiledRegion: tile == 0");
   if (d_begin > d_end) throw std::invalid_argument("TiledRegion: d_begin > d_end");
   if (d_end > 2 * dim - 1) throw std::invalid_argument("TiledRegion: d_end beyond last diagonal");
+  if (row_end > dim) throw std::invalid_argument("TiledRegion: row_end beyond the grid");
+  if (row_begin >= row_hi()) throw std::invalid_argument("TiledRegion: empty row window");
 }
 
 std::size_t tile_grain(std::size_t n_tiles, std::size_t tile, std::size_t workers) {
@@ -56,10 +62,12 @@ namespace {
 
 /// Per-tile-diagonal state of the lowered barrier sweep, dispatched
 /// through ThreadPool's raw parallel_for so nothing type-erased is
-/// invoked per tile.
+/// invoked per tile. Dispatch is view-based (base + first resident row):
+/// the whole-grid overloads pass {storage, 0}, streaming strips a
+/// row-window buffer, both through the same tile_local pointer math.
 struct LoweredDiagCtx {
   const core::LoweredKernel* kernel;
-  std::byte* storage;
+  core::StorageView view;
   const TiledRegion* region;
   std::size_t k;  ///< current tile-diagonal (I + J == k)
 };
@@ -69,18 +77,20 @@ void run_lowered_diag_tile(void* pv, std::size_t I) {
   const std::size_t dim = c.region->dim;
   const std::size_t T = c.region->tile;
   const std::size_t J = c.k - I;
-  const std::size_t row_lo = I * T;
   // One indirect call per tile: clamping and the row loop live inside
-  // the lowered kernel dispatch.
-  c.kernel->tile(c.storage, row_lo, std::min(row_lo + T, dim), J * T, std::min(J * T + T, dim),
-                 c.region->d_begin, c.region->d_end);
+  // the lowered kernel dispatch. The row window clips tiles the strip
+  // boundary cuts through.
+  const std::size_t row_lo = std::max(I * T, c.region->row_begin);
+  const std::size_t row_hi = std::min({I * T + T, dim, c.region->row_hi()});
+  c.kernel->tile_local(c.view.base, c.view.base_row, row_lo, row_hi, J * T,
+                       std::min(J * T + T, dim), c.region->d_begin, c.region->d_end);
 }
 
 /// Fused-batch counterpart of LoweredDiagCtx: one claim dispatches the
 /// same (I,J) tile across every batch member's storage, grids innermost.
 struct LoweredMultiDiagCtx {
   const core::LoweredKernel* kernel;
-  std::byte* const* storages;
+  const core::StorageView* views;
   std::size_t n_grids;
   const TiledRegion* region;
   std::size_t k;  ///< current tile-diagonal (I + J == k)
@@ -91,17 +101,32 @@ void run_lowered_multi_diag_tile(void* pv, std::size_t I) {
   const std::size_t dim = c.region->dim;
   const std::size_t T = c.region->tile;
   const std::size_t J = c.k - I;
-  const std::size_t row_lo = I * T;
-  const std::size_t row_hi = std::min(row_lo + T, dim);
+  const std::size_t row_lo = std::max(I * T, c.region->row_begin);
+  const std::size_t row_hi = std::min({I * T + T, dim, c.region->row_hi()});
   const std::size_t col_lo = J * T;
   const std::size_t col_hi = std::min(col_lo + T, dim);
   // Grids innermost: the tile geometry (and the claim that scheduled it)
   // amortizes over the whole batch; each storage is written only by its
   // own call, so member results cannot cross-contaminate.
   for (std::size_t g = 0; g < c.n_grids; ++g) {
-    c.kernel->tile(c.storages[g], row_lo, row_hi, col_lo, col_hi, c.region->d_begin,
-                   c.region->d_end);
+    c.kernel->tile_local(c.views[g].base, c.views[g].base_row, row_lo, row_hi, col_lo, col_hi,
+                         c.region->d_begin, c.region->d_end);
   }
+}
+
+/// Inclusive clamped tile-row range of tile-diagonal k under the region's
+/// row window; empty when first > last.
+struct TileRowRange {
+  std::size_t first = 1;
+  std::size_t last = 0;
+};
+
+TileRowRange tile_rows_on_diag(const TiledRegion& region, std::size_t M, std::size_t k) {
+  const std::size_t T = region.tile;
+  TileRowRange r;
+  r.first = std::max(core::diag_row_lo(M, k), region.row_begin / T);
+  r.last = std::min(core::diag_row_hi(M, k), (region.row_hi() - 1) / T);
+  return r;
 }
 
 }  // namespace
@@ -110,22 +135,50 @@ void run_tiled_wavefront(const TiledRegion& region, ThreadPool& pool,
                          const core::LoweredKernel& kernel, std::byte* storage) {
   region.validate();
   if (region.d_begin == region.d_end) return;
-  const std::size_t dim = region.dim;
   const std::size_t T = region.tile;
-  const std::size_t M = (dim + T - 1) / T;  // tiles per side
+  const std::size_t M = (region.dim + T - 1) / T;  // tiles per side
 
-  LoweredDiagCtx ctx{&kernel, storage, &region, 0};
+  LoweredDiagCtx ctx{&kernel, {storage, 0}, &region, 0};
   for (std::size_t k = 0; k < 2 * M - 1; ++k) {
     const std::size_t span_lo = k * T;
     const std::size_t span_hi = (k + 2) * T - 2;  // inclusive
     if (span_lo >= region.d_end || span_hi < region.d_begin) continue;
 
-    const std::size_t i_lo = core::diag_row_lo(M, k);
-    const std::size_t i_hi = core::diag_row_hi(M, k);
-    const std::size_t grain = tile_grain(i_hi - i_lo + 1, T, pool.worker_count());
+    const TileRowRange rows = tile_rows_on_diag(region, M, k);
+    if (rows.first > rows.last) continue;
+    const std::size_t grain = tile_grain(rows.last - rows.first + 1, T, pool.worker_count());
     ctx.k = k;
-    pool.parallel_for(i_lo, i_hi + 1, &run_lowered_diag_tile, &ctx, grain);
+    pool.parallel_for(rows.first, rows.last + 1, &run_lowered_diag_tile, &ctx, grain);
     // parallel_for blocks: that is the inter-tile-diagonal barrier.
+  }
+}
+
+void run_tiled_wavefront(const TiledRegion& region, ThreadPool& pool,
+                         const core::LoweredKernel& kernel, const core::StorageView* views,
+                         std::size_t n_grids) {
+  region.validate();
+  if (n_grids == 0) throw std::invalid_argument("run_tiled_wavefront: n_grids == 0");
+  if (region.d_begin == region.d_end) return;
+  const std::size_t T = region.tile;
+  const std::size_t M = (region.dim + T - 1) / T;  // tiles per side
+
+  LoweredMultiDiagCtx ctx{&kernel, views, n_grids, &region, 0};
+  for (std::size_t k = 0; k < 2 * M - 1; ++k) {
+    const std::size_t span_lo = k * T;
+    const std::size_t span_hi = (k + 2) * T - 2;  // inclusive
+    if (span_lo >= region.d_end || span_hi < region.d_begin) continue;
+
+    const TileRowRange rows = tile_rows_on_diag(region, M, k);
+    if (rows.first > rows.last) continue;
+    // Each claim carries n_grids tiles' worth of cells, so the per-claim
+    // batching the single-grid calibration picked shrinks accordingly
+    // (never below one tile per claim).
+    const std::size_t grain = std::max<std::size_t>(
+        1, tile_grain(rows.last - rows.first + 1, T, pool.worker_count()) / n_grids);
+    ctx.k = k;
+    pool.parallel_for(rows.first, rows.last + 1, &run_lowered_multi_diag_tile, &ctx, grain);
+    // parallel_for blocks: ONE inter-tile-diagonal barrier for the whole
+    // batch — the fixed cost continuous batching amortizes.
   }
 }
 
@@ -136,31 +189,10 @@ void run_tiled_wavefront(const TiledRegion& region, ThreadPool& pool,
     run_tiled_wavefront(region, pool, kernel, storages[0]);
     return;
   }
-  region.validate();
   if (n_grids == 0) throw std::invalid_argument("run_tiled_wavefront: n_grids == 0");
-  if (region.d_begin == region.d_end) return;
-  const std::size_t dim = region.dim;
-  const std::size_t T = region.tile;
-  const std::size_t M = (dim + T - 1) / T;  // tiles per side
-
-  LoweredMultiDiagCtx ctx{&kernel, storages, n_grids, &region, 0};
-  for (std::size_t k = 0; k < 2 * M - 1; ++k) {
-    const std::size_t span_lo = k * T;
-    const std::size_t span_hi = (k + 2) * T - 2;  // inclusive
-    if (span_lo >= region.d_end || span_hi < region.d_begin) continue;
-
-    const std::size_t i_lo = core::diag_row_lo(M, k);
-    const std::size_t i_hi = core::diag_row_hi(M, k);
-    // Each claim carries n_grids tiles' worth of cells, so the per-claim
-    // batching the single-grid calibration picked shrinks accordingly
-    // (never below one tile per claim).
-    const std::size_t grain = std::max<std::size_t>(
-        1, tile_grain(i_hi - i_lo + 1, T, pool.worker_count()) / n_grids);
-    ctx.k = k;
-    pool.parallel_for(i_lo, i_hi + 1, &run_lowered_multi_diag_tile, &ctx, grain);
-    // parallel_for blocks: ONE inter-tile-diagonal barrier for the whole
-    // batch — the fixed cost continuous batching amortizes.
-  }
+  std::vector<core::StorageView> views(n_grids);
+  for (std::size_t g = 0; g < n_grids; ++g) views[g] = {storages[g], 0};
+  run_tiled_wavefront(region, pool, kernel, views.data(), n_grids);
 }
 
 void run_tiled_wavefront(const TiledRegion& region, ThreadPool& pool,
@@ -179,16 +211,17 @@ void run_tiled_wavefront(const TiledRegion& region, ThreadPool& pool,
     if (span_lo >= region.d_end || span_hi < region.d_begin) continue;
 
     // Tiles on tile-diagonal k: same row algebra as cells on a cell
-    // diagonal of an MxM grid (core/diag.hpp, with dim = M).
-    const std::size_t i_lo = core::diag_row_lo(M, k);
-    const std::size_t i_hi = core::diag_row_hi(M, k);
-    const std::size_t grain = tile_grain(i_hi - i_lo + 1, T, pool.worker_count());
+    // diagonal of an MxM grid (core/diag.hpp, with dim = M), clamped to
+    // the region's row window.
+    const TileRowRange rows = tile_rows_on_diag(region, M, k);
+    if (rows.first > rows.last) continue;
+    const std::size_t grain = tile_grain(rows.last - rows.first + 1, T, pool.worker_count());
     pool.parallel_for(
-        i_lo, i_hi + 1,
+        rows.first, rows.last + 1,
         [&](std::size_t I) {
           const std::size_t J = k - I;
-          const std::size_t row_lo = I * T;
-          const std::size_t row_hi = std::min(row_lo + T, dim);  // exclusive
+          const std::size_t row_lo = std::max(I * T, region.row_begin);
+          const std::size_t row_hi = std::min({I * T + T, dim, region.row_hi()});  // exclusive
           const std::size_t col_lo = J * T;
           const std::size_t col_hi = std::min(col_lo + T, dim);
           // Clamp each row's column run to the diagonal band up front and
@@ -210,17 +243,25 @@ void run_tiled_wavefront(const TiledRegion& region, ThreadPool& pool, const Cell
 }
 
 void run_serial_wavefront(const TiledRegion& region, const core::LoweredKernel& kernel,
-                          std::byte* storage) {
+                          core::StorageView view) {
   region.validate();
   if (region.d_begin == region.d_end) return;
   // One band-clamped dispatch over the whole remaining rectangle: a full
   // sweep (everything in band) is a SINGLE kernel call — row-major order
   // over the rectangle satisfies every wavefront dependency — and a band
-  // slice degrades to one call per clamped row inside tile(), the same
-  // traversal as the segment overload below.
-  const std::size_t i_first = core::diag_row_lo(region.dim, region.d_begin);
-  if (i_first >= region.dim) return;
-  kernel.tile(storage, i_first, region.dim, 0, region.dim, region.d_begin, region.d_end);
+  // slice degrades to one call per clamped row inside tile_local(), the
+  // same traversal as the segment overload below.
+  const std::size_t i_first =
+      std::max(core::diag_row_lo(region.dim, region.d_begin), region.row_begin);
+  const std::size_t i_last = region.row_hi();
+  if (i_first >= i_last) return;
+  kernel.tile_local(view.base, view.base_row, i_first, i_last, 0, region.dim, region.d_begin,
+                    region.d_end);
+}
+
+void run_serial_wavefront(const TiledRegion& region, const core::LoweredKernel& kernel,
+                          std::byte* storage) {
+  run_serial_wavefront(region, kernel, core::StorageView{storage, 0});
 }
 
 void run_serial_wavefront(const TiledRegion& region, const RowSegmentFn& segment) {
@@ -229,7 +270,9 @@ void run_serial_wavefront(const TiledRegion& region, const RowSegmentFn& segment
   // Rows below diag_row_lo(dim, d_begin) have an empty band span: when the
   // band starts deep in the grid (phase-3 runs), skip straight to the
   // first row that intersects it instead of scanning empties.
-  for (std::size_t i = core::diag_row_lo(region.dim, region.d_begin); i < region.dim; ++i) {
+  const std::size_t i_first =
+      std::max(core::diag_row_lo(region.dim, region.d_begin), region.row_begin);
+  for (std::size_t i = i_first; i < region.row_hi(); ++i) {
     // Clamp the column range to the diagonal band to avoid a full scan.
     if (region.d_end <= i) break;
     const auto [j_lo, j_hi] = row_band_span(i, region.d_begin, region.d_end, 0, region.dim);
@@ -260,7 +303,9 @@ double tiled_wavefront_cost_ns(const TiledRegion& region, const sim::CpuModel& c
     const std::size_t span_lo = k * T;
     const std::size_t span_hi = (k + 2) * T - 2;
     if (span_lo >= region.d_end || span_hi < region.d_begin) continue;
-    const std::size_t n_k = std::min({k + 1, M, 2 * M - 1 - k});
+    const TileRowRange rows = tile_rows_on_diag(region, M, k);
+    if (rows.first > rows.last) continue;
+    const std::size_t n_k = rows.last - rows.first + 1;
     const double slots = std::max(1.0, static_cast<double>(n_k) / P);
     total += slots * tile_cost + cpu.barrier_ns;
   }

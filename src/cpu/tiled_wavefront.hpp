@@ -58,14 +58,25 @@ using core::row_band_span;
 std::size_t tile_grain(std::size_t n_tiles, std::size_t tile, std::size_t workers);
 
 /// A contiguous band of diagonals [d_begin, d_end) of a dim x dim grid,
-/// executed with square tiles of side `tile`.
+/// executed with square tiles of side `tile`. An optional row window
+/// [row_begin, row_hi()) — the streaming-strip axis — further restricts
+/// the region to those rows; the default (row_end == 0, meaning dim)
+/// keeps the historical whole-grid behaviour, so aggregate-initialized
+/// call sites are unchanged.
 struct TiledRegion {
   std::size_t dim = 0;
   std::size_t d_begin = 0;  ///< first diagonal (i+j) included
   std::size_t d_end = 0;    ///< one past the last diagonal included
   std::size_t tile = 1;     ///< cpu-tile: side length of the square tiles
+  std::size_t row_begin = 0;  ///< first row included (strip window)
+  std::size_t row_end = 0;    ///< one past the last row; 0 = dim (whole grid)
 
-  /// Number of cells with d_begin <= i+j < d_end (exact).
+  /// One past the last row included (resolves the row_end == 0 default).
+  std::size_t row_hi() const { return row_end == 0 ? dim : row_end; }
+  bool row_windowed() const { return row_begin > 0 || row_hi() < dim; }
+
+  /// Number of cells with d_begin <= i+j < d_end and i in the row window
+  /// (exact).
   std::size_t cell_count() const;
 
   /// Throws std::invalid_argument if the region is malformed.
@@ -104,6 +115,17 @@ void run_tiled_wavefront(const TiledRegion& region, ThreadPool& pool,
                          const core::LoweredKernel& kernel, std::byte* const* storages,
                          std::size_t n_grids);
 
+/// Strip-local storage-view variant: each grid's storage is a row-window
+/// buffer described by a core::StorageView (base pointer + first resident
+/// row). {grid.data(), 0} reproduces the full-grid overloads exactly; a
+/// streaming strip passes the strip buffer with its halo row's index, and
+/// every kernel call still receives absolute cell coordinates. The
+/// region's row window must lie inside each view's resident rows (one
+/// halo row above row_begin when the band reads north neighbours).
+void run_tiled_wavefront(const TiledRegion& region, ThreadPool& pool,
+                         const core::LoweredKernel& kernel, const core::StorageView* views,
+                         std::size_t n_grids);
+
 /// Sequential reference: visits the same cells in row-major order (which
 /// also respects dependencies). Used as the correctness oracle in tests
 /// and as the functional part of the sequential baseline. The
@@ -113,6 +135,8 @@ void run_tiled_wavefront(const TiledRegion& region, ThreadPool& pool,
 /// segment overload issues one type-erased call per row.
 void run_serial_wavefront(const TiledRegion& region, const core::LoweredKernel& kernel,
                           std::byte* storage);
+void run_serial_wavefront(const TiledRegion& region, const core::LoweredKernel& kernel,
+                          core::StorageView view);
 void run_serial_wavefront(const TiledRegion& region, const RowSegmentFn& segment);
 void run_serial_wavefront(const TiledRegion& region, const CellFn& cell);
 

@@ -39,6 +39,8 @@ const char* site_name(Site site) {
     case Site::kProfileSave: return "profile-save";
     case Site::kDataflowSpawn: return "dataflow-spawn";
     case Site::kDataflowSteal: return "dataflow-steal";
+    case Site::kStripTransfer: return "strip-transfer";
+    case Site::kCheckpointWrite: return "checkpoint-write";
     case Site::kCount: break;
   }
   return "unknown-site";

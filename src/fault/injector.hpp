@@ -57,6 +57,9 @@ enum class Site : std::size_t {
                      ///< pushed onto the worker's deque for stealing
   kDataflowSteal,    ///< dataflow scheduler: entry of a stolen/spawned
                      ///< tile task, before its first tile executes
+  kStripTransfer,    ///< streaming executor: before a strip's async
+                     ///< frontier stage/readback (run mode)
+  kCheckpointWrite,  ///< RunCheckpoint::save_file entry, before the write
   kCount
 };
 

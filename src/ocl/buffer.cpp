@@ -5,7 +5,8 @@
 
 namespace wavetune::ocl {
 
-Buffer::Buffer(std::size_t bytes) : storage_(bytes) {}
+std::atomic<std::size_t> Buffer::live_{0};
+std::atomic<std::size_t> Buffer::peak_{0};
 
 void Buffer::write(std::size_t offset, const void* src, std::size_t n) {
   if (offset + n > storage_.size()) throw std::out_of_range("Buffer::write: out of range");

@@ -62,6 +62,28 @@ Event Device::charge_kernel(const LaunchShape& shape, std::span<const Event> dep
   return Event{slot.end};
 }
 
+Event Device::charge_async_write(std::size_t bytes, std::span<const Event> deps) {
+  // DMA path: the transfer contends for the shared PCIe link only; the
+  // compute queue keeps executing whatever it already holds.
+  const auto slot = pcie_.acquire(deps_ready(deps), pcie_model_.transfer_ns(bytes));
+  record(CommandKind::HostToDevice, slot.start, slot.end, bytes, 0);
+  return Event{slot.end};
+}
+
+Event Device::charge_async_read(std::size_t bytes, std::span<const Event> deps) {
+  const auto slot = pcie_.acquire(deps_ready(deps), pcie_model_.transfer_ns(bytes));
+  record(CommandKind::DeviceToHost, slot.start, slot.end, bytes, 0);
+  return Event{slot.end};
+}
+
+Event Device::charge_internal_copy(std::size_t bytes, std::span<const Event> deps) {
+  const double duration = static_cast<double>(bytes) * model_.mem_ns_per_byte;
+  const sim::SimTime earliest = std::max(deps_ready(deps), queue_.available_at());
+  const auto slot = queue_.acquire(earliest, duration);
+  record(CommandKind::DeviceCopy, slot.start, slot.end, bytes, 0);
+  return Event{slot.end};
+}
+
 Event Device::charge_copy_to(Device& dst_device, std::size_t bytes,
                              std::span<const Event> deps) {
   const Event d2h = charge_read(bytes, deps);

@@ -87,6 +87,21 @@ public:
   Event charge_kernel(const LaunchShape& shape, std::span<const Event> deps = {});
   Event charge_copy_to(Device& dst_device, std::size_t bytes, std::span<const Event> deps = {});
 
+  // Async DMA-engine transfers for the streaming-strip path. Unlike
+  // charge_write/charge_read, these hold ONLY the system-shared PCIe link
+  // — this device's in-order compute queue is untouched — so a staged
+  // strip upload proceeds while the previous strip's kernels execute.
+  // Ordering against kernels (buffer reuse, results ready) is expressed
+  // purely through `deps` Events.
+  Event charge_async_write(std::size_t bytes, std::span<const Event> deps = {});
+  Event charge_async_read(std::size_t bytes, std::span<const Event> deps = {});
+
+  /// On-device memory copy (a strip's halo row moved between pool
+  /// buffers): occupies the compute queue for bytes * mem_ns_per_byte and
+  /// never touches the PCIe link. In-order queue semantics apply — the
+  /// copy waits for earlier kernels on this device.
+  Event charge_internal_copy(std::size_t bytes, std::span<const Event> deps = {});
+
   /// Simulated instant at which this device's queue drains.
   sim::SimTime queue_time() const { return queue_.available_at(); }
 

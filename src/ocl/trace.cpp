@@ -11,6 +11,7 @@ const char* to_string(CommandKind kind) {
     case CommandKind::HostToDevice: return "h2d";
     case CommandKind::DeviceToHost: return "d2h";
     case CommandKind::Kernel: return "kernel";
+    case CommandKind::DeviceCopy: return "copy";
   }
   return "?";
 }
@@ -59,9 +60,10 @@ std::string Trace::render_gantt(std::size_t width) const {
     auto hi = static_cast<std::size_t>(r.end_ns / span * static_cast<double>(width));
     lo = std::min(lo, width - 1);
     hi = std::min(std::max(hi, lo + 1), width);
-    if (r.kind == CommandKind::Kernel) {
+    if (r.kind == CommandKind::Kernel || r.kind == CommandKind::DeviceCopy) {
+      const char mark = r.kind == CommandKind::Kernel ? '#' : '=';
       auto [it, inserted] = device_lane.try_emplace(r.device, std::string(width, '.'));
-      for (std::size_t c = lo; c < hi; ++c) it->second[c] = '#';
+      for (std::size_t c = lo; c < hi; ++c) it->second[c] = mark;
     } else {
       const char mark = r.kind == CommandKind::HostToDevice ? 'v' : '^';
       for (std::size_t c = lo; c < hi; ++c) transfer_lane[c] = mark;
@@ -69,7 +71,8 @@ std::string Trace::render_gantt(std::size_t width) const {
   }
 
   std::ostringstream out;
-  out << "simulated span: " << sim::format_time(span) << "  (# kernel, v h2d, ^ d2h)\n";
+  out << "simulated span: " << sim::format_time(span)
+      << "  (# kernel, = copy, v h2d, ^ d2h)\n";
   for (const auto& [dev, lane] : device_lane) {
     out << "gpu" << dev << "  |" << lane << "|\n";
   }

@@ -16,7 +16,13 @@
 
 namespace wavetune::ocl {
 
-enum class CommandKind { HostToDevice, DeviceToHost, Kernel };
+enum class CommandKind {
+  HostToDevice,
+  DeviceToHost,
+  Kernel,
+  DeviceCopy,  ///< on-device memory copy (strip halo row); occupies the
+               ///< compute queue, never the PCIe link
+};
 
 const char* to_string(CommandKind kind);
 
@@ -52,7 +58,7 @@ public:
 
   /// ASCII Gantt chart: one lane per device plus a transfer lane, `width`
   /// characters across the full simulated span. Kernels print '#',
-  /// host->device transfers 'v', device->host '^'.
+  /// on-device copies '=', host->device transfers 'v', device->host '^'.
   std::string render_gantt(std::size_t width = 100) const;
 
   /// One line per record (device, kind, interval, payload).

@@ -35,6 +35,8 @@
 
 #include "api/engine.hpp"
 #include "apps/synthetic.hpp"
+#include "core/checkpoint.hpp"
+#include "core/streaming.hpp"
 #include "fault/injector.hpp"
 #include "sim/system_profile.hpp"
 #include "util/rng.hpp"
@@ -479,6 +481,163 @@ TEST(Chaos, FaultsInsideAFusedBatchHoldTheInvariants) {
   // was in flight: spawns were visited, and the steal countdown fired.
   EXPECT_GT(spawn_visits, 0u);
   EXPECT_GE(steal_injected, 1u);
+}
+
+// --- faults inside a streamed (out-of-core) run -------------------------
+
+// The strip transfer queue's fault site, fired mid-strip inside a
+// residency-capped streamed plan: the countdown trigger guarantees an
+// injection after some strips have already staged and retired, and the
+// four serving invariants must still hold — every future resolves (with
+// the result or the injected fault), completed grids stay bit-identical,
+// and the stats conserve.
+TEST(Chaos, MidStripTransferFaultsHoldTheServingInvariants) {
+  const core::WavefrontSpec spec = chaos_spec();
+  core::Grid reference(spec.dim, spec.elem_bytes);
+  {
+    EngineOptions ropts;
+    ropts.pool_workers = 1;
+    ropts.queue_workers = 1;
+    ropts.profiling = false;
+    Engine ref_engine(sim::make_i7_2600k(), ropts);
+    ref_engine.run(ref_engine.compile(spec, core::TunableParams{}, kSerialBackend), reference);
+  }
+
+  fault::InjectionPlan fplan;
+  fplan.seed = 0x57121FA0ULL;
+  fplan.at(fault::Site::kStripTransfer).countdown = 3;  // guaranteed mid-strip fire
+  fplan.at(fault::Site::kStripTransfer).probability = 0.01;
+  fplan.at(fault::Site::kStripTransfer).severity = fault::Severity::kTransient;
+  fault::ScopedInjection arm(fplan);
+
+  std::uint64_t strip_visits = 0, strip_injected = 0;
+  {
+    EngineOptions opts;
+    opts.pool_workers = 1;
+    opts.queue_workers = 2;
+    opts.queue_capacity = 16;
+    opts.batch_limit = 4;
+    Engine engine(sim::make_i7_2600k(), opts);
+
+    // A residency cap a quarter of the whole grid forces the compile onto
+    // the strip axis; every functional strip stage/readback then visits
+    // the kStripTransfer site.
+    CompileOptions copts;
+    copts.backend = kHybridBackend;
+    copts.params = core::TunableParams{4, 6, -1, 1};
+    copts.max_resident_bytes = core::whole_grid_resident_bytes(spec.dim, spec.elem_bytes) / 4;
+    const Plan plan = engine.compile(spec, copts);
+    bool saw_strips = false;
+    for (const core::PhaseDesc& ph : plan.program().phases) {
+      if (ph.streamed()) saw_strips = true;
+    }
+    ASSERT_TRUE(saw_strips) << "the cap did not reshape the plan onto strips";
+
+    constexpr std::size_t kJobs = 8;
+    std::deque<core::Grid> grids;
+    std::vector<std::future<core::RunResult>> futures;
+    for (std::size_t j = 0; j < kJobs; ++j) {
+      core::Grid& g = grids.emplace_back(spec.dim, spec.elem_bytes);
+      g.fill_poison();
+      if (j % 2 == 0) {
+        futures.push_back(engine.submit(plan, g));  // no retry budget
+      } else {
+        SubmitOptions so;
+        so.max_retries = 4;  // transients absorbed by the retry budget
+        futures.push_back(engine.submit(plan, g, so).future);
+      }
+    }
+    engine.shutdown();
+
+    std::size_t completed = 0;
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      ASSERT_TRUE(futures[i].valid());
+      ASSERT_EQ(futures[i].wait_for(0s), std::future_status::ready)
+          << "a streamed job's future is unresolved after shutdown";
+      try {
+        (void)futures[i].get();
+        ++completed;
+        ASSERT_EQ(std::memcmp(grids[i].data(), reference.data(), reference.size_bytes()), 0)
+            << "streamed job " << i << " completed with a wrong grid";
+      } catch (const fault::InjectedError& e) {
+        EXPECT_EQ(e.site(), fault::Site::kStripTransfer);
+      }
+    }
+    EXPECT_GT(completed, 0u) << "the retry budget never got a streamed job through";
+
+    const EngineStats s = engine.stats();
+    ASSERT_EQ(s.jobs_submitted,
+              s.jobs_completed + s.jobs_failed + s.jobs_timed_out + s.jobs_cancelled);
+    ASSERT_EQ(s.queue_depth, 0u);
+    strip_visits = fault::Injector::instance().visits(fault::Site::kStripTransfer);
+    strip_injected = fault::Injector::instance().injected(fault::Site::kStripTransfer);
+  }
+  EXPECT_GT(strip_visits, 0u);
+  EXPECT_GE(strip_injected, 1u);
+}
+
+// The checkpoint write path's fault site: the FIRST strip-boundary write
+// of a checkpointed run fails, the job fails cleanly (counted, no partial
+// file left behind — save_file fires the site before any byte is
+// written), and the very next attempt checkpoints, resumes, and
+// reproduces the reference grid bit-identically.
+TEST(Chaos, CheckpointWriteFaultFailsCleanlyAndTheRetryResumes) {
+  const core::WavefrontSpec spec = chaos_spec();
+  core::Grid reference(spec.dim, spec.elem_bytes);
+  {
+    EngineOptions ropts;
+    ropts.pool_workers = 1;
+    ropts.queue_workers = 1;
+    ropts.profiling = false;
+    Engine ref_engine(sim::make_i7_2600k(), ropts);
+    ref_engine.run(ref_engine.compile(spec, core::TunableParams{}, kSerialBackend), reference);
+  }
+
+  const std::string path = "test_chaos_ckpt.bin";
+  std::remove(path.c_str());
+
+  fault::InjectionPlan fplan;
+  fplan.seed = 0xC4EC0B01ULL;
+  fplan.at(fault::Site::kCheckpointWrite).countdown = 1;  // first write only
+  fplan.at(fault::Site::kCheckpointWrite).severity = fault::Severity::kTransient;
+  fault::ScopedInjection arm(fplan);
+  {
+    EngineOptions opts;
+    opts.pool_workers = 1;
+    opts.queue_workers = 1;
+    Engine engine(sim::make_i7_2600k(), opts);
+    CompileOptions copts;
+    copts.backend = kHybridBackend;
+    copts.params = core::TunableParams{4, 6, -1, 1};
+    copts.max_resident_bytes = core::whole_grid_resident_bytes(spec.dim, spec.elem_bytes) / 4;
+    const Plan plan = engine.compile(spec, copts);
+
+    CheckpointPolicy policy;
+    policy.path = path;
+    core::Grid g1(spec.dim, spec.elem_bytes);
+    EXPECT_THROW(engine.run_checkpointed(plan, g1, policy), fault::InjectedError);
+    // The site fires before any byte hits disk: no stale/partial file.
+    core::Grid scratch(spec.dim, spec.elem_bytes);
+    EXPECT_THROW(engine.resume_from_file(plan, scratch, path), core::CheckpointError);
+
+    // The countdown was one-shot; the retry checkpoints and resumes.
+    core::Grid g2(spec.dim, spec.elem_bytes);
+    const core::RunResult full = engine.run_checkpointed(plan, g2, policy);
+    EXPECT_EQ(std::memcmp(g2.data(), reference.data(), reference.size_bytes()), 0);
+    core::Grid g3(spec.dim, spec.elem_bytes);
+    g3.fill_poison();
+    const core::RunResult resumed = engine.resume_from_file(plan, g3, path);
+    EXPECT_EQ(std::memcmp(g3.data(), reference.data(), reference.size_bytes()), 0);
+    EXPECT_DOUBLE_EQ(resumed.rtime_ns, full.rtime_ns);
+
+    const EngineStats s = engine.stats();
+    EXPECT_EQ(s.jobs_failed, 1u);
+    EXPECT_EQ(s.jobs_resumed, 1u);
+    ASSERT_EQ(s.jobs_submitted,
+              s.jobs_completed + s.jobs_failed + s.jobs_timed_out + s.jobs_cancelled);
+  }
+  EXPECT_GE(fault::Injector::instance().injected(fault::Site::kCheckpointWrite), 1u);
+  std::remove(path.c_str());
 }
 
 }  // namespace
